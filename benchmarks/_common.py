@@ -1,0 +1,115 @@
+"""Shared configuration and helpers for the paper-table benchmarks.
+
+Every benchmark module regenerates one table or figure from the paper's
+evaluation section: it sweeps the same (system × dataset × query ×
+parameter) grid at laptop scale, prints the paper-style table, and asserts
+the qualitative claims the paper makes about that table (who wins, where
+the crossovers are).  Absolute numbers are not comparable to the paper's —
+the substrate here is pure Python over synthetic graphs — but the shape is.
+
+The soft per-cell timeout can be adjusted through the environment variable
+``REPRO_BENCH_TIMEOUT`` (seconds); cells that exceed it render as "-",
+exactly like the paper's 30-minute timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import BenchmarkCell, BenchmarkConfig, run_cell
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.datalog.query import ConjunctiveQuery
+from repro.errors import ReproError, TimeoutExceeded
+from repro.joins.base import JoinAlgorithm
+from repro.queries.patterns import pattern
+from repro.storage.database import Database
+from repro.util import TimeBudget
+
+
+BENCH_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "10.0"))
+
+BENCH_CONFIG = BenchmarkConfig(
+    timeout=BENCH_TIMEOUT, repetitions=1, warmup_discard=0, seed=0,
+)
+
+# Datasets used by the wide system-comparison tables.  A representative
+# slice of the catalog spanning the paper's structural regimes: sparse
+# peer-to-peer, collaboration, dense ego, and preferential-attachment
+# social graphs (small and large).
+CYCLIC_TABLE_DATASETS = (
+    "p2p-Gnutella04", "ca-GrQc", "ego-Facebook", "wiki-Vote",
+    "soc-Epinions1", "ego-Twitter",
+)
+ACYCLIC_TABLE_DATASETS = ("p2p-Gnutella04", "ca-GrQc", "ego-Facebook", "wiki-Vote")
+ABLATION_DATASETS = ("p2p-Gnutella04", "ca-GrQc", "ego-Facebook", "wiki-Vote")
+
+
+def cell_text(cell: BenchmarkCell, precision: int = 2) -> str:
+    return cell.cell(precision)
+
+
+def build_database(dataset_name: str, query_name: Optional[str] = None,
+                   selectivity: Optional[int] = None,
+                   scale: float = 1.0) -> Database:
+    """Dataset + samples for one benchmark cell (shared across systems)."""
+    database = Database([load_dataset(dataset_name, scale=scale)])
+    if query_name is not None:
+        spec = pattern(query_name)
+        if spec.sample_relations:
+            attach_samples(database, selectivity or 10,
+                           sample_names=spec.sample_relations, seed=0)
+    return database
+
+
+def timed_run(algorithm_factory: Callable[[Optional[TimeBudget]], JoinAlgorithm],
+              database: Database, query: ConjunctiveQuery,
+              timeout: float = BENCH_TIMEOUT) -> Tuple[Optional[float], Optional[int]]:
+    """Time one count execution; (None, None) on timeout or unsupported query."""
+    budget = TimeBudget(timeout)
+    algorithm = algorithm_factory(budget)
+    started = time.perf_counter()
+    try:
+        count = algorithm.count(database, query)
+    except TimeoutExceeded:
+        return None, None
+    except ReproError:
+        return None, None
+    return time.perf_counter() - started, count
+
+
+def speedup_ratio(baseline_seconds: Optional[float],
+                  improved_seconds: Optional[float]) -> Optional[float]:
+    """Paper-style speedup; ``inf`` when only the baseline timed out."""
+    if improved_seconds is None:
+        return None
+    if baseline_seconds is None:
+        return float("inf")
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds
+
+
+def render_ratio(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "-"
+    if ratio == float("inf"):
+        return "inf"
+    return f"{ratio:.2f}"
+
+
+def print_table(title: str, row_labels: Sequence[str],
+                column_labels: Sequence[str],
+                cells: Dict[Tuple[str, str], str],
+                row_header: str = "") -> None:
+    from repro.bench.reporting import format_matrix
+
+    print()
+    print(format_matrix(title, list(row_labels), list(column_labels), cells,
+                        row_header=row_header))
+
+
+def successful(values: Sequence[Optional[float]]) -> List[float]:
+    return [value for value in values if value is not None]

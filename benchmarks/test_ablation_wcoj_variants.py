@@ -1,0 +1,62 @@
+"""Ablation — worst-case optimal join variants (sorted trie vs. hash).
+
+DESIGN.md calls out the index representation as a design choice worth
+ablating: Leapfrog Triejoin navigates sorted tries with binary search
+(ordered seeks, cache-friendly, supports the Minesweeper probes), while
+Generic Join / NPRR intersects hash sets (O(1) lookups, no order).  Both
+are worst-case optimal, so the comparison isolates the constant factors of
+the data-structure regime on the benchmark's cyclic queries — and doubles
+as a cross-check that the two implementations always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.joins.generic import GenericJoin
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.queries.patterns import build_query
+
+from benchmarks._common import (
+    ABLATION_DATASETS,
+    build_database,
+    print_table,
+    timed_run,
+)
+
+QUERIES = ("3-clique", "4-cycle")
+VARIANTS = {
+    "lftj (sorted trie)": lambda budget: LeapfrogTrieJoin(budget=budget),
+    "generic (hash)": lambda budget: GenericJoin(budget=budget),
+}
+
+
+def test_ablation_wcoj_variants(benchmark):
+    cells: Dict[Tuple[str, str], str] = {}
+    finished_pairs = 0
+    for query_name in QUERIES:
+        for dataset in ABLATION_DATASETS:
+            database = build_database(dataset, query_name)
+            query = build_query(query_name)
+            counts = set()
+            row = f"{query_name} / {dataset}"
+            for variant, factory in VARIANTS.items():
+                seconds, count = timed_run(factory, database, query)
+                cells[(row, variant)] = \
+                    "-" if seconds is None else f"{seconds:.3f}"
+                if count is not None:
+                    counts.add(count)
+            assert len(counts) <= 1, f"variants disagree on {row}"
+            if len(counts) == 1:
+                finished_pairs += 1
+
+    rows = [f"{q} / {d}" for q in QUERIES for d in ABLATION_DATASETS]
+    print_table("Ablation: worst-case optimal join variants (seconds)",
+                rows, list(VARIANTS), cells, row_header="query / dataset")
+    assert finished_pairs > 0
+
+    database = build_database("ca-GrQc", "3-clique")
+    benchmark.pedantic(
+        lambda: GenericJoin().count(database, build_query("3-clique")),
+        rounds=1, iterations=1,
+    )

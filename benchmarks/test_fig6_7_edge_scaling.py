@@ -1,0 +1,101 @@
+"""Figures 6, 7 — clique runtime vs. number of edges on LiveJournal subsets.
+
+The paper's scaling study grows a subset of LiveJournal edge by edge and
+plots 3-clique (Figure 6) and 4-clique (Figure 7) runtimes for every
+system: the conventional engines fall over two orders of magnitude before
+the optimal joins do, Virtuoso sits in between, and GraphLab tracks LFTJ.
+
+The benchmark sweeps growing prefixes of the scaled LiveJournal stand-in
+(25%, 50%, 75%, 100% of its edges), times each system with the soft
+timeout, prints the two text figures, and asserts the ordering the figures
+show: the largest subset each system can finish within the timeout is at
+least as large for LFTJ as for the conventional engines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.reporting import format_figure
+from repro.data.catalog import load_dataset
+from repro.errors import ReproError, TimeoutExceeded
+from repro.joins.columnar import ColumnAtATimeJoin
+from repro.joins.graph_engine import GraphEngine
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.joins.minesweeper import MinesweeperJoin
+from repro.joins.pairwise import PairwiseHashJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, edge_relation_from_pairs
+from repro.util import TimeBudget
+
+from benchmarks._common import BENCH_TIMEOUT
+
+DATASET = "soc-LiveJournal1"
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+SYSTEMS = {
+    "lb/lftj": lambda budget: LeapfrogTrieJoin(budget=budget),
+    "lb/ms": lambda budget: MinesweeperJoin(budget=budget),
+    "psql": lambda budget: PairwiseHashJoin(budget=budget),
+    "monetdb": lambda budget: ColumnAtATimeJoin(budget=budget),
+    "graphlab": lambda budget: GraphEngine(budget=budget),
+}
+
+
+def _edge_subsets() -> List[Database]:
+    full = load_dataset(DATASET)
+    undirected = sorted({(min(u, v), max(u, v)) for u, v in full})
+    databases = []
+    for fraction in FRACTIONS:
+        prefix = undirected[: max(1, int(len(undirected) * fraction))]
+        databases.append(Database([edge_relation_from_pairs(prefix)]))
+    return databases
+
+
+def _sweep(query_name: str) -> Dict[str, List[Optional[float]]]:
+    query = build_query(query_name)
+    series: Dict[str, List[Optional[float]]] = {name: [] for name in SYSTEMS}
+    for database in _edge_subsets():
+        counts = set()
+        for name, factory in SYSTEMS.items():
+            algorithm = factory(TimeBudget(BENCH_TIMEOUT))
+            started = time.perf_counter()
+            try:
+                counts.add(algorithm.count(database, query))
+                series[name].append(time.perf_counter() - started)
+            except (TimeoutExceeded, ReproError):
+                series[name].append(None)
+        assert len(counts) <= 1
+    return series
+
+
+def _largest_finished(values: List[Optional[float]]) -> int:
+    largest = -1
+    for index, value in enumerate(values):
+        if value is not None:
+            largest = index
+    return largest
+
+
+def test_figures_6_7_edge_scaling(benchmark):
+    edge_counts = [len(db.relation("edge")) // 2 for db in _edge_subsets()]
+    for figure_number, query_name in ((6, "3-clique"), (7, "4-clique")):
+        series = _sweep(query_name)
+        print()
+        print(format_figure(
+            f"Figure {figure_number}: {query_name} on {DATASET} subsets of N "
+            "edges (seconds, '-' = timeout)",
+            "N-edges", edge_counts, series,
+        ))
+        # Shape assertions: the optimal joins scale at least as far as the
+        # conventional engines, and never lose to them on a finished subset.
+        lftj_reach = _largest_finished(series["lb/lftj"])
+        assert lftj_reach >= _largest_finished(series["psql"])
+        assert lftj_reach >= _largest_finished(series["monetdb"])
+        for index in range(len(FRACTIONS)):
+            lftj = series["lb/lftj"][index]
+            psql = series["psql"][index]
+            if lftj is not None and psql is not None:
+                assert lftj <= psql * 1.5
+
+    benchmark.pedantic(lambda: _sweep("3-clique"), rounds=1, iterations=1)

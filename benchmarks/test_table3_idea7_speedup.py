@@ -1,0 +1,72 @@
+"""Table 3 — speedup from Idea 7 (the β-acyclic skeleton) on cyclic queries.
+
+Without Idea 7, Minesweeper inserts every gap of a cyclic query into the
+CDS, which forces specialisation branches and blows the structure up (the
+paper reports speedups from 3.6x to four orders of magnitude, with ∞
+meaning the baseline thrashed).  The benchmark runs 3-clique, 4-clique and
+4-cycle with the skeleton on and off; baseline timeouts are reported as
+``inf`` exactly like the paper's ∞ cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.joins.minesweeper import MinesweeperJoin, MinesweeperOptions
+from repro.queries.patterns import build_query
+
+from benchmarks._common import (
+    ABLATION_DATASETS,
+    build_database,
+    print_table,
+    render_ratio,
+    speedup_ratio,
+    timed_run,
+)
+
+QUERIES = ("3-clique", "4-clique", "4-cycle")
+
+WITH_SKELETON = MinesweeperOptions()
+WITHOUT_SKELETON = MinesweeperOptions(use_skeleton=False)
+
+
+def _measure(dataset: str, query_name: str, options) -> Optional[float]:
+    database = build_database(dataset, query_name)
+    query = build_query(query_name)
+    seconds, _ = timed_run(
+        lambda budget: MinesweeperJoin(budget=budget, options=options),
+        database, query,
+    )
+    return seconds
+
+
+def test_table3_idea7_speedup(benchmark):
+    cells: Dict[Tuple[str, str], str] = {}
+    ratios = []
+    treatment_finished = 0
+    for query_name in QUERIES:
+        for dataset in ABLATION_DATASETS:
+            baseline = _measure(dataset, query_name, WITHOUT_SKELETON)
+            improved = _measure(dataset, query_name, WITH_SKELETON)
+            if improved is not None:
+                treatment_finished += 1
+            ratio = speedup_ratio(baseline, improved)
+            cells[(query_name, dataset)] = render_ratio(ratio)
+            if ratio is not None and ratio != float("inf"):
+                ratios.append(ratio)
+
+    print_table("Table 3: speedup ratio when Idea 7 (beta-acyclic skeleton) "
+                "is incorporated ('inf' = baseline timed out)",
+                QUERIES, ABLATION_DATASETS, cells, row_header="query")
+
+    assert treatment_finished > 0, \
+        "Minesweeper with Idea 7 finished nowhere; raise REPRO_BENCH_TIMEOUT"
+    if ratios:
+        assert sum(ratios) / len(ratios) >= 1.0
+
+    database = build_database("ca-GrQc", "3-clique")
+    query = build_query("3-clique")
+    benchmark.pedantic(
+        lambda: MinesweeperJoin(options=WITH_SKELETON).count(database, query),
+        rounds=1, iterations=1,
+    )

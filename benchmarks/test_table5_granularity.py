@@ -1,0 +1,86 @@
+"""Table 5 — normalized runtime across partition granularity factors.
+
+§4.10 parallelises Minesweeper by splitting the output space into
+``num_cpus * f`` parts served from a job pool.  Table 5 reports, per query,
+the runtime normalized to ``f = 1`` as ``f`` grows; cyclic queries benefit
+from finer partitions (work stealing smooths out skewed parts) while the
+acyclic ones are flat or slightly worse (per-part overhead).
+
+The GIL hides real thread speedups, so this benchmark reports the
+*simulated makespan* on eight workers: each part's cost is measured
+sequentially and replayed through the same job-pool schedule the paper
+uses.  Total work (the sum of part costs) is also checked so that finer
+granularity never changes the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.joins.minesweeper import MinesweeperOptions
+from repro.joins.minesweeper.parallel import PartitionedMinesweeper
+from repro.queries.patterns import build_query, pattern
+
+from benchmarks._common import BENCH_TIMEOUT, build_database, print_table
+from repro.util import TimeBudget
+from repro.errors import ReproError, TimeoutExceeded
+
+GRANULARITIES = (1, 2, 3, 4, 8, 12, 14)
+QUERIES = ("3-path", "4-path", "2-comb", "3-clique", "4-clique", "4-cycle")
+DATASET = "wiki-Vote"
+WORKERS = 8
+SELECTIVITY = 8
+
+
+def _measure(query_name: str, granularity: int):
+    """Return (makespan on 8 simulated workers, output count) or (None, None)."""
+    selectivity = SELECTIVITY if pattern(query_name).sample_relations else None
+    database = build_database(DATASET, query_name, selectivity)
+    query = build_query(query_name)
+    algorithm = PartitionedMinesweeper(
+        budget=TimeBudget(BENCH_TIMEOUT),
+        options=MinesweeperOptions(),
+        num_workers=WORKERS,
+        granularity=granularity,
+    )
+    try:
+        count = algorithm.count(database, query)
+    except (TimeoutExceeded, ReproError):
+        return None, None
+    report = algorithm.last_report
+    return report.makespan(WORKERS), count
+
+
+def test_table5_partition_granularity(benchmark):
+    cells: Dict[Tuple[str, str], str] = {}
+    counts: Dict[str, set] = {q: set() for q in QUERIES}
+    for query_name in QUERIES:
+        baseline, count = _measure(query_name, 1)
+        if count is not None:
+            counts[query_name].add(count)
+        for granularity in GRANULARITIES:
+            if granularity == 1:
+                makespan = baseline
+            else:
+                makespan, count = _measure(query_name, granularity)
+                if count is not None:
+                    counts[query_name].add(count)
+            column = f"f={granularity}"
+            if makespan is None or baseline is None or baseline == 0:
+                cells[(query_name, column)] = "-"
+            else:
+                cells[(query_name, column)] = f"{makespan / baseline:.2f}"
+
+    print_table(f"Table 5: makespan on {WORKERS} simulated workers, "
+                "normalized to granularity f=1 ({} dataset)".format(DATASET),
+                QUERIES, [f"f={g}" for g in GRANULARITIES], cells,
+                row_header="query")
+
+    # Partitioning must never change the answer.
+    for query_name, seen in counts.items():
+        assert len(seen) <= 1, f"{query_name}: counts diverged across granularity"
+
+    measured = [cells[(q, "f=2")] for q in QUERIES if cells[(q, "f=2")] != "-"]
+    assert measured, "every cell timed out; raise REPRO_BENCH_TIMEOUT"
+
+    benchmark.pedantic(lambda: _measure("3-clique", 2), rounds=1, iterations=1)

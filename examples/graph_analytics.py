@@ -1,0 +1,76 @@
+"""Recursive queries and graph analytics on the relational engine.
+
+Run with::
+
+    python examples/graph_analytics.py
+
+The paper's conclusion asks whether the same join-based engine can also
+absorb recursive queries and graph-style processing.  This example answers
+in miniature: it computes transitive closure and single-source
+reachability with the semi-naive Datalog evaluator (whose rule bodies are
+executed by Leapfrog Triejoin), then runs BFS, connected components, and
+PageRank over the same dataset, cross-checking the relational reachability
+against the direct graph traversal.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analytics import (
+    RecursiveProgram,
+    Rule,
+    SemiNaiveEvaluator,
+    bfs_levels,
+    connected_components,
+    pagerank,
+    reachable_from,
+    transitive_closure_program,
+)
+from repro.data import load_dataset
+from repro.storage import Database
+
+
+def main() -> None:
+    edge = load_dataset("p2p-Gnutella04")
+    database = Database([edge])
+    nodes = edge.active_domain()
+    print(f"graph: {len(nodes)} nodes, {len(edge) // 2} undirected edges")
+
+    # --- recursive Datalog: transitive closure --------------------------
+    started = time.perf_counter()
+    evaluator = SemiNaiveEvaluator()
+    closure = evaluator.evaluate(transitive_closure_program(), database)["tc"]
+    elapsed = time.perf_counter() - started
+    stats = evaluator.last_statistics
+    print(f"\ntransitive closure: {len(closure):,} facts in "
+          f"{stats.iterations} semi-naive iterations ({elapsed:.2f}s)")
+
+    # --- reachability: relational vs direct -----------------------------
+    start_node = nodes[0]
+    relational = reachable_from(database, start_node, engine="relational")
+    direct = reachable_from(database, start_node, engine="direct")
+    assert relational == direct
+    print(f"reachable from node {start_node}: {len(relational)} nodes "
+          f"(relational and direct engines agree)")
+
+    # --- classic graph analytics ----------------------------------------
+    levels = bfs_levels(database, start_node)
+    print(f"BFS eccentricity of node {start_node}: {max(levels.values())}")
+
+    components = connected_components(database)
+    sizes = sorted(
+        (sum(1 for c in components.values() if c == label)
+         for label in set(components.values())),
+        reverse=True,
+    )
+    print(f"connected components: {len(sizes)} (largest {sizes[0]} nodes)")
+
+    ranks = pagerank(database)
+    top = sorted(ranks.items(), key=lambda item: -item[1])[:5]
+    print("top-5 PageRank nodes:",
+          ", ".join(f"{node} ({rank:.4f})" for node, rank in top))
+
+
+if __name__ == "__main__":
+    main()

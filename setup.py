@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to the legacy ``setup.py develop``
+code path when PEP 660 editable builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro: worst-case optimal and beyond-worst-case join processing.
+
+A from-scratch Python reproduction of *"Join Processing for Graph
+Patterns: An Old Dog with New Tricks"* (Nguyen et al., 2015): the Leapfrog
+Triejoin and Minesweeper join algorithms, the relational substrate they
+run on, the conventional and graph-engine baselines they are benchmarked
+against, and the full benchmark harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Database, QueryEngine, edge_relation_from_pairs, parse_query
+>>> edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+>>> db = Database([edge_relation_from_pairs(edges)])
+>>> engine = QueryEngine(db)
+>>> triangle = parse_query("edge(a,b), edge(b,c), edge(a,c), a<b, b<c")
+>>> engine.count(triangle, algorithm="lftj")
+1
+"""
+
+from repro.errors import (
+    DatasetError,
+    ExecutionError,
+    ParseError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    TimeoutExceeded,
+)
+from repro.datalog import (
+    Atom,
+    ComparisonAtom,
+    ConjunctiveQuery,
+    Constant,
+    Hypergraph,
+    Variable,
+    agm_bound,
+    parse_query,
+    select_gao,
+)
+from repro.storage import (
+    Database,
+    Relation,
+    TrieIndex,
+    edge_relation_from_pairs,
+    node_relation,
+)
+from repro.joins import (
+    ColumnAtATimeJoin,
+    GenericJoin,
+    GraphEngine,
+    HybridMinesweeperLeapfrog,
+    JoinAlgorithm,
+    LeapfrogTrieJoin,
+    MinesweeperJoin,
+    MinesweeperOptions,
+    NaiveBacktrackingJoin,
+    PairwiseHashJoin,
+    YannakakisJoin,
+)
+from repro.queries import QUERY_PATTERNS, build_query
+from repro.data import (
+    DATASET_CATALOG,
+    attach_samples,
+    dataset_names,
+    load_dataset,
+    load_dataset_database,
+)
+from repro.engine import ExecutionResult, QueryEngine
+from repro.util import TimeBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ColumnAtATimeJoin",
+    "ComparisonAtom",
+    "ConjunctiveQuery",
+    "Constant",
+    "DATASET_CATALOG",
+    "Database",
+    "DatasetError",
+    "ExecutionError",
+    "ExecutionResult",
+    "GenericJoin",
+    "GraphEngine",
+    "Hypergraph",
+    "HybridMinesweeperLeapfrog",
+    "JoinAlgorithm",
+    "LeapfrogTrieJoin",
+    "MinesweeperJoin",
+    "MinesweeperOptions",
+    "NaiveBacktrackingJoin",
+    "PairwiseHashJoin",
+    "ParseError",
+    "PlanningError",
+    "QUERY_PATTERNS",
+    "QueryEngine",
+    "QueryError",
+    "Relation",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "TimeBudget",
+    "TimeoutExceeded",
+    "TrieIndex",
+    "Variable",
+    "YannakakisJoin",
+    "agm_bound",
+    "attach_samples",
+    "build_query",
+    "dataset_names",
+    "edge_relation_from_pairs",
+    "load_dataset",
+    "load_dataset_database",
+    "node_relation",
+    "parse_query",
+    "select_gao",
+    "__version__",
+]

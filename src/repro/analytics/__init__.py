@@ -1,0 +1,44 @@
+"""Recursive queries and graph-style analytics (the paper's future work).
+
+The conclusion of the paper names two directions: extending the benchmark
+to *recursive queries* and to *more graph-style processing (e.g., BFS,
+shortest path, page rank)*.  This package implements both on top of the
+library's relational substrate:
+
+* :mod:`repro.analytics.recursive` — Datalog rules with recursion,
+  evaluated by semi-naive fixpoint iteration; every rule body is a
+  conjunctive query executed by any registered join algorithm, so the
+  worst-case optimal joins drive recursion too (transitive closure,
+  reachability, same-generation, ...).
+* :mod:`repro.analytics.graph_algorithms` — BFS levels, single-source
+  shortest paths (unweighted), connected components, and PageRank, each
+  available in two forms: a *relational* implementation driven by the
+  recursive engine and a *direct* adjacency-based implementation (the
+  graph-engine way), which cross-check each other in the tests.
+"""
+
+from repro.analytics.recursive import (
+    Rule,
+    RecursiveProgram,
+    SemiNaiveEvaluator,
+    transitive_closure_program,
+)
+from repro.analytics.graph_algorithms import (
+    bfs_levels,
+    connected_components,
+    pagerank,
+    reachable_from,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "RecursiveProgram",
+    "Rule",
+    "SemiNaiveEvaluator",
+    "bfs_levels",
+    "connected_components",
+    "pagerank",
+    "reachable_from",
+    "shortest_path_lengths",
+    "transitive_closure_program",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness and reporting for the paper's tables and figures.
+
+* :mod:`repro.bench.harness` — build benchmark databases (dataset +
+  samples), time executions under the paper's protocol (repetitions,
+  soft timeouts, "-" cells), and collect structured records.
+* :mod:`repro.bench.reporting` — render the records as paper-style tables
+  (rows = datasets or parameters, columns = systems) and simple text
+  "figures" (series of runtime vs. a swept parameter).
+"""
+
+from repro.bench.harness import (
+    BenchmarkCell,
+    BenchmarkConfig,
+    benchmark_database,
+    run_cell,
+    run_grid,
+    speedup,
+)
+from repro.bench.reporting import (
+    format_figure,
+    format_matrix,
+    format_table,
+)
+
+__all__ = [
+    "BenchmarkCell",
+    "BenchmarkConfig",
+    "benchmark_database",
+    "format_figure",
+    "format_matrix",
+    "format_table",
+    "run_cell",
+    "run_grid",
+    "speedup",
+]

@@ -1,0 +1,179 @@
+"""Timed benchmark runs following the paper's protocol (§5.1).
+
+The paper's protocol: every cell (system × dataset × query × selectivity)
+is executed three times, the last two executions are averaged, a 30-minute
+soft timeout turns a cell into "-", and every system sees the same node
+samples.  The harness reproduces that protocol at laptop scale: the same
+repetition/averaging rules, a configurable (much smaller) timeout, and
+deterministic samples shared across systems.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.datalog.query import ConjunctiveQuery
+from repro.engine import ExecutionResult, QueryEngine
+from repro.queries.patterns import PatternSpec, pattern
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Knobs shared by every benchmark in the repository."""
+
+    timeout: float = 20.0
+    repetitions: int = 3
+    warmup_discard: int = 1
+    scale: float = 1.0
+    seed: int = 0
+
+    def timed_repetitions(self) -> int:
+        return max(1, self.repetitions - self.warmup_discard)
+
+
+@dataclass
+class BenchmarkCell:
+    """One measured cell of a paper table."""
+
+    system: str
+    dataset: str
+    query: str
+    selectivity: Optional[int]
+    seconds: Optional[float]
+    count: Optional[int]
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.seconds is not None and not self.timed_out and self.error is None
+
+    def cell(self, precision: int = 2) -> str:
+        """Render like the paper: a duration, or "-" for timeout/unsupported."""
+        if not self.succeeded:
+            return "-"
+        return f"{self.seconds:.{precision}f}"
+
+
+def benchmark_database(dataset_name: str, query_name: Optional[str] = None,
+                       selectivity: Optional[int] = None,
+                       config: Optional[BenchmarkConfig] = None) -> Database:
+    """Build the database for one benchmark cell.
+
+    The edge relation comes from the dataset catalog; when the query pattern
+    needs node samples they are attached at the requested selectivity using
+    the shared deterministic seed, so every system measures the same cell.
+    """
+    config = config or BenchmarkConfig()
+    database = Database([load_dataset(dataset_name, scale=config.scale)])
+    if query_name is not None:
+        spec = pattern(query_name)
+        if spec.sample_relations:
+            if selectivity is None:
+                raise ValueError(
+                    f"query {query_name!r} needs node samples; pass a selectivity"
+                )
+            attach_samples(database, selectivity,
+                           sample_names=spec.sample_relations, seed=config.seed)
+    return database
+
+
+def run_cell(system: str, dataset_name: str, query_name: str,
+             selectivity: Optional[int] = None,
+             config: Optional[BenchmarkConfig] = None,
+             database: Optional[Database] = None,
+             query: Optional[ConjunctiveQuery] = None) -> BenchmarkCell:
+    """Measure one (system, dataset, query, selectivity) cell.
+
+    The first ``warmup_discard`` repetitions are discarded and the remaining
+    ones averaged, mirroring the paper's "average the last two of three
+    executions".  A timeout or an unsupported query (for example a path
+    query on the graph engine) renders as "-".
+    """
+    config = config or BenchmarkConfig()
+    if database is None:
+        database = benchmark_database(dataset_name, query_name, selectivity, config)
+    if query is None:
+        query = pattern(query_name).build()
+    engine = QueryEngine(database, timeout=config.timeout)
+
+    durations: List[float] = []
+    count: Optional[int] = None
+    for repetition in range(config.repetitions):
+        result = engine.execute(query, algorithm=system)
+        if not result.succeeded:
+            return BenchmarkCell(
+                system=system, dataset=dataset_name, query=query_name,
+                selectivity=selectivity, seconds=None, count=None,
+                timed_out=result.timed_out, error=result.error,
+            )
+        count = result.count
+        if repetition >= config.warmup_discard or config.repetitions == 1:
+            durations.append(result.seconds)
+    seconds = sum(durations) / len(durations)
+    return BenchmarkCell(
+        system=system, dataset=dataset_name, query=query_name,
+        selectivity=selectivity, seconds=seconds, count=count,
+    )
+
+
+def run_grid(systems: Sequence[str], dataset_names: Sequence[str],
+             query_names: Sequence[str],
+             selectivities: Sequence[Optional[int]] = (None,),
+             config: Optional[BenchmarkConfig] = None) -> List[BenchmarkCell]:
+    """Measure a full grid of cells, sharing databases across systems.
+
+    Databases are built once per (dataset, query, selectivity) so every
+    system sees identical inputs, then each system is timed on it.
+    """
+    config = config or BenchmarkConfig()
+    cells: List[BenchmarkCell] = []
+    for dataset_name in dataset_names:
+        for query_name in query_names:
+            spec = pattern(query_name)
+            effective_selectivities: Sequence[Optional[int]]
+            if spec.sample_relations:
+                effective_selectivities = [s for s in selectivities if s is not None]
+            else:
+                effective_selectivities = [None]
+            for selectivity in effective_selectivities:
+                database = benchmark_database(
+                    dataset_name, query_name, selectivity, config
+                )
+                query = spec.build()
+                for system in systems:
+                    cells.append(run_cell(
+                        system, dataset_name, query_name, selectivity,
+                        config=config, database=database, query=query,
+                    ))
+    return cells
+
+
+def speedup(baseline: BenchmarkCell, improved: BenchmarkCell) -> Optional[float]:
+    """``baseline.seconds / improved.seconds`` or ``None`` if either failed."""
+    if not baseline.succeeded or not improved.succeeded:
+        return None
+    if improved.seconds == 0:
+        return float("inf")
+    return baseline.seconds / improved.seconds
+
+
+def consistency_check(cells: Iterable[BenchmarkCell]) -> Dict[Tuple[str, str, Optional[int]], bool]:
+    """Verify that every system that finished a cell reports the same count.
+
+    Returns a map from (dataset, query, selectivity) to whether all counts
+    agree — the "we verified the result for all implementations" step of
+    §5.1.
+    """
+    by_cell: Dict[Tuple[str, str, Optional[int]], set] = {}
+    for cell in cells:
+        if not cell.succeeded:
+            continue
+        key = (cell.dataset, cell.query, cell.selectivity)
+        by_cell.setdefault(key, set()).add(cell.count)
+    return {key: len(counts) == 1 for key, counts in by_cell.items()}

@@ -1,0 +1,89 @@
+"""Rendering benchmark records as paper-style tables and text figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.harness import BenchmarkCell
+
+
+def format_matrix(title: str, row_labels: Sequence[str],
+                  column_labels: Sequence[str],
+                  cells: Mapping[Tuple[str, str], str],
+                  row_header: str = "") -> str:
+    """A fixed-width text table: ``cells[(row, column)]`` are pre-rendered."""
+    width_first = max([len(row_header)] + [len(label) for label in row_labels]) + 2
+    widths = [
+        max(len(label), *(len(cells.get((row, label), "")) for row in row_labels)) + 2
+        if row_labels else len(label) + 2
+        for label in column_labels
+    ]
+    lines = [title, "=" * len(title)]
+    header = row_header.ljust(width_first) + "".join(
+        label.rjust(width) for label, width in zip(column_labels, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_labels:
+        line = row.ljust(width_first) + "".join(
+            cells.get((row, column), "").rjust(width)
+            for column, width in zip(column_labels, widths)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_table(title: str, cells: Iterable[BenchmarkCell],
+                 rows: str = "dataset", columns: str = "system",
+                 precision: int = 2) -> str:
+    """Render benchmark cells as a matrix keyed by two of their fields.
+
+    ``rows`` / ``columns`` name :class:`BenchmarkCell` attributes (usually
+    ``dataset`` and ``system``); duplicate coordinates keep the last cell.
+    """
+    cell_list = list(cells)
+    row_labels: List[str] = []
+    column_labels: List[str] = []
+    rendered: Dict[Tuple[str, str], str] = {}
+    for cell in cell_list:
+        row = str(getattr(cell, rows))
+        column = str(getattr(cell, columns))
+        if row not in row_labels:
+            row_labels.append(row)
+        if column not in column_labels:
+            column_labels.append(column)
+        rendered[(row, column)] = cell.cell(precision)
+    return format_matrix(title, row_labels, column_labels, rendered,
+                         row_header=rows)
+
+
+def format_figure(title: str, x_label: str, x_values: Sequence[float],
+                  series: Mapping[str, Sequence[Optional[float]]],
+                  precision: int = 3) -> str:
+    """A text rendering of a line figure: one column per series.
+
+    ``series[name][i]`` is the y-value (runtime) at ``x_values[i]`` or
+    ``None`` for a timeout, rendered as "-" just like the paper's plots
+    stop their lines.
+    """
+    names = list(series)
+    cells: Dict[Tuple[str, str], str] = {}
+    row_labels = [str(x) for x in x_values]
+    for name in names:
+        values = series[name]
+        for x, value in zip(row_labels, values):
+            cells[(x, name)] = "-" if value is None else f"{value:.{precision}f}"
+    return format_matrix(title, row_labels, names, cells, row_header=x_label)
+
+
+def speedup_table(title: str, row_labels: Sequence[str],
+                  column_labels: Sequence[str],
+                  speedups: Mapping[Tuple[str, str], Optional[float]],
+                  precision: int = 2) -> str:
+    """Render a table of speedup ratios (the shape of Tables 1-3)."""
+    rendered = {
+        key: ("-" if value is None else f"{value:.{precision}f}")
+        for key, value in speedups.items()
+    }
+    return format_matrix(title, row_labels, column_labels, rendered,
+                         row_header="query")

@@ -1,0 +1,190 @@
+"""Command-line interface for the repro library.
+
+Four subcommands cover the everyday workflows:
+
+``repro datasets``
+    List the dataset catalog (original SNAP sizes and the synthetic
+    stand-in sizes).
+
+``repro query``
+    Run one query — either a named benchmark pattern or a Datalog-style
+    query text — over a catalog dataset with a chosen join algorithm.
+
+``repro bench``
+    Run a small benchmark grid (systems × datasets × queries) and print
+    the paper-style table.
+
+``repro analyze``
+    Graph analytics over a dataset: size, triangle count, connected
+    components, and the top PageRank nodes.
+
+The module is also importable: :func:`main` takes an argument list and
+returns a process exit code, which is how the tests drive it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.analytics.graph_algorithms import connected_components, pagerank
+from repro.bench.harness import BenchmarkConfig, run_grid
+from repro.bench.reporting import format_table
+from repro.data.catalog import DATASET_CATALOG, dataset_names, load_dataset
+from repro.data.sampling import attach_samples
+from repro.datalog.parser import parse_query
+from repro.engine import QueryEngine
+from repro.errors import ReproError
+from repro.joins.graph_engine import GraphEngine
+from repro.queries.patterns import QUERY_PATTERNS, build_query, pattern
+from repro.storage import Database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Worst-case optimal and beyond-worst-case join processing "
+                    "for graph patterns (Nguyen et al., 2015 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the dataset catalog")
+
+    query = subparsers.add_parser("query", help="run one query on a dataset")
+    query.add_argument("--dataset", required=True, choices=dataset_names(),
+                       help="catalog dataset to query")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
+                       help="named benchmark pattern")
+    group.add_argument("--text", help="Datalog-style query text")
+    query.add_argument("--algorithm", default="auto",
+                       help="join algorithm (default: auto)")
+    query.add_argument("--selectivity", type=int, default=10,
+                       help="node-sample selectivity for patterns that need "
+                            "v1/v2 relations (default: 10)")
+    query.add_argument("--timeout", type=float, default=None,
+                       help="soft timeout in seconds")
+    query.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale factor (default: 1.0)")
+
+    bench = subparsers.add_parser("bench", help="run a small benchmark grid")
+    bench.add_argument("--systems", default="lb/lftj,lb/ms,psql",
+                       help="comma-separated system names")
+    bench.add_argument("--datasets", default="ca-GrQc,p2p-Gnutella04",
+                       help="comma-separated dataset names")
+    bench.add_argument("--queries", default="3-clique",
+                       help="comma-separated pattern names")
+    bench.add_argument("--selectivity", type=int, default=10,
+                       help="selectivity for acyclic patterns (default: 10)")
+    bench.add_argument("--timeout", type=float, default=30.0,
+                       help="per-cell soft timeout in seconds (default: 30)")
+
+    analyze = subparsers.add_parser("analyze", help="graph analytics on a dataset")
+    analyze.add_argument("--dataset", required=True, choices=dataset_names())
+    analyze.add_argument("--top", type=int, default=5,
+                         help="how many PageRank nodes to show (default: 5)")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_datasets() -> int:
+    print(f"{'dataset':<20} {'paper nodes':>12} {'paper edges':>12} "
+          f"{'stand-in edges':>15}  regime")
+    for name in dataset_names():
+        spec = DATASET_CATALOG[name]
+        stand_in = len(load_dataset(name)) // 2
+        print(f"{name:<20} {spec.paper_nodes:>12,} {spec.paper_edges:>12,} "
+              f"{stand_in:>15,}  {spec.regime}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = Database([load_dataset(args.dataset, scale=args.scale)])
+    if args.pattern:
+        spec = pattern(args.pattern)
+        if spec.sample_relations:
+            attach_samples(database, args.selectivity,
+                           sample_names=spec.sample_relations)
+        query = spec.build()
+    else:
+        query = parse_query(args.text)
+    engine = QueryEngine(database, timeout=args.timeout)
+    result = engine.execute(query, algorithm=args.algorithm)
+    label = args.pattern or args.text
+    if result.timed_out:
+        print(f"{label} on {args.dataset}: timed out after "
+              f"{result.seconds:.1f}s ({result.algorithm})")
+        return 2
+    if result.error:
+        print(f"{label} on {args.dataset}: unsupported by "
+              f"{result.algorithm}: {result.error}")
+        return 2
+    print(f"{label} on {args.dataset}: {result.count:,} results in "
+          f"{result.seconds:.3f}s using {result.algorithm}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = BenchmarkConfig(timeout=args.timeout, repetitions=1, warmup_discard=0)
+    cells = run_grid(
+        systems=[s.strip() for s in args.systems.split(",") if s.strip()],
+        dataset_names=[d.strip() for d in args.datasets.split(",") if d.strip()],
+        query_names=[q.strip() for q in args.queries.split(",") if q.strip()],
+        selectivities=(args.selectivity,),
+        config=config,
+    )
+    for query_name in {cell.query for cell in cells}:
+        subset = [cell for cell in cells if cell.query == query_name]
+        print(format_table(f"{query_name} (seconds, '-' = timeout/unsupported)",
+                           subset, rows="dataset", columns="system"))
+        print()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    edge = load_dataset(args.dataset)
+    database = Database([edge])
+    nodes = edge.active_domain()
+    started = time.perf_counter()
+    triangles = GraphEngine().count(database, build_query("3-clique"))
+    triangle_seconds = time.perf_counter() - started
+    components = connected_components(database)
+    component_count = len(set(components.values()))
+    ranks = pagerank(database)
+    top = sorted(ranks.items(), key=lambda item: -item[1])[:args.top]
+
+    print(f"dataset: {args.dataset}")
+    print(f"  nodes: {len(nodes):,}")
+    print(f"  undirected edges: {len(edge) // 2:,}")
+    print(f"  triangles: {triangles:,} (counted in {triangle_seconds:.3f}s)")
+    print(f"  connected components: {component_count}")
+    print(f"  top-{args.top} PageRank nodes: "
+          + ", ".join(f"{node} ({rank:.4f})" for node, rank in top))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Dataset substrate: synthetic graphs standing in for the SNAP collection.
+
+The paper's experiments run over fifteen SNAP network datasets.  Those
+files are not available offline, so this package provides deterministic
+synthetic generators (:mod:`repro.data.generators`) and a catalog
+(:mod:`repro.data.catalog`) that maps every SNAP dataset the paper uses to
+a scaled-down synthetic graph in the same structural regime (sparse
+peer-to-peer, dense ego/social, collaboration, ...).  Node sampling by
+selectivity — the ``v1``/``v2`` relations of the acyclic queries — lives in
+:mod:`repro.data.sampling`.
+"""
+
+from repro.data.generators import (
+    GraphSpec,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    ring_lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.data.catalog import (
+    DATASET_CATALOG,
+    DatasetSpec,
+    dataset,
+    dataset_names,
+    load_dataset,
+    load_dataset_database,
+)
+from repro.data.sampling import attach_samples, sample_nodes
+
+__all__ = [
+    "DATASET_CATALOG",
+    "DatasetSpec",
+    "GraphSpec",
+    "attach_samples",
+    "barabasi_albert_graph",
+    "dataset",
+    "dataset_names",
+    "erdos_renyi_graph",
+    "load_dataset",
+    "load_dataset_database",
+    "planted_partition_graph",
+    "powerlaw_cluster_graph",
+    "ring_lattice_graph",
+    "sample_nodes",
+    "watts_strogatz_graph",
+]

@@ -1,0 +1,249 @@
+"""Deterministic synthetic graph generators.
+
+Every generator takes an explicit ``seed`` and uses its own
+:class:`random.Random` instance, so the same parameters always produce the
+same graph — a requirement for reproducible benchmarks.  The generators
+cover the structural regimes of the SNAP datasets the paper uses:
+
+* :func:`erdos_renyi_graph` — uniform sparse graphs (the p2p-Gnutella
+  snapshots: large, sparse, almost triangle-free);
+* :func:`barabasi_albert_graph` — preferential attachment (the social
+  networks: heavy-tailed degrees, many triangles around hubs);
+* :func:`watts_strogatz_graph` — small-world rewired ring lattices
+  (collaboration networks: high clustering, moderate degrees);
+* :func:`powerlaw_cluster_graph` — preferential attachment with triad
+  closure (ego networks such as ego-Facebook: very dense, clique-rich);
+* :func:`planted_partition_graph` — community structure (location-based
+  and discussion networks).
+
+All generators return an undirected edge list of ``(u, v)`` pairs with
+``u != v`` and each undirected edge listed once; the storage loader
+symmetrises them into the ``edge`` relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.errors import DatasetError
+from repro.util import deterministic_rng
+
+EdgePair = Tuple[int, int]
+
+
+def _normalise(u: int, v: int) -> EdgePair:
+    return (u, v) if u < v else (v, u)
+
+
+def _check_nodes(num_nodes: int) -> None:
+    if num_nodes <= 1:
+        raise DatasetError("a graph needs at least two nodes")
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(num_nodes: int, num_edges: int, seed: int = 0) -> List[EdgePair]:
+    """A G(n, m) graph: ``num_edges`` distinct uniform random edges."""
+    _check_nodes(num_nodes)
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise DatasetError(
+            f"cannot place {num_edges} edges among {num_nodes} nodes "
+            f"(maximum {max_edges})"
+        )
+    rng = deterministic_rng(seed)
+    edges: Set[EdgePair] = set()
+    while len(edges) < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        edges.add(_normalise(u, v))
+    return sorted(edges)
+
+
+def ring_lattice_graph(num_nodes: int, neighbours: int) -> List[EdgePair]:
+    """A ring lattice where every node connects to its ``neighbours`` nearest.
+
+    ``neighbours`` must be even (half on each side), as in the standard
+    Watts-Strogatz construction.
+    """
+    _check_nodes(num_nodes)
+    if neighbours <= 0 or neighbours % 2:
+        raise DatasetError("ring lattice needs a positive even neighbour count")
+    if neighbours >= num_nodes:
+        raise DatasetError("neighbour count must be smaller than the node count")
+    edges: Set[EdgePair] = set()
+    half = neighbours // 2
+    for node in range(num_nodes):
+        for offset in range(1, half + 1):
+            edges.add(_normalise(node, (node + offset) % num_nodes))
+    return sorted(edges)
+
+
+def watts_strogatz_graph(num_nodes: int, neighbours: int,
+                         rewire_probability: float, seed: int = 0) -> List[EdgePair]:
+    """A small-world graph: ring lattice with random rewiring."""
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise DatasetError("rewire probability must be in [0, 1]")
+    rng = deterministic_rng(seed)
+    edges: Set[EdgePair] = set(ring_lattice_graph(num_nodes, neighbours))
+    rewired: Set[EdgePair] = set()
+    for u, v in sorted(edges):
+        if rng.random() >= rewire_probability:
+            rewired.add((u, v))
+            continue
+        # Rewire the far endpoint to a uniformly random non-neighbour.
+        for _ in range(num_nodes):
+            w = rng.randrange(num_nodes)
+            candidate = _normalise(u, w)
+            if w != u and candidate not in rewired and candidate not in edges:
+                rewired.add(candidate)
+                break
+        else:
+            rewired.add((u, v))
+    return sorted(rewired)
+
+
+def barabasi_albert_graph(num_nodes: int, edges_per_node: int,
+                          seed: int = 0) -> List[EdgePair]:
+    """Preferential attachment: each new node attaches to ``edges_per_node``
+    existing nodes chosen proportionally to their degree."""
+    _check_nodes(num_nodes)
+    if edges_per_node < 1:
+        raise DatasetError("each node must attach with at least one edge")
+    if edges_per_node >= num_nodes:
+        raise DatasetError("edges per node must be smaller than the node count")
+    rng = deterministic_rng(seed)
+    edges: Set[EdgePair] = set()
+    # Start from a small clique so early attachments have targets.
+    core = edges_per_node + 1
+    for i in range(core):
+        for j in range(i + 1, core):
+            edges.add((i, j))
+    # repeated_nodes holds one entry per edge endpoint: sampling from it is
+    # sampling proportionally to degree.
+    repeated_nodes: List[int] = []
+    for u, v in edges:
+        repeated_nodes.extend((u, v))
+    for node in range(core, num_nodes):
+        targets: Set[int] = set()
+        while len(targets) < edges_per_node:
+            targets.add(rng.choice(repeated_nodes))
+        for target in targets:
+            edges.add(_normalise(node, target))
+            repeated_nodes.extend((node, target))
+    return sorted(edges)
+
+
+def powerlaw_cluster_graph(num_nodes: int, edges_per_node: int,
+                           triangle_probability: float,
+                           seed: int = 0) -> List[EdgePair]:
+    """Holme-Kim style generator: preferential attachment plus triad closure.
+
+    After each preferential attachment step, with probability
+    ``triangle_probability`` the next edge goes to a random neighbour of the
+    previous target, closing a triangle.  This produces the clique-rich
+    graphs (ego-Facebook, ego-Twitter) on which the paper's clique queries
+    are expensive.
+    """
+    _check_nodes(num_nodes)
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise DatasetError("triangle probability must be in [0, 1]")
+    if edges_per_node < 1 or edges_per_node >= num_nodes:
+        raise DatasetError("edges per node must be in [1, num_nodes)")
+    rng = deterministic_rng(seed)
+    edges: Set[EdgePair] = set()
+    neighbours: List[Set[int]] = [set() for _ in range(num_nodes)]
+
+    def add_edge(u: int, v: int) -> None:
+        if u == v:
+            return
+        edges.add(_normalise(u, v))
+        neighbours[u].add(v)
+        neighbours[v].add(u)
+
+    core = edges_per_node + 1
+    for i in range(core):
+        for j in range(i + 1, core):
+            add_edge(i, j)
+    repeated_nodes: List[int] = []
+    for u, v in edges:
+        repeated_nodes.extend((u, v))
+
+    for node in range(core, num_nodes):
+        added = 0
+        last_target: int = -1
+        while added < edges_per_node:
+            if (last_target >= 0 and rng.random() < triangle_probability
+                    and neighbours[last_target]):
+                candidate = rng.choice(sorted(neighbours[last_target]))
+            else:
+                candidate = rng.choice(repeated_nodes)
+            if candidate == node or candidate in neighbours[node]:
+                # Fall back to a fresh preferential pick to avoid stalling.
+                candidate = rng.choice(repeated_nodes)
+                if candidate == node or candidate in neighbours[node]:
+                    continue
+            add_edge(node, candidate)
+            repeated_nodes.extend((node, candidate))
+            last_target = candidate
+            added += 1
+    return sorted(edges)
+
+
+def planted_partition_graph(num_nodes: int, num_communities: int,
+                            p_within: float, p_between: float,
+                            seed: int = 0) -> List[EdgePair]:
+    """Community-structured graph: dense within blocks, sparse across."""
+    _check_nodes(num_nodes)
+    if num_communities < 1:
+        raise DatasetError("need at least one community")
+    for probability in (p_within, p_between):
+        if not 0.0 <= probability <= 1.0:
+            raise DatasetError("edge probabilities must be in [0, 1]")
+    rng = deterministic_rng(seed)
+    community_of = [node % num_communities for node in range(num_nodes)]
+    edges: Set[EdgePair] = set()
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            probability = (
+                p_within if community_of[u] == community_of[v] else p_between
+            )
+            if rng.random() < probability:
+                edges.add((u, v))
+    return sorted(edges)
+
+
+# ----------------------------------------------------------------------
+# Declarative specification (used by the catalog)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphSpec:
+    """A declarative description of a synthetic graph.
+
+    ``kind`` selects the generator and ``parameters`` its keyword arguments
+    (excluding ``seed``); :meth:`generate` instantiates the edge list.
+    """
+
+    kind: str
+    parameters: Tuple[Tuple[str, float], ...]
+    seed: int = 0
+
+    _GENERATORS = {
+        "erdos-renyi": erdos_renyi_graph,
+        "barabasi-albert": barabasi_albert_graph,
+        "watts-strogatz": watts_strogatz_graph,
+        "powerlaw-cluster": powerlaw_cluster_graph,
+        "planted-partition": planted_partition_graph,
+    }
+
+    def generate(self) -> List[EdgePair]:
+        """Build the edge list described by the spec."""
+        generator = self._GENERATORS.get(self.kind)
+        if generator is None:
+            known = ", ".join(sorted(self._GENERATORS))
+            raise DatasetError(f"unknown graph kind {self.kind!r}; known: {known}")
+        return generator(seed=self.seed, **dict(self.parameters))

@@ -1,0 +1,67 @@
+"""Node sampling by selectivity (the ``v1``/``v2`` relations of §5.1).
+
+The acyclic benchmark queries draw their endpoint sets from random node
+samples.  "Selectivity ``s``" means every node is kept with probability
+``1/s``: the paper uses selectivities 8 and 80 for the small datasets and
+10, 100, 1000 for the rest.  Samples are deterministic in
+``(dataset nodes, selectivity, sample index, seed)``, so two systems
+benchmarked on the same cell see the same sample — the "each system sees
+the same random datasets" protocol of §5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import DatasetError
+from repro.storage.database import Database
+from repro.storage.loader import node_relation, nodes_of
+from repro.storage.relation import Relation
+from repro.util import deterministic_rng
+
+
+def sample_nodes(nodes: Sequence[int], selectivity: int,
+                 sample_index: int = 1, seed: int = 0) -> List[int]:
+    """Keep each node with probability ``1 / selectivity``.
+
+    ``sample_index`` distinguishes v1 from v2 (and so on) so the samples of
+    one query are independent; the draw is otherwise fully deterministic.
+    At least one node is always returned (an empty endpoint set makes every
+    benchmark cell trivially zero, which the paper's protocol avoids by
+    construction on its much larger graphs).
+    """
+    if selectivity < 1:
+        raise DatasetError("selectivity must be at least 1")
+    if not nodes:
+        raise DatasetError("cannot sample from an empty node set")
+    rng = deterministic_rng(hash((seed, selectivity, sample_index)) & 0x7FFFFFFF)
+    probability = 1.0 / selectivity
+    sample = [node for node in nodes if rng.random() < probability]
+    if not sample:
+        sample = [nodes[rng.randrange(len(nodes))]]
+    return sample
+
+
+def attach_samples(database: Database, selectivity: int,
+                   sample_names: Iterable[str] = ("v1", "v2"),
+                   edge_relation: str = "edge", seed: int = 0) -> Database:
+    """Add unary sample relations drawn from the edge relation's nodes.
+
+    Existing relations with the same names are replaced, so a benchmark can
+    reuse one database across selectivities.
+    """
+    edges = database.relation(edge_relation)
+    nodes = nodes_of(edges)
+    for index, name in enumerate(sample_names, start=1):
+        sample = sample_nodes(nodes, selectivity, sample_index=index, seed=seed)
+        database.add(node_relation(sample, name), replace=True)
+    return database
+
+
+def sample_relation(edge_rel: Relation, selectivity: int, name: str,
+                    sample_index: int = 1, seed: int = 0) -> Relation:
+    """A standalone unary sample relation over ``edge_rel``'s node set."""
+    nodes = nodes_of(edge_rel)
+    return node_relation(
+        sample_nodes(nodes, selectivity, sample_index=sample_index, seed=seed), name
+    )

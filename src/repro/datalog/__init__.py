@@ -1,0 +1,45 @@
+"""Query-frontend substrate: conjunctive queries over named relations.
+
+The paper expresses graph-pattern workloads as Datalog-style conjunctive
+queries (for example ``edge(a, b), edge(b, c), edge(a, c), a < b < c`` for
+the triangle query).  This package provides:
+
+* the query representation (:mod:`repro.datalog.terms`,
+  :mod:`repro.datalog.atoms`, :mod:`repro.datalog.query`),
+* a small parser for the textual form (:mod:`repro.datalog.parser`),
+* hypergraph structure and acyclicity analysis
+  (:mod:`repro.datalog.hypergraph`),
+* global attribute order (GAO) selection including the nested elimination
+  order used by Minesweeper (:mod:`repro.datalog.gao`),
+* the AGM output-size bound (:mod:`repro.datalog.agm`).
+"""
+
+from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.parser import parse_query
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.gao import (
+    GAOChoice,
+    nested_elimination_order,
+    select_gao,
+    is_nested_elimination_order,
+)
+from repro.datalog.agm import agm_bound, fractional_edge_cover
+
+__all__ = [
+    "Atom",
+    "ComparisonAtom",
+    "ConjunctiveQuery",
+    "Constant",
+    "GAOChoice",
+    "Hypergraph",
+    "Term",
+    "Variable",
+    "agm_bound",
+    "fractional_edge_cover",
+    "is_nested_elimination_order",
+    "nested_elimination_order",
+    "parse_query",
+    "select_gao",
+]

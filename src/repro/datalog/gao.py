@@ -1,0 +1,201 @@
+"""Global attribute order (GAO) selection.
+
+Both Leapfrog Triejoin and Minesweeper evaluate a query one attribute at a
+time following a *global attribute order*; every relation is indexed
+consistently with that order (the GAO-consistency assumption of §4.1).
+
+For β-acyclic queries, Minesweeper requires the GAO to be a *nested
+elimination order* (NEO, Proposition 4.2): processing prefixes of a NEO
+guarantees that the set of CDS nodes constraining the next attribute forms
+a chain.  §4.9 of the paper selects, among all NEOs, the one with the
+longest "path": the longest run of consecutive GAO attributes that are
+adjacent in the query's primal graph, because longer runs give the CDS more
+opportunity to cache.
+
+For cyclic queries no NEO exists; the paper falls back to a heuristic order
+and relies on Idea 7 (the β-acyclic skeleton) to keep the CDS chain-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class GAOChoice:
+    """A selected global attribute order plus how it was derived."""
+
+    order: Tuple[Variable, ...]
+    is_neo: bool
+    policy: str
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names in GAO order (handy for tests and reports)."""
+        return tuple(v.name for v in self.order)
+
+
+# ----------------------------------------------------------------------
+# NEO machinery
+# ----------------------------------------------------------------------
+def is_nested_elimination_order(query: ConjunctiveQuery,
+                                order: Sequence[Variable]) -> bool:
+    """Check whether ``order`` is a nested elimination order for ``query``.
+
+    ``order`` is a NEO iff eliminating its attributes *in reverse* always
+    eliminates a nest point of the remaining hypergraph (a vertex whose
+    containing edges form a chain under inclusion).
+    """
+    hypergraph = Hypergraph.of_query(query)
+    if set(order) != set(hypergraph.vertices) or len(order) != len(hypergraph.vertices):
+        return False
+    edges: List[Set[Variable]] = [set(edge) for edge in hypergraph.edges if edge]
+    for vertex in reversed(list(order)):
+        if not Hypergraph._is_nest_point(vertex, edges):
+            return False
+        edges = [edge - {vertex} for edge in edges]
+        edges = [edge for edge in edges if edge]
+    return True
+
+
+def nested_elimination_orders(query: ConjunctiveQuery,
+                              limit: int = 5000) -> List[Tuple[Variable, ...]]:
+    """Enumerate NEOs of ``query`` (empty list when the query is β-cyclic)."""
+    hypergraph = Hypergraph.of_query(query)
+    eliminations = hypergraph.all_nest_point_orders(limit=limit)
+    return [tuple(reversed(elim)) for elim in eliminations]
+
+
+def nested_elimination_order(query: ConjunctiveQuery) -> Optional[Tuple[Variable, ...]]:
+    """Return one NEO for ``query`` or ``None`` when the query is β-cyclic."""
+    hypergraph = Hypergraph.of_query(query)
+    elimination = hypergraph.nest_point_elimination()
+    if elimination is None:
+        return None
+    return tuple(reversed(elimination))
+
+
+def _path_length(order: Sequence[Variable],
+                 adjacency: Dict[Variable, Set[Variable]]) -> int:
+    """Length of the longest run of consecutive, primal-adjacent attributes."""
+    best = 1 if order else 0
+    current = 1
+    for prev, nxt in zip(order, list(order)[1:]):
+        if nxt in adjacency.get(prev, set()):
+            current += 1
+            best = max(best, current)
+        else:
+            current = 1
+    return best
+
+
+def longest_path_neo(query: ConjunctiveQuery) -> Optional[Tuple[Variable, ...]]:
+    """The NEO whose consecutive-adjacency run is longest (§4.9 policy)."""
+    candidates = nested_elimination_orders(query)
+    if not candidates:
+        return None
+    adjacency = Hypergraph.of_query(query).primal_graph()
+    scored = [(_path_length(order, adjacency), order) for order in candidates]
+    scored.sort(key=lambda item: (-item[0], [v.name for v in item[1]]))
+    return scored[0][1]
+
+
+# ----------------------------------------------------------------------
+# Heuristic orders for cyclic queries
+# ----------------------------------------------------------------------
+def _greedy_connected_order(query: ConjunctiveQuery) -> Tuple[Variable, ...]:
+    """A connectivity-first heuristic order for cyclic queries.
+
+    Start from the variable covered by the most atoms (cheapest to intersect
+    first) and repeatedly append the unordered variable sharing the most
+    atoms with the already-ordered prefix, breaking ties by atom coverage and
+    then name.  This mirrors what practical WCOJ systems do when no NEO
+    exists.
+    """
+    variables = list(query.variables)
+    if not variables:
+        raise QueryError("query has no variables")
+    coverage = {v: len(query.atoms_with(v)) for v in variables}
+    adjacency = Hypergraph.of_query(query).primal_graph()
+
+    first = max(variables, key=lambda v: (coverage[v], -variables.index(v)))
+    order: List[Variable] = [first]
+    remaining = [v for v in variables if v != first]
+    while remaining:
+        def score(v: Variable) -> Tuple[int, int, str]:
+            shared = sum(1 for u in order if u in adjacency.get(v, set()))
+            return (shared, coverage[v], v.name)
+
+        nxt = max(remaining, key=score)
+        order.append(nxt)
+        remaining.remove(nxt)
+    return tuple(order)
+
+
+# ----------------------------------------------------------------------
+# Public selection entry point
+# ----------------------------------------------------------------------
+def select_gao(query: ConjunctiveQuery, policy: str = "auto") -> GAOChoice:
+    """Select a global attribute order for ``query``.
+
+    Policies
+    --------
+    ``"auto"``
+        Longest-path NEO when the query is β-acyclic, otherwise the greedy
+        connectivity heuristic (used together with Idea 7).
+    ``"neo"``
+        Any NEO; raises :class:`QueryError` if the query is β-cyclic.
+    ``"longest-path-neo"``
+        The §4.9 policy; raises if the query is β-cyclic.
+    ``"first-occurrence"``
+        The order in which variables first appear in the query text.
+    ``"greedy"``
+        The connectivity heuristic regardless of acyclicity.
+    """
+    if policy in ("auto",):
+        neo = longest_path_neo(query)
+        if neo is not None:
+            return GAOChoice(order=neo, is_neo=True, policy="longest-path-neo")
+        return GAOChoice(order=_greedy_connected_order(query), is_neo=False,
+                         policy="greedy")
+    if policy == "neo":
+        neo = nested_elimination_order(query)
+        if neo is None:
+            raise QueryError("query is beta-cyclic: no nested elimination order")
+        return GAOChoice(order=neo, is_neo=True, policy="neo")
+    if policy == "longest-path-neo":
+        neo = longest_path_neo(query)
+        if neo is None:
+            raise QueryError("query is beta-cyclic: no nested elimination order")
+        return GAOChoice(order=neo, is_neo=True, policy="longest-path-neo")
+    if policy == "first-occurrence":
+        order = tuple(query.variables)
+        return GAOChoice(order=order, is_neo=is_nested_elimination_order(query, order),
+                         policy="first-occurrence")
+    if policy == "greedy":
+        order = _greedy_connected_order(query)
+        return GAOChoice(order=order, is_neo=is_nested_elimination_order(query, order),
+                         policy="greedy")
+    raise QueryError(f"unknown GAO policy {policy!r}")
+
+
+def gao_from_names(query: ConjunctiveQuery, names: Sequence[str]) -> GAOChoice:
+    """Build an explicit GAO from attribute names (used by the Table 4 bench)."""
+    by_name = {v.name: v for v in query.variables}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise QueryError(f"unknown attributes in GAO: {missing}")
+    if len(names) != len(query.variables):
+        raise QueryError(
+            f"GAO must mention every variable exactly once "
+            f"({len(names)} given, {len(query.variables)} needed)"
+        )
+    order = tuple(by_name[name] for name in names)
+    return GAOChoice(order=order, is_neo=is_nested_elimination_order(query, order),
+                     policy="explicit")

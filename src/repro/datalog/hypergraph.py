@@ -1,0 +1,355 @@
+"""Query hypergraphs, acyclicity analysis, and join trees.
+
+The structure of a join query ``Q`` is the hypergraph ``H(Q) = (V, E)``
+whose vertices are the query variables and whose hyperedges are the
+variable sets of the atoms.  Two notions of acyclicity matter for the
+paper:
+
+* **α-acyclicity** — the classical notion under which the Yannakakis
+  algorithm runs in linear time.  Tested with the GYO reduction, which also
+  yields a join tree.
+* **β-acyclicity** — the stronger notion required for Minesweeper's
+  instance-optimality guarantee.  A hypergraph is β-acyclic iff vertices can
+  be repeatedly eliminated in *nest-point* order (a vertex is a nest point
+  when the edges containing it form a chain under inclusion).  The reverse
+  of such an elimination order is exactly the *nested elimination order*
+  (NEO) that Minesweeper wants as its global attribute order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable
+
+
+Edge = FrozenSet[Variable]
+
+
+@dataclass(frozen=True)
+class JoinTreeNode:
+    """A node of a join tree: one hyperedge plus the indexes of its children."""
+
+    edge_index: int
+    children: Tuple[int, ...] = ()
+
+
+@dataclass
+class JoinTree:
+    """A join tree over the hyperedges of an α-acyclic hypergraph.
+
+    ``parent[i]`` is the parent edge index of edge ``i`` (or ``None`` for the
+    root).  The tree satisfies the running-intersection property: for every
+    variable, the edges containing it form a connected subtree.
+    """
+
+    edges: List[Edge]
+    parent: Dict[int, Optional[int]]
+    root: int
+
+    def children_of(self, index: int) -> List[int]:
+        """Return the child edge indexes of ``index``."""
+        return [i for i, p in self.parent.items() if p == index]
+
+    def postorder(self) -> List[int]:
+        """Edge indexes in post-order (children before parents)."""
+        order: List[int] = []
+        visited: Set[int] = set()
+
+        def visit(node: int) -> None:
+            visited.add(node)
+            for child in self.children_of(node):
+                if child not in visited:
+                    visit(child)
+            order.append(node)
+
+        visit(self.root)
+        # Disconnected components (cross products) hang off nothing; visit them
+        # too so that semijoin passes see every edge.
+        for index in range(len(self.edges)):
+            if index not in visited:
+                visit(index)
+        return order
+
+
+class Hypergraph:
+    """The hypergraph ``H(Q)`` of a conjunctive query.
+
+    The hypergraph keeps one hyperedge *per atom* (not per distinct variable
+    set) so that edge indexes line up with atom indexes; duplicate variable
+    sets are common in graph patterns (e.g. two ``edge`` atoms sharing both
+    endpoints never happens, but unary sample relations can coincide with
+    projections of binary ones).
+    """
+
+    def __init__(self, vertices: Sequence[Variable], edges: Sequence[Iterable[Variable]]):
+        self.vertices: Tuple[Variable, ...] = tuple(vertices)
+        self.edges: List[Edge] = [frozenset(edge) for edge in edges]
+        vertex_set = set(self.vertices)
+        for edge in self.edges:
+            extra = edge - vertex_set
+            if extra:
+                raise QueryError(
+                    f"hyperedge {sorted(v.name for v in edge)} mentions unknown "
+                    f"vertices {sorted(v.name for v in extra)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_query(cls, query: ConjunctiveQuery) -> "Hypergraph":
+        """Build the hypergraph of ``query`` (one edge per atom)."""
+        edges = [set(atom.variables) for atom in query.atoms]
+        return cls(query.variables, edges)
+
+    # ------------------------------------------------------------------
+    # Simple structure
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edges_with(self, vertex: Variable) -> List[Edge]:
+        """All hyperedges containing ``vertex``."""
+        return [edge for edge in self.edges if vertex in edge]
+
+    def primal_graph(self) -> Dict[Variable, Set[Variable]]:
+        """The primal (Gaifman) graph: vertices adjacent iff they co-occur."""
+        adjacency: Dict[Variable, Set[Variable]] = {v: set() for v in self.vertices}
+        for edge in self.edges:
+            for u in edge:
+                for v in edge:
+                    if u != v:
+                        adjacency[u].add(v)
+        return adjacency
+
+    def is_connected(self) -> bool:
+        """True if the primal graph is connected (no cross products)."""
+        if not self.vertices:
+            return True
+        adjacency = self.primal_graph()
+        seen: Set[Variable] = set()
+        stack = [self.vertices[0]]
+        while stack:
+            vertex = stack.pop()
+            if vertex in seen:
+                continue
+            seen.add(vertex)
+            stack.extend(adjacency[vertex] - seen)
+        return len(seen) == len(self.vertices)
+
+    def connected_components(self) -> List[Set[Variable]]:
+        """Connected components of the primal graph."""
+        adjacency = self.primal_graph()
+        remaining = set(self.vertices)
+        components: List[Set[Variable]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component: Set[Variable] = set()
+            stack = [start]
+            while stack:
+                vertex = stack.pop()
+                if vertex in component:
+                    continue
+                component.add(vertex)
+                stack.extend(adjacency[vertex] - component)
+            components.append(component)
+            remaining -= component
+        return components
+
+    # ------------------------------------------------------------------
+    # α-acyclicity (GYO reduction) and join trees
+    # ------------------------------------------------------------------
+    def gyo_reduction(self) -> Tuple[bool, Optional[JoinTree]]:
+        """Run the GYO ear-removal reduction.
+
+        Returns ``(is_alpha_acyclic, join_tree)``.  The join tree is only
+        returned when the hypergraph is α-acyclic; its edge indexes refer to
+        the original edge list of this hypergraph.
+        """
+        # Work on the distinct non-empty edges, remembering original indexes.
+        live: Dict[int, Set[Variable]] = {
+            i: set(edge) for i, edge in enumerate(self.edges) if edge
+        }
+        parent: Dict[int, Optional[int]] = {i: None for i in range(len(self.edges))}
+
+        def vertex_edge_count(vertex: Variable) -> int:
+            return sum(1 for edge in live.values() if vertex in edge)
+
+        changed = True
+        while changed and len(live) > 1:
+            changed = False
+            # Rule 1: remove vertices occurring in exactly one live edge.
+            for index, edge in list(live.items()):
+                isolated = {v for v in edge if vertex_edge_count(v) == 1}
+                if isolated:
+                    edge -= isolated
+                    changed = True
+            # Rule 2: remove edges contained in another live edge, recording
+            # the containing edge as the join-tree parent.
+            for index, edge in list(live.items()):
+                for other_index, other in live.items():
+                    if other_index == index:
+                        continue
+                    if edge <= other:
+                        parent[index] = other_index
+                        del live[index]
+                        changed = True
+                        break
+                if changed and index not in live:
+                    break
+
+        remaining = [index for index, edge in live.items() if edge]
+        if len(remaining) > 1:
+            return False, None
+
+        # α-acyclic: build the join tree.  The last surviving edge (or edge 0
+        # if everything emptied out) becomes the root; empty original edges
+        # attach to the root as trivial children.
+        if remaining:
+            root = remaining[0]
+        elif live:
+            root = next(iter(live))
+        else:
+            root = 0
+        for index in range(len(self.edges)):
+            if index != root and parent[index] is None:
+                parent[index] = root
+        parent[root] = None
+        tree = JoinTree(edges=list(self.edges), parent=parent, root=root)
+        return True, tree
+
+    def is_alpha_acyclic(self) -> bool:
+        """True iff the hypergraph is α-acyclic."""
+        acyclic, _ = self.gyo_reduction()
+        return acyclic
+
+    def join_tree(self) -> JoinTree:
+        """Return a join tree; raises :class:`QueryError` if not α-acyclic."""
+        acyclic, tree = self.gyo_reduction()
+        if not acyclic or tree is None:
+            raise QueryError("hypergraph is not alpha-acyclic; no join tree exists")
+        return tree
+
+    # ------------------------------------------------------------------
+    # β-acyclicity and nest points
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_nest_point(vertex: Variable, edges: Sequence[Set[Variable]]) -> bool:
+        """A vertex is a nest point if the edges containing it form a ⊆-chain."""
+        containing = [edge for edge in edges if vertex in edge]
+        containing.sort(key=len)
+        for first, second in zip(containing, containing[1:]):
+            if not first <= second:
+                return False
+        return True
+
+    def _live_edges(self) -> List[Set[Variable]]:
+        return [set(edge) for edge in self.edges if edge]
+
+    def nest_point_elimination(self) -> Optional[List[Variable]]:
+        """Greedily eliminate nest points.
+
+        Returns the elimination order (a list of all vertices) if the
+        hypergraph is β-acyclic, or ``None`` otherwise.  Greedy elimination
+        is complete for β-acyclicity: if a hypergraph has any nest point
+        elimination order, eliminating an arbitrary nest point first still
+        leaves a β-acyclic hypergraph.
+        """
+        edges = self._live_edges()
+        remaining = list(self.vertices)
+        order: List[Variable] = []
+        while remaining:
+            nest = None
+            for vertex in remaining:
+                if self._is_nest_point(vertex, edges):
+                    nest = vertex
+                    break
+            if nest is None:
+                return None
+            order.append(nest)
+            remaining.remove(nest)
+            edges = [edge - {nest} for edge in edges]
+            edges = [edge for edge in edges if edge]
+        return order
+
+    def is_beta_acyclic(self) -> bool:
+        """True iff the hypergraph is β-acyclic."""
+        return self.nest_point_elimination() is not None
+
+    def all_nest_point_orders(self, limit: int = 5000) -> List[List[Variable]]:
+        """Enumerate nest-point elimination orders (bounded by ``limit``).
+
+        Benchmark queries have at most seven variables, so exhaustive
+        enumeration is cheap; the limit is a safety valve for adversarial
+        inputs.
+        """
+        results: List[List[Variable]] = []
+
+        def recurse(edges: List[Set[Variable]], remaining: List[Variable],
+                    prefix: List[Variable]) -> None:
+            if len(results) >= limit:
+                return
+            if not remaining:
+                results.append(list(prefix))
+                return
+            for vertex in remaining:
+                if not self._is_nest_point(vertex, edges):
+                    continue
+                next_edges = [edge - {vertex} for edge in edges]
+                next_edges = [edge for edge in next_edges if edge]
+                next_remaining = [v for v in remaining if v != vertex]
+                prefix.append(vertex)
+                recurse(next_edges, next_remaining, prefix)
+                prefix.pop()
+                if len(results) >= limit:
+                    return
+
+        recurse(self._live_edges(), list(self.vertices), [])
+        return results
+
+    # ------------------------------------------------------------------
+    # Sub-hypergraphs
+    # ------------------------------------------------------------------
+    def restrict_to_edges(self, indexes: Sequence[int]) -> "Hypergraph":
+        """The sub-hypergraph induced by the given edge indexes."""
+        selected = [self.edges[i] for i in indexes]
+        vertices = [v for v in self.vertices if any(v in edge for edge in selected)]
+        return Hypergraph(vertices, selected)
+
+    def __repr__(self) -> str:
+        edges = [
+            "{" + ",".join(sorted(v.name for v in edge)) + "}" for edge in self.edges
+        ]
+        return f"Hypergraph(vertices={[v.name for v in self.vertices]}, edges={edges})"
+
+
+@dataclass
+class AcyclicityReport:
+    """Summary of the structural analysis of a query used by the planner."""
+
+    alpha_acyclic: bool
+    beta_acyclic: bool
+    join_tree: Optional[JoinTree] = None
+    nest_point_order: Optional[List[Variable]] = field(default=None)
+
+
+def analyse(query: ConjunctiveQuery) -> AcyclicityReport:
+    """Run the full acyclicity analysis used by algorithm selection."""
+    hypergraph = Hypergraph.of_query(query)
+    alpha, tree = hypergraph.gyo_reduction()
+    nest_order = hypergraph.nest_point_elimination()
+    return AcyclicityReport(
+        alpha_acyclic=alpha,
+        beta_acyclic=nest_order is not None,
+        join_tree=tree,
+        nest_point_order=nest_order,
+    )

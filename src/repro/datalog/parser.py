@@ -1,0 +1,202 @@
+"""A small parser for textual conjunctive queries.
+
+The syntax follows the Datalog-ish form the paper uses for its workload::
+
+    edge(a, b), edge(b, c), edge(a, c), a < b < c
+    v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)
+
+Grammar (informal)::
+
+    query      := item ("," item)*
+    item       := atom | comparison_chain
+    atom       := NAME "(" term ("," term)* ")"
+    term       := NAME | INTEGER
+    comparison_chain := term (OP term)+        # "a < b < c" expands pairwise
+    OP         := "<" | "<=" | ">" | ">=" | "=" | "!="
+
+Lower-case identifiers are variables; integers are constants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParseError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Constant, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<int>\d+)
+  | (?P<op><=|>=|!=|<|>|=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    """A lexed token with a kind, a value, and a source position."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r}, {self.pos})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("ws", "dot"):
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[_Token], text: str) -> None:
+        self._tokens = list(tokens)
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of query: {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} at position {token.pos}, got {token.value!r}"
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Tuple[List[Atom], List[ComparisonAtom]]:
+        atoms: List[Atom] = []
+        filters: List[ComparisonAtom] = []
+        while self._peek() is not None:
+            item = self._parse_item()
+            if isinstance(item, Atom):
+                atoms.append(item)
+            else:
+                filters.extend(item)
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind != "comma":
+                raise ParseError(
+                    f"expected ',' at position {token.pos}, got {token.value!r}"
+                )
+            self._advance()
+        return atoms, filters
+
+    def _parse_item(self) -> Union[Atom, List[ComparisonAtom]]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("empty query item")
+        if token.kind == "name":
+            nxt = (
+                self._tokens[self._index + 1]
+                if self._index + 1 < len(self._tokens)
+                else None
+            )
+            if nxt is not None and nxt.kind == "lparen":
+                return self._parse_atom()
+        return self._parse_comparison_chain()
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("name").value
+        self._expect("lparen")
+        terms: List[Term] = [self._parse_term()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._advance()
+            terms.append(self._parse_term())
+        self._expect("rparen")
+        return Atom(name, terms)
+
+    def _parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "name":
+            return Variable(token.value)
+        if token.kind == "int":
+            return Constant(int(token.value))
+        raise ParseError(
+            f"expected a variable or integer at position {token.pos}, "
+            f"got {token.value!r}"
+        )
+
+    def _parse_comparison_chain(self) -> List[ComparisonAtom]:
+        terms: List[Term] = [self._parse_term()]
+        ops: List[str] = []
+        while self._peek() is not None and self._peek().kind == "op":
+            ops.append(self._advance().value)
+            terms.append(self._parse_term())
+        if not ops:
+            token = self._peek()
+            pos = token.pos if token is not None else len(self._text)
+            raise ParseError(f"expected a comparison operator at position {pos}")
+        # "a < b < c" expands to the pairwise comparisons a < b and b < c.
+        return [
+            ComparisonAtom(terms[i], ops[i], terms[i + 1]) for i in range(len(ops))
+        ]
+
+
+def parse_query(text: str, head: Optional[Sequence[str]] = None) -> ConjunctiveQuery:
+    """Parse a textual conjunctive query.
+
+    Parameters
+    ----------
+    text:
+        The query body, e.g. ``"edge(a,b), edge(b,c), edge(a,c), a<b<c"``.
+    head:
+        Optional list of output variable names.  Defaults to all variables.
+
+    Returns
+    -------
+    ConjunctiveQuery
+        The parsed query.
+
+    Examples
+    --------
+    >>> q = parse_query("edge(a, b), edge(b, c), edge(a, c), a < b < c")
+    >>> q.num_atoms, q.num_variables, len(q.filters)
+    (3, 3, 2)
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("query text is empty")
+    atoms, filters = _Parser(tokens, text).parse()
+    if not atoms:
+        raise ParseError("query contains no relational atoms")
+    head_vars = [Variable(name) for name in head] if head is not None else None
+    return ConjunctiveQuery(atoms, filters, head_vars)

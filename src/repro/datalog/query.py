@@ -1,0 +1,167 @@
+"""Conjunctive queries: the join queries evaluated by every algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.terms import Constant, Variable, is_variable
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A natural-join query ``Q = R_1 ⋈ R_2 ⋈ ... ⋈ R_m`` plus filters.
+
+    Attributes
+    ----------
+    atoms:
+        The relational atoms of the query body.  Repeated relation names
+        (self-joins) are allowed and are the norm for graph patterns.
+    filters:
+        Comparison atoms (e.g. ``a < b``) applied to the join result.
+        Following the paper these are used for symmetry breaking on cliques
+        and cycles.
+    head:
+        The output variables.  ``None`` means "all variables" (a full join).
+        Benchmarks in the paper run every query as a count, which is
+        insensitive to the head projection as long as the head covers all
+        variables; we keep the head for completeness of the API.
+    """
+
+    atoms: Tuple[Atom, ...]
+    filters: Tuple[ComparisonAtom, ...] = ()
+    head: Optional[Tuple[Variable, ...]] = None
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        filters: Sequence[ComparisonAtom] = (),
+        head: Optional[Sequence[Variable]] = None,
+    ) -> None:
+        if not atoms:
+            raise QueryError("a conjunctive query needs at least one atom")
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "filters", tuple(filters))
+        object.__setattr__(self, "head", tuple(head) if head is not None else None)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables of the query in order of first occurrence (vars(Q))."""
+        seen: List[Variable] = []
+        for atom in self.atoms:
+            for var in atom.variables:
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Distinct relation names referenced by the query, in first-use order."""
+        seen: List[str] = []
+        for atom in self.atoms:
+            if atom.name not in seen:
+                seen.append(atom.name)
+        return tuple(seen)
+
+    @property
+    def num_variables(self) -> int:
+        """n = |vars(Q)|."""
+        return len(self.variables)
+
+    @property
+    def num_atoms(self) -> int:
+        """m = |atoms(Q)|."""
+        return len(self.atoms)
+
+    def atoms_with(self, variable: Variable) -> Tuple[Atom, ...]:
+        """Atoms whose variable set contains ``variable``."""
+        return tuple(a for a in self.atoms if variable in a.variables)
+
+    def filters_on(self, variables: Iterable[Variable]) -> Tuple[ComparisonAtom, ...]:
+        """Filters whose variables are all contained in ``variables``."""
+        bound = set(variables)
+        return tuple(f for f in self.filters if set(f.variables) <= bound)
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+    def with_filters(self, extra: Sequence[ComparisonAtom]) -> "ConjunctiveQuery":
+        """Return a copy of the query with additional comparison filters."""
+        return ConjunctiveQuery(self.atoms, self.filters + tuple(extra), self.head)
+
+    def without_filters(self) -> "ConjunctiveQuery":
+        """Return a copy of the query with all comparison filters removed."""
+        return ConjunctiveQuery(self.atoms, (), self.head)
+
+    def restricted_to_atoms(self, atoms: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Return the subquery over ``atoms`` keeping only applicable filters."""
+        sub_vars = set()
+        for atom in atoms:
+            sub_vars.update(atom.variables)
+        filters = tuple(f for f in self.filters if set(f.variables) <= sub_vars)
+        return ConjunctiveQuery(atoms, filters)
+
+    # ------------------------------------------------------------------
+    # Validation / bookkeeping
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        all_vars = set(self.variables)
+        for flt in self.filters:
+            for var in flt.variables:
+                if var not in all_vars:
+                    raise QueryError(
+                        f"filter {flt} mentions variable {var} that does not "
+                        f"occur in any atom"
+                    )
+        if self.head is not None:
+            for var in self.head:
+                if var not in all_vars:
+                    raise QueryError(
+                        f"head variable {var} does not occur in any atom"
+                    )
+
+    def arity_map(self) -> Dict[str, int]:
+        """Map each relation name to its arity, checking consistency."""
+        arities: Dict[str, int] = {}
+        for atom in self.atoms:
+            prev = arities.get(atom.name)
+            if prev is None:
+                arities[atom.name] = atom.arity
+            elif prev != atom.arity:
+                raise QueryError(
+                    f"relation {atom.name!r} used with arities {prev} and "
+                    f"{atom.arity}"
+                )
+        return arities
+
+    def constant_positions(self) -> Dict[int, Tuple[int, Constant]]:
+        """Map atom index -> (position, constant) for every constant argument."""
+        out: Dict[int, Tuple[int, Constant]] = {}
+        for i, atom in enumerate(self.atoms):
+            for pos, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    out[i] = (pos, term)
+        return out
+
+    def has_constants(self) -> bool:
+        """Return True if any atom argument is a constant."""
+        return any(
+            not is_variable(term) for atom in self.atoms for term in atom.terms
+        )
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms] + [str(f) for f in self.filters]
+        body = ", ".join(parts)
+        if self.head is None:
+            return body
+        head = ", ".join(str(v) for v in self.head)
+        return f"({head}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({list(self.atoms)!r}, filters={list(self.filters)!r})"

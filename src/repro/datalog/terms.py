@@ -1,0 +1,63 @@
+"""Terms appearing in conjunctive-query atoms: variables and constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A named query variable, e.g. ``a`` in ``edge(a, b)``.
+
+    Variables are compared and hashed by name, so two occurrences of the
+    same name in a query refer to the same logical variable.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """An integer constant appearing in an atom, e.g. ``edge(a, 7)``.
+
+    All domain values in this library are non-negative integers (node
+    identifiers), matching the paper's treatment of the output space as a
+    subset of the natural numbers.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise TypeError(f"constant value must be an int, got {self.value!r}")
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+Term = Union[Variable, Constant]
+"""A term is either a :class:`Variable` or a :class:`Constant`."""
+
+
+def is_variable(term: Term) -> bool:
+    """Return True if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)

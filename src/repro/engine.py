@@ -1,0 +1,210 @@
+"""The query-engine façade: one entry point over every join algorithm.
+
+:class:`QueryEngine` owns a registry of algorithm factories keyed by the
+system names used throughout the paper's tables (``lb/lftj``, ``lb/ms``,
+``psql``, ``monetdb``, ``graphlab``, ...), runs queries with an optional
+soft timeout, and returns structured :class:`ExecutionResult` records that
+the benchmark harness aggregates into paper-style tables.
+
+The engine also implements the automatic algorithm selection a
+general-purpose system would apply (``algorithm="auto"``): Minesweeper for
+β-acyclic queries (where it is instance optimal), LFTJ otherwise — which is
+exactly the "summary" recommendation of §5.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, TimeoutExceeded
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.parser import parse_query
+from repro.datalog.query import ConjunctiveQuery
+from repro.joins.base import JoinAlgorithm
+from repro.joins.columnar import ColumnAtATimeJoin
+from repro.joins.generic import GenericJoin
+from repro.joins.graph_engine import GraphEngine
+from repro.joins.hybrid import HybridMinesweeperLeapfrog
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.joins.minesweeper import MinesweeperJoin, MinesweeperOptions
+from repro.joins.minesweeper.counting import SharingMinesweeperCounter
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.joins.pairwise import PairwiseHashJoin
+from repro.joins.yannakakis import YannakakisJoin
+from repro.storage.database import Database
+from repro.util import TimeBudget
+
+AlgorithmFactory = Callable[[Optional[TimeBudget]], JoinAlgorithm]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one query execution."""
+
+    algorithm: str
+    query: str
+    count: Optional[int]
+    seconds: float
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.timed_out and self.error is None
+
+    def cell(self, precision: int = 1) -> str:
+        """The paper-style table cell: seconds, or "-" for a timeout/error."""
+        if not self.succeeded:
+            return "-"
+        return f"{self.seconds:.{precision}f}"
+
+
+def _default_registry() -> Dict[str, AlgorithmFactory]:
+    return {
+        # The paper's system names.
+        "lb/lftj": lambda budget: LeapfrogTrieJoin(budget=budget),
+        "lb/ms": lambda budget: MinesweeperJoin(budget=budget),
+        "lb/hybrid": lambda budget: HybridMinesweeperLeapfrog(budget=budget),
+        "psql": lambda budget: PairwiseHashJoin(budget=budget),
+        "monetdb": lambda budget: ColumnAtATimeJoin(budget=budget),
+        "graphlab": lambda budget: GraphEngine(budget=budget),
+        # Library-internal aliases and extras.
+        "lftj": lambda budget: LeapfrogTrieJoin(budget=budget),
+        "ms": lambda budget: MinesweeperJoin(budget=budget),
+        "ms-count": lambda budget: SharingMinesweeperCounter(budget=budget),
+        "hybrid": lambda budget: HybridMinesweeperLeapfrog(budget=budget),
+        "generic": lambda budget: GenericJoin(budget=budget),
+        "pairwise": lambda budget: PairwiseHashJoin(budget=budget),
+        "columnar": lambda budget: ColumnAtATimeJoin(budget=budget),
+        "yannakakis": lambda budget: YannakakisJoin(budget=budget),
+        "naive": lambda budget: NaiveBacktrackingJoin(budget=budget),
+    }
+
+
+class QueryEngine:
+    """Run conjunctive queries with a selectable join algorithm.
+
+    Parameters
+    ----------
+    database:
+        The catalog of relations to query.
+    timeout:
+        Default soft timeout in seconds applied to every execution (the
+        paper uses 1800 s); ``None`` disables it.
+    """
+
+    def __init__(self, database: Database,
+                 timeout: Optional[float] = None) -> None:
+        self.database = database
+        self.timeout = timeout
+        self._registry: Dict[str, AlgorithmFactory] = _default_registry()
+
+    # ------------------------------------------------------------------
+    # Registry management
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: AlgorithmFactory,
+                 replace: bool = False) -> None:
+        """Add a custom algorithm under ``name``."""
+        if name in self._registry and not replace:
+            raise ExecutionError(f"algorithm {name!r} is already registered")
+        self._registry[name] = factory
+
+    def algorithms(self) -> List[str]:
+        """The registered algorithm names, sorted."""
+        return sorted(self._registry)
+
+    def make_algorithm(self, name: str,
+                       budget: Optional[TimeBudget] = None) -> JoinAlgorithm:
+        """Instantiate a registered algorithm."""
+        if name == "auto":
+            raise ExecutionError(
+                "resolve 'auto' with select_algorithm(query) before instantiation"
+            )
+        factory = self._registry.get(name)
+        if factory is None:
+            known = ", ".join(self.algorithms())
+            raise ExecutionError(f"unknown algorithm {name!r}; known: {known}")
+        return factory(budget)
+
+    # ------------------------------------------------------------------
+    # Algorithm selection
+    # ------------------------------------------------------------------
+    def select_algorithm(self, query: ConjunctiveQuery) -> str:
+        """The automatic choice: Minesweeper when β-acyclic, LFTJ otherwise."""
+        hypergraph = Hypergraph.of_query(query)
+        return "ms" if hypergraph.is_beta_acyclic() else "lftj"
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _resolve(self, query) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        return parse_query(str(query))
+
+    def count(self, query, algorithm: str = "auto",
+              timeout: Optional[float] = None) -> int:
+        """The number of output tuples; raises on timeout or error."""
+        resolved = self._resolve(query)
+        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        budget = TimeBudget(timeout if timeout is not None else self.timeout)
+        return self.make_algorithm(name, budget).count(self.database, resolved)
+
+    def bindings(self, query, algorithm: str = "auto",
+                 timeout: Optional[float] = None):
+        """Iterate the output bindings of ``query``."""
+        resolved = self._resolve(query)
+        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        budget = TimeBudget(timeout if timeout is not None else self.timeout)
+        return self.make_algorithm(name, budget).enumerate_bindings(
+            self.database, resolved
+        )
+
+    def tuples(self, query, algorithm: str = "auto",
+               timeout: Optional[float] = None) -> List[Tuple[int, ...]]:
+        """The sorted output tuples in first-occurrence variable order."""
+        resolved = self._resolve(query)
+        variables = resolved.variables
+        rows = [
+            tuple(binding[v] for v in variables)
+            for binding in self.bindings(resolved, algorithm=algorithm,
+                                         timeout=timeout)
+        ]
+        rows.sort()
+        return rows
+
+    def execute(self, query, algorithm: str = "auto",
+                timeout: Optional[float] = None) -> ExecutionResult:
+        """Run a count query and capture timing, timeouts, and errors."""
+        resolved = self._resolve(query)
+        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        effective_timeout = timeout if timeout is not None else self.timeout
+        budget = TimeBudget(effective_timeout)
+        started = time.perf_counter()
+        try:
+            algorithm_instance = self.make_algorithm(name, budget)
+            count = algorithm_instance.count(self.database, resolved)
+            return ExecutionResult(
+                algorithm=name,
+                query=str(resolved),
+                count=count,
+                seconds=time.perf_counter() - started,
+            )
+        except TimeoutExceeded:
+            return ExecutionResult(
+                algorithm=name,
+                query=str(resolved),
+                count=None,
+                seconds=time.perf_counter() - started,
+                timed_out=True,
+            )
+        except ExecutionError as error:
+            return ExecutionResult(
+                algorithm=name,
+                query=str(resolved),
+                count=None,
+                seconds=time.perf_counter() - started,
+                error=str(error),
+            )

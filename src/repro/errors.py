@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing unrelated
+exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed or cannot be analysed."""
+
+
+class ParseError(QueryError):
+    """The textual query could not be parsed."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is inconsistent with how it is being used."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad index, bad arity, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A join algorithm was asked to do something it does not support."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class TimeoutExceeded(ReproError):
+    """A benchmark run exceeded its soft time budget."""
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        super().__init__(
+            f"execution exceeded soft timeout: {elapsed:.3f}s > {budget:.3f}s"
+        )
+        self.elapsed = elapsed
+        self.budget = budget

@@ -1,0 +1,226 @@
+"""The Minesweeper + Leapfrog Triejoin hybrid of §4.12.
+
+Lollipop queries concatenate a path (where Minesweeper's caching wins) with
+a clique (where LFTJ's simultaneous narrowing wins); the paper's hybrid
+runs Minesweeper on the path part and LFTJ on the clique part, and Table 7
+shows it beating both pure algorithms.
+
+The split is computed structurally rather than from the query name:
+
+* nest-point elimination is run as far as it goes; the vertices that cannot
+  be eliminated form the *cyclic core* of the query;
+* atoms whose variables all lie inside the core form the **clique part**,
+  everything else the **path part** (which is β-acyclic by construction);
+* Minesweeper enumerates the path part; for every distinct assignment of
+  the *interface variables* (core variables touched by the path part), the
+  clique part — with those variables frozen to constants — is evaluated by
+  LFTJ exactly once and cached, which is the redundancy-avoidance the
+  lollipop workload rewards.
+
+When the query has no cyclic core the hybrid degenerates to plain
+Minesweeper; when it has no acyclic part it degenerates to plain LFTJ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Constant, Variable, is_variable
+from repro.joins.base import Binding, JoinAlgorithm, filters_satisfied
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.joins.minesweeper.engine import MinesweeperJoin, MinesweeperOptions
+from repro.storage.database import Database
+from repro.util import TimeBudget
+
+
+def cyclic_core(query: ConjunctiveQuery) -> Set[Variable]:
+    """Variables that survive exhaustive nest-point elimination.
+
+    The result is empty exactly when the query is β-acyclic.
+    """
+    hypergraph = Hypergraph.of_query(query)
+    edges: List[Set[Variable]] = [set(edge) for edge in hypergraph.edges if edge]
+    remaining: Set[Variable] = set(hypergraph.vertices)
+    changed = True
+    while changed:
+        changed = False
+        for vertex in sorted(remaining, key=lambda v: v.name):
+            if Hypergraph._is_nest_point(vertex, edges):
+                remaining.discard(vertex)
+                edges = [edge - {vertex} for edge in edges]
+                edges = [edge for edge in edges if edge]
+                changed = True
+                break
+    return remaining
+
+
+def split_query(query: ConjunctiveQuery
+                ) -> Tuple[List[int], List[int], Set[Variable]]:
+    """Partition atom indexes into (path part, clique part, interface vars)."""
+    core = cyclic_core(query)
+    clique_atoms = [
+        index for index, atom in enumerate(query.atoms)
+        if atom.variables and set(atom.variables) <= core
+    ]
+    path_atoms = [index for index in range(len(query.atoms))
+                  if index not in clique_atoms]
+    path_variables: Set[Variable] = set()
+    for index in path_atoms:
+        path_variables.update(query.atoms[index].variables)
+    interface = core & path_variables
+    return path_atoms, clique_atoms, interface
+
+
+class HybridMinesweeperLeapfrog(JoinAlgorithm):
+    """Minesweeper on the acyclic part, LFTJ on the cyclic core (§4.12)."""
+
+    name = "hybrid"
+
+    def __init__(self, budget: Optional[TimeBudget] = None,
+                 options: Optional[MinesweeperOptions] = None) -> None:
+        super().__init__(budget)
+        self.options = options or MinesweeperOptions()
+        self.last_clique_cache_hits = 0
+        self.last_clique_evaluations = 0
+
+    # ------------------------------------------------------------------
+    def enumerate_bindings(self, database: Database,
+                           query: ConjunctiveQuery) -> Iterator[Binding]:
+        self._check_supported(query)
+        path_atoms, clique_atoms, interface = split_query(query)
+
+        if not clique_atoms:
+            engine = MinesweeperJoin(budget=self.budget, options=self.options)
+            yield from engine.enumerate_bindings(database, query)
+            return
+        if not path_atoms:
+            engine = LeapfrogTrieJoin(budget=self.budget)
+            yield from engine.enumerate_bindings(database, query)
+            return
+
+        path_query, clique_query, cross_filters = self._split_filters(
+            query, path_atoms, clique_atoms
+        )
+        clique_variables = clique_query.variables
+        interface_order = sorted(interface, key=lambda v: v.name)
+
+        minesweeper = MinesweeperJoin(budget=self.budget, options=self.options)
+        clique_cache: Dict[Tuple[int, ...], List[Dict[Variable, int]]] = {}
+        self.last_clique_cache_hits = 0
+        self.last_clique_evaluations = 0
+
+        for path_binding in minesweeper.enumerate_bindings(database, path_query):
+            self.budget.tick()
+            key = tuple(path_binding[v] for v in interface_order)
+            completions = clique_cache.get(key)
+            if completions is None:
+                completions = self._clique_completions(
+                    database, clique_query, interface_order, key
+                )
+                clique_cache[key] = completions
+                self.last_clique_evaluations += 1
+            else:
+                self.last_clique_cache_hits += 1
+            for clique_binding in completions:
+                merged = dict(path_binding)
+                merged.update(clique_binding)
+                if cross_filters and not filters_satisfied(merged, cross_filters):
+                    continue
+                yield merged
+
+    def count(self, database: Database, query: ConjunctiveQuery) -> int:
+        return sum(1 for _ in self.enumerate_bindings(database, query))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split_filters(query: ConjunctiveQuery, path_atoms: Sequence[int],
+                       clique_atoms: Sequence[int]
+                       ) -> Tuple[ConjunctiveQuery, ConjunctiveQuery,
+                                  Tuple[ComparisonAtom, ...]]:
+        """Build the two subqueries and collect filters that span both."""
+        path_atom_list = [query.atoms[i] for i in path_atoms]
+        clique_atom_list = [query.atoms[i] for i in clique_atoms]
+        path_variables: Set[Variable] = set()
+        for atom in path_atom_list:
+            path_variables.update(atom.variables)
+        clique_variables: Set[Variable] = set()
+        for atom in clique_atom_list:
+            clique_variables.update(atom.variables)
+
+        path_filters: List[ComparisonAtom] = []
+        clique_filters: List[ComparisonAtom] = []
+        cross_filters: List[ComparisonAtom] = []
+        for flt in query.filters:
+            needed = set(flt.variables)
+            if needed <= path_variables:
+                path_filters.append(flt)
+            elif needed <= clique_variables:
+                clique_filters.append(flt)
+            else:
+                cross_filters.append(flt)
+        path_query = ConjunctiveQuery(path_atom_list, path_filters)
+        clique_query = ConjunctiveQuery(clique_atom_list, clique_filters)
+        return path_query, clique_query, tuple(cross_filters)
+
+    def _clique_completions(self, database: Database,
+                            clique_query: ConjunctiveQuery,
+                            interface_order: Sequence[Variable],
+                            key: Tuple[int, ...]) -> List[Dict[Variable, int]]:
+        """Evaluate the clique part with the interface variables frozen."""
+        substitution = dict(zip(interface_order, key))
+        bound_atoms: List[Atom] = []
+        for atom in clique_query.atoms:
+            terms = [
+                Constant(substitution[term]) if is_variable(term) and term in substitution
+                else term
+                for term in atom.terms
+            ]
+            bound_atoms.append(Atom(atom.name, terms))
+        free_variables = [
+            v for v in clique_query.variables if v not in substitution
+        ]
+        filters = [
+            flt for flt in clique_query.filters
+            if not set(flt.variables) <= set(substitution)
+        ]
+        # Filters entirely over interface variables are decided right now.
+        decided = [
+            flt for flt in clique_query.filters
+            if set(flt.variables) <= set(substitution)
+        ]
+        if any(not flt.evaluate(substitution) for flt in decided):
+            return []
+        if not free_variables:
+            # The clique part is fully determined by the interface values;
+            # check each ground atom directly.
+            for atom in bound_atoms:
+                relation = database.relation(atom.name)
+                row = tuple(term.value for term in atom.terms)  # type: ignore[union-attr]
+                if row not in relation:
+                    return []
+            return [dict(substitution)]
+        rewritten_filters = [self._rewrite_filter(flt, substitution) for flt in filters]
+        bound_query = ConjunctiveQuery(bound_atoms, rewritten_filters)
+        engine = LeapfrogTrieJoin(budget=self.budget)
+        completions: List[Dict[Variable, int]] = []
+        for binding in engine.enumerate_bindings(database, bound_query):
+            completion = {v: binding[v] for v in free_variables}
+            completion.update(substitution)
+            completions.append(completion)
+        return completions
+
+    @staticmethod
+    def _rewrite_filter(flt: ComparisonAtom,
+                        substitution: Dict[Variable, int]) -> ComparisonAtom:
+        """Replace interface variables inside a filter with constants."""
+        left = (Constant(substitution[flt.left])
+                if is_variable(flt.left) and flt.left in substitution else flt.left)
+        right = (Constant(substitution[flt.right])
+                 if is_variable(flt.right) and flt.right in substitution else flt.right)
+        return ComparisonAtom(left, flt.op, right)

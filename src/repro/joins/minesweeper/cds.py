@@ -1,0 +1,375 @@
+"""The Constraint Data Structure (CDS): a trie of patterns with interval lists.
+
+The CDS stores every gap box discovered so far and answers one question:
+*what is the next free tuple* — the lexicographically smallest point of the
+output space, at or after the current frontier, that is not covered by any
+stored gap box (Idea 2: the moving frontier).
+
+Structure (§4.3): a tree with one level per GAO attribute.  Each edge is
+labelled with a value or the wildcard ``*``; the labels along the path from
+the root identify a node's *pattern*.  Each node stores an
+:class:`~repro.joins.minesweeper.intervals.IntervalList`; an interval
+``(l, r)`` at a node with pattern ``p`` encodes the constraint
+``<p, (l, r), *, ..., *>``.
+
+``compute_free_tuple`` walks the attributes in GAO order.  At depth ``d``
+the constraints that can rule out values are exactly those stored at nodes
+whose pattern *generalizes* the current prefix ``(t_0, ..., t_{d-1})``; for
+β-acyclic queries evaluated under a nested elimination order those nodes
+form a chain (Proposition 4.2), which is what makes the interval caching of
+Idea 5 and the complete nodes of Idea 6 effective.  This implementation
+does not *require* the chain property: caching is applied only when the
+constraining nodes do form a chain (detected via their exact-position
+sets), so the data structure stays correct for arbitrary queries — exactly
+the robustness Idea 7 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError
+from repro.joins.minesweeper.constraints import WILDCARD, Constraint
+from repro.joins.minesweeper.intervals import (
+    NEG_INF,
+    POS_INF,
+    IntervalList,
+    interval_is_empty,
+)
+
+Number = Union[int, float]
+Label = Union[int, str]
+
+
+class CDSNode:
+    """One node of the constraint tree."""
+
+    __slots__ = ("label", "parent", "depth", "children", "intervals",
+                 "exact_positions", "exhaust_count", "complete")
+
+    def __init__(self, label: Optional[Label], parent: Optional["CDSNode"]) -> None:
+        self.label = label
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.children: Dict[Label, CDSNode] = {}
+        self.intervals = IntervalList()
+        # GAO positions at which the node's pattern has an exact value.
+        if parent is None:
+            self.exact_positions: frozenset = frozenset()
+        elif label == WILDCARD:
+            self.exact_positions = parent.exact_positions
+        else:
+            self.exact_positions = parent.exact_positions | {parent.depth}
+        # Idea 6 bookkeeping: a node becomes "complete" after the search has
+        # exhausted its level twice; from then on its own interval list is
+        # enough and the ping-pong over the chain can be skipped.
+        self.exhaust_count = 0
+        self.complete = False
+
+    def child(self, label: Label, create: bool = False) -> Optional["CDSNode"]:
+        """Return the child along ``label``, creating it when asked."""
+        node = self.children.get(label)
+        if node is None and create:
+            node = CDSNode(label, self)
+            self.children[label] = node
+        return node
+
+    def pattern(self) -> Tuple[Label, ...]:
+        """The labels from the root to this node (diagnostics and tests)."""
+        labels: List[Label] = []
+        node: Optional[CDSNode] = self
+        while node is not None and node.parent is not None:
+            labels.append(node.label)  # type: ignore[arg-type]
+            node = node.parent
+        return tuple(reversed(labels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CDSNode(pattern={self.pattern()}, intervals={self.intervals!r})"
+
+
+@dataclass
+class CDSStatistics:
+    """Counters describing the work done by the CDS (used by benchmarks)."""
+
+    constraints_inserted: int = 0
+    nodes_created: int = 0
+    cache_intervals_inserted: int = 0
+    truncations: int = 0
+    ping_pong_rounds: int = 0
+    complete_node_hits: int = 0
+    free_tuples_returned: int = 0
+
+
+class ConstraintTree:
+    """The CDS plus the moving frontier.
+
+    Parameters
+    ----------
+    width:
+        Number of GAO attributes ``n``.
+    enable_interval_caching:
+        Idea 5: insert the interval discovered by a ping-pong round into the
+        chain's bottom node so the work is never repeated.
+    enable_complete_nodes:
+        Idea 6: once a bottom node has been exhausted twice, trust its own
+        interval list and skip the ping-pong entirely.
+    """
+
+    def __init__(self, width: int,
+                 enable_interval_caching: bool = True,
+                 enable_complete_nodes: bool = True) -> None:
+        if width <= 0:
+            raise ExecutionError("CDS width must be positive")
+        self.width = width
+        self.root = CDSNode(None, None)
+        self.frontier: List[int] = [-1] * width
+        self.enable_interval_caching = enable_interval_caching
+        self.enable_complete_nodes = enable_complete_nodes
+        self.statistics = CDSStatistics()
+        self._node_count = 1
+
+    # ------------------------------------------------------------------
+    # Frontier management (Idea 2)
+    # ------------------------------------------------------------------
+    def set_frontier(self, values: Sequence[int]) -> None:
+        """Move the frontier; it must never move backwards lexicographically."""
+        candidate = list(values)
+        if len(candidate) != self.width:
+            raise ExecutionError(
+                f"frontier of length {len(candidate)} for width {self.width}"
+            )
+        if candidate < self.frontier:
+            raise ExecutionError("frontier may only move forward")
+        self.frontier = candidate
+
+    def advance_frontier_after_output(self) -> None:
+        """After reporting the current frontier as an output, step past it."""
+        self.frontier = list(self.frontier)
+        self.frontier[-1] += 1
+
+    # ------------------------------------------------------------------
+    # Constraint insertion
+    # ------------------------------------------------------------------
+    def insert_constraint(self, constraint: Constraint) -> None:
+        """Insert a gap box (Definition 4.1) into the tree."""
+        if constraint.width != self.width:
+            raise ExecutionError(
+                f"constraint width {constraint.width} != CDS width {self.width}"
+            )
+        if constraint.is_empty():
+            return
+        exact = dict(constraint.prefix)
+        node = self.root
+        for position in range(constraint.interval_position):
+            label: Label = exact.get(position, WILDCARD)
+            existed = label in node.children
+            node = node.child(label, create=True)  # type: ignore[assignment]
+            if not existed:
+                self._node_count += 1
+                self.statistics.nodes_created += 1
+        merged_low, merged_high = node.intervals.insert(constraint.low, constraint.high)
+        self.statistics.constraints_inserted += 1
+        # Point-list benefit (Idea 1): children whose label now lies strictly
+        # inside the merged interval are subsumed and can be pruned.
+        for label in list(node.children):
+            if isinstance(label, int) and merged_low < label < merged_high:
+                del node.children[label]
+
+    # ------------------------------------------------------------------
+    # computeFreeTuple (Algorithm 4, iterative form)
+    # ------------------------------------------------------------------
+    def compute_free_tuple(self) -> bool:
+        """Advance the frontier to the next free tuple.
+
+        Returns ``True`` when a free tuple was found (it is left in
+        ``self.frontier``); ``False`` when every tuple at or after the old
+        frontier is covered by stored constraints, i.e. the search is done.
+        """
+        width = self.width
+        t = list(self.frontier)
+        # generalization_stack[d] holds every CDS node at depth d whose
+        # pattern generalizes (t_0, ..., t_{d-1}).
+        generalization_stack: List[List[CDSNode]] = [[self.root]]
+        depth = 0
+        while True:
+            constrainers = [
+                node for node in generalization_stack[depth] if node.intervals
+            ]
+            start = t[depth]
+            value, blanket = self._get_free_value(start, constrainers)
+            if value == POS_INF:
+                if blanket is not None and not self._truncate(blanket):
+                    return False
+                # Backtrack: every value >= start at this level is ruled out
+                # for the current prefix.  When the whole level is dead
+                # (start == -1), bumping the immediately previous coordinate
+                # can loop forever if that coordinate does not even occur in
+                # the exhausting constraints; jump instead to the deepest
+                # coordinate the constrainers actually mention.
+                if start <= -1:
+                    relevant = -1
+                    for node in constrainers:
+                        if node.exact_positions:
+                            relevant = max(relevant, max(node.exact_positions))
+                    target = relevant
+                else:
+                    target = depth - 1
+                if target < 0:
+                    return False
+                del generalization_stack[target + 1:]
+                depth = target
+                t[depth] += 1
+                for i in range(depth + 1, width):
+                    t[i] = -1
+                continue
+            if value > t[depth]:
+                t[depth] = int(value)
+                for i in range(depth + 1, width):
+                    t[i] = -1
+            if depth == width - 1:
+                self.frontier = t
+                self.statistics.free_tuples_returned += 1
+                return True
+            # Descend: children reachable via the concrete value or a wildcard.
+            next_nodes: List[CDSNode] = []
+            for node in generalization_stack[depth]:
+                child = node.children.get(t[depth])
+                if child is not None:
+                    next_nodes.append(child)
+                child = node.children.get(WILDCARD)
+                if child is not None:
+                    next_nodes.append(child)
+            generalization_stack.append(next_nodes)
+            depth += 1
+
+    # ------------------------------------------------------------------
+    # getFreeValue (Algorithm 5) with Ideas 5 and 6
+    # ------------------------------------------------------------------
+    def _get_free_value(self, start: int,
+                        nodes: List[CDSNode]) -> Tuple[Number, Optional[CDSNode]]:
+        """Smallest value ``>= start`` not covered by any node in ``nodes``.
+
+        Returns ``(value, blanket)`` where ``blanket`` is a node whose
+        intervals cover the whole line, if one exists (the caller then
+        truncates the CDS, Algorithm 6).
+        """
+        if not nodes:
+            return start, None
+        bottom = self._bottom_of_chain(nodes)
+
+        if (
+            self.enable_complete_nodes
+            and bottom is not None
+            and bottom.complete
+        ):
+            # Idea 6: the bottom node has seen everything; trust its list.
+            self.statistics.complete_node_hits += 1
+            value = bottom.intervals.next_free(start)
+            if value == POS_INF:
+                blanket = bottom if bottom.intervals.has_no_free_value() else None
+                return POS_INF, blanket
+            return value, None
+
+        value: Number = start
+        while True:
+            self.statistics.ping_pong_rounds += 1
+            round_start = value
+            for node in nodes:
+                value = node.intervals.next_free(value)
+                if value == POS_INF:
+                    self._record_exhaustion(bottom, start)
+                    blanket = next(
+                        (n for n in nodes if n.intervals.has_no_free_value()), None
+                    )
+                    return POS_INF, blanket
+            if value == round_start:
+                break
+        if (
+            self.enable_interval_caching
+            and bottom is not None
+            and not interval_is_empty(start - 1, value)
+        ):
+            # Idea 5: cache the whole skipped range in the bottom node so the
+            # next visit of this chain does not repeat the ping-pong.
+            bottom.intervals.insert(start - 1, value)
+            self.statistics.cache_intervals_inserted += 1
+        return value, None
+
+    def _record_exhaustion(self, bottom: Optional[CDSNode], start: int) -> None:
+        """Bookkeeping for Idea 6: cache the exhaustion and count it."""
+        if bottom is None:
+            return
+        if self.enable_interval_caching:
+            bottom.intervals.insert(start - 1, POS_INF)
+            self.statistics.cache_intervals_inserted += 1
+        bottom.exhaust_count += 1
+        if self.enable_complete_nodes and bottom.exhaust_count >= 2:
+            bottom.complete = True
+
+    @staticmethod
+    def _bottom_of_chain(nodes: List[CDSNode]) -> Optional[CDSNode]:
+        """The unique most-specialized node, or ``None`` if no chain exists.
+
+        All nodes generalize the same prefix, so node A specializes node B
+        exactly when A's exact-position set contains B's.  The bottom exists
+        iff one node's exact positions contain every other node's — which is
+        guaranteed for β-acyclic queries under a NEO (Proposition 4.2) and
+        checked dynamically otherwise.
+        """
+        if len(nodes) == 1:
+            return nodes[0]
+        bottom = max(nodes, key=lambda node: len(node.exact_positions))
+        for node in nodes:
+            if not node.exact_positions <= bottom.exact_positions:
+                return None
+        return bottom
+
+    # ------------------------------------------------------------------
+    # Truncation (Algorithm 6)
+    # ------------------------------------------------------------------
+    def _truncate(self, node: CDSNode) -> bool:
+        """Cut off a node whose intervals cover the whole line.
+
+        Walks towards the root until the first edge labelled with a concrete
+        value and rules that value out at the parent, so the search never
+        descends into this dead branch again.  Returns ``False`` when every
+        edge up to the root is a wildcard, meaning the entire remaining
+        output space is dead and the search can stop.
+        """
+        self.statistics.truncations += 1
+        current = node
+        while current.parent is not None:
+            label = current.label
+            if isinstance(label, int):
+                current.parent.intervals.insert(label - 1, label + 1)
+                return True
+            current = current.parent
+        # All-wildcard pattern with a blanket interval: nothing is free.
+        return False
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of allocated CDS nodes (root included)."""
+        return self._node_count
+
+    def covers(self, point: Sequence[int]) -> bool:
+        """True when ``point`` is inside some stored gap box (test helper)."""
+        if len(point) != self.width:
+            raise ExecutionError("point width mismatch")
+
+        def recurse(node: CDSNode, depth: int) -> bool:
+            if depth >= self.width:
+                return False
+            if node.intervals.covers(point[depth]):
+                return True
+            for label in (point[depth], WILDCARD):
+                child = node.children.get(label)
+                if child is not None and recurse(child, depth + 1):
+                    return True
+            return False
+
+        return recurse(self.root, 0)

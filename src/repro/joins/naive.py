@@ -1,0 +1,93 @@
+"""An obviously-correct backtracking evaluator used as the test oracle.
+
+The algorithm binds atoms one by one, scanning each atom's relation for
+tuples consistent with the current partial binding.  It is deliberately
+simple (no indexes beyond a per-atom scan, no planning) so that its
+correctness can be verified by inspection; every other algorithm in the
+library is cross-checked against it on randomized instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.joins.base import (
+    Binding,
+    JoinAlgorithm,
+    atom_variable_columns,
+    filters_satisfied,
+    resolve_atom_relation,
+)
+from repro.storage.database import Database
+
+
+class NaiveBacktrackingJoin(JoinAlgorithm):
+    """Reference evaluator: atom-at-a-time backtracking search."""
+
+    name = "naive"
+
+    @staticmethod
+    def _atom_order(query: ConjunctiveQuery, atom_relations) -> List[int]:
+        """Smallest-first ordering that prefers atoms touching bound variables."""
+        remaining = list(range(len(query.atoms)))
+        order: List[int] = []
+        bound: set = set()
+        while remaining:
+            connected = [
+                index for index in remaining
+                if bound & set(query.atoms[index].variables)
+            ]
+            pool = connected or remaining
+            nxt = min(pool, key=lambda index: (len(atom_relations[index]), index))
+            order.append(nxt)
+            remaining.remove(nxt)
+            bound.update(query.atoms[nxt].variables)
+        return order
+
+    def enumerate_bindings(self, database: Database,
+                           query: ConjunctiveQuery) -> Iterator[Binding]:
+        self._check_supported(query)
+        atom_relations = [resolve_atom_relation(database, atom) for atom in query.atoms]
+        atom_columns = [atom_variable_columns(atom) for atom in query.atoms]
+        # Order atoms smallest-first, preferring atoms that share a variable
+        # with the ones already placed so each new atom is constrained by the
+        # current partial binding.  This is an optimization only (any order
+        # is correct); without it tree-shaped queries degenerate into
+        # unconstrained cross products of the edge relation.
+        order = self._atom_order(query, atom_relations)
+        all_variables = query.variables
+
+        def extend(index: int, binding: Binding) -> Iterator[Binding]:
+            self.budget.tick()
+            if index == len(order):
+                if filters_satisfied(binding, query.filters):
+                    yield dict(binding)
+                return
+            atom_index = order[index]
+            relation = atom_relations[atom_index]
+            columns = atom_columns[atom_index]
+            for row in relation:
+                self.budget.tick()
+                extended = dict(binding)
+                consistent = True
+                for variable, column in columns:
+                    value = row[column]
+                    if variable in extended and extended[variable] != value:
+                        consistent = False
+                        break
+                    extended[variable] = value
+                if not consistent:
+                    continue
+                if not filters_satisfied(extended, query.filters):
+                    continue
+                yield from extend(index + 1, extended)
+
+        seen: set = set()
+        for binding in extend(0, {}):
+            key = tuple(binding[v] for v in all_variables)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield binding

@@ -1,0 +1,32 @@
+"""The benchmark query patterns of §5.1.
+
+:mod:`repro.queries.patterns` provides one builder per pattern the paper
+evaluates ({3,4}-clique, 4-cycle, {3,4}-path, {1,2}-tree, 2-comb,
+{2,3}-lollipop) plus a registry the benchmark harness iterates over.
+"""
+
+from repro.queries.patterns import (
+    PatternSpec,
+    QUERY_PATTERNS,
+    build_query,
+    clique_query,
+    comb_query,
+    cycle_query,
+    lollipop_query,
+    path_query,
+    pattern,
+    tree_query,
+)
+
+__all__ = [
+    "PatternSpec",
+    "QUERY_PATTERNS",
+    "build_query",
+    "clique_query",
+    "comb_query",
+    "cycle_query",
+    "lollipop_query",
+    "path_query",
+    "pattern",
+    "tree_query",
+]

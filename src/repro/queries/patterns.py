@@ -1,0 +1,290 @@
+"""Builders for every benchmark query pattern of §5.1.
+
+Each builder returns a :class:`~repro.datalog.query.ConjunctiveQuery` over
+the binary ``edge`` relation (and, where the paper's workload requires
+them, unary node-sample relations ``v1``, ``v2``, ...).  The Datalog text
+of every pattern matches the formulation given in the paper:
+
+* ``{3,4}-clique``   — every pair connected, ``a < b < c (< d)``;
+* ``4-cycle``        — ``edge(a,b), edge(b,c), edge(c,d), edge(a,d)``,
+  ``a < b < c < d``;
+* ``{3,4}-path``     — a path whose two endpoints are drawn from the node
+  samples ``v1`` and ``v2``;
+* ``{1,2}-tree``     — complete binary trees whose leaves come from
+  distinct samples;
+* ``2-comb``         — a left-deep binary tree with two sampled leaves;
+* ``{2,3}-lollipop`` — an ``i``-path (starting from sample ``v1``) glued to
+  an ``(i+1)``-clique.
+
+The :data:`QUERY_PATTERNS` registry records, for every pattern, which
+sample relations it needs and whether it is β-acyclic, which is what the
+benchmark harness and the engine's automatic algorithm selection consume.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable
+
+
+EDGE = "edge"
+_VARIABLE_NAMES = string.ascii_lowercase
+
+
+def _variables(count: int) -> List[Variable]:
+    if count > len(_VARIABLE_NAMES):
+        raise QueryError(f"patterns with more than {len(_VARIABLE_NAMES)} variables "
+                         f"are not supported")
+    return [Variable(name) for name in _VARIABLE_NAMES[:count]]
+
+
+def _edge(u: Variable, v: Variable, relation: str = EDGE) -> Atom:
+    return Atom(relation, (u, v))
+
+
+def _ordering_chain(variables: Sequence[Variable]) -> List[ComparisonAtom]:
+    """The symmetry-breaking chain ``v0 < v1 < ... < vk``."""
+    return [
+        ComparisonAtom(variables[i], "<", variables[i + 1])
+        for i in range(len(variables) - 1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Individual builders
+# ----------------------------------------------------------------------
+def clique_query(k: int, relation: str = EDGE,
+                 symmetry_breaking: bool = True) -> ConjunctiveQuery:
+    """The k-clique query (3-clique is the triangle query)."""
+    if k < 2:
+        raise QueryError("a clique needs at least two nodes")
+    variables = _variables(k)
+    atoms = [
+        _edge(variables[i], variables[j], relation)
+        for i in range(k) for j in range(i + 1, k)
+    ]
+    filters = _ordering_chain(variables) if symmetry_breaking else []
+    return ConjunctiveQuery(atoms, filters)
+
+
+def cycle_query(k: int, relation: str = EDGE,
+                symmetry_breaking: bool = True) -> ConjunctiveQuery:
+    """The k-cycle query; the paper benchmarks ``k = 4``.
+
+    Following the paper's formulation the symmetry-breaking filter is the
+    full chain ``a < b < c < d``.
+    """
+    if k < 3:
+        raise QueryError("a cycle needs at least three nodes")
+    variables = _variables(k)
+    atoms = [
+        _edge(variables[i], variables[i + 1], relation) for i in range(k - 1)
+    ]
+    atoms.append(_edge(variables[0], variables[k - 1], relation))
+    filters = _ordering_chain(variables) if symmetry_breaking else []
+    return ConjunctiveQuery(atoms, filters)
+
+
+def path_query(length: int, relation: str = EDGE,
+               samples: Tuple[str, str] = ("v1", "v2")) -> ConjunctiveQuery:
+    """The ``length``-path query between two sampled endpoint sets.
+
+    ``length`` counts edges; the 3-path query of the paper is
+    ``v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)``.
+    """
+    if length < 1:
+        raise QueryError("a path needs at least one edge")
+    variables = _variables(length + 1)
+    atoms: List[Atom] = [
+        Atom(samples[0], (variables[0],)),
+        Atom(samples[1], (variables[-1],)),
+    ]
+    atoms.extend(
+        _edge(variables[i], variables[i + 1], relation) for i in range(length)
+    )
+    return ConjunctiveQuery(atoms)
+
+
+def tree_query(depth: int, relation: str = EDGE,
+               sample_prefix: str = "v") -> ConjunctiveQuery:
+    """The complete-binary-tree query with ``2**depth`` sampled leaves.
+
+    ``depth = 1`` is the paper's 1-tree (``v1(b), v2(c), edge(a,b),
+    edge(a,c)``); ``depth = 2`` the 2-tree with four leaves, each drawn from
+    a different sample relation ``v1 ... v4``.
+    """
+    if depth < 1:
+        raise QueryError("tree depth must be at least 1")
+    num_nodes = 2 ** (depth + 1) - 1
+    variables = _variables(num_nodes)
+    atoms: List[Atom] = []
+    # Internal node i has children 2i+1 and 2i+2 (heap numbering).
+    num_internal = 2 ** depth - 1
+    for i in range(num_internal):
+        atoms.append(_edge(variables[i], variables[2 * i + 1], relation))
+        atoms.append(_edge(variables[i], variables[2 * i + 2], relation))
+    leaves = variables[num_internal:]
+    sample_atoms = [
+        Atom(f"{sample_prefix}{index + 1}", (leaf,))
+        for index, leaf in enumerate(leaves)
+    ]
+    return ConjunctiveQuery(sample_atoms + atoms)
+
+
+def comb_query(relation: str = EDGE,
+               samples: Tuple[str, str] = ("v1", "v2")) -> ConjunctiveQuery:
+    """The 2-comb query: a left-deep binary tree with two sampled leaves.
+
+    ``v1(c), v2(d), edge(a,b), edge(a,c), edge(b,d)``.
+    """
+    a, b, c, d = _variables(4)
+    atoms = [
+        Atom(samples[0], (c,)),
+        Atom(samples[1], (d,)),
+        _edge(a, b, relation),
+        _edge(a, c, relation),
+        _edge(b, d, relation),
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def lollipop_query(path_length: int, relation: str = EDGE,
+                   sample: str = "v1") -> ConjunctiveQuery:
+    """The ``path_length``-lollipop: a path glued to a (path_length+1)-clique.
+
+    The 2-lollipop is ``v1(a), edge(a,b), edge(b,c), edge(c,d), edge(d,e),
+    edge(c,e)`` — a 2-path ``a-b-c`` followed by the triangle ``c, d, e``.
+    The 3-lollipop extends the path by one edge and the clique to four
+    nodes, "in the same manner".
+    """
+    if path_length < 1:
+        raise QueryError("lollipop path length must be at least 1")
+    clique_size = path_length + 1
+    num_variables = path_length + clique_size
+    variables = _variables(num_variables)
+    path_vars = variables[:path_length + 1]
+    clique_vars = variables[path_length:]
+
+    atoms: List[Atom] = [Atom(sample, (path_vars[0],))]
+    atoms.extend(
+        _edge(path_vars[i], path_vars[i + 1], relation)
+        for i in range(path_length)
+    )
+    atoms.extend(
+        _edge(clique_vars[i], clique_vars[j], relation)
+        for i in range(clique_size) for j in range(i + 1, clique_size)
+    )
+    return ConjunctiveQuery(atoms)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PatternSpec:
+    """A named benchmark pattern plus the metadata the harness needs."""
+
+    name: str
+    builder: Callable[[], ConjunctiveQuery]
+    sample_relations: Tuple[str, ...]
+    cyclic: bool
+    description: str
+
+    def build(self) -> ConjunctiveQuery:
+        """Construct a fresh query instance for this pattern."""
+        return self.builder()
+
+
+QUERY_PATTERNS: Dict[str, PatternSpec] = {
+    "3-clique": PatternSpec(
+        name="3-clique",
+        builder=lambda: clique_query(3),
+        sample_relations=(),
+        cyclic=True,
+        description="triangles: every pair of three nodes connected",
+    ),
+    "4-clique": PatternSpec(
+        name="4-clique",
+        builder=lambda: clique_query(4),
+        sample_relations=(),
+        cyclic=True,
+        description="4-cliques: every pair of four nodes connected",
+    ),
+    "4-cycle": PatternSpec(
+        name="4-cycle",
+        builder=lambda: cycle_query(4),
+        sample_relations=(),
+        cyclic=True,
+        description="cycles of length four",
+    ),
+    "3-path": PatternSpec(
+        name="3-path",
+        builder=lambda: path_query(3),
+        sample_relations=("v1", "v2"),
+        cyclic=False,
+        description="paths of three edges between sampled endpoints",
+    ),
+    "4-path": PatternSpec(
+        name="4-path",
+        builder=lambda: path_query(4),
+        sample_relations=("v1", "v2"),
+        cyclic=False,
+        description="paths of four edges between sampled endpoints",
+    ),
+    "1-tree": PatternSpec(
+        name="1-tree",
+        builder=lambda: tree_query(1),
+        sample_relations=("v1", "v2"),
+        cyclic=False,
+        description="complete binary trees with two sampled leaves",
+    ),
+    "2-tree": PatternSpec(
+        name="2-tree",
+        builder=lambda: tree_query(2),
+        sample_relations=("v1", "v2", "v3", "v4"),
+        cyclic=False,
+        description="complete binary trees with four sampled leaves",
+    ),
+    "2-comb": PatternSpec(
+        name="2-comb",
+        builder=lambda: comb_query(),
+        sample_relations=("v1", "v2"),
+        cyclic=False,
+        description="left-deep binary trees with two sampled leaves",
+    ),
+    "2-lollipop": PatternSpec(
+        name="2-lollipop",
+        builder=lambda: lollipop_query(2),
+        sample_relations=("v1",),
+        cyclic=True,
+        description="a 2-path followed by a triangle",
+    ),
+    "3-lollipop": PatternSpec(
+        name="3-lollipop",
+        builder=lambda: lollipop_query(3),
+        sample_relations=("v1",),
+        cyclic=True,
+        description="a 3-path followed by a 4-clique",
+    ),
+}
+
+
+def pattern(name: str) -> PatternSpec:
+    """Look up a pattern by name, with a helpful error for typos."""
+    try:
+        return QUERY_PATTERNS[name]
+    except KeyError:
+        known = ", ".join(sorted(QUERY_PATTERNS))
+        raise QueryError(f"unknown query pattern {name!r}; known patterns: {known}") \
+            from None
+
+
+def build_query(name: str) -> ConjunctiveQuery:
+    """Build the query for a named pattern."""
+    return pattern(name).build()

@@ -1,0 +1,38 @@
+"""Relational storage substrate: relations, trie indexes, and the catalog.
+
+The paper's algorithms assume every input relation is stored in a
+search-tree index (a trie / B-tree) ordered consistently with the global
+attribute order.  This package provides that substrate in pure Python:
+
+* :class:`repro.storage.relation.Relation` — immutable sorted tuple sets,
+* :class:`repro.storage.trie.TrieIndex` — prefix-ordered index with the
+  ``seek_lub`` / ``seek_glb`` operations Minesweeper probes and the
+  linear-iterator interface Leapfrog Triejoin consumes,
+* :class:`repro.storage.database.Database` — a small catalog caching one
+  trie per (relation, attribute order) pair,
+* loaders for graph edge lists and node samples,
+* per-relation statistics for the Selinger-style optimizer.
+"""
+
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex, TrieIterator, LeapfrogIterator
+from repro.storage.database import Database
+from repro.storage.loader import (
+    edge_relation_from_pairs,
+    node_relation,
+    undirected_closure,
+)
+from repro.storage.statistics import RelationStatistics, collect_statistics
+
+__all__ = [
+    "Database",
+    "LeapfrogIterator",
+    "Relation",
+    "RelationStatistics",
+    "TrieIndex",
+    "TrieIterator",
+    "collect_statistics",
+    "edge_relation_from_pairs",
+    "node_relation",
+    "undirected_closure",
+]

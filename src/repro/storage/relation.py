@@ -1,0 +1,220 @@
+"""Immutable sorted relations over integer domains."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaError, StorageError
+
+Tuple_ = Tuple[int, ...]
+
+
+class Relation:
+    """An immutable set of integer tuples with a fixed arity.
+
+    Tuples are de-duplicated and stored in lexicographic order, which makes
+    the relation directly usable as a level-0 trie and keeps scans
+    deterministic.  All values must be non-negative integers (node
+    identifiers), matching the paper's model of the output space as a grid
+    of naturals.
+    """
+
+    __slots__ = ("name", "arity", "attributes", "_tuples", "_tuple_set")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        tuples: Iterable[Sequence[int]],
+        attributes: Optional[Sequence[str]] = None,
+    ) -> None:
+        if arity <= 0:
+            raise SchemaError(f"relation {name!r} must have positive arity")
+        if attributes is not None and len(attributes) != arity:
+            raise SchemaError(
+                f"relation {name!r}: {len(attributes)} attribute names for "
+                f"arity {arity}"
+            )
+        self.name = name
+        self.arity = arity
+        self.attributes = tuple(attributes) if attributes is not None else tuple(
+            f"c{i}" for i in range(arity)
+        )
+        normalized: Set[Tuple_] = set()
+        for row in tuples:
+            row_tuple = tuple(int(v) for v in row)
+            if len(row_tuple) != arity:
+                raise StorageError(
+                    f"relation {name!r}: tuple {row_tuple} has arity "
+                    f"{len(row_tuple)}, expected {arity}"
+                )
+            if any(v < 0 for v in row_tuple):
+                raise StorageError(
+                    f"relation {name!r}: tuple {row_tuple} has a negative value"
+                )
+            normalized.add(row_tuple)
+        self._tuples: List[Tuple_] = sorted(normalized)
+        self._tuple_set: Set[Tuple_] = normalized
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple_]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: Sequence[int]) -> bool:
+        return tuple(row) in self._tuple_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity, tuple(self._tuples)))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def tuples(self) -> List[Tuple_]:
+        """The sorted tuples (a copy is *not* made; treat it as read-only)."""
+        return self._tuples
+
+    def column(self, index: int) -> List[int]:
+        """All values of column ``index`` in tuple order (with duplicates)."""
+        self._check_column(index)
+        return [row[index] for row in self._tuples]
+
+    def distinct_values(self, index: int) -> List[int]:
+        """Sorted distinct values of column ``index``."""
+        self._check_column(index)
+        return sorted({row[index] for row in self._tuples})
+
+    def active_domain(self) -> List[int]:
+        """Sorted distinct values appearing anywhere in the relation."""
+        values: Set[int] = set()
+        for row in self._tuples:
+            values.update(row)
+        return sorted(values)
+
+    def min_value(self, index: int) -> Optional[int]:
+        """Smallest value in column ``index`` (None if empty)."""
+        self._check_column(index)
+        if not self._tuples:
+            return None
+        return min(row[index] for row in self._tuples)
+
+    def max_value(self, index: int) -> Optional[int]:
+        """Largest value in column ``index`` (None if empty)."""
+        self._check_column(index)
+        if not self._tuples:
+            return None
+        return max(row[index] for row in self._tuples)
+
+    # ------------------------------------------------------------------
+    # Relational operators (small, eager, used by baselines and tests)
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[int], name: Optional[str] = None) -> "Relation":
+        """Project onto the given column indexes (duplicates removed)."""
+        for column in columns:
+            self._check_column(column)
+        projected = {tuple(row[c] for c in columns) for row in self._tuples}
+        return Relation(
+            name or f"{self.name}_proj",
+            len(columns),
+            projected,
+            [self.attributes[c] for c in columns],
+        )
+
+    def select_eq(self, column: int, value: int,
+                  name: Optional[str] = None) -> "Relation":
+        """Select tuples whose ``column`` equals ``value``."""
+        self._check_column(column)
+        rows = [row for row in self._tuples if row[column] == value]
+        return Relation(name or f"{self.name}_sel", self.arity, rows, self.attributes)
+
+    def reorder(self, permutation: Sequence[int],
+                name: Optional[str] = None) -> "Relation":
+        """Return the relation with columns permuted.
+
+        ``permutation[i]`` gives the source column of output column ``i``.
+        """
+        if sorted(permutation) != list(range(self.arity)):
+            raise SchemaError(
+                f"invalid permutation {permutation} for arity {self.arity}"
+            )
+        rows = [tuple(row[p] for p in permutation) for row in self._tuples]
+        attrs = [self.attributes[p] for p in permutation]
+        return Relation(name or self.name, self.arity, rows, attrs)
+
+    def union(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Set union with another relation of the same arity."""
+        if other.arity != self.arity:
+            raise SchemaError(
+                f"cannot union arity {self.arity} with arity {other.arity}"
+            )
+        return Relation(
+            name or self.name, self.arity,
+            list(self._tuples) + list(other._tuples), self.attributes,
+        )
+
+    # ------------------------------------------------------------------
+    # Prefix search support (the trie uses these directly)
+    # ------------------------------------------------------------------
+    def prefix_range(self, prefix: Sequence[int],
+                     lo: int = 0, hi: Optional[int] = None) -> Tuple[int, int]:
+        """Return ``[lo, hi)`` bounds of tuples starting with ``prefix``.
+
+        The search can be restricted to an existing range, which is how the
+        trie narrows level by level.
+        """
+        if hi is None:
+            hi = len(self._tuples)
+        prefix_tuple = tuple(prefix)
+        if len(prefix_tuple) > self.arity:
+            raise StorageError(
+                f"prefix {prefix_tuple} longer than arity {self.arity}"
+            )
+        lower = bisect_left(self._tuples, prefix_tuple, lo, hi)
+        upper_key = prefix_tuple[:-1] + (prefix_tuple[-1] + 1,) if prefix_tuple else ()
+        if prefix_tuple:
+            upper = bisect_left(self._tuples, upper_key, lower, hi)
+        else:
+            upper = hi
+        return lower, upper
+
+    def has_prefix(self, prefix: Sequence[int]) -> bool:
+        """True iff some tuple starts with ``prefix``."""
+        lower, upper = self.prefix_range(prefix)
+        return lower < upper
+
+    def _check_column(self, index: int) -> None:
+        if not 0 <= index < self.arity:
+            raise StorageError(
+                f"column {index} out of range for relation {self.name!r} "
+                f"of arity {self.arity}"
+            )
+
+
+def relation_from_rows(name: str, rows: Iterable[Sequence[int]],
+                       attributes: Optional[Sequence[str]] = None) -> Relation:
+    """Convenience constructor inferring the arity from the first row."""
+    materialized = [tuple(row) for row in rows]
+    if not materialized:
+        raise StorageError(
+            f"cannot infer arity of empty relation {name!r}; "
+            f"use Relation(name, arity, []) instead"
+        )
+    return Relation(name, len(materialized[0]), materialized, attributes)

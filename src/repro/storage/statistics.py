@@ -1,0 +1,87 @@
+"""Per-relation statistics backing the Selinger-style cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Summary statistics of a relation used for cardinality estimation.
+
+    ``distinct_counts[i]`` is the number of distinct values in column ``i``;
+    ``min_values`` / ``max_values`` give per-column value ranges.  The
+    pairwise baselines use these with the textbook independence and
+    containment-of-value-sets assumptions, which is exactly the estimation
+    regime under which Selinger-style optimizers mis-plan cyclic graph
+    patterns (§1 of the paper).
+    """
+
+    name: str
+    cardinality: int
+    distinct_counts: Tuple[int, ...]
+    min_values: Tuple[Optional[int], ...]
+    max_values: Tuple[Optional[int], ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.distinct_counts)
+
+    def selectivity_of_equality(self, column: int) -> float:
+        """Estimated selectivity of ``column = constant``."""
+        distinct = self.distinct_counts[column]
+        if distinct == 0:
+            return 0.0
+        return 1.0 / distinct
+
+    def join_selectivity(self, column: int, other: "RelationStatistics",
+                         other_column: int) -> float:
+        """Estimated selectivity of an equi-join predicate between two columns.
+
+        Uses the standard ``1 / max(V(R, a), V(S, b))`` formula.
+        """
+        left = self.distinct_counts[column]
+        right = other.distinct_counts[other_column]
+        denominator = max(left, right)
+        if denominator == 0:
+            return 0.0
+        return 1.0 / denominator
+
+
+def collect_statistics(relation: Relation) -> RelationStatistics:
+    """Scan ``relation`` once and build its statistics."""
+    distinct = []
+    minimums = []
+    maximums = []
+    for column in range(relation.arity):
+        values = relation.distinct_values(column)
+        distinct.append(len(values))
+        minimums.append(values[0] if values else None)
+        maximums.append(values[-1] if values else None)
+    return RelationStatistics(
+        name=relation.name,
+        cardinality=len(relation),
+        distinct_counts=tuple(distinct),
+        min_values=tuple(minimums),
+        max_values=tuple(maximums),
+    )
+
+
+def estimated_join_size(left: RelationStatistics, left_column: int,
+                        right: RelationStatistics, right_column: int) -> float:
+    """Textbook equi-join size estimate ``|R| * |S| / max(V(R,a), V(S,b))``."""
+    selectivity = left.join_selectivity(left_column, right, right_column)
+    return left.cardinality * right.cardinality * selectivity
+
+
+def estimation_report(statistics: Dict[str, RelationStatistics]) -> str:
+    """A human-readable dump of catalog statistics (used by examples)."""
+    lines = ["relation        |tuples|  distinct-per-column"]
+    for name in sorted(statistics):
+        stats = statistics[name]
+        distinct = ", ".join(str(d) for d in stats.distinct_counts)
+        lines.append(f"{name:<15} {stats.cardinality:>8}  [{distinct}]")
+    return "\n".join(lines)

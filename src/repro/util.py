@@ -1,0 +1,65 @@
+"""Small shared utilities: time budgets and deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from repro.errors import TimeoutExceeded
+
+
+class TimeBudget:
+    """A soft execution deadline checked cooperatively by long-running loops.
+
+    The paper imposes a 30-minute timeout per execution and reports "-" for
+    runs that exceed it.  Our engines accept an optional budget and check it
+    every few thousand iterations; when exceeded they raise
+    :class:`repro.errors.TimeoutExceeded`, which the benchmark harness
+    converts into the same "-" marker.
+    """
+
+    __slots__ = ("seconds", "_start", "_check_every", "_counter")
+
+    def __init__(self, seconds: Optional[float], check_every: int = 2048) -> None:
+        self.seconds = seconds
+        self._start = time.perf_counter()
+        self._check_every = max(1, check_every)
+        self._counter = 0
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.perf_counter() - self._start
+
+    def expired(self) -> bool:
+        """True when the budget exists and has been exceeded."""
+        return self.seconds is not None and self.elapsed() > self.seconds
+
+    def tick(self) -> None:
+        """Cheap periodic check; raises :class:`TimeoutExceeded` when expired."""
+        if self.seconds is None:
+            return
+        self._counter += 1
+        if self._counter % self._check_every:
+            return
+        elapsed = self.elapsed()
+        if elapsed > self.seconds:
+            raise TimeoutExceeded(elapsed, self.seconds)
+
+    def check_now(self) -> None:
+        """Immediate check (used at phase boundaries)."""
+        if self.seconds is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed > self.seconds:
+            raise TimeoutExceeded(elapsed, self.seconds)
+
+    @classmethod
+    def unlimited(cls) -> "TimeBudget":
+        """A budget that never expires."""
+        return cls(None)
+
+
+def deterministic_rng(seed: int) -> random.Random:
+    """A :class:`random.Random` seeded deterministically (never the global RNG)."""
+    return random.Random(seed)

@@ -1,0 +1,128 @@
+"""Tests for the graph-analytics layer (BFS, reachability, components, PageRank)."""
+
+import pytest
+
+from repro.errors import DatasetError, QueryError
+from repro.analytics.graph_algorithms import (
+    bfs_levels,
+    connected_components,
+    pagerank,
+    reachable_from,
+    shortest_path_lengths,
+)
+from repro.data.catalog import load_dataset
+from repro.storage import Database, Relation, edge_relation_from_pairs
+
+
+@pytest.fixture
+def small_graph() -> Database:
+    #   0 - 1 - 2 - 3     isolated pair: 8 - 9
+    #       |   |
+    #       4 - 5
+    pairs = [(0, 1), (1, 2), (2, 3), (1, 4), (2, 5), (4, 5), (8, 9)]
+    return Database([edge_relation_from_pairs(pairs)])
+
+
+class TestBFS:
+    def test_levels_from_node_zero(self, small_graph):
+        levels = bfs_levels(small_graph, 0)
+        assert levels[0] == 0
+        assert levels[1] == 1
+        assert levels[2] == levels[4] == 2
+        assert levels[3] == levels[5] == 3
+        assert 8 not in levels
+
+    def test_shortest_path_lengths_alias(self, small_graph):
+        assert shortest_path_lengths(small_graph, 1) == bfs_levels(small_graph, 1)
+
+    def test_unknown_start_rejected(self, small_graph):
+        with pytest.raises(QueryError):
+            bfs_levels(small_graph, 42)
+
+    def test_accepts_bare_relation(self, small_graph):
+        relation = small_graph.relation("edge")
+        assert bfs_levels(relation, 0)[3] == 3
+
+    def test_non_binary_relation_rejected(self):
+        with pytest.raises(DatasetError):
+            bfs_levels(Relation("edge", 1, [(1,)]), 1)
+
+
+class TestReachability:
+    def test_relational_and_direct_engines_agree(self, small_graph):
+        for start in (0, 2, 8):
+            relational = reachable_from(small_graph, start, engine="relational")
+            direct = reachable_from(small_graph, start, engine="direct")
+            assert relational == direct
+
+    def test_directed_reachability(self):
+        db = Database([Relation("edge", 2, [(0, 1), (1, 2), (3, 0)])])
+        assert reachable_from(db, 0, engine="relational") == {0, 1, 2}
+        assert reachable_from(db, 3, engine="direct") == {3, 0, 1, 2}
+        assert reachable_from(db, 2, engine="relational") == {2}
+
+    def test_unknown_engine_rejected(self, small_graph):
+        with pytest.raises(QueryError):
+            reachable_from(small_graph, 0, engine="quantum")
+
+
+class TestConnectedComponents:
+    def test_components_of_small_graph(self, small_graph):
+        component = connected_components(small_graph)
+        assert component[0] == component[5] == 0
+        assert component[8] == component[9] == 8
+
+    def test_number_of_components_on_dataset(self):
+        edge = load_dataset("p2p-Gnutella04")
+        component = connected_components(edge)
+        assert len(component) == len(edge.active_domain())
+        assert len(set(component.values())) >= 1
+
+    def test_bfs_levels_defined_exactly_on_start_component(self, small_graph):
+        component = connected_components(small_graph)
+        levels = bfs_levels(small_graph, 0)
+        same_component = {n for n, c in component.items() if c == component[0]}
+        assert set(levels) == same_component
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, small_graph):
+        ranks = pagerank(small_graph)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hub_outranks_leaf(self):
+        # A star: node 0 receives links from everyone.
+        pairs = [(i, 0) for i in range(1, 8)]
+        db = Database([Relation("edge", 2, pairs)])
+        ranks = pagerank(db)
+        assert ranks[0] == max(ranks.values())
+        assert ranks[0] > 3 * ranks[1]
+
+    def test_symmetric_cycle_is_uniform(self):
+        pairs = [(i, (i + 1) % 5) for i in range(5)]
+        db = Database([Relation("edge", 2, pairs)])
+        ranks = pagerank(db)
+        values = list(ranks.values())
+        assert max(values) - min(values) < 1e-9
+
+    def test_dangling_nodes_handled(self):
+        db = Database([Relation("edge", 2, [(0, 1), (1, 2)])])  # 2 dangles
+        ranks = pagerank(db)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert ranks[2] > ranks[0]
+
+    def test_parameter_validation(self, small_graph):
+        with pytest.raises(QueryError):
+            pagerank(small_graph, damping=1.5)
+        with pytest.raises(QueryError):
+            pagerank(small_graph, iterations=0)
+
+    def test_agrees_with_networkx_when_available(self):
+        networkx = pytest.importorskip("networkx")
+        pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]
+        db = Database([Relation("edge", 2, pairs)])
+        ours = pagerank(db, damping=0.85, iterations=100, tolerance=1e-12)
+        graph = networkx.DiGraph(pairs)
+        reference = networkx.pagerank(graph, alpha=0.85, tol=1e-12)
+        for node, value in reference.items():
+            assert ours[node] == pytest.approx(value, abs=1e-4)

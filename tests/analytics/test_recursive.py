@@ -1,0 +1,139 @@
+"""Tests for the semi-naive recursive Datalog evaluator."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.analytics.recursive import (
+    RecursiveProgram,
+    Rule,
+    SemiNaiveEvaluator,
+    reachability_program,
+    transitive_closure_program,
+)
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.joins.generic import GenericJoin
+from repro.storage import Database, Relation, edge_relation_from_pairs
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def chain_database(length: int) -> Database:
+    """A directed chain 0 -> 1 -> ... -> length."""
+    return Database([Relation("edge", 2, [(i, i + 1) for i in range(length)])])
+
+
+class TestRuleValidation:
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            Rule(Atom("out", (X, Z)), [Atom("edge", (X, Y))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(Atom("out", (X,)), [])
+
+    def test_constant_head_allowed(self):
+        rule = Rule(Atom("seed", (Constant(3),)), [Atom("edge", (X, Y))])
+        assert rule.head.arity == 1
+
+    def test_inconsistent_derived_arity_rejected(self):
+        program = RecursiveProgram([
+            Rule(Atom("p", (X,)), [Atom("edge", (X, Y))]),
+            Rule(Atom("p", (X, Y)), [Atom("edge", (X, Y))]),
+        ])
+        with pytest.raises(QueryError):
+            program.validate()
+
+    def test_derived_name_clash_with_base_rejected(self):
+        database = chain_database(3)
+        program = RecursiveProgram([
+            Rule(Atom("edge", (X, Y)), [Atom("edge", (X, Y))]),
+        ])
+        with pytest.raises(QueryError):
+            SemiNaiveEvaluator().evaluate(program, database)
+
+
+class TestTransitiveClosure:
+    def test_chain_closure_is_all_ordered_pairs(self):
+        database = chain_database(5)
+        results = SemiNaiveEvaluator().evaluate(
+            transitive_closure_program(), database)
+        tc = results["tc"]
+        expected = {(i, j) for i in range(6) for j in range(i + 1, 6)}
+        assert set(tc.tuples) == expected
+
+    def test_cycle_closure_is_complete(self):
+        database = Database([Relation("edge", 2, [(0, 1), (1, 2), (2, 0)])])
+        results = SemiNaiveEvaluator().evaluate(
+            transitive_closure_program(), database)
+        assert set(results["tc"].tuples) == {(i, j) for i in range(3)
+                                             for j in range(3)}
+
+    def test_base_database_is_untouched(self):
+        database = chain_database(3)
+        SemiNaiveEvaluator().evaluate(transitive_closure_program(), database)
+        assert database.names() == ["edge"]
+
+    def test_statistics_recorded(self):
+        database = chain_database(6)
+        evaluator = SemiNaiveEvaluator()
+        evaluator.evaluate(transitive_closure_program(), database)
+        stats = evaluator.last_statistics
+        assert stats is not None
+        # A chain of length 6 needs several semi-naive iterations.
+        assert stats.iterations >= 3
+        assert stats.facts_derived["tc"] == 21
+
+    def test_alternative_join_algorithm(self):
+        database = chain_database(4)
+        evaluator = SemiNaiveEvaluator(algorithm_factory=GenericJoin)
+        results = evaluator.evaluate(transitive_closure_program(), database)
+        assert len(results["tc"]) == 10
+
+    def test_closure_on_undirected_graph_matches_component_structure(self):
+        pairs = [(0, 1), (1, 2), (5, 6)]
+        database = Database([edge_relation_from_pairs(pairs)])
+        results = SemiNaiveEvaluator().evaluate(
+            transitive_closure_program(), database)
+        tc = set(results["tc"].tuples)
+        assert (0, 2) in tc and (2, 0) in tc
+        assert (0, 5) not in tc
+
+
+class TestReachability:
+    def test_reachability_from_middle_of_chain(self):
+        database = chain_database(5)
+        program = reachability_program(2)
+        results = SemiNaiveEvaluator().evaluate(program, database)
+        assert {row[0] for row in results["reach"]} == {2, 3, 4, 5}
+
+    def test_unreachable_nodes_excluded(self):
+        database = Database([Relation("edge", 2, [(0, 1), (2, 3)])])
+        results = SemiNaiveEvaluator().evaluate(reachability_program(0), database)
+        assert {row[0] for row in results["reach"]} == {0, 1}
+
+    def test_max_iterations_guard(self):
+        database = chain_database(30)
+        evaluator = SemiNaiveEvaluator(max_iterations=3)
+        with pytest.raises(QueryError):
+            evaluator.evaluate(transitive_closure_program(), database)
+
+
+class TestNonLinearPrograms:
+    def test_same_generation_style_rule(self):
+        """A rule with two IDB atoms in the body (non-linear recursion)."""
+        database = Database([Relation("edge", 2, [(0, 1), (0, 2), (1, 3), (2, 4)])])
+        # sg(x, y): x and y are at the same depth below a common ancestor.
+        sg_base = Rule(Atom("sg", (X, Y)),
+                       [Atom("edge", (Z, X)), Atom("edge", (Z, Y))])
+        up, down = Variable("xp"), Variable("yp")
+        sg_step = Rule(
+            Atom("sg", (X, Y)),
+            [Atom("edge", (up, X)), Atom("sg", (up, down)), Atom("edge", (down, Y))],
+        )
+        results = SemiNaiveEvaluator().evaluate(
+            RecursiveProgram([sg_base, sg_step]), database)
+        sg = set(results["sg"].tuples)
+        assert (1, 2) in sg and (2, 1) in sg
+        assert (3, 4) in sg and (4, 3) in sg
+        assert (1, 4) not in sg

@@ -1,0 +1,96 @@
+"""Tests for the benchmark harness (protocol of §5.1)."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkCell,
+    BenchmarkConfig,
+    benchmark_database,
+    consistency_check,
+    run_cell,
+    run_grid,
+    speedup,
+)
+
+
+FAST_CONFIG = BenchmarkConfig(timeout=20.0, repetitions=2, warmup_discard=1,
+                              scale=0.6)
+
+
+class TestBenchmarkDatabase:
+    def test_edge_relation_always_present(self):
+        db = benchmark_database("ca-GrQc", "3-clique", config=FAST_CONFIG)
+        assert "edge" in db
+
+    def test_samples_attached_for_acyclic_queries(self):
+        db = benchmark_database("ca-GrQc", "3-path", selectivity=8,
+                                config=FAST_CONFIG)
+        assert "v1" in db and "v2" in db
+
+    def test_missing_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_database("ca-GrQc", "3-path", config=FAST_CONFIG)
+
+    def test_same_cell_gives_same_samples(self):
+        first = benchmark_database("ca-GrQc", "3-path", 8, FAST_CONFIG)
+        second = benchmark_database("ca-GrQc", "3-path", 8, FAST_CONFIG)
+        assert first.relation("v1").tuples == second.relation("v1").tuples
+
+
+class TestRunCell:
+    def test_successful_cell(self):
+        cell = run_cell("lftj", "ca-GrQc", "3-clique", config=FAST_CONFIG)
+        assert cell.succeeded
+        assert cell.count is not None and cell.count >= 0
+        assert cell.seconds is not None and cell.seconds >= 0
+        assert cell.cell() != "-"
+
+    def test_unsupported_system_renders_dash(self):
+        cell = run_cell("graphlab", "ca-GrQc", "3-path", selectivity=8,
+                        config=FAST_CONFIG)
+        assert not cell.succeeded
+        assert cell.cell() == "-"
+
+    def test_timeout_renders_dash(self):
+        config = BenchmarkConfig(timeout=0.0, repetitions=1, warmup_discard=0)
+        cell = run_cell("naive", "ego-Twitter", "4-clique", config=config)
+        assert cell.timed_out
+        assert cell.cell() == "-"
+
+    def test_systems_agree_on_count(self):
+        cells = [
+            run_cell(system, "p2p-Gnutella04", "3-clique", config=FAST_CONFIG)
+            for system in ("lftj", "ms", "graphlab")
+        ]
+        counts = {cell.count for cell in cells if cell.succeeded}
+        assert len(counts) == 1
+        assert all(consistency_check(cells).values())
+
+
+class TestGridAndSpeedup:
+    def test_grid_covers_every_combination(self):
+        cells = run_grid(
+            systems=("lftj", "ms"),
+            dataset_names=("ca-GrQc",),
+            query_names=("3-clique", "3-path"),
+            selectivities=(8,),
+            config=FAST_CONFIG,
+        )
+        assert len(cells) == 4
+        keys = {(c.system, c.query) for c in cells}
+        assert ("lftj", "3-path") in keys and ("ms", "3-clique") in keys
+
+    def test_grid_ignores_selectivity_for_cyclic_queries(self):
+        cells = run_grid(("lftj",), ("ca-GrQc",), ("3-clique",),
+                         selectivities=(8, 80), config=FAST_CONFIG)
+        assert len(cells) == 1
+        assert cells[0].selectivity is None
+
+    def test_speedup_ratio(self):
+        slow = BenchmarkCell("a", "d", "q", None, seconds=2.0, count=1)
+        fast = BenchmarkCell("b", "d", "q", None, seconds=0.5, count=1)
+        failed = BenchmarkCell("c", "d", "q", None, seconds=None, count=None,
+                               timed_out=True)
+        assert speedup(slow, fast) == pytest.approx(4.0)
+        assert speedup(slow, failed) is None
+        assert speedup(failed, fast) is None

@@ -1,0 +1,68 @@
+"""Tests for table/figure rendering."""
+
+from repro.bench.harness import BenchmarkCell
+from repro.bench.reporting import (
+    format_figure,
+    format_matrix,
+    format_table,
+    speedup_table,
+)
+
+
+def cell(system, dataset, seconds, timed_out=False):
+    return BenchmarkCell(system=system, dataset=dataset, query="3-clique",
+                         selectivity=None, seconds=seconds,
+                         count=None if timed_out else 1, timed_out=timed_out)
+
+
+class TestFormatMatrix:
+    def test_rows_and_columns_rendered(self):
+        text = format_matrix(
+            "Demo", ["r1", "r2"], ["c1", "c2"],
+            {("r1", "c1"): "1.0", ("r2", "c2"): "2.0"},
+            row_header="dataset",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "dataset" in lines[2]
+        assert "c1" in lines[2] and "c2" in lines[2]
+        assert any("1.0" in line for line in lines)
+
+    def test_missing_cells_left_blank(self):
+        text = format_matrix("T", ["r"], ["c1", "c2"], {("r", "c1"): "9"})
+        assert "9" in text
+
+
+class TestFormatTable:
+    def test_timeouts_render_as_dash(self):
+        cells = [
+            cell("lftj", "ca-GrQc", 0.5),
+            cell("psql", "ca-GrQc", None, timed_out=True),
+        ]
+        text = format_table("Table 6", cells, rows="dataset", columns="system")
+        assert "Table 6" in text
+        assert "-" in text
+        assert "0.50" in text
+
+    def test_custom_axes(self):
+        cells = [cell("lftj", "ca-GrQc", 1.0), cell("lftj", "wiki-Vote", 2.0)]
+        text = format_table("T", cells, rows="system", columns="dataset")
+        assert "ca-GrQc" in text and "wiki-Vote" in text
+
+
+class TestFigures:
+    def test_series_rendered_per_x_value(self):
+        text = format_figure(
+            "Figure 3", "N", [100, 1000],
+            {"lftj": [0.1, 0.9], "ms": [0.2, None]},
+        )
+        assert "Figure 3" in text
+        assert "100" in text and "1000" in text
+        assert "-" in text          # the ms timeout at N=1000
+
+    def test_speedup_table(self):
+        text = speedup_table(
+            "Table 1", ["2-comb"], ["ca-GrQc"],
+            {("2-comb", "ca-GrQc"): 1.38},
+        )
+        assert "1.38" in text

@@ -1,0 +1,84 @@
+"""Tests for the SNAP-shaped dataset catalog."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.data.catalog import (
+    DATASET_CATALOG,
+    dataset,
+    dataset_names,
+    load_dataset,
+    load_dataset_database,
+)
+
+
+class TestCatalogContents:
+    def test_all_fifteen_paper_datasets_present(self):
+        expected = {
+            "wiki-Vote", "p2p-Gnutella31", "p2p-Gnutella04", "loc-Brightkite",
+            "ego-Facebook", "email-Enron", "ca-GrQc", "ca-CondMat",
+            "ego-Twitter", "soc-Slashdot0902", "soc-Slashdot0811",
+            "soc-Epinions1", "soc-Pokec", "soc-LiveJournal1", "com-Orkut",
+        }
+        assert set(DATASET_CATALOG) == expected
+
+    def test_small_large_split_matches_paper(self):
+        """Eight small datasets (selectivity 8/80), seven larger ones."""
+        small = dataset_names(small_only=True)
+        large = dataset_names(large_only=True)
+        assert len(small) == 8 and len(large) == 7
+        assert "ca-GrQc" in small and "com-Orkut" in large
+
+    def test_paper_metadata_recorded(self):
+        spec = dataset("soc-LiveJournal1")
+        assert spec.paper_nodes == 4_847_571
+        assert spec.paper_edges == 68_993_773
+
+    def test_scaled_sizes_preserve_paper_ordering_roughly(self):
+        """The three web-scale graphs must remain the three largest."""
+        sizes = {name: len(load_dataset(name)) for name in dataset_names()}
+        big_three = {"soc-Pokec", "soc-LiveJournal1", "com-Orkut"}
+        largest = sorted(sizes, key=sizes.get)[-3:]
+        assert set(largest) == big_three
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset("not-a-dataset")
+
+
+class TestLoading:
+    def test_edge_relation_is_symmetric(self):
+        relation = load_dataset("ca-GrQc")
+        for u, v in list(relation)[:50]:
+            assert (v, u) in relation
+
+    def test_load_is_deterministic(self):
+        assert load_dataset("wiki-Vote").tuples == load_dataset("wiki-Vote").tuples
+
+    def test_scale_changes_size_monotonically(self):
+        base = len(load_dataset("p2p-Gnutella04"))
+        half = len(load_dataset("p2p-Gnutella04", scale=0.5))
+        assert 0 < half < base
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("ca-GrQc", scale=0)
+
+    def test_database_wrapper(self):
+        db = load_dataset_database("ca-GrQc")
+        assert "edge" in db
+        assert len(db.relation("edge")) == len(load_dataset("ca-GrQc"))
+
+    def test_triangle_regimes_differ_across_datasets(self):
+        """Dense ego networks must be triangle-richer than the sparse p2p
+        graphs, relative to their size — the property Tables 6/7 lean on."""
+        from repro.joins.graph_engine import GraphEngine
+        from repro.queries.patterns import build_query
+
+        def triangles_per_edge(name):
+            db = load_dataset_database(name)
+            count = GraphEngine().count(db, build_query("3-clique"))
+            return count / max(1, len(db.relation("edge")) // 2)
+
+        assert triangles_per_edge("ego-Facebook") > 5 * triangles_per_edge(
+            "p2p-Gnutella04")

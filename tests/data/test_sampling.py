@@ -1,0 +1,70 @@
+"""Tests for node sampling by selectivity."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.data.catalog import load_dataset_database
+from repro.data.sampling import attach_samples, sample_nodes, sample_relation
+from repro.storage import edge_relation_from_pairs
+
+
+class TestSampleNodes:
+    def test_sample_is_subset(self):
+        nodes = list(range(1000))
+        sample = sample_nodes(nodes, selectivity=10, seed=1)
+        assert set(sample) <= set(nodes)
+
+    def test_selectivity_controls_expected_size(self):
+        nodes = list(range(5000))
+        sparse = sample_nodes(nodes, selectivity=100, seed=1)
+        dense = sample_nodes(nodes, selectivity=10, seed=1)
+        assert len(sparse) < len(dense)
+        # Expected sizes are 50 and 500; allow generous sampling noise.
+        assert 20 <= len(sparse) <= 100
+        assert 350 <= len(dense) <= 650
+
+    def test_deterministic_per_index_and_seed(self):
+        nodes = list(range(200))
+        assert sample_nodes(nodes, 10, sample_index=1, seed=3) == \
+            sample_nodes(nodes, 10, sample_index=1, seed=3)
+        assert sample_nodes(nodes, 10, sample_index=1, seed=3) != \
+            sample_nodes(nodes, 10, sample_index=2, seed=3)
+
+    def test_never_empty(self):
+        assert sample_nodes([7], selectivity=1000, seed=0) == [7]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DatasetError):
+            sample_nodes([], 10)
+        with pytest.raises(DatasetError):
+            sample_nodes([1, 2], 0)
+
+
+class TestAttachSamples:
+    def test_attach_creates_requested_relations(self):
+        db = load_dataset_database("ca-GrQc")
+        attach_samples(db, selectivity=8, sample_names=("v1", "v2", "v3"))
+        for name in ("v1", "v2", "v3"):
+            assert name in db
+            assert len(db.relation(name)) >= 1
+
+    def test_attach_replaces_existing_samples(self):
+        db = load_dataset_database("ca-GrQc")
+        attach_samples(db, selectivity=2)
+        dense_size = len(db.relation("v1"))
+        attach_samples(db, selectivity=80)
+        sparse_size = len(db.relation("v1"))
+        assert sparse_size <= dense_size
+
+    def test_samples_drawn_from_edge_nodes(self):
+        db = load_dataset_database("p2p-Gnutella04")
+        attach_samples(db, selectivity=8)
+        nodes = set(db.relation("edge").active_domain())
+        for (node,) in db.relation("v1"):
+            assert node in nodes
+
+    def test_sample_relation_helper(self):
+        edges = edge_relation_from_pairs([(1, 2), (2, 3), (3, 4)])
+        relation = sample_relation(edges, selectivity=1, name="v9")
+        assert relation.name == "v9"
+        assert len(relation) == 4

@@ -1,0 +1,90 @@
+"""Tests for the AGM bound / fractional edge cover LP (Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryError
+from repro.datalog.agm import agm_bound, fractional_edge_cover
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.parser import parse_query
+from repro.queries.patterns import build_query
+
+
+def cover_for(text: str, sizes):
+    query = parse_query(text)
+    hypergraph = Hypergraph.of_query(query)
+    return fractional_edge_cover(hypergraph, sizes)
+
+
+class TestFractionalEdgeCover:
+    def test_triangle_bound_is_n_to_three_halves(self):
+        """The classic result: the triangle query's AGM bound is N^{3/2}."""
+        cover = cover_for("edge(a,b), edge(b,c), edge(a,c)", [100, 100, 100])
+        assert cover.weights == pytest.approx((0.5, 0.5, 0.5))
+        assert cover.bound == pytest.approx(1000.0)
+
+    def test_path_bound_is_product_of_two(self):
+        """For the 2-path R(a,b), S(b,c) the optimal cover is both edges at 1."""
+        cover = cover_for("r(a,b), s(b,c)", [10, 20])
+        assert cover.bound == pytest.approx(200.0)
+
+    def test_cover_is_feasible(self):
+        query = parse_query("edge(a,b), edge(b,c), edge(c,d), edge(a,d)")
+        hypergraph = Hypergraph.of_query(query)
+        cover = fractional_edge_cover(hypergraph, [50, 50, 50, 50])
+        for vertex in hypergraph.vertices:
+            total = sum(
+                weight for weight, edge in zip(cover.weights, hypergraph.edges)
+                if vertex in edge
+            )
+            assert total >= 1.0 - 1e-9
+
+    def test_four_cycle_bound_is_n(self):
+        """The 4-cycle's fractional cover picks two opposite edges: bound N^2...
+        with all sizes N the optimum is N^2 via weights (1,0,1,0) or halves."""
+        cover = cover_for("edge(a,b), edge(b,c), edge(c,d), edge(a,d)",
+                          [100, 100, 100, 100])
+        assert cover.bound == pytest.approx(100.0 ** 2)
+
+    def test_empty_relation_gives_zero_bound(self):
+        query = parse_query("edge(a,b), edge(b,c)")
+        assert agm_bound(query, {0: 0, 1: 50}) == 0.0
+
+    def test_size_mismatch_rejected(self):
+        query = parse_query("edge(a,b), edge(b,c)")
+        hypergraph = Hypergraph.of_query(query)
+        with pytest.raises(QueryError):
+            fractional_edge_cover(hypergraph, [10])
+
+    def test_negative_size_rejected(self):
+        query = parse_query("edge(a,b)")
+        hypergraph = Hypergraph.of_query(query)
+        with pytest.raises(QueryError):
+            fractional_edge_cover(hypergraph, [-1])
+
+
+class TestAGMBound:
+    def test_missing_atom_size_rejected(self):
+        query = parse_query("edge(a,b), edge(b,c)")
+        with pytest.raises(QueryError):
+            agm_bound(query, {0: 10})
+
+    def test_4_clique_bound(self):
+        """The 4-clique bound with equal sizes N is N^2 (weights 1/3 each on
+        six edges: 6 * 1/3 * log N = 2 log N)."""
+        query = build_query("4-clique").without_filters()
+        sizes = {i: 64 for i in range(len(query.atoms))}
+        assert agm_bound(query, sizes) == pytest.approx(64.0 ** 2, rel=1e-6)
+
+    def test_bound_upper_bounds_actual_output(self):
+        """Sanity: the bound dominates the true output size on a real graph."""
+        from repro.joins import NaiveBacktrackingJoin
+        from repro.storage import Database, edge_relation_from_pairs
+
+        pairs = [(i, (i + 1) % 8) for i in range(8)] + [(0, 4), (1, 5), (2, 6)]
+        db = Database([edge_relation_from_pairs(pairs)])
+        query = parse_query("edge(a,b), edge(b,c), edge(a,c)")
+        size = len(db.relation("edge"))
+        actual = NaiveBacktrackingJoin().count(db, query)
+        assert actual <= agm_bound(query, {0: size, 1: size, 2: size})

@@ -1,0 +1,86 @@
+"""Tests for relational atoms and comparison atoms."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.terms import Constant, Variable
+
+
+A, B, C = Variable("a"), Variable("b"), Variable("c")
+
+
+class TestAtom:
+    def test_basic_properties(self):
+        atom = Atom("edge", (A, B))
+        assert atom.name == "edge"
+        assert atom.arity == 2
+        assert atom.variables == (A, B)
+        assert atom.constants == ()
+
+    def test_variables_deduplicated_in_order(self):
+        atom = Atom("r", (B, A, B))
+        assert atom.variables == (B, A)
+
+    def test_constants_extracted(self):
+        atom = Atom("edge", (A, Constant(7)))
+        assert atom.constants == (Constant(7),)
+        assert atom.variables == (A,)
+
+    def test_positions_of(self):
+        atom = Atom("r", (A, B, A))
+        assert atom.positions_of(A) == (0, 2)
+        assert atom.positions_of(B) == (1,)
+        assert atom.positions_of(C) == ()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", (A,))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("r", ())
+
+    def test_str(self):
+        assert str(Atom("edge", (A, B))) == "edge(a, b)"
+
+
+class TestComparisonAtom:
+    def test_variables(self):
+        comparison = ComparisonAtom(A, "<", B)
+        assert comparison.variables == (A, B)
+
+    def test_variable_constant_comparison(self):
+        comparison = ComparisonAtom(A, "<=", Constant(5))
+        assert comparison.variables == (A,)
+        assert comparison.evaluate({A: 5})
+        assert not comparison.evaluate({A: 6})
+
+    def test_all_operators(self):
+        cases = [
+            ("<", 1, 2, True), ("<", 2, 2, False),
+            ("<=", 2, 2, True), (">", 3, 2, True),
+            (">=", 2, 2, True), ("=", 2, 2, True),
+            ("!=", 1, 2, True), ("!=", 2, 2, False),
+        ]
+        for op, left, right, expected in cases:
+            comparison = ComparisonAtom(A, op, B)
+            assert comparison.evaluate({A: left, B: right}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            ComparisonAtom(A, "<>", B)
+
+    def test_constant_constant_rejected(self):
+        with pytest.raises(QueryError):
+            ComparisonAtom(Constant(1), "<", Constant(2))
+
+    def test_is_evaluable(self):
+        comparison = ComparisonAtom(A, "<", B)
+        assert comparison.is_evaluable([A, B])
+        assert not comparison.is_evaluable([A])
+
+    def test_missing_binding_raises(self):
+        comparison = ComparisonAtom(A, "<", B)
+        with pytest.raises(KeyError):
+            comparison.evaluate({A: 1})

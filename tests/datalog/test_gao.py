@@ -1,0 +1,100 @@
+"""Tests for global attribute order selection (NEO, longest path, policies)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.datalog.gao import (
+    gao_from_names,
+    is_nested_elimination_order,
+    longest_path_neo,
+    nested_elimination_order,
+    nested_elimination_orders,
+    select_gao,
+)
+from repro.datalog.parser import parse_query
+from repro.datalog.terms import Variable
+from repro.queries.patterns import build_query
+
+
+class TestNEO:
+    def test_neo_exists_for_acyclic(self):
+        query = build_query("3-path")
+        order = nested_elimination_order(query)
+        assert order is not None
+        assert set(order) == set(query.variables)
+        assert is_nested_elimination_order(query, order)
+
+    def test_no_neo_for_cyclic(self):
+        assert nested_elimination_order(build_query("3-clique")) is None
+        assert longest_path_neo(build_query("4-cycle")) is None
+
+    def test_is_neo_rejects_wrong_variable_set(self):
+        query = build_query("3-path")
+        assert not is_nested_elimination_order(query, query.variables[:-1])
+
+    def test_enumeration_contains_selected_order(self):
+        query = parse_query("v1(a), edge(a,b), edge(b,c)")
+        orders = nested_elimination_orders(query)
+        assert orders
+        assert nested_elimination_order(query) in orders
+        for order in orders:
+            assert is_nested_elimination_order(query, order)
+
+    def test_path_query_neo_validates_paper_table4(self):
+        """For the 4-path query the paper's ABCDE order is a NEO while ABDCE
+        is not (Table 4 splits exactly along that line)."""
+        query = build_query("4-path")
+        by_name = {v.name: v for v in query.variables}
+        abcde = [by_name[name] for name in "abcde"]
+        abdce = [by_name[name] for name in ["a", "b", "d", "c", "e"]]
+        assert is_nested_elimination_order(query, abcde)
+        assert not is_nested_elimination_order(query, abdce)
+
+
+class TestSelection:
+    def test_auto_prefers_neo_when_possible(self):
+        choice = select_gao(build_query("3-path"), policy="auto")
+        assert choice.is_neo
+
+    def test_auto_falls_back_for_cyclic(self):
+        choice = select_gao(build_query("3-clique"), policy="auto")
+        assert not choice.is_neo
+        assert choice.policy == "greedy"
+        assert len(choice.order) == 3
+
+    def test_neo_policy_raises_for_cyclic(self):
+        with pytest.raises(QueryError):
+            select_gao(build_query("4-cycle"), policy="neo")
+
+    def test_first_occurrence_policy(self):
+        query = build_query("3-path")
+        choice = select_gao(query, policy="first-occurrence")
+        assert choice.order == query.variables
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(QueryError):
+            select_gao(build_query("3-path"), policy="nonsense")
+
+    def test_every_order_is_a_permutation(self):
+        for name in ("3-path", "2-comb", "3-clique", "2-lollipop"):
+            query = build_query(name)
+            choice = select_gao(query)
+            assert sorted(v.name for v in choice.order) == sorted(
+                v.name for v in query.variables
+            )
+
+
+class TestExplicitGAO:
+    def test_gao_from_names(self):
+        query = build_query("3-path")
+        choice = gao_from_names(query, ["a", "b", "c", "d"])
+        assert choice.names == ("a", "b", "c", "d")
+        assert choice.policy == "explicit"
+
+    def test_gao_from_names_rejects_unknown(self):
+        with pytest.raises(QueryError):
+            gao_from_names(build_query("3-path"), ["a", "b", "c", "z"])
+
+    def test_gao_from_names_rejects_partial(self):
+        with pytest.raises(QueryError):
+            gao_from_names(build_query("3-path"), ["a", "b"])

@@ -1,0 +1,63 @@
+"""Tests for the textual query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.datalog.parser import parse_query
+from repro.datalog.terms import Constant, Variable
+
+
+class TestParsing:
+    def test_triangle_query(self):
+        query = parse_query("edge(a, b), edge(b, c), edge(a, c), a < b, b < c")
+        assert query.num_atoms == 3
+        assert query.num_variables == 3
+        assert len(query.filters) == 2
+
+    def test_comparison_chain_expands_pairwise(self):
+        query = parse_query("edge(a,b), edge(b,c), a < b < c")
+        assert len(query.filters) == 2
+        ops = [(f.left, f.op, f.right) for f in query.filters]
+        assert (Variable("a"), "<", Variable("b")) in ops
+        assert (Variable("b"), "<", Variable("c")) in ops
+
+    def test_constants_parsed(self):
+        query = parse_query("edge(a, 7)")
+        assert query.atoms[0].terms == (Variable("a"), Constant(7))
+
+    def test_whitespace_and_trailing_dot_tolerated(self):
+        query = parse_query("  edge( a , b ) , edge(b,c) . ")
+        assert query.num_atoms == 2
+
+    def test_unary_atoms(self):
+        query = parse_query("v1(a), v2(d), edge(a,b), edge(b,c), edge(c,d)")
+        assert query.num_atoms == 5
+        assert query.relation_names == ("v1", "v2", "edge")
+
+    def test_head_selection(self):
+        query = parse_query("edge(a,b), edge(b,c)", head=["a", "c"])
+        assert query.head == (Variable("a"), Variable("c"))
+
+    def test_comparison_with_constant(self):
+        query = parse_query("edge(a,b), a < 10")
+        assert query.filters[0].right == Constant(10)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "a < b",                   # no relational atom
+        "edge(a,, b)",             # bad comma
+        "edge(a, b",               # missing paren
+        "edge(a b)",               # missing comma
+        "edge(a,b) edge(b,c)",     # missing separator
+        "edge(a,b), a !! b",       # bad operator
+        "edge(a,b), a",            # dangling term
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("edge(a, b); edge(b, c)")

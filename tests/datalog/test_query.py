@@ -1,0 +1,88 @@
+"""Tests for the ConjunctiveQuery representation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.datalog.atoms import Atom, ComparisonAtom
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Constant, Variable
+
+
+A, B, C, D = Variable("a"), Variable("b"), Variable("c"), Variable("d")
+
+
+def triangle() -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        [Atom("edge", (A, B)), Atom("edge", (B, C)), Atom("edge", (A, C))],
+        [ComparisonAtom(A, "<", B), ComparisonAtom(B, "<", C)],
+    )
+
+
+class TestStructure:
+    def test_variables_in_first_occurrence_order(self):
+        query = triangle()
+        assert query.variables == (A, B, C)
+        assert query.num_variables == 3
+        assert query.num_atoms == 3
+
+    def test_relation_names_deduplicated(self):
+        query = triangle()
+        assert query.relation_names == ("edge",)
+
+    def test_atoms_with(self):
+        query = triangle()
+        assert len(query.atoms_with(A)) == 2
+        assert len(query.atoms_with(D)) == 0
+
+    def test_filters_on(self):
+        query = triangle()
+        assert len(query.filters_on([A, B])) == 1
+        assert len(query.filters_on([A, B, C])) == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_filter_on_unknown_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("edge", (A, B))], [ComparisonAtom(C, "<", A)])
+
+    def test_head_must_use_query_variables(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("edge", (A, B))], head=[C])
+
+    def test_inconsistent_arity_detected(self):
+        query = ConjunctiveQuery([Atom("r", (A, B)), Atom("r", (A,))])
+        with pytest.raises(QueryError):
+            query.arity_map()
+
+    def test_arity_map(self):
+        assert triangle().arity_map() == {"edge": 2}
+
+
+class TestDerivedQueries:
+    def test_with_filters(self):
+        query = triangle().with_filters([ComparisonAtom(A, "<", C)])
+        assert len(query.filters) == 3
+
+    def test_without_filters(self):
+        assert triangle().without_filters().filters == ()
+
+    def test_restricted_to_atoms_keeps_applicable_filters(self):
+        query = triangle()
+        sub = query.restricted_to_atoms(query.atoms[:2])  # edge(a,b), edge(b,c)
+        assert sub.num_atoms == 2
+        # Both a<b and b<c mention only {a,b,c}, all still present.
+        assert len(sub.filters) == 2
+        sub_ab = query.restricted_to_atoms(query.atoms[:1])
+        assert len(sub_ab.filters) == 1  # only a < b survives
+
+    def test_has_constants(self):
+        query = ConjunctiveQuery([Atom("edge", (A, Constant(3)))])
+        assert query.has_constants()
+        assert not triangle().has_constants()
+
+    def test_str_roundtrips_structure(self):
+        text = str(triangle())
+        assert "edge(a, b)" in text
+        assert "a < b" in text

@@ -1,0 +1,53 @@
+"""Tests for variables, constants, and the Term union."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable, is_constant, is_variable
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("a") == Variable("a")
+        assert Variable("a") != Variable("b")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("a"), Variable("a"), Variable("b")}) == 2
+
+    def test_ordering_is_by_name(self):
+        assert Variable("a") < Variable("b")
+        assert sorted([Variable("c"), Variable("a")]) == [Variable("a"), Variable("c")]
+
+    def test_str_and_repr(self):
+        assert str(Variable("xy")) == "xy"
+        assert "xy" in repr(Variable("xy"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            Constant("3")  # type: ignore[arg-type]
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(True)  # type: ignore[arg-type]
+
+    def test_str(self):
+        assert str(Constant(42)) == "42"
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("a"))
+        assert not is_variable(Constant(1))
+
+    def test_is_constant(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("a"))

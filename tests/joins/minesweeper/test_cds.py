@@ -1,0 +1,185 @@
+"""Tests for the Constraint Data Structure (CDS) and computeFreeTuple."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.joins.minesweeper.cds import ConstraintTree
+from repro.joins.minesweeper.constraints import Constraint, WILDCARD
+from repro.joins.minesweeper.intervals import NEG_INF, POS_INF
+
+
+def constraint(width, prefix, position, low, high):
+    return Constraint(width=width, prefix=tuple(prefix), interval_position=position,
+                      low=low, high=high)
+
+
+class TestConstruction:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ExecutionError):
+            ConstraintTree(0)
+
+    def test_mismatched_constraint_width_rejected(self):
+        cds = ConstraintTree(3)
+        with pytest.raises(ExecutionError):
+            cds.insert_constraint(constraint(2, [], 0, 1, 5))
+
+    def test_empty_constraint_is_ignored(self):
+        cds = ConstraintTree(3)
+        cds.insert_constraint(constraint(3, [], 0, 4, 5))
+        assert cds.statistics.constraints_inserted == 0
+
+    def test_nodes_created_along_pattern(self):
+        cds = ConstraintTree(5)
+        cds.insert_constraint(constraint(5, [(0, 1), (2, 3)], 4, 1, 9))
+        # Pattern 1, *, 3, * creates four nodes below the root.
+        assert cds.node_count == 5
+
+    def test_children_swallowed_by_merged_interval(self):
+        """The point-list benefit of Idea 1: a wide interval prunes children."""
+        cds = ConstraintTree(3)
+        cds.insert_constraint(constraint(3, [(0, 5)], 1, 0, 3))   # child label 5
+        cds.insert_constraint(constraint(3, [(0, 9)], 1, 0, 3))   # child label 9
+        assert len(cds.root.children) == 2
+        cds.insert_constraint(constraint(3, [], 0, 4, 100))       # swallows 5 and 9
+        assert list(cds.root.children) == []
+
+
+class TestFrontier:
+    def test_frontier_moves_forward_only(self):
+        cds = ConstraintTree(2)
+        cds.set_frontier([3, 4])
+        with pytest.raises(ExecutionError):
+            cds.set_frontier([2, 9])
+
+    def test_frontier_length_checked(self):
+        cds = ConstraintTree(2)
+        with pytest.raises(ExecutionError):
+            cds.set_frontier([1])
+
+    def test_advance_after_output(self):
+        cds = ConstraintTree(3)
+        cds.set_frontier([1, 2, 3])
+        cds.advance_frontier_after_output()
+        assert cds.frontier == [1, 2, 4]
+
+
+class TestComputeFreeTuple:
+    def test_empty_cds_returns_current_frontier(self):
+        cds = ConstraintTree(3)
+        assert cds.compute_free_tuple()
+        assert cds.frontier == [-1, -1, -1]
+
+    def test_single_gap_skipped(self):
+        cds = ConstraintTree(1)
+        cds.insert_constraint(constraint(1, [], 0, NEG_INF, 7))
+        assert cds.compute_free_tuple()
+        assert cds.frontier == [7]
+
+    def test_paper_figure_2_top_left(self):
+        """After inserting <*,*,(5,7),*,*> the tuple (_,_,6,_,_) is covered."""
+        cds = ConstraintTree(5)
+        cds.insert_constraint(constraint(5, [], 2, 5, 7))
+        cds.set_frontier([2, 6, 6, 1, 3])
+        assert cds.compute_free_tuple()
+        assert cds.frontier == [2, 6, 7, -1, -1]
+
+    def test_paper_figure_2_top_right(self):
+        """With <*,*,7,*,(4,9)> added, (2,6,7,1,5) jumps to (2,6,7,1,9)."""
+        cds = ConstraintTree(5)
+        cds.insert_constraint(constraint(5, [], 2, 5, 7))
+        cds.insert_constraint(constraint(5, [(2, 7)], 4, 4, 9))
+        cds.set_frontier([2, 6, 7, 1, 5])
+        assert cds.compute_free_tuple()
+        assert cds.frontier == [2, 6, 7, 1, 9]
+
+    def test_wildcard_and_exact_constraints_combine(self):
+        cds = ConstraintTree(2)
+        cds.insert_constraint(constraint(2, [], 1, NEG_INF, 5))        # *, (-inf,5)
+        cds.insert_constraint(constraint(2, [(0, 0)], 1, 4, POS_INF))  # 0, (4,+inf)
+        cds.set_frontier([0, 0])
+        assert cds.compute_free_tuple()
+        # For first coordinate 0, values below 5 and above 4 are all gone,
+        # except the boundary 5... which the exact constraint (4, inf) covers
+        # only for > 4, so 5 is covered too; the search must move to [1, 5].
+        assert cds.frontier == [1, 5]
+
+    def test_whole_space_covered_returns_false(self):
+        cds = ConstraintTree(1)
+        cds.insert_constraint(constraint(1, [], 0, NEG_INF, POS_INF))
+        assert not cds.compute_free_tuple()
+
+    def test_backtracking_over_exhausted_branch(self):
+        """When every extension of a prefix is ruled out, the previous
+        coordinate is bumped (Algorithm 4's backtrack path)."""
+        cds = ConstraintTree(2)
+        cds.insert_constraint(constraint(2, [(0, 3)], 1, NEG_INF, POS_INF))
+        cds.set_frontier([3, 0])
+        assert cds.compute_free_tuple()
+        assert cds.frontier[0] == 4
+
+    def test_truncation_rules_out_dead_branch(self):
+        """Covering everything under pattern <3> inserts (2,4) at the root."""
+        cds = ConstraintTree(2)
+        cds.insert_constraint(constraint(2, [(0, 3)], 1, NEG_INF, POS_INF))
+        cds.set_frontier([3, 0])
+        cds.compute_free_tuple()
+        assert cds.statistics.truncations >= 1
+        assert cds.root.intervals.covers(3)
+
+    def test_free_tuple_is_never_covered(self):
+        """Randomised invariant: whatever compute_free_tuple returns is not
+        inside any stored gap box."""
+        import random
+        rng = random.Random(5)
+        cds = ConstraintTree(3)
+        constraints = []
+        for _ in range(60):
+            position = rng.randrange(3)
+            prefix = tuple(
+                (p, rng.randrange(4)) for p in range(position) if rng.random() < 0.5
+            )
+            low = rng.randrange(-1, 6)
+            high = low + rng.randrange(2, 5)
+            c = constraint(3, prefix, position, low, high)
+            constraints.append(c)
+            cds.insert_constraint(c)
+        while cds.compute_free_tuple():
+            free = list(cds.frontier)
+            if any(value > 8 for value in free):
+                break
+            assert not cds.covers(free)
+            for c in constraints:
+                assert not c.excludes(free)
+            cds.advance_frontier_after_output()
+
+
+class TestIdeaSwitches:
+    def test_interval_caching_populates_bottom_node(self):
+        cds = ConstraintTree(2, enable_interval_caching=True)
+        cds.insert_constraint(constraint(2, [], 1, 2, 6))
+        cds.insert_constraint(constraint(2, [(0, 1)], 1, 5, 9))
+        cds.set_frontier([1, 3])
+        cds.compute_free_tuple()
+        assert cds.statistics.cache_intervals_inserted >= 1
+
+    def test_caching_can_be_disabled(self):
+        cds = ConstraintTree(2, enable_interval_caching=False,
+                             enable_complete_nodes=False)
+        cds.insert_constraint(constraint(2, [], 1, 2, 6))
+        cds.insert_constraint(constraint(2, [(0, 1)], 1, 5, 9))
+        cds.set_frontier([1, 3])
+        cds.compute_free_tuple()
+        assert cds.statistics.cache_intervals_inserted == 0
+
+    def test_statistics_counters_move(self):
+        cds = ConstraintTree(2)
+        cds.insert_constraint(constraint(2, [], 0, 0, 10))
+        cds.compute_free_tuple()
+        assert cds.statistics.free_tuples_returned == 1
+        assert cds.statistics.constraints_inserted == 1
+        assert cds.statistics.ping_pong_rounds >= 1
+
+    def test_covers_helper_checks_width(self):
+        cds = ConstraintTree(3)
+        with pytest.raises(ExecutionError):
+            cds.covers((1, 2))

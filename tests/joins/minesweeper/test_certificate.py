@@ -1,0 +1,102 @@
+"""Tests for box certificates (§4.5): coverage, size, and sub-linearity."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.joins.minesweeper.certificate import (
+    BoxCertificate,
+    certificate_size,
+    certified_run,
+)
+from repro.joins.minesweeper.constraints import Constraint
+from repro.joins.minesweeper.engine import MinesweeperOptions
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, Relation, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+
+class TestBoxCertificate:
+    def test_size_counts_boxes_and_outputs(self):
+        certificate = BoxCertificate(width=2, attribute_order=())
+        certificate.add_box(Constraint(width=2, prefix=(), interval_position=0,
+                                       low=1, high=5))
+        certificate.add_output((0, 0))
+        certificate.add_output((5, 1))
+        assert certificate.size == 3
+        assert certificate.covers((3, 9))
+        assert not certificate.covers((5, 1))
+
+    def test_boxes_by_source(self):
+        certificate = BoxCertificate(width=2, attribute_order=())
+        certificate.add_box(Constraint(width=2, prefix=(), interval_position=0,
+                                       low=1, high=5, source="edge#0"))
+        certificate.add_box(Constraint(width=2, prefix=(), interval_position=1,
+                                       low=1, high=5, source="edge#0"))
+        certificate.add_box(Constraint(width=2, prefix=(), interval_position=1,
+                                       low=7, high=9, source="v1#1"))
+        assert certificate.boxes_by_source() == {"edge#0": 2, "v1#1": 1}
+
+    def test_verify_detects_uncovered_point(self):
+        certificate = BoxCertificate(width=1, attribute_order=())
+        certificate.add_box(Constraint(width=1, prefix=(), interval_position=0,
+                                       low=0, high=3))
+        certificate.add_output((0,))
+        # Value 3 is neither an output nor inside the open box (0, 3).
+        assert not certificate.verify([[0, 1, 2, 3]])
+        assert certificate.verify([[0, 1, 2]])
+
+
+class TestCertifiedRun:
+    def test_certificate_covers_everything_but_the_outputs(self):
+        db = Database([edge_relation_from_pairs(
+            [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)])])
+        query = parse_query("edge(a,b), edge(b,c), edge(a,c), a<b, b<c")
+        outputs, certificate = certified_run(db, query)
+        expected = {
+            tuple(b[v] for v in certificate.attribute_order)
+            for b in NaiveBacktrackingJoin().enumerate_bindings(db, query)
+        }
+        domain = db.relation("edge").active_domain()
+        assert certificate.verify([domain] * certificate.width,
+                                  expected_outputs=expected)
+
+    def test_certificate_covers_acyclic_query_space(self):
+        db = Database([
+            edge_relation_from_pairs([(1, 2), (2, 3), (3, 4), (4, 5)]),
+            node_relation([1, 3], "v1"),
+            node_relation([3, 5], "v2"),
+        ])
+        query = build_query("3-path")
+        outputs, certificate = certified_run(db, query)
+        domain = db.relation("edge").active_domain()
+        assert certificate.verify([domain] * certificate.width)
+        assert len(outputs) == NaiveBacktrackingJoin().count(db, query)
+
+    def test_options_do_not_change_the_outputs(self, small_db):
+        query = build_query("2-comb")
+        baseline_outputs, _ = certified_run(small_db, query,
+                                            options=MinesweeperOptions.baseline())
+        default_outputs, _ = certified_run(small_db, query)
+        as_tuples = lambda outs, order: {tuple(b[v] for v in order) for b in outs}
+        order = build_query("2-comb").variables
+        assert as_tuples(baseline_outputs, order) == as_tuples(default_outputs, order)
+
+    def test_certificate_is_sublinear_on_an_easy_instance(self):
+        """The beyond-worst-case story: on a path query whose endpoints are a
+        tiny sample, the certificate is much smaller than the input."""
+        db = graph_database(150, 900, seed=97, sample_size=1)
+        query = build_query("3-path")
+        size = certificate_size(db, query)
+        input_tuples = sum(len(db.relation(name)) for name in db.names())
+        assert size < input_tuples / 2
+
+    def test_probe_cache_does_not_inflate_the_certificate(self, small_db):
+        query = build_query("3-path")
+        cached = certificate_size(small_db, query,
+                                  options=MinesweeperOptions())
+        uncached = certificate_size(small_db, query,
+                                    options=MinesweeperOptions(
+                                        enable_probe_cache=False))
+        assert cached <= uncached

@@ -1,0 +1,118 @@
+"""Tests for gap-box constraints (Definition 4.1)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.joins.minesweeper.constraints import (
+    Constraint,
+    WILDCARD,
+    constraint_from_gap,
+    excluded_intervals,
+)
+from repro.joins.minesweeper.intervals import NEG_INF, POS_INF
+
+
+class TestConstruction:
+    def test_paper_example_constraint_one(self):
+        """Constraint (1): <*, *, (5,7), *, *, *, *>."""
+        constraint = Constraint(width=7, prefix=(), interval_position=2,
+                                low=5, high=7)
+        assert constraint.pattern() == (WILDCARD, WILDCARD)
+        assert str(constraint) == "<*, *, (5,7), *, *, *, *>"
+
+    def test_paper_example_constraint_two(self):
+        """Constraint (2): <*, *, 7, *, (4,9), *, *>."""
+        constraint = Constraint(width=7, prefix=((2, 7),), interval_position=4,
+                                low=4, high=9)
+        assert constraint.pattern() == (WILDCARD, WILDCARD, 7, WILDCARD)
+
+    def test_interval_position_out_of_range_rejected(self):
+        with pytest.raises(ExecutionError):
+            Constraint(width=3, prefix=(), interval_position=3, low=1, high=5)
+
+    def test_prefix_after_interval_rejected(self):
+        with pytest.raises(ExecutionError):
+            Constraint(width=3, prefix=((2, 1),), interval_position=1, low=1, high=5)
+
+    def test_unsorted_prefix_rejected(self):
+        with pytest.raises(ExecutionError):
+            Constraint(width=5, prefix=((2, 1), (0, 3)), interval_position=4,
+                       low=1, high=5)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ExecutionError):
+            Constraint(width=3, prefix=(), interval_position=0, low=5, high=5)
+
+    def test_is_empty(self):
+        constraint = Constraint(width=3, prefix=(), interval_position=0,
+                                low=4, high=5)
+        assert constraint.is_empty()
+
+
+class TestSemantics:
+    def test_excludes_matches_pattern_and_interval(self):
+        constraint = Constraint(width=4, prefix=((1, 6),), interval_position=2,
+                                low=3, high=9)
+        assert constraint.excludes((0, 6, 5, 0))
+        assert not constraint.excludes((0, 7, 5, 0))    # pattern mismatch
+        assert not constraint.excludes((0, 6, 3, 0))    # boundary not inside
+        assert not constraint.excludes((0, 6, 9, 0))
+
+    def test_excludes_checks_width(self):
+        constraint = Constraint(width=3, prefix=(), interval_position=0,
+                                low=1, high=4)
+        with pytest.raises(ExecutionError):
+            constraint.excludes((1, 2))
+
+    def test_advance_frontier_past_bounded_interval(self):
+        constraint = Constraint(width=3, prefix=((0, 2),), interval_position=1,
+                                low=3, high=9)
+        successor = constraint.advance_frontier_past((2, 5, 7))
+        assert successor == [2, 9, -1]
+
+    def test_advance_frontier_past_unbounded_interval(self):
+        constraint = Constraint(width=3, prefix=(), interval_position=1,
+                                low=3, high=POS_INF)
+        successor = constraint.advance_frontier_past((2, 5, 7))
+        assert successor == [3, -1, -1]
+
+    def test_advance_frontier_exhausted_space(self):
+        constraint = Constraint(width=3, prefix=(), interval_position=0,
+                                low=3, high=POS_INF)
+        assert constraint.advance_frontier_past((5, 0, 0)) is None
+
+    def test_advance_requires_covered_point(self):
+        constraint = Constraint(width=3, prefix=(), interval_position=0,
+                                low=3, high=9)
+        with pytest.raises(ExecutionError):
+            constraint.advance_frontier_past((1, 0, 0))
+
+
+class TestHelpers:
+    def test_constraint_from_gap_with_unbounded_sides(self):
+        constraint = constraint_from_gap(
+            width=4, exact_positions=(0,), exact_values=(3,),
+            interval_position=2, low=None, high=7, source="edge#1",
+        )
+        assert constraint.low == NEG_INF and constraint.high == 7
+        assert constraint.source == "edge#1"
+
+    @pytest.mark.parametrize("op,bound,inside,outside", [
+        ("<", 5, 3, 6),      # bound < x fails for x <= 5
+        ("<=", 5, 4, 5),
+        (">", 5, 8, 4),      # bound > x fails for x >= 5
+        (">=", 5, 6, 5),
+        ("=", 5, 7, 5),
+        ("!=", 5, 5, 6),
+    ])
+    def test_excluded_intervals_cover_exactly_the_violations(self, op, bound,
+                                                             inside, outside):
+        intervals = excluded_intervals(op, bound)
+        def covered(value):
+            return any(low < value < high for low, high in intervals)
+        assert covered(inside)
+        assert not covered(outside)
+
+    def test_excluded_intervals_unknown_op(self):
+        with pytest.raises(ExecutionError):
+            excluded_intervals("<>", 1)

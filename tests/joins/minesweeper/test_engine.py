@@ -1,0 +1,151 @@
+"""Tests for the Minesweeper engine (outer loop, options, Idea 7 skeleton)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.parser import parse_query
+from repro.joins.minesweeper.engine import MinesweeperJoin, MinesweeperOptions
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, Relation, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern_name", [
+        "3-clique", "4-clique", "4-cycle", "3-path", "4-path",
+        "1-tree", "2-comb", "2-lollipop",
+    ])
+    def test_patterns_match_oracle(self, small_db, pattern_name):
+        query = build_query(pattern_name)
+        assert MinesweeperJoin().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_2_tree_on_four_samples(self, medium_db):
+        query = build_query("2-tree")
+        assert MinesweeperJoin().count(medium_db, query) == \
+            NaiveBacktrackingJoin().count(medium_db, query)
+
+    def test_constants_in_atoms(self, triangle_db):
+        query = parse_query("edge(1, b), edge(b, c), edge(1, c), b < c")
+        assert MinesweeperJoin().count(triangle_db, query) == \
+            NaiveBacktrackingJoin().count(triangle_db, query)
+
+    def test_empty_relation(self):
+        db = Database([Relation("edge", 2, []), node_relation([1], "v1"),
+                       node_relation([2], "v2")])
+        assert MinesweeperJoin().count(db, build_query("3-path")) == 0
+
+    def test_ground_atom_that_is_absent(self, triangle_db):
+        query = parse_query("edge(0, 4), edge(a, b)")
+        assert MinesweeperJoin().count(triangle_db, query) == 0
+
+    def test_filters_with_constants(self, small_db):
+        query = parse_query("edge(a,b), a < 5, b != 3")
+        assert MinesweeperJoin().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_enumeration_matches_count(self, small_db):
+        query = build_query("2-comb")
+        algorithm = MinesweeperJoin()
+        assert len(list(algorithm.enumerate_bindings(small_db, query))) == \
+            algorithm.count(small_db, query)
+
+    def test_bindings_are_distinct_and_satisfy_query(self, small_db):
+        query = build_query("3-path")
+        edge = small_db.relation("edge")
+        v1 = small_db.relation("v1")
+        v2 = small_db.relation("v2")
+        seen = set()
+        for binding in MinesweeperJoin().enumerate_bindings(small_db, query):
+            values = {v.name: binding[v] for v in query.variables}
+            key = tuple(sorted(values.items()))
+            assert key not in seen
+            seen.add(key)
+            assert (values["a"],) in v1 and (values["d"],) in v2
+            assert (values["a"], values["b"]) in edge
+            assert (values["b"], values["c"]) in edge
+            assert (values["c"], values["d"]) in edge
+
+
+class TestOptions:
+    @pytest.mark.parametrize("options", [
+        MinesweeperOptions(),
+        MinesweeperOptions.baseline(),
+        MinesweeperOptions(enable_probe_cache=False),
+        MinesweeperOptions(enable_interval_caching=False),
+        MinesweeperOptions(enable_complete_nodes=False),
+        MinesweeperOptions(use_skeleton=False),
+    ])
+    def test_every_option_combination_is_correct(self, small_db, options):
+        for pattern_name in ("3-clique", "3-path", "2-comb"):
+            query = build_query(pattern_name)
+            assert MinesweeperJoin(options=options).count(small_db, query) == \
+                NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_probe_cache_reduces_index_seeks(self):
+        db = graph_database(30, 90, seed=19)
+        query = build_query("3-path")
+        with_cache = MinesweeperJoin(options=MinesweeperOptions())
+        without_cache = MinesweeperJoin(
+            options=MinesweeperOptions(enable_probe_cache=False))
+        assert with_cache.count(db, query) == without_cache.count(db, query)
+        seeks_with = sum(s["index_seeks"] for s in with_cache.last_statistics.probe_statistics)
+        seeks_without = sum(s["index_seeks"] for s in without_cache.last_statistics.probe_statistics)
+        assert seeks_with <= seeks_without
+
+    def test_explicit_gao_is_respected_and_correct(self, small_db):
+        query = build_query("3-path")
+        reference = NaiveBacktrackingJoin().count(small_db, query)
+        for order in (["a", "b", "c", "d"], ["d", "c", "b", "a"],
+                      ["b", "a", "c", "d"]):
+            assert MinesweeperJoin(variable_order=order).count(small_db, query) == \
+                reference
+
+    def test_unknown_explicit_gao_variable_rejected(self, small_db):
+        with pytest.raises(ExecutionError):
+            MinesweeperJoin(variable_order=["a", "b", "z"]).count(
+                small_db, build_query("3-clique"))
+
+    def test_incomplete_explicit_gao_rejected(self, small_db):
+        with pytest.raises(ExecutionError):
+            MinesweeperJoin(variable_order=["a", "b"]).count(
+                small_db, build_query("3-clique"))
+
+
+class TestSkeleton:
+    def test_skeleton_of_acyclic_query_is_everything(self, small_db):
+        query = build_query("3-path")
+        algorithm = MinesweeperJoin()
+        algorithm.count(small_db, query)
+        assert algorithm.last_statistics.skeleton_size == len(query.atoms)
+
+    def test_skeleton_of_cyclic_query_is_proper_subset(self, small_db):
+        query = build_query("3-clique")
+        algorithm = MinesweeperJoin()
+        algorithm.count(small_db, query)
+        stats = algorithm.last_statistics
+        assert 0 < stats.skeleton_size < stats.num_atoms
+
+    def test_skeleton_atoms_induce_beta_acyclic_subquery(self):
+        for name in ("3-clique", "4-clique", "4-cycle", "2-lollipop"):
+            query = build_query(name)
+            skeleton = MinesweeperJoin._skeleton_atoms(query)
+            edges = [set(query.atoms[i].variables) for i in sorted(skeleton)]
+            assert Hypergraph(query.variables, edges).is_beta_acyclic()
+
+    def test_disabling_skeleton_still_correct_on_cyclic_query(self, small_db):
+        query = build_query("4-cycle")
+        options = MinesweeperOptions(use_skeleton=False)
+        assert MinesweeperJoin(options=options).count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_statistics_report_probe_counters(self, small_db):
+        algorithm = MinesweeperJoin()
+        algorithm.count(small_db, build_query("3-clique"))
+        stats = algorithm.last_statistics
+        assert stats.free_tuples_examined > 0
+        assert len(stats.probe_statistics) == 3
+        assert all(entry["probes"] > 0 for entry in stats.probe_statistics)

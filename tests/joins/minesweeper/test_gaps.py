@@ -1,0 +1,109 @@
+"""Tests for gap probing against trie indexes (Ideas 3 and 4)."""
+
+import pytest
+
+from repro.joins.minesweeper.gaps import AtomProbePlan, GapProber, build_probe_plans
+from repro.joins.minesweeper.intervals import NEG_INF, POS_INF
+from repro.storage.relation import Relation
+from repro.storage.trie import TrieIndex
+
+
+@pytest.fixture
+def figure_one_index() -> TrieIndex:
+    """The relation R of Figure 1 (attributes A2, A4, A5)."""
+    rows = [
+        (5, 1, 4), (5, 1, 7), (5, 1, 12),
+        (7, 4, 6), (7, 9, 8), (7, 9, 13),
+        (10, 4, 1),
+    ]
+    return TrieIndex(Relation("R", 3, rows), (0, 1, 2))
+
+
+def prober(index: TrieIndex, enable_cache: bool = True) -> GapProber:
+    plan = AtomProbePlan(atom_index=0, atom_name="R", index=index,
+                         gao_positions=(2, 4, 5))
+    return GapProber(plan, width=7, enable_cache=enable_cache)
+
+
+class TestSeekGap:
+    def test_gap_at_first_level(self, figure_one_index):
+        """Free tuple (2,6,6,1,3,7,9): A2 = 6 falls between 5 and 7."""
+        gap = prober(figure_one_index).seek_gap((2, 6, 6, 1, 3, 7, 9))
+        assert gap is not None
+        assert gap.interval_position == 2
+        assert (gap.low, gap.high) == (5, 7)
+        assert gap.prefix == ()
+
+    def test_gap_inside_hyperplane(self, figure_one_index):
+        """Free tuple (2,6,7,1,5,8,9): inside A2 = 7 the band is (4, 9)."""
+        gap = prober(figure_one_index).seek_gap((2, 6, 7, 1, 5, 8, 9))
+        assert gap is not None
+        assert gap.prefix == ((2, 7),)
+        assert gap.interval_position == 4
+        assert (gap.low, gap.high) == (4, 9)
+
+    def test_projection_present_returns_none(self, figure_one_index):
+        assert prober(figure_one_index).seek_gap((0, 0, 7, 0, 9, 13, 0)) is None
+
+    def test_gap_at_last_level(self, figure_one_index):
+        gap = prober(figure_one_index).seek_gap((0, 0, 7, 0, 9, 9, 0))
+        assert gap is not None
+        assert gap.interval_position == 5
+        assert (gap.low, gap.high) == (8, 13)
+
+    def test_unbounded_gap_below_and_above(self, figure_one_index):
+        below = prober(figure_one_index).seek_gap((0, 0, 1, 0, 0, 0, 0))
+        assert below is not None and below.low == NEG_INF and below.high == 5
+        above = prober(figure_one_index).seek_gap((0, 0, 99, 0, 0, 0, 0))
+        assert above is not None and above.low == 10 and above.high == POS_INF
+
+    def test_gap_source_names_the_atom(self, figure_one_index):
+        gap = prober(figure_one_index).seek_gap((0, 0, 6, 0, 0, 0, 0))
+        assert gap is not None and gap.source.startswith("R#")
+
+
+class TestProbeCache:
+    def test_repeated_present_probe_hits_cache(self, figure_one_index):
+        probe = prober(figure_one_index)
+        point = (0, 0, 7, 0, 9, 13, 0)
+        assert probe.seek_gap(point) is None
+        seeks_before = probe.statistics.index_seeks
+        assert probe.seek_gap(point) is None
+        assert probe.statistics.index_seeks == seeks_before
+        assert probe.statistics.cache_hits_present == 1
+
+    def test_repeated_gap_probe_hits_cache(self, figure_one_index):
+        probe = prober(figure_one_index)
+        first = probe.seek_gap((0, 0, 6, 0, 0, 0, 0))
+        seeks_before = probe.statistics.index_seeks
+        second = probe.seek_gap((0, 0, 6, 0, 1, 1, 0))
+        assert probe.statistics.index_seeks == seeks_before
+        assert probe.statistics.cache_hits_gap == 1
+        assert (second.low, second.high) == (first.low, first.high)
+
+    def test_cache_can_be_disabled(self, figure_one_index):
+        probe = prober(figure_one_index, enable_cache=False)
+        probe.seek_gap((0, 0, 6, 0, 0, 0, 0))
+        probe.seek_gap((0, 0, 6, 0, 0, 0, 0))
+        assert probe.statistics.cache_hits_gap == 0
+        assert probe.statistics.index_seeks == 2
+
+    def test_statistics_counters(self, figure_one_index):
+        probe = prober(figure_one_index)
+        probe.seek_gap((0, 0, 6, 0, 0, 0, 0))
+        probe.seek_gap((0, 0, 7, 0, 9, 13, 0))
+        stats = probe.statistics
+        assert stats.probes_issued == 2
+        assert stats.gaps_found == 1
+        assert stats.index_seeks >= 3
+
+
+class TestBuildProbePlans:
+    def test_skeleton_membership(self, figure_one_index):
+        plans = build_probe_plans(
+            [(0, "R", figure_one_index, (0, 1, 2)),
+             (1, "S", figure_one_index, (0, 2, 3))],
+            skeleton={0},
+        )
+        assert plans[0].in_skeleton and not plans[1].in_skeleton
+        assert plans[1].arity == 3

@@ -1,0 +1,118 @@
+"""Tests for the IntervalList (Idea 1's interval machinery)."""
+
+import pytest
+
+from repro.joins.minesweeper.intervals import (
+    NEG_INF,
+    POS_INF,
+    IntervalList,
+    interval_is_empty,
+)
+
+
+class TestIntervalEmptiness:
+    @pytest.mark.parametrize("low,high,empty", [
+        (1, 2, True),       # no integer strictly between 1 and 2
+        (1, 3, False),      # contains 2
+        (5, 5, True),
+        (7, 3, True),
+        (NEG_INF, 0, False),
+        (0, POS_INF, False),
+        (NEG_INF, POS_INF, False),
+    ])
+    def test_cases(self, low, high, empty):
+        assert interval_is_empty(low, high) is empty
+
+
+class TestInsertAndMerge:
+    def test_insert_keeps_sorted_disjoint(self):
+        intervals = IntervalList()
+        intervals.insert(10, 20)
+        intervals.insert(1, 5)
+        assert intervals.intervals() == [(1, 5), (10, 20)]
+
+    def test_overlapping_intervals_merge(self):
+        intervals = IntervalList()
+        intervals.insert(1, 10)
+        low, high = intervals.insert(5, 15)
+        assert (low, high) == (1, 15)
+        assert intervals.intervals() == [(1, 15)]
+
+    def test_touching_intervals_stay_separate(self):
+        """(1,3) and (3,5) do not merge: 3 is covered by neither."""
+        intervals = IntervalList()
+        intervals.insert(1, 3)
+        intervals.insert(3, 5)
+        assert len(intervals) == 2
+        assert not intervals.covers(3)
+
+    def test_containing_interval_swallows_many(self):
+        intervals = IntervalList()
+        for low in (1, 10, 20, 30):
+            intervals.insert(low, low + 5)
+        intervals.insert(0, 100)
+        assert intervals.intervals() == [(0, 100)]
+
+    def test_empty_interval_ignored(self):
+        intervals = IntervalList()
+        intervals.insert(4, 5)
+        assert len(intervals) == 0
+
+    def test_unbounded_intervals(self):
+        intervals = IntervalList()
+        intervals.insert(NEG_INF, 5)
+        intervals.insert(10, POS_INF)
+        assert intervals.covers(-100)
+        assert intervals.covers(100)
+        assert not intervals.covers(7)
+
+    def test_insert_many_and_clear(self):
+        intervals = IntervalList()
+        intervals.insert_many([(1, 5), (7, 9)])
+        assert len(intervals) == 2
+        intervals.clear()
+        assert not intervals
+
+
+class TestQueries:
+    def test_covers_is_strict(self):
+        intervals = IntervalList()
+        intervals.insert(3, 7)
+        assert not intervals.covers(3)
+        assert intervals.covers(4)
+        assert not intervals.covers(7)
+
+    def test_next_free_skips_covered_ranges(self):
+        intervals = IntervalList()
+        intervals.insert(3, 7)
+        intervals.insert(7, 12)   # touching: 7 itself stays free
+        assert intervals.next_free(0) == 0
+        assert intervals.next_free(4) == 7
+        assert intervals.next_free(8) == 12
+        assert intervals.next_free(12) == 12
+
+    def test_next_free_chains_through_merged_interval(self):
+        intervals = IntervalList()
+        intervals.insert(3, 8)
+        intervals.insert(5, 12)
+        assert intervals.next_free(4) == 12
+
+    def test_next_free_unbounded_returns_infinity(self):
+        intervals = IntervalList()
+        intervals.insert(5, POS_INF)
+        assert intervals.next_free(10) == POS_INF
+        assert intervals.next_free(5) == 5
+
+    def test_has_no_free_value(self):
+        intervals = IntervalList()
+        assert not intervals.has_no_free_value()
+        intervals.insert(NEG_INF, POS_INF)
+        assert intervals.has_no_free_value()
+
+    def test_covered_span(self):
+        intervals = IntervalList()
+        intervals.insert(0, 5)    # covers 1..4
+        intervals.insert(10, 12)  # covers 11
+        assert intervals.covered_span() == 5
+        intervals.insert(20, POS_INF)
+        assert intervals.covered_span() == POS_INF

@@ -1,0 +1,95 @@
+"""Tests for output-space partitioning and the work-stealing model (§4.10)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.joins.minesweeper.engine import MinesweeperJoin
+from repro.joins.minesweeper.parallel import (
+    PartitionedMinesweeper,
+    simulate_work_stealing,
+)
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, Relation, node_relation
+
+from tests.conftest import graph_database
+
+
+class TestWorkStealingModel:
+    def test_single_worker_is_the_sum(self):
+        assert simulate_work_stealing([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_many_workers_bounded_by_longest_job(self):
+        durations = [5.0, 1.0, 1.0, 1.0]
+        assert simulate_work_stealing(durations, 4) == pytest.approx(5.0)
+
+    def test_list_scheduling_order(self):
+        # Jobs are claimed in submission order: [3, 3, 1, 1] on 2 workers
+        # finishes at 4 (3+1 on each worker).
+        assert simulate_work_stealing([3.0, 3.0, 1.0, 1.0], 2) == pytest.approx(4.0)
+
+    def test_no_jobs(self):
+        assert simulate_work_stealing([], 4) == 0.0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ExecutionError):
+            simulate_work_stealing([1.0], 0)
+
+    def test_makespan_never_beats_perfect_speedup(self):
+        durations = [0.5, 0.25, 1.0, 0.75, 0.33, 0.2]
+        for workers in (1, 2, 3, 4):
+            makespan = simulate_work_stealing(durations, workers)
+            assert makespan >= sum(durations) / workers - 1e-9
+            assert makespan <= sum(durations)
+
+
+class TestPartitionedMinesweeper:
+    @pytest.mark.parametrize("pattern_name", ["3-clique", "3-path", "2-comb"])
+    def test_counts_match_oracle(self, small_db, pattern_name):
+        query = build_query(pattern_name)
+        algorithm = PartitionedMinesweeper(num_workers=2, granularity=2)
+        assert algorithm.count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_partition_outputs_are_disjoint_and_complete(self):
+        db = graph_database(30, 100, seed=53)
+        query = build_query("3-clique")
+        algorithm = PartitionedMinesweeper(num_workers=4, granularity=2)
+        rows = [tuple(b[v] for v in query.variables)
+                for b in algorithm.enumerate_bindings(db, query)]
+        assert len(rows) == len(set(rows))
+        reference = {tuple(b[v] for v in query.variables)
+                     for b in MinesweeperJoin().enumerate_bindings(db, query)}
+        assert set(rows) == reference
+
+    def test_report_structure(self, small_db):
+        query = build_query("3-clique")
+        algorithm = PartitionedMinesweeper(num_workers=2, granularity=3)
+        count = algorithm.count(small_db, query)
+        report = algorithm.last_report
+        assert report is not None
+        assert report.total_outputs == count
+        assert 1 <= len(report.parts) <= algorithm.num_parts
+        assert report.sequential_duration == pytest.approx(
+            sum(report.part_durations))
+        assert report.makespan(4) <= report.sequential_duration + 1e-9
+
+    def test_granularity_increases_part_count(self):
+        db = graph_database(40, 150, seed=59)
+        query = build_query("3-clique")
+        coarse = PartitionedMinesweeper(num_workers=2, granularity=1)
+        fine = PartitionedMinesweeper(num_workers=2, granularity=4)
+        assert coarse.count(db, query) == fine.count(db, query)
+        assert len(fine.last_report.parts) >= len(coarse.last_report.parts)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ExecutionError):
+            PartitionedMinesweeper(num_workers=0)
+        with pytest.raises(ExecutionError):
+            PartitionedMinesweeper(granularity=0)
+
+    def test_empty_edge_relation(self):
+        db = Database([Relation("edge", 2, []), node_relation([1], "v1"),
+                       node_relation([1], "v2")])
+        algorithm = PartitionedMinesweeper(num_workers=2, granularity=1)
+        assert algorithm.count(db, build_query("3-path")) == 0

@@ -1,0 +1,49 @@
+"""Tests for the hash-based Generic Join variant."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.datalog.parser import parse_query
+from repro.joins.generic import GenericJoin
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, Relation
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern_name", [
+        "3-clique", "4-clique", "4-cycle", "3-path", "2-comb", "1-tree",
+        "2-lollipop",
+    ])
+    def test_patterns_match_oracle(self, small_db, pattern_name):
+        query = build_query(pattern_name)
+        assert GenericJoin().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_agrees_with_explicit_order(self, small_db):
+        query = build_query("3-clique")
+        default = GenericJoin().count(small_db, query)
+        assert GenericJoin(variable_order=["c", "b", "a"]).count(small_db, query) == default
+
+    def test_unknown_order_variable_rejected(self, small_db):
+        with pytest.raises(ExecutionError):
+            GenericJoin(variable_order=["a", "b", "x"]).count(
+                small_db, build_query("3-clique")
+            )
+
+    def test_constants(self, triangle_db):
+        query = parse_query("edge(1, b), edge(b, c), edge(1, c), b < c")
+        assert GenericJoin().count(triangle_db, query) == \
+            NaiveBacktrackingJoin().count(triangle_db, query)
+
+    def test_empty_relation(self):
+        db = Database([Relation("edge", 2, [])])
+        assert GenericJoin().count(db, build_query("3-clique")) == 0
+
+    def test_bindings_are_distinct(self, small_db):
+        query = build_query("2-comb")
+        seen = set()
+        for binding in GenericJoin().enumerate_bindings(small_db, query):
+            key = tuple(binding[v] for v in query.variables)
+            assert key not in seen
+            seen.add(key)

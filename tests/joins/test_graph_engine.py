@@ -1,0 +1,79 @@
+"""Tests for the specialized graph engine (GraphLab stand-in)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.datalog.parser import parse_query
+from repro.joins.graph_engine import GraphEngine, recognise_clique
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query, clique_query
+
+from tests.conftest import graph_database
+
+
+class TestPatternRecognition:
+    def test_recognises_3_clique(self):
+        pattern = recognise_clique(build_query("3-clique"))
+        assert pattern is not None
+        assert pattern.k == 3
+        assert pattern.relation_name == "edge"
+        assert pattern.ordered_chain is not None
+
+    def test_recognises_4_clique(self):
+        pattern = recognise_clique(build_query("4-clique"))
+        assert pattern is not None and pattern.k == 4
+
+    def test_recognises_unordered_clique(self):
+        pattern = recognise_clique(clique_query(3, symmetry_breaking=False))
+        assert pattern is not None
+        assert pattern.ordered_chain is None
+
+    @pytest.mark.parametrize("name", ["4-cycle", "3-path", "2-comb", "2-lollipop"])
+    def test_rejects_non_cliques(self, name):
+        assert recognise_clique(build_query(name)) is None
+
+    def test_rejects_mixed_relations(self):
+        query = parse_query("edge(a,b), other(b,c), edge(a,c)")
+        assert recognise_clique(query) is None
+
+    def test_supports(self):
+        engine = GraphEngine()
+        assert engine.supports(build_query("3-clique"))
+        assert engine.supports(build_query("4-clique"))
+        assert not engine.supports(build_query("3-path"))
+
+
+class TestKernels:
+    def test_triangle_count_matches_oracle(self, triangle_db):
+        query = build_query("3-clique")
+        assert GraphEngine().count(triangle_db, query) == \
+            NaiveBacktrackingJoin().count(triangle_db, query) == 2
+
+    def test_4_clique_count_matches_oracle(self):
+        db = graph_database(25, 120, seed=31, samples=())
+        query = build_query("4-clique")
+        assert GraphEngine().count(db, query) == \
+            NaiveBacktrackingJoin().count(db, query)
+
+    def test_unordered_clique_counts_all_permutations(self, triangle_db):
+        ordered = GraphEngine().count(triangle_db, build_query("3-clique"))
+        unordered = GraphEngine().count(
+            triangle_db, clique_query(3, symmetry_breaking=False)
+        )
+        assert unordered == 6 * ordered
+
+    def test_bindings_respect_symmetry_breaking(self, triangle_db):
+        for binding in GraphEngine().enumerate_bindings(
+                triangle_db, build_query("3-clique")):
+            values = [binding[v] for v in build_query("3-clique").variables]
+            assert values == sorted(values)
+
+    def test_unsupported_query_raises(self, small_db):
+        with pytest.raises(ExecutionError):
+            GraphEngine().count(small_db, build_query("3-path"))
+
+    def test_larger_graph_matches_oracle(self):
+        db = graph_database(35, 180, seed=37, samples=())
+        query = build_query("3-clique")
+        assert GraphEngine().count(db, query) == \
+            NaiveBacktrackingJoin().count(db, query)

@@ -1,0 +1,79 @@
+"""Tests for the Minesweeper + LFTJ hybrid (§4.12)."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.datalog.terms import Variable
+from repro.joins.hybrid import HybridMinesweeperLeapfrog, cyclic_core, split_query
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+
+from tests.conftest import graph_database
+
+
+class TestDecomposition:
+    def test_core_of_lollipop_is_the_clique(self):
+        core = cyclic_core(build_query("2-lollipop"))
+        assert {v.name for v in core} == {"c", "d", "e"}
+
+    def test_core_of_acyclic_query_is_empty(self):
+        assert cyclic_core(build_query("3-path")) == set()
+
+    def test_core_of_pure_clique_is_everything(self):
+        core = cyclic_core(build_query("3-clique"))
+        assert {v.name for v in core} == {"a", "b", "c"}
+
+    def test_split_of_lollipop(self):
+        query = build_query("2-lollipop")
+        path_atoms, clique_atoms, interface = split_query(query)
+        assert len(clique_atoms) == 3          # the triangle c-d-e
+        assert len(path_atoms) == 3            # v1(a), edge(a,b), edge(b,c)
+        assert {v.name for v in interface} == {"c"}
+
+    def test_split_of_3_lollipop(self):
+        query = build_query("3-lollipop")
+        path_atoms, clique_atoms, interface = split_query(query)
+        assert len(clique_atoms) == 6          # the 4-clique d-e-f-g
+        assert len(path_atoms) == 4
+        assert {v.name for v in interface} == {"d"}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern_name", [
+        "2-lollipop", "3-clique", "4-cycle", "3-path", "2-comb",
+    ])
+    def test_patterns_match_oracle(self, small_db, pattern_name):
+        query = build_query(pattern_name)
+        assert HybridMinesweeperLeapfrog().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_lollipop_on_denser_graph(self):
+        db = graph_database(25, 110, seed=41, samples=("v1",), sample_size=5)
+        query = build_query("2-lollipop")
+        assert HybridMinesweeperLeapfrog().count(db, query) == \
+            NaiveBacktrackingJoin().count(db, query)
+
+    def test_cross_filters_are_enforced(self, small_db):
+        query = parse_query(
+            "v1(a), edge(a,b), edge(b,c), edge(c,d), edge(d,e), edge(c,e), a < e"
+        )
+        assert HybridMinesweeperLeapfrog().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_clique_results_are_cached_per_interface_value(self):
+        db = graph_database(25, 110, seed=43, samples=("v1",), sample_size=8)
+        query = build_query("2-lollipop")
+        algorithm = HybridMinesweeperLeapfrog()
+        algorithm.count(db, query)
+        # The number of LFTJ invocations equals the number of distinct
+        # interface values, never the number of path bindings.
+        distinct_c = len({
+            binding[Variable("c")]
+            for binding in NaiveBacktrackingJoin().enumerate_bindings(
+                db, query)
+        })
+        assert algorithm.last_clique_evaluations >= 1
+        path_query = parse_query("v1(a), edge(a,b), edge(b,c)")
+        path_bindings = NaiveBacktrackingJoin().count(db, path_query)
+        assert algorithm.last_clique_evaluations <= path_bindings
+        assert algorithm.last_clique_evaluations >= distinct_c

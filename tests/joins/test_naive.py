@@ -1,0 +1,61 @@
+"""Tests for the naive backtracking oracle (hand-checked answers)."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.storage import Database, Relation, edge_relation_from_pairs, node_relation
+
+
+class TestHandChecked:
+    def test_triangles_in_tiny_graph(self, triangle_db):
+        query = parse_query("edge(a,b), edge(b,c), edge(a,c), a<b, b<c")
+        assert NaiveBacktrackingJoin().count(triangle_db, query) == 2
+
+    def test_unordered_triangles_count_six_per_triangle(self, triangle_db):
+        query = parse_query("edge(a,b), edge(b,c), edge(a,c)")
+        assert NaiveBacktrackingJoin().count(triangle_db, query) == 12
+
+    def test_two_path(self):
+        db = Database([edge_relation_from_pairs([(1, 2), (2, 3)], undirected=False)])
+        query = parse_query("edge(a,b), edge(b,c)")
+        rows = sorted(
+            (binding[v] for v in query.variables)
+            for binding in NaiveBacktrackingJoin().enumerate_bindings(db, query)
+        )
+        assert [tuple(r) for r in rows] == [(1, 2, 3)]
+
+    def test_sample_relations_restrict_endpoints(self):
+        db = Database([
+            edge_relation_from_pairs([(1, 2), (2, 3), (3, 4)], undirected=False),
+            node_relation([1], "v1"),
+            node_relation([3, 4], "v2"),
+        ])
+        query = parse_query("v1(a), v2(c), edge(a,b), edge(b,c)")
+        assert NaiveBacktrackingJoin().count(db, query) == 1  # 1 -> 2 -> 3
+
+    def test_constant_in_query(self, triangle_db):
+        query = parse_query("edge(1, b), edge(b, c)")
+        count = NaiveBacktrackingJoin().count(triangle_db, query)
+        # Neighbours of 1 are {0, 2, 3}; each has its own neighbours.
+        assert count == sum(
+            len([x for x in (0, 1, 2, 3, 4) if (b, x) in triangle_db.relation("edge")])
+            for b in (0, 2, 3)
+        )
+
+    def test_empty_relation_gives_empty_output(self):
+        db = Database([Relation("edge", 2, []), node_relation([1], "v1")])
+        query = parse_query("v1(a), edge(a,b)")
+        assert NaiveBacktrackingJoin().count(db, query) == 0
+
+    def test_duplicate_atoms_do_not_duplicate_output(self, triangle_db):
+        query = parse_query("edge(a,b), edge(a,b), a<b")
+        base = parse_query("edge(a,b), a<b")
+        naive = NaiveBacktrackingJoin()
+        assert naive.count(triangle_db, query) == naive.count(triangle_db, base)
+
+    def test_bindings_are_set_semantics(self, triangle_db):
+        query = parse_query("edge(a,b), edge(b,c)")
+        bindings = list(NaiveBacktrackingJoin().enumerate_bindings(triangle_db, query))
+        keys = [tuple(b[v] for v in query.variables) for b in bindings]
+        assert len(keys) == len(set(keys))

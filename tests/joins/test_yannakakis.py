@@ -1,0 +1,82 @@
+"""Tests for the Yannakakis acyclic-query algorithm."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.datalog.parser import parse_query
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.joins.yannakakis import YannakakisJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, Relation, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pattern_name", [
+        "3-path", "4-path", "1-tree", "2-comb",
+    ])
+    def test_acyclic_patterns_match_oracle(self, medium_db, pattern_name):
+        query = build_query(pattern_name)
+        assert YannakakisJoin().count(medium_db, query) == \
+            NaiveBacktrackingJoin().count(medium_db, query)
+
+    def test_counting_mode_matches_enumeration(self, small_db):
+        query = build_query("3-path")
+        algorithm = YannakakisJoin()
+        assert algorithm.count(small_db, query) == \
+            len(list(algorithm.enumerate_bindings(small_db, query)))
+
+    def test_cyclic_query_rejected(self, small_db):
+        with pytest.raises(ExecutionError):
+            YannakakisJoin().count(small_db, build_query("4-cycle"))
+
+    def test_filters_fall_back_to_enumeration(self, small_db):
+        query = parse_query("edge(a,b), edge(b,c), a < c")
+        assert YannakakisJoin().count(small_db, query) == \
+            NaiveBacktrackingJoin().count(small_db, query)
+
+    def test_empty_sample_relation(self):
+        db = Database([
+            edge_relation_from_pairs([(1, 2), (2, 3)]),
+            Relation("v1", 1, []),
+            node_relation([3], "v2"),
+        ])
+        query = build_query("3-path")
+        assert YannakakisJoin().count(db, query) == 0
+
+    def test_disconnected_query_components(self):
+        db = Database([
+            edge_relation_from_pairs([(1, 2), (2, 3)]),
+            node_relation([1, 2], "v1"),
+            node_relation([7, 8, 9], "v3"),
+        ])
+        query = parse_query("v1(a), edge(a,b), v3(c)")
+        assert YannakakisJoin().count(db, query) == \
+            NaiveBacktrackingJoin().count(db, query)
+
+
+class TestSemijoinReduction:
+    def test_dangling_tuples_removed(self):
+        """After the reduction no relation keeps tuples that cannot join."""
+        db = Database([
+            edge_relation_from_pairs([(1, 2), (2, 3), (8, 9)], undirected=False),
+            node_relation([1], "v1"),
+            node_relation([3], "v2"),
+        ])
+        query = build_query("3-path")
+        algorithm = YannakakisJoin()
+        count = algorithm.count(db, query)
+        naive = NaiveBacktrackingJoin().count(db, query)
+        assert count == naive
+        assert algorithm.last_semijoin_sizes  # recorded for diagnostics
+
+    def test_intermediate_sizes_bounded_by_input_plus_output(self):
+        """The headline Yannakakis guarantee on a path query."""
+        db = graph_database(40, 160, seed=23)
+        query = build_query("3-path")
+        algorithm = YannakakisJoin()
+        output = algorithm.count(db, query)
+        input_size = sum(len(db.relation(name)) for name in db.names())
+        assert all(size <= input_size for size in algorithm.last_semijoin_sizes)
+        assert output == NaiveBacktrackingJoin().count(db, query)

@@ -1,0 +1,80 @@
+"""Tests for the Database catalog and its index cache."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def database() -> Database:
+    return Database([
+        Relation("edge", 2, [(1, 2), (2, 3), (1, 3)]),
+        Relation("v1", 1, [(1,), (2,)]),
+    ])
+
+
+class TestCatalog:
+    def test_lookup(self, database):
+        assert len(database.relation("edge")) == 3
+        assert "edge" in database and "missing" not in database
+
+    def test_unknown_relation(self, database):
+        with pytest.raises(SchemaError):
+            database.relation("missing")
+
+    def test_add_duplicate_rejected(self, database):
+        with pytest.raises(SchemaError):
+            database.add(Relation("edge", 2, [(9, 9)]))
+
+    def test_add_replace(self, database):
+        database.add(Relation("edge", 2, [(9, 8)]), replace=True)
+        assert len(database.relation("edge")) == 1
+
+    def test_remove(self, database):
+        database.remove("v1")
+        assert "v1" not in database
+        with pytest.raises(SchemaError):
+            database.remove("v1")
+
+    def test_names_and_len(self, database):
+        assert database.names() == ["edge", "v1"]
+        assert len(database) == 2
+        assert database.total_tuples() == 5
+
+    def test_copy_shares_relations_not_cache(self, database):
+        database.natural_index("edge")
+        clone = database.copy()
+        assert clone.index_cache_size() == 0
+        assert len(clone.relation("edge")) == 3
+
+
+class TestIndexes:
+    def test_index_is_cached(self, database):
+        first = database.index("edge", (1, 0))
+        second = database.index("edge", (1, 0))
+        assert first is second
+        assert database.index_cache_size() == 1
+
+    def test_different_orders_are_different_indexes(self, database):
+        database.index("edge", (0, 1))
+        database.index("edge", (1, 0))
+        assert database.index_cache_size() == 2
+
+    def test_invalid_order_rejected(self, database):
+        with pytest.raises(StorageError):
+            database.index("edge", (0, 0))
+
+    def test_replacing_relation_invalidates_cache(self, database):
+        database.natural_index("edge")
+        database.add(Relation("edge", 2, [(7, 7)]), replace=True)
+        assert database.index_cache_size() == 0
+        assert database.natural_index("edge").tuples == [(7, 7)]
+
+    def test_statistics_cached_and_refreshed(self, database):
+        stats = database.statistics("edge")
+        assert stats.cardinality == 3
+        assert database.statistics("edge") is stats
+        database.add(Relation("edge", 2, [(7, 7)]), replace=True)
+        assert database.statistics("edge").cardinality == 1

@@ -1,0 +1,95 @@
+"""Tests for graph loaders: undirected closure, files, node relations."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.storage.loader import (
+    edge_count,
+    edge_relation_from_pairs,
+    load_edge_list,
+    node_relation,
+    nodes_of,
+    save_edge_list,
+    undirected_closure,
+)
+from repro.storage.relation import Relation
+
+
+class TestUndirectedClosure:
+    def test_both_directions_present(self):
+        closure = undirected_closure([(1, 2), (3, 4)])
+        assert (1, 2) in closure and (2, 1) in closure
+        assert len(closure) == 4
+
+    def test_self_loops_dropped_by_default(self):
+        assert undirected_closure([(1, 1), (1, 2)]) == [(1, 2), (2, 1)]
+
+    def test_self_loops_kept_on_request(self):
+        closure = undirected_closure([(1, 1)], drop_self_loops=False)
+        assert closure == [(1, 1)]
+
+    def test_duplicates_collapse(self):
+        closure = undirected_closure([(1, 2), (2, 1), (1, 2)])
+        assert len(closure) == 2
+
+
+class TestEdgeRelation:
+    def test_undirected_relation(self):
+        relation = edge_relation_from_pairs([(1, 2), (2, 3)])
+        assert len(relation) == 4
+        assert relation.attributes == ("src", "dst")
+
+    def test_directed_relation(self):
+        relation = edge_relation_from_pairs([(1, 2), (2, 3)], undirected=False)
+        assert len(relation) == 2
+        assert (2, 1) not in relation
+
+    def test_node_relation(self):
+        relation = node_relation([3, 1, 2], "v1")
+        assert relation.tuples == [(1,), (2,), (3,)]
+        assert relation.arity == 1
+
+    def test_nodes_of_and_edge_count(self):
+        relation = edge_relation_from_pairs([(1, 2), (2, 3), (1, 3)])
+        assert nodes_of(relation) == [1, 2, 3]
+        assert edge_count(relation) == 3
+        assert edge_count(relation, undirected=False) == 6
+
+    def test_nodes_of_rejects_non_binary(self):
+        with pytest.raises(DatasetError):
+            nodes_of(Relation("r", 1, [(1,)]))
+
+
+class TestFiles:
+    def test_round_trip(self, tmp_path):
+        relation = edge_relation_from_pairs([(1, 2), (2, 3), (4, 5)])
+        path = tmp_path / "graph.txt"
+        save_edge_list(relation, path)
+        loaded = load_edge_list(path)
+        assert loaded == relation or set(loaded.tuples) == set(relation.tuples)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# a comment\n\n1\t2\n2 3\n")
+        relation = load_edge_list(path)
+        assert (1, 2) in relation and (3, 2) in relation
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_edge_list(tmp_path / "nope.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            load_edge_list(path)
+
+    def test_non_integer_node(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            load_edge_list(path)
+
+    def test_save_rejects_non_binary(self, tmp_path):
+        with pytest.raises(DatasetError):
+            save_edge_list(Relation("r", 1, [(1,)]), tmp_path / "x.txt")

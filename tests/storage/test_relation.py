@@ -1,0 +1,140 @@
+"""Tests for the immutable sorted Relation."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.relation import Relation, relation_from_rows
+
+
+class TestConstruction:
+    def test_tuples_sorted_and_deduplicated(self):
+        relation = Relation("r", 2, [(2, 1), (1, 2), (2, 1), (1, 1)])
+        assert relation.tuples == [(1, 1), (1, 2), (2, 1)]
+        assert len(relation) == 3
+
+    def test_default_attribute_names(self):
+        relation = Relation("r", 3, [(1, 2, 3)])
+        assert relation.attributes == ("c0", "c1", "c2")
+
+    def test_explicit_attribute_names(self):
+        relation = Relation("edge", 2, [(1, 2)], attributes=("src", "dst"))
+        assert relation.attributes == ("src", "dst")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(StorageError):
+            Relation("r", 2, [(1, 2, 3)])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(StorageError):
+            Relation("r", 1, [(-1,)])
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", 0, [])
+
+    def test_attribute_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", 2, [(1, 2)], attributes=("only-one",))
+
+    def test_relation_from_rows_infers_arity(self):
+        relation = relation_from_rows("r", [(1, 2, 3), (4, 5, 6)])
+        assert relation.arity == 3
+
+    def test_relation_from_rows_rejects_empty(self):
+        with pytest.raises(StorageError):
+            relation_from_rows("r", [])
+
+
+class TestAccess:
+    @pytest.fixture
+    def relation(self) -> Relation:
+        return Relation("r", 2, [(1, 10), (1, 20), (2, 10), (3, 30)])
+
+    def test_contains(self, relation):
+        assert (1, 10) in relation
+        assert (9, 9) not in relation
+
+    def test_iteration_in_sorted_order(self, relation):
+        assert list(relation) == [(1, 10), (1, 20), (2, 10), (3, 30)]
+
+    def test_column_and_distinct(self, relation):
+        assert relation.column(0) == [1, 1, 2, 3]
+        assert relation.distinct_values(0) == [1, 2, 3]
+        assert relation.distinct_values(1) == [10, 20, 30]
+
+    def test_active_domain(self, relation):
+        assert relation.active_domain() == [1, 2, 3, 10, 20, 30]
+
+    def test_min_max(self, relation):
+        assert relation.min_value(1) == 10
+        assert relation.max_value(1) == 30
+        empty = Relation("e", 1, [])
+        assert empty.min_value(0) is None and empty.max_value(0) is None
+
+    def test_column_out_of_range(self, relation):
+        with pytest.raises(StorageError):
+            relation.column(5)
+
+    def test_equality_and_hash(self):
+        left = Relation("r", 1, [(1,), (2,)])
+        right = Relation("r", 1, [(2,), (1,)])
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != Relation("s", 1, [(1,), (2,)])
+
+
+class TestOperators:
+    @pytest.fixture
+    def relation(self) -> Relation:
+        return Relation("r", 2, [(1, 10), (1, 20), (2, 10), (3, 30)])
+
+    def test_project(self, relation):
+        projected = relation.project([0])
+        assert projected.tuples == [(1,), (2,), (3,)]
+        assert projected.arity == 1
+
+    def test_project_reorders_columns(self, relation):
+        swapped = relation.project([1, 0])
+        assert (10, 1) in swapped
+
+    def test_select_eq(self, relation):
+        selected = relation.select_eq(0, 1)
+        assert selected.tuples == [(1, 10), (1, 20)]
+
+    def test_reorder(self, relation):
+        reordered = relation.reorder([1, 0])
+        assert reordered.tuples[0] == (10, 1)
+        with pytest.raises(SchemaError):
+            relation.reorder([0, 0])
+
+    def test_union(self, relation):
+        other = Relation("r", 2, [(5, 5)])
+        merged = relation.union(other)
+        assert len(merged) == 5
+        with pytest.raises(SchemaError):
+            relation.union(Relation("x", 1, [(1,)]))
+
+
+class TestPrefixSearch:
+    @pytest.fixture
+    def relation(self) -> Relation:
+        return Relation("r", 3, [(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1)])
+
+    def test_prefix_range(self, relation):
+        low, high = relation.prefix_range((1,))
+        assert (low, high) == (0, 3)
+        low, high = relation.prefix_range((1, 1))
+        assert (low, high) == (0, 2)
+        low, high = relation.prefix_range((9,))
+        assert low == high
+
+    def test_empty_prefix_spans_everything(self, relation):
+        assert relation.prefix_range(()) == (0, 4)
+
+    def test_has_prefix(self, relation):
+        assert relation.has_prefix((1, 2))
+        assert not relation.has_prefix((2, 2))
+
+    def test_prefix_longer_than_arity_rejected(self, relation):
+        with pytest.raises(StorageError):
+            relation.prefix_range((1, 1, 1, 1))

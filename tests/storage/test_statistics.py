@@ -1,0 +1,53 @@
+"""Tests for relation statistics and the textbook estimators."""
+
+import pytest
+
+from repro.storage.relation import Relation
+from repro.storage.statistics import (
+    collect_statistics,
+    estimated_join_size,
+    estimation_report,
+)
+
+
+@pytest.fixture
+def edge_stats():
+    relation = Relation("edge", 2, [(1, 2), (1, 3), (2, 3), (3, 4)])
+    return collect_statistics(relation)
+
+
+class TestCollect:
+    def test_basic_statistics(self, edge_stats):
+        assert edge_stats.cardinality == 4
+        assert edge_stats.arity == 2
+        assert edge_stats.distinct_counts == (3, 3)
+        assert edge_stats.min_values == (1, 2)
+        assert edge_stats.max_values == (3, 4)
+
+    def test_empty_relation(self):
+        stats = collect_statistics(Relation("e", 2, []))
+        assert stats.cardinality == 0
+        assert stats.distinct_counts == (0, 0)
+        assert stats.min_values == (None, None)
+
+
+class TestEstimators:
+    def test_equality_selectivity(self, edge_stats):
+        assert edge_stats.selectivity_of_equality(0) == pytest.approx(1 / 3)
+
+    def test_equality_selectivity_empty(self):
+        stats = collect_statistics(Relation("e", 1, []))
+        assert stats.selectivity_of_equality(0) == 0.0
+
+    def test_join_selectivity_uses_max_distinct(self, edge_stats):
+        other = collect_statistics(Relation("v", 1, [(1,), (2,)]))
+        assert edge_stats.join_selectivity(0, other, 0) == pytest.approx(1 / 3)
+
+    def test_estimated_join_size(self, edge_stats):
+        other = collect_statistics(Relation("v", 1, [(1,), (2,)]))
+        estimate = estimated_join_size(edge_stats, 0, other, 0)
+        assert estimate == pytest.approx(4 * 2 / 3)
+
+    def test_estimation_report_mentions_every_relation(self, edge_stats):
+        report = estimation_report({"edge": edge_stats})
+        assert "edge" in report and "4" in report

@@ -1,0 +1,180 @@
+"""Tests for TrieIndex, TrieIterator, and the Minesweeper gap probe."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.relation import Relation
+from repro.storage.trie import LeapfrogIterator, TrieIndex, TrieIterator
+
+
+@pytest.fixture
+def relation() -> Relation:
+    # The relation R of Figure 1 in the paper (attributes A2, A4, A5).
+    rows = [
+        (5, 1, 4), (5, 1, 7), (5, 1, 12),
+        (7, 4, 6), (7, 9, 8), (7, 9, 13),
+        (10, 4, 1),
+    ]
+    return Relation("R", 3, rows, attributes=("A2", "A4", "A5"))
+
+
+@pytest.fixture
+def index(relation) -> TrieIndex:
+    return TrieIndex(relation, (0, 1, 2))
+
+
+class TestTrieIndex:
+    def test_rejects_non_permutation(self, relation):
+        with pytest.raises(StorageError):
+            TrieIndex(relation, (0, 1))
+        with pytest.raises(StorageError):
+            TrieIndex(relation, (0, 0, 1))
+
+    def test_reordered_index(self, relation):
+        index = TrieIndex(relation, (2, 0, 1))
+        assert index.tuples[0] == (1, 10, 4)
+
+    def test_children_at_root(self, index):
+        assert index.children(()) == [5, 7, 10]
+
+    def test_children_below_prefix(self, index):
+        assert index.children((5,)) == [1]
+        assert index.children((7,)) == [4, 9]
+        assert index.children((5, 1)) == [4, 7, 12]
+        assert index.children((42,)) == []
+
+    def test_children_below_last_level_rejected(self, index):
+        with pytest.raises(StorageError):
+            index.children((5, 1, 4))
+
+    def test_contains_prefix_and_tuple(self, index):
+        assert index.contains_prefix((7, 9))
+        assert not index.contains_prefix((7, 5))
+        assert index.contains((7, 9, 13))
+        assert not index.contains((7, 9, 14))
+        with pytest.raises(StorageError):
+            index.contains((7, 9))
+
+    def test_first_child_and_seek(self, index):
+        assert index.first_child(()) == 5
+        assert index.first_child((7,)) == 4
+        assert index.first_child((6,)) is None
+        assert index.seek_value((), 6) == 7
+        assert index.seek_value((), 11) is None
+        assert index.seek_value((5, 1), 5) == 7
+        assert index.next_value((5, 1), 7) == 12
+
+    def test_count_children(self, index):
+        assert index.count_children(()) == 3
+        assert index.count_children((7,)) == 2
+
+
+class TestGapAround:
+    """The seek_glb / seek_lub probes of §4.2's worked example."""
+
+    def test_gap_between_root_values(self, index):
+        # Free tuple value 6 on A2 falls between 5 and 7 (constraint (1)).
+        glb, present, lub = index.gap_around((), 6)
+        assert (glb, present, lub) == (5, False, 7)
+
+    def test_gap_inside_hyperplane(self, index):
+        # With A2 = 7, value 5 on A4 falls in the band (4, 9) (constraint (2)).
+        glb, present, lub = index.gap_around((7,), 5)
+        assert (glb, present, lub) == (4, False, 9)
+
+    def test_gap_below_smallest(self, index):
+        glb, present, lub = index.gap_around((), 1)
+        assert (glb, present, lub) == (None, False, 5)
+
+    def test_gap_above_largest(self, index):
+        glb, present, lub = index.gap_around((), 99)
+        assert (glb, present, lub) == (10, False, None)
+
+    def test_present_value(self, index):
+        glb, present, lub = index.gap_around((), 7)
+        assert present
+        assert glb == 5 and lub == 10
+
+    def test_absent_prefix(self, index):
+        assert index.gap_around((6,), 3) == (None, False, None)
+
+    def test_below_last_level_rejected(self, index):
+        with pytest.raises(StorageError):
+            index.gap_around((5, 1, 4), 1)
+
+
+class TestTrieIterator:
+    def test_full_walk_visits_every_tuple(self, index):
+        iterator = index.iterator()
+        visited = []
+
+        def walk(depth):
+            iterator.open()
+            while not iterator.at_end():
+                if depth == index.arity - 1:
+                    visited.append(iterator.current_prefix())
+                else:
+                    walk(depth + 1)
+                iterator.next()
+            iterator.up()
+
+        walk(0)
+        assert visited == index.tuples
+
+    def test_seek_skips_values(self, index):
+        iterator = index.iterator()
+        iterator.open()
+        iterator.seek(6)
+        assert iterator.key() == 7
+        iterator.seek(8)
+        assert iterator.key() == 10
+        iterator.seek(50)
+        assert iterator.at_end()
+
+    def test_seek_backwards_is_a_noop(self, index):
+        iterator = index.iterator()
+        iterator.open()
+        iterator.seek(7)
+        iterator.seek(2)
+        assert iterator.key() == 7
+
+    def test_root_operations_rejected(self, index):
+        iterator = index.iterator()
+        with pytest.raises(StorageError):
+            iterator.key()
+        with pytest.raises(StorageError):
+            iterator.next()
+        with pytest.raises(StorageError):
+            iterator.up()
+
+    def test_open_below_last_level_rejected(self, index):
+        iterator = index.iterator()
+        for _ in range(3):
+            iterator.open()
+        with pytest.raises(StorageError):
+            iterator.open()
+
+    def test_up_restores_previous_level(self, index):
+        iterator = index.iterator()
+        iterator.open()           # A2 level: 5
+        iterator.open()           # A4 level: 1
+        assert iterator.key() == 1
+        iterator.up()
+        assert iterator.key() == 5
+        iterator.next()
+        assert iterator.key() == 7
+
+    def test_empty_index_is_at_end(self):
+        empty = TrieIndex(Relation("e", 1, []), (0,))
+        iterator = empty.iterator()
+        assert iterator.at_end()
+
+    def test_leapfrog_wrapper_delegates(self, index):
+        iterator = index.iterator()
+        iterator.open()
+        wrapper = LeapfrogIterator(iterator)
+        assert wrapper.key() == 5
+        wrapper.seek(9)
+        assert wrapper.key() == 10
+        wrapper.next()
+        assert wrapper.at_end()

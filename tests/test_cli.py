@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_every_catalog_entry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-GrQc" in out and "com-Orkut" in out
+        assert "regime" in out
+
+
+class TestQuery:
+    def test_named_pattern(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
+                     "--algorithm", "lftj"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-clique on ca-GrQc" in out
+        assert "lftj" in out
+
+    def test_query_text(self, capsys):
+        code = main(["query", "--dataset", "p2p-Gnutella04",
+                     "--text", "edge(a,b), edge(b,c), a<c"])
+        assert code == 0
+        assert "results in" in capsys.readouterr().out
+
+    def test_acyclic_pattern_attaches_samples(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-path",
+                     "--selectivity", "8", "--algorithm", "ms"])
+        assert code == 0
+        assert "3-path" in capsys.readouterr().out
+
+    def test_counts_agree_across_algorithms(self, capsys):
+        counts = []
+        for algorithm in ("lftj", "ms", "psql"):
+            main(["query", "--dataset", "p2p-Gnutella04", "--pattern",
+                  "3-clique", "--algorithm", algorithm])
+            line = capsys.readouterr().out.strip()
+            counts.append(line.split(":")[1].split("results")[0].strip())
+        assert len(set(counts)) == 1
+
+    def test_unsupported_algorithm_query_returns_error_code(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-path",
+                     "--selectivity", "8", "--algorithm", "graphlab"])
+        assert code == 2
+        assert "unsupported" in capsys.readouterr().out
+
+    def test_timeout_returns_error_code(self, capsys):
+        code = main(["query", "--dataset", "ego-Twitter", "--pattern",
+                     "4-clique", "--algorithm", "naive", "--timeout", "0.0"])
+        assert code == 2
+        assert "timed out" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "not-a-dataset", "--pattern", "3-clique"])
+
+    def test_unknown_algorithm_reports_error(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
+                     "--algorithm", "alien-join"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_small_grid(self, capsys):
+        code = main(["bench", "--systems", "lftj,graphlab",
+                     "--datasets", "ca-GrQc", "--queries", "3-clique",
+                     "--timeout", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-clique" in out and "ca-GrQc" in out
+
+
+class TestAnalyze:
+    def test_reports_graph_statistics(self, capsys):
+        code = main(["analyze", "--dataset", "p2p-Gnutella04", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "triangles:" in out
+        assert "PageRank" in out

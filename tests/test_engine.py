@@ -1,0 +1,103 @@
+"""Tests for the QueryEngine façade."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.engine import ExecutionResult, QueryEngine
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.queries.patterns import build_query
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+
+@pytest.fixture
+def engine(small_db) -> QueryEngine:
+    return QueryEngine(small_db)
+
+
+class TestRegistry:
+    def test_paper_system_names_registered(self, engine):
+        for name in ("lb/lftj", "lb/ms", "lb/hybrid", "psql", "monetdb",
+                     "graphlab", "yannakakis", "naive"):
+            assert name in engine.algorithms()
+
+    def test_unknown_algorithm_rejected(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.count("edge(a,b)", algorithm="oracle-9000")
+
+    def test_register_custom_algorithm(self, engine):
+        engine.register("naive-again",
+                        lambda budget: NaiveBacktrackingJoin(budget=budget))
+        assert engine.count(build_query("3-clique"), algorithm="naive-again") == \
+            engine.count(build_query("3-clique"), algorithm="lftj")
+
+    def test_register_duplicate_rejected(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.register("lftj", lambda budget: NaiveBacktrackingJoin())
+
+
+class TestSelection:
+    def test_acyclic_queries_route_to_minesweeper(self, engine):
+        assert engine.select_algorithm(build_query("3-path")) == "ms"
+        assert engine.select_algorithm(build_query("2-comb")) == "ms"
+
+    def test_cyclic_queries_route_to_lftj(self, engine):
+        assert engine.select_algorithm(build_query("3-clique")) == "lftj"
+        assert engine.select_algorithm(build_query("4-cycle")) == "lftj"
+
+    def test_auto_count_matches_explicit(self, engine):
+        query = build_query("3-clique")
+        assert engine.count(query, algorithm="auto") == \
+            engine.count(query, algorithm="lftj")
+
+
+class TestExecution:
+    def test_count_accepts_query_text(self, engine):
+        text = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+        assert engine.count(text) == engine.count(build_query("3-clique"))
+
+    def test_all_systems_agree(self, engine):
+        query = build_query("3-clique")
+        counts = {
+            name: engine.count(query, algorithm=name)
+            for name in ("lb/lftj", "lb/ms", "psql", "monetdb", "graphlab",
+                         "generic", "naive")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_tuples_sorted(self, engine):
+        rows = engine.tuples(build_query("3-clique"))
+        assert rows == sorted(rows)
+
+    def test_bindings_iterator(self, engine):
+        query = build_query("1-tree")
+        assert sum(1 for _ in engine.bindings(query)) == engine.count(query)
+
+    def test_execute_success_record(self, engine):
+        result = engine.execute(build_query("3-clique"), algorithm="lftj")
+        assert isinstance(result, ExecutionResult)
+        assert result.succeeded
+        assert result.count == engine.count(build_query("3-clique"))
+        assert result.seconds >= 0.0
+        assert result.cell() != "-"
+
+    def test_execute_timeout_renders_dash(self):
+        db = graph_database(60, 500, seed=71, samples=())
+        engine = QueryEngine(db, timeout=0.0)
+        result = engine.execute(build_query("4-clique"), algorithm="lftj")
+        assert result.timed_out
+        assert result.cell() == "-"
+
+    def test_execute_unsupported_query_renders_dash(self, engine):
+        result = engine.execute(build_query("3-path"), algorithm="graphlab")
+        assert not result.succeeded
+        assert result.error is not None
+        assert result.cell() == "-"
+
+    def test_per_call_timeout_overrides_default(self):
+        db = graph_database(60, 500, seed=73, samples=())
+        engine = QueryEngine(db, timeout=None)
+        result = engine.execute(build_query("4-clique"), algorithm="lftj",
+                                timeout=0.0)
+        assert result.timed_out

@@ -1,0 +1,122 @@
+"""Tests for the benchmark query-pattern builders."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.datalog.hypergraph import Hypergraph
+from repro.queries.patterns import (
+    QUERY_PATTERNS,
+    build_query,
+    clique_query,
+    comb_query,
+    cycle_query,
+    lollipop_query,
+    path_query,
+    pattern,
+    tree_query,
+)
+
+
+class TestBuilders:
+    def test_3_clique_matches_paper_formulation(self):
+        query = clique_query(3)
+        assert query.num_atoms == 3
+        assert query.num_variables == 3
+        assert len(query.filters) == 2
+        assert str(query.atoms[0]) == "edge(a, b)"
+
+    def test_4_clique_has_six_edges(self):
+        query = clique_query(4)
+        assert query.num_atoms == 6
+        assert len(query.filters) == 3
+
+    def test_clique_without_symmetry_breaking(self):
+        assert clique_query(3, symmetry_breaking=False).filters == ()
+
+    def test_clique_needs_two_nodes(self):
+        with pytest.raises(QueryError):
+            clique_query(1)
+
+    def test_4_cycle(self):
+        query = cycle_query(4)
+        assert query.num_atoms == 4
+        assert query.num_variables == 4
+        names = {frozenset(v.name for v in atom.variables) for atom in query.atoms}
+        assert frozenset({"a", "d"}) in names
+
+    def test_3_path_matches_paper_formulation(self):
+        query = path_query(3)
+        assert query.num_atoms == 5           # v1, v2, and three edges
+        assert query.num_variables == 4
+        assert query.relation_names == ("v1", "v2", "edge")
+
+    def test_1_tree(self):
+        query = tree_query(1)
+        assert query.num_atoms == 4           # v1, v2, two edges
+        assert query.num_variables == 3
+
+    def test_2_tree_has_four_samples_and_six_edges(self):
+        query = tree_query(2)
+        sample_atoms = [a for a in query.atoms if a.name.startswith("v")]
+        edge_atoms = [a for a in query.atoms if a.name == "edge"]
+        assert len(sample_atoms) == 4
+        assert len(edge_atoms) == 6
+        assert query.num_variables == 7
+
+    def test_2_comb_matches_paper_formulation(self):
+        query = comb_query()
+        assert query.num_atoms == 5
+        assert {a.name for a in query.atoms} == {"v1", "v2", "edge"}
+
+    def test_2_lollipop_matches_paper_formulation(self):
+        query = lollipop_query(2)
+        assert query.num_atoms == 6           # v1 + 2 path edges + 3 clique edges
+        assert query.num_variables == 5
+
+    def test_3_lollipop(self):
+        query = lollipop_query(3)
+        assert query.num_atoms == 10          # v1 + 3 path edges + 6 clique edges
+        assert query.num_variables == 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            path_query(0)
+        with pytest.raises(QueryError):
+            tree_query(0)
+        with pytest.raises(QueryError):
+            lollipop_query(0)
+        with pytest.raises(QueryError):
+            cycle_query(2)
+
+
+class TestRegistry:
+    def test_all_paper_patterns_present(self):
+        expected = {
+            "3-clique", "4-clique", "4-cycle", "3-path", "4-path",
+            "1-tree", "2-tree", "2-comb", "2-lollipop", "3-lollipop",
+        }
+        assert set(QUERY_PATTERNS) == expected
+
+    def test_cyclic_flag_matches_hypergraph_analysis(self):
+        for name, spec in QUERY_PATTERNS.items():
+            query = spec.build()
+            assert Hypergraph.of_query(query).is_beta_acyclic() is (not spec.cyclic), name
+
+    def test_sample_relations_match_query_atoms(self):
+        for name, spec in QUERY_PATTERNS.items():
+            query = spec.build()
+            atom_names = {atom.name for atom in query.atoms}
+            for sample in spec.sample_relations:
+                assert sample in atom_names, name
+
+    def test_build_query_and_pattern_lookup(self):
+        assert build_query("3-clique").num_atoms == 3
+        assert pattern("3-path").cyclic is False
+        with pytest.raises(QueryError):
+            pattern("5-clique")
+
+    def test_every_pattern_builds_a_fresh_instance(self):
+        first = build_query("3-clique")
+        second = build_query("3-clique")
+        assert first is not second
+        assert str(first) == str(second)
