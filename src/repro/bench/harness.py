@@ -154,6 +154,82 @@ def run_grid(systems: Sequence[str], dataset_names: Sequence[str],
     return cells
 
 
+@dataclass
+class CachedVsColdResult:
+    """Throughput of the serving layer vs. a cold per-query engine loop.
+
+    ``consistent`` records whether both paths produced identical answers
+    for every request of the stream (the correctness half of the
+    experiment); ``speedup`` is ``cold_seconds / cached_seconds``.
+    """
+
+    operations: int
+    unique_queries: int
+    cold_seconds: float
+    cached_seconds: float
+    consistent: bool
+
+    @property
+    def cold_qps(self) -> float:
+        return self.operations / self.cold_seconds if self.cold_seconds else 0.0
+
+    @property
+    def cached_qps(self) -> float:
+        return (
+            self.operations / self.cached_seconds if self.cached_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        if self.cached_seconds == 0:
+            return float("inf")
+        return self.cold_seconds / self.cached_seconds
+
+
+def run_cached_vs_cold(database: Database, query_texts: Sequence[str],
+                       repeats: int = 20,
+                       timeout: Optional[float] = None) -> CachedVsColdResult:
+    """Measure plan+result caching on a repeated-query stream.
+
+    The stream interleaves ``repeats`` rounds over ``query_texts`` — the
+    shape of a parameterized serving workload where the same instances
+    recur.  The *cold* path is what the repo offered before the service
+    layer: a fresh :class:`QueryEngine` call that re-parses, re-analyses,
+    and re-executes every request.  The *cached* path serves the identical
+    stream through :class:`repro.service.QueryService`.  Answers are
+    compared request-by-request.
+    """
+    from repro.service.service import QueryService, ServiceConfig
+
+    stream = [text for _ in range(repeats) for text in query_texts]
+
+    engine = QueryEngine(database, timeout=timeout)
+    cold_answers: List[Optional[int]] = []
+    cold_started = time.perf_counter()
+    for text in stream:
+        result = engine.execute(text)
+        cold_answers.append(result.count if result.succeeded else None)
+    cold_seconds = time.perf_counter() - cold_started
+
+    cached_answers: List[Optional[int]] = []
+    with QueryService(
+        database, ServiceConfig(default_timeout=timeout)
+    ) as service:
+        cached_started = time.perf_counter()
+        for text in stream:
+            outcome = service.execute(text)
+            cached_answers.append(outcome.count if outcome.succeeded else None)
+        cached_seconds = time.perf_counter() - cached_started
+
+    return CachedVsColdResult(
+        operations=len(stream),
+        unique_queries=len(set(query_texts)),
+        cold_seconds=cold_seconds,
+        cached_seconds=cached_seconds,
+        consistent=cold_answers == cached_answers,
+    )
+
+
 def speedup(baseline: BenchmarkCell, improved: BenchmarkCell) -> Optional[float]:
     """``baseline.seconds / improved.seconds`` or ``None`` if either failed."""
     if not baseline.succeeded or not improved.succeeded:

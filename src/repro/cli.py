@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Four subcommands cover the everyday workflows:
+Six subcommands cover the everyday workflows:
 
 ``repro datasets``
     List the dataset catalog (original SNAP sizes and the synthetic
@@ -18,6 +18,16 @@ Four subcommands cover the everyday workflows:
     Graph analytics over a dataset: size, triangle count, connected
     components, and the top PageRank nodes.
 
+``repro serve``
+    Start a :class:`~repro.service.QueryService` over a dataset and answer
+    query lines read from stdin (an interactive/testable stand-in for a
+    network front end).
+
+``repro workload``
+    Drive a declarative workload (query mix + parameter distributions)
+    through the service and report throughput, latency percentiles, and
+    cache effectiveness — including the cached-vs-cold comparison.
+
 The module is also importable: :func:`main` takes an argument list and
 returns a process exit code, which is how the tests drive it.
 """
@@ -30,7 +40,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.analytics.graph_algorithms import connected_components, pagerank
-from repro.bench.harness import BenchmarkConfig, run_grid
+from repro.bench.harness import BenchmarkConfig, run_cached_vs_cold, run_grid
 from repro.bench.reporting import format_table
 from repro.data.catalog import DATASET_CATALOG, dataset_names, load_dataset
 from repro.data.sampling import attach_samples
@@ -39,6 +49,12 @@ from repro.engine import QueryEngine
 from repro.errors import ReproError
 from repro.joins.graph_engine import GraphEngine
 from repro.queries.patterns import QUERY_PATTERNS, build_query, pattern
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    WorkloadRunner,
+    WorkloadSpec,
+)
 from repro.storage import Database
 
 
@@ -85,6 +101,47 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--dataset", required=True, choices=dataset_names())
     analyze.add_argument("--top", type=int, default=5,
                          help="how many PageRank nodes to show (default: 5)")
+
+    serve = subparsers.add_parser(
+        "serve", help="answer query lines from stdin through the query service"
+    )
+    serve.add_argument("--dataset", required=True, choices=dataset_names(),
+                       help="catalog dataset to serve")
+    serve.add_argument("--selectivity", type=int, default=10,
+                       help="selectivity of the attached v1..v4 node samples "
+                            "(default: 10)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker pool width (default: 4)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-query soft timeout in seconds")
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale factor (default: 1.0)")
+
+    workload = subparsers.add_parser(
+        "workload", help="drive a workload through the query service"
+    )
+    workload.add_argument("--dataset", required=True, choices=dataset_names(),
+                          help="catalog dataset to serve")
+    workload.add_argument("--spec", default=None,
+                          help="JSON workload spec (default: built-in mix)")
+    workload.add_argument("--operations", type=int, default=None,
+                          help="override the spec's operation count")
+    workload.add_argument("--qps", type=float, default=None,
+                          help="target request rate (default: open throttle)")
+    workload.add_argument("--workers", type=int, default=4,
+                          help="worker pool width (default: 4)")
+    workload.add_argument("--seed", type=int, default=None,
+                          help="override the spec's random seed")
+    workload.add_argument("--selectivity", type=int, default=10,
+                          help="selectivity of attached node samples "
+                               "(default: 10)")
+    workload.add_argument("--timeout", type=float, default=None,
+                          help="per-query soft timeout in seconds")
+    workload.add_argument("--scale", type=float, default=1.0,
+                          help="dataset scale factor (default: 1.0)")
+    workload.add_argument("--compare-cold", action="store_true",
+                          help="also measure an uncached engine loop on a "
+                               "repeated-query stream and report the speedup")
     return parser
 
 
@@ -167,6 +224,104 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_database(dataset: str, selectivity: int,
+                      scale: float) -> Database:
+    """The dataset plus v1..v4 node samples, so every pattern is runnable."""
+    database = Database([load_dataset(dataset, scale=scale)])
+    attach_samples(database, selectivity,
+                   sample_names=("v1", "v2", "v3", "v4"))
+    return database
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    database = _service_database(args.dataset, args.selectivity, args.scale)
+    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout)
+    with QueryService(database, config) as service:
+        print(f"serving {args.dataset} "
+              f"({database.relation('edge').arity}-ary edge relation, "
+              f"{len(database.relation('edge')):,} tuples); "
+              f"one query per line, blank line or EOF to stop")
+        for line in sys.stdin:
+            text = line.strip()
+            if not text:
+                break
+            outcome = service.execute(text)
+            if outcome.timed_out:
+                print(f"timeout after {outcome.seconds:.3f}s")
+            elif outcome.error:
+                print(f"error: {outcome.error}")
+            else:
+                cache = ("result-cache" if outcome.result_cached
+                         else "plan-cache" if outcome.plan_cached else "cold")
+                print(f"{outcome.count:,} results in {outcome.seconds:.4f}s "
+                      f"[{outcome.algorithm}, {cache}]")
+        stats = service.stats().as_dict()
+    print("served: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    return 0
+
+
+def _default_workload(database: Database, operations: int,
+                      seed: int) -> WorkloadSpec:
+    """A built-in LDBC-flavoured mix: hot-node 2-hops, triangles, 3-paths."""
+    nodes = sorted(database.relation("edge").active_domain())
+    domain = nodes[:min(len(nodes), 64)]
+    return WorkloadSpec.from_dict({
+        "name": "default-mix",
+        "operations": operations,
+        "seed": seed,
+        "queries": [
+            {"name": "two-hop", "weight": 4,
+             "template": "edge({src}, b), edge(b, c)",
+             "parameters": [{"name": "src", "distribution": "zipf",
+                             "skew": 1.2, "values": domain}]},
+            {"name": "triangle", "weight": 2,
+             "template": "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"},
+            {"name": "3-path", "weight": 1,
+             "template": "v1(a), v2(d), edge(a, b), edge(b, c), edge(c, d)"},
+        ],
+    })
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    database = _service_database(args.dataset, args.selectivity, args.scale)
+    if args.spec:
+        spec = WorkloadSpec.from_json(args.spec)
+    else:
+        spec = _default_workload(database, operations=args.operations or 200,
+                                 seed=args.seed if args.seed is not None else 0)
+    overrides = {}
+    if args.operations is not None:
+        overrides["operations"] = args.operations
+    if args.qps is not None:
+        overrides["qps"] = args.qps
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+        spec = replace(spec, **overrides)
+
+    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout)
+    with QueryService(database, config) as service:
+        report = WorkloadRunner(service, spec).run()
+    print(report.format())
+
+    if args.compare_cold:
+        unique = sorted({text for _, text in spec.requests()})
+        comparison = run_cached_vs_cold(
+            database, unique[:8], repeats=10, timeout=args.timeout
+        )
+        verdict = "identical answers" if comparison.consistent \
+            else "ANSWER MISMATCH"
+        print(f"\ncached vs cold ({comparison.operations} ops over "
+              f"{comparison.unique_queries} unique queries): "
+              f"{comparison.cold_qps:.1f} q/s cold vs "
+              f"{comparison.cached_qps:.1f} q/s cached "
+              f"({comparison.speedup:.1f}x, {verdict})")
+        if not comparison.consistent:
+            return 2
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
@@ -180,6 +335,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -10,15 +10,26 @@ The engine also implements the automatic algorithm selection a
 general-purpose system would apply (``algorithm="auto"``): Minesweeper for
 β-acyclic queries (where it is instance optimal), LFTJ otherwise — which is
 exactly the "summary" recommendation of §5.2.
+
+Compilation is separated from execution: :meth:`QueryEngine.prepare`
+performs the per-query-shape work exactly once — parsing, hypergraph
+analysis, algorithm selection, and global-attribute-order (GAO) search —
+and returns a reusable :class:`PreparedQuery`.  Every execution entry point
+(:meth:`count`, :meth:`bindings`, :meth:`tuples`, :meth:`execute`) accepts
+either raw query text, a :class:`ConjunctiveQuery`, or a
+:class:`PreparedQuery`; the service layer's plan cache
+(:mod:`repro.service.plan_cache`) stores prepared queries so repeated
+parameterized queries skip compilation entirely.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ExecutionError, TimeoutExceeded
+from repro.errors import ExecutionError, ReproError, TimeoutExceeded
+from repro.datalog.gao import GAOChoice, select_gao
 from repro.datalog.hypergraph import Hypergraph
 from repro.datalog.parser import parse_query
 from repro.datalog.query import ConjunctiveQuery
@@ -37,6 +48,13 @@ from repro.storage.database import Database
 from repro.util import TimeBudget
 
 AlgorithmFactory = Callable[[Optional[TimeBudget]], JoinAlgorithm]
+
+# Algorithms that evaluate attribute-at-a-time following a GAO.  For the
+# Minesweeper family the precomputed order is only valid when the query is
+# β-acyclic (a NEO); on cyclic queries the engine's skeleton logic must
+# choose the order itself.
+_GAO_DRIVEN = frozenset({"lftj", "lb/lftj", "generic"})
+_NEO_DRIVEN = frozenset({"ms", "lb/ms", "ms-count"})
 
 
 @dataclass
@@ -59,6 +77,47 @@ class ExecutionResult:
         if not self.succeeded:
             return "-"
         return f"{self.seconds:.{precision}f}"
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A compiled query: parse + analysis + planning done once, reusable.
+
+    Attributes
+    ----------
+    text:
+        Canonical query text (``str(query)``); together with
+        ``requested_algorithm`` this is the natural plan-cache key.
+    query:
+        The resolved :class:`ConjunctiveQuery`.
+    algorithm:
+        The concrete algorithm chosen for execution (never ``"auto"``).
+    requested_algorithm:
+        The algorithm as requested, with ``"auto"`` preserved so callers
+        can tell an explicit choice from an automatic one.
+    beta_acyclic:
+        Whether the query hypergraph is β-acyclic (drives auto selection).
+    gao:
+        The precomputed global attribute order, or ``None`` when the chosen
+        algorithm does not consume a precomputed order (e.g. Minesweeper on
+        a cyclic query picks a skeleton-derived order itself).
+    """
+
+    text: str
+    query: ConjunctiveQuery
+    algorithm: str
+    requested_algorithm: str
+    beta_acyclic: bool
+    gao: Optional[GAOChoice] = None
+
+    @property
+    def gao_names(self) -> Optional[Tuple[str, ...]]:
+        """The precomputed GAO as attribute names, or ``None``."""
+        return self.gao.names if self.gao is not None else None
+
+    def cache_key(self) -> Tuple[str, str]:
+        """The (canonical text, requested algorithm) plan-cache key."""
+        return (self.text, self.requested_algorithm)
 
 
 def _default_registry() -> Dict[str, AlgorithmFactory]:
@@ -137,40 +196,86 @@ class QueryEngine:
         return "ms" if hypergraph.is_beta_acyclic() else "lftj"
 
     # ------------------------------------------------------------------
-    # Execution
+    # Compilation
     # ------------------------------------------------------------------
     def _resolve(self, query) -> ConjunctiveQuery:
+        if isinstance(query, PreparedQuery):
+            return query.query
         if isinstance(query, ConjunctiveQuery):
             return query
         return parse_query(str(query))
 
+    def prepare(self, query, algorithm: str = "auto") -> PreparedQuery:
+        """Compile ``query`` once: parse, analyse, pick algorithm and GAO.
+
+        The returned :class:`PreparedQuery` can be executed repeatedly via
+        :meth:`count` / :meth:`bindings` / :meth:`execute` without paying
+        parsing, hypergraph analysis, or the (potentially exponential) NEO
+        search again.
+        """
+        if isinstance(query, PreparedQuery):
+            if algorithm in ("auto", query.requested_algorithm, query.algorithm):
+                return query
+            return self.prepare(query.query, algorithm)
+        resolved = self._resolve(query)
+        beta_acyclic = Hypergraph.of_query(resolved).is_beta_acyclic()
+        if algorithm == "auto":
+            name = "ms" if beta_acyclic else "lftj"
+        else:
+            name = algorithm
+        if name != "auto" and name not in self._registry:
+            known = ", ".join(self.algorithms())
+            raise ExecutionError(f"unknown algorithm {name!r}; known: {known}")
+        gao: Optional[GAOChoice] = None
+        if name in _GAO_DRIVEN or (name in _NEO_DRIVEN and beta_acyclic):
+            gao = select_gao(resolved, policy="auto")
+        return PreparedQuery(
+            text=str(resolved),
+            query=resolved,
+            algorithm=name,
+            requested_algorithm=algorithm,
+            beta_acyclic=beta_acyclic,
+            gao=gao,
+        )
+
+    def _instantiate(self, prepared: PreparedQuery,
+                     budget: Optional[TimeBudget]) -> JoinAlgorithm:
+        """Build the algorithm for a prepared query, reusing its GAO."""
+        instance = self.make_algorithm(prepared.algorithm, budget)
+        if (prepared.gao_names is not None
+                and getattr(instance, "variable_order", "absent") is None):
+            instance.variable_order = prepared.gao_names
+        return instance
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
     def count(self, query, algorithm: str = "auto",
               timeout: Optional[float] = None) -> int:
         """The number of output tuples; raises on timeout or error."""
-        resolved = self._resolve(query)
-        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        prepared = self.prepare(query, algorithm)
         budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self.make_algorithm(name, budget).count(self.database, resolved)
+        return self._instantiate(prepared, budget).count(
+            self.database, prepared.query
+        )
 
     def bindings(self, query, algorithm: str = "auto",
                  timeout: Optional[float] = None):
         """Iterate the output bindings of ``query``."""
-        resolved = self._resolve(query)
-        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        prepared = self.prepare(query, algorithm)
         budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self.make_algorithm(name, budget).enumerate_bindings(
-            self.database, resolved
+        return self._instantiate(prepared, budget).enumerate_bindings(
+            self.database, prepared.query
         )
 
     def tuples(self, query, algorithm: str = "auto",
                timeout: Optional[float] = None) -> List[Tuple[int, ...]]:
         """The sorted output tuples in first-occurrence variable order."""
-        resolved = self._resolve(query)
-        variables = resolved.variables
+        prepared = self.prepare(query, algorithm)
+        variables = prepared.query.variables
         rows = [
             tuple(binding[v] for v in variables)
-            for binding in self.bindings(resolved, algorithm=algorithm,
-                                         timeout=timeout)
+            for binding in self.bindings(prepared, timeout=timeout)
         ]
         rows.sort()
         return rows
@@ -178,32 +283,41 @@ class QueryEngine:
     def execute(self, query, algorithm: str = "auto",
                 timeout: Optional[float] = None) -> ExecutionResult:
         """Run a count query and capture timing, timeouts, and errors."""
-        resolved = self._resolve(query)
-        name = self.select_algorithm(resolved) if algorithm == "auto" else algorithm
+        try:
+            prepared = self.prepare(query, algorithm)
+        except ReproError as error:
+            return ExecutionResult(
+                algorithm=algorithm, query=str(query), count=None,
+                seconds=0.0, error=str(error),
+            )
         effective_timeout = timeout if timeout is not None else self.timeout
         budget = TimeBudget(effective_timeout)
         started = time.perf_counter()
         try:
-            algorithm_instance = self.make_algorithm(name, budget)
-            count = algorithm_instance.count(self.database, resolved)
+            algorithm_instance = self._instantiate(prepared, budget)
+            count = algorithm_instance.count(self.database, prepared.query)
             return ExecutionResult(
-                algorithm=name,
-                query=str(resolved),
+                algorithm=prepared.algorithm,
+                query=prepared.text,
                 count=count,
                 seconds=time.perf_counter() - started,
             )
         except TimeoutExceeded:
             return ExecutionResult(
-                algorithm=name,
-                query=str(resolved),
+                algorithm=prepared.algorithm,
+                query=prepared.text,
                 count=None,
                 seconds=time.perf_counter() - started,
                 timed_out=True,
             )
-        except ExecutionError as error:
+        except ReproError as error:
+            # Anything the library can diagnose — unsupported queries,
+            # missing relations, schema mismatches — renders as an error
+            # cell rather than crashing a benchmark grid or a serving
+            # worker.
             return ExecutionResult(
-                algorithm=name,
-                query=str(resolved),
+                algorithm=prepared.algorithm,
+                query=prepared.text,
                 count=None,
                 seconds=time.perf_counter() - started,
                 error=str(error),

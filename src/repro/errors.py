@@ -40,6 +40,18 @@ class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
 
 
+class ServiceError(ReproError):
+    """The query service could not accept or process a request."""
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control (queue full)."""
+
+
+class WorkloadError(ServiceError):
+    """A workload specification is malformed or cannot be generated."""
+
+
 class TimeoutExceeded(ReproError):
     """A benchmark run exceeded its soft time budget."""
 

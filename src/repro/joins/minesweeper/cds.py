@@ -258,20 +258,29 @@ class ConstraintTree:
             return start, None
         bottom = self._bottom_of_chain(nodes)
 
+        value: Number = start
         if (
             self.enable_complete_nodes
             and bottom is not None
             and bottom.complete
         ):
-            # Idea 6: the bottom node has seen everything; trust its list.
+            # Idea 6: the bottom node has absorbed the chain's discoveries;
+            # seed the search with its consolidated view.  Its intervals are
+            # genuine gap knowledge, so a bottom covering the whole suffix
+            # is decisive.  A value it deems free, however, must still be
+            # checked against the rest of the chain below: other nodes may
+            # hold constraints inserted after the bottom became complete
+            # (always the case when interval caching is off), and trusting
+            # the bottom alone would report a covered tuple as free — the
+            # engine would then rediscover the same gap forever.  When the
+            # bottom really has seen everything the check is a single
+            # ping-pong round.
             self.statistics.complete_node_hits += 1
             value = bottom.intervals.next_free(start)
             if value == POS_INF:
                 blanket = bottom if bottom.intervals.has_no_free_value() else None
                 return POS_INF, blanket
-            return value, None
 
-        value: Number = start
         while True:
             self.statistics.ping_pong_rounds += 1
             round_start = value

@@ -1,0 +1,59 @@
+"""``repro.service`` — the concurrent query-serving subsystem.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.plan_cache` — LRU of compiled
+  :class:`~repro.engine.PreparedQuery` plans keyed by normalized text +
+  algorithm.
+* :mod:`repro.service.result_cache` — LRU of query answers with
+  per-relation version invalidation driven by the
+  :class:`~repro.storage.database.Database` change feed.
+* :mod:`repro.service.executor` — bounded worker pool with admission
+  control.
+* :mod:`repro.service.service` — :class:`QueryService`, the request path
+  composing plan cache → result cache → pool → engine.
+* :mod:`repro.service.workload` — declarative workload specs
+  (query mix + Zipf/uniform parameters) and the QPS-paced runner.
+"""
+
+from repro.service.executor import WorkerPool, WorkerPoolStats
+from repro.service.plan_cache import PlanCache, PlanCacheStats, normalize_query_text
+from repro.service.result_cache import ResultCache, ResultCacheStats
+from repro.service.service import (
+    QueryOutcome,
+    QueryService,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.service.workload import (
+    ParameterSpec,
+    WorkloadQuery,
+    WorkloadReport,
+    WorkloadRunner,
+    WorkloadSpec,
+    percentile,
+    run_workload,
+    summarize_latencies,
+)
+
+__all__ = [
+    "ParameterSpec",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryOutcome",
+    "QueryService",
+    "ResultCache",
+    "ResultCacheStats",
+    "ServiceConfig",
+    "ServiceStats",
+    "WorkerPool",
+    "WorkerPoolStats",
+    "WorkloadQuery",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "normalize_query_text",
+    "percentile",
+    "run_workload",
+    "summarize_latencies",
+]

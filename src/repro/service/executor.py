@@ -1,0 +1,110 @@
+"""The worker pool: bounded concurrent execution with admission control.
+
+A thin, accountable wrapper over :class:`concurrent.futures.ThreadPoolExecutor`:
+
+* **width** — ``workers`` threads execute queries concurrently.  Pure-Python
+  join execution is GIL-bound, but queries spend time in C-level dict/list
+  operations and the pool's real job in this repo is *scheduling*: overlap
+  of cache lookups with execution, fairness between query shapes, and the
+  seam where a process/remote pool plugs in later.
+* **admission control** — at most ``workers + max_pending`` requests may be
+  in flight; beyond that :meth:`submit` raises
+  :class:`repro.errors.AdmissionError` immediately instead of letting an
+  unbounded queue hide overload (the "fail fast at the front door" rule of
+  serving systems).
+* **accounting** — submitted / rejected / completed / failed counters feed
+  the service statistics and the workload report.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import AdmissionError, ServiceError
+
+T = TypeVar("T")
+
+
+@dataclass
+class WorkerPoolStats:
+    """Counters describing pool traffic."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.completed - self.failed
+
+
+class WorkerPool:
+    """A fixed-width thread pool with a bounded admission queue."""
+
+    def __init__(self, workers: int = 4, max_pending: int = 64,
+                 name: str = "repro-service") -> None:
+        if workers < 1:
+            raise ServiceError("worker pool needs at least one worker")
+        if max_pending < 0:
+            raise ServiceError("max_pending must be non-negative")
+        self.workers = workers
+        self.max_pending = max_pending
+        self._slots = threading.BoundedSemaphore(workers + max_pending)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=name
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self.stats = WorkerPoolStats()
+
+    def submit(self, fn: Callable[..., T], *args, **kwargs) -> "Future[T]":
+        """Schedule ``fn(*args, **kwargs)``; reject when the queue is full."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("worker pool is shut down")
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                self.stats.rejected += 1
+            raise AdmissionError(
+                f"admission queue full: {self.workers} workers busy and "
+                f"{self.max_pending} requests already pending"
+            )
+        try:
+            future = self._executor.submit(fn, *args, **kwargs)
+        except RuntimeError as error:
+            # A submit racing shutdown() can pass the _closed check and
+            # still find the executor closed; surface the promised error
+            # type instead of the raw RuntimeError.
+            self._slots.release()
+            raise ServiceError(f"worker pool is shut down: {error}") from None
+        except BaseException:
+            self._slots.release()
+            raise
+        with self._lock:
+            self.stats.submitted += 1
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: Future) -> None:
+        self._slots.release()
+        with self._lock:
+            if future.cancelled() or future.exception() is not None:
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight queries."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)

@@ -1,0 +1,135 @@
+"""The plan cache: compile each query shape once, reuse it forever.
+
+Query streams of the LDBC-style workloads this family of papers evaluates
+are dominated by *repeated shapes*: the same graph pattern arrives over and
+over with different parameters.  Compilation — parsing, hypergraph
+analysis, automatic algorithm selection, and the (worst-case exponential)
+nested-elimination-order search — is pure per-shape work, so the service
+layer caches the resulting :class:`~repro.engine.PreparedQuery` keyed by
+the whitespace-normalized query text plus the requested algorithm.
+
+The cache is a thread-safe LRU: the worker pool hits it from many threads
+at once.  Statistics (hits / misses / evictions) are exposed for the
+workload reports and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine import PreparedQuery, QueryEngine
+
+PlanKey = Tuple[str, str]
+
+
+_WORD_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+_OPERATOR_CHARS = frozenset("<>=!")
+
+
+def normalize_query_text(text: str) -> str:
+    """Whitespace-insensitive key text: ``edge(a, b)`` == ``edge(a,b)``.
+
+    Normalization is deliberately cheap — no parsing — so cache hits cost
+    O(len(text)).  Whitespace is dropped except where removing it would
+    merge two tokens into one (``a 1`` vs ``a1``, ``< =`` vs ``<=``);
+    there a single space survives, so invalid text can never alias the key
+    of a cached valid plan.  Semantically equal queries written with
+    different atom orders hash to different keys; they simply compile
+    twice.
+    """
+    parts = text.split()
+    if not parts:
+        return ""
+    out = [parts[0]]
+    for part in parts[1:]:
+        last, first = out[-1][-1], part[0]
+        if ((last in _WORD_CHARS and first in _WORD_CHARS)
+                or (last in _OPERATOR_CHARS and first in _OPERATOR_CHARS)):
+            out.append(" ")
+        out.append(part)
+    return "".join(out)
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters describing plan-cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU of :class:`PreparedQuery` objects."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanKey, PreparedQuery]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[PlanKey]:
+        """Current keys, most recently used last."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get(self, text: str, algorithm: str = "auto") -> Optional[PreparedQuery]:
+        """Look up a prepared plan without compiling on a miss."""
+        key = (normalize_query_text(text), algorithm)
+        with self._lock:
+            prepared = self._entries.get(key)
+            if prepared is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return prepared
+
+    def put(self, text: str, algorithm: str,
+            prepared: PreparedQuery) -> None:
+        """Insert a compiled plan, evicting the least recently used."""
+        key = (normalize_query_text(text), algorithm)
+        with self._lock:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_prepare(self, engine: QueryEngine, text: str,
+                       algorithm: str = "auto") -> Tuple[PreparedQuery, bool]:
+        """Return ``(prepared, was_hit)``, compiling through ``engine`` on miss.
+
+        Compilation happens outside the cache lock, so a thundering herd on
+        a cold shape may compile it more than once; all copies are
+        equivalent and the last one wins, which keeps the lock cheap.
+        """
+        prepared = self.get(text, algorithm)
+        if prepared is not None:
+            return prepared, True
+        prepared = engine.prepare(text, algorithm)
+        self.put(text, algorithm, prepared)
+        return prepared, False

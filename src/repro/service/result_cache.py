@@ -1,0 +1,178 @@
+"""The result cache: skip execution entirely for repeated identical queries.
+
+Entries are keyed by ``(canonical query text, algorithm, mode)`` and record
+the *versions* of every relation the query reads, as tracked by
+:class:`repro.storage.database.Database`.  Invalidation is statistics-aware
+in the same sense the catalog's own caches are: the database bumps a
+relation's version on every ``add``/``remove`` (the events that also drop
+its cached indexes and :class:`RelationStatistics`), and the cache
+
+* eagerly drops dependent entries when subscribed to the database's change
+  feed (:meth:`attach`), and
+* validates recorded versions on every lookup, so even a cache attached
+  late — or fed by a database mutated while a lookup raced — never returns
+  a result computed against stale relations.
+
+The cache is a bounded, thread-safe LRU; the worker pool reads and writes
+it concurrently while catalog mutations fire the invalidation listener.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.database import Database
+
+ResultKey = Tuple[str, str, str]
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters describing result-cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    value: object
+    # relation name -> relation version at computation time
+    dependencies: Dict[str, int] = field(default_factory=dict)
+
+
+class ResultCache:
+    """LRU of query results with per-relation version invalidation."""
+
+    def __init__(self, database: Database, capacity: int = 256,
+                 attach: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("result cache capacity must be at least 1")
+        self.capacity = capacity
+        self.database = database
+        self._entries: "OrderedDict[ResultKey, _Entry]" = OrderedDict()
+        # relation name -> keys of entries that read it (the dependency index
+        # that makes invalidation O(dependents), not O(cache)).
+        self._dependents: Dict[str, set] = {}
+        self._lock = threading.RLock()
+        self.stats = ResultCacheStats()
+        self._listener = None
+        if attach:
+            self.attach()
+
+    # ------------------------------------------------------------------
+    # Database change feed
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Subscribe to the database so relation changes evict eagerly."""
+        if self._listener is None:
+            self._listener = self.database.subscribe(self.invalidate_relation)
+
+    def detach(self) -> None:
+        """Stop listening to database changes (lookups still validate)."""
+        if self._listener is not None:
+            self.database.unsubscribe(self._listener)
+            self._listener = None
+
+    def invalidate_relation(self, name: str) -> None:
+        """Drop every cached result that reads relation ``name``."""
+        with self._lock:
+            for key in self._dependents.pop(name, set()):
+                if self._entries.pop(key, None) is not None:
+                    self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # LRU operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dependents.clear()
+
+    def snapshot(self, names: Sequence[str]) -> Dict[str, int]:
+        """The current versions of ``names`` — take this *before* executing.
+
+        Passing a pre-execution snapshot to :meth:`store` closes the race
+        where a relation changes mid-execution: the stored entry then
+        carries the old versions and the next lookup rejects it, instead
+        of a stale answer being blessed with post-change versions.
+        """
+        return {name: self.database.relation_version(name) for name in names}
+
+    def lookup(self, key: ResultKey) -> Optional[_Entry]:
+        """Return the live entry for ``key`` or ``None``.
+
+        An entry whose recorded relation versions no longer match the
+        database is treated as a miss and removed.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            for name, version in entry.dependencies.items():
+                if self.database.relation_version(name) != version:
+                    self._discard(key)
+                    self.stats.invalidations += 1
+                    self.stats.misses += 1
+                    return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def store(self, key: ResultKey, dependencies, value: object) -> None:
+        """Insert a result.
+
+        ``dependencies`` is either a mapping ``{relation name: version}``
+        taken with :meth:`snapshot` *before* the result was computed (the
+        race-free form), or a plain sequence of relation names, in which
+        case the current versions are recorded — only safe when no writer
+        can run concurrently with the computation.
+        """
+        if not isinstance(dependencies, dict):
+            dependencies = self.snapshot(tuple(dependencies))
+        with self._lock:
+            if key in self._entries:
+                self._discard(key)
+            self._entries[key] = _Entry(
+                value=value, dependencies=dict(dependencies)
+            )
+            for name in dependencies:
+                self._dependents.setdefault(name, set()).add(key)
+            while len(self._entries) > self.capacity:
+                oldest = next(iter(self._entries))
+                self._discard(oldest)
+                self.stats.evictions += 1
+
+    def _discard(self, key: ResultKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for name in entry.dependencies:
+            dependents = self._dependents.get(name)
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._dependents[name]
+
+    def keys(self) -> List[ResultKey]:
+        """Current keys, most recently used last."""
+        with self._lock:
+            return list(self._entries)

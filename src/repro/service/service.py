@@ -1,0 +1,267 @@
+""":class:`QueryService` — the concurrent serving layer over the engine.
+
+The service composes the pieces of this package into the request path a
+production deployment of the paper's engines would need::
+
+    request ──► plan cache ──► result cache ──► worker pool ──► engine
+                  (shape)        (instance)       (threads)     (joins)
+
+* The **plan cache** memoizes :class:`~repro.engine.PreparedQuery` objects
+  per query shape, so parsing / hypergraph analysis / GAO search run once.
+* The **result cache** memoizes full answers per query instance and is
+  invalidated per relation when the :class:`Database` catalog changes.
+* The **worker pool** bounds concurrency and applies admission control;
+  per-query soft timeouts reuse the engine's :class:`TimeBudget` machinery.
+
+Synchronous callers use :meth:`QueryService.execute`; streaming workloads
+(:mod:`repro.service.workload`) use :meth:`QueryService.submit` which
+returns a future.  Both paths produce :class:`QueryOutcome` records that
+carry cache provenance, making cached/uncached behaviour observable in
+benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.engine import PreparedQuery, QueryEngine
+from repro.errors import ExecutionError, ReproError, TimeoutExceeded
+from repro.service.executor import WorkerPool, WorkerPoolStats
+from repro.service.plan_cache import PlanCache, PlanCacheStats
+from repro.service.result_cache import ResultCache, ResultCacheStats
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`QueryService`."""
+
+    workers: int = 4
+    max_pending: int = 64
+    plan_cache_size: int = 128
+    result_cache_size: int = 256
+    default_timeout: Optional[float] = None
+    default_algorithm: str = "auto"
+
+
+@dataclass
+class QueryOutcome:
+    """One served query: its answer plus where in the stack it was found."""
+
+    query: str
+    mode: str
+    algorithm: str
+    value: Optional[object] = None
+    seconds: float = 0.0
+    plan_cached: bool = False
+    result_cached: bool = False
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.timed_out and self.error is None
+
+    @property
+    def count(self) -> Optional[int]:
+        """The scalar answer for ``mode="count"`` executions."""
+        if self.mode == "count":
+            return self.value  # type: ignore[return-value]
+        if self.value is None:
+            return None
+        return len(self.value)  # type: ignore[arg-type]
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of every layer's counters."""
+
+    plan_cache: PlanCacheStats
+    result_cache: ResultCacheStats
+    pool: WorkerPoolStats
+    executed: int = 0
+    served_from_cache: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat numbers for reports and JSON output."""
+        return {
+            "plan_hits": self.plan_cache.hits,
+            "plan_misses": self.plan_cache.misses,
+            "plan_hit_rate": round(self.plan_cache.hit_rate, 4),
+            "result_hits": self.result_cache.hits,
+            "result_misses": self.result_cache.misses,
+            "result_hit_rate": round(self.result_cache.hit_rate, 4),
+            "result_invalidations": self.result_cache.invalidations,
+            "submitted": self.pool.submitted,
+            "rejected": self.pool.rejected,
+            "executed": self.executed,
+            "served_from_cache": self.served_from_cache,
+        }
+
+
+class QueryService:
+    """Serve conjunctive queries concurrently with plan & result caching.
+
+    Parameters
+    ----------
+    database:
+        The catalog to serve; the result cache subscribes to its change
+        feed for invalidation.
+    config:
+        Service knobs; defaults are sized for tests and laptop demos.
+    engine:
+        An existing :class:`QueryEngine` to reuse (e.g. one with custom
+        registered algorithms); by default the service builds its own.
+    """
+
+    _MODES = ("count", "tuples")
+
+    def __init__(self, database: Database,
+                 config: Optional[ServiceConfig] = None,
+                 engine: Optional[QueryEngine] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.database = database
+        self.engine = engine or QueryEngine(
+            database, timeout=self.config.default_timeout
+        )
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.result_cache = ResultCache(
+            database, self.config.result_cache_size
+        )
+        self.pool = WorkerPool(self.config.workers, self.config.max_pending)
+        self._counter_lock = threading.Lock()
+        self._executed = 0
+        self._served_from_cache = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, query: Union[str, PreparedQuery],
+               algorithm: Optional[str] = None, mode: str = "count",
+               timeout: Optional[float] = None) -> "Future[QueryOutcome]":
+        """Schedule a query on the worker pool.
+
+        Raises :class:`repro.errors.AdmissionError` immediately when the
+        pool's admission queue is full; otherwise returns a future that
+        resolves to a :class:`QueryOutcome` (never raises for query-level
+        timeouts or unsupported-algorithm errors — those are recorded on
+        the outcome, mirroring :meth:`QueryEngine.execute`).
+        """
+        return self.pool.submit(self.execute, query, algorithm, mode, timeout)
+
+    def execute(self, query: Union[str, PreparedQuery],
+                algorithm: Optional[str] = None, mode: str = "count",
+                timeout: Optional[float] = None) -> QueryOutcome:
+        """Serve one query synchronously through the cache hierarchy."""
+        if mode not in self._MODES:
+            raise ExecutionError(
+                f"unknown mode {mode!r}; expected one of {self._MODES}"
+            )
+        algorithm = algorithm or self.config.default_algorithm
+        started = time.perf_counter()
+
+        # 1. Plan: compile the shape or fetch the prepared plan.
+        try:
+            if isinstance(query, PreparedQuery):
+                prepared, plan_hit = query, True
+            else:
+                prepared, plan_hit = self.plan_cache.get_or_prepare(
+                    self.engine, query, algorithm
+                )
+        except ReproError as error:
+            return QueryOutcome(
+                query=str(query), mode=mode, algorithm=algorithm,
+                seconds=time.perf_counter() - started, error=str(error),
+            )
+
+        # 2. Result: an identical instance answered against the current
+        #    relation versions needs no execution at all.
+        key = (prepared.text, prepared.algorithm, mode)
+        entry = self.result_cache.lookup(key)
+        if entry is not None:
+            with self._counter_lock:
+                self._served_from_cache += 1
+            return QueryOutcome(
+                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+                value=entry.value, seconds=time.perf_counter() - started,
+                plan_cached=plan_hit, result_cached=True,
+            )
+
+        # 3. Execute under the per-query soft time budget.  Dependency
+        #    versions are snapshotted *before* execution so a relation
+        #    swapped mid-query yields an entry the next lookup rejects,
+        #    never a stale answer blessed with post-change versions.
+        dependencies = self.result_cache.snapshot(
+            prepared.query.relation_names
+        )
+        effective_timeout = (
+            timeout if timeout is not None else self.config.default_timeout
+        )
+        try:
+            if mode == "count":
+                value: object = self.engine.count(
+                    prepared, timeout=effective_timeout
+                )
+            else:
+                # Stored (and returned) as an immutable tuple: the cache
+                # hands the same object to every hit, so a mutable list
+                # would let one caller poison every later answer.
+                value = tuple(
+                    self.engine.tuples(prepared, timeout=effective_timeout)
+                )
+        except TimeoutExceeded:
+            return QueryOutcome(
+                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+                seconds=time.perf_counter() - started,
+                plan_cached=plan_hit, timed_out=True,
+            )
+        except ReproError as error:
+            return QueryOutcome(
+                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+                seconds=time.perf_counter() - started,
+                plan_cached=plan_hit, error=str(error),
+            )
+        with self._counter_lock:
+            self._executed += 1
+        self.result_cache.store(key, dependencies, value)
+        return QueryOutcome(
+            query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+            value=value, seconds=time.perf_counter() - started,
+            plan_cached=plan_hit,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A snapshot of all cache / pool counters."""
+        return ServiceStats(
+            plan_cache=self.plan_cache.stats,
+            result_cache=self.result_cache.stats,
+            pool=self.pool.stats,
+            executed=self._executed,
+            served_from_cache=self._served_from_cache,
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached result (plans stay: they depend only on shape)."""
+        self.result_cache.clear()
+
+    def close(self) -> None:
+        """Drain the pool and detach the result cache from the database."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.shutdown(wait=True)
+        self.result_cache.detach()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

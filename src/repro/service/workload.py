@@ -1,0 +1,411 @@
+"""Declarative workloads: parameterized query streams driven at a target QPS.
+
+The serving workloads this subsystem targets (e.g. the LDBC social-network
+query mixes analyzed for the SIGMOD 2014 programming contest) are streams
+of a few *query shapes* instantiated with skewed parameters.  A
+:class:`WorkloadSpec` captures that declaratively:
+
+* a list of :class:`WorkloadQuery` templates — query text with
+  ``{placeholder}`` holes, a mix weight, an algorithm, and a mode;
+* per-placeholder :class:`ParameterSpec` distributions — ``uniform`` or
+  ``zipf`` over a finite value domain (Zipf skew is what makes result
+  caches pay off: hot parameters recur);
+* a total operation count, an optional target request rate (QPS), and a
+  seed that makes the whole stream deterministic.
+
+:class:`WorkloadRunner` drives the stream against a
+:class:`~repro.service.service.QueryService` in open-loop fashion (request
+start times follow the target rate regardless of completion times, the
+standard way to avoid coordinated omission), gathers end-to-end latencies,
+and reports throughput and percentiles through
+:mod:`repro.bench.reporting`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import json
+import string
+import time
+from concurrent.futures import Future, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.reporting import format_matrix
+from repro.errors import AdmissionError, WorkloadError
+from repro.service.service import QueryOutcome, QueryService
+from repro.util import deterministic_rng
+
+
+# ----------------------------------------------------------------------
+# Percentile math
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation.
+
+    Matches numpy's default ("linear") method: for sorted values
+    ``v_0..v_{n-1}`` the rank is ``q/100 * (n-1)`` and the result
+    interpolates between the neighbouring order statistics.
+    """
+    if not values:
+        raise WorkloadError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise WorkloadError(f"percentile {q} out of range [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p90 / p99 / max of a latency sample (seconds)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+# ----------------------------------------------------------------------
+# Parameter distributions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParameterSpec:
+    """How to draw values for one ``{placeholder}`` of a query template.
+
+    ``distribution`` is ``"uniform"`` or ``"zipf"``; ``values`` is the
+    finite domain (for Zipf, rank order: ``values[0]`` is the hottest).
+    ``skew`` is the Zipf exponent ``s`` (weights ``1/rank**s``).
+    """
+
+    name: str
+    values: Tuple[int, ...]
+    distribution: str = "uniform"
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise WorkloadError(f"parameter {self.name!r} has an empty domain")
+        if self.distribution not in ("uniform", "zipf"):
+            raise WorkloadError(
+                f"parameter {self.name!r}: unknown distribution "
+                f"{self.distribution!r} (expected 'uniform' or 'zipf')"
+            )
+        if self.distribution == "zipf" and self.skew <= 0:
+            raise WorkloadError(
+                f"parameter {self.name!r}: zipf skew must be positive"
+            )
+
+    def sampler(self, rng) -> Callable[[], int]:
+        """A zero-argument draw function bound to ``rng``."""
+        if self.distribution == "uniform":
+            values = self.values
+            return lambda: rng.choice(values)
+        # Zipf over ranks 1..n via inverse-CDF on precomputed cumulative
+        # weights; O(log n) per draw.
+        weights = [1.0 / (rank ** self.skew)
+                   for rank in range(1, len(self.values) + 1)]
+        cumulative = list(itertools.accumulate(weights))
+        total = cumulative[-1]
+        values = self.values
+
+        def draw() -> int:
+            point = rng.random() * total
+            return values[bisect.bisect_left(cumulative, point)]
+
+        return draw
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One template of the mix: text with holes, weight, and execution knobs."""
+
+    name: str
+    template: str
+    weight: float = 1.0
+    algorithm: str = "auto"
+    mode: str = "count"
+    parameters: Tuple[ParameterSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"query {self.name!r}: weight must be positive")
+        if self.mode not in ("count", "tuples"):
+            raise WorkloadError(
+                f"query {self.name!r}: unknown mode {self.mode!r} "
+                f"(expected 'count' or 'tuples')"
+            )
+        placeholders = {
+            field_name
+            for _, field_name, _, _ in string.Formatter().parse(self.template)
+            if field_name
+        }
+        declared = {p.name for p in self.parameters}
+        if placeholders != declared:
+            raise WorkloadError(
+                f"query {self.name!r}: template placeholders {sorted(placeholders)} "
+                f"do not match declared parameters {sorted(declared)}"
+            )
+
+    def instantiate(self, samplers: Mapping[str, Callable[[], int]]) -> str:
+        """Fill the template with one draw from every parameter."""
+        if not self.parameters:
+            return self.template
+        return self.template.format(
+            **{p.name: samplers[p.name]() for p in self.parameters}
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A full workload: the query mix plus stream shape."""
+
+    name: str
+    queries: Tuple[WorkloadQuery, ...]
+    operations: int = 100
+    qps: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise WorkloadError("a workload needs at least one query")
+        if self.operations < 1:
+            raise WorkloadError("operations must be at least 1")
+        if self.qps is not None and self.qps <= 0:
+            raise WorkloadError("qps must be positive when given")
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate query names in workload: {names}")
+
+    # ------------------------------------------------------------------
+    # Declarative loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "WorkloadSpec":
+        """Build a spec from a JSON-shaped dict (see ``examples/``).
+
+        Schema::
+
+            {"name": "...", "operations": 200, "qps": null, "seed": 0,
+             "queries": [
+               {"name": "two-hop", "weight": 3,
+                "template": "edge({src}, b), edge(b, c)",
+                "algorithm": "auto", "mode": "count",
+                "parameters": [
+                  {"name": "src", "distribution": "zipf", "skew": 1.2,
+                   "values": [0, 1, 2, ...]}]}]}
+        """
+        try:
+            queries = tuple(
+                WorkloadQuery(
+                    name=q["name"],
+                    template=q["template"],
+                    weight=float(q.get("weight", 1.0)),
+                    algorithm=q.get("algorithm", "auto"),
+                    mode=q.get("mode", "count"),
+                    parameters=tuple(
+                        ParameterSpec(
+                            name=p["name"],
+                            values=tuple(int(v) for v in p["values"]),
+                            distribution=p.get("distribution", "uniform"),
+                            skew=float(p.get("skew", 1.0)),
+                        )
+                        for p in q.get("parameters", ())
+                    ),
+                )
+                for q in data["queries"]
+            )
+        except KeyError as missing:
+            raise WorkloadError(f"workload spec missing field {missing}") from None
+        return cls(
+            name=data.get("name", "workload"),
+            queries=queries,
+            operations=int(data.get("operations", 100)),
+            qps=(float(data["qps"]) if data.get("qps") is not None else None),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, path: str) -> "WorkloadSpec":
+        """Load a spec from a JSON file (bad files raise WorkloadError)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise WorkloadError(
+                f"cannot read workload spec {path!r}: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise WorkloadError(
+                f"workload spec {path!r} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Stream generation
+    # ------------------------------------------------------------------
+    def requests(self) -> Iterator[Tuple[WorkloadQuery, str]]:
+        """The deterministic request stream: ``(template, query text)`` pairs."""
+        rng = deterministic_rng(self.seed)
+        samplers = {
+            query.name: {p.name: p.sampler(rng) for p in query.parameters}
+            for query in self.queries
+        }
+        weights = [q.weight for q in self.queries]
+        for _ in range(self.operations):
+            query = rng.choices(self.queries, weights=weights, k=1)[0]
+            yield query, query.instantiate(samplers[query.name])
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadReport:
+    """Measured behaviour of one workload run."""
+
+    name: str
+    operations: int
+    succeeded: int
+    rejected: int
+    failed: int
+    elapsed_seconds: float
+    latencies_by_query: Dict[str, List[float]] = field(default_factory=dict)
+    service_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.succeeded / self.elapsed_seconds
+
+    @property
+    def all_latencies(self) -> List[float]:
+        return [v for values in self.latencies_by_query.values() for v in values]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-query (plus overall) latency summaries."""
+        out = {
+            name: summarize_latencies(values)
+            for name, values in sorted(self.latencies_by_query.items())
+        }
+        out["overall"] = summarize_latencies(self.all_latencies)
+        return out
+
+    def format(self) -> str:
+        """A paper-style text table of latency percentiles (milliseconds)."""
+        summaries = self.summary()
+        columns = ["count", "mean", "p50", "p90", "p99", "max"]
+        cells = {}
+        for row, summary in summaries.items():
+            for column in columns:
+                value = summary[column]
+                cells[(row, column)] = (
+                    f"{int(value)}" if column == "count"
+                    else f"{value * 1000:.2f}"
+                )
+        table = format_matrix(
+            f"{self.name}: {self.succeeded}/{self.operations} ok, "
+            f"{self.throughput:.1f} q/s (latencies in ms)",
+            list(summaries), columns, cells, row_header="query",
+        )
+        stats = ", ".join(
+            f"{key}={value}" for key, value in self.service_stats.items()
+        )
+        return f"{table}\n{stats}" if stats else table
+
+
+class WorkloadRunner:
+    """Drive a :class:`WorkloadSpec` against a :class:`QueryService`.
+
+    ``shed_load=False`` (default) makes the runner behave like a
+    well-behaved client: when admission control rejects a request it backs
+    off briefly and retries, so every operation eventually runs.  With
+    ``shed_load=True`` rejections are final and counted, which is how an
+    overload experiment measures the admission controller itself.
+    """
+
+    _RETRY_SLEEP = 0.001
+
+    def __init__(self, service: QueryService, spec: WorkloadSpec,
+                 shed_load: bool = False) -> None:
+        self.service = service
+        self.spec = spec
+        self.shed_load = shed_load
+
+    def run(self) -> WorkloadReport:
+        """Issue the stream (paced when ``spec.qps`` is set) and measure.
+
+        Requests are submitted to the service's worker pool; end-to-end
+        latency spans submission to completion, so queue wait counts —
+        which is what a client of the service would observe.
+        """
+        report = WorkloadReport(
+            name=self.spec.name, operations=self.spec.operations,
+            succeeded=0, rejected=0, failed=0, elapsed_seconds=0.0,
+        )
+        pending: List[Tuple[str, float, "Future[QueryOutcome]"]] = []
+        completed_at: Dict[int, float] = {}
+        interval = (1.0 / self.spec.qps) if self.spec.qps else 0.0
+        started = time.perf_counter()
+        for index, (query, text) in enumerate(self.spec.requests()):
+            if interval:
+                slot = started + index * interval
+                delay = slot - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            issued = time.perf_counter()
+            future = self._submit(query, text)
+            if future is None:
+                report.rejected += 1
+                continue
+            future.add_done_callback(
+                lambda _f, i=len(pending): completed_at.setdefault(
+                    i, time.perf_counter()
+                )
+            )
+            pending.append((query.name, issued, future))
+        if pending:
+            wait([future for _, _, future in pending])
+        finished = time.perf_counter()
+        for index, (name, issued, future) in enumerate(pending):
+            outcome = future.result()
+            if outcome.succeeded:
+                report.succeeded += 1
+                latency = completed_at.get(index, finished) - issued
+                report.latencies_by_query.setdefault(name, []).append(latency)
+            else:
+                report.failed += 1
+        report.elapsed_seconds = finished - started
+        report.service_stats = self.service.stats().as_dict()
+        return report
+
+    def _submit(self, query: WorkloadQuery,
+                text: str) -> Optional["Future[QueryOutcome]"]:
+        """Submit one request, retrying on rejection unless shedding load."""
+        while True:
+            try:
+                return self.service.submit(
+                    text, algorithm=query.algorithm, mode=query.mode
+                )
+            except AdmissionError:
+                if self.shed_load:
+                    return None
+                time.sleep(self._RETRY_SLEEP)
+
+
+def run_workload(service: QueryService, spec: WorkloadSpec) -> WorkloadReport:
+    """Convenience wrapper: ``WorkloadRunner(service, spec).run()``."""
+    return WorkloadRunner(service, spec).run()

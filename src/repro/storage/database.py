@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError, StorageError
 from repro.storage.relation import Relation
 from repro.storage.trie import TrieIndex
 from repro.storage.statistics import RelationStatistics, collect_statistics
+
+ChangeListener = Callable[[str], None]
 
 
 class Database:
@@ -25,6 +27,13 @@ class Database:
         self._relations: Dict[str, Relation] = {}
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], TrieIndex] = {}
         self._statistics: Dict[str, RelationStatistics] = {}
+        # Monotonic change counters: the catalog-wide version bumps on every
+        # add/remove, and each relation name carries its own version so
+        # caches (e.g. the service result cache) can validate entries per
+        # relation instead of flushing wholesale.
+        self._version = 0
+        self._relation_versions: Dict[str, int] = {}
+        self._listeners: List[ChangeListener] = []
         for relation in relations or ():
             self.add(relation)
 
@@ -42,6 +51,7 @@ class Database:
             if key[0] != relation.name
         }
         self._statistics.pop(relation.name, None)
+        self._note_change(relation.name)
 
     def remove(self, name: str) -> None:
         """Remove a relation and every cached index built over it."""
@@ -52,6 +62,42 @@ class Database:
             key: index for key, index in self._indexes.items() if key[0] != name
         }
         self._statistics.pop(name, None)
+        self._note_change(name)
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    def _note_change(self, name: str) -> None:
+        self._version += 1
+        self._relation_versions[name] = self._version
+        for listener in list(self._listeners):
+            listener(name)
+
+    @property
+    def version(self) -> int:
+        """Catalog-wide version: bumps whenever any relation changes."""
+        return self._version
+
+    def relation_version(self, name: str) -> int:
+        """Version of one relation name (0 if it never existed)."""
+        return self._relation_versions.get(name, 0)
+
+    def subscribe(self, listener: ChangeListener) -> ChangeListener:
+        """Register ``listener(name)`` to fire on every add/remove.
+
+        Returns the listener so callers can keep the handle for
+        :meth:`unsubscribe`.  Listeners run synchronously inside the
+        mutating call, after the catalog and version counters are updated.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: ChangeListener) -> None:
+        """Remove a previously registered change listener (idempotent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""

@@ -85,6 +85,22 @@ class TestOptions:
             assert MinesweeperJoin(options=options).count(small_db, query) == \
                 NaiveBacktrackingJoin().count(small_db, query)
 
+    def test_complete_nodes_without_interval_caching_terminates(self):
+        """Regression: Idea 6 with Idea 5 disabled must not livelock.
+
+        A node marked "complete" has not absorbed the chain's discoveries
+        when interval caching is off; trusting its interval list alone
+        reported covered tuples as free and the engine rediscovered the
+        same gap forever.  The fix verifies the candidate against the full
+        chain, so this combination terminates (and stays correct).
+        """
+        db = graph_database(8, 12, seed=7)
+        options = MinesweeperOptions(enable_interval_caching=False,
+                                     enable_complete_nodes=True)
+        query = build_query("3-path")
+        assert MinesweeperJoin(options=options).count(db, query) == \
+            NaiveBacktrackingJoin().count(db, query)
+
     def test_probe_cache_reduces_index_seeks(self):
         db = graph_database(30, 90, seed=19)
         query = build_query("3-path")

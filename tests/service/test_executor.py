@@ -1,0 +1,77 @@
+"""Worker-pool behaviour: concurrency, admission control, accounting."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.executor import WorkerPool
+
+
+def test_runs_submitted_work() -> None:
+    with WorkerPool(workers=2, max_pending=4) as pool:
+        futures = [pool.submit(lambda x=x: x * x) for x in range(5)]
+        assert sorted(f.result() for f in futures) == [0, 1, 4, 9, 16]
+    assert pool.stats.completed == 5
+    assert pool.stats.failed == 0
+
+
+def test_admission_control_rejects_when_full() -> None:
+    release = threading.Event()
+    pool = WorkerPool(workers=1, max_pending=1)
+    try:
+        blocked = pool.submit(release.wait)        # occupies the worker
+        queued = pool.submit(lambda: 42)           # occupies the only slot
+        with pytest.raises(AdmissionError):
+            pool.submit(lambda: "overload")
+        assert pool.stats.rejected == 1
+        release.set()
+        assert blocked.result(timeout=5) is True
+        assert queued.result(timeout=5) == 42
+        # With slots free again, submission succeeds.
+        assert pool.submit(lambda: "ok").result(timeout=5) == "ok"
+    finally:
+        release.set()
+        pool.shutdown()
+
+
+def test_failed_work_releases_slot_and_counts() -> None:
+    def boom() -> None:
+        raise RuntimeError("kaboom")
+
+    with WorkerPool(workers=1, max_pending=0) as pool:
+        future = pool.submit(boom)
+        with pytest.raises(RuntimeError):
+            future.result(timeout=5)
+        # The slot must be released: the next submit is admitted.
+        assert pool.submit(lambda: 1).result(timeout=5) == 1
+    assert pool.stats.failed == 1
+    assert pool.stats.completed == 1
+
+
+def test_submit_after_shutdown_raises() -> None:
+    pool = WorkerPool(workers=1)
+    pool.shutdown()
+    with pytest.raises(ServiceError):
+        pool.submit(lambda: 1)
+
+
+def test_submit_racing_shutdown_raises_service_error() -> None:
+    """A submit that passes the closed-check while shutdown() runs must
+    surface the promised ServiceError, not the executor's RuntimeError."""
+    pool = WorkerPool(workers=1)
+    # Simulate the race window: the executor is already shut down but the
+    # pool's _closed flag has not been observed yet.
+    pool._executor.shutdown(wait=True)
+    with pytest.raises(ServiceError):
+        pool.submit(lambda: 1)
+
+
+def test_invalid_configuration() -> None:
+    with pytest.raises(ServiceError):
+        WorkerPool(workers=0)
+    with pytest.raises(ServiceError):
+        WorkerPool(workers=1, max_pending=-1)

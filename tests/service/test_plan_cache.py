@@ -1,0 +1,90 @@
+"""Plan-cache semantics: hits, misses, LRU eviction, normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import PreparedQuery, QueryEngine
+from repro.service.plan_cache import PlanCache, normalize_query_text
+from repro.storage import Database, edge_relation_from_pairs
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+
+
+@pytest.fixture
+def engine(triangle_db: Database) -> QueryEngine:
+    return QueryEngine(triangle_db)
+
+
+def test_normalization_is_whitespace_insensitive() -> None:
+    assert normalize_query_text("edge(a, b),  edge(b,c)") == \
+        normalize_query_text("edge(a,b),edge(b, c)")
+    assert normalize_query_text("edge(a,b)") != normalize_query_text("edge(a,c)")
+
+
+def test_normalization_preserves_token_boundaries() -> None:
+    # "a 1" is two tokens (a ParseError as an atom argument); it must not
+    # alias the key of the valid "a1".
+    assert normalize_query_text("edge(a 1, b)") != \
+        normalize_query_text("edge(a1, b)")
+    # "< =" is two operators; it must not alias "<=".
+    assert normalize_query_text("a < = b") != normalize_query_text("a <= b")
+    # Mixed-class neighbours still drop the space.
+    assert normalize_query_text("a < b") == normalize_query_text("a<b")
+    assert normalize_query_text("") == "" and normalize_query_text("  ") == ""
+
+
+def test_first_lookup_misses_then_hits(engine: QueryEngine) -> None:
+    cache = PlanCache(capacity=8)
+    prepared, hit = cache.get_or_prepare(engine, TRIANGLE)
+    assert not hit
+    assert isinstance(prepared, PreparedQuery)
+    again, hit = cache.get_or_prepare(engine, TRIANGLE)
+    assert hit
+    assert again is prepared
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_whitespace_variants_share_one_plan(engine: QueryEngine) -> None:
+    cache = PlanCache(capacity=8)
+    first, _ = cache.get_or_prepare(engine, "edge(a,b), edge(b,c)")
+    second, hit = cache.get_or_prepare(engine, "edge(a, b),  edge(b, c)")
+    assert hit
+    assert second is first
+    assert len(cache) == 1
+
+
+def test_algorithm_is_part_of_the_key(engine: QueryEngine) -> None:
+    cache = PlanCache(capacity=8)
+    auto, _ = cache.get_or_prepare(engine, TRIANGLE, "auto")
+    explicit, hit = cache.get_or_prepare(engine, TRIANGLE, "pairwise")
+    assert not hit
+    assert auto.algorithm != explicit.algorithm
+    assert len(cache) == 2
+
+
+def test_prepared_plan_skips_gao_search(engine: QueryEngine) -> None:
+    """The cached plan carries the GAO, so execution reuses it."""
+    cache = PlanCache(capacity=8)
+    prepared, _ = cache.get_or_prepare(engine, TRIANGLE, "lftj")
+    assert prepared.gao_names is not None
+    assert set(prepared.gao_names) == {"a", "b", "c"}
+
+
+def test_lru_eviction_order(engine: QueryEngine) -> None:
+    cache = PlanCache(capacity=2)
+    cache.get_or_prepare(engine, "edge(a, b)")
+    cache.get_or_prepare(engine, "edge(b, c)")
+    # Touch the first so the second becomes least recently used.
+    cache.get_or_prepare(engine, "edge(a, b)")
+    cache.get_or_prepare(engine, "edge(c, d)")
+    assert cache.stats.evictions == 1
+    keys = [text for text, _ in cache.keys()]
+    assert "edge(b,c)" not in keys
+    assert "edge(a,b)" in keys and "edge(c,d)" in keys
+
+
+def test_capacity_must_be_positive() -> None:
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)

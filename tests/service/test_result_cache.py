@@ -1,0 +1,107 @@
+"""Result-cache semantics: hits, invalidation on relation change, LRU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.result_cache import ResultCache
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+PAIRS = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]
+
+
+@pytest.fixture
+def database() -> Database:
+    return Database([edge_relation_from_pairs(PAIRS)])
+
+
+def test_store_then_lookup(database: Database) -> None:
+    cache = ResultCache(database, capacity=4)
+    key = ("edge(a, b)", "ms", "count")
+    assert cache.lookup(key) is None
+    cache.store(key, ("edge",), 12)
+    entry = cache.lookup(key)
+    assert entry is not None and entry.value == 12
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_relation_update_invalidates_dependent_entries(
+        database: Database) -> None:
+    cache = ResultCache(database, capacity=8)
+    edge_key = ("edge(a, b)", "ms", "count")
+    sample_key = ("v1(a)", "ms", "count")
+    database.add(node_relation([0, 1], "v1"))
+    cache.store(edge_key, ("edge",), 12)
+    cache.store(sample_key, ("v1",), 2)
+
+    # Replacing edge drops only the entry that reads edge.
+    database.add(edge_relation_from_pairs(PAIRS + [(0, 4)]), replace=True)
+    assert cache.lookup(edge_key) is None
+    assert cache.lookup(sample_key) is not None
+    assert cache.stats.invalidations >= 1
+
+
+def test_relation_removal_invalidates(database: Database) -> None:
+    cache = ResultCache(database, capacity=8)
+    key = ("edge(a, b)", "ms", "count")
+    cache.store(key, ("edge",), 12)
+    database.remove("edge")
+    assert cache.lookup(key) is None
+
+
+def test_version_validation_without_subscription(database: Database) -> None:
+    """A detached cache still refuses stale entries on lookup."""
+    cache = ResultCache(database, capacity=8, attach=False)
+    key = ("edge(a, b)", "ms", "count")
+    cache.store(key, ("edge",), 12)
+    database.add(edge_relation_from_pairs(PAIRS + [(0, 4)]), replace=True)
+    assert cache.lookup(key) is None
+    assert cache.stats.invalidations == 1
+
+
+def test_detach_stops_eager_eviction_but_keeps_safety(
+        database: Database) -> None:
+    cache = ResultCache(database, capacity=8)
+    key = ("edge(a, b)", "ms", "count")
+    cache.store(key, ("edge",), 12)
+    cache.detach()
+    database.add(edge_relation_from_pairs(PAIRS), replace=True)
+    # The entry was not eagerly dropped ...
+    assert len(cache) == 1
+    # ... but a lookup validates versions and treats it as stale.
+    assert cache.lookup(key) is None
+
+
+def test_pre_execution_snapshot_closes_midquery_race(
+        database: Database) -> None:
+    """A result computed against pre-change data must not be served after
+    the change, even when it is stored after the change (the mid-query
+    mutation race)."""
+    cache = ResultCache(database, capacity=8)
+    key = ("edge(a, b)", "ms", "count")
+    versions = cache.snapshot(("edge",))
+    # The relation changes while the query is (conceptually) executing.
+    database.add(edge_relation_from_pairs(PAIRS + [(0, 4)]), replace=True)
+    cache.store(key, versions, 12)
+    assert cache.lookup(key) is None
+
+
+def test_lru_eviction(database: Database) -> None:
+    cache = ResultCache(database, capacity=2)
+    keys = [(f"q{i}", "ms", "count") for i in range(3)]
+    for i, key in enumerate(keys):
+        cache.store(key, ("edge",), i)
+    assert cache.lookup(keys[0]) is None
+    assert cache.lookup(keys[1]) is not None
+    assert cache.lookup(keys[2]) is not None
+    assert cache.stats.evictions == 1
+
+
+def test_eviction_cleans_dependency_index(database: Database) -> None:
+    cache = ResultCache(database, capacity=1)
+    cache.store(("q0", "ms", "count"), ("edge",), 0)
+    cache.store(("q1", "ms", "count"), ("edge",), 1)
+    # q0 was evicted; invalidating edge must only drop q1 and not crash on
+    # the stale q0 reference.
+    database.add(edge_relation_from_pairs(PAIRS), replace=True)
+    assert len(cache) == 0

@@ -1,0 +1,161 @@
+"""End-to-end QueryService behaviour: caching, invalidation, concurrency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.service import QueryOutcome, QueryService, ServiceConfig
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+PAIRS = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4), (2, 4)]
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+
+
+@pytest.fixture
+def database() -> Database:
+    return Database([edge_relation_from_pairs(PAIRS)])
+
+
+@pytest.fixture
+def service(database: Database):
+    with QueryService(database, ServiceConfig(workers=2, max_pending=16)) as svc:
+        yield svc
+
+
+def test_cold_then_hot(service: QueryService) -> None:
+    cold = service.execute(TRIANGLE)
+    hot = service.execute(TRIANGLE)
+    assert cold.succeeded and hot.succeeded
+    assert cold.count == hot.count
+    assert not cold.plan_cached and not cold.result_cached
+    assert hot.plan_cached and hot.result_cached
+
+
+def test_count_matches_engine(service: QueryService,
+                              database: Database) -> None:
+    expected = QueryEngine(database).count(TRIANGLE)
+    assert service.execute(TRIANGLE).count == expected
+
+
+def test_tuples_mode(service: QueryService, database: Database) -> None:
+    outcome = service.execute(TRIANGLE, mode="tuples")
+    assert outcome.succeeded
+    assert list(outcome.value) == QueryEngine(database).tuples(TRIANGLE)
+    # Hot path returns the identical answer content.
+    hot = service.execute(TRIANGLE, mode="tuples")
+    assert hot.result_cached and hot.value == outcome.value
+
+
+def test_tuples_are_immutable_so_cache_cannot_be_poisoned(
+        service: QueryService) -> None:
+    outcome = service.execute(TRIANGLE, mode="tuples")
+    # A tuple gives callers no way to mutate the cached answer in place.
+    assert isinstance(outcome.value, tuple)
+    with pytest.raises((TypeError, AttributeError)):
+        outcome.value.append(("poison",))  # type: ignore[union-attr]
+    hot = service.execute(TRIANGLE, mode="tuples")
+    assert hot.value == outcome.value
+
+
+def test_modes_do_not_collide(service: QueryService) -> None:
+    count = service.execute(TRIANGLE, mode="count")
+    tuples = service.execute(TRIANGLE, mode="tuples")
+    assert isinstance(count.value, int)
+    assert isinstance(tuples.value, tuple)
+    assert tuples.count == count.count
+
+
+def test_relation_update_forces_recompute(service: QueryService,
+                                          database: Database) -> None:
+    before = service.execute(TRIANGLE)
+    database.add(edge_relation_from_pairs(PAIRS + [(1, 4)]), replace=True)
+    after = service.execute(TRIANGLE)
+    assert not after.result_cached
+    # Plans are shape-only: the plan cache still hits.
+    assert after.plan_cached
+    assert after.count == QueryEngine(database).count(TRIANGLE)
+    # (1, 4) closes new triangles, so the stale answer would be wrong.
+    assert after.count > before.count
+
+
+def test_unrelated_relation_update_keeps_cache(service: QueryService,
+                                               database: Database) -> None:
+    service.execute(TRIANGLE)
+    database.add(node_relation([0, 1], "v1"))
+    assert service.execute(TRIANGLE).result_cached
+
+
+def test_parse_error_is_reported_not_raised(service: QueryService) -> None:
+    outcome = service.execute("edge(a,")
+    assert not outcome.succeeded
+    assert outcome.error
+
+
+def test_unknown_algorithm_is_reported(service: QueryService) -> None:
+    outcome = service.execute(TRIANGLE, algorithm="no-such-engine")
+    assert not outcome.succeeded
+    assert "unknown algorithm" in (outcome.error or "")
+
+
+def test_timeout_is_reported() -> None:
+    from tests.conftest import graph_database
+    heavy = graph_database(60, 500, seed=71, samples=())
+    four_clique = ("edge(a, b), edge(a, c), edge(a, d), edge(b, c), "
+                   "edge(b, d), edge(c, d), a < b, b < c, c < d")
+    with QueryService(heavy) as service:
+        outcome = service.execute(four_clique, timeout=0.0)
+    assert outcome.timed_out
+    assert not outcome.succeeded
+
+
+def test_unknown_mode_raises(service: QueryService) -> None:
+    from repro.errors import ExecutionError
+    with pytest.raises(ExecutionError):
+        service.execute(TRIANGLE, mode="bindings")
+
+
+def test_concurrent_equals_serial(database: Database) -> None:
+    """The acceptance-criterion check at test scale: 4 workers == 1 worker."""
+    nodes = sorted(database.relation("edge").active_domain())
+    queries = [TRIANGLE, "edge(a, b), edge(b, c)"] + [
+        f"edge({node}, b), edge(b, c)" for node in nodes
+    ]
+    with QueryService(database, ServiceConfig(workers=4)) as concurrent:
+        futures = [concurrent.submit(text, mode="tuples") for text in queries]
+        concurrent_values = [f.result().value for f in futures]
+    with QueryService(database, ServiceConfig(workers=1)) as serial:
+        serial_values = [
+            serial.execute(text, mode="tuples").value for text in queries
+        ]
+    assert concurrent_values == serial_values
+
+
+def test_stats_accounting(service: QueryService) -> None:
+    service.execute(TRIANGLE)
+    service.execute(TRIANGLE)
+    service.execute(TRIANGLE)
+    stats = service.stats()
+    assert stats.executed == 1
+    assert stats.served_from_cache == 2
+    flat = stats.as_dict()
+    assert flat["result_hits"] == 2
+    assert flat["plan_hits"] == 2
+
+
+def test_invalidate_clears_results_keeps_plans(service: QueryService) -> None:
+    service.execute(TRIANGLE)
+    service.invalidate()
+    outcome = service.execute(TRIANGLE)
+    assert outcome.plan_cached and not outcome.result_cached
+
+
+def test_reusing_custom_engine(database: Database) -> None:
+    engine = QueryEngine(database)
+    engine.register("my-alg", lambda budget: __import__(
+        "repro.joins.naive", fromlist=["NaiveBacktrackingJoin"]
+    ).NaiveBacktrackingJoin(budget=budget))
+    with QueryService(database, engine=engine) as service:
+        outcome = service.execute(TRIANGLE, algorithm="my-alg")
+    assert outcome.succeeded
+    assert outcome.algorithm == "my-alg"

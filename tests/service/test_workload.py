@@ -1,0 +1,238 @@
+"""Workload layer: percentile math, distributions, specs, and the runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.service import QueryService, ServiceConfig
+from repro.service.workload import (
+    ParameterSpec,
+    WorkloadQuery,
+    WorkloadRunner,
+    WorkloadSpec,
+    percentile,
+    run_workload,
+    summarize_latencies,
+)
+from repro.storage import Database, edge_relation_from_pairs
+from repro.util import deterministic_rng
+
+PAIRS = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)]
+
+
+# ----------------------------------------------------------------------
+# Percentile math
+# ----------------------------------------------------------------------
+def test_percentile_exact_order_statistics() -> None:
+    values = [10.0, 20.0, 30.0, 40.0, 50.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 50) == 30.0
+    assert percentile(values, 100) == 50.0
+
+
+def test_percentile_linear_interpolation() -> None:
+    values = [0.0, 10.0]
+    assert percentile(values, 25) == pytest.approx(2.5)
+    assert percentile(values, 90) == pytest.approx(9.0)
+    # Matches numpy's default method on a 4-point sample.
+    sample = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(sample, 50) == pytest.approx(2.5)
+    assert percentile(sample, 75) == pytest.approx(3.25)
+
+
+def test_percentile_unsorted_input_and_singleton() -> None:
+    assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_errors() -> None:
+    with pytest.raises(WorkloadError):
+        percentile([], 50)
+    with pytest.raises(WorkloadError):
+        percentile([1.0], 101)
+
+
+def test_summarize_latencies() -> None:
+    summary = summarize_latencies([0.1, 0.2, 0.3, 0.4])
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(0.25)
+    assert summary["p50"] == pytest.approx(0.25)
+    assert summary["max"] == pytest.approx(0.4)
+    assert summarize_latencies([])["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# Parameter distributions
+# ----------------------------------------------------------------------
+def test_uniform_sampler_covers_domain() -> None:
+    spec = ParameterSpec(name="x", values=(1, 2, 3))
+    draw = spec.sampler(deterministic_rng(3))
+    seen = {draw() for _ in range(200)}
+    assert seen == {1, 2, 3}
+
+
+def test_zipf_sampler_is_skewed_toward_low_ranks() -> None:
+    spec = ParameterSpec(name="x", values=tuple(range(20)),
+                         distribution="zipf", skew=1.5)
+    draw = spec.sampler(deterministic_rng(5))
+    draws = [draw() for _ in range(2000)]
+    hottest = draws.count(0)
+    coldest = draws.count(19)
+    assert hottest > 10 * max(coldest, 1)
+    assert set(draws) <= set(range(20))
+
+
+def test_zipf_determinism() -> None:
+    spec = ParameterSpec(name="x", values=tuple(range(10)),
+                         distribution="zipf", skew=1.2)
+    a = [spec.sampler(deterministic_rng(9))() for _ in range(50)]
+    b = [spec.sampler(deterministic_rng(9))() for _ in range(50)]
+    assert a == b
+
+
+def test_parameter_validation() -> None:
+    with pytest.raises(WorkloadError):
+        ParameterSpec(name="x", values=())
+    with pytest.raises(WorkloadError):
+        ParameterSpec(name="x", values=(1,), distribution="normal")
+    with pytest.raises(WorkloadError):
+        ParameterSpec(name="x", values=(1,), distribution="zipf", skew=0.0)
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+def test_query_mode_is_validated() -> None:
+    with pytest.raises(WorkloadError):
+        WorkloadQuery(name="bad", template="edge(a, b)", mode="bindings")
+
+
+def test_template_placeholders_must_match_parameters() -> None:
+    with pytest.raises(WorkloadError):
+        WorkloadQuery(name="bad", template="edge({src}, b)")
+    with pytest.raises(WorkloadError):
+        WorkloadQuery(
+            name="bad", template="edge(a, b)",
+            parameters=(ParameterSpec(name="src", values=(1,)),),
+        )
+
+
+def test_spec_from_dict_and_request_stream_determinism() -> None:
+    data = {
+        "name": "mix", "operations": 25, "seed": 7,
+        "queries": [
+            {"name": "hop", "weight": 2,
+             "template": "edge({src}, b), edge(b, c)",
+             "parameters": [{"name": "src", "distribution": "zipf",
+                             "skew": 1.1, "values": [0, 1, 2, 3]}]},
+            {"name": "tri", "weight": 1,
+             "template": "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"},
+        ],
+    }
+    spec = WorkloadSpec.from_dict(data)
+    stream_a = [text for _, text in spec.requests()]
+    stream_b = [text for _, text in spec.requests()]
+    assert stream_a == stream_b
+    assert len(stream_a) == 25
+    assert any("edge(0, b)" in text or "edge(1, b)" in text
+               for text in stream_a)
+
+
+def test_spec_from_json(tmp_path) -> None:
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps({
+        "name": "file-mix", "operations": 5,
+        "queries": [{"name": "edge", "template": "edge(a, b)"}],
+    }))
+    spec = WorkloadSpec.from_json(str(path))
+    assert spec.name == "file-mix"
+    assert spec.operations == 5
+
+
+def test_spec_from_json_bad_files_raise_workload_error(tmp_path) -> None:
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    with pytest.raises(WorkloadError):
+        WorkloadSpec.from_json(str(broken))
+    with pytest.raises(WorkloadError):
+        WorkloadSpec.from_json(str(tmp_path / "missing.json"))
+
+
+def test_spec_validation() -> None:
+    query = WorkloadQuery(name="q", template="edge(a, b)")
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(name="w", queries=())
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(name="w", queries=(query,), operations=0)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(name="w", queries=(query,), qps=-1.0)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(name="w", queries=(query, query))
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@pytest.fixture
+def database() -> Database:
+    return Database([edge_relation_from_pairs(PAIRS)])
+
+
+def test_runner_end_to_end(database: Database) -> None:
+    spec = WorkloadSpec.from_dict({
+        "name": "small", "operations": 30, "seed": 11,
+        "queries": [
+            {"name": "hop", "weight": 3,
+             "template": "edge({src}, b), edge(b, c)",
+             "parameters": [{"name": "src", "distribution": "zipf",
+                             "skew": 1.3, "values": [0, 1, 2, 3, 4]}]},
+            {"name": "tri", "weight": 1,
+             "template": "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"},
+        ],
+    })
+    with QueryService(database, ServiceConfig(workers=3, max_pending=4)) as svc:
+        report = run_workload(svc, spec)
+    assert report.succeeded == 30
+    assert report.failed == 0 and report.rejected == 0
+    assert report.throughput > 0
+    assert set(report.latencies_by_query) == {"hop", "tri"}
+    summary = report.summary()
+    assert summary["overall"]["count"] == 30
+    assert summary["overall"]["p50"] <= summary["overall"]["p99"]
+    # Zipf skew + result cache: far fewer executions than operations.
+    assert report.service_stats["result_hits"] > 0
+    text = report.format()
+    assert "small" in text and "p99" in text
+
+
+def test_runner_paced_by_qps(database: Database) -> None:
+    spec = WorkloadSpec.from_dict({
+        "name": "paced", "operations": 6, "qps": 200.0, "seed": 0,
+        "queries": [{"name": "edge", "template": "edge(a, b)"}],
+    })
+    with QueryService(database, ServiceConfig(workers=1)) as svc:
+        report = run_workload(svc, spec)
+    assert report.succeeded == 6
+    # 6 operations at 200 q/s occupy at least 5 inter-arrival gaps = 25 ms.
+    assert report.elapsed_seconds >= 0.025
+
+
+def test_runner_shed_load_counts_rejections(database: Database) -> None:
+    import threading
+    release = threading.Event()
+    spec = WorkloadSpec.from_dict({
+        "name": "overload", "operations": 10, "seed": 0,
+        "queries": [{"name": "edge", "template": "edge(a, b)"}],
+    })
+    with QueryService(database, ServiceConfig(workers=1, max_pending=0)) as svc:
+        # Occupy the single worker so every workload submission is rejected.
+        blocker = svc.pool.submit(release.wait)
+        runner = WorkloadRunner(svc, spec, shed_load=True)
+        report = runner.run()
+        release.set()
+        blocker.result(timeout=5)
+    assert report.rejected == 10
+    assert report.succeeded == 0

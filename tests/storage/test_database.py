@@ -78,3 +78,55 @@ class TestIndexes:
         assert database.statistics("edge") is stats
         database.add(Relation("edge", 2, [(7, 7)]), replace=True)
         assert database.statistics("edge").cardinality == 1
+
+
+class TestChangeFeed:
+    def test_versions_start_after_construction(self, database):
+        # Construction adds two relations, so versions 1 and 2 exist.
+        assert database.version == 2
+        assert database.relation_version("edge") == 1
+        assert database.relation_version("v1") == 2
+        assert database.relation_version("missing") == 0
+
+    def test_replace_bumps_only_that_relation(self, database):
+        before = database.relation_version("v1")
+        database.add(Relation("edge", 2, [(7, 7)]), replace=True)
+        assert database.relation_version("edge") == database.version
+        assert database.relation_version("v1") == before
+
+    def test_remove_bumps_version(self, database):
+        database.remove("v1")
+        assert database.relation_version("v1") == database.version
+
+    def test_listeners_fire_on_add_and_remove(self, database):
+        events = []
+        database.subscribe(events.append)
+        database.add(Relation("v2", 1, [(5,)]))
+        database.add(Relation("v2", 1, [(6,)]), replace=True)
+        database.remove("v2")
+        assert events == ["v2", "v2", "v2"]
+
+    def test_unsubscribe_is_idempotent(self, database):
+        events = []
+        listener = database.subscribe(events.append)
+        database.unsubscribe(listener)
+        database.unsubscribe(listener)
+        database.add(Relation("v2", 1, [(5,)]))
+        assert events == []
+
+    def test_listener_sees_updated_catalog(self, database):
+        observed = {}
+
+        def listener(name):
+            observed[name] = len(database.relation(name))
+
+        database.subscribe(listener)
+        database.add(Relation("edge", 2, [(7, 7)]), replace=True)
+        assert observed == {"edge": 1}
+
+    def test_copy_does_not_share_listeners(self, database):
+        events = []
+        database.subscribe(events.append)
+        clone = database.copy()
+        clone.add(Relation("v9", 1, [(1,)]))
+        assert events == []

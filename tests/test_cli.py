@@ -84,3 +84,63 @@ class TestAnalyze:
         assert "nodes:" in out
         assert "triangles:" in out
         assert "PageRank" in out
+
+
+class TestServe:
+    def test_answers_queries_from_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("edge(a,b), edge(b,c), edge(a,c), a<b<c\n"
+                        "edge(a,b), edge(b,c), edge(a,c), a<b<c\n"),
+        )
+        code = main(["serve", "--dataset", "p2p-Gnutella04"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving p2p-Gnutella04" in out
+        assert "results in" in out
+        # The repeated query is answered from the result cache.
+        assert "result-cache" in out
+        assert "served:" in out
+
+    def test_reports_bad_queries_without_crashing(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("nosuch(a, b)\nedge(a,\n"))
+        code = main(["serve", "--dataset", "p2p-Gnutella04"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("error:") == 2
+
+
+class TestWorkload:
+    def test_default_mix(self, capsys):
+        code = main(["workload", "--dataset", "p2p-Gnutella04",
+                     "--operations", "20", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "default-mix" in out
+        assert "p99" in out
+        assert "plan_hits" in out
+
+    def test_spec_file(self, capsys, tmp_path):
+        import json
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "file-mix", "operations": 8,
+            "queries": [{"name": "edge-scan", "template": "edge(a, b)"}],
+        }))
+        code = main(["workload", "--dataset", "p2p-Gnutella04",
+                     "--spec", str(spec)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "file-mix" in out
+        assert "edge-scan" in out
+
+    def test_compare_cold_reports_speedup(self, capsys):
+        code = main(["workload", "--dataset", "p2p-Gnutella04",
+                     "--operations", "15", "--compare-cold"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cached vs cold" in out
+        assert "identical answers" in out

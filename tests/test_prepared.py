@@ -1,0 +1,115 @@
+"""PreparedQuery: the one-compilation path shared by engine and service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import PreparedQuery, QueryEngine
+from repro.errors import ExecutionError
+from repro.queries.patterns import build_query
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+PATH = "edge(a, b), edge(b, c), edge(c, d)"
+
+
+@pytest.fixture
+def engine(small_db) -> QueryEngine:
+    return QueryEngine(small_db)
+
+
+class TestPrepare:
+    def test_prepare_resolves_auto_to_concrete_algorithm(self, engine):
+        cyclic = engine.prepare(TRIANGLE)
+        acyclic = engine.prepare(PATH)
+        assert cyclic.algorithm == "lftj" and not cyclic.beta_acyclic
+        assert acyclic.algorithm == "ms" and acyclic.beta_acyclic
+        assert cyclic.requested_algorithm == "auto"
+
+    def test_prepare_keeps_explicit_algorithm(self, engine):
+        prepared = engine.prepare(TRIANGLE, algorithm="pairwise")
+        assert prepared.algorithm == "pairwise"
+        assert prepared.requested_algorithm == "pairwise"
+
+    def test_prepare_computes_gao_for_gao_driven_algorithms(self, engine):
+        lftj = engine.prepare(TRIANGLE, algorithm="lftj")
+        assert lftj.gao is not None
+        assert set(lftj.gao_names) == {"a", "b", "c"}
+        # Minesweeper on a beta-acyclic query gets a NEO.
+        ms = engine.prepare(PATH, algorithm="ms")
+        assert ms.gao is not None and ms.gao.is_neo
+
+    def test_prepare_leaves_ms_cyclic_order_to_the_engine(self, engine):
+        """On cyclic queries MS must pick its own skeleton-derived GAO."""
+        prepared = engine.prepare(TRIANGLE, algorithm="ms")
+        assert prepared.gao is None
+
+    def test_no_gao_for_non_gao_algorithms(self, engine):
+        assert engine.prepare(TRIANGLE, algorithm="pairwise").gao is None
+        assert engine.prepare(TRIANGLE, algorithm="naive").gao is None
+
+    def test_prepare_accepts_query_objects(self, engine):
+        prepared = engine.prepare(build_query("3-clique"))
+        assert prepared.algorithm == "lftj"
+
+    def test_prepare_is_idempotent(self, engine):
+        prepared = engine.prepare(TRIANGLE)
+        assert engine.prepare(prepared) is prepared
+        assert engine.prepare(prepared, algorithm="auto") is prepared
+        # Re-preparing under a different algorithm recompiles.
+        repin = engine.prepare(prepared, algorithm="pairwise")
+        assert repin is not prepared
+        assert repin.algorithm == "pairwise"
+
+    def test_prepare_unknown_algorithm_raises(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.prepare(TRIANGLE, algorithm="no-such")
+
+    def test_cache_key_normalizes_text(self, engine):
+        a = engine.prepare("edge(a,b), edge(b,c), edge(a,c), a<b, b<c")
+        b = engine.prepare(TRIANGLE)
+        assert a.cache_key() == b.cache_key()
+
+
+class TestPreparedExecution:
+    def test_count_via_prepared_matches_text(self, engine):
+        prepared = engine.prepare(TRIANGLE)
+        assert engine.count(prepared) == engine.count(TRIANGLE)
+
+    def test_tuples_via_prepared(self, engine):
+        prepared = engine.prepare(TRIANGLE)
+        assert engine.tuples(prepared) == engine.tuples(TRIANGLE)
+
+    def test_execute_via_prepared(self, engine):
+        prepared = engine.prepare(TRIANGLE, algorithm="lftj")
+        result = engine.execute(prepared)
+        assert result.succeeded
+        assert result.algorithm == "lftj"
+        assert result.count == engine.count(TRIANGLE)
+
+    def test_every_algorithm_agrees_via_prepared(self, engine):
+        counts = {
+            name: engine.count(engine.prepare(TRIANGLE, algorithm=name))
+            for name in ("lftj", "ms", "generic", "pairwise", "naive",
+                         "hybrid", "columnar")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_acyclic_agreement_via_prepared(self, engine):
+        counts = {
+            name: engine.count(engine.prepare(PATH, algorithm=name))
+            for name in ("lftj", "ms", "generic", "pairwise", "yannakakis")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_prepared_gao_reused_by_instance(self, engine):
+        prepared = engine.prepare(TRIANGLE, algorithm="lftj")
+        instance = engine._instantiate(prepared, None)
+        assert instance.variable_order == prepared.gao_names
+
+    def test_timeout_applies_to_prepared(self):
+        db = graph_database(60, 500, seed=71, samples=())
+        engine = QueryEngine(db)
+        prepared = engine.prepare(build_query("4-clique"), algorithm="lftj")
+        result = engine.execute(prepared, timeout=0.0)
+        assert result.timed_out
