@@ -69,9 +69,48 @@ from repro.data import (
     load_dataset_database,
 )
 from repro.engine import ExecutionResult, QueryEngine
+from repro.exec import (
+    ParallelConfig,
+    PartitionScheme,
+    Partitioner,
+    PhysicalPlan,
+    PlanExecutor,
+    ProcessPlanExecutor,
+    SerialPlanExecutor,
+)
 from repro.util import TimeBudget
 
-__version__ = "1.0.0"
+def _package_version() -> str:
+    """The distribution version, from pyproject.toml or installed metadata.
+
+    A ``pyproject.toml`` declaring ``name = "repro"`` in a parent of this
+    source tree is authoritative — it is *this* package's metadata, and
+    checking it first means an unrelated installed distribution that
+    happens to be called ``repro`` can never shadow a source checkout.
+    Installed (site-packages) trees have no adjacent pyproject and read
+    the package metadata instead.
+    """
+    import pathlib
+    import re
+
+    for parent in pathlib.Path(__file__).resolve().parents:
+        pyproject = parent / "pyproject.toml"
+        if pyproject.is_file():
+            text = pyproject.read_text()
+            if re.search(r'^name\s*=\s*"repro"', text, flags=re.MULTILINE):
+                match = re.search(r'^version\s*=\s*"([^"]+)"', text,
+                                  flags=re.MULTILINE)
+                if match:
+                    return match.group(1)
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return "0.0.0+unknown"
+
+
+__version__ = _package_version()
 
 __all__ = [
     "Atom",
@@ -94,14 +133,21 @@ __all__ = [
     "MinesweeperOptions",
     "NaiveBacktrackingJoin",
     "PairwiseHashJoin",
+    "ParallelConfig",
     "ParseError",
+    "PartitionScheme",
+    "Partitioner",
+    "PhysicalPlan",
+    "PlanExecutor",
     "PlanningError",
+    "ProcessPlanExecutor",
     "QUERY_PATTERNS",
     "QueryEngine",
     "QueryError",
     "Relation",
     "ReproError",
     "SchemaError",
+    "SerialPlanExecutor",
     "StorageError",
     "TimeBudget",
     "TimeoutExceeded",

@@ -18,19 +18,27 @@ from repro.data.catalog import load_dataset
 from repro.data.sampling import attach_samples
 from repro.datalog.query import ConjunctiveQuery
 from repro.engine import ExecutionResult, QueryEngine
+from repro.exec.partitioner import ParallelConfig
 from repro.queries.patterns import PatternSpec, pattern
 from repro.storage.database import Database
 
 
 @dataclass(frozen=True)
 class BenchmarkConfig:
-    """Knobs shared by every benchmark in the repository."""
+    """Knobs shared by every benchmark in the repository.
+
+    ``parallel`` > 1 measures partitioned execution: every cell's query
+    is split into that many shards evaluated on a process pool, via the
+    same plan/executor seam the service uses.
+    """
 
     timeout: float = 20.0
     repetitions: int = 3
     warmup_discard: int = 1
     scale: float = 1.0
     seed: int = 0
+    parallel: int = 1
+    partition_mode: str = "auto"
 
     def timed_repetitions(self) -> int:
         return max(1, self.repetitions - self.warmup_discard)
@@ -100,21 +108,25 @@ def run_cell(system: str, dataset_name: str, query_name: str,
         database = benchmark_database(dataset_name, query_name, selectivity, config)
     if query is None:
         query = pattern(query_name).build()
-    engine = QueryEngine(database, timeout=config.timeout)
 
     durations: List[float] = []
     count: Optional[int] = None
-    for repetition in range(config.repetitions):
-        result = engine.execute(query, algorithm=system)
-        if not result.succeeded:
-            return BenchmarkCell(
-                system=system, dataset=dataset_name, query=query_name,
-                selectivity=selectivity, seconds=None, count=None,
-                timed_out=result.timed_out, error=result.error,
-            )
-        count = result.count
-        if repetition >= config.warmup_discard or config.repetitions == 1:
-            durations.append(result.seconds)
+    parallel = ParallelConfig(shards=config.parallel,
+                              mode=config.partition_mode)
+    with QueryEngine(database, timeout=config.timeout,
+                     parallel=parallel) as engine:
+        engine.warm_up()  # pool start-up must not be billed to the cell
+        for repetition in range(config.repetitions):
+            result = engine.execute(query, algorithm=system)
+            if not result.succeeded:
+                return BenchmarkCell(
+                    system=system, dataset=dataset_name, query=query_name,
+                    selectivity=selectivity, seconds=None, count=None,
+                    timed_out=result.timed_out, error=result.error,
+                )
+            count = result.count
+            if repetition >= config.warmup_discard or config.repetitions == 1:
+                durations.append(result.seconds)
     seconds = sum(durations) / len(durations)
     return BenchmarkCell(
         system=system, dataset=dataset_name, query=query_name,
@@ -227,6 +239,108 @@ def run_cached_vs_cold(database: Database, query_texts: Sequence[str],
         cold_seconds=cold_seconds,
         cached_seconds=cached_seconds,
         consistent=cold_answers == cached_answers,
+    )
+
+
+@dataclass
+class SerialVsPartitionedResult:
+    """Wall-clock of serial vs. partitioned multi-process execution.
+
+    The correctness half: ``consistent`` records whether both paths
+    returned identical counts for every request.  The performance half:
+    ``speedup`` is ``serial_seconds / partitioned_seconds`` for the whole
+    stream.  ``scheme_keys`` records the partitioning each query used
+    (e.g. ``hypercube[a:2,b:2]``), for the report.
+    """
+
+    operations: int
+    shards: int
+    serial_seconds: float
+    partitioned_seconds: float
+    consistent: bool
+    scheme_keys: Dict[str, str] = field(default_factory=dict)
+    counts: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.partitioned_seconds == 0:
+            return float("inf")
+        return self.serial_seconds / self.partitioned_seconds
+
+    def format(self) -> str:
+        """A paper-style text table via the shared bench reporting."""
+        from repro.bench.reporting import format_matrix
+
+        rows = sorted(self.scheme_keys)
+        cells = {}
+        for query in rows:
+            cells[(query, "scheme")] = self.scheme_keys.get(query, "-")
+            count = self.counts.get(query)
+            cells[(query, "count")] = f"{count:,}" if count is not None else "-"
+        table = format_matrix(
+            f"serial vs partitioned ({self.shards} worker processes)",
+            rows, ["scheme", "count"], cells, row_header="query",
+        )
+        verdict = "identical answers" if self.consistent else "ANSWER MISMATCH"
+        return "\n".join([
+            table,
+            f"serial: {self.serial_seconds:.3f}s  partitioned: "
+            f"{self.partitioned_seconds:.3f}s  speedup: {self.speedup:.2f}x "
+            f"({verdict})",
+        ])
+
+
+def run_serial_vs_partitioned(database: Database,
+                              query_texts: Sequence[str],
+                              shards: int = 4,
+                              mode: str = "auto",
+                              repeats: int = 1,
+                              timeout: Optional[float] = None
+                              ) -> SerialVsPartitionedResult:
+    """Measure partitioned multi-process execution against the serial path.
+
+    Every request is executed twice — once on a serial engine, once on an
+    engine whose executor is a pool of ``shards`` worker processes — and
+    the counts are compared request by request, which is the
+    "verified-identical answers" requirement of the partitioned-execution
+    experiment.  Real speedup requires real cores: on a single-CPU host
+    the partitioned path measures pure overhead.
+    """
+    stream = [text for _ in range(repeats) for text in query_texts]
+
+    serial_counts: List[Optional[int]] = []
+    with QueryEngine(database, timeout=timeout) as engine:
+        serial_started = time.perf_counter()
+        for text in stream:
+            result = engine.execute(text)
+            serial_counts.append(result.count if result.succeeded else None)
+        serial_seconds = time.perf_counter() - serial_started
+
+    partitioned_counts: List[Optional[int]] = []
+    scheme_keys: Dict[str, str] = {}
+    config = ParallelConfig(shards=shards, mode=mode)
+    with QueryEngine(database, timeout=timeout, parallel=config) as engine:
+        engine.warm_up()  # measure shard execution, not pool start-up
+        for text in query_texts:
+            scheme_keys[text] = engine.plan(text).partition_key()
+        partitioned_started = time.perf_counter()
+        for text in stream:
+            result = engine.execute(text)
+            partitioned_counts.append(
+                result.count if result.succeeded else None
+            )
+        partitioned_seconds = time.perf_counter() - partitioned_started
+
+    return SerialVsPartitionedResult(
+        operations=len(stream),
+        shards=shards,
+        serial_seconds=serial_seconds,
+        partitioned_seconds=partitioned_seconds,
+        consistent=serial_counts == partitioned_counts,
+        scheme_keys=scheme_keys,
+        counts={
+            text: count for text, count in zip(stream, serial_counts)
+        },
     )
 
 

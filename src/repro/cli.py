@@ -39,6 +39,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro import __version__ as repro_version
 from repro.analytics.graph_algorithms import connected_components, pagerank
 from repro.bench.harness import BenchmarkConfig, run_cached_vs_cold, run_grid
 from repro.bench.reporting import format_table
@@ -47,6 +48,7 @@ from repro.data.sampling import attach_samples
 from repro.datalog.parser import parse_query
 from repro.engine import QueryEngine
 from repro.errors import ReproError
+from repro.exec import ParallelConfig
 from repro.joins.graph_engine import GraphEngine
 from repro.queries.patterns import QUERY_PATTERNS, build_query, pattern
 from repro.service import (
@@ -64,6 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Worst-case optimal and beyond-worst-case join processing "
                     "for graph patterns (Nguyen et al., 2015 reproduction).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro_version}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list the dataset catalog")
@@ -84,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="soft timeout in seconds")
     query.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale factor (default: 1.0)")
+    query.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="partition the query into N shards evaluated on "
+                            "N worker processes (default: 1, serial)")
+    query.add_argument("--partition-mode", default="auto",
+                       choices=("auto", "hash", "hypercube"),
+                       help="partitioning scheme for --parallel (default: auto)")
 
     bench = subparsers.add_parser("bench", help="run a small benchmark grid")
     bench.add_argument("--systems", default="lb/lftj,lb/ms,psql",
@@ -96,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="selectivity for acyclic patterns (default: 10)")
     bench.add_argument("--timeout", type=float, default=30.0,
                        help="per-cell soft timeout in seconds (default: 30)")
+    bench.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="evaluate every cell partitioned into N shards "
+                            "on N worker processes (default: 1, serial)")
+    bench.add_argument("--partition-mode", default="auto",
+                       choices=("auto", "hash", "hypercube"),
+                       help="partitioning scheme for --parallel (default: auto)")
 
     analyze = subparsers.add_parser("analyze", help="graph analytics on a dataset")
     analyze.add_argument("--dataset", required=True, choices=dataset_names())
@@ -116,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-query soft timeout in seconds")
     serve.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale factor (default: 1.0)")
+    serve.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="partition each query into N shards evaluated on "
+                            "N worker processes (default: 1, serial)")
+    serve.add_argument("--partition-mode", default="auto",
+                       choices=("auto", "hash", "hypercube"),
+                       help="partitioning scheme for --parallel (default: auto)")
 
     workload = subparsers.add_parser(
         "workload", help="drive a workload through the query service"
@@ -142,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--compare-cold", action="store_true",
                           help="also measure an uncached engine loop on a "
                                "repeated-query stream and report the speedup")
+    workload.add_argument("--parallel", type=int, default=1, metavar="N",
+                          help="partition each query into N shards evaluated "
+                               "on N worker processes (default: 1, serial)")
+    workload.add_argument("--partition-mode", default="auto",
+                          choices=("auto", "hash", "hypercube"),
+                          help="partitioning scheme for --parallel "
+                               "(default: auto)")
     return parser
 
 
@@ -169,24 +198,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = spec.build()
     else:
         query = parse_query(args.text)
-    engine = QueryEngine(database, timeout=args.timeout)
-    result = engine.execute(query, algorithm=args.algorithm)
+    parallel = ParallelConfig(shards=args.parallel, mode=args.partition_mode)
+    with QueryEngine(database, timeout=args.timeout,
+                     parallel=parallel) as engine:
+        result = engine.execute(query, algorithm=args.algorithm)
     label = args.pattern or args.text
+    sharding = f", {result.shards} shards" if result.shards > 1 else ""
     if result.timed_out:
         print(f"{label} on {args.dataset}: timed out after "
-              f"{result.seconds:.1f}s ({result.algorithm})")
+              f"{result.seconds:.1f}s ({result.algorithm}{sharding})")
         return 2
     if result.error:
         print(f"{label} on {args.dataset}: unsupported by "
               f"{result.algorithm}: {result.error}")
         return 2
     print(f"{label} on {args.dataset}: {result.count:,} results in "
-          f"{result.seconds:.3f}s using {result.algorithm}")
+          f"{result.seconds:.3f}s using {result.algorithm}{sharding}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    config = BenchmarkConfig(timeout=args.timeout, repetitions=1, warmup_discard=0)
+    config = BenchmarkConfig(timeout=args.timeout, repetitions=1,
+                             warmup_discard=0, parallel=args.parallel,
+                             partition_mode=args.partition_mode)
     cells = run_grid(
         systems=[s.strip() for s in args.systems.split(",") if s.strip()],
         dataset_names=[d.strip() for d in args.datasets.split(",") if d.strip()],
@@ -235,7 +269,9 @@ def _service_database(dataset: str, selectivity: int,
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     database = _service_database(args.dataset, args.selectivity, args.scale)
-    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout)
+    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
+                           parallel_shards=args.parallel,
+                           partition_mode=args.partition_mode)
     with QueryService(database, config) as service:
         print(f"serving {args.dataset} "
               f"({database.relation('edge').arity}-ary edge relation, "
@@ -300,7 +336,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         from dataclasses import replace
         spec = replace(spec, **overrides)
 
-    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout)
+    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
+                           parallel_shards=args.parallel,
+                           partition_mode=args.partition_mode)
     with QueryService(database, config) as service:
         report = WorkloadRunner(service, spec).run()
     print(report.format())

@@ -11,15 +11,22 @@ general-purpose system would apply (``algorithm="auto"``): Minesweeper for
 β-acyclic queries (where it is instance optimal), LFTJ otherwise — which is
 exactly the "summary" recommendation of §5.2.
 
-Compilation is separated from execution: :meth:`QueryEngine.prepare`
-performs the per-query-shape work exactly once — parsing, hypergraph
-analysis, algorithm selection, and global-attribute-order (GAO) search —
-and returns a reusable :class:`PreparedQuery`.  Every execution entry point
-(:meth:`count`, :meth:`bindings`, :meth:`tuples`, :meth:`execute`) accepts
-either raw query text, a :class:`ConjunctiveQuery`, or a
-:class:`PreparedQuery`; the service layer's plan cache
-(:mod:`repro.service.plan_cache`) stores prepared queries so repeated
-parameterized queries skip compilation entirely.
+Compilation is separated from execution twice over.  The *logical* half:
+:meth:`QueryEngine.prepare` performs the per-query-shape work exactly once
+— parsing, hypergraph analysis, algorithm selection, and
+global-attribute-order (GAO) search — and returns a reusable
+:class:`PreparedQuery`.  The *physical* half: :meth:`QueryEngine.plan`
+lowers a prepared query onto a :class:`~repro.exec.plan.PhysicalPlan`
+(scan → partition → per-shard join → merge), and every execution entry
+point (:meth:`count`, :meth:`bindings`, :meth:`tuples`, :meth:`execute`)
+routes through the engine's pluggable
+:class:`~repro.exec.executor.PlanExecutor` — serial by default
+(behavior-identical to direct algorithm calls), or a multiprocessing
+worker pool when the engine is built with ``parallel=N``.  Entry points
+accept raw query text, a :class:`ConjunctiveQuery`, a
+:class:`PreparedQuery`, or a :class:`~repro.exec.plan.PhysicalPlan`; the
+service layer's plan cache (:mod:`repro.service.plan_cache`) stores
+compiled plans so repeated parameterized queries skip both halves.
 """
 
 from __future__ import annotations
@@ -33,6 +40,14 @@ from repro.datalog.gao import GAOChoice, select_gao
 from repro.datalog.hypergraph import Hypergraph
 from repro.datalog.parser import parse_query
 from repro.datalog.query import ConjunctiveQuery
+from repro.exec.executor import (
+    PlanExecutor,
+    ProcessPlanExecutor,
+    SerialPlanExecutor,
+    _apply_gao,
+)
+from repro.exec.partitioner import ParallelConfig, choose_scheme
+from repro.exec.plan import PhysicalPlan, compile_plan
 from repro.joins.base import JoinAlgorithm
 from repro.joins.columnar import ColumnAtATimeJoin
 from repro.joins.generic import GenericJoin
@@ -67,6 +82,7 @@ class ExecutionResult:
     seconds: float
     timed_out: bool = False
     error: Optional[str] = None
+    shards: int = 1
 
     @property
     def succeeded(self) -> bool:
@@ -120,7 +136,8 @@ class PreparedQuery:
         return (self.text, self.requested_algorithm)
 
 
-def _default_registry() -> Dict[str, AlgorithmFactory]:
+def default_registry() -> Dict[str, AlgorithmFactory]:
+    """The built-in algorithm registry (worker processes rebuild this)."""
     return {
         # The paper's system names.
         "lb/lftj": lambda budget: LeapfrogTrieJoin(budget=budget),
@@ -152,23 +169,58 @@ class QueryEngine:
     timeout:
         Default soft timeout in seconds applied to every execution (the
         paper uses 1800 s); ``None`` disables it.
+    parallel:
+        Default parallelism for every execution: ``None`` (serial), an
+        int shard count, or a :class:`~repro.exec.partitioner.ParallelConfig`.
+        Constructing the engine with ``parallel`` > 1 also installs a
+        process-pool executor, so shards run on worker processes.
+        Individual calls can override the *partitioning* via their
+        ``parallel`` argument, but shards always run on the engine's
+        executor — on a serial engine an overridden call partitions and
+        executes the shards in-process (the reference behaviour the
+        property tests compare against), it does not fork a pool.
+    executor:
+        The :class:`~repro.exec.executor.PlanExecutor` that runs physical
+        plans.  Defaults to a serial executor, or a process-pool executor
+        when ``parallel`` requests more than one shard.  The engine owns a
+        defaulted executor (``close()`` releases it); a caller-supplied
+        executor is borrowed.
     """
 
     def __init__(self, database: Database,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 parallel: Optional[object] = None,
+                 executor: Optional[PlanExecutor] = None) -> None:
         self.database = database
         self.timeout = timeout
-        self._registry: Dict[str, AlgorithmFactory] = _default_registry()
+        self.parallel = ParallelConfig.coerce(parallel)
+        self._owns_executor = executor is None
+        if executor is None:
+            executor = (
+                ProcessPlanExecutor(workers=self.parallel.shards)
+                if self.parallel.shards > 1 else SerialPlanExecutor()
+            )
+        self.executor = executor
+        self._registry: Dict[str, AlgorithmFactory] = default_registry()
+        self._custom_algorithms: set = set()
 
     # ------------------------------------------------------------------
     # Registry management
     # ------------------------------------------------------------------
     def register(self, name: str, factory: AlgorithmFactory,
                  replace: bool = False) -> None:
-        """Add a custom algorithm under ``name``."""
+        """Add a custom algorithm under ``name``.
+
+        Custom factories exist only on this engine instance, so they
+        cannot run on an out-of-process executor (worker processes
+        rebuild the *default* registry); partitioned execution of a
+        registered name is rejected rather than silently substituting
+        the stock implementation.
+        """
         if name in self._registry and not replace:
             raise ExecutionError(f"algorithm {name!r} is already registered")
         self._registry[name] = factory
+        self._custom_algorithms.add(name)
 
     def algorithms(self) -> List[str]:
         """The registered algorithm names, sorted."""
@@ -199,6 +251,8 @@ class QueryEngine:
     # Compilation
     # ------------------------------------------------------------------
     def _resolve(self, query) -> ConjunctiveQuery:
+        if isinstance(query, PhysicalPlan):
+            return query.prepared.query
         if isinstance(query, PreparedQuery):
             return query.query
         if isinstance(query, ConjunctiveQuery):
@@ -213,6 +267,8 @@ class QueryEngine:
         parsing, hypergraph analysis, or the (potentially exponential) NEO
         search again.
         """
+        if isinstance(query, PhysicalPlan):
+            query = query.prepared
         if isinstance(query, PreparedQuery):
             if algorithm in ("auto", query.requested_algorithm, query.algorithm):
                 return query
@@ -240,67 +296,128 @@ class QueryEngine:
 
     def _instantiate(self, prepared: PreparedQuery,
                      budget: Optional[TimeBudget]) -> JoinAlgorithm:
-        """Build the algorithm for a prepared query, reusing its GAO."""
-        instance = self.make_algorithm(prepared.algorithm, budget)
-        if (prepared.gao_names is not None
-                and getattr(instance, "variable_order", "absent") is None):
-            instance.variable_order = prepared.gao_names
-        return instance
+        """Build the algorithm for a prepared query, reusing its GAO.
+
+        Execution routes through the executor seam (which applies the
+        GAO itself); this helper remains for callers that need a bare
+        algorithm instance.
+        """
+        return _apply_gao(
+            self.make_algorithm(prepared.algorithm, budget),
+            prepared.gao_names,
+        )
+
+    def plan(self, query, algorithm: str = "auto",
+             parallel: Optional[object] = None) -> PhysicalPlan:
+        """Lower ``query`` onto a physical plan (scan → partition → join → merge).
+
+        ``parallel`` overrides the engine's default partitioning for this
+        plan (how shards *run* is the executor's business — see the class
+        docstring).  An already-compiled :class:`PhysicalPlan` passes
+        through untouched unless the call explicitly requests a different
+        algorithm or partitioning, in which case it is recompiled from
+        its prepared query — mirroring how :meth:`prepare` treats a
+        :class:`PreparedQuery` with a mismatched algorithm.  Serial
+        requests produce the degenerate single-shard plan whose execution
+        is identical to calling the algorithm directly.
+        """
+        if isinstance(query, PhysicalPlan):
+            prepared = query.prepared
+            compatible_algorithm = algorithm in (
+                "auto", prepared.requested_algorithm, prepared.algorithm
+            )
+            if compatible_algorithm and parallel is None:
+                return query
+            if parallel is None:
+                # Keep the plan's own layout (not the engine default).
+                parallel = (
+                    ParallelConfig(shards=query.shards,
+                                   mode=query.scheme.mode)
+                    if query.scheme is not None else ParallelConfig()
+                )
+            return self.plan(prepared.query, algorithm, parallel)
+        prepared = self.prepare(query, algorithm)
+        config = (
+            ParallelConfig.coerce(parallel) if parallel is not None
+            else self.parallel
+        )
+        scheme = choose_scheme(
+            prepared.query, config.shards, mode=config.mode,
+            beta_acyclic=prepared.beta_acyclic, database=self.database,
+        )
+        return compile_plan(prepared, scheme)
+
+    def _check_plan(self, plan: PhysicalPlan) -> PhysicalPlan:
+        """Reject plans the engine's executor cannot run faithfully."""
+        if (plan.shards > 1 and self.executor.runs_out_of_process
+                and plan.algorithm in self._custom_algorithms):
+            raise ExecutionError(
+                f"algorithm {plan.algorithm!r} was registered on this "
+                f"engine and cannot run on worker processes (they only "
+                f"see the default registry); execute it serially or use "
+                f"a SerialPlanExecutor"
+            )
+        return plan
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution — every entry point goes through the plan/executor seam
     # ------------------------------------------------------------------
     def count(self, query, algorithm: str = "auto",
-              timeout: Optional[float] = None) -> int:
+              timeout: Optional[float] = None,
+              parallel: Optional[object] = None) -> int:
         """The number of output tuples; raises on timeout or error."""
-        prepared = self.prepare(query, algorithm)
+        plan = self._check_plan(self.plan(query, algorithm, parallel))
         budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self._instantiate(prepared, budget).count(
-            self.database, prepared.query
+        return self.executor.count(
+            self.database, plan, budget=budget, factory=self.make_algorithm
         )
 
     def bindings(self, query, algorithm: str = "auto",
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 parallel: Optional[object] = None):
         """Iterate the output bindings of ``query``."""
-        prepared = self.prepare(query, algorithm)
+        plan = self._check_plan(self.plan(query, algorithm, parallel))
         budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self._instantiate(prepared, budget).enumerate_bindings(
-            self.database, prepared.query
+        return self.executor.bindings(
+            self.database, plan, budget=budget, factory=self.make_algorithm
         )
 
     def tuples(self, query, algorithm: str = "auto",
-               timeout: Optional[float] = None) -> List[Tuple[int, ...]]:
+               timeout: Optional[float] = None,
+               parallel: Optional[object] = None) -> List[Tuple[int, ...]]:
         """The sorted output tuples in first-occurrence variable order."""
-        prepared = self.prepare(query, algorithm)
-        variables = prepared.query.variables
-        rows = [
-            tuple(binding[v] for v in variables)
-            for binding in self.bindings(prepared, timeout=timeout)
-        ]
-        rows.sort()
-        return rows
+        plan = self._check_plan(self.plan(query, algorithm, parallel))
+        budget = TimeBudget(timeout if timeout is not None else self.timeout)
+        return self.executor.tuples(
+            self.database, plan, budget=budget, factory=self.make_algorithm
+        )
 
     def execute(self, query, algorithm: str = "auto",
-                timeout: Optional[float] = None) -> ExecutionResult:
+                timeout: Optional[float] = None,
+                parallel: Optional[object] = None) -> ExecutionResult:
         """Run a count query and capture timing, timeouts, and errors."""
         try:
-            prepared = self.prepare(query, algorithm)
+            plan = self._check_plan(self.plan(query, algorithm, parallel))
         except ReproError as error:
             return ExecutionResult(
                 algorithm=algorithm, query=str(query), count=None,
                 seconds=0.0, error=str(error),
             )
+        prepared = plan.prepared
         effective_timeout = timeout if timeout is not None else self.timeout
         budget = TimeBudget(effective_timeout)
         started = time.perf_counter()
         try:
-            algorithm_instance = self._instantiate(prepared, budget)
-            count = algorithm_instance.count(self.database, prepared.query)
+            count = self.executor.count(
+                self.database, plan, budget=budget,
+                factory=self.make_algorithm,
+            )
             return ExecutionResult(
                 algorithm=prepared.algorithm,
                 query=prepared.text,
                 count=count,
                 seconds=time.perf_counter() - started,
+                shards=plan.shards,
             )
         except TimeoutExceeded:
             return ExecutionResult(
@@ -309,6 +426,7 @@ class QueryEngine:
                 count=None,
                 seconds=time.perf_counter() - started,
                 timed_out=True,
+                shards=plan.shards,
             )
         except ReproError as error:
             # Anything the library can diagnose — unsupported queries,
@@ -321,4 +439,23 @@ class QueryEngine:
                 count=None,
                 seconds=time.perf_counter() - started,
                 error=str(error),
+                shards=plan.shards,
             )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warm_up(self) -> None:
+        """Pre-start the executor's lazy resources (e.g. the process pool)."""
+        self.executor.warm_up()
+
+    def close(self) -> None:
+        """Release the engine's executor if the engine created it."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -61,3 +61,12 @@ class TimeoutExceeded(ReproError):
         )
         self.elapsed = elapsed
         self.budget = budget
+
+    def __reduce__(self):
+        # Exceptions with required __init__ arguments do not pickle by
+        # default (BaseException.__reduce__ replays only the message
+        # args).  This one crosses process boundaries — a worker shard
+        # hitting its budget reports back through a multiprocessing pool,
+        # and an unpicklable exception kills the pool's result-handler
+        # thread, wedging the caller forever.
+        return (TimeoutExceeded, (self.elapsed, self.budget))

@@ -1,0 +1,66 @@
+"""Physical-plan layer: plans, partitioning, and pluggable executors.
+
+The execution pipeline is::
+
+    text ──► PreparedQuery ──► PhysicalPlan ──► PlanExecutor ──► answer
+             (logical:          (scan →          (serial, or a
+              parse, analyse,    partition →      multiprocessing
+              pick algorithm     shard join →     worker pool)
+              and GAO)           merge)
+
+:mod:`repro.engine` compiles and routes every execution through this
+seam; :mod:`repro.service` plugs a process-pool executor in as the
+worker backend; the CLI exposes it as ``--parallel N``.
+"""
+
+from repro.exec.partitioner import (
+    ParallelConfig,
+    Partitioner,
+    PartitionScheme,
+    bucket_of,
+    choose_scheme,
+)
+from repro.exec.plan import (
+    MergeOp,
+    PartitionOp,
+    PhysicalPlan,
+    ScanOp,
+    ShardJoinOp,
+    compile_plan,
+)
+from repro.exec.executor import (
+    PlanExecutor,
+    ProcessPlanExecutor,
+    SerialPlanExecutor,
+    run_shard,
+)
+from repro.exec.shards import (
+    EncodedRelation,
+    decode_database,
+    decode_relation,
+    encode_database,
+    encode_relation,
+)
+
+__all__ = [
+    "EncodedRelation",
+    "MergeOp",
+    "ParallelConfig",
+    "PartitionOp",
+    "PartitionScheme",
+    "Partitioner",
+    "PhysicalPlan",
+    "PlanExecutor",
+    "ProcessPlanExecutor",
+    "ScanOp",
+    "SerialPlanExecutor",
+    "ShardJoinOp",
+    "bucket_of",
+    "choose_scheme",
+    "compile_plan",
+    "decode_database",
+    "decode_relation",
+    "encode_database",
+    "encode_relation",
+    "run_shard",
+]

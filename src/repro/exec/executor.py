@@ -1,0 +1,346 @@
+"""Pluggable executors that run physical plans.
+
+Two executors implement the same contract over a
+:class:`~repro.exec.plan.PhysicalPlan`:
+
+* :class:`SerialPlanExecutor` — runs every shard in-process, one after
+  the other.  On a serial plan this is exactly the pre-refactor
+  execution path (same algorithm instance, same streaming enumeration);
+  on a partitioned plan it is the reference implementation the tests
+  compare everything against.
+* :class:`ProcessPlanExecutor` — ships each shard to a
+  :mod:`multiprocessing` pool.  Shard catalogs travel as columnar
+  payloads (:mod:`repro.exec.shards`), workers rebuild relations and
+  tries locally, and only counts or output tuples come back, so the
+  per-query IPC volume is input fragments + answers, never indexes.
+
+Both merge shard results the same way: counts sum and tuple lists merge
+(the partitioner guarantees shard outputs are disjoint, so no
+deduplication pass is needed).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import os
+import sys
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, TimeoutExceeded
+from repro.exec.partitioner import Partitioner
+from repro.exec.plan import PhysicalPlan
+from repro.exec.shards import (
+    EncodedRelation,
+    decode_database,
+    encode_relation,
+)
+from repro.joins.base import Binding, JoinAlgorithm
+from repro.storage.database import Database
+from repro.util import TimeBudget
+
+#: ``factory(name, budget) -> JoinAlgorithm`` — how an executor turns the
+#: plan's algorithm name into an instance.  The engine passes its own
+#: registry-backed factory so custom registered algorithms work serially.
+AlgorithmFactory = Callable[[str, Optional[TimeBudget]], JoinAlgorithm]
+
+#: One shard of work, fully self-contained and picklable.  The deadline
+#: is an absolute ``time.monotonic()`` instant (comparable across
+#: processes on one host), so time a shard spends queued behind other
+#: shards or in transit counts against its budget.
+ShardTask = Tuple[
+    Dict[str, EncodedRelation],  # encoded shard catalog
+    object,                      # rewritten ConjunctiveQuery
+    str,                         # algorithm name
+    Optional[Tuple[str, ...]],   # precomputed GAO names
+    str,                         # "count" | "tuples"
+    Optional[float],             # absolute monotonic deadline, or None
+]
+
+
+def _default_factory(name: str, budget: Optional[TimeBudget]) -> JoinAlgorithm:
+    """Instantiate from the engine's default registry (import is deferred:
+    the engine imports this package at module load)."""
+    from repro.engine import default_registry
+
+    factory = default_registry().get(name)
+    if factory is None:
+        raise ExecutionError(
+            f"algorithm {name!r} is not in the default registry; "
+            f"pass the engine's factory or run serially"
+        )
+    return factory(budget)
+
+
+def _apply_gao(instance: JoinAlgorithm,
+               gao_names: Optional[Tuple[str, ...]]) -> JoinAlgorithm:
+    """Install a precomputed attribute order when the algorithm takes one."""
+    if (gao_names is not None
+            and getattr(instance, "variable_order", "absent") is None):
+        instance.variable_order = gao_names
+    return instance
+
+
+def run_shard(task: ShardTask):
+    """Execute one shard — the worker-process entry point.
+
+    Module-level (picklable) and dependency-free beyond the payload: the
+    worker rebuilds the shard catalog from its columnar encoding, builds
+    the algorithm from the *default* registry, and returns either a count
+    or the shard's sorted output tuples.
+    """
+    encoded, query, algorithm, gao_names, mode, deadline = task
+    budget = None
+    if deadline is not None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:  # the budget was spent queued/in transit
+            raise TimeoutExceeded(max(-remaining, 0.0), 0.0)
+        budget = TimeBudget(remaining)
+    database = decode_database(encoded)
+    instance = _apply_gao(_default_factory(algorithm, budget), gao_names)
+    if mode == "count":
+        return instance.count(database, query)
+    variables = query.variables
+    rows = [
+        tuple(binding[v] for v in variables)
+        for binding in instance.enumerate_bindings(database, query)
+    ]
+    rows.sort()
+    return rows
+
+
+class PlanExecutor(abc.ABC):
+    """The execution seam: every "run the query" call site goes through one."""
+
+    #: True when shards execute outside this process (so per-engine
+    #: registered algorithm factories cannot reach them).  The engine
+    #: refuses to send custom algorithms to such executors.
+    runs_out_of_process: bool = False
+
+    @abc.abstractmethod
+    def count(self, database: Database, plan: PhysicalPlan,
+              budget: Optional[TimeBudget] = None,
+              factory: Optional[AlgorithmFactory] = None) -> int:
+        """Number of output tuples of ``plan`` over ``database``."""
+
+    @abc.abstractmethod
+    def tuples(self, database: Database, plan: PhysicalPlan,
+               budget: Optional[TimeBudget] = None,
+               factory: Optional[AlgorithmFactory] = None
+               ) -> List[Tuple[int, ...]]:
+        """Sorted output tuples in first-occurrence variable order."""
+
+    @abc.abstractmethod
+    def bindings(self, database: Database, plan: PhysicalPlan,
+                 budget: Optional[TimeBudget] = None,
+                 factory: Optional[AlgorithmFactory] = None
+                 ) -> Iterator[Binding]:
+        """Iterate output bindings (order unspecified, as for algorithms)."""
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+
+    def warm_up(self) -> None:
+        """Pre-start lazily created resources (worker pools).
+
+        Benchmarks call this before opening a timing window so pool
+        start-up is not billed to the first measured query.
+        """
+
+    def __enter__(self) -> "PlanExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _instantiate(plan: PhysicalPlan, budget: Optional[TimeBudget],
+                     factory: Optional[AlgorithmFactory]) -> JoinAlgorithm:
+        factory = factory or _default_factory
+        return _apply_gao(factory(plan.algorithm, budget), plan.gao_names)
+
+    @staticmethod
+    def _partitioner(plan: PhysicalPlan) -> Partitioner:
+        if plan.partitioner is None:
+            raise ExecutionError("plan has no partition operator")
+        return plan.partitioner
+
+
+class SerialPlanExecutor(PlanExecutor):
+    """Run shards in-process, sequentially (the behavior-identical default)."""
+
+    def count(self, database, plan, budget=None, factory=None):
+        if plan.scheme is None:
+            instance = self._instantiate(plan, budget, factory)
+            return instance.count(database, plan.prepared.query)
+        partitioner = self._partitioner(plan)
+        total = 0
+        for _, shard in partitioner.shard_databases(database):
+            instance = self._instantiate(plan, budget, factory)
+            total += instance.count(shard, partitioner.rewritten_query)
+        return total
+
+    def tuples(self, database, plan, budget=None, factory=None):
+        variables = plan.prepared.query.variables
+        rows = [
+            tuple(binding[v] for v in variables)
+            for binding in self.bindings(database, plan, budget, factory)
+        ]
+        rows.sort()
+        return rows
+
+    def bindings(self, database, plan, budget=None, factory=None):
+        if plan.scheme is None:
+            instance = self._instantiate(plan, budget, factory)
+            yield from instance.enumerate_bindings(
+                database, plan.prepared.query
+            )
+            return
+        partitioner = self._partitioner(plan)
+        for _, shard in partitioner.shard_databases(database):
+            instance = self._instantiate(plan, budget, factory)
+            yield from instance.enumerate_bindings(
+                shard, partitioner.rewritten_query
+            )
+
+
+class ProcessPlanExecutor(PlanExecutor):
+    """Run shards on a ``multiprocessing`` pool of worker processes.
+
+    The pool is created lazily on first use and reused across queries
+    (service workloads execute thousands of queries; paying a pool
+    start-up per query would drown the speedup).  ``fork`` is preferred
+    where available — workers inherit the code pages and only the shard
+    payloads travel; ``spawn`` works everywhere else.
+
+    Serial plans short-circuit to in-process execution: there is nothing
+    to parallelize and shipping the whole database would only add cost.
+    """
+
+    runs_out_of_process = True
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionError("process executor needs at least one worker")
+        self.workers = workers or os.cpu_count() or 1
+        self.start_method = start_method
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._serial = SerialPlanExecutor()
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        # The service's thread pool shares one executor; without the lock
+        # two threads racing a cold start would each fork a pool and leak
+        # one of them.
+        with self._pool_lock:
+            if self._pool is None:
+                import multiprocessing
+
+                if self.start_method is not None:
+                    method = self.start_method
+                else:
+                    # fork is the cheap path (workers inherit code pages)
+                    # but forking a multithreaded process is unsafe on
+                    # every platform — a child can inherit a lock held by
+                    # a thread that no longer exists.  The pool starts
+                    # lazily, so decide from the live thread count: the
+                    # single-threaded CLI gets fork, the service's
+                    # threaded worker pool gets forkserver (fork from a
+                    # clean helper process), everything else the platform
+                    # default (spawn).
+                    available = multiprocessing.get_all_start_methods()
+                    method = None
+                    if sys.platform.startswith("linux"):
+                        if ("fork" in available
+                                and threading.active_count() == 1):
+                            method = "fork"
+                        elif "forkserver" in available:
+                            method = "forkserver"
+                context = multiprocessing.get_context(method)
+                self._pool = context.Pool(processes=self.workers)
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+    def warm_up(self) -> None:
+        self._ensure_pool()
+
+    # ------------------------------------------------------------------
+    def _tasks(self, database: Database, plan: PhysicalPlan, mode: str,
+               budget: Optional[TimeBudget]) -> List[ShardTask]:
+        # Custom algorithms registered on one engine instance do not exist
+        # in a fresh worker process; fail with a clear message instead of
+        # an opaque unpickling/KeyError from the pool.
+        from repro.engine import default_registry
+
+        if plan.algorithm not in default_registry():
+            raise ExecutionError(
+                f"algorithm {plan.algorithm!r} is not in the default "
+                f"registry and cannot run in worker processes; use a "
+                f"serial executor for custom algorithms"
+            )
+        deadline: Optional[float] = None
+        if budget is not None and budget.seconds is not None:
+            deadline = time.monotonic() + max(
+                budget.seconds - budget.elapsed(), 0.001
+            )
+        partitioner = self._partitioner(plan)
+        # Replicated relations are identical in every shard; pack them
+        # once and share the encoding across payloads (the per-shard
+        # dicts alias the same EncodedRelation objects).
+        replicated = {
+            name: encode_relation(database.relation(name))
+            for name in partitioner.replicated_names
+        }
+        tasks: List[ShardTask] = []
+        for _, fragments in partitioner.fragments(database).items():
+            encoded = dict(replicated)
+            for relation in fragments.values():
+                encoded[relation.name] = encode_relation(relation)
+            tasks.append((
+                encoded,
+                partitioner.rewritten_query,
+                plan.algorithm,
+                plan.gao_names,
+                mode,
+                deadline,
+            ))
+        return tasks
+
+    def _map(self, tasks: Sequence[ShardTask]) -> List:
+        pool = self._ensure_pool()
+        # chunksize=1: shards are few and coarse; letting the pool batch
+        # them would serialize the very work we are trying to overlap.
+        return pool.map(run_shard, tasks, chunksize=1)
+
+    # ------------------------------------------------------------------
+    def count(self, database, plan, budget=None, factory=None):
+        if plan.scheme is None or plan.shards == 1:
+            return self._serial.count(database, plan, budget, factory)
+        return sum(self._map(self._tasks(database, plan, "count", budget)))
+
+    def tuples(self, database, plan, budget=None, factory=None):
+        if plan.scheme is None or plan.shards == 1:
+            return self._serial.tuples(database, plan, budget, factory)
+        shard_rows = self._map(self._tasks(database, plan, "tuples", budget))
+        # Shard outputs are sorted and pairwise disjoint: a k-way merge
+        # yields the exact sorted union without a dedup pass.
+        return list(heapq.merge(*shard_rows))
+
+    def bindings(self, database, plan, budget=None, factory=None):
+        if plan.scheme is None or plan.shards == 1:
+            yield from self._serial.bindings(database, plan, budget, factory)
+            return
+        variables = plan.prepared.query.variables
+        for row in self.tuples(database, plan, budget, factory):
+            yield dict(zip(variables, row))

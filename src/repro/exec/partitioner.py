@@ -1,0 +1,371 @@
+"""Relation partitioning for shard-parallel query evaluation.
+
+Parallel evaluation of a conjunctive query never changes its answer — it
+only changes *where* each answer is produced.  The two schemes here are
+the standard ones for conjunctive queries:
+
+* **hash** — pick one join attribute ``v``; every atom that binds ``v``
+  has its relation hash-split on the column bound to ``v``, and every
+  other relation is replicated.  An output binding ``β`` can only be
+  produced in the shard ``h(β(v))``, so the per-shard outputs are
+  *disjoint* and their union is exactly the serial answer.
+* **hypercube** — the HyperCube / shares scheme for cyclic queries: a
+  small set of attributes spans a grid of ``d_1 × d_2 × ...`` cells, each
+  tuple of each relation is sent to every cell consistent with the hashes
+  of the grid attributes it binds, and each cell evaluates the full query
+  on its fragment.  Again each output binding lands in exactly one cell,
+  so no cross-shard deduplication is ever needed.
+
+Because one relation may appear in several atoms bound to *different*
+grid attributes (self-joins are the norm for graph patterns), fragments
+are per-*atom*, not per-relation: the :class:`Partitioner` rewrites the
+query so every constrained atom reads its own uniquely named fragment,
+while unconstrained atoms keep their original name and see the whole
+relation.  The rewritten query has the same variables, filters, and
+hypergraph structure as the original, so a precomputed GAO stays valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError, ReproError
+from repro.datalog.atoms import Atom
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable, is_variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+PARTITION_MODES = ("auto", "hash", "hypercube")
+
+#: A shard coordinate: one bucket index per grid axis.
+Cell = Tuple[int, ...]
+
+_MIX = 0x9E3779B97F4A7C15
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def bucket_of(value: int, axis: int, dims: int) -> int:
+    """Deterministic bucket of ``value`` on grid axis ``axis``.
+
+    A splitmix64-style finalizer rather than ``value % dims``: node
+    identifiers are frequently structured (consecutive, or all even),
+    which a plain modulus turns into badly skewed shards, and a bare
+    multiplicative mix leaves the low bits — exactly what ``% dims``
+    reads — correlated across axes.  Seeding by the axis index keeps the
+    per-axis hash functions independent, which HyperCube assumes.
+    """
+    x = ((value + 1) ^ (_MIX * (axis + 1) & _MASK)) & _MASK
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK
+    x ^= x >> 31
+    return x % dims
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a caller asked for parallelism: shard count plus scheme mode."""
+
+    shards: int = 1
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ExecutionError("parallel shard count must be at least 1")
+        if self.mode not in PARTITION_MODES:
+            raise ExecutionError(
+                f"unknown partition mode {self.mode!r}; "
+                f"expected one of {PARTITION_MODES}"
+            )
+
+    @classmethod
+    def coerce(cls, value) -> "ParallelConfig":
+        """Accept ``None`` (serial), an int shard count, or a config."""
+        if value is None:
+            return cls()
+        if isinstance(value, ParallelConfig):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(shards=value)
+        raise ExecutionError(
+            f"cannot interpret {value!r} as a parallelism request; "
+            f"pass an int shard count or a ParallelConfig"
+        )
+
+    @property
+    def serial(self) -> bool:
+        return self.shards <= 1
+
+    def key(self) -> str:
+        """A compact cache-key fragment (plan caches include this)."""
+        if self.serial:
+            return "serial"
+        return f"{self.mode}:{self.shards}"
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """A resolved partitioning: mode plus the attribute grid.
+
+    ``grid`` maps attribute names to bucket counts; its product is the
+    number of shards actually used (which may be slightly below the
+    requested count when the count does not factor well over the grid).
+    Hash mode is the one-axis special case of the grid.
+    """
+
+    mode: str  # "hash" | "hypercube"
+    grid: Tuple[Tuple[str, int], ...]  # ((attribute, dims), ...)
+
+    @property
+    def shards(self) -> int:
+        total = 1
+        for _, dims in self.grid:
+            total *= dims
+        return total
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.grid)
+
+    def cells(self) -> List[Cell]:
+        """Every shard coordinate, in deterministic row-major order."""
+        return list(product(*(range(dims) for _, dims in self.grid)))
+
+    def key(self) -> str:
+        axes = ",".join(f"{name}:{dims}" for name, dims in self.grid)
+        return f"{self.mode}[{axes}]"
+
+    def __str__(self) -> str:
+        return self.key()
+
+
+def _balanced_dims(shards: int, axes: int) -> List[int]:
+    """Spread the prime factors of ``shards`` over ``axes`` grid axes.
+
+    The product always equals ``shards``; factors are assigned largest
+    first onto the currently smallest axis, which keeps the grid as close
+    to cubic as the factorization allows (4 → 2×2, 8 → 2×2×2, 6 → 3×2).
+    """
+    factors: List[int] = []
+    remaining = shards
+    divisor = 2
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            factors.append(divisor)
+            remaining //= divisor
+        divisor += 1
+    if remaining > 1:
+        factors.append(remaining)
+    dims = [1] * axes
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+def choose_scheme(query: ConjunctiveQuery, shards: int,
+                  mode: str = "auto",
+                  beta_acyclic: Optional[bool] = None,
+                  database: Optional[Database] = None
+                  ) -> Optional[PartitionScheme]:
+    """Pick the partitioning for ``query`` at the requested width.
+
+    Returns ``None`` for a serial request.  In ``auto`` mode cyclic
+    queries with at least two join attributes get HyperCube (the shape
+    the SIGMOD-contest systems used for triangles and cliques); anything
+    else gets single-attribute hash partitioning on the most-shared
+    attribute.  Statistics, when a database is supplied, break ties
+    toward attributes with more distinct values, which balances shards.
+    """
+    if shards <= 1:
+        return None
+    if mode not in PARTITION_MODES:
+        raise ExecutionError(
+            f"unknown partition mode {mode!r}; expected one of {PARTITION_MODES}"
+        )
+    variables = query.variables
+    if not variables:
+        raise ExecutionError("cannot partition a query with no variables")
+
+    degree: Dict[Variable, int] = {
+        v: len(query.atoms_with(v)) for v in variables
+    }
+    distinct = _distinct_estimates(query, database)
+    # Most-shared first; more distinct values break ties (better balance);
+    # the name keeps the choice deterministic.
+    ranked = sorted(
+        variables,
+        key=lambda v: (-degree[v], -distinct.get(v, 0), v.name),
+    )
+
+    if mode == "auto":
+        cyclic = (not beta_acyclic) if beta_acyclic is not None else False
+        shared = [v for v in ranked if degree[v] >= 2]
+        mode = "hypercube" if cyclic and len(shared) >= 2 else "hash"
+
+    if mode == "hash":
+        return PartitionScheme("hash", ((ranked[0].name, shards),))
+
+    axes = min(len(ranked), 3, max(1, shards.bit_length() - 1))
+    dims = _balanced_dims(shards, axes)
+    grid = tuple(
+        (variable.name, dim)
+        for variable, dim in zip(ranked, dims) if dim > 1
+    )
+    if not grid:  # shards == 1 never reaches here, but stay defensive
+        grid = ((ranked[0].name, shards),)
+    return PartitionScheme("hypercube", grid)
+
+
+def _distinct_estimates(query: ConjunctiveQuery,
+                        database: Optional[Database]
+                        ) -> Dict[Variable, int]:
+    """Highest per-column distinct count seen for each variable (or {})."""
+    if database is None:
+        return {}
+    estimates: Dict[Variable, int] = {}
+    for atom in query.atoms:
+        try:
+            statistics = database.statistics(atom.name)
+        except ReproError:
+            continue
+        for variable in atom.variables:
+            position = atom.positions_of(variable)[0]
+            if position < len(statistics.distinct_counts):
+                count = statistics.distinct_counts[position]
+                estimates[variable] = max(estimates.get(variable, 0), count)
+    return estimates
+
+
+@dataclass
+class _AtomConstraint:
+    """One atom's partition filter: (term position, grid axis) pairs."""
+
+    atom_index: int
+    shard_name: str  # per-atom fragment name in the shard catalog
+    positions: Tuple[Tuple[int, int], ...]  # (position in atom, axis index)
+
+
+class Partitioner:
+    """Split a database into per-shard catalogs for one query + scheme.
+
+    The partitioner computes, once, which atoms are constrained by the
+    grid and what the rewritten (per-atom-fragment) query looks like;
+    :meth:`shard_databases` then streams ``(cell, Database)`` pairs built
+    from any catalog holding the query's relations.
+    """
+
+    def __init__(self, query: ConjunctiveQuery,
+                 scheme: PartitionScheme) -> None:
+        self.query = query
+        self.scheme = scheme
+        axis_of = {name: axis for axis, (name, _) in enumerate(scheme.grid)}
+        self._dims = tuple(dims for _, dims in scheme.grid)
+        self._constraints: List[_AtomConstraint] = []
+        rewritten_atoms: List[Atom] = []
+        for atom_index, atom in enumerate(query.atoms):
+            positions = tuple(
+                (position, axis_of[term.name])
+                for position, term in enumerate(atom.terms)
+                if is_variable(term) and term.name in axis_of
+            )
+            if not positions:
+                rewritten_atoms.append(atom)
+                continue
+            shard_name = f"{atom.name}.shard{atom_index}"
+            self._constraints.append(_AtomConstraint(
+                atom_index=atom_index,
+                shard_name=shard_name,
+                positions=positions,
+            ))
+            rewritten_atoms.append(Atom(shard_name, atom.terms))
+        if not self._constraints:
+            raise ExecutionError(
+                f"partition scheme {scheme} constrains no atom of the query; "
+                f"every shard would evaluate the whole input"
+            )
+        self.rewritten_query = ConjunctiveQuery(
+            rewritten_atoms, query.filters, query.head
+        )
+        #: Relation names replicated (whole) into every shard catalog.
+        constrained = {c.atom_index for c in self._constraints}
+        self.replicated_names: Tuple[str, ...] = tuple(dict.fromkeys(
+            atom.name for index, atom in enumerate(query.atoms)
+            if index not in constrained
+        ))
+
+    # ------------------------------------------------------------------
+    def fragments(self, database: Database
+                  ) -> Dict[Cell, Dict[str, Relation]]:
+        """Per-cell fragment relations for every constrained atom.
+
+        Each constrained atom's relation is scanned exactly once; a tuple
+        is routed to the single bucket of every axis the atom binds and
+        replicated across the axes it does not.
+        """
+        cells = self.scheme.cells()
+        axes = len(self._dims)
+        per_cell: Dict[Cell, Dict[str, Relation]] = {cell: {} for cell in cells}
+        for constraint in self._constraints:
+            atom = self.query.atoms[constraint.atom_index]
+            relation = database.relation(atom.name)
+            rows_by_cell: Dict[Cell, List[Tuple[int, ...]]] = {
+                cell: [] for cell in cells
+            }
+            free_axes = [
+                axis for axis in range(axes)
+                if axis not in {a for _, a in constraint.positions}
+            ]
+            for row in relation.tuples:
+                coordinate: List[Optional[int]] = [None] * axes
+                consistent = True
+                for position, axis in constraint.positions:
+                    target = bucket_of(row[position], axis, self._dims[axis])
+                    if coordinate[axis] is None:
+                        coordinate[axis] = target
+                    elif coordinate[axis] != target:
+                        # The atom binds two grid attributes that happen to
+                        # disagree for this tuple on a shared axis; it can
+                        # never contribute to any cell.
+                        consistent = False
+                        break
+                if not consistent:
+                    continue
+                if free_axes:
+                    for choice in product(*(
+                        range(self._dims[axis]) for axis in free_axes
+                    )):
+                        full = list(coordinate)
+                        for axis, value in zip(free_axes, choice):
+                            full[axis] = value
+                        rows_by_cell[tuple(full)].append(row)
+                else:
+                    rows_by_cell[tuple(coordinate)].append(row)
+            for cell in cells:
+                per_cell[cell][constraint.shard_name] = Relation.from_sorted(
+                    constraint.shard_name, relation.arity,
+                    rows_by_cell[cell], relation.attributes,
+                )
+        return per_cell
+
+    def shard_databases(self, database: Database
+                        ) -> Iterator[Tuple[Cell, Database]]:
+        """Yield ``(cell, catalog)`` for every shard, fragments included.
+
+        Replicated relations are shared by reference — relations are
+        immutable, so shard catalogs can alias them safely.
+        """
+        replicated = {
+            name: database.relation(name) for name in self.replicated_names
+        }
+        for cell, fragments in self.fragments(database).items():
+            shard = Database()
+            for name, relation in replicated.items():
+                shard.add(relation)
+            for relation in fragments.values():
+                shard.add(relation)
+            yield cell, shard
+
+    def constrained_atom_indexes(self) -> Tuple[int, ...]:
+        return tuple(c.atom_index for c in self._constraints)

@@ -1,0 +1,156 @@
+"""Physical plans: the operator tree between a prepared query and an executor.
+
+:class:`~repro.engine.PreparedQuery` is purely *logical* — parse tree,
+hypergraph analysis, algorithm choice, attribute order.  A
+:class:`PhysicalPlan` pins down *how* that logical plan touches data::
+
+    merge(sum | sorted-union)
+      └─ shard-join[lftj] × 4
+           └─ partition[hypercube[a:2,b:2], replicate: v1]
+                └─ scan[edge], scan[v1]
+
+A serial plan is the degenerate tree with no partition operator and a
+single shard join; running it is bit-for-bit the pre-refactor execution
+path.  Plans are immutable, cheap to build, and independent of relation
+*contents* (the partitioner routes tuples at execution time), so caching
+a plan can never serve stale data — only a stale-but-correct layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.exec.partitioner import (
+    Partitioner,
+    PartitionScheme,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.engine import PreparedQuery
+
+
+@dataclass(frozen=True)
+class ScanOp:
+    """Read one stored relation."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class PartitionOp:
+    """Split constrained relations over the scheme's grid; replicate the rest."""
+
+    scheme: PartitionScheme
+    constrained: Tuple[str, ...]  # per-atom fragment names
+    replicated: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardJoinOp:
+    """Run the chosen join algorithm over one shard catalog."""
+
+    algorithm: str
+    gao: Optional[Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class MergeOp:
+    """Combine shard results: counts sum, tuple sets union (disjointly)."""
+
+    kind: str  # "none" (serial) | "sum+sorted-union"
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """The full operator tree for one prepared query.
+
+    ``scheme is None`` marks a serial plan.  ``partitioner`` is prebuilt
+    for partitioned plans so repeated executions (the service's hot path)
+    skip the per-atom constraint analysis.
+    """
+
+    prepared: "PreparedQuery"
+    scans: Tuple[ScanOp, ...]
+    partition: Optional[PartitionOp]
+    join: ShardJoinOp
+    merge: MergeOp
+    partitioner: Optional[Partitioner] = None
+
+    @property
+    def scheme(self) -> Optional[PartitionScheme]:
+        return self.partition.scheme if self.partition is not None else None
+
+    @property
+    def shards(self) -> int:
+        return self.scheme.shards if self.scheme is not None else 1
+
+    @property
+    def algorithm(self) -> str:
+        return self.join.algorithm
+
+    @property
+    def gao_names(self) -> Optional[Tuple[str, ...]]:
+        return self.join.gao
+
+    def partition_key(self) -> str:
+        """The partitioning fragment of a plan-cache key."""
+        return self.scheme.key() if self.scheme is not None else "serial"
+
+    def cache_key(self) -> Tuple[str, str, str]:
+        """(canonical text, requested algorithm, partitioning) cache key."""
+        text, algorithm = self.prepared.cache_key()
+        return (text, algorithm, self.partition_key())
+
+    def explain(self) -> str:
+        """A readable rendering of the operator tree."""
+        scans = ", ".join(f"scan[{scan.relation}]" for scan in self.scans)
+        join = f"shard-join[{self.join.algorithm}"
+        if self.join.gao:
+            join += f", gao={','.join(self.join.gao)}"
+        join += "]"
+        if self.partition is None:
+            return "\n".join([join, f"  └─ {scans}"])
+        replicate = ""
+        if self.partition.replicated:
+            replicate = f", replicate: {','.join(self.partition.replicated)}"
+        return "\n".join([
+            "merge[sum | sorted-union]",
+            f"  └─ {join} × {self.shards}",
+            f"       └─ partition[{self.scheme.key()}{replicate}]",
+            f"            └─ {scans}",
+        ])
+
+
+def compile_plan(prepared: "PreparedQuery",
+                 scheme: Optional[PartitionScheme]) -> PhysicalPlan:
+    """Lower a prepared (logical) query onto a physical operator tree."""
+    scans = tuple(
+        ScanOp(name) for name in prepared.query.relation_names
+    )
+    join = ShardJoinOp(algorithm=prepared.algorithm, gao=prepared.gao_names)
+    if scheme is None:
+        return PhysicalPlan(
+            prepared=prepared,
+            scans=scans,
+            partition=None,
+            join=join,
+            merge=MergeOp("none"),
+        )
+    partitioner = Partitioner(prepared.query, scheme)
+    partition = PartitionOp(
+        scheme=scheme,
+        constrained=tuple(
+            partitioner.rewritten_query.atoms[index].name
+            for index in partitioner.constrained_atom_indexes()
+        ),
+        replicated=partitioner.replicated_names,
+    )
+    return PhysicalPlan(
+        prepared=prepared,
+        scans=scans,
+        partition=partition,
+        join=join,
+        merge=MergeOp("sum+sorted-union"),
+        partitioner=partitioner,
+    )

@@ -3,10 +3,19 @@
 Query streams of the LDBC-style workloads this family of papers evaluates
 are dominated by *repeated shapes*: the same graph pattern arrives over and
 over with different parameters.  Compilation — parsing, hypergraph
-analysis, automatic algorithm selection, and the (worst-case exponential)
-nested-elimination-order search — is pure per-shape work, so the service
-layer caches the resulting :class:`~repro.engine.PreparedQuery` keyed by
-the whitespace-normalized query text plus the requested algorithm.
+analysis, automatic algorithm selection, the (worst-case exponential)
+nested-elimination-order search, and physical-plan lowering — is pure
+per-shape work, so the service layer caches the resulting plan keyed by
+the whitespace-normalized query text, the requested algorithm, and the
+partitioning choice (a serial plan and a 4-shard HyperCube plan of the
+same shape are different physical plans and cache as such).
+
+The cache stores either :class:`~repro.engine.PreparedQuery` (logical
+only, the pre-physical-plan API) or :class:`~repro.exec.plan.PhysicalPlan`
+(what :meth:`PlanCache.get_or_plan` produces); both depend only on the
+query shape and the partitioning choice, never on relation contents, so
+entries never go stale — at worst a statistics-informed partitioning
+choice becomes suboptimal, which is still correct.
 
 The cache is a thread-safe LRU: the worker pool hits it from many threads
 at once.  Statistics (hits / misses / evictions) are exposed for the
@@ -18,11 +27,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.engine import PreparedQuery, QueryEngine
+from repro.exec.plan import PhysicalPlan
 
-PlanKey = Tuple[str, str]
+PlanKey = Tuple[str, str, str]
+
+CachedPlan = Union[PreparedQuery, PhysicalPlan]
 
 
 _WORD_CHARS = frozenset(
@@ -73,13 +85,13 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """A bounded, thread-safe LRU of :class:`PreparedQuery` objects."""
+    """A bounded, thread-safe LRU of compiled (logical or physical) plans."""
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = capacity
-        self._entries: "OrderedDict[PlanKey, PreparedQuery]" = OrderedDict()
+        self._entries: "OrderedDict[PlanKey, CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = PlanCacheStats()
 
@@ -96,24 +108,33 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
 
-    def get(self, text: str, algorithm: str = "auto") -> Optional[PreparedQuery]:
-        """Look up a prepared plan without compiling on a miss."""
-        key = (normalize_query_text(text), algorithm)
+    def get(self, text: str, algorithm: str = "auto",
+            partition: str = "serial") -> Optional[CachedPlan]:
+        """Look up a cached plan without compiling on a miss."""
+        key = (normalize_query_text(text), algorithm, partition)
         with self._lock:
-            prepared = self._entries.get(key)
-            if prepared is None:
+            plan = self._entries.get(key)
+            if plan is None:
                 self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return prepared
+            return plan
 
-    def put(self, text: str, algorithm: str,
-            prepared: PreparedQuery) -> None:
-        """Insert a compiled plan, evicting the least recently used."""
-        key = (normalize_query_text(text), algorithm)
+    def _lookup(self, key: PlanKey) -> Optional[CachedPlan]:
+        """LRU-touching lookup with no stats side effects (internal)."""
         with self._lock:
-            self._entries[key] = prepared
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+            return plan
+
+    def put(self, text: str, algorithm: str, plan: CachedPlan,
+            partition: str = "serial") -> None:
+        """Insert a compiled plan, evicting the least recently used."""
+        key = (normalize_query_text(text), algorithm, partition)
+        with self._lock:
+            self._entries[key] = plan
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -128,8 +149,47 @@ class PlanCache:
         equivalent and the last one wins, which keeps the lock cheap.
         """
         prepared = self.get(text, algorithm)
+        if isinstance(prepared, PhysicalPlan):
+            return prepared.prepared, True
         if prepared is not None:
             return prepared, True
         prepared = engine.prepare(text, algorithm)
         self.put(text, algorithm, prepared)
         return prepared, False
+
+    def get_or_plan(self, engine: QueryEngine, text: str,
+                    algorithm: str = "auto",
+                    parallel: Optional[object] = None
+                    ) -> Tuple[PhysicalPlan, bool]:
+        """Return ``(physical plan, was_hit)`` for one partitioning choice.
+
+        The key's partition component comes from the *request*
+        (:meth:`~repro.exec.partitioner.ParallelConfig.key`), so the same
+        shape served serially and at 4-way parallelism occupies two
+        entries and neither ever shadows the other.
+        """
+        from repro.exec.partitioner import ParallelConfig
+
+        config = (
+            ParallelConfig.coerce(parallel) if parallel is not None
+            else engine.parallel
+        )
+        partition = config.key()
+        key = (normalize_query_text(text), algorithm, partition)
+        cached = self._lookup(key)
+        hit = isinstance(cached, PhysicalPlan)
+        with self._lock:
+            # A PreparedQuery under this key saves recompiling the logical
+            # half but still costs a plan lowering, so it is a miss as far
+            # as the reuse statistics are concerned.
+            if hit:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        if hit:
+            return cached, True
+        plan = engine.plan(
+            cached if cached is not None else text, algorithm, config
+        )
+        self.put(text, algorithm, plan, partition)
+        return plan, False

@@ -3,15 +3,20 @@
 The service composes the pieces of this package into the request path a
 production deployment of the paper's engines would need::
 
-    request ──► plan cache ──► result cache ──► worker pool ──► engine
-                  (shape)        (instance)       (threads)     (joins)
+    request ──► plan cache ──► result cache ──► worker pool ──► engine ──► executor
+                (shape ×         (instance)       (threads)     (plans)    (serial or
+                 partitioning)                                              process shards)
 
-* The **plan cache** memoizes :class:`~repro.engine.PreparedQuery` objects
-  per query shape, so parsing / hypergraph analysis / GAO search run once.
+* The **plan cache** memoizes compiled :class:`~repro.exec.plan.PhysicalPlan`
+  objects per (query shape, partitioning choice), so parsing / hypergraph
+  analysis / GAO search / plan lowering run once.
 * The **result cache** memoizes full answers per query instance and is
   invalidated per relation when the :class:`Database` catalog changes.
 * The **worker pool** bounds concurrency and applies admission control;
   per-query soft timeouts reuse the engine's :class:`TimeBudget` machinery.
+* The **executor** is the engine's plan-execution backend: serial by
+  default, or (``ServiceConfig.parallel_shards > 1``) a multiprocessing
+  pool that evaluates each query's partitioned shards on real CPU cores.
 
 Synchronous callers use :meth:`QueryService.execute`; streaming workloads
 (:mod:`repro.service.workload`) use :meth:`QueryService.submit` which
@@ -30,6 +35,8 @@ from typing import Dict, Optional, Union
 
 from repro.engine import PreparedQuery, QueryEngine
 from repro.errors import ExecutionError, ReproError, TimeoutExceeded
+from repro.exec.partitioner import ParallelConfig
+from repro.exec.plan import PhysicalPlan
 from repro.service.executor import WorkerPool, WorkerPoolStats
 from repro.service.plan_cache import PlanCache, PlanCacheStats
 from repro.service.result_cache import ResultCache, ResultCacheStats
@@ -38,7 +45,14 @@ from repro.storage.database import Database
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tuning knobs for :class:`QueryService`."""
+    """Tuning knobs for :class:`QueryService`.
+
+    ``parallel_shards`` > 1 plugs a process-pool
+    :class:`~repro.exec.executor.PlanExecutor` in as the worker backend:
+    each query is partitioned (``partition_mode``: ``auto`` / ``hash`` /
+    ``hypercube``) and its shards run on worker *processes*, which is the
+    axis the GIL-bound thread pool cannot scale.
+    """
 
     workers: int = 4
     max_pending: int = 64
@@ -46,6 +60,8 @@ class ServiceConfig:
     result_cache_size: int = 256
     default_timeout: Optional[float] = None
     default_algorithm: str = "auto"
+    parallel_shards: int = 1
+    partition_mode: str = "auto"
 
 
 @dataclass
@@ -61,6 +77,7 @@ class QueryOutcome:
     result_cached: bool = False
     timed_out: bool = False
     error: Optional[str] = None
+    shards: int = 1
 
     @property
     def succeeded(self) -> bool:
@@ -125,9 +142,22 @@ class QueryService:
                  engine: Optional[QueryEngine] = None) -> None:
         self.config = config or ServiceConfig()
         self.database = database
+        self._owns_engine = engine is None
         self.engine = engine or QueryEngine(
-            database, timeout=self.config.default_timeout
+            database,
+            timeout=self.config.default_timeout,
+            parallel=ParallelConfig(
+                shards=self.config.parallel_shards,
+                mode=self.config.partition_mode,
+            ),
         )
+        if self._owns_engine and self.config.parallel_shards > 1:
+            # Start the process pool now, while this process is still
+            # single-threaded: the executor can then use plain fork (no
+            # per-worker re-import), and the pool start-up cost is paid
+            # at service construction instead of inside the first
+            # requests' latency.
+            self.engine.warm_up()
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.result_cache = ResultCache(
             database, self.config.result_cache_size
@@ -141,7 +171,7 @@ class QueryService:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, query: Union[str, PreparedQuery],
+    def submit(self, query: Union[str, PreparedQuery, PhysicalPlan],
                algorithm: Optional[str] = None, mode: str = "count",
                timeout: Optional[float] = None) -> "Future[QueryOutcome]":
         """Schedule a query on the worker pool.
@@ -154,7 +184,7 @@ class QueryService:
         """
         return self.pool.submit(self.execute, query, algorithm, mode, timeout)
 
-    def execute(self, query: Union[str, PreparedQuery],
+    def execute(self, query: Union[str, PreparedQuery, PhysicalPlan],
                 algorithm: Optional[str] = None, mode: str = "count",
                 timeout: Optional[float] = None) -> QueryOutcome:
         """Serve one query synchronously through the cache hierarchy."""
@@ -165,12 +195,12 @@ class QueryService:
         algorithm = algorithm or self.config.default_algorithm
         started = time.perf_counter()
 
-        # 1. Plan: compile the shape or fetch the prepared plan.
+        # 1. Plan: compile shape + partitioning, or fetch the cached plan.
         try:
-            if isinstance(query, PreparedQuery):
-                prepared, plan_hit = query, True
+            if isinstance(query, (PreparedQuery, PhysicalPlan)):
+                plan, plan_hit = self.engine.plan(query, algorithm), True
             else:
-                prepared, plan_hit = self.plan_cache.get_or_prepare(
+                plan, plan_hit = self.plan_cache.get_or_plan(
                     self.engine, query, algorithm
                 )
         except ReproError as error:
@@ -178,6 +208,7 @@ class QueryService:
                 query=str(query), mode=mode, algorithm=algorithm,
                 seconds=time.perf_counter() - started, error=str(error),
             )
+        prepared = plan.prepared
 
         # 2. Result: an identical instance answered against the current
         #    relation versions needs no execution at all.
@@ -189,7 +220,7 @@ class QueryService:
             return QueryOutcome(
                 query=prepared.text, mode=mode, algorithm=prepared.algorithm,
                 value=entry.value, seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, result_cached=True,
+                plan_cached=plan_hit, result_cached=True, shards=plan.shards,
             )
 
         # 3. Execute under the per-query soft time budget.  Dependency
@@ -205,26 +236,26 @@ class QueryService:
         try:
             if mode == "count":
                 value: object = self.engine.count(
-                    prepared, timeout=effective_timeout
+                    plan, timeout=effective_timeout
                 )
             else:
                 # Stored (and returned) as an immutable tuple: the cache
                 # hands the same object to every hit, so a mutable list
                 # would let one caller poison every later answer.
                 value = tuple(
-                    self.engine.tuples(prepared, timeout=effective_timeout)
+                    self.engine.tuples(plan, timeout=effective_timeout)
                 )
         except TimeoutExceeded:
             return QueryOutcome(
                 query=prepared.text, mode=mode, algorithm=prepared.algorithm,
                 seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, timed_out=True,
+                plan_cached=plan_hit, timed_out=True, shards=plan.shards,
             )
         except ReproError as error:
             return QueryOutcome(
                 query=prepared.text, mode=mode, algorithm=prepared.algorithm,
                 seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, error=str(error),
+                plan_cached=plan_hit, error=str(error), shards=plan.shards,
             )
         with self._counter_lock:
             self._executed += 1
@@ -232,7 +263,7 @@ class QueryService:
         return QueryOutcome(
             query=prepared.text, mode=mode, algorithm=prepared.algorithm,
             value=value, seconds=time.perf_counter() - started,
-            plan_cached=plan_hit,
+            plan_cached=plan_hit, shards=plan.shards,
         )
 
     # ------------------------------------------------------------------
@@ -259,6 +290,8 @@ class QueryService:
         self._closed = True
         self.pool.shutdown(wait=True)
         self.result_cache.detach()
+        if self._owns_engine:
+            self.engine.close()
 
     def __enter__(self) -> "QueryService":
         return self

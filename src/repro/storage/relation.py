@@ -20,7 +20,7 @@ class Relation:
     of naturals.
     """
 
-    __slots__ = ("name", "arity", "attributes", "_tuples", "_tuple_set")
+    __slots__ = ("name", "arity", "attributes", "_tuples")
 
     def __init__(
         self,
@@ -55,7 +55,34 @@ class Relation:
                 )
             normalized.add(row_tuple)
         self._tuples: List[Tuple_] = sorted(normalized)
-        self._tuple_set: Set[Tuple_] = normalized
+
+    @classmethod
+    def from_sorted(
+        cls,
+        name: str,
+        arity: int,
+        sorted_rows: Iterable[Tuple_],
+        attributes: Optional[Sequence[str]] = None,
+    ) -> "Relation":
+        """Build a relation from rows that are *already* sorted and unique.
+
+        This is the fast path used by the partitioner: a shard fragment is
+        a subsequence of an existing relation's sorted tuple list, so it is
+        sorted and de-duplicated by construction and re-validating it per
+        shard would dominate the cost of partitioning.  Callers own the
+        invariant; no checking is performed.
+        """
+        if arity <= 0:
+            raise SchemaError(f"relation {name!r} must have positive arity")
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.arity = arity
+        relation.attributes = (
+            tuple(attributes) if attributes is not None
+            else tuple(f"c{i}" for i in range(arity))
+        )
+        relation._tuples = list(sorted_rows)
+        return relation
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -67,7 +94,12 @@ class Relation:
         return iter(self._tuples)
 
     def __contains__(self, row: Sequence[int]) -> bool:
-        return tuple(row) in self._tuple_set
+        # Binary search on the sorted tuple list: membership costs
+        # O(log n) instead of keeping a second copy of every tuple in a
+        # hash set, which halves the relation's resident memory.
+        probe = tuple(row)
+        index = bisect_left(self._tuples, probe)
+        return index < len(self._tuples) and self._tuples[index] == probe
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):

@@ -1,0 +1,184 @@
+"""Executor contract: serial reference vs. the multiprocessing pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.errors import ExecutionError, TimeoutExceeded
+from repro.exec import (
+    ParallelConfig,
+    ProcessPlanExecutor,
+    SerialPlanExecutor,
+    run_shard,
+    encode_database,
+)
+from repro.joins.naive import NaiveBacktrackingJoin
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def database():
+    return graph_database(18, 60, seed=13)
+
+
+@pytest.fixture
+def engine(database):
+    return QueryEngine(database)
+
+
+class TestSerialExecutor:
+    def test_partitioned_serial_matches_unpartitioned(self, database, engine):
+        executor = SerialPlanExecutor()
+        for query in (TRIANGLE, PATH):
+            serial_plan = engine.plan(query)
+            expected_count = executor.count(database, serial_plan)
+            expected_tuples = executor.tuples(database, serial_plan)
+            for config in (ParallelConfig(2, "hash"),
+                           ParallelConfig(4, "hypercube")):
+                plan = engine.plan(query, parallel=config)
+                assert executor.count(database, plan) == expected_count
+                assert executor.tuples(database, plan) == expected_tuples
+
+    def test_bindings_stream_for_serial_plans(self, database, engine):
+        executor = SerialPlanExecutor()
+        plan = engine.plan(TRIANGLE)
+        iterator = executor.bindings(database, plan)
+        first = next(iterator)
+        assert set(v.name for v in first) == {"a", "b", "c"}
+
+
+class TestProcessExecutor:
+    def test_matches_serial_on_processes(self, database, engine):
+        with ProcessPlanExecutor(workers=2) as executor:
+            for query, config in ((TRIANGLE, ParallelConfig(2, "hypercube")),
+                                  (PATH, ParallelConfig(2, "hash"))):
+                plan = engine.plan(query, parallel=config)
+                expected = engine.count(query)
+                assert executor.count(database, plan) == expected
+                assert executor.tuples(database, plan) == \
+                    engine.tuples(query)
+
+    def test_pool_is_reused_across_queries(self, database, engine):
+        executor = ProcessPlanExecutor(workers=2)
+        try:
+            plan = engine.plan(TRIANGLE, parallel=2)
+            executor.count(database, plan)
+            pool = executor._pool
+            assert pool is not None
+            executor.count(database, plan)
+            assert executor._pool is pool
+        finally:
+            executor.close()
+        assert executor._pool is None
+        executor.close()  # idempotent
+
+    def test_serial_plan_short_circuits_in_process(self, database, engine):
+        executor = ProcessPlanExecutor(workers=2)
+        try:
+            plan = engine.plan(TRIANGLE)  # serial plan
+            assert executor.count(database, plan) == engine.count(TRIANGLE)
+            assert executor._pool is None  # pool never started
+        finally:
+            executor.close()
+
+    def test_custom_algorithm_is_rejected_clearly(self, database, engine):
+        engine.register("custom", lambda budget: NaiveBacktrackingJoin(budget))
+        plan = engine.plan(TRIANGLE, algorithm="custom", parallel=2)
+        with ProcessPlanExecutor(workers=2) as executor:
+            with pytest.raises(ExecutionError, match="default registry"):
+                executor.count(database, plan)
+        # ... but the serial executor runs it through the engine's factory.
+        assert SerialPlanExecutor().count(
+            database, plan, factory=engine.make_algorithm
+        ) == engine.count(TRIANGLE)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ExecutionError):
+            ProcessPlanExecutor(workers=0)
+
+
+class TestRunShard:
+    """The worker entry point, driven in-process."""
+
+    def _task(self, database, engine, mode, deadline=None):
+        plan = engine.plan(PATH, parallel=ParallelConfig(2, "hash"))
+        partitioner = plan.partitioner
+        cell, shard = next(iter(partitioner.shard_databases(database)))
+        return (
+            encode_database(shard),
+            partitioner.rewritten_query,
+            plan.algorithm,
+            plan.gao_names,
+            mode,
+            deadline,
+        )
+
+    def test_count_and_tuples_modes(self, database, engine):
+        count = run_shard(self._task(database, engine, "count"))
+        rows = run_shard(self._task(database, engine, "tuples"))
+        assert count == len(rows)
+        assert rows == sorted(rows)
+
+    def test_expired_deadline_fails_fast(self, database, engine):
+        """Budget spent queued/in transit counts against the shard."""
+        import time
+
+        task = self._task(database, engine, "count",
+                          deadline=time.monotonic())
+        with pytest.raises(TimeoutExceeded):
+            run_shard(task)
+
+
+class TestTimeoutAcrossProcesses:
+    def test_timeout_exceeded_round_trips_through_pickle(self):
+        """An unpicklable exception would kill the pool's result-handler
+        thread and wedge pool.map forever."""
+        import pickle
+
+        error = pickle.loads(pickle.dumps(TimeoutExceeded(1.5, 1.0)))
+        assert isinstance(error, TimeoutExceeded)
+        assert error.elapsed == 1.5 and error.budget == 1.0
+
+    def test_partitioned_timeout_reports_instead_of_hanging(self, database):
+        with QueryEngine(database, parallel=2) as engine:
+            result = engine.execute(TRIANGLE, timeout=0.0)
+        assert result.timed_out
+        assert not result.succeeded
+
+
+class TestEngineWithProcessPool:
+    def test_custom_algorithm_rejected_before_the_pool(self, database):
+        with QueryEngine(database, parallel=2) as engine:
+            engine.register("custom",
+                            lambda budget: NaiveBacktrackingJoin(budget))
+            with pytest.raises(ExecutionError, match="worker processes"):
+                engine.count(TRIANGLE, algorithm="custom")
+            # Serial execution of the same registration still works.
+            expected = QueryEngine(database).count(TRIANGLE)
+            assert engine.count(
+                TRIANGLE, algorithm="custom", parallel=1
+            ) == expected
+
+    def test_overridden_builtin_is_rejected_not_substituted(self, database):
+        """Replacing a stock name must not silently fall back to the
+        stock implementation inside workers."""
+        with QueryEngine(database, parallel=2) as engine:
+            engine.register("lftj",
+                            lambda budget: NaiveBacktrackingJoin(budget),
+                            replace=True)
+            with pytest.raises(ExecutionError, match="worker processes"):
+                engine.count(TRIANGLE, algorithm="lftj")
+
+    def test_engine_parallel_end_to_end(self, database):
+        serial = QueryEngine(database)
+        with QueryEngine(database, parallel=2) as parallel_engine:
+            for query in (TRIANGLE, PATH):
+                assert parallel_engine.count(query) == serial.count(query)
+                assert parallel_engine.tuples(query) == serial.tuples(query)
+            result = parallel_engine.execute(TRIANGLE)
+            assert result.succeeded and result.shards == 2

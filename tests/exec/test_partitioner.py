@@ -1,0 +1,204 @@
+"""Partitioner semantics: scheme choice, fragment routing, disjointness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.errors import ExecutionError
+from repro.exec.partitioner import (
+    ParallelConfig,
+    Partitioner,
+    PartitionScheme,
+    _balanced_dims,
+    bucket_of,
+    choose_scheme,
+)
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+class TestParallelConfig:
+    def test_coerce_accepts_none_int_and_config(self):
+        assert ParallelConfig.coerce(None).serial
+        assert ParallelConfig.coerce(4).shards == 4
+        config = ParallelConfig(2, "hash")
+        assert ParallelConfig.coerce(config) is config
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ExecutionError):
+            ParallelConfig.coerce("four")
+        with pytest.raises(ExecutionError):
+            ParallelConfig.coerce(True)
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            ParallelConfig(shards=0)
+        with pytest.raises(ExecutionError):
+            ParallelConfig(shards=2, mode="round-robin")
+
+    def test_key_distinguishes_serial_from_partitioned(self):
+        assert ParallelConfig().key() == "serial"
+        assert ParallelConfig(4, "hash").key() == "hash:4"
+        assert ParallelConfig(4).key() == "auto:4"
+
+
+class TestBucketing:
+    def test_bucket_is_deterministic_and_in_range(self):
+        for value in range(200):
+            for axis in range(3):
+                bucket = bucket_of(value, axis, 4)
+                assert 0 <= bucket < 4
+                assert bucket == bucket_of(value, axis, 4)
+
+    def test_axes_hash_independently(self):
+        values = range(256)
+        pairs = {(bucket_of(v, 0, 2), bucket_of(v, 1, 2)) for v in values}
+        # If the axes were correlated, one diagonal would be missing.
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_buckets_are_reasonably_balanced(self):
+        counts = [0, 0, 0, 0]
+        for value in range(0, 2000, 2):  # structured input: all even
+            counts[bucket_of(value, 0, 4)] += 1
+        assert min(counts) > 100  # plain modulus would put 0 in two buckets
+
+
+class TestBalancedDims:
+    @pytest.mark.parametrize("shards,axes,expected", [
+        (4, 2, [2, 2]),
+        (8, 3, [2, 2, 2]),
+        (6, 2, [3, 2]),
+        (12, 3, [3, 2, 2]),
+        (5, 2, [5, 1]),
+        (2, 1, [2]),
+    ])
+    def test_factorization(self, shards, axes, expected):
+        assert _balanced_dims(shards, axes) == expected
+
+
+class TestChooseScheme:
+    def test_serial_request_returns_none(self):
+        query = parse_query(TRIANGLE)
+        assert choose_scheme(query, 1) is None
+
+    def test_auto_picks_hypercube_for_cyclic(self):
+        scheme = choose_scheme(parse_query(TRIANGLE), 4, beta_acyclic=False)
+        assert scheme.mode == "hypercube"
+        assert scheme.shards == 4
+        assert len(scheme.grid) == 2  # 2 x 2 grid
+
+    def test_auto_picks_hash_for_acyclic(self):
+        scheme = choose_scheme(parse_query(PATH), 4, beta_acyclic=True)
+        assert scheme.mode == "hash"
+        assert scheme.shards == 4
+        # Single-attribute split on one of the shared variables.
+        assert len(scheme.grid) == 1
+        assert scheme.attributes[0] in ("a", "b", "c")
+
+    def test_explicit_mode_wins(self):
+        scheme = choose_scheme(parse_query(TRIANGLE), 4, mode="hash",
+                               beta_acyclic=False)
+        assert scheme.mode == "hash" and scheme.shards == 4
+
+    def test_statistics_break_ties_toward_distinct_values(self):
+        database = Database([
+            edge_relation_from_pairs([(i, i % 3) for i in range(30)]),
+        ])
+        query = parse_query("edge(a, b)")
+        scheme = choose_scheme(query, 2, mode="hash", database=database)
+        # Both variables have degree 1; a has ~30 distinct values, b has 3.
+        assert scheme.attributes == ("a",)
+
+    def test_cells_enumeration(self):
+        scheme = PartitionScheme("hypercube", (("a", 2), ("b", 3)))
+        assert scheme.shards == 6
+        assert len(scheme.cells()) == 6
+        assert scheme.key() == "hypercube[a:2,b:3]"
+
+
+class TestPartitioner:
+    def test_rewritten_query_preserves_structure(self):
+        query = parse_query(TRIANGLE)
+        scheme = choose_scheme(query, 4, mode="hypercube")
+        partitioner = Partitioner(query, scheme)
+        rewritten = partitioner.rewritten_query
+        assert rewritten.variables == query.variables
+        assert rewritten.filters == query.filters
+        assert len(rewritten.atoms) == len(query.atoms)
+        # Every edge atom binds a grid attribute, so all three get their
+        # own fragment name.
+        assert len(set(a.name for a in rewritten.atoms)) == 3
+
+    def test_unconstrained_atoms_are_replicated(self):
+        query = parse_query(PATH)
+        scheme = PartitionScheme("hash", (("b", 2),))
+        partitioner = Partitioner(query, scheme)
+        assert set(partitioner.replicated_names) == {"v1", "v2"}
+
+    def test_scheme_constraining_nothing_is_rejected(self):
+        query = parse_query("edge(a, b)")
+        scheme = PartitionScheme("hash", (("zz", 2),))
+        with pytest.raises(ExecutionError):
+            Partitioner(query, scheme)
+
+    def test_hash_fragments_partition_the_relation(self):
+        database = graph_database(20, 60, seed=3)
+        query = parse_query(PATH)
+        scheme = PartitionScheme("hash", (("b", 4),))
+        partitioner = Partitioner(query, scheme)
+        edge = database.relation("edge")
+        shards = list(partitioner.shard_databases(database))
+        assert len(shards) == 4
+        # Each edge atom's fragment on the b column: the fragments of one
+        # atom are disjoint across shards and union to the full relation.
+        for atom_index, column in ((2, 1), (3, 0)):  # edge(a,b), edge(b,c)
+            name = f"edge.shard{atom_index}"
+            seen = []
+            for _, shard in shards:
+                fragment = shard.relation(name)
+                for row in fragment:
+                    seen.append(row)
+            assert sorted(seen) == list(edge.tuples)
+
+    def test_hypercube_replicates_along_free_axes(self):
+        database = graph_database(12, 30, seed=5)
+        query = parse_query(TRIANGLE)
+        scheme = PartitionScheme("hypercube", (("a", 2), ("b", 2)))
+        partitioner = Partitioner(query, scheme)
+        edge = database.relation("edge")
+        # edge(b,c) binds only axis b: each tuple appears in both a-cells.
+        total = 0
+        for _, shard in partitioner.shard_databases(database):
+            total += len(shard.relation("edge.shard1"))
+        assert total == 2 * len(edge)
+
+    def test_replicated_relations_are_shared_by_reference(self):
+        database = graph_database(10, 20, seed=1)
+        query = parse_query(PATH)
+        scheme = PartitionScheme("hash", (("b", 2),))
+        partitioner = Partitioner(query, scheme)
+        for _, shard in partitioner.shard_databases(database):
+            assert shard.relation("v1") is database.relation("v1")
+
+
+class TestNodeSampleEdgeCases:
+    def test_partitioning_on_sample_variable(self):
+        """Hash on an endpoint constrains both the sample and the edge."""
+        database = Database([
+            edge_relation_from_pairs([(0, 1), (1, 2), (2, 3), (3, 4)]),
+            node_relation([0, 2, 4], "v1"),
+        ])
+        query = parse_query("v1(a), edge(a, b)")
+        scheme = PartitionScheme("hash", (("a", 2),))
+        partitioner = Partitioner(query, scheme)
+        assert partitioner.replicated_names == ()
+        sizes = [
+            len(shard.relation("v1.shard0"))
+            for _, shard in partitioner.shard_databases(database)
+        ]
+        assert sum(sizes) == 3

@@ -1,0 +1,115 @@
+"""Physical-plan compilation: structure, keys, explain, engine seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.exec import ParallelConfig, PhysicalPlan, compile_plan, choose_scheme
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def database():
+    return graph_database(16, 40, seed=9)
+
+
+@pytest.fixture
+def engine(database):
+    return QueryEngine(database)
+
+
+class TestCompilation:
+    def test_serial_plan_shape(self, engine):
+        plan = engine.plan(TRIANGLE)
+        assert isinstance(plan, PhysicalPlan)
+        assert plan.scheme is None
+        assert plan.shards == 1
+        assert plan.partition is None
+        assert plan.merge.kind == "none"
+        assert plan.partition_key() == "serial"
+        assert [scan.relation for scan in plan.scans] == ["edge"]
+
+    def test_partitioned_plan_shape(self, engine):
+        plan = engine.plan(PATH, parallel=ParallelConfig(4, "hash"))
+        assert plan.shards == 4
+        assert plan.scheme.mode == "hash"
+        assert plan.merge.kind == "sum+sorted-union"
+        assert plan.partitioner is not None
+        assert set(plan.partition.replicated) <= {"v1", "v2", "edge"}
+
+    def test_plan_passes_through(self, engine):
+        plan = engine.plan(TRIANGLE, parallel=2)
+        assert engine.plan(plan) is plan
+
+    def test_plan_recompiles_on_algorithm_mismatch(self, engine):
+        """A plan input behaves like a PreparedQuery input: an explicit
+        different algorithm wins instead of being silently dropped."""
+        ms_plan = engine.plan(TRIANGLE, algorithm="ms", parallel=2)
+        lftj_plan = engine.plan(ms_plan, algorithm="lftj")
+        assert lftj_plan.algorithm == "lftj"
+        assert lftj_plan.shards == 2  # layout preserved
+        serial_plan = engine.plan(TRIANGLE, algorithm="ms")
+        assert engine.plan(serial_plan, algorithm="lftj").shards == 1
+
+    def test_plan_recompiles_on_parallel_override(self, engine):
+        plan = engine.plan(TRIANGLE, algorithm="lftj")
+        wider = engine.plan(plan, parallel=4)
+        assert wider.shards == 4
+        assert wider.algorithm == "lftj"
+
+    def test_cache_key_includes_partitioning(self, engine):
+        serial = engine.plan(TRIANGLE)
+        partitioned = engine.plan(TRIANGLE, parallel=4)
+        assert serial.cache_key()[:2] == partitioned.cache_key()[:2]
+        assert serial.cache_key() != partitioned.cache_key()
+
+    def test_explain_renders_tree(self, engine):
+        serial = engine.plan(TRIANGLE).explain()
+        assert "shard-join" in serial and "scan[edge]" in serial
+        partitioned = engine.plan(
+            TRIANGLE, parallel=ParallelConfig(4, "hypercube")
+        ).explain()
+        assert "merge" in partitioned
+        assert "partition[hypercube" in partitioned
+        assert "× 4" in partitioned
+
+    def test_compile_plan_direct(self, engine):
+        prepared = engine.prepare(TRIANGLE, "lftj")
+        scheme = choose_scheme(prepared.query, 2, beta_acyclic=False)
+        plan = compile_plan(prepared, scheme)
+        assert plan.algorithm == "lftj"
+        assert plan.gao_names == prepared.gao_names
+        assert plan.shards == 2
+
+
+class TestEngineSeam:
+    """Every execution entry point routes through plan + executor."""
+
+    def test_serial_is_behavior_identical(self, engine):
+        direct = engine.count(TRIANGLE, algorithm="naive")
+        assert engine.count(TRIANGLE) == direct
+        assert len(engine.tuples(TRIANGLE)) == direct
+        assert sum(1 for _ in engine.bindings(TRIANGLE)) == direct
+
+    def test_execute_reports_shards(self, engine):
+        serial = engine.execute(TRIANGLE)
+        assert serial.shards == 1
+        partitioned = engine.execute(TRIANGLE, parallel=2)
+        assert partitioned.shards == 2
+        assert partitioned.count == serial.count
+
+    def test_engine_accepts_plan_objects(self, engine):
+        plan = engine.plan(PATH, parallel=ParallelConfig(2, "hash"))
+        expected = engine.count(PATH)
+        assert engine.count(plan) == expected
+        assert engine.execute(plan).count == expected
+
+    def test_default_parallel_config(self, database):
+        with QueryEngine(database, parallel=2) as parallel_engine:
+            plan = parallel_engine.plan(TRIANGLE)
+            assert plan.shards == 2

@@ -57,6 +57,32 @@ class TestSelinger:
         assert plan.atom_order == [0]
         assert plan.root.is_leaf
 
+    def test_cost_grows_with_the_pattern(self, database):
+        """More atoms can only add intermediate results to the best plan."""
+        triangle = SelingerOptimizer(database, build_query("3-clique")).optimize()
+        four_clique = SelingerOptimizer(database, build_query("4-clique")).optimize()
+        assert four_clique.estimated_cost > triangle.estimated_cost
+
+    def test_estimate_uses_containment_max(self, database):
+        """The join estimate divides by max(V(R,a), V(S,a)), so a highly
+        selective sample joined to the edge relation estimates below the
+        Cartesian product by exactly that factor."""
+        plan = SelingerOptimizer(database, parse_query("v1(a), edge(a,b)")).optimize()
+        v1 = database.statistics("v1").cardinality
+        edge = database.statistics("edge").cardinality
+        assert plan.estimated_rows <= v1 * edge
+
+    def test_self_join_atoms_are_distinct_plan_leaves(self, database):
+        query = parse_query("edge(a,b), edge(b,c)")
+        plan = SelingerOptimizer(database, query).optimize()
+        assert sorted(plan.atom_order) == [0, 1]
+        assert not plan.root.is_leaf
+
+    def test_atom_with_constant_stays_plannable(self, database):
+        plan = SelingerOptimizer(database, parse_query("edge(a, 3), edge(a, b)")).optimize()
+        assert sorted(plan.atom_order) == [0, 1]
+        assert plan.estimated_cost >= 1.0
+
 
 class TestGreedyOrder:
     def test_starts_with_smallest_relation(self, database):
@@ -85,3 +111,14 @@ class TestGreedyOrder:
             if remaining_connected:
                 assert set(atom.variables) & joined_vars or not joined_vars
             joined_vars.update(atom.variables)
+
+    def test_greedy_order_on_single_atom(self, database):
+        assert greedy_smallest_first_order(
+            database, parse_query("edge(a,b)")
+        ) == [0]
+
+    def test_greedy_handles_disconnected_queries(self, database):
+        order = greedy_smallest_first_order(database, parse_query("v1(a), v2(b)"))
+        assert sorted(order) == [0, 1]
+        # Smallest relation first even without shared variables.
+        assert order[0] == 1  # v2 has two tuples, v1 has three

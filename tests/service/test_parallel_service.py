@@ -1,0 +1,86 @@
+"""The service with a partitioned multi-process execution backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import ProcessPlanExecutor
+from repro.service import QueryService, ServiceConfig
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def database():
+    return graph_database(20, 70, seed=21)
+
+
+class TestParallelService:
+    def test_parallel_answers_match_serial(self, database):
+        with QueryService(database) as serial:
+            expected = {
+                text: serial.execute(text).count for text in (TRIANGLE, PATH)
+            }
+        config = ServiceConfig(workers=2, parallel_shards=2)
+        with QueryService(database, config) as service:
+            for text, count in expected.items():
+                outcome = service.execute(text)
+                assert outcome.succeeded
+                assert outcome.count == count
+                assert outcome.shards == 2
+
+    def test_parallel_tuples_mode(self, database):
+        with QueryService(database) as serial:
+            expected = serial.execute(PATH, mode="tuples").value
+        config = ServiceConfig(workers=2, parallel_shards=2)
+        with QueryService(database, config) as service:
+            assert service.execute(PATH, mode="tuples").value == expected
+
+    def test_plan_cache_keys_by_partitioning(self, database):
+        config = ServiceConfig(parallel_shards=2, partition_mode="hash")
+        with QueryService(database, config) as service:
+            service.execute(TRIANGLE)
+            keys = service.plan_cache.keys()
+            assert len(keys) == 1
+            assert keys[0][2] == "hash:2"
+            # The same shape again is a plan-cache hit, not a recompile.
+            outcome = service.execute(TRIANGLE)
+            assert outcome.plan_cached
+
+    def test_serial_and_parallel_plans_coexist_in_cache(self, database):
+        with QueryService(database) as service:
+            service.execute(TRIANGLE)
+            plan, hit = service.plan_cache.get_or_plan(
+                service.engine, TRIANGLE, "auto", parallel=2
+            )
+            assert not hit
+            assert plan.shards == 2
+            assert len(service.plan_cache) == 2
+
+    def test_result_cache_hits_skip_execution(self, database):
+        config = ServiceConfig(parallel_shards=2)
+        with QueryService(database, config) as service:
+            first = service.execute(TRIANGLE)
+            second = service.execute(TRIANGLE)
+            assert second.result_cached
+            assert second.count == first.count
+
+    def test_engine_executor_is_released_on_close(self, database):
+        config = ServiceConfig(parallel_shards=2)
+        service = QueryService(database, config)
+        assert isinstance(service.engine.executor, ProcessPlanExecutor)
+        service.execute(TRIANGLE)
+        service.close()
+        assert service.engine.executor._pool is None
+
+    def test_workload_stats_survive_parallel_backend(self, database):
+        config = ServiceConfig(workers=2, parallel_shards=2)
+        with QueryService(database, config) as service:
+            for _ in range(3):
+                service.execute(TRIANGLE)
+            stats = service.stats()
+            assert stats.executed == 1
+            assert stats.served_from_cache == 2

@@ -80,7 +80,7 @@ def test_lru_eviction_order(engine: QueryEngine) -> None:
     cache.get_or_prepare(engine, "edge(a, b)")
     cache.get_or_prepare(engine, "edge(c, d)")
     assert cache.stats.evictions == 1
-    keys = [text for text, _ in cache.keys()]
+    keys = [text for text, _, _ in cache.keys()]
     assert "edge(b,c)" not in keys
     assert "edge(a,b)" in keys and "edge(c,d)" in keys
 
@@ -88,3 +88,18 @@ def test_lru_eviction_order(engine: QueryEngine) -> None:
 def test_capacity_must_be_positive() -> None:
     with pytest.raises(ValueError):
         PlanCache(capacity=0)
+
+
+def test_get_or_plan_counts_lowering_as_a_miss(engine: QueryEngine) -> None:
+    """A PreparedQuery under the key saves compilation but still costs a
+    plan lowering: the statistics must call that a miss, not a hit."""
+    cache = PlanCache(capacity=8)
+    cache.get_or_prepare(engine, TRIANGLE)  # stores a PreparedQuery
+    assert cache.stats.misses == 1
+    plan, hit = cache.get_or_plan(engine, TRIANGLE)
+    assert not hit
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 0
+    again, hit = cache.get_or_plan(engine, TRIANGLE)
+    assert hit and again is plan
+    assert cache.stats.hits == 1

@@ -138,3 +138,45 @@ class TestPrefixSearch:
     def test_prefix_longer_than_arity_rejected(self, relation):
         with pytest.raises(StorageError):
             relation.prefix_range((1, 1, 1, 1))
+
+
+class TestBisectMembership:
+    """__contains__ is a binary search on the sorted list (no shadow set)."""
+
+    def test_membership_on_empty_relation(self):
+        assert (1, 2) not in Relation("e", 2, [])
+
+    def test_membership_at_the_boundaries(self):
+        relation = Relation("r", 2, [(0, 0), (5, 5), (9, 9)])
+        assert (0, 0) in relation and (9, 9) in relation
+        assert (9, 10) not in relation  # past the last tuple
+        assert (0, -1) not in relation
+
+    def test_membership_accepts_lists(self):
+        relation = Relation("r", 2, [(1, 2)])
+        assert [1, 2] in relation
+
+    def test_no_tuple_set_attribute(self):
+        relation = Relation("r", 1, [(1,)])
+        assert not hasattr(relation, "_tuple_set")
+        assert "_tuple_set" not in Relation.__slots__
+
+
+class TestFromSorted:
+    def test_trusted_construction(self):
+        rows = [(0, 1), (1, 2), (2, 3)]
+        relation = Relation.from_sorted("f", 2, rows, ("src", "dst"))
+        assert list(relation) == rows
+        assert relation.attributes == ("src", "dst")
+        assert (1, 2) in relation
+        assert relation.prefix_range((1,)) == (1, 2)
+
+    def test_equals_validating_constructor_on_same_rows(self):
+        rows = [(0, 5), (3, 1), (3, 1), (2, 2)]
+        validated = Relation("r", 2, rows)
+        trusted = Relation.from_sorted("r", 2, list(validated))
+        assert trusted == validated
+
+    def test_positive_arity_still_required(self):
+        with pytest.raises(SchemaError):
+            Relation.from_sorted("bad", 0, [])

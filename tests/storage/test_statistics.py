@@ -51,3 +51,51 @@ class TestEstimators:
     def test_estimation_report_mentions_every_relation(self, edge_stats):
         report = estimation_report({"edge": edge_stats})
         assert "edge" in report and "4" in report
+
+    def test_estimation_report_is_sorted_by_name(self, edge_stats):
+        other = collect_statistics(Relation("aaa", 1, [(1,)]))
+        report = estimation_report({"edge": edge_stats, "aaa": other})
+        assert report.index("aaa") < report.index("edge")
+
+    def test_join_selectivity_zero_when_both_empty(self):
+        empty = collect_statistics(Relation("e", 1, []))
+        assert empty.join_selectivity(0, empty, 0) == 0.0
+
+    def test_selectivity_is_a_probability(self, edge_stats):
+        for column in range(edge_stats.arity):
+            assert 0.0 < edge_stats.selectivity_of_equality(column) <= 1.0
+
+
+class TestDatabaseIntegration:
+    """The catalog caches statistics and drops them with the relation."""
+
+    def test_statistics_are_cached_per_relation(self):
+        from repro.storage import Database
+
+        database = Database([Relation("edge", 2, [(1, 2), (2, 3)])])
+        first = database.statistics("edge")
+        assert database.statistics("edge") is first
+
+    def test_replacing_a_relation_refreshes_statistics(self):
+        from repro.storage import Database
+
+        database = Database([Relation("edge", 2, [(1, 2)])])
+        before = database.statistics("edge")
+        database.add(Relation("edge", 2, [(1, 2), (2, 3), (3, 4)]),
+                     replace=True)
+        after = database.statistics("edge")
+        assert after is not before
+        assert after.cardinality == 3
+
+    def test_partitioner_tie_breaking_consumes_statistics(self):
+        """The exec layer reads distinct counts to pick balanced axes."""
+        from repro.datalog.parser import parse_query
+        from repro.exec.partitioner import choose_scheme
+        from repro.storage import Database
+
+        database = Database([
+            Relation("edge", 2, [(i, 0) for i in range(20)]),
+        ])
+        scheme = choose_scheme(parse_query("edge(a, b)"), 2, mode="hash",
+                               database=database)
+        assert scheme.attributes == ("a",)  # 20 distinct beats 1

@@ -2,7 +2,48 @@
 
 import pytest
 
+import repro
 from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_pyproject(self):
+        import pathlib
+        import re
+
+        pyproject = (
+            pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+        )
+        match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(),
+                          flags=re.MULTILINE)
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
+
+class TestParallelFlag:
+    def test_query_parallel_matches_serial(self, capsys):
+        assert main(["query", "--dataset", "p2p-Gnutella04",
+                     "--pattern", "3-clique"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["query", "--dataset", "p2p-Gnutella04",
+                     "--pattern", "3-clique", "--parallel", "2"]) == 0
+        partitioned = capsys.readouterr().out
+        count = lambda out: out.split(":")[1].split("results")[0].strip()
+        assert count(serial) == count(partitioned)
+        assert "2 shards" in partitioned
+
+    def test_query_partition_mode_is_selectable(self, capsys):
+        assert main(["query", "--dataset", "p2p-Gnutella04",
+                     "--pattern", "3-clique", "--parallel", "2",
+                     "--partition-mode", "hash"]) == 0
+        assert "2 shards" in capsys.readouterr().out
 
 
 class TestDatasets:

@@ -7,6 +7,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.datalog.parser import parse_query
+from repro.engine import QueryEngine
+from repro.exec import ParallelConfig
 from repro.joins.leapfrog import LeapfrogTrieJoin
 from repro.joins.minesweeper import MinesweeperJoin
 from repro.joins.minesweeper.counting import SharingMinesweeperCounter
@@ -163,3 +165,68 @@ class TestJoinProperties:
             assert (a, b) in edge_relation
             assert (b, c) in edge_relation
             assert (a, c) in edge_relation
+
+
+# ----------------------------------------------------------------------
+# Partitioned execution vs. serial, over the whole pool
+# ----------------------------------------------------------------------
+#: The query pool: the cyclic triangle and the sampled acyclic path — one
+#: query per structural regime the partitioner distinguishes.
+PARTITION_POOL_QUERIES = (
+    "edge(a,b), edge(b,c), edge(a,c), a<b, b<c",
+    "v1(a), v2(c), edge(a,b), edge(b,c)",
+)
+
+#: Every enumerate-capable join algorithm of the engine registry.
+PARTITION_ALGORITHMS = (
+    "naive", "lftj", "ms", "generic", "pairwise", "columnar", "hybrid",
+)
+
+#: 2 and 4 shards, in both partitioning modes.
+PARTITION_CONFIGS = (
+    (2, "hash"), (4, "hash"), (2, "hypercube"), (4, "hypercube"),
+)
+
+PARTITION_PROPERTY_SETTINGS = settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPartitionedExecutionProperties:
+    """Partitioning must never change an answer, whoever runs the shards."""
+
+    @pytest.mark.parametrize("shards,mode", PARTITION_CONFIGS)
+    @pytest.mark.parametrize("algorithm", PARTITION_ALGORITHMS)
+    @given(edges_strategy)
+    @PARTITION_PROPERTY_SETTINGS
+    def test_partitioned_equals_serial_result_set_and_count(
+            self, algorithm, shards, mode, edges):
+        db = _database_from_edges(edges)
+        engine = QueryEngine(db)
+        config = ParallelConfig(shards=shards, mode=mode)
+        for text in PARTITION_POOL_QUERIES:
+            expected = engine.tuples(text, algorithm=algorithm)
+            assert engine.tuples(
+                text, algorithm=algorithm, parallel=config
+            ) == expected
+            assert engine.count(
+                text, algorithm=algorithm, parallel=config
+            ) == len(expected)
+
+    @pytest.mark.parametrize("shards,mode", PARTITION_CONFIGS)
+    @given(edges_strategy)
+    @PARTITION_PROPERTY_SETTINGS
+    def test_counting_algorithms_partition_too(self, shards, mode, edges):
+        """Count-only engines (#Minesweeper, Yannakakis) sum across shards."""
+        db = _database_from_edges(edges)
+        engine = QueryEngine(db)
+        config = ParallelConfig(shards=shards, mode=mode)
+        path = PARTITION_POOL_QUERIES[1]
+        expected = engine.count(path, algorithm="naive")
+        assert engine.count(
+            path, algorithm="ms-count", parallel=config
+        ) == expected
+        assert engine.count(
+            path, algorithm="yannakakis", parallel=config
+        ) == expected
