@@ -1,0 +1,72 @@
+"""Client-API quickstart: connect → explain → streamed iteration → stats.
+
+Run with::
+
+    python examples/session_quickstart.py
+
+One ``repro.connect()`` session replaces the per-entry-point kwarg sprawl:
+``run(query, options)`` returns a lazy, streaming ``ResultSet`` — nothing
+executes until you pull — and ``explain`` shows the plan the engine would
+use (acyclicity class, attribute order, algorithm choice, partitioning,
+and statistics-based size estimates) without executing anything.
+"""
+
+from __future__ import annotations
+
+import repro
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+TWO_HOP = "edge(a, b), edge(b, c)"
+
+
+def main() -> None:
+    # Connect to a catalog dataset; selectivity attaches the v1..v4 node
+    # samples so every benchmark pattern is runnable.  The keyword
+    # arguments become the session's default QueryOptions.
+    session = repro.connect("ca-GrQc", selectivity=10, timeout=60.0)
+
+    with session:
+        # 1. Explain before running: the full plan report, no execution.
+        print("=== explain ===")
+        print(session.explain(TRIANGLE, parallel=4).render())
+
+        # 2. Stream lazily: only the five consumed answers are computed,
+        #    even though the two-hop join has a huge output.
+        print("\n=== streamed iteration (first 5 of a large join) ===")
+        result_set = session.run(TWO_HOP)
+        for index, binding in enumerate(result_set):
+            values = ", ".join(
+                f"{name}={binding[variable]}" for name, variable in zip(
+                    result_set.columns,
+                    result_set.plan.prepared.query.variables,
+                )
+            )
+            print(f"  answer {index}: {values}")
+            if index == 4:
+                break
+
+        # 3. Fetch APIs compose with iteration on the same cursor.
+        more = result_set.fetchmany(3)
+        print(f"  next {len(more)} rows via fetchmany: {more}")
+
+        # 4. count() uses the counting path — no tuple materialization —
+        #    and the session's result cache makes repeats free.
+        total = session.run(TRIANGLE).count()
+        repeat = session.run(TRIANGLE)
+        repeat_total = repeat.count()
+        print(f"\n=== count + cache ===")
+        print(f"  triangles: {total:,}")
+        print(f"  repeat:    {repeat_total:,} "
+              f"(result_cached={repeat.stats.result_cached})")
+
+        # 5. Stats: what actually happened, per result set.
+        partitioned = session.run(TRIANGLE, parallel=2, use_cache=False)
+        partitioned.fetchall()
+        print("\n=== stats ===")
+        for key, value in sorted(partitioned.stats.__dict__.items()):
+            print(f"  {key}: {value}")
+        print("  session caches:", session.stats().as_dict())
+
+
+if __name__ == "__main__":
+    main()

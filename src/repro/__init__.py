@@ -21,6 +21,7 @@ Quickstart
 from repro.errors import (
     DatasetError,
     ExecutionError,
+    OptionsError,
     ParseError,
     PlanningError,
     QueryError,
@@ -28,6 +29,7 @@ from repro.errors import (
     SchemaError,
     StorageError,
     TimeoutExceeded,
+    UnknownAlgorithmError,
 )
 from repro.datalog import (
     Atom,
@@ -69,6 +71,14 @@ from repro.data import (
     load_dataset_database,
 )
 from repro.engine import ExecutionResult, QueryEngine
+from repro.api import (
+    Explain,
+    QueryOptions,
+    ResultSet,
+    ResultStats,
+    Session,
+    connect,
+)
 from repro.exec import (
     ParallelConfig,
     PartitionScheme,
@@ -123,6 +133,7 @@ __all__ = [
     "DatasetError",
     "ExecutionError",
     "ExecutionResult",
+    "Explain",
     "GenericJoin",
     "GraphEngine",
     "Hypergraph",
@@ -132,6 +143,7 @@ __all__ = [
     "MinesweeperJoin",
     "MinesweeperOptions",
     "NaiveBacktrackingJoin",
+    "OptionsError",
     "PairwiseHashJoin",
     "ParallelConfig",
     "ParseError",
@@ -144,19 +156,25 @@ __all__ = [
     "QUERY_PATTERNS",
     "QueryEngine",
     "QueryError",
+    "QueryOptions",
     "Relation",
     "ReproError",
+    "ResultSet",
+    "ResultStats",
     "SchemaError",
     "SerialPlanExecutor",
+    "Session",
     "StorageError",
     "TimeBudget",
     "TimeoutExceeded",
     "TrieIndex",
+    "UnknownAlgorithmError",
     "Variable",
     "YannakakisJoin",
     "agm_bound",
     "attach_samples",
     "build_query",
+    "connect",
     "dataset_names",
     "edge_relation_from_pairs",
     "load_dataset",

@@ -1,0 +1,42 @@
+"""The unified client API: sessions, options, lazy results, plan reports.
+
+Import surface::
+
+    from repro.api import connect, Session, QueryOptions, ResultSet, Explain
+
+``QueryOptions``, ``ResultSet``, and ``Explain`` live in leaf modules the
+engine itself imports; ``Session``/``connect`` sit *above* the engine, so
+they are loaded lazily (PEP 562) to keep ``repro.engine ⇄ repro.api``
+import-order independent.
+"""
+
+from repro.api.explain import Explain, RelationEstimate, explain_plan
+from repro.api.options import QueryOptions
+from repro.api.result import ResultCacheHooks, ResultSet, ResultStats
+
+__all__ = [
+    "Explain",
+    "QueryOptions",
+    "RelationEstimate",
+    "ResultCacheHooks",
+    "ResultSet",
+    "ResultStats",
+    "Session",
+    "SessionStats",
+    "connect",
+    "explain_plan",
+]
+
+_LAZY = {"Session", "SessionStats", "connect"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.api import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY)

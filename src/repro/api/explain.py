@@ -1,0 +1,244 @@
+"""Structured plan reports: what the engine would do for a query, and why.
+
+``Session.explain`` (surfaced as the ``repro explain`` CLI verb) produces
+an :class:`Explain` — a renderable record of every decision the planning
+stack makes before executing a query:
+
+* the hypergraph's acyclicity class (β-acyclic / α-acyclic-only / cyclic),
+* the chosen global attribute order and whether it is a nested
+  elimination order (the Minesweeper NEO requirement of §4.9),
+* the selected algorithm and the reason it was selected,
+* the partitioning scheme (single-attribute hash or HyperCube grid),
+  its shard dims, and which relations replicate vs. fragment,
+* statistics-based size estimates: per-relation cardinalities and distinct
+  counts, plus the AGM fractional-edge-cover output bound.
+
+The report is a plain dataclass: :meth:`Explain.render` gives the
+human-readable text, :meth:`Explain.as_dict` feeds JSON output and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.datalog.agm import agm_bound
+from repro.datalog.hypergraph import analyse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.exec.plan import PhysicalPlan
+    from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class RelationEstimate:
+    """Statistics of one relation as seen by the planner."""
+
+    name: str
+    cardinality: int
+    distinct_counts: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Explain:
+    """A structured report of the plan for one query."""
+
+    query: str
+    # Algorithm choice
+    algorithm: str
+    requested_algorithm: str
+    reason: str
+    # Structure
+    acyclicity: str  # "β-acyclic" | "α-acyclic (β-cyclic)" | "cyclic"
+    alpha_acyclic: bool
+    beta_acyclic: bool
+    gao: Optional[Tuple[str, ...]]
+    gao_is_neo: bool
+    gao_policy: Optional[str]
+    # Partitioning
+    partitioning: str  # "serial" or the scheme key, e.g. "hypercube[a:2,b:2]"
+    partition_mode: Optional[str]
+    shards: int
+    grid: Tuple[Tuple[str, int], ...]
+    replicated: Tuple[str, ...]
+    fragmented: Tuple[str, ...]
+    # Estimates
+    relation_estimates: Tuple[RelationEstimate, ...] = ()
+    agm_bound: Optional[float] = None
+    estimate_notes: Tuple[str, ...] = field(default=())
+    # Physical operator tree
+    operator_tree: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly view (used by ``repro explain --json``)."""
+        return {
+            "query": self.query,
+            "algorithm": self.algorithm,
+            "requested_algorithm": self.requested_algorithm,
+            "reason": self.reason,
+            "acyclicity": self.acyclicity,
+            "alpha_acyclic": self.alpha_acyclic,
+            "beta_acyclic": self.beta_acyclic,
+            "gao": list(self.gao) if self.gao is not None else None,
+            "gao_is_neo": self.gao_is_neo,
+            "gao_policy": self.gao_policy,
+            "partitioning": self.partitioning,
+            "partition_mode": self.partition_mode,
+            "shards": self.shards,
+            "grid": [[name, dims] for name, dims in self.grid],
+            "replicated": list(self.replicated),
+            "fragmented": list(self.fragmented),
+            "relation_estimates": [
+                {
+                    "name": estimate.name,
+                    "cardinality": estimate.cardinality,
+                    "distinct_counts": list(estimate.distinct_counts),
+                }
+                for estimate in self.relation_estimates
+            ],
+            "agm_bound": self.agm_bound,
+            "estimate_notes": list(self.estimate_notes),
+            "operator_tree": self.operator_tree,
+        }
+
+    def render(self) -> str:
+        """The human-readable report printed by ``repro explain``."""
+        lines: List[str] = [f"query: {self.query}", ""]
+        lines.append(f"structure: {self.acyclicity}")
+        if self.gao is not None:
+            neo = "a nested elimination order" if self.gao_is_neo \
+                else "not a NEO"
+            policy = f", policy: {self.gao_policy}" if self.gao_policy else ""
+            lines.append(
+                f"attribute order: {' -> '.join(self.gao)} ({neo}{policy})"
+            )
+        else:
+            lines.append(
+                "attribute order: chosen at run time by the algorithm"
+            )
+        lines.append(f"algorithm: {self.algorithm} — {self.reason}")
+        lines.append("")
+        if self.shards > 1:
+            axes = " x ".join(f"{name}:{dims}" for name, dims in self.grid)
+            lines.append(
+                f"partitioning: {self.partitioning} "
+                f"({self.shards} disjoint shards over {axes})"
+            )
+            if self.fragmented:
+                lines.append(
+                    f"  fragmented per shard: {', '.join(self.fragmented)}"
+                )
+            if self.replicated:
+                lines.append(
+                    f"  replicated to every shard: {', '.join(self.replicated)}"
+                )
+        else:
+            lines.append("partitioning: serial (single shard)")
+        lines.append("")
+        if self.relation_estimates:
+            lines.append("statistics:")
+            for estimate in self.relation_estimates:
+                distinct = ", ".join(
+                    str(d) for d in estimate.distinct_counts
+                )
+                lines.append(
+                    f"  {estimate.name}: {estimate.cardinality:,} tuples, "
+                    f"distinct per column [{distinct}]"
+                )
+        if self.agm_bound is not None:
+            lines.append(
+                f"output bound (AGM): <= {self.agm_bound:,.0f} tuples"
+            )
+        for note in self.estimate_notes:
+            lines.append(f"note: {note}")
+        lines.append("")
+        lines.append("physical plan:")
+        for tree_line in self.operator_tree.splitlines():
+            lines.append(f"  {tree_line}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _selection_reason(requested: str, chosen: str,
+                      beta_acyclic: bool) -> str:
+    if requested != "auto":
+        return f"explicitly requested ({requested!r})"
+    if beta_acyclic:
+        return ("auto: query is β-acyclic, Minesweeper is "
+                "instance-optimal on it (§5.2)")
+    return ("auto: query is cyclic, Leapfrog Triejoin is "
+            "worst-case optimal (§5.2)")
+
+
+def explain_plan(plan: "PhysicalPlan",
+                 database: Optional["Database"] = None) -> Explain:
+    """Build the structured report for one compiled physical plan."""
+    prepared = plan.prepared
+    query = prepared.query
+    report = analyse(query)
+    if report.beta_acyclic:
+        acyclicity = "β-acyclic"
+    elif report.alpha_acyclic:
+        acyclicity = "α-acyclic (β-cyclic)"
+    else:
+        acyclicity = "cyclic"
+
+    gao = prepared.gao
+    scheme = plan.scheme
+    partition = plan.partition
+
+    estimates: List[RelationEstimate] = []
+    notes: List[str] = []
+    bound: Optional[float] = None
+    if database is not None:
+        sizes: Dict[int, int] = {}
+        missing = False
+        for name in query.relation_names:
+            try:
+                statistics = database.statistics(name)
+            except ReproError:
+                notes.append(f"relation {name!r} is not in the catalog; "
+                             f"size estimates are partial")
+                missing = True
+                continue
+            estimates.append(RelationEstimate(
+                name=name,
+                cardinality=statistics.cardinality,
+                distinct_counts=statistics.distinct_counts,
+            ))
+        if not missing:
+            try:
+                for index, atom in enumerate(query.atoms):
+                    sizes[index] = len(database.relation(atom.name))
+                bound = agm_bound(query, sizes)
+            except ReproError as error:
+                notes.append(f"AGM bound unavailable: {error}")
+
+    return Explain(
+        query=prepared.text,
+        algorithm=prepared.algorithm,
+        requested_algorithm=prepared.requested_algorithm,
+        reason=_selection_reason(
+            prepared.requested_algorithm, prepared.algorithm,
+            prepared.beta_acyclic,
+        ),
+        acyclicity=acyclicity,
+        alpha_acyclic=report.alpha_acyclic,
+        beta_acyclic=report.beta_acyclic,
+        gao=prepared.gao_names,
+        gao_is_neo=bool(gao.is_neo) if gao is not None else False,
+        gao_policy=gao.policy if gao is not None else None,
+        partitioning=plan.partition_key(),
+        partition_mode=scheme.mode if scheme is not None else None,
+        shards=plan.shards,
+        grid=scheme.grid if scheme is not None else (),
+        replicated=partition.replicated if partition is not None else (),
+        fragmented=partition.constrained if partition is not None else (),
+        relation_estimates=tuple(estimates),
+        agm_bound=bound,
+        estimate_notes=tuple(notes),
+        operator_tree=plan.explain(),
+    )

@@ -1,0 +1,174 @@
+""":class:`QueryOptions` — the one bundle of execution knobs for every entry point.
+
+Before this module existed, every layer of the stack re-declared the same
+keyword arguments (``algorithm``, ``timeout``, ``parallel``,
+``partition_mode``) and each new knob had to be threaded through
+``QueryEngine``'s four entry points, ``QueryService``, the CLI verbs, and
+the benchmark harness separately.  ``QueryOptions`` replaces that sprawl:
+one frozen dataclass validated *once*, at the API boundary, and passed
+whole through engine → executor → service → CLI → bench.
+
+Validation failures raise :class:`~repro.errors.OptionsError`, which is a
+:class:`ValueError` (and a :class:`ReproError`), so a bad ``parallel=0`` or
+an unknown ``partition_mode`` is rejected before any planning or
+partitioning work starts instead of surfacing deep inside
+:mod:`repro.exec.partitioner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Optional
+
+from repro.errors import OptionsError
+from repro.exec.partitioner import PARTITION_MODES, ParallelConfig
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """How one query should run.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered join-algorithm name, or ``"auto"`` (Minesweeper for
+        β-acyclic queries, LFTJ otherwise — the paper's §5.2 summary).
+    parallel:
+        Shard count for partitioned execution, or ``None`` to inherit the
+        engine/session default.  Must be ≥ 1 when given.
+    partition_mode:
+        Partitioning scheme for ``parallel``: ``"auto"``, ``"hash"``, or
+        ``"hypercube"``.
+    timeout:
+        Soft per-query timeout in seconds, or ``None`` to inherit the
+        engine/session default.
+    use_cache:
+        Whether the session may serve this query from (and store it into)
+        its plan and result caches.  Benchmarks measuring raw execution
+        turn this off.
+    limit:
+        Stop after this many output tuples (applied lazily during
+        streaming), or ``None`` for the full answer.  Limited results are
+        never stored in result caches — they are not the full answer.
+    """
+
+    algorithm: str = "auto"
+    parallel: Optional[int] = None
+    partition_mode: str = "auto"
+    timeout: Optional[float] = None
+    use_cache: bool = True
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.algorithm, str) or not self.algorithm:
+            raise OptionsError(
+                f"algorithm must be a non-empty string, got {self.algorithm!r}"
+            )
+        if self.parallel is not None:
+            if isinstance(self.parallel, bool) or not isinstance(self.parallel, int):
+                raise OptionsError(
+                    f"parallel must be an int shard count or None, "
+                    f"got {self.parallel!r}"
+                )
+            if self.parallel < 1:
+                raise OptionsError(
+                    f"parallel shard count must be at least 1, "
+                    f"got {self.parallel}"
+                )
+        if self.partition_mode not in PARTITION_MODES:
+            raise OptionsError(
+                f"unknown partition mode {self.partition_mode!r}; "
+                f"expected one of {PARTITION_MODES}"
+            )
+        if self.timeout is not None:
+            if not isinstance(self.timeout, (int, float)) \
+                    or isinstance(self.timeout, bool) or self.timeout < 0:
+                raise OptionsError(
+                    f"timeout must be a non-negative number of seconds or "
+                    f"None, got {self.timeout!r}"
+                )
+        if self.limit is not None:
+            if isinstance(self.limit, bool) or not isinstance(self.limit, int) \
+                    or self.limit < 0:
+                raise OptionsError(
+                    f"limit must be a non-negative int or None, "
+                    f"got {self.limit!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def merged(self, **overrides) -> "QueryOptions":
+        """A copy with ``overrides`` applied (``None`` values are ignored).
+
+        ``None`` means "inherit" everywhere in this API, so passing
+        ``timeout=None`` through a convenience wrapper keeps the base
+        value rather than clearing it.
+        """
+        known = {f.name for f in fields(QueryOptions)}
+        unknown = set(overrides) - known
+        if unknown:
+            # Checked before dropping Nones so a misspelled option whose
+            # value happens to be None still fails loudly.
+            raise OptionsError(
+                f"unknown query option(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        effective = {
+            name: value for name, value in overrides.items()
+            if value is not None
+        }
+        if not effective:
+            return self
+        return replace(self, **effective)
+
+    @classmethod
+    def resolve(cls, options: Optional["QueryOptions"] = None,
+                overrides: Optional[Mapping[str, object]] = None,
+                defaults: Optional["QueryOptions"] = None) -> "QueryOptions":
+        """Combine ``defaults`` ← ``options`` ← ``overrides`` into one bundle."""
+        base = options if options is not None else (defaults or cls())
+        if not isinstance(base, QueryOptions):
+            raise OptionsError(
+                f"options must be a QueryOptions instance, got {base!r}"
+            )
+        return base.merged(**dict(overrides or {}))
+
+    @classmethod
+    def from_legacy(cls, algorithm: str = "auto",
+                    timeout: Optional[float] = None,
+                    parallel: Optional[object] = None,
+                    limit: Optional[int] = None) -> "QueryOptions":
+        """Adapt the pre-``QueryOptions`` kwarg sprawl to one bundle.
+
+        ``parallel`` accepts what the legacy entry points accepted: ``None``
+        (inherit), an int shard count, or a
+        :class:`~repro.exec.partitioner.ParallelConfig`.
+        """
+        shards: Optional[int] = None
+        mode = "auto"
+        if isinstance(parallel, ParallelConfig):
+            shards, mode = parallel.shards, parallel.mode
+        elif parallel is not None:
+            shards = parallel  # type: ignore[assignment] - validated below
+        return cls(algorithm=algorithm, parallel=shards, partition_mode=mode,
+                   timeout=timeout, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Resolution against engine defaults
+    # ------------------------------------------------------------------
+    def parallel_request(
+            self, default: Optional[ParallelConfig] = None
+    ) -> Optional[ParallelConfig]:
+        """The partitioning this bundle asks for, or ``None`` to inherit.
+
+        ``None`` is returned only when *both* knobs are at their inherit
+        values; an explicit ``partition_mode`` with no shard count adopts
+        the default's shard count under the requested mode.
+        """
+        if self.parallel is None:
+            if self.partition_mode == "auto":
+                return None
+            shards = default.shards if default is not None else 1
+            return ParallelConfig(shards=shards, mode=self.partition_mode)
+        return ParallelConfig(shards=self.parallel, mode=self.partition_mode)

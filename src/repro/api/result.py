@@ -1,0 +1,412 @@
+""":class:`ResultSet` — the lazy, streaming answer handle of the client API.
+
+``Session.run`` (and ``QueryEngine.run``) return a ``ResultSet`` instead of
+a materialized list: nothing executes until the caller pulls.  Iteration
+streams bindings generator-style through the executor's shard-merge path —
+the serial executor yields straight out of the join algorithm's
+enumerator, shard by shard, so consuming the first *k* answers of a huge
+join costs O(k) work and memory, not O(output).
+
+The handle is a forward-only cursor (like a DB-API cursor): ``__iter__``,
+:meth:`fetchmany`, and :meth:`fetchall` all advance the same position and
+compose.  When a session result cache is attached (and no ``limit`` is
+set), streamed rows are retained so the fully drained answer can be
+stored; otherwise streaming holds no history and stays O(1) memory.  A
+result served *from* a session's result cache starts materialized and
+costs nothing to read.
+
+:meth:`count` answers "how many?" without streaming: it routes through the
+executor's count path (which sums per-shard counts and can use the
+counting-optimized algorithms), consulting the session's count cache when
+one is attached.
+
+:attr:`stats` reports what actually happened: the algorithm and
+partitioning used, plan/execution timings, cache provenance, and how many
+rows have been delivered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import islice
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ExecutionError
+from repro.util import TimeBudget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.engine import QueryEngine
+    from repro.exec.plan import PhysicalPlan
+
+#: One output tuple, in first-occurrence variable order.
+Row = Tuple[int, ...]
+
+
+class ResultCacheHooks:
+    """How a :class:`ResultSet` talks to a session's result cache.
+
+    The base implementation is a no-op (engine-level result sets are
+    uncached); :class:`repro.api.session.Session` provides a live binding.
+    Lookups happen lazily — at first data access, or at :meth:`ResultSet.count`
+    — so a result set that is never consumed never touches the cache.
+    """
+
+    def lookup_rows(self) -> Optional[Sequence[Row]]:
+        """The cached full answer (sorted rows), or ``None``."""
+        return None
+
+    def store_rows(self, dependencies: Dict[str, int],
+                   rows: Sequence[Row]) -> None:
+        """Store a complete answer computed against ``dependencies``."""
+
+    def lookup_count(self) -> Optional[int]:
+        """The cached answer size, or ``None``."""
+        return None
+
+    def store_count(self, dependencies: Dict[str, int], value: int) -> None:
+        """Store an answer size computed against ``dependencies``."""
+
+    def snapshot(self) -> Dict[str, int]:
+        """Pre-execution relation versions (see ``ResultCache.snapshot``)."""
+        return {}
+
+
+@dataclass(frozen=True)
+class ResultStats:
+    """What one :class:`ResultSet` actually did, for reports and tests."""
+
+    query: str
+    algorithm: str
+    requested_algorithm: str
+    partitioning: str
+    shards: int
+    plan_cached: bool
+    result_cached: bool
+    plan_seconds: float
+    execution_seconds: float
+    rows_delivered: int
+    complete: bool
+    limit: Optional[int] = None
+    total: Optional[int] = None
+
+    @property
+    def seconds(self) -> float:
+        """Total wall time attributed to this result: planning + execution."""
+        return self.plan_seconds + self.execution_seconds
+
+
+class ResultSet:
+    """Lazy, streaming handle over one query's answers.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.QueryEngine` whose executor runs the plan.
+    plan:
+        The compiled :class:`~repro.exec.plan.PhysicalPlan` to execute.
+    timeout:
+        Resolved soft timeout in seconds (``None`` = unlimited).  Each
+        execution (opening the stream, or a :meth:`count` call) gets its
+        own :class:`~repro.util.TimeBudget`.
+    limit:
+        Stop streaming after this many rows (``None`` = full answer).
+    plan_seconds / plan_cached:
+        Planning cost and plan-cache provenance, recorded by the caller.
+    hooks:
+        Optional :class:`ResultCacheHooks` binding to a result cache.
+    """
+
+    def __init__(self, engine: "QueryEngine", plan: "PhysicalPlan", *,
+                 timeout: Optional[float] = None,
+                 limit: Optional[int] = None,
+                 plan_seconds: float = 0.0,
+                 plan_cached: bool = False,
+                 hooks: Optional[ResultCacheHooks] = None) -> None:
+        self._engine = engine
+        self._plan = plan
+        self._variables = tuple(plan.prepared.query.variables)
+        self._timeout = timeout
+        self._limit = limit
+        self._plan_seconds = plan_seconds
+        self._plan_cached = plan_cached
+        self._hooks = hooks
+        # Full (limit-applied) answer: a list, or the cache's own tuple.
+        self._rows: Optional[Sequence[Row]] = None
+        # Streamed rows are retained only when a cache store can consume
+        # them at the end; otherwise streaming stays O(1) memory.
+        self._retain = hooks is not None and limit is None
+        self._seen: List[Row] = []              # rows pulled off the stream
+        self._stream: Optional[Iterator[Row]] = None
+        self._exhausted = False
+        self._failed = False
+        self._cursor = 0                        # rows delivered to the caller
+        self._count: Optional[int] = None
+        self._sorted_answer: Optional[Tuple[Row, ...]] = None
+        self._result_cached = False
+        self._execution_seconds = 0.0
+        self._dependencies: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> "PhysicalPlan":
+        return self._plan
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Output column names, in first-occurrence variable order."""
+        return tuple(v.name for v in self._variables)
+
+    @property
+    def query_text(self) -> str:
+        return self._plan.prepared.text
+
+    @property
+    def algorithm(self) -> str:
+        return self._plan.algorithm
+
+    @property
+    def shards(self) -> int:
+        return self._plan.shards
+
+    @property
+    def complete(self) -> bool:
+        """True once the full (limit-applied) answer has been delivered."""
+        return self._rows is not None or self._exhausted
+
+    @property
+    def stats(self) -> ResultStats:
+        """A point-in-time snapshot of timings and provenance."""
+        return ResultStats(
+            query=self.query_text,
+            algorithm=self._plan.algorithm,
+            requested_algorithm=self._plan.prepared.requested_algorithm,
+            partitioning=self._plan.partition_key(),
+            shards=self._plan.shards,
+            plan_cached=self._plan_cached,
+            result_cached=self._result_cached,
+            plan_seconds=self._plan_seconds,
+            execution_seconds=self._execution_seconds,
+            rows_delivered=self._cursor,
+            complete=self.complete,
+            limit=self._limit,
+            total=self._count,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming internals
+    # ------------------------------------------------------------------
+    def _ensure_source(self) -> None:
+        """Bind a row source: cached rows if available, else a live stream."""
+        if self._rows is not None or self._stream is not None \
+                or self._exhausted:
+            return
+        if self._hooks is not None:
+            cached = self._hooks.lookup_rows()
+            if cached is not None:
+                if self._limit is not None:
+                    self._rows = list(cached)[:self._limit]
+                else:
+                    # The cache's own (sorted) tuple, zero copies — it
+                    # indexes like a list for the cursor and is what
+                    # answer() hands back.
+                    self._rows = cached
+                    self._sorted_answer = tuple(cached)
+                self._count = len(self._rows)
+                self._result_cached = True
+                return
+            self._dependencies = self._hooks.snapshot()
+        budget = TimeBudget(self._timeout)
+        bindings = self._engine.executor.bindings(
+            self._engine.database, self._plan,
+            budget=budget, factory=self._engine.make_algorithm,
+            limit=self._limit,
+        )
+        rows = (
+            tuple(binding[v] for v in self._variables)
+            for binding in bindings
+        )
+        if self._limit is not None:
+            rows = islice(rows, self._limit)
+        self._stream = iter(rows)
+
+    def _finish_stream(self) -> None:
+        """The stream is exhausted: record the total, cache if retained."""
+        self._stream = None
+        self._exhausted = True
+        self._count = self._cursor
+        if self._retain:
+            self._rows = self._seen
+            # A limited stream saw only a prefix — _retain is False then,
+            # so only complete answers ever reach the cache.
+            self._sorted_answer = tuple(sorted(self._seen))
+            self._hooks.store_rows(
+                self._dependencies or {}, self._sorted_answer
+            )
+
+    def _pull(self) -> Optional[Row]:
+        """The next undelivered row, or ``None`` at the end of the answer."""
+        if self._failed:
+            raise ExecutionError(
+                "this result set's stream failed mid-way; "
+                "re-run the query for a fresh result set"
+            )
+        self._ensure_source()
+        if self._rows is not None:
+            if self._cursor >= len(self._rows):
+                return None
+            row = self._rows[self._cursor]
+            self._cursor += 1
+            return row
+        if self._exhausted:
+            return None
+        started = time.perf_counter()
+        try:
+            row = next(self._stream)
+        except StopIteration:
+            self._execution_seconds += time.perf_counter() - started
+            self._finish_stream()
+            return None
+        except BaseException:
+            # A failed stream must never masquerade as a clean end: a
+            # dead generator's next() raises StopIteration, which would
+            # otherwise store a truncated answer into the result cache.
+            self._execution_seconds += time.perf_counter() - started
+            self._stream = None
+            self._failed = True
+            raise
+        self._execution_seconds += time.perf_counter() - started
+        if self._retain:
+            self._seen.append(row)
+        self._cursor += 1
+        return row
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        """Stream the remaining bindings, lazily.
+
+        Yields ``{Variable: value}`` mappings exactly as the underlying
+        join algorithms produce them.  The cursor is shared with
+        :meth:`fetchmany` / :meth:`fetchall`; like a DB-API cursor, a
+        fully consumed result set yields nothing more.
+        """
+        while True:
+            row = self._pull()
+            if row is None:
+                return
+            yield dict(zip(self._variables, row))
+
+    def rows(self) -> Iterator[Row]:
+        """Stream the remaining output tuples (cheaper than bindings)."""
+        while True:
+            row = self._pull()
+            if row is None:
+                return
+            yield row
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        """Up to ``size`` more rows; an empty list at the end of the answer."""
+        out: List[Row] = []
+        while len(out) < size:
+            row = self._pull()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> List[Row]:
+        """Every remaining row, materialized."""
+        out: List[Row] = []
+        while True:
+            row = self._pull()
+            if row is None:
+                return out
+            out.append(row)
+
+    def answer(self) -> Tuple[Row, ...]:
+        """The complete answer as a sorted, immutable tuple.
+
+        Drains the stream if needed.  When the result came from (or was
+        just stored into) a session's result cache, this is the cache's
+        own tuple — zero copies, so cache hits cost nothing, and the
+        object is safe to hand to many callers.
+        """
+        if self._sorted_answer is None:
+            consumed_before = self._cursor
+            rows = self.fetchall()
+            if self._sorted_answer is None:
+                if consumed_before:
+                    raise ExecutionError(
+                        "answer() needs the full result, but this result "
+                        "set was partially consumed without retention; "
+                        "re-run the query"
+                    )
+                self._sorted_answer = tuple(sorted(rows))
+        return self._sorted_answer
+
+    def count(self) -> int:
+        """The number of answers (bounded by ``limit``), without streaming.
+
+        Routes through the executor's count path — per-shard counts sum,
+        and counting-optimized algorithms never materialize bindings —
+        unless the answer is already materialized or cached.
+        """
+        if self._count is not None:
+            return self._count
+        if self._rows is not None:
+            self._count = len(self._rows)
+            return self._count
+        if self._limit is not None:
+            # Bounded work: stream at most ``limit`` bindings in a side
+            # execution instead of counting the full answer.  The cursor
+            # of this result set is untouched.
+            if self._limit == 0:
+                self._count = 0
+                return 0
+            if self._hooks is not None:
+                cached = self._hooks.lookup_count()
+                if cached is not None:
+                    self._result_cached = True
+                    self._count = min(self._limit, cached)
+                    return self._count
+            budget = TimeBudget(self._timeout)
+            started = time.perf_counter()
+            bindings = self._engine.executor.bindings(
+                self._engine.database, self._plan,
+                budget=budget, factory=self._engine.make_algorithm,
+                limit=self._limit,
+            )
+            self._count = sum(1 for _ in islice(bindings, self._limit))
+            self._execution_seconds += time.perf_counter() - started
+            return self._count
+        dependencies: Dict[str, int] = {}
+        if self._hooks is not None:
+            cached = self._hooks.lookup_count()
+            if cached is not None:
+                self._result_cached = True
+                self._count = cached
+                return self._count
+            dependencies = self._hooks.snapshot()
+        budget = TimeBudget(self._timeout)
+        started = time.perf_counter()
+        total = self._engine.executor.count(
+            self._engine.database, self._plan,
+            budget=budget, factory=self._engine.make_algorithm,
+        )
+        self._execution_seconds += time.perf_counter() - started
+        if self._hooks is not None:
+            self._hooks.store_count(dependencies, total)
+        self._count = total
+        return self._count

@@ -17,10 +17,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.data.catalog import load_dataset
 from repro.data.sampling import attach_samples
 from repro.datalog.query import ConjunctiveQuery
-from repro.engine import ExecutionResult, QueryEngine
-from repro.exec.partitioner import ParallelConfig
 from repro.queries.patterns import PatternSpec, pattern
 from repro.storage.database import Database
+
+
+def _connect(*args, **kwargs):
+    """Open a session (imported lazily: the session module sits above the
+    bench layer, and the service's workload module imports this one)."""
+    from repro.api.session import connect
+
+    return connect(*args, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -111,13 +117,15 @@ def run_cell(system: str, dataset_name: str, query_name: str,
 
     durations: List[float] = []
     count: Optional[int] = None
-    parallel = ParallelConfig(shards=config.parallel,
-                              mode=config.partition_mode)
-    with QueryEngine(database, timeout=config.timeout,
-                     parallel=parallel) as engine:
-        engine.warm_up()  # pool start-up must not be billed to the cell
+    # Benchmarks measure raw execution: the session's caches are off, so
+    # every repetition pays the full plan + execute cost like the paper's
+    # protocol intends.
+    with _connect(database, timeout=config.timeout, use_cache=False,
+                  parallel=config.parallel,
+                  partition_mode=config.partition_mode) as session:
+        session.engine.warm_up()  # pool start-up is not billed to the cell
         for repetition in range(config.repetitions):
-            result = engine.execute(query, algorithm=system)
+            result = session.execute(query, algorithm=system)
             if not result.succeeded:
                 return BenchmarkCell(
                     system=system, dataset=dataset_name, query=query_name,
@@ -206,8 +214,8 @@ def run_cached_vs_cold(database: Database, query_texts: Sequence[str],
     The stream interleaves ``repeats`` rounds over ``query_texts`` — the
     shape of a parameterized serving workload where the same instances
     recur.  The *cold* path is what the repo offered before the service
-    layer: a fresh :class:`QueryEngine` call that re-parses, re-analyses,
-    and re-executes every request.  The *cached* path serves the identical
+    layer: an uncached session whose every request re-parses, re-analyses,
+    and re-executes.  The *cached* path serves the identical
     stream through :class:`repro.service.QueryService`.  Answers are
     compared request-by-request.
     """
@@ -215,13 +223,13 @@ def run_cached_vs_cold(database: Database, query_texts: Sequence[str],
 
     stream = [text for _ in range(repeats) for text in query_texts]
 
-    engine = QueryEngine(database, timeout=timeout)
     cold_answers: List[Optional[int]] = []
-    cold_started = time.perf_counter()
-    for text in stream:
-        result = engine.execute(text)
-        cold_answers.append(result.count if result.succeeded else None)
-    cold_seconds = time.perf_counter() - cold_started
+    with _connect(database, timeout=timeout, use_cache=False) as session:
+        cold_started = time.perf_counter()
+        for text in stream:
+            result = session.execute(text)
+            cold_answers.append(result.count if result.succeeded else None)
+        cold_seconds = time.perf_counter() - cold_started
 
     cached_answers: List[Optional[int]] = []
     with QueryService(
@@ -309,23 +317,23 @@ def run_serial_vs_partitioned(database: Database,
     stream = [text for _ in range(repeats) for text in query_texts]
 
     serial_counts: List[Optional[int]] = []
-    with QueryEngine(database, timeout=timeout) as engine:
+    with _connect(database, timeout=timeout, use_cache=False) as session:
         serial_started = time.perf_counter()
         for text in stream:
-            result = engine.execute(text)
+            result = session.execute(text)
             serial_counts.append(result.count if result.succeeded else None)
         serial_seconds = time.perf_counter() - serial_started
 
     partitioned_counts: List[Optional[int]] = []
     scheme_keys: Dict[str, str] = {}
-    config = ParallelConfig(shards=shards, mode=mode)
-    with QueryEngine(database, timeout=timeout, parallel=config) as engine:
-        engine.warm_up()  # measure shard execution, not pool start-up
+    with _connect(database, timeout=timeout, use_cache=False,
+                 parallel=shards, partition_mode=mode) as session:
+        session.engine.warm_up()  # measure shards, not pool start-up
         for text in query_texts:
-            scheme_keys[text] = engine.plan(text).partition_key()
+            scheme_keys[text] = session.plan(text).partition_key()
         partitioned_started = time.perf_counter()
         for text in stream:
-            result = engine.execute(text)
+            result = session.execute(text)
             partitioned_counts.append(
                 result.count if result.succeeded else None
             )

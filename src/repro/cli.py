@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Six subcommands cover the everyday workflows:
+Seven subcommands cover the everyday workflows:
 
 ``repro datasets``
     List the dataset catalog (original SNAP sizes and the synthetic
@@ -9,6 +9,11 @@ Six subcommands cover the everyday workflows:
 ``repro query``
     Run one query — either a named benchmark pattern or a Datalog-style
     query text — over a catalog dataset with a chosen join algorithm.
+
+``repro explain``
+    Show the structured plan report for a query without executing it:
+    acyclicity class, attribute order, chosen algorithm and why,
+    partitioning scheme, and statistics-based size estimates.
 
 ``repro bench``
     Run a small benchmark grid (systems × datasets × queries) and print
@@ -28,6 +33,11 @@ Six subcommands cover the everyday workflows:
     through the service and report throughput, latency percentiles, and
     cache effectiveness — including the cached-vs-cold comparison.
 
+Errors are uniform: every failure prints a one-line message to stderr and
+exits with a failure-specific code (see the ``EXIT_*`` constants) instead
+of a traceback — parse failures, unknown algorithms, invalid options, and
+timeouts are each distinguishable by a shell script.
+
 The module is also importable: :func:`main` takes an argument list and
 returns a process exit code, which is how the tests drive it.
 """
@@ -35,20 +45,27 @@ returns a process exit code, which is how the tests drive it.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro import __version__ as repro_version
 from repro.analytics.graph_algorithms import connected_components, pagerank
+from repro.api.options import QueryOptions
+from repro.api.session import Session
 from repro.bench.harness import BenchmarkConfig, run_cached_vs_cold, run_grid
 from repro.bench.reporting import format_table
 from repro.data.catalog import DATASET_CATALOG, dataset_names, load_dataset
 from repro.data.sampling import attach_samples
 from repro.datalog.parser import parse_query
-from repro.engine import QueryEngine
-from repro.errors import ReproError
-from repro.exec import ParallelConfig
+from repro.errors import (
+    OptionsError,
+    ParseError,
+    ReproError,
+    TimeoutExceeded,
+    UnknownAlgorithmError,
+)
 from repro.joins.graph_engine import GraphEngine
 from repro.queries.patterns import QUERY_PATTERNS, build_query, pattern
 from repro.service import (
@@ -58,6 +75,37 @@ from repro.service import (
     WorkloadSpec,
 )
 from repro.storage import Database
+
+#: Distinct process exit codes, one per failure class (2 is argparse's).
+EXIT_ERROR = 1              # any other library error
+EXIT_USAGE = 2              # bad command line (argparse)
+EXIT_PARSE = 3              # query text could not be parsed
+EXIT_UNKNOWN_ALGORITHM = 4  # algorithm not in the engine registry
+EXIT_BAD_OPTIONS = 5        # invalid query options (parallel < 1, ...)
+EXIT_TIMEOUT = 6            # soft timeout exceeded
+
+
+def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
+    """The shared "which query on which dataset, how" argument block."""
+    sub.add_argument("--dataset", required=True, choices=dataset_names(),
+                     help="catalog dataset to query")
+    group = sub.add_mutually_exclusive_group(required=True)
+    group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
+                      help="named benchmark pattern")
+    group.add_argument("--text", help="Datalog-style query text")
+    sub.add_argument("--algorithm", default="auto",
+                     help="join algorithm (default: auto)")
+    sub.add_argument("--selectivity", type=int, default=10,
+                     help="node-sample selectivity for patterns that need "
+                          "v1/v2 relations (default: 10)")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (default: 1.0)")
+    sub.add_argument("--parallel", type=int, default=1, metavar="N",
+                     help="partition the query into N shards evaluated on "
+                          "N worker processes (default: 1, serial)")
+    sub.add_argument("--partition-mode", default="auto",
+                     choices=("auto", "hash", "hypercube"),
+                     help="partitioning scheme for --parallel (default: auto)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,27 +121,18 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("datasets", help="list the dataset catalog")
 
     query = subparsers.add_parser("query", help="run one query on a dataset")
-    query.add_argument("--dataset", required=True, choices=dataset_names(),
-                       help="catalog dataset to query")
-    group = query.add_mutually_exclusive_group(required=True)
-    group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
-                       help="named benchmark pattern")
-    group.add_argument("--text", help="Datalog-style query text")
-    query.add_argument("--algorithm", default="auto",
-                       help="join algorithm (default: auto)")
-    query.add_argument("--selectivity", type=int, default=10,
-                       help="node-sample selectivity for patterns that need "
-                            "v1/v2 relations (default: 10)")
+    _add_target_arguments(query)
     query.add_argument("--timeout", type=float, default=None,
                        help="soft timeout in seconds")
-    query.add_argument("--scale", type=float, default=1.0,
-                       help="dataset scale factor (default: 1.0)")
-    query.add_argument("--parallel", type=int, default=1, metavar="N",
-                       help="partition the query into N shards evaluated on "
-                            "N worker processes (default: 1, serial)")
-    query.add_argument("--partition-mode", default="auto",
-                       choices=("auto", "hash", "hypercube"),
-                       help="partitioning scheme for --parallel (default: auto)")
+    query.add_argument("--limit", type=int, default=None, metavar="K",
+                       help="stop after K output tuples (streamed lazily)")
+
+    explain = subparsers.add_parser(
+        "explain", help="show the plan for a query without executing it"
+    )
+    _add_target_arguments(explain)
+    explain.add_argument("--json", action="store_true",
+                         help="emit the structured report as JSON")
 
     bench = subparsers.add_parser("bench", help="run a small benchmark grid")
     bench.add_argument("--systems", default="lb/lftj,lb/ms,psql",
@@ -188,7 +227,15 @@ def _cmd_datasets() -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _target_session(args: argparse.Namespace,
+                    timeout: Optional[float] = None) -> Tuple[Session, object]:
+    """Build the (session, query) pair a query/explain invocation targets.
+
+    Options validate first — an invalid ``--parallel`` is rejected before
+    the dataset is even loaded.
+    """
+    options = QueryOptions(timeout=timeout, parallel=args.parallel,
+                           partition_mode=args.partition_mode)
     database = Database([load_dataset(args.dataset, scale=args.scale)])
     if args.pattern:
         spec = pattern(args.pattern)
@@ -198,22 +245,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = spec.build()
     else:
         query = parse_query(args.text)
-    parallel = ParallelConfig(shards=args.parallel, mode=args.partition_mode)
-    with QueryEngine(database, timeout=args.timeout,
-                     parallel=parallel) as engine:
-        result = engine.execute(query, algorithm=args.algorithm)
+    return Session(database, options=options), query
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    session, query = _target_session(args, timeout=args.timeout)
+    with session:
+        result_set = session.run(query, algorithm=args.algorithm,
+                                 limit=args.limit)
+        count = result_set.count()
+        stats = result_set.stats
     label = args.pattern or args.text
-    sharding = f", {result.shards} shards" if result.shards > 1 else ""
-    if result.timed_out:
-        print(f"{label} on {args.dataset}: timed out after "
-              f"{result.seconds:.1f}s ({result.algorithm}{sharding})")
-        return 2
-    if result.error:
-        print(f"{label} on {args.dataset}: unsupported by "
-              f"{result.algorithm}: {result.error}")
-        return 2
-    print(f"{label} on {args.dataset}: {result.count:,} results in "
-          f"{result.seconds:.3f}s using {result.algorithm}{sharding}")
+    sharding = f", {stats.shards} shards" if stats.shards > 1 else ""
+    limited = f" (limit {args.limit})" if args.limit is not None else ""
+    print(f"{label} on {args.dataset}: {count:,} results{limited} in "
+          f"{stats.seconds:.3f}s using {stats.algorithm}{sharding}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    session, query = _target_session(args)
+    with session:
+        report = session.explain(query, algorithm=args.algorithm)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 
@@ -360,8 +417,21 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail(message: str, code: int) -> int:
+    """Print a one-line error to stderr and return the exit code."""
+    print(" ".join(message.split()), file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Every library failure maps to a one-line stderr message and a
+    failure-specific exit code — never a traceback: parse errors exit
+    ``EXIT_PARSE``, unknown algorithms ``EXIT_UNKNOWN_ALGORITHM``,
+    invalid options ``EXIT_BAD_OPTIONS``, timeouts ``EXIT_TIMEOUT``, and
+    anything else the library can diagnose ``EXIT_ERROR``.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
@@ -369,6 +439,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_datasets()
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "analyze":
@@ -377,9 +449,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "workload":
             return _cmd_workload(args)
+    except ParseError as error:
+        return _fail(f"parse error: {error}", EXIT_PARSE)
+    except UnknownAlgorithmError as error:
+        return _fail(f"error: {error}", EXIT_UNKNOWN_ALGORITHM)
+    except OptionsError as error:
+        return _fail(f"invalid options: {error}", EXIT_BAD_OPTIONS)
+    except TimeoutExceeded as error:
+        return _fail(f"timed out: {error}", EXIT_TIMEOUT)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(f"error: {error}", EXIT_ERROR)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

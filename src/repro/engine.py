@@ -27,6 +27,14 @@ accept raw query text, a :class:`ConjunctiveQuery`, a
 :class:`PreparedQuery`, or a :class:`~repro.exec.plan.PhysicalPlan`; the
 service layer's plan cache (:mod:`repro.service.plan_cache`) stores
 compiled plans so repeated parameterized queries skip both halves.
+
+Execution itself has one surface: :meth:`QueryEngine.run` takes a frozen
+:class:`~repro.api.options.QueryOptions` bundle — validated at this
+boundary — and returns a lazy, streaming
+:class:`~repro.api.result.ResultSet`.  The historical entry points
+(:meth:`count`, :meth:`bindings`, :meth:`tuples`, :meth:`execute`) are
+thin shims over it, and the session facade (:func:`repro.connect`)
+layers plan/result caches on the same path.
 """
 
 from __future__ import annotations
@@ -35,7 +43,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ExecutionError, ReproError, TimeoutExceeded
+from repro.api.options import QueryOptions
+from repro.api.result import ResultCacheHooks, ResultSet
+from repro.errors import (
+    ExecutionError,
+    ReproError,
+    TimeoutExceeded,
+    UnknownAlgorithmError,
+)
 from repro.datalog.gao import GAOChoice, select_gao
 from repro.datalog.hypergraph import Hypergraph
 from repro.datalog.parser import parse_query
@@ -93,6 +108,49 @@ class ExecutionResult:
         if not self.succeeded:
             return "-"
         return f"{self.seconds:.{precision}f}"
+
+
+def run_to_record(supplier: Callable[[], ResultSet], algorithm: str,
+                  query) -> ExecutionResult:
+    """Drive a lazy result set to a count and record the outcome.
+
+    The shared error-to-record mapping behind :meth:`QueryEngine.execute`
+    and ``Session.execute``: planning errors, timeouts, and unsupported
+    queries become error/timeout records instead of exceptions, so a
+    benchmark grid or a serving worker never crashes on one bad cell.
+    ``supplier`` runs the (validating, planning) half and returns the
+    :class:`~repro.api.result.ResultSet` to count.
+    """
+    try:
+        result_set = supplier()
+    except ReproError as error:
+        return ExecutionResult(
+            algorithm=algorithm, query=str(query), count=None,
+            seconds=0.0, error=str(error),
+        )
+    started = time.perf_counter()
+    try:
+        count = result_set.count()
+    except TimeoutExceeded:
+        return ExecutionResult(
+            algorithm=result_set.algorithm, query=result_set.query_text,
+            count=None, seconds=time.perf_counter() - started,
+            timed_out=True, shards=result_set.shards,
+        )
+    except ReproError as error:
+        # Anything the library can diagnose — unsupported queries,
+        # missing relations, schema mismatches — renders as an error
+        # cell rather than crashing the caller.
+        return ExecutionResult(
+            algorithm=result_set.algorithm, query=result_set.query_text,
+            count=None, seconds=time.perf_counter() - started,
+            error=str(error), shards=result_set.shards,
+        )
+    return ExecutionResult(
+        algorithm=result_set.algorithm, query=result_set.query_text,
+        count=count, seconds=time.perf_counter() - started,
+        shards=result_set.shards,
+    )
 
 
 @dataclass(frozen=True)
@@ -236,7 +294,9 @@ class QueryEngine:
         factory = self._registry.get(name)
         if factory is None:
             known = ", ".join(self.algorithms())
-            raise ExecutionError(f"unknown algorithm {name!r}; known: {known}")
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {name!r}; known: {known}"
+            )
         return factory(budget)
 
     # ------------------------------------------------------------------
@@ -281,7 +341,9 @@ class QueryEngine:
             name = algorithm
         if name != "auto" and name not in self._registry:
             known = ", ".join(self.algorithms())
-            raise ExecutionError(f"unknown algorithm {name!r}; known: {known}")
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {name!r}; known: {known}"
+            )
         gao: Optional[GAOChoice] = None
         if name in _GAO_DRIVEN or (name in _NEO_DRIVEN and beta_acyclic):
             gao = select_gao(resolved, policy="auto")
@@ -360,87 +422,85 @@ class QueryEngine:
         return plan
 
     # ------------------------------------------------------------------
-    # Execution — every entry point goes through the plan/executor seam
+    # Execution — run(options) -> ResultSet is the one execution surface;
+    # the legacy entry points below are thin shims over it.
     # ------------------------------------------------------------------
+    def run(self, query, options: Optional[QueryOptions] = None,
+            **overrides) -> ResultSet:
+        """Run ``query`` under a :class:`QueryOptions` bundle, lazily.
+
+        Validation happens here, at the API boundary: a ``parallel`` below
+        1 or an unknown ``partition_mode`` raises
+        :class:`~repro.errors.OptionsError` (a ``ValueError``) before any
+        planning starts.  The returned
+        :class:`~repro.api.result.ResultSet` executes nothing until
+        consumed; iteration streams through the executor's shard-merge
+        path.  ``use_cache`` is a session-level concern — an engine has no
+        caches, so it is ignored here.
+        """
+        options = QueryOptions.resolve(options, overrides)
+        plan = self.plan(
+            query, options.algorithm,
+            options.parallel_request(self.parallel),
+        )
+        return self.run_plan(plan, timeout=options.timeout,
+                             limit=options.limit)
+
+    def run_plan(self, plan: PhysicalPlan, *,
+                 timeout: Optional[float] = None,
+                 limit: Optional[int] = None,
+                 plan_seconds: float = 0.0,
+                 plan_cached: bool = False,
+                 hooks: Optional[ResultCacheHooks] = None) -> ResultSet:
+        """Wrap an already-compiled plan in a lazy :class:`ResultSet`.
+
+        The session layer calls this with its cache hooks and plan-cache
+        provenance; :meth:`run` calls it bare.  ``timeout=None`` inherits
+        the engine default.
+        """
+        plan = self._check_plan(plan)
+        return ResultSet(
+            self, plan,
+            timeout=timeout if timeout is not None else self.timeout,
+            limit=limit,
+            plan_seconds=plan_seconds,
+            plan_cached=plan_cached,
+            hooks=hooks,
+        )
+
     def count(self, query, algorithm: str = "auto",
               timeout: Optional[float] = None,
               parallel: Optional[object] = None) -> int:
         """The number of output tuples; raises on timeout or error."""
-        plan = self._check_plan(self.plan(query, algorithm, parallel))
-        budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self.executor.count(
-            self.database, plan, budget=budget, factory=self.make_algorithm
-        )
+        options = QueryOptions.from_legacy(algorithm, timeout, parallel)
+        return self.run(query, options).count()
 
     def bindings(self, query, algorithm: str = "auto",
                  timeout: Optional[float] = None,
                  parallel: Optional[object] = None):
         """Iterate the output bindings of ``query``."""
-        plan = self._check_plan(self.plan(query, algorithm, parallel))
-        budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self.executor.bindings(
-            self.database, plan, budget=budget, factory=self.make_algorithm
-        )
+        options = QueryOptions.from_legacy(algorithm, timeout, parallel)
+        return iter(self.run(query, options))
 
     def tuples(self, query, algorithm: str = "auto",
                timeout: Optional[float] = None,
                parallel: Optional[object] = None) -> List[Tuple[int, ...]]:
         """The sorted output tuples in first-occurrence variable order."""
-        plan = self._check_plan(self.plan(query, algorithm, parallel))
-        budget = TimeBudget(timeout if timeout is not None else self.timeout)
-        return self.executor.tuples(
-            self.database, plan, budget=budget, factory=self.make_algorithm
-        )
+        options = QueryOptions.from_legacy(algorithm, timeout, parallel)
+        rows = self.run(query, options).fetchall()
+        rows.sort()
+        return rows
 
     def execute(self, query, algorithm: str = "auto",
                 timeout: Optional[float] = None,
                 parallel: Optional[object] = None) -> ExecutionResult:
         """Run a count query and capture timing, timeouts, and errors."""
-        try:
-            plan = self._check_plan(self.plan(query, algorithm, parallel))
-        except ReproError as error:
-            return ExecutionResult(
-                algorithm=algorithm, query=str(query), count=None,
-                seconds=0.0, error=str(error),
-            )
-        prepared = plan.prepared
-        effective_timeout = timeout if timeout is not None else self.timeout
-        budget = TimeBudget(effective_timeout)
-        started = time.perf_counter()
-        try:
-            count = self.executor.count(
-                self.database, plan, budget=budget,
-                factory=self.make_algorithm,
-            )
-            return ExecutionResult(
-                algorithm=prepared.algorithm,
-                query=prepared.text,
-                count=count,
-                seconds=time.perf_counter() - started,
-                shards=plan.shards,
-            )
-        except TimeoutExceeded:
-            return ExecutionResult(
-                algorithm=prepared.algorithm,
-                query=prepared.text,
-                count=None,
-                seconds=time.perf_counter() - started,
-                timed_out=True,
-                shards=plan.shards,
-            )
-        except ReproError as error:
-            # Anything the library can diagnose — unsupported queries,
-            # missing relations, schema mismatches — renders as an error
-            # cell rather than crashing a benchmark grid or a serving
-            # worker.
-            return ExecutionResult(
-                algorithm=prepared.algorithm,
-                query=prepared.text,
-                count=None,
-                seconds=time.perf_counter() - started,
-                error=str(error),
-                shards=plan.shards,
-            )
+        return run_to_record(
+            lambda: self.run(
+                query, QueryOptions.from_legacy(algorithm, timeout, parallel)
+            ),
+            algorithm, query,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -28,8 +28,21 @@ class StorageError(ReproError):
     """A storage-layer invariant was violated (bad index, bad arity, ...)."""
 
 
+class OptionsError(ReproError, ValueError):
+    """Invalid query options were rejected at the client-API boundary.
+
+    Derives from :class:`ValueError` so plain-Python callers can catch it
+    without importing the library's hierarchy, and from :class:`ReproError`
+    so existing ``except ReproError`` request paths keep working.
+    """
+
+
 class ExecutionError(ReproError):
     """A join algorithm was asked to do something it does not support."""
+
+
+class UnknownAlgorithmError(ExecutionError):
+    """A requested join algorithm is not in the engine's registry."""
 
 
 class PlanningError(ReproError):

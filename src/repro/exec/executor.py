@@ -27,6 +27,7 @@ import os
 import sys
 import threading
 import time
+from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, TimeoutExceeded
@@ -49,7 +50,11 @@ AlgorithmFactory = Callable[[str, Optional[TimeBudget]], JoinAlgorithm]
 #: One shard of work, fully self-contained and picklable.  The deadline
 #: is an absolute ``time.monotonic()`` instant (comparable across
 #: processes on one host), so time a shard spends queued behind other
-#: shards or in transit counts against its budget.
+#: shards or in transit counts against its budget.  The limit caps how
+#: many rows a "tuples" shard enumerates: shard outputs are disjoint, so
+#: any ``limit`` rows from any shards serve a ``limit``-row prefix, and
+#: capping per shard keeps a small-limit query from paying for the full
+#: join on every worker.
 ShardTask = Tuple[
     Dict[str, EncodedRelation],  # encoded shard catalog
     object,                      # rewritten ConjunctiveQuery
@@ -57,6 +62,7 @@ ShardTask = Tuple[
     Optional[Tuple[str, ...]],   # precomputed GAO names
     str,                         # "count" | "tuples"
     Optional[float],             # absolute monotonic deadline, or None
+    Optional[int],               # row limit for "tuples" mode, or None
 ]
 
 
@@ -91,7 +97,7 @@ def run_shard(task: ShardTask):
     the algorithm from the *default* registry, and returns either a count
     or the shard's sorted output tuples.
     """
-    encoded, query, algorithm, gao_names, mode, deadline = task
+    encoded, query, algorithm, gao_names, mode, deadline, limit = task
     budget = None
     if deadline is not None:
         remaining = deadline - time.monotonic()
@@ -103,9 +109,12 @@ def run_shard(task: ShardTask):
     if mode == "count":
         return instance.count(database, query)
     variables = query.variables
+    bindings = instance.enumerate_bindings(database, query)
+    if limit is not None:
+        bindings = islice(bindings, limit)
     rows = [
         tuple(binding[v] for v in variables)
-        for binding in instance.enumerate_bindings(database, query)
+        for binding in bindings
     ]
     rows.sort()
     return rows
@@ -135,9 +144,15 @@ class PlanExecutor(abc.ABC):
     @abc.abstractmethod
     def bindings(self, database: Database, plan: PhysicalPlan,
                  budget: Optional[TimeBudget] = None,
-                 factory: Optional[AlgorithmFactory] = None
-                 ) -> Iterator[Binding]:
-        """Iterate output bindings (order unspecified, as for algorithms)."""
+                 factory: Optional[AlgorithmFactory] = None,
+                 limit: Optional[int] = None) -> Iterator[Binding]:
+        """Iterate output bindings (order unspecified, as for algorithms).
+
+        ``limit`` is a laziness hint: the caller will consume at most that
+        many bindings, so executors that pay for whole shards up front
+        (the process pool) cap per-shard enumeration.  It is not a slice
+        — an executor may still yield more; callers truncate themselves.
+        """
 
     def close(self) -> None:
         """Release executor resources (worker pools); idempotent."""
@@ -192,7 +207,10 @@ class SerialPlanExecutor(PlanExecutor):
         rows.sort()
         return rows
 
-    def bindings(self, database, plan, budget=None, factory=None):
+    def bindings(self, database, plan, budget=None, factory=None,
+                 limit=None):
+        # In-process enumeration is a true generator, so the limit hint
+        # is moot: unconsumed bindings are never computed.
         if plan.scheme is None:
             instance = self._instantiate(plan, budget, factory)
             yield from instance.enumerate_bindings(
@@ -277,7 +295,8 @@ class ProcessPlanExecutor(PlanExecutor):
 
     # ------------------------------------------------------------------
     def _tasks(self, database: Database, plan: PhysicalPlan, mode: str,
-               budget: Optional[TimeBudget]) -> List[ShardTask]:
+               budget: Optional[TimeBudget],
+               limit: Optional[int] = None) -> List[ShardTask]:
         # Custom algorithms registered on one engine instance do not exist
         # in a fresh worker process; fail with a clear message instead of
         # an opaque unpickling/KeyError from the pool.
@@ -314,6 +333,7 @@ class ProcessPlanExecutor(PlanExecutor):
                 plan.gao_names,
                 mode,
                 deadline,
+                limit,
             ))
         return tasks
 
@@ -337,10 +357,22 @@ class ProcessPlanExecutor(PlanExecutor):
         # yields the exact sorted union without a dedup pass.
         return list(heapq.merge(*shard_rows))
 
-    def bindings(self, database, plan, budget=None, factory=None):
+    def bindings(self, database, plan, budget=None, factory=None,
+                 limit=None):
         if plan.scheme is None or plan.shards == 1:
             yield from self._serial.bindings(database, plan, budget, factory)
             return
+        # Stream shard results as they land instead of collecting the full
+        # merged list first: the first finished shard's answers reach the
+        # consumer while the other shards are still joining.  Binding
+        # order is unspecified (as for the algorithms themselves), so the
+        # unordered variant's completion-order arrival is fine.  The limit
+        # hint caps each shard's enumeration — shard outputs are disjoint,
+        # so any `limit` rows form a valid prefix — keeping a small-limit
+        # query from paying for the full join on every worker.
         variables = plan.prepared.query.variables
-        for row in self.tuples(database, plan, budget, factory):
-            yield dict(zip(variables, row))
+        tasks = self._tasks(database, plan, "tuples", budget, limit)
+        pool = self._ensure_pool()
+        for shard_rows in pool.imap_unordered(run_shard, tasks, chunksize=1):
+            for row in shard_rows:
+                yield dict(zip(variables, row))

@@ -159,7 +159,8 @@ class PlanCache:
 
     def get_or_plan(self, engine: QueryEngine, text: str,
                     algorithm: str = "auto",
-                    parallel: Optional[object] = None
+                    parallel: Optional[object] = None,
+                    source: Optional[object] = None
                     ) -> Tuple[PhysicalPlan, bool]:
         """Return ``(physical plan, was_hit)`` for one partitioning choice.
 
@@ -167,6 +168,12 @@ class PlanCache:
         (:meth:`~repro.exec.partitioner.ParallelConfig.key`), so the same
         shape served serially and at 4-way parallelism occupies two
         entries and neither ever shadows the other.
+
+        ``source``, when given, is what a miss compiles (an
+        already-resolved :class:`~repro.datalog.query.ConjunctiveQuery`);
+        ``text`` then serves only as the cache key.  Headed queries render
+        with a ``:- `` head that the parser has no grammar for, so their
+        text form must never be re-parsed.
         """
         from repro.exec.partitioner import ParallelConfig
 
@@ -188,8 +195,8 @@ class PlanCache:
                 self.stats.misses += 1
         if hit:
             return cached, True
-        plan = engine.plan(
-            cached if cached is not None else text, algorithm, config
-        )
+        if cached is None:
+            cached = source if source is not None else text
+        plan = engine.plan(cached, algorithm, config)
         self.put(text, algorithm, plan, partition)
         return plan, False

@@ -33,6 +33,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from repro.api.options import QueryOptions
 from repro.engine import PreparedQuery, QueryEngine
 from repro.errors import ExecutionError, ReproError, TimeoutExceeded
 from repro.exec.partitioner import ParallelConfig
@@ -162,6 +163,23 @@ class QueryService:
         self.result_cache = ResultCache(
             database, self.config.result_cache_size
         )
+        # The session is the execution surface: the service's request path
+        # is a thin shim over Session.run + QueryOptions, sharing the
+        # service's engine and caches.  (Imported here: the session module
+        # sits above this package in the layer stack, so a module-level
+        # import would be circular.)
+        from repro.api.session import Session
+
+        self.session = Session(
+            database,
+            options=QueryOptions(
+                algorithm=self.config.default_algorithm,
+                timeout=self.config.default_timeout,
+            ),
+            engine=self.engine,
+            plan_cache=self.plan_cache,
+            result_cache=self.result_cache,
+        )
         self.pool = WorkerPool(self.config.workers, self.config.max_pending)
         self._counter_lock = threading.Lock()
         self._executed = 0
@@ -187,83 +205,67 @@ class QueryService:
     def execute(self, query: Union[str, PreparedQuery, PhysicalPlan],
                 algorithm: Optional[str] = None, mode: str = "count",
                 timeout: Optional[float] = None) -> QueryOutcome:
-        """Serve one query synchronously through the cache hierarchy."""
+        """Serve one query synchronously through the cache hierarchy.
+
+        A thin shim over :meth:`repro.api.session.Session.run`: the
+        session handles plan caching, the result cache (lookup at first
+        access, store on full materialization, pre-execution dependency
+        snapshots), and lazy execution; this wrapper maps the outcome onto
+        the service's :class:`QueryOutcome` record and counters.
+        """
         if mode not in self._MODES:
             raise ExecutionError(
                 f"unknown mode {mode!r}; expected one of {self._MODES}"
             )
         algorithm = algorithm or self.config.default_algorithm
         started = time.perf_counter()
-
-        # 1. Plan: compile shape + partitioning, or fetch the cached plan.
         try:
-            if isinstance(query, (PreparedQuery, PhysicalPlan)):
-                plan, plan_hit = self.engine.plan(query, algorithm), True
-            else:
-                plan, plan_hit = self.plan_cache.get_or_plan(
-                    self.engine, query, algorithm
-                )
+            options = self.session.options(
+                algorithm=algorithm, timeout=timeout
+            )
+            result_set = self.session.run(query, options)
         except ReproError as error:
             return QueryOutcome(
                 query=str(query), mode=mode, algorithm=algorithm,
                 seconds=time.perf_counter() - started, error=str(error),
             )
-        prepared = plan.prepared
-
-        # 2. Result: an identical instance answered against the current
-        #    relation versions needs no execution at all.
-        key = (prepared.text, prepared.algorithm, mode)
-        entry = self.result_cache.lookup(key)
-        if entry is not None:
-            with self._counter_lock:
-                self._served_from_cache += 1
-            return QueryOutcome(
-                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
-                value=entry.value, seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, result_cached=True, shards=plan.shards,
-            )
-
-        # 3. Execute under the per-query soft time budget.  Dependency
-        #    versions are snapshotted *before* execution so a relation
-        #    swapped mid-query yields an entry the next lookup rejects,
-        #    never a stale answer blessed with post-change versions.
-        dependencies = self.result_cache.snapshot(
-            prepared.query.relation_names
-        )
-        effective_timeout = (
-            timeout if timeout is not None else self.config.default_timeout
-        )
         try:
             if mode == "count":
-                value: object = self.engine.count(
-                    plan, timeout=effective_timeout
-                )
+                value: object = result_set.count()
             else:
-                # Stored (and returned) as an immutable tuple: the cache
-                # hands the same object to every hit, so a mutable list
-                # would let one caller poison every later answer.
-                value = tuple(
-                    self.engine.tuples(plan, timeout=effective_timeout)
-                )
+                # An immutable tuple: the cache hands the same object to
+                # every hit (answer() returns the cache's own tuple), so
+                # no caller can poison later answers.
+                value = result_set.answer()
         except TimeoutExceeded:
             return QueryOutcome(
-                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+                query=result_set.query_text, mode=mode,
+                algorithm=result_set.algorithm,
                 seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, timed_out=True, shards=plan.shards,
+                plan_cached=result_set.stats.plan_cached,
+                timed_out=True, shards=result_set.shards,
             )
         except ReproError as error:
             return QueryOutcome(
-                query=prepared.text, mode=mode, algorithm=prepared.algorithm,
+                query=result_set.query_text, mode=mode,
+                algorithm=result_set.algorithm,
                 seconds=time.perf_counter() - started,
-                plan_cached=plan_hit, error=str(error), shards=plan.shards,
+                plan_cached=result_set.stats.plan_cached,
+                error=str(error), shards=result_set.shards,
             )
+        stats = result_set.stats
         with self._counter_lock:
-            self._executed += 1
-        self.result_cache.store(key, dependencies, value)
+            if stats.result_cached:
+                self._served_from_cache += 1
+            else:
+                self._executed += 1
         return QueryOutcome(
-            query=prepared.text, mode=mode, algorithm=prepared.algorithm,
-            value=value, seconds=time.perf_counter() - started,
-            plan_cached=plan_hit, shards=plan.shards,
+            query=result_set.query_text, mode=mode,
+            algorithm=result_set.algorithm, value=value,
+            seconds=time.perf_counter() - started,
+            plan_cached=stats.plan_cached,
+            result_cached=stats.result_cached,
+            shards=result_set.shards,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,102 @@
+"""Golden tests for Session.explain: one β-acyclic query, one cyclic."""
+
+import json
+
+import pytest
+
+from repro.api import Explain, connect
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def session():
+    with connect(graph_database(20, 60, seed=4)) as active:
+        yield active
+
+
+class TestBetaAcyclicGolden:
+    def test_structure_and_algorithm_choice(self, session):
+        report = session.explain(PATH)
+        assert isinstance(report, Explain)
+        assert report.acyclicity == "β-acyclic"
+        assert report.beta_acyclic and report.alpha_acyclic
+        assert report.algorithm == "ms"          # auto → Minesweeper
+        assert report.requested_algorithm == "auto"
+        assert "instance-optimal" in report.reason
+        assert report.gao is not None and report.gao_is_neo
+
+    def test_partitioning_scheme_is_hash(self, session):
+        report = session.explain(PATH, parallel=2)
+        assert report.partitioning.startswith("hash[")
+        assert report.partition_mode == "hash"
+        assert report.shards == 2
+        assert len(report.grid) == 1
+
+    def test_estimate_fields_present(self, session):
+        report = session.explain(PATH)
+        names = {estimate.name for estimate in report.relation_estimates}
+        assert names == {"edge", "v1", "v2"}
+        for estimate in report.relation_estimates:
+            assert estimate.cardinality > 0
+            assert len(estimate.distinct_counts) >= 1
+        assert report.agm_bound is not None
+        assert report.agm_bound >= session.run(PATH).count()
+
+
+class TestCyclicGolden:
+    def test_structure_and_algorithm_choice(self, session):
+        report = session.explain(TRIANGLE)
+        assert report.acyclicity == "cyclic"
+        assert not report.beta_acyclic and not report.alpha_acyclic
+        assert report.algorithm == "lftj"        # auto → LFTJ
+        assert "worst-case optimal" in report.reason
+        assert not report.gao_is_neo
+
+    def test_partitioning_scheme_is_hypercube(self, session):
+        report = session.explain(TRIANGLE, parallel=4)
+        assert report.partitioning.startswith("hypercube[")
+        assert report.partition_mode == "hypercube"
+        assert report.shards == 4
+        shard_product = 1
+        for _, dims in report.grid:
+            shard_product *= dims
+        assert shard_product == 4
+        assert report.fragmented  # per-atom fragments exist
+
+    def test_estimate_fields_present(self, session):
+        report = session.explain(TRIANGLE)
+        assert report.agm_bound is not None
+        assert report.agm_bound >= session.run(TRIANGLE).count()
+        assert report.relation_estimates[0].name == "edge"
+
+
+class TestReportSurface:
+    def test_render_mentions_every_section(self, session):
+        text = session.explain(TRIANGLE, parallel=4).render()
+        for fragment in ("query:", "structure:", "algorithm:",
+                         "partitioning:", "statistics:",
+                         "output bound (AGM)", "physical plan:"):
+            assert fragment in text
+
+    def test_as_dict_is_json_serializable(self, session):
+        report = session.explain(PATH, parallel=2)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["algorithm"] == "ms"
+        assert payload["beta_acyclic"] is True
+        assert payload["shards"] == 2
+        assert payload["grid"][0][1] == 2
+
+    def test_explicit_algorithm_reason(self, session):
+        report = session.explain(TRIANGLE, algorithm="naive")
+        assert report.algorithm == "naive"
+        assert "explicitly requested" in report.reason
+
+    def test_serial_plan_reports_serial(self, session):
+        report = session.explain(TRIANGLE)
+        assert report.partitioning == "serial"
+        assert report.shards == 1
+        assert report.grid == ()

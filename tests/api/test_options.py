@@ -1,0 +1,136 @@
+"""QueryOptions: central validation at the client-API boundary."""
+
+import pytest
+
+from repro.api import QueryOptions
+from repro.engine import QueryEngine
+from repro.errors import OptionsError, ReproError
+from repro.exec import ParallelConfig
+from repro.storage import Database, edge_relation_from_pairs
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    pairs = [(0, 1), (1, 2), (0, 2), (2, 3)]
+    return QueryEngine(Database([edge_relation_from_pairs(pairs)]))
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        options = QueryOptions()
+        assert options.algorithm == "auto"
+        assert options.parallel is None
+        assert options.use_cache is True
+
+    @pytest.mark.parametrize("parallel", [0, -3])
+    def test_parallel_below_one_is_a_value_error(self, parallel):
+        with pytest.raises(ValueError, match="at least 1"):
+            QueryOptions(parallel=parallel)
+
+    def test_options_error_is_both_value_and_repro_error(self):
+        with pytest.raises(OptionsError) as excinfo:
+            QueryOptions(parallel=0)
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, ReproError)
+
+    @pytest.mark.parametrize("parallel", [True, 2.5, "four"])
+    def test_non_int_parallel_rejected(self, parallel):
+        with pytest.raises(OptionsError):
+            QueryOptions(parallel=parallel)
+
+    def test_unknown_partition_mode_is_a_value_error(self):
+        with pytest.raises(ValueError, match="partition mode"):
+            QueryOptions(partition_mode="mercator")
+
+    @pytest.mark.parametrize("timeout", [-1, -0.5, "soon", True])
+    def test_bad_timeout_rejected(self, timeout):
+        with pytest.raises(OptionsError):
+            QueryOptions(timeout=timeout)
+
+    @pytest.mark.parametrize("limit", [-1, 1.5, True])
+    def test_bad_limit_rejected(self, limit):
+        with pytest.raises(OptionsError):
+            QueryOptions(limit=limit)
+
+    @pytest.mark.parametrize("algorithm", ["", None, 7])
+    def test_bad_algorithm_rejected(self, algorithm):
+        with pytest.raises(OptionsError):
+            QueryOptions(algorithm=algorithm)
+
+
+class TestBoundaryValidation:
+    """Legacy kwargs validate at the entry point, not deep in the stack."""
+
+    def test_engine_count_rejects_parallel_zero(self, engine):
+        with pytest.raises(ValueError):
+            engine.count(TRIANGLE, parallel=0)
+
+    def test_engine_tuples_rejects_unknown_mode_early(self, engine):
+        with pytest.raises(ValueError):
+            engine.run(TRIANGLE, partition_mode="diagonal")
+
+    def test_engine_run_rejects_before_planning(self, engine):
+        # Even an unparsable query is never touched: options fail first.
+        with pytest.raises(OptionsError):
+            engine.run("this is ( not a query", parallel=-1)
+
+
+class TestMerging:
+    def test_merged_overrides(self):
+        base = QueryOptions(algorithm="lftj", timeout=5.0)
+        merged = base.merged(parallel=4, partition_mode="hash")
+        assert merged.algorithm == "lftj"
+        assert merged.parallel == 4
+        assert merged.partition_mode == "hash"
+        assert merged.timeout == 5.0
+
+    def test_merged_ignores_none(self):
+        base = QueryOptions(timeout=5.0)
+        assert base.merged(timeout=None) is base
+
+    def test_merged_validates(self):
+        with pytest.raises(OptionsError):
+            QueryOptions().merged(parallel=0)
+
+    def test_unknown_option_name_rejected(self):
+        with pytest.raises(OptionsError, match="unknown query option"):
+            QueryOptions().merged(paralell=4)
+
+    def test_resolve_prefers_explicit_options_over_defaults(self):
+        defaults = QueryOptions(algorithm="ms")
+        explicit = QueryOptions(algorithm="lftj")
+        resolved = QueryOptions.resolve(explicit, {"parallel": 2},
+                                        defaults=defaults)
+        assert resolved.algorithm == "lftj"
+        assert resolved.parallel == 2
+
+
+class TestLegacyAdapter:
+    def test_from_parallel_config(self):
+        options = QueryOptions.from_legacy(
+            "ms", 3.0, ParallelConfig(shards=4, mode="hypercube")
+        )
+        assert options.algorithm == "ms"
+        assert options.timeout == 3.0
+        assert options.parallel == 4
+        assert options.partition_mode == "hypercube"
+
+    def test_from_int(self):
+        assert QueryOptions.from_legacy(parallel=2).parallel == 2
+
+    def test_from_none_inherits(self):
+        options = QueryOptions.from_legacy()
+        assert options.parallel is None
+        assert options.parallel_request() is None
+
+    def test_parallel_request_uses_default_shards_for_bare_mode(self):
+        options = QueryOptions(partition_mode="hash")
+        request = options.parallel_request(ParallelConfig(shards=4))
+        assert request == ParallelConfig(shards=4, mode="hash")
+
+    def test_parallel_request_explicit(self):
+        options = QueryOptions(parallel=2, partition_mode="hypercube")
+        request = options.parallel_request(ParallelConfig(shards=8))
+        assert request == ParallelConfig(shards=2, mode="hypercube")

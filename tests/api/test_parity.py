@@ -1,0 +1,151 @@
+"""Parity: Session.run must agree with the legacy QueryEngine entry points
+across every registered algorithm × serial/partitioned execution."""
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import connect
+from repro.engine import QueryEngine, default_registry
+from repro.errors import ReproError
+from repro.exec import ParallelConfig
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database
+
+#: Every name in the default registry, paper aliases included.
+ALGORITHMS = sorted(default_registry())
+
+#: One query per structural regime the planner distinguishes.
+QUERIES = (
+    "edge(a,b), edge(b,c), edge(a,c), a<b, b<c",   # cyclic
+    "v1(a), v2(c), edge(a,b), edge(b,c)",          # β-acyclic, sampled
+)
+
+PARALLEL = (None, (2, "hash"), (2, "hypercube"))
+
+
+def _normalized_bindings(bindings) -> List[Tuple[Tuple[str, int], ...]]:
+    return sorted(
+        tuple(sorted((variable.name, value)
+                     for variable, value in binding.items()))
+        for binding in bindings
+    )
+
+
+@pytest.mark.parametrize("shards_mode", PARALLEL,
+                         ids=["serial", "hash2", "hypercube2"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_session_matches_legacy_entry_points(algorithm, shards_mode):
+    database = graph_database(14, 40, seed=5)
+    engine = QueryEngine(database)
+    legacy_parallel = (
+        None if shards_mode is None else ParallelConfig(*shards_mode)
+    )
+    overrides = {} if shards_mode is None else {
+        "parallel": shards_mode[0], "partition_mode": shards_mode[1],
+    }
+    with connect(database) as session:
+        for text in QUERIES:
+            # count parity (count-only algorithms support just this).
+            try:
+                expected_count = engine.count(
+                    text, algorithm=algorithm, parallel=legacy_parallel
+                )
+            except ReproError:
+                with pytest.raises(ReproError):
+                    session.run(text, algorithm=algorithm,
+                                **overrides).count()
+                continue
+            assert session.run(
+                text, algorithm=algorithm, use_cache=False, **overrides
+            ).count() == expected_count
+
+            # tuple / binding parity for enumerating algorithms.
+            try:
+                expected_tuples = engine.tuples(
+                    text, algorithm=algorithm, parallel=legacy_parallel
+                )
+            except ReproError:
+                with pytest.raises(ReproError):
+                    session.run(text, algorithm=algorithm,
+                                **overrides).fetchall()
+                continue
+            result_set = session.run(
+                text, algorithm=algorithm, use_cache=False, **overrides
+            )
+            assert sorted(result_set.fetchall()) == expected_tuples
+            legacy_bindings = _normalized_bindings(engine.bindings(
+                text, algorithm=algorithm, parallel=legacy_parallel
+            ))
+            session_bindings = _normalized_bindings(session.run(
+                text, algorithm=algorithm, use_cache=False, **overrides
+            ))
+            assert session_bindings == legacy_bindings
+
+
+@pytest.mark.parametrize("use_cache", [True, False],
+                         ids=["cached", "uncached"])
+def test_cached_and_uncached_sessions_agree(use_cache):
+    database = graph_database(14, 40, seed=9)
+    engine = QueryEngine(database)
+    with connect(database, use_cache=use_cache) as session:
+        for text in QUERIES:
+            expected = engine.tuples(text)
+            # Twice: the second pass may come from the result cache.
+            for _ in range(2):
+                assert sorted(
+                    session.run(text).fetchall()
+                ) == expected
+                assert session.run(text).count() == len(expected)
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=0, max_size=50,
+)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _database_from_edges(edges) -> Database:
+    pairs = [(u, v) for u, v in edges if u != v] or [(0, 1)]
+    nodes = sorted({n for pair in pairs for n in pair})
+    return Database([
+        edge_relation_from_pairs(pairs),
+        node_relation(nodes[::2] or [nodes[0]], "v1"),
+        node_relation(nodes[1::2] or [nodes[0]], "v2"),
+    ])
+
+
+class TestParityProperties:
+    @given(edges_strategy)
+    @PROPERTY_SETTINGS
+    def test_random_graphs_stream_the_legacy_answers(self, edges):
+        database = _database_from_edges(edges)
+        engine = QueryEngine(database)
+        with connect(database) as session:
+            for text in QUERIES:
+                for algorithm in ("naive", "lftj", "ms", "generic"):
+                    expected = engine.tuples(text, algorithm=algorithm)
+                    result_set = session.run(text, algorithm=algorithm)
+                    assert sorted(result_set.fetchall()) == expected
+                    assert session.run(
+                        text, algorithm=algorithm
+                    ).count() == len(expected)
+
+    @given(edges_strategy)
+    @PROPERTY_SETTINGS
+    def test_partitioned_session_streams_serial_answers(self, edges):
+        database = _database_from_edges(edges)
+        engine = QueryEngine(database)
+        with connect(database) as session:
+            for text in QUERIES:
+                expected = engine.tuples(text)
+                partitioned = session.run(text, parallel=4, use_cache=False)
+                assert sorted(partitioned.fetchall()) == expected

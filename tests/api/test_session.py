@@ -1,0 +1,342 @@
+"""Session / connect / ResultSet behaviour: laziness, fetches, caching."""
+
+import pytest
+
+import repro
+from repro.api import connect
+from repro.engine import QueryEngine
+from repro.errors import OptionsError, TimeoutExceeded
+from repro.joins.naive import NaiveBacktrackingJoin
+from repro.storage import Database, edge_relation_from_pairs, node_relation
+
+from tests.conftest import graph_database, random_edge_pairs
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+TWO_HOP = "edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def database() -> Database:
+    pairs = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4), (2, 4)]
+    return Database([edge_relation_from_pairs(pairs)])
+
+
+class TestConnect:
+    def test_connect_database(self, database):
+        with connect(database) as session:
+            assert session.run(TRIANGLE).count() > 0
+
+    def test_connect_dataset_name(self):
+        with connect("ca-GrQc", selectivity=8) as session:
+            assert "edge" in session.database
+            assert "v1" in session.database  # samples attached
+            assert session.run(TRIANGLE).count() > 0
+
+    def test_connect_relations(self):
+        pairs = [(0, 1), (1, 2), (0, 2)]
+        with connect([edge_relation_from_pairs(pairs),
+                      node_relation([0, 1], "v1")]) as session:
+            assert session.run(TRIANGLE).count() == 1
+
+    def test_connect_rejects_both_source_and_relations(self, database):
+        with pytest.raises(OptionsError):
+            connect(database, relations=[])
+
+    def test_defaults_flow_from_connect_kwargs(self, database):
+        with connect(database, algorithm="naive", timeout=9.0) as session:
+            assert session.defaults.algorithm == "naive"
+            assert session.defaults.timeout == 9.0
+            assert session.run(TRIANGLE).stats.algorithm == "naive"
+
+    def test_top_level_export(self, database):
+        with repro.connect(database) as session:
+            assert isinstance(session.run(TRIANGLE), repro.ResultSet)
+
+
+class TestLaziness:
+    """The acceptance criterion: iteration must not pre-materialize."""
+
+    def _spying_session(self):
+        pairs = random_edge_pairs(40, 300, seed=3)
+        session = connect(Database([edge_relation_from_pairs(pairs)]))
+        steps = []
+
+        class Spy(NaiveBacktrackingJoin):
+            def enumerate_bindings(self, database, query):
+                for binding in super().enumerate_bindings(database, query):
+                    steps.append(1)
+                    yield binding
+
+        session.engine.register("spy", lambda budget: Spy(budget=budget))
+        return session, steps
+
+    def test_fetchmany_pulls_exactly_k_results(self):
+        session, steps = self._spying_session()
+        with session:
+            total = session.run(TWO_HOP, algorithm="naive").count()
+            assert total > 1000  # the join is genuinely large
+            result_set = session.run(TWO_HOP, algorithm="spy")
+            assert steps == []  # nothing executed yet
+            first = result_set.fetchmany(5)
+            assert len(first) == 5
+            # Step bound: only the k consumed results were ever produced.
+            assert len(steps) == 5
+
+    def test_iteration_is_streaming(self):
+        session, steps = self._spying_session()
+        with session:
+            bindings = iter(session.run(TWO_HOP, algorithm="spy"))
+            assert steps == []
+            for index, _ in zip(range(7), bindings):
+                pass
+            assert len(steps) == 7
+
+    def test_limit_bounds_the_stream(self):
+        session, steps = self._spying_session()
+        with session:
+            rows = session.run(TWO_HOP, algorithm="spy", limit=4).fetchall()
+            assert len(rows) == 4
+            assert len(steps) == 4
+
+    def test_limited_count_does_bounded_work(self):
+        session, steps = self._spying_session()
+        with session:
+            assert session.run(TWO_HOP, algorithm="spy", limit=6).count() == 6
+            assert len(steps) == 6
+
+
+class TestResultSet:
+    def test_fetch_apis_compose(self, database):
+        with connect(database) as session:
+            result_set = session.run(TWO_HOP)
+            head = result_set.fetchmany(3)
+            rest = result_set.fetchall()
+            again = session.run(TWO_HOP, use_cache=False)
+            assert sorted(head + rest) == sorted(again.fetchall())
+            assert result_set.fetchall() == []  # forward-only cursor
+
+    def test_columns_and_rows(self, database):
+        with connect(database) as session:
+            result_set = session.run(TRIANGLE)
+            assert result_set.columns == ("a", "b", "c")
+            rows = list(result_set.rows())
+            assert all(len(row) == 3 for row in rows)
+
+    def test_iteration_yields_bindings(self, database):
+        with connect(database) as session:
+            for binding in session.run(TRIANGLE):
+                a, b, c = (binding[v]
+                           for v in session.run(TRIANGLE).plan.prepared
+                           .query.variables)
+                assert a < b < c
+
+    def test_count_agrees_with_fetchall(self, database):
+        with connect(database) as session:
+            assert session.run(TRIANGLE).count() == \
+                len(session.run(TRIANGLE).fetchall())
+
+    def test_stats_record_what_happened(self, database):
+        with connect(database) as session:
+            result_set = session.run(TRIANGLE, parallel=2,
+                                     partition_mode="hash")
+            result_set.fetchall()
+            stats = result_set.stats
+            assert stats.algorithm == "lftj"
+            assert stats.requested_algorithm == "auto"
+            assert stats.shards == 2
+            assert stats.partitioning.startswith("hash[")
+            assert stats.complete
+            assert stats.rows_delivered == stats.total
+            assert stats.seconds >= stats.execution_seconds >= 0.0
+
+    def test_timeout_raises_on_consumption(self):
+        heavy = graph_database(60, 500, seed=71, samples=())
+        four_clique = ("edge(a,b), edge(a,c), edge(a,d), edge(b,c), "
+                       "edge(b,d), edge(c,d), a<b, b<c, c<d")
+        with connect(heavy) as session:
+            result_set = session.run(four_clique, timeout=0.0)  # lazy: no raise
+            with pytest.raises(TimeoutExceeded):
+                result_set.fetchall()
+
+
+class TestFailedStreams:
+    def test_failed_stream_never_poisons_the_result_cache(self, database):
+        session = connect(database)
+
+        class Flaky(NaiveBacktrackingJoin):
+            def enumerate_bindings(self, db, query):
+                for index, binding in enumerate(
+                        super().enumerate_bindings(db, query)):
+                    if index == 2:
+                        raise TimeoutExceeded(1.0, 0.5)
+                    yield binding
+
+        session.engine.register("flaky", lambda budget: Flaky(budget=budget))
+        with session:
+            result_set = session.run(TWO_HOP, algorithm="flaky")
+            with pytest.raises(TimeoutExceeded):
+                result_set.fetchall()
+            # The truncated prefix is not a complete answer: nothing may
+            # reach the cache, and further pulls must not look like EOF.
+            assert not result_set.complete
+            assert len(session.result_cache) == 0
+            from repro.errors import ExecutionError
+
+            with pytest.raises(ExecutionError, match="failed mid-way"):
+                result_set.fetchmany(1)
+
+
+class TestQueryObjects:
+    def test_headed_query_runs_through_the_cached_path(self, database):
+        # A headed ConjunctiveQuery renders as "(a, c) :- ..." which the
+        # parser has no grammar for; the plan cache must compile from the
+        # object and use the text only as a key.
+        from repro.datalog.parser import parse_query
+
+        headed = parse_query(TWO_HOP, head=["a", "b", "c"])
+        with connect(database) as session:
+            expected = session.run(TWO_HOP, use_cache=False).count()
+            assert session.run(headed).count() == expected
+            # And again, now hitting the plan cache.
+            repeat = session.run(headed)
+            assert repeat.count() == expected
+            assert repeat.stats.plan_cached
+
+    def test_parsed_query_object_accepted(self, database):
+        from repro.datalog.parser import parse_query
+
+        with connect(database) as session:
+            assert session.run(parse_query(TRIANGLE)).count() == \
+                session.run(TRIANGLE).count()
+
+
+class TestStreamingMemory:
+    def test_uncached_streams_retain_no_history(self, database):
+        with connect(database, use_cache=False) as session:
+            result_set = session.run(TWO_HOP)
+            result_set.fetchall()
+            assert result_set._seen == []  # O(1) memory: nothing retained
+            assert result_set.complete
+            assert result_set.fetchall() == []
+
+    def test_engine_bindings_shim_retains_no_history(self, database):
+        engine = QueryEngine(database)
+        result_set = engine.run(TWO_HOP)
+        total = sum(1 for _ in result_set)
+        assert total > 0
+        assert result_set._seen == []
+        assert result_set.count() == total
+
+    def test_cached_streams_still_feed_the_result_cache(self, database):
+        with connect(database) as session:
+            first = session.run(TWO_HOP)
+            first.fetchall()
+            hot = session.run(TWO_HOP)
+            hot.fetchall()
+            assert hot.stats.result_cached
+
+
+class TestSessionCaching:
+    def test_second_run_is_result_cached(self, database):
+        with connect(database) as session:
+            first = session.run(TRIANGLE)
+            rows = first.fetchall()
+            assert not first.stats.result_cached
+            second = session.run(TRIANGLE)
+            assert sorted(second.fetchall()) == sorted(rows)
+            assert second.stats.result_cached
+            assert second.stats.plan_cached
+
+    def test_count_cache(self, database):
+        with connect(database) as session:
+            expected = session.run(TRIANGLE).count()
+            hot = session.run(TRIANGLE)
+            assert hot.count() == expected
+            assert hot.stats.result_cached
+
+    def test_mutation_invalidates(self, database):
+        with connect(database) as session:
+            before = session.run(TRIANGLE).count()
+            pairs = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4),
+                     (0, 4), (2, 4), (1, 4)]
+            database.add(edge_relation_from_pairs(pairs), replace=True)
+            after = session.run(TRIANGLE)
+            assert not after.stats.result_cached
+            assert after.count() > before
+
+    def test_use_cache_false_skips_caches(self, database):
+        with connect(database, use_cache=False) as session:
+            session.run(TRIANGLE).fetchall()
+            repeat = session.run(TRIANGLE)
+            repeat.fetchall()
+            assert not repeat.stats.result_cached
+            assert not repeat.stats.plan_cached
+
+    def test_limited_run_serves_prefix_from_cached_answer(self, database):
+        with connect(database) as session:
+            full = session.run(TWO_HOP)
+            rows = full.fetchall()
+            prefix = session.run(TWO_HOP, limit=3)
+            assert prefix.fetchall() == sorted(rows)[:3]
+            assert prefix.stats.result_cached
+
+    def test_limited_count_uses_count_cache(self, database):
+        with connect(database) as session:
+            total = session.run(TWO_HOP).count()
+            limited = session.run(TWO_HOP, limit=total + 10)
+            assert limited.count() == total
+            assert limited.stats.result_cached
+
+    def test_misspelled_option_rejected_even_when_none(self, database):
+        with connect(database) as session:
+            with pytest.raises(OptionsError, match="unknown query option"):
+                session.run(TWO_HOP, lmit=None)
+
+    def test_limited_results_never_cached(self, database):
+        with connect(database) as session:
+            session.run(TWO_HOP, limit=2).fetchall()
+            full = session.run(TWO_HOP)
+            full_rows = full.fetchall()
+            assert not full.stats.result_cached
+            assert len(full_rows) > 2
+
+    def test_stats_counters(self, database):
+        with connect(database) as session:
+            session.run(TRIANGLE).count()
+            session.run(TRIANGLE).count()
+            flat = session.stats().as_dict()
+            assert flat["plan_hits"] == 1
+            assert flat["result_hits"] == 1
+
+
+class TestSessionExecute:
+    def test_success_record(self, database):
+        with connect(database) as session:
+            result = session.execute(TRIANGLE)
+            assert result.succeeded
+            assert result.count == QueryEngine(database).count(TRIANGLE)
+
+    def test_error_record(self, database):
+        with connect(database) as session:
+            result = session.execute(TRIANGLE, algorithm="alien")
+            assert not result.succeeded
+            assert "unknown algorithm" in result.error
+
+    def test_timeout_record(self):
+        heavy = graph_database(60, 500, seed=71, samples=())
+        four_clique = ("edge(a,b), edge(a,c), edge(a,d), edge(b,c), "
+                       "edge(b,d), edge(c,d), a<b, b<c, c<d")
+        with connect(heavy) as session:
+            result = session.execute(four_clique, timeout=0.0)
+            assert result.timed_out
+
+
+class TestServiceSharing:
+    def test_service_and_session_share_result_cache(self, database):
+        from repro.service import QueryService
+
+        with QueryService(database) as service:
+            service.execute(TRIANGLE, mode="tuples")
+            hot = service.session.run(TRIANGLE)
+            hot.fetchall()
+            assert hot.stats.result_cached

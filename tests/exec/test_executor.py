@@ -105,7 +105,7 @@ class TestProcessExecutor:
 class TestRunShard:
     """The worker entry point, driven in-process."""
 
-    def _task(self, database, engine, mode, deadline=None):
+    def _task(self, database, engine, mode, deadline=None, limit=None):
         plan = engine.plan(PATH, parallel=ParallelConfig(2, "hash"))
         partitioner = plan.partitioner
         cell, shard = next(iter(partitioner.shard_databases(database)))
@@ -116,6 +116,7 @@ class TestRunShard:
             plan.gao_names,
             mode,
             deadline,
+            limit,
         )
 
     def test_count_and_tuples_modes(self, database, engine):
@@ -123,6 +124,13 @@ class TestRunShard:
         rows = run_shard(self._task(database, engine, "tuples"))
         assert count == len(rows)
         assert rows == sorted(rows)
+
+    def test_tuples_limit_caps_shard_enumeration(self, database, engine):
+        full = run_shard(self._task(database, engine, "tuples"))
+        assert len(full) > 1
+        capped = run_shard(self._task(database, engine, "tuples", limit=1))
+        assert len(capped) == 1
+        assert capped[0] in full
 
     def test_expired_deadline_fails_fast(self, database, engine):
         """Budget spent queued/in transit counts against the shard."""

@@ -1,9 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 import repro
-from repro.cli import main
+from repro.cli import (
+    EXIT_BAD_OPTIONS,
+    EXIT_ERROR,
+    EXIT_PARSE,
+    EXIT_TIMEOUT,
+    EXIT_UNKNOWN_ALGORITHM,
+    main,
+)
 
 
 class TestVersion:
@@ -84,27 +93,98 @@ class TestQuery:
             counts.append(line.split(":")[1].split("results")[0].strip())
         assert len(set(counts)) == 1
 
+    def test_limit_streams_a_prefix(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
+                     "--limit", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 results" in out and "limit 3" in out
+
+
+class TestUniformErrors:
+    """Every failure: one stderr line, a failure-specific exit code."""
+
     def test_unsupported_algorithm_query_returns_error_code(self, capsys):
         code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-path",
                      "--selectivity", "8", "--algorithm", "graphlab"])
-        assert code == 2
-        assert "unsupported" in capsys.readouterr().out
+        assert code == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
 
-    def test_timeout_returns_error_code(self, capsys):
+    def test_timeout_returns_distinct_code(self, capsys):
         code = main(["query", "--dataset", "ego-Twitter", "--pattern",
                      "4-clique", "--algorithm", "naive", "--timeout", "0.0"])
-        assert code == 2
-        assert "timed out" in capsys.readouterr().out
+        assert code == EXIT_TIMEOUT
+        err = capsys.readouterr().err
+        assert "timed out" in err and err.count("\n") == 1
+
+    def test_parse_failure_returns_distinct_code(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--text", "edge(a,"])
+        assert code == EXIT_PARSE
+        err = capsys.readouterr().err
+        assert err.startswith("parse error:") and err.count("\n") == 1
 
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["query", "--dataset", "not-a-dataset", "--pattern", "3-clique"])
 
-    def test_unknown_algorithm_reports_error(self, capsys):
+    def test_unknown_algorithm_returns_distinct_code(self, capsys):
         code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
                      "--algorithm", "alien-join"])
-        assert code == 2
-        assert "unknown algorithm" in capsys.readouterr().out
+        assert code == EXIT_UNKNOWN_ALGORITHM
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err and err.count("\n") == 1
+
+    def test_invalid_parallel_returns_distinct_code(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
+                     "--parallel", "0"])
+        assert code == EXIT_BAD_OPTIONS
+        err = capsys.readouterr().err
+        assert "at least 1" in err and err.count("\n") == 1
+
+    def test_every_failure_code_is_distinct(self):
+        codes = {EXIT_ERROR, EXIT_PARSE, EXIT_UNKNOWN_ALGORITHM,
+                 EXIT_BAD_OPTIONS, EXIT_TIMEOUT}
+        assert len(codes) == 5
+        assert 0 not in codes and 2 not in codes  # success / argparse usage
+
+
+class TestExplain:
+    def test_cyclic_pattern_report(self, capsys):
+        code = main(["explain", "--dataset", "ca-GrQc",
+                     "--pattern", "3-clique"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "structure: cyclic" in out
+        assert "algorithm: lftj" in out
+        assert "partitioning: serial" in out
+        assert "output bound (AGM)" in out
+        assert "physical plan:" in out
+
+    def test_acyclic_pattern_report_with_partitioning(self, capsys):
+        code = main(["explain", "--dataset", "ca-GrQc", "--pattern", "3-path",
+                     "--selectivity", "8", "--parallel", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "structure: β-acyclic" in out
+        assert "algorithm: ms" in out
+        assert "hash[" in out
+        assert "4 disjoint shards" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        code = main(["explain", "--dataset", "ca-GrQc",
+                     "--pattern", "3-clique", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["algorithm"] == "lftj"
+        assert report["beta_acyclic"] is False
+        assert report["agm_bound"] > 0
+        assert report["relation_estimates"][0]["name"] == "edge"
+
+    def test_unknown_algorithm_same_code_as_query(self, capsys):
+        code = main(["explain", "--dataset", "ca-GrQc",
+                     "--pattern", "3-clique", "--algorithm", "alien-join"])
+        assert code == EXIT_UNKNOWN_ALGORITHM
 
 
 class TestBench:
