@@ -1,0 +1,42 @@
+"""Remote (wire-protocol) serving vs. in-process serving.
+
+The :mod:`repro.net` layer turns the serving stack into a client/server
+system; this benchmark quantifies what the network boundary costs.  Both
+passes drive the *same* :class:`~repro.service.QueryService` — identical
+plan and result caches, identical engine — over the same repeated-query
+stream, so the measured difference is exactly the wire layer: JSON
+framing, the asyncio server, the worker-pool hop, and cursor paging.
+
+Two claims to check:
+
+* **correctness** — every remote answer is byte-identical to the local
+  one (tuple streams compared request by request);
+* **overhead** — on a cache-warm stream of small answers the wire costs
+  a bounded constant factor, not an asymptotic blow-up (the cursors page
+  rows; they never re-execute).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_remote_vs_local
+from repro.queries.patterns import build_query
+
+from benchmarks._common import build_database
+
+DATASET = "ca-GrQc"
+QUERIES = (
+    str(build_query("3-clique")),
+    "edge(a,b), edge(b,c), edge(c,d), a<b, b<c, c<d",
+)
+
+
+def test_remote_serving_matches_local_answers():
+    database = build_database(DATASET, "3-clique", selectivity=10)
+    result = run_remote_vs_local(database, list(QUERIES), repeats=5)
+    print()
+    print(result.format())
+    assert result.consistent, "remote answers diverged from local"
+    assert result.operations == 10
+    # Sanity, not a perf gate: a warm cached stream should not be
+    # catastrophically slower over localhost TCP.
+    assert result.remote_seconds < 60.0

@@ -1,0 +1,94 @@
+"""Remote-serving quickstart: server → remote session → cursors → async.
+
+Run with::
+
+    python examples/remote_quickstart.py
+
+A ``repro server`` and its clients in one process: the example stands up
+the asyncio wire server on an ephemeral port (the same
+:class:`~repro.net.server.ReproServer` behind ``repro server``), connects
+with ``repro.connect("repro://...")``, and shows what the network layer
+preserves from the local client API:
+
+* **the same surface** — ``run(query, options) -> result set``,
+  ``explain``, ``close``; error classes survive the wire;
+* **server-side cursors** — ``fetchmany(k)`` pulls exactly ``k`` rows
+  from the server's executor, so peeking at a huge join costs O(k);
+* **an async variant** — ``await session.run(...)`` with ``async for``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import repro
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.net.client import connect_async
+from repro.net.server import ServerThread
+from repro.service import QueryService
+from repro.storage import Database
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+TWO_HOP = "edge(a, b), edge(b, c)"
+
+
+async def async_demo(url: str) -> None:
+    async with await connect_async(url) as session:
+        result_set = await session.run(TRIANGLE, limit=3)
+        print("async, first 3 triangles:")
+        async for binding in result_set:
+            print("  ", {v.name: value for v, value in binding.items()})
+
+
+def main() -> None:
+    database = Database([load_dataset("ca-GrQc")])
+    attach_samples(database, 10, sample_names=("v1", "v2", "v3", "v4"))
+
+    # One shared service: every connection hits the same plan/result
+    # caches and the same admission-controlled worker pool.
+    with QueryService(database) as service:
+        with ServerThread(service) as server:
+            print(f"server listening on {server.url}\n")
+
+            # repro.connect dispatches on the URL scheme.
+            with repro.connect(server.url) as session:
+                print("server hello:", session.server_info["relations"])
+
+                # Server-side cursor: run executes nothing; each
+                # fetchmany(k) advances the server's stream by exactly k.
+                result_set = session.run(TWO_HOP)
+                first = result_set.fetchmany(5)
+                print(f"\nfirst 5 of {session.run(TWO_HOP).count():,} "
+                      f"two-hop paths (only 5 crossed the wire): {first}")
+
+                # The count path and a cached re-run: a fully drained
+                # stream feeds the server's result cache, the repeat is
+                # served from it.
+                print("triangles:", session.run(TRIANGLE).count())
+                session.run(TRIANGLE).fetchall()
+                hot = session.run(TRIANGLE)
+                hot.fetchall()
+                print("re-run served from the server's result cache:",
+                      hot.stats.result_cached)
+
+                # explain, rendered server-side.
+                print("\n=== explain (over the wire) ===")
+                print(session.explain(TRIANGLE).render())
+
+                # Errors keep their class across the network.
+                try:
+                    session.run("edge(a,")
+                except repro.ParseError as error:
+                    print(f"\nremote parse error, caught as "
+                          f"ParseError: {error}")
+
+                stats = session.stats()
+                print("\nper-connection stats:", stats["connection"])
+                print("cursor stats:", stats["cursors"])
+
+            asyncio.run(async_demo(server.url))
+
+
+if __name__ == "__main__":
+    main()

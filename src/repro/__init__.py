@@ -19,11 +19,14 @@ Quickstart
 """
 
 from repro.errors import (
+    CursorError,
     DatasetError,
     ExecutionError,
+    NetworkError,
     OptionsError,
     ParseError,
     PlanningError,
+    ProtocolError,
     QueryError,
     ReproError,
     SchemaError,
@@ -128,6 +131,7 @@ __all__ = [
     "ComparisonAtom",
     "ConjunctiveQuery",
     "Constant",
+    "CursorError",
     "DATASET_CATALOG",
     "Database",
     "DatasetError",
@@ -143,6 +147,7 @@ __all__ = [
     "MinesweeperJoin",
     "MinesweeperOptions",
     "NaiveBacktrackingJoin",
+    "NetworkError",
     "OptionsError",
     "PairwiseHashJoin",
     "ParallelConfig",
@@ -153,6 +158,7 @@ __all__ = [
     "PlanExecutor",
     "PlanningError",
     "ProcessPlanExecutor",
+    "ProtocolError",
     "QUERY_PATTERNS",
     "QueryEngine",
     "QueryError",

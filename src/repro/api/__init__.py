@@ -12,7 +12,7 @@ import-order independent.
 
 from repro.api.explain import Explain, RelationEstimate, explain_plan
 from repro.api.options import QueryOptions
-from repro.api.result import ResultCacheHooks, ResultSet, ResultStats
+from repro.api.result import ResultCacheHooks, ResultSet, ResultStats, RowCursor
 
 __all__ = [
     "Explain",
@@ -21,6 +21,7 @@ __all__ = [
     "ResultCacheHooks",
     "ResultSet",
     "ResultStats",
+    "RowCursor",
     "Session",
     "SessionStats",
     "connect",

@@ -41,7 +41,8 @@ class QueryOptions:
         ``"hypercube"``.
     timeout:
         Soft per-query timeout in seconds, or ``None`` to inherit the
-        engine/session default.
+        engine/session default.  Must be positive when given — a zero
+        timeout can only ever time out and is rejected as a likely bug.
     use_cache:
         Whether the session may serve this query from (and store it into)
         its plan and result caches.  Benchmarks measuring raw execution
@@ -82,9 +83,9 @@ class QueryOptions:
             )
         if self.timeout is not None:
             if not isinstance(self.timeout, (int, float)) \
-                    or isinstance(self.timeout, bool) or self.timeout < 0:
+                    or isinstance(self.timeout, bool) or self.timeout <= 0:
                 raise OptionsError(
-                    f"timeout must be a non-negative number of seconds or "
+                    f"timeout must be a positive number of seconds or "
                     f"None, got {self.timeout!r}"
                 )
         if self.limit is not None:

@@ -51,6 +51,72 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 Row = Tuple[int, ...]
 
 
+class RowCursor:
+    """The forward-only cursor surface shared by every result-set backend.
+
+    Subclasses supply two things: ``_variables`` (the output variables,
+    first-occurrence order) and :meth:`_pull` (the next undelivered row,
+    or ``None`` at the end of the answer).  Everything a consumer touches
+    — iteration, :meth:`rows`, :meth:`fetchmany`, :meth:`fetchall` — is
+    defined here once, so the local :class:`ResultSet` and the wire-backed
+    :class:`repro.net.client.RemoteResultSet` expose the exact same
+    DB-API-style contract: one shared position, composing fetches, and
+    nothing more after exhaustion.
+    """
+
+    _variables: Tuple[object, ...] = ()
+
+    def _pull(self) -> Optional[Row]:
+        """The next undelivered row, or ``None`` at the end of the answer."""
+        raise NotImplementedError
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Output column names, in first-occurrence variable order."""
+        return tuple(v.name for v in self._variables)
+
+    def __iter__(self):
+        """Stream the remaining bindings, lazily.
+
+        Yields ``{Variable: value}`` mappings exactly as the underlying
+        join algorithms produce them.  The cursor is shared with
+        :meth:`fetchmany` / :meth:`fetchall`; like a DB-API cursor, a
+        fully consumed result set yields nothing more.
+        """
+        while True:
+            row = self._pull()
+            if row is None:
+                return
+            yield dict(zip(self._variables, row))
+
+    def rows(self) -> Iterator[Row]:
+        """Stream the remaining output tuples (cheaper than bindings)."""
+        while True:
+            row = self._pull()
+            if row is None:
+                return
+            yield row
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        """Up to ``size`` more rows; an empty list at the end of the answer."""
+        out: List[Row] = []
+        while len(out) < size:
+            row = self._pull()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> List[Row]:
+        """Every remaining row, materialized."""
+        out: List[Row] = []
+        while True:
+            row = self._pull()
+            if row is None:
+                return out
+            out.append(row)
+
+
 class ResultCacheHooks:
     """How a :class:`ResultSet` talks to a session's result cache.
 
@@ -104,7 +170,7 @@ class ResultStats:
         return self.plan_seconds + self.execution_seconds
 
 
-class ResultSet:
+class ResultSet(RowCursor):
     """Lazy, streaming handle over one query's answers.
 
     Parameters
@@ -163,11 +229,6 @@ class ResultSet:
         return self._plan
 
     @property
-    def columns(self) -> Tuple[str, ...]:
-        """Output column names, in first-occurrence variable order."""
-        return tuple(v.name for v in self._variables)
-
-    @property
     def query_text(self) -> str:
         return self._plan.prepared.text
 
@@ -181,8 +242,25 @@ class ResultSet:
 
     @property
     def complete(self) -> bool:
-        """True once the full (limit-applied) answer has been delivered."""
+        """True once the full (limit-applied) answer is materialized.
+
+        A cache-served result is complete before the cursor moves; see
+        :attr:`drained` for "the cursor has nothing more to deliver".
+        """
         return self._rows is not None or self._exhausted
+
+    @property
+    def drained(self) -> bool:
+        """True once the forward cursor has delivered every row.
+
+        ``complete`` answers "is the full answer known?", which a
+        cache-served result is from the start; ``drained`` answers "will
+        another fetch return anything?" — what a paging consumer (the
+        server-side cursor registry) needs.
+        """
+        if self._rows is not None:
+            return self._cursor >= len(self._rows)
+        return self._exhausted
 
     @property
     def stats(self) -> ResultStats:
@@ -292,49 +370,9 @@ class ResultSet:
         return row
 
     # ------------------------------------------------------------------
-    # Consumption
+    # Consumption (__iter__ / rows / fetchmany / fetchall come from
+    # RowCursor, driven by _pull above)
     # ------------------------------------------------------------------
-    def __iter__(self):
-        """Stream the remaining bindings, lazily.
-
-        Yields ``{Variable: value}`` mappings exactly as the underlying
-        join algorithms produce them.  The cursor is shared with
-        :meth:`fetchmany` / :meth:`fetchall`; like a DB-API cursor, a
-        fully consumed result set yields nothing more.
-        """
-        while True:
-            row = self._pull()
-            if row is None:
-                return
-            yield dict(zip(self._variables, row))
-
-    def rows(self) -> Iterator[Row]:
-        """Stream the remaining output tuples (cheaper than bindings)."""
-        while True:
-            row = self._pull()
-            if row is None:
-                return
-            yield row
-
-    def fetchmany(self, size: int = 1) -> List[Row]:
-        """Up to ``size`` more rows; an empty list at the end of the answer."""
-        out: List[Row] = []
-        while len(out) < size:
-            row = self._pull()
-            if row is None:
-                break
-            out.append(row)
-        return out
-
-    def fetchall(self) -> List[Row]:
-        """Every remaining row, materialized."""
-        out: List[Row] = []
-        while True:
-            row = self._pull()
-            if row is None:
-                return out
-            out.append(row)
-
     def answer(self) -> Tuple[Row, ...]:
         """The complete answer as a sorted, immutable tuple.
 

@@ -293,18 +293,37 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             limit: Optional[int] = None,
             engine: Optional[QueryEngine] = None,
             plan_cache_size: int = 128,
-            result_cache_size: int = 256) -> Session:
-    """Open a :class:`Session` over a dataset, database, or relations.
+            result_cache_size: int = 256):
+    """Open a :class:`Session` over a dataset, database, or relations —
+    or a :class:`~repro.net.client.RemoteSession` over the network.
 
     ``source`` may be an existing :class:`Database`, the name of a catalog
     dataset (``scale`` scales it; ``selectivity`` attaches the ``v1..v4``
-    node samples every benchmark pattern can run against), or an iterable
-    of relations.  The remaining keyword arguments become the session's
-    default :class:`QueryOptions` — callers override any of them per
-    query via ``session.run(query, parallel=4, ...)``.
+    node samples every benchmark pattern can run against), an iterable
+    of relations, or a ``repro://host:port`` URL naming a running
+    ``repro server`` (the query-option keywords still apply; the
+    dataset-shaping and cache-sizing ones do not — the server owns its
+    database and caches).  The remaining keyword arguments become the
+    session's default :class:`QueryOptions` — callers override any of
+    them per query via ``session.run(query, parallel=4, ...)``.
     """
     if source is not None and relations is not None:
         raise OptionsError("pass either a source or relations=, not both")
+    if isinstance(source, str) and source.startswith("repro://"):
+        if engine is not None or scale != 1.0 or selectivity is not None \
+                or plan_cache_size != 128 or result_cache_size != 256:
+            raise OptionsError(
+                "remote sessions take only query-option keywords; the "
+                "server owns its database (scale/selectivity), engine, "
+                "and caches (plan_cache_size/result_cache_size)"
+            )
+        from repro.net.client import RemoteSession
+
+        return RemoteSession(source, options=QueryOptions(
+            algorithm=algorithm, parallel=parallel,
+            partition_mode=partition_mode, timeout=timeout,
+            use_cache=use_cache, limit=limit,
+        ))
     if isinstance(source, Database):
         database = source
     elif isinstance(source, str):

@@ -11,9 +11,15 @@
 from repro.bench.harness import (
     BenchmarkCell,
     BenchmarkConfig,
+    CachedVsColdResult,
+    RemoteVsLocalResult,
+    SerialVsPartitionedResult,
     benchmark_database,
+    run_cached_vs_cold,
     run_cell,
     run_grid,
+    run_remote_vs_local,
+    run_serial_vs_partitioned,
     speedup,
 )
 from repro.bench.reporting import (
@@ -25,11 +31,17 @@ from repro.bench.reporting import (
 __all__ = [
     "BenchmarkCell",
     "BenchmarkConfig",
+    "CachedVsColdResult",
+    "RemoteVsLocalResult",
+    "SerialVsPartitionedResult",
     "benchmark_database",
     "format_figure",
     "format_matrix",
     "format_table",
+    "run_cached_vs_cold",
     "run_cell",
     "run_grid",
+    "run_remote_vs_local",
+    "run_serial_vs_partitioned",
     "speedup",
 ]

@@ -352,6 +352,113 @@ def run_serial_vs_partitioned(database: Database,
     )
 
 
+@dataclass
+class RemoteVsLocalResult:
+    """Wire-protocol overhead: the same stream in-process vs. over TCP.
+
+    Both paths hit the *same* :class:`~repro.service.QueryService`
+    (identical caches, identical engine), so the difference is exactly
+    the network layer: framing, the asyncio server, cursor paging.
+    ``consistent`` records whether every request's answer matched;
+    ``overhead`` is ``remote_seconds / local_seconds``.
+    """
+
+    operations: int
+    unique_queries: int
+    local_seconds: float
+    remote_seconds: float
+    consistent: bool
+    url: str = ""
+
+    @property
+    def local_qps(self) -> float:
+        return self.operations / self.local_seconds if self.local_seconds \
+            else 0.0
+
+    @property
+    def remote_qps(self) -> float:
+        return self.operations / self.remote_seconds if self.remote_seconds \
+            else 0.0
+
+    @property
+    def overhead(self) -> float:
+        if self.local_seconds == 0:
+            return float("inf")
+        return self.remote_seconds / self.local_seconds
+
+    def format(self) -> str:
+        verdict = "identical answers" if self.consistent \
+            else "ANSWER MISMATCH"
+        return (
+            f"remote vs local ({self.operations} ops over "
+            f"{self.unique_queries} unique queries via {self.url}): "
+            f"{self.local_qps:.1f} q/s local vs {self.remote_qps:.1f} q/s "
+            f"remote ({self.overhead:.2f}x wire overhead, {verdict})"
+        )
+
+
+def run_remote_vs_local(database: Database, query_texts: Sequence[str],
+                        repeats: int = 10,
+                        timeout: Optional[float] = None,
+                        mode: str = "tuples") -> RemoteVsLocalResult:
+    """Measure the wire protocol's overhead against in-process serving.
+
+    One :class:`~repro.service.QueryService` serves a repeated-query
+    stream twice: *local* calls it in-process, *remote* drives the same
+    stream through a real TCP boundary (an in-thread
+    :class:`~repro.net.server.ReproServer` plus a
+    :class:`~repro.net.client.RemoteSession`).  A warm-up round over the
+    unique queries runs first so both measured passes see the same cache
+    state and the comparison isolates the wire, not cold planning.
+    ``mode="tuples"`` drains every answer through cursor paging;
+    ``mode="count"`` measures the scalar round trip.
+    """
+    from repro.net.client import RemoteSession
+    from repro.net.server import ServerThread
+    from repro.service.service import QueryService, ServiceConfig
+
+    stream = [text for _ in range(repeats) for text in query_texts]
+
+    with QueryService(
+        database, ServiceConfig(default_timeout=timeout)
+    ) as service:
+        for text in query_texts:  # warm both caches once
+            service.execute(text, mode=mode)
+
+        local_answers: List[object] = []
+        local_started = time.perf_counter()
+        for text in stream:
+            outcome = service.execute(text, mode=mode)
+            local_answers.append(
+                outcome.value if outcome.succeeded else None
+            )
+        local_seconds = time.perf_counter() - local_started
+
+        remote_answers: List[object] = []
+        with ServerThread(service) as server:
+            with RemoteSession(server.url, options=None) as session:
+                remote_started = time.perf_counter()
+                for text in stream:
+                    result_set = session.run(text, timeout=timeout)
+                    if mode == "count":
+                        remote_answers.append(result_set.count())
+                    else:
+                        remote_answers.append(
+                            tuple(sorted(result_set.fetchall()))
+                        )
+                remote_seconds = time.perf_counter() - remote_started
+            url = server.url
+
+    return RemoteVsLocalResult(
+        operations=len(stream),
+        unique_queries=len(set(query_texts)),
+        local_seconds=local_seconds,
+        remote_seconds=remote_seconds,
+        consistent=local_answers == remote_answers,
+        url=url,
+    )
+
+
 def speedup(baseline: BenchmarkCell, improved: BenchmarkCell) -> Optional[float]:
     """``baseline.seconds / improved.seconds`` or ``None`` if either failed."""
     if not baseline.succeeded or not improved.succeeded:

@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Seven subcommands cover the everyday workflows:
+Eight subcommands cover the everyday workflows:
 
 ``repro datasets``
     List the dataset catalog (original SNAP sizes and the synthetic
@@ -8,7 +8,9 @@ Seven subcommands cover the everyday workflows:
 
 ``repro query``
     Run one query — either a named benchmark pattern or a Datalog-style
-    query text — over a catalog dataset with a chosen join algorithm.
+    query text — over a catalog dataset with a chosen join algorithm,
+    or (``--connect repro://host:port``) against a running ``repro
+    server`` over the wire protocol.
 
 ``repro explain``
     Show the structured plan report for a query without executing it:
@@ -27,6 +29,12 @@ Seven subcommands cover the everyday workflows:
     Start a :class:`~repro.service.QueryService` over a dataset and answer
     query lines read from stdin (an interactive/testable stand-in for a
     network front end).
+
+``repro server``
+    The real network front end: an asyncio TCP server speaking the
+    :mod:`repro.net` wire protocol, with server-side cursors and
+    graceful SIGINT/SIGTERM shutdown.  Clients connect with
+    ``repro.connect("repro://host:port")`` or ``repro query --connect``.
 
 ``repro workload``
     Drive a declarative workload (query mix + parameter distributions)
@@ -87,15 +95,21 @@ EXIT_TIMEOUT = 6            # soft timeout exceeded
 
 def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
     """The shared "which query on which dataset, how" argument block."""
-    sub.add_argument("--dataset", required=True, choices=dataset_names(),
-                     help="catalog dataset to query")
+    sub.add_argument("--dataset", choices=dataset_names(),
+                     help="catalog dataset to query (omit with --connect)")
+    sub.add_argument("--connect", metavar="URL", default=None,
+                     help="run against a repro server at repro://host:port "
+                          "instead of loading the dataset in-process")
     group = sub.add_mutually_exclusive_group(required=True)
     group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
                       help="named benchmark pattern")
     group.add_argument("--text", help="Datalog-style query text")
     sub.add_argument("--algorithm", default="auto",
                      help="join algorithm (default: auto)")
-    sub.add_argument("--selectivity", type=int, default=10,
+    # Default None so the remote path can tell "explicitly asked" from
+    # "left alone": the server owns its dataset, so --selectivity with
+    # --connect is a contradiction, not a silently ignored knob.
+    sub.add_argument("--selectivity", type=int, default=None,
                      help="node-sample selectivity for patterns that need "
                           "v1/v2 relations (default: 10)")
     sub.add_argument("--scale", type=float, default=1.0,
@@ -178,6 +192,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("auto", "hash", "hypercube"),
                        help="partitioning scheme for --parallel (default: auto)")
 
+    server = subparsers.add_parser(
+        "server", help="serve queries over TCP (repro:// wire protocol)"
+    )
+    server.add_argument("--dataset", required=True, choices=dataset_names(),
+                        help="catalog dataset to serve")
+    server.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    server.add_argument("--port", type=int, default=9944,
+                        help="bind port, 0 for ephemeral (default: 9944)")
+    server.add_argument("--selectivity", type=int, default=10,
+                        help="selectivity of the attached v1..v4 node "
+                             "samples (default: 10)")
+    server.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default: 1.0)")
+    server.add_argument("--workers", type=int, default=4,
+                        help="worker pool width (default: 4)")
+    server.add_argument("--timeout", type=float, default=None,
+                        help="per-query soft timeout in seconds")
+    server.add_argument("--cursor-ttl", type=float, default=300.0,
+                        help="idle seconds before a server-side cursor "
+                             "expires (default: 300)")
+    server.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="partition each query into N shards evaluated "
+                             "on N worker processes (default: 1, serial)")
+    server.add_argument("--partition-mode", default="auto",
+                        choices=("auto", "hash", "hypercube"),
+                        help="partitioning scheme for --parallel "
+                             "(default: auto)")
+
     workload = subparsers.add_parser(
         "workload", help="drive a workload through the query service"
     )
@@ -228,19 +271,40 @@ def _cmd_datasets() -> int:
 
 
 def _target_session(args: argparse.Namespace,
-                    timeout: Optional[float] = None) -> Tuple[Session, object]:
+                    timeout: Optional[float] = None) -> Tuple[object, object]:
     """Build the (session, query) pair a query/explain invocation targets.
 
     Options validate first — an invalid ``--parallel`` is rejected before
-    the dataset is even loaded.
+    the dataset is even loaded (or the server even dialled).  With
+    ``--connect`` the session is a :class:`~repro.net.client.RemoteSession`
+    against a running ``repro server``, which owns the dataset (and its
+    node samples); without it, the dataset loads in-process.
     """
     options = QueryOptions(timeout=timeout, parallel=args.parallel,
                            partition_mode=args.partition_mode)
+    if args.connect:
+        if args.scale != 1.0 or args.selectivity is not None:
+            # Same rule as repro.connect("repro://..."): the server owns
+            # its database, so dataset-shaping flags cannot apply.
+            raise OptionsError(
+                "--scale/--selectivity shape an in-process dataset; "
+                "the server at --connect owns its own"
+            )
+        from repro.net.client import RemoteSession
+
+        session: object = RemoteSession(args.connect, options=options)
+        query = pattern(args.pattern).build() if args.pattern \
+            else parse_query(args.text)
+        return session, query
+    if not args.dataset:
+        raise OptionsError("either --dataset or --connect is required")
     database = Database([load_dataset(args.dataset, scale=args.scale)])
     if args.pattern:
         spec = pattern(args.pattern)
         if spec.sample_relations:
-            attach_samples(database, args.selectivity,
+            attach_samples(database,
+                           args.selectivity if args.selectivity is not None
+                           else 10,
                            sample_names=spec.sample_relations)
         query = spec.build()
     else:
@@ -256,9 +320,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         count = result_set.count()
         stats = result_set.stats
     label = args.pattern or args.text
+    target = args.connect or args.dataset
     sharding = f", {stats.shards} shards" if stats.shards > 1 else ""
     limited = f" (limit {args.limit})" if args.limit is not None else ""
-    print(f"{label} on {args.dataset}: {count:,} results{limited} in "
+    print(f"{label} on {target}: {count:,} results{limited} in "
           f"{stats.seconds:.3f}s using {stats.algorithm}{sharding}")
     return 0
 
@@ -324,32 +389,87 @@ def _service_database(dataset: str, selectivity: int,
     return database
 
 
+def _graceful_sigterm() -> None:
+    """Make SIGTERM interrupt like Ctrl-C so ``finally``/context managers run.
+
+    A drained worker pool and closed caches beat a traceback: ``repro
+    serve`` / ``repro server`` catch the resulting KeyboardInterrupt and
+    shut down cleanly.  A no-op off the main thread (tests drive the CLI
+    in-process).
+    """
+    import signal
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except ValueError:
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     database = _service_database(args.dataset, args.selectivity, args.scale)
     config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
                            parallel_shards=args.parallel,
                            partition_mode=args.partition_mode)
+    _graceful_sigterm()
     with QueryService(database, config) as service:
         print(f"serving {args.dataset} "
               f"({database.relation('edge').arity}-ary edge relation, "
               f"{len(database.relation('edge')):,} tuples); "
               f"one query per line, blank line or EOF to stop")
-        for line in sys.stdin:
-            text = line.strip()
-            if not text:
-                break
-            outcome = service.execute(text)
-            if outcome.timed_out:
-                print(f"timeout after {outcome.seconds:.3f}s")
-            elif outcome.error:
-                print(f"error: {outcome.error}")
-            else:
-                cache = ("result-cache" if outcome.result_cached
-                         else "plan-cache" if outcome.plan_cached else "cold")
-                print(f"{outcome.count:,} results in {outcome.seconds:.4f}s "
-                      f"[{outcome.algorithm}, {cache}]")
+        try:
+            for line in sys.stdin:
+                text = line.strip()
+                if not text:
+                    break
+                outcome = service.execute(text)
+                if outcome.timed_out:
+                    print(f"timeout after {outcome.seconds:.3f}s")
+                elif outcome.error:
+                    print(f"error: {outcome.error}")
+                else:
+                    cache = ("result-cache" if outcome.result_cached
+                             else "plan-cache" if outcome.plan_cached
+                             else "cold")
+                    print(f"{outcome.count:,} results in "
+                          f"{outcome.seconds:.4f}s "
+                          f"[{outcome.algorithm}, {cache}]")
+        except KeyboardInterrupt:
+            print("interrupted; draining", flush=True)
         stats = service.stats().as_dict()
     print("served: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.net.server import ReproServer
+
+    database = _service_database(args.dataset, args.selectivity, args.scale)
+    config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
+                           parallel_shards=args.parallel,
+                           partition_mode=args.partition_mode)
+    _graceful_sigterm()
+    with QueryService(database, config) as service:
+        server = ReproServer(service, host=args.host, port=args.port,
+                             cursor_ttl=args.cursor_ttl)
+
+        def ready(srv: ReproServer) -> None:
+            print(f"serving {args.dataset} "
+                  f"({len(database.relation('edge')):,} edge tuples) "
+                  f"on {srv.url}; SIGINT/SIGTERM to stop", flush=True)
+
+        try:
+            # Blocks until SIGINT/SIGTERM: the server stops accepting,
+            # closes every open cursor, and returns; the service context
+            # then drains the worker pool.
+            server.run(ready=ready)
+        except KeyboardInterrupt:
+            pass
+        stats = service.stats().as_dict()
+    print("server stopped; "
+          + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
 
 
@@ -447,6 +567,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "server":
+            return _cmd_server(args)
         if args.command == "workload":
             return _cmd_workload(args)
     except ParseError as error:

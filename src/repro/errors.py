@@ -57,6 +57,18 @@ class ServiceError(ReproError):
     """The query service could not accept or process a request."""
 
 
+class CursorError(ServiceError):
+    """A server-side cursor is unknown, expired, or already closed."""
+
+
+class NetworkError(ReproError):
+    """A wire-protocol conversation with a remote server failed."""
+
+
+class ProtocolError(NetworkError):
+    """A frame on the wire was malformed, oversized, or out of sequence."""
+
+
 class AdmissionError(ServiceError):
     """A request was rejected by admission control (queue full)."""
 

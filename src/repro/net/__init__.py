@@ -1,0 +1,47 @@
+"""``repro.net`` — the wire layer: protocol, asyncio server, remote sessions.
+
+The subsystem that turns the engine + service + api stack into an actual
+multi-client system::
+
+    RemoteSession ──frames──►  ReproServer (asyncio)  ──►  QueryService
+    (sync/async)               per-connection cursors       (shared plan +
+                               + stats                       result caches,
+                                                             admission control)
+
+* :mod:`repro.net.protocol` — length-prefixed JSON frames with request
+  ids and error envelopes mapping onto the :class:`~repro.errors.ReproError`
+  taxonomy (and therefore onto the CLI's exit codes).
+* :mod:`repro.net.server` — an :mod:`asyncio` TCP server fronting one
+  shared :class:`~repro.service.QueryService`; results are held open as
+  **server-side cursors** the client pages with ``FETCH`` requests.
+* :mod:`repro.net.client` — ``connect("repro://host:port")`` returning a
+  :class:`RemoteSession` with the exact :class:`~repro.api.session.Session`
+  surface (``run`` / ``explain`` / ``close``), plus
+  ``connect_async`` for ``await session.run(...)``.
+
+Everything here sits at the very top of the layer stack; nothing below
+:mod:`repro.cli` imports it at module level.
+"""
+
+from repro.net.client import (
+    AsyncRemoteSession,
+    RemoteResultSet,
+    RemoteSession,
+    connect,
+    connect_async,
+    parse_url,
+)
+from repro.net.protocol import PROTOCOL_VERSION
+from repro.net.server import ReproServer, ServerThread
+
+__all__ = [
+    "AsyncRemoteSession",
+    "PROTOCOL_VERSION",
+    "RemoteResultSet",
+    "RemoteSession",
+    "ReproServer",
+    "ServerThread",
+    "connect",
+    "connect_async",
+    "parse_url",
+]

@@ -1,0 +1,686 @@
+""":class:`RemoteSession` — the client end of the wire protocol.
+
+``connect("repro://host:port")`` opens a TCP connection to a
+:class:`~repro.net.server.ReproServer` and returns a session with the
+exact :class:`~repro.api.session.Session` execution surface::
+
+    with repro.connect("repro://127.0.0.1:9944") as session:
+        for binding in session.run("edge(a,b), edge(b,c)", limit=10):
+            ...
+        session.explain("edge(a,b), edge(b,c)").render()
+
+``run`` returns a :class:`RemoteResultSet`: the server holds the lazy
+result stream as a **server-side cursor** and the client pages it with
+``fetchmany``-sized ``fetch`` requests — consuming *k* rows of a huge
+join moves O(k) rows over the wire and pulls O(k) rows from the
+executor, the same laziness contract as a local
+:class:`~repro.api.result.ResultSet`.  Both share the
+:class:`~repro.api.result.RowCursor` surface, so iteration, ``rows()``,
+``fetchmany``, and ``fetchall`` compose identically.
+
+``connect_async`` is the :mod:`asyncio` twin: ``await session.run(...)``
+returns an :class:`AsyncRemoteResultSet` supporting ``async for`` and
+awaitable fetches.
+
+Server-reported failures re-raise as their original
+:class:`~repro.errors.ReproError` subclasses (parse errors as
+:class:`ParseError`, timeouts as :class:`TimeoutExceeded`, ...), so error
+handling — including the CLI's exit-code mapping — is transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from dataclasses import asdict
+from typing import Deque, List, Optional, Tuple
+
+from repro.api.options import QueryOptions
+from repro.api.result import ResultStats, Row, RowCursor
+from repro.datalog.terms import Variable
+from repro.errors import CursorError, NetworkError, ProtocolError
+from repro.net import protocol
+from repro.net.server import DEFAULT_PORT
+
+#: How many rows one iteration-driven fetch pulls by default.
+DEFAULT_FETCH_SIZE = 512
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """Split ``repro://host[:port]`` into ``(host, port)``."""
+    if not isinstance(url, str) or not url.startswith("repro://"):
+        raise NetworkError(
+            f"remote URL must look like repro://host:port, got {url!r}"
+        )
+    rest = url[len("repro://"):].rstrip("/")
+    if not rest:
+        raise NetworkError(f"remote URL {url!r} names no host")
+    host, _, port_text = rest.rpartition(":")
+    if not host:
+        return rest, DEFAULT_PORT
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise NetworkError(
+            f"remote URL {url!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 0 < port < 65536:
+        raise NetworkError(f"remote URL {url!r} port out of range")
+    return host, port
+
+
+def _options_payload(options: QueryOptions) -> dict:
+    """The options bundle as wire JSON (``None`` = inherit server default)."""
+    return asdict(options)
+
+
+class RemoteExplain:
+    """A plan report fetched over the wire.
+
+    Mirrors the read surface of :class:`~repro.api.explain.Explain`:
+    :meth:`as_dict` is the server report verbatim, :meth:`render` the
+    server-rendered text.
+    """
+
+    def __init__(self, report: dict, rendered: str) -> None:
+        self._report = report
+        self._rendered = rendered
+
+    def as_dict(self) -> dict:
+        return self._report
+
+    def render(self) -> str:
+        return self._rendered
+
+    def __str__(self) -> str:
+        return self._rendered
+
+
+class RemoteResultSet(RowCursor):
+    """A server-side cursor paged over the wire, with the local surface.
+
+    ``fetchmany(k)`` issues one ``fetch`` of exactly the missing rows;
+    iteration pulls pages of the session's ``fetch_size``.  The cursor is
+    forward-only and shared across the consumption methods, exactly like
+    a local :class:`~repro.api.result.ResultSet`.
+    """
+
+    def __init__(self, session: "RemoteSession", query_text: str,
+                 options: QueryOptions, meta: dict) -> None:
+        self._session = session
+        self._text = query_text
+        self._options = options
+        # The server holds no cursor yet: one is opened lazily at the
+        # first fetch, so a result set that is only counted (or never
+        # consumed) pins nothing remotely.
+        self._cursor_id: Optional[int] = None
+        self._variables = tuple(Variable(name) for name in meta["columns"])
+        self._meta = meta
+        self._buffer: Deque[Row] = deque()
+        self._done = False
+        self._closed = False
+        self._delivered = 0
+        self._count: Optional[int] = None
+        self._final: dict = {}
+        self._seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_text(self) -> str:
+        return self._text
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    @property
+    def shards(self) -> int:
+        return self._meta["shards"]
+
+    @property
+    def complete(self) -> bool:
+        """True once the full answer has been pulled over the wire."""
+        return self._done and not self._buffer
+
+    @property
+    def stats(self) -> ResultStats:
+        """What this result did, merged from plan metadata and fetches."""
+        return ResultStats(
+            query=self._text,
+            algorithm=self._meta["algorithm"],
+            requested_algorithm=self._meta.get(
+                "requested_algorithm", self._options.algorithm
+            ),
+            partitioning=self._meta.get("partitioning", "serial"),
+            shards=self._meta["shards"],
+            plan_cached=self._meta.get("plan_cached", False),
+            result_cached=self._final.get("result_cached", False),
+            plan_seconds=0.0,
+            execution_seconds=self._seconds,
+            rows_delivered=self._delivered,
+            complete=self.complete,
+            limit=self._options.limit,
+            total=self._count,
+        )
+
+    # ------------------------------------------------------------------
+    # Paging
+    # ------------------------------------------------------------------
+    def _ensure_cursor(self) -> int:
+        """Open the server-side cursor on first use."""
+        if self._cursor_id is None:
+            response = self._session._request(
+                "cursor", query=self._text,
+                options=_options_payload(self._options),
+            )
+            self._cursor_id = response["cursor"]
+        return self._cursor_id
+
+    def _fetch(self, size: int) -> List[Row]:
+        """One wire ``fetch`` of up to ``size`` rows; updates done state."""
+        if self._closed:
+            raise CursorError("this remote cursor was closed")
+        started = time.perf_counter()
+        response = self._session._request(
+            "fetch", cursor=self._ensure_cursor(), size=size
+        )
+        self._seconds += time.perf_counter() - started
+        rows = [tuple(row) for row in response["rows"]]
+        if response["done"]:
+            self._done = True
+            self._final = response.get("stats") or {}
+            if self._final.get("total") is not None:
+                self._count = self._final["total"]
+        return rows
+
+    def _check_open(self) -> None:
+        """A closed-but-undrained cursor must not read like a clean end."""
+        if self._closed and not self._done:
+            raise CursorError(
+                "this remote cursor was closed before it was drained; "
+                "re-run the query for a fresh result set"
+            )
+
+    def _pull(self) -> Optional[Row]:
+        if not self._buffer:
+            self._check_open()
+            if self._done:
+                return None
+            self._buffer.extend(self._fetch(self._session.fetch_size))
+            if not self._buffer:
+                return None
+        self._delivered += 1
+        return self._buffer.popleft()
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        """Up to ``size`` more rows, costing one wire round trip at most.
+
+        Rows already buffered by iteration are served first; the
+        remainder is a single ``fetch`` of exactly the missing count, so
+        the server's executor advances by at most ``size`` rows.
+        """
+        out: List[Row] = []
+        while self._buffer and len(out) < size:
+            out.append(self._buffer.popleft())
+        if len(out) < size:
+            self._check_open()
+        # Loop: the server clamps one fetch to its MAX_FETCH_SIZE, so a
+        # huge request takes several round trips — a short return must
+        # only ever mean end-of-answer, as with a local result set.
+        while len(out) < size and not self._done:
+            page = self._fetch(size - len(out))
+            if not page:
+                break
+            out.extend(page)
+        self._delivered += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Whole-answer paths
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """The number of answers, via the server's count path.
+
+        Like a local result set's :meth:`~repro.api.result.ResultSet.count`,
+        this is a side execution — the cursor position is untouched and
+        counting-optimized algorithms / the server's result cache apply.
+        """
+        if self._count is not None:
+            return self._count
+        started = time.perf_counter()
+        response = self._session._request(
+            "count", query=self._text,
+            options=_options_payload(self._options),
+        )
+        self._seconds += time.perf_counter() - started
+        self._count = response["count"]
+        if response.get("result_cached"):
+            self._final.setdefault("result_cached", True)
+        return self._count
+
+    def close(self) -> None:
+        """Release the server-side cursor early; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer.clear()
+        if self._cursor_id is not None and not self._done:
+            try:
+                self._session._request("close", cursor=self._cursor_id)
+            except (NetworkError, CursorError):
+                pass  # connection gone or cursor already expired
+
+
+class RemoteSession:
+    """A connected remote client with the local ``Session`` surface.
+
+    Parameters
+    ----------
+    url:
+        ``repro://host[:port]``.
+    options:
+        Session-default :class:`QueryOptions`; per-call overrides apply
+        exactly as on a local session.
+    fetch_size:
+        Page size for iteration-driven fetches (explicit ``fetchmany(k)``
+        always fetches exactly ``k``).
+    connect_timeout:
+        Seconds to wait for the TCP connection (queries themselves are
+        not bounded client-side; use ``QueryOptions.timeout`` for that).
+    """
+
+    def __init__(self, url: str, *, options: Optional[QueryOptions] = None,
+                 fetch_size: int = DEFAULT_FETCH_SIZE,
+                 connect_timeout: float = 10.0) -> None:
+        self.url = url
+        self.defaults = options if options is not None else QueryOptions()
+        self.fetch_size = max(1, int(fetch_size))
+        host, port = parse_url(url)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise NetworkError(
+                f"could not connect to {url}: {error}"
+            ) from None
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+        try:
+            self.server_info = self._request("hello")
+        except BaseException:
+            # A failed handshake (e.g. the endpoint is not a repro
+            # server) must not leak the socket out of a constructor the
+            # caller never got a handle from.
+            self._closed = True
+            self._reader.close()
+            self._sock.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _request(self, op: str, **params) -> dict:
+        if self._closed:
+            raise NetworkError("this remote session is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        frame = {"id": request_id, "op": op, **params}
+        try:
+            self._sock.sendall(protocol.encode_frame(frame))
+            response = protocol.read_frame(self._reader.read)
+        except OSError as error:
+            raise NetworkError(f"connection to {self.url} failed: {error}") \
+                from None
+        if response is None:
+            raise NetworkError(f"server at {self.url} closed the connection")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"out-of-sequence response: sent id {request_id}, "
+                f"got {response.get('id')!r}"
+            )
+        if response.get("ok"):
+            return response
+        protocol.raise_remote_error(response.get("error"))
+
+    # ------------------------------------------------------------------
+    # The Session surface
+    # ------------------------------------------------------------------
+    def options(self, options: Optional[QueryOptions] = None,
+                **overrides) -> QueryOptions:
+        """Resolve per-call options against the session defaults."""
+        return QueryOptions.resolve(options, overrides,
+                                    defaults=self.defaults)
+
+    def run(self, query, options: Optional[QueryOptions] = None,
+            **overrides) -> RemoteResultSet:
+        """Open a server-side cursor for ``query``; nothing executes yet.
+
+        Options validate client-side (the same
+        :class:`~repro.errors.OptionsError` boundary as a local session)
+        before anything touches the wire.
+        """
+        opts = self.options(options, **overrides)
+        text = str(query)
+        meta = self._request("run", query=text,
+                             options=_options_payload(opts))
+        return RemoteResultSet(self, text, opts, meta)
+
+    def explain(self, query, options: Optional[QueryOptions] = None,
+                **overrides) -> RemoteExplain:
+        """The server's structured plan report for ``query``."""
+        opts = self.options(options, **overrides)
+        response = self._request("explain", query=str(query),
+                                 options=_options_payload(opts))
+        return RemoteExplain(response["report"], response["rendered"])
+
+    def stats(self) -> dict:
+        """Connection, cursor, and service counters from the server."""
+        response = self._request("stats")
+        return {key: response[key]
+                for key in ("connection", "cursors", "service")}
+
+    def close(self) -> None:
+        """Say goodbye and drop the connection; idempotent."""
+        if self._closed:
+            return
+        try:
+            self._request("goodbye")
+        except (NetworkError, ProtocolError):
+            pass
+        self._closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RemoteSession({self.url!r}, {state})"
+
+
+def connect(url: str, *,
+            algorithm: str = "auto",
+            parallel: Optional[int] = None,
+            partition_mode: str = "auto",
+            timeout: Optional[float] = None,
+            use_cache: bool = True,
+            limit: Optional[int] = None,
+            fetch_size: int = DEFAULT_FETCH_SIZE,
+            connect_timeout: float = 10.0) -> RemoteSession:
+    """Open a :class:`RemoteSession`; keyword args become its defaults."""
+    options = QueryOptions(
+        algorithm=algorithm, parallel=parallel,
+        partition_mode=partition_mode, timeout=timeout,
+        use_cache=use_cache, limit=limit,
+    )
+    return RemoteSession(url, options=options, fetch_size=fetch_size,
+                         connect_timeout=connect_timeout)
+
+
+# ----------------------------------------------------------------------
+# Async variant
+# ----------------------------------------------------------------------
+class AsyncRemoteResultSet:
+    """The awaitable twin of :class:`RemoteResultSet`.
+
+    Supports ``async for`` (bindings), ``await fetchmany/fetchall/count``,
+    and ``await close``.  Shares one forward-only position.
+    """
+
+    def __init__(self, session: "AsyncRemoteSession", query_text: str,
+                 options: QueryOptions, meta: dict) -> None:
+        self._session = session
+        self._text = query_text
+        self._options = options
+        self._cursor_id: Optional[int] = None  # opened at first fetch
+        self._variables = tuple(Variable(name) for name in meta["columns"])
+        self._meta = meta
+        self._buffer: Deque[Row] = deque()
+        self._done = False
+        self._closed = False
+        self._count: Optional[int] = None
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self._variables)
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    @property
+    def complete(self) -> bool:
+        return self._done and not self._buffer
+
+    async def _ensure_cursor(self) -> int:
+        if self._cursor_id is None:
+            response = await self._session._request(
+                "cursor", query=self._text,
+                options=_options_payload(self._options),
+            )
+            self._cursor_id = response["cursor"]
+        return self._cursor_id
+
+    async def _fetch(self, size: int) -> List[Row]:
+        if self._closed:
+            raise CursorError("this remote cursor was closed")
+        response = await self._session._request(
+            "fetch", cursor=await self._ensure_cursor(), size=size
+        )
+        rows = [tuple(row) for row in response["rows"]]
+        if response["done"]:
+            self._done = True
+            stats = response.get("stats") or {}
+            if stats.get("total") is not None:
+                self._count = stats["total"]
+        return rows
+
+    def __aiter__(self):
+        return self
+
+    def _check_open(self) -> None:
+        if self._closed and not self._done:
+            raise CursorError(
+                "this remote cursor was closed before it was drained; "
+                "re-run the query for a fresh result set"
+            )
+
+    async def __anext__(self):
+        if not self._buffer:
+            self._check_open()
+            if self._done:
+                raise StopAsyncIteration
+            self._buffer.extend(await self._fetch(self._session.fetch_size))
+            if not self._buffer:
+                raise StopAsyncIteration
+        return dict(zip(self._variables, self._buffer.popleft()))
+
+    async def fetchmany(self, size: int = 1) -> List[Row]:
+        out: List[Row] = []
+        while self._buffer and len(out) < size:
+            out.append(self._buffer.popleft())
+        if len(out) < size:
+            self._check_open()
+        # Loop past the server's per-fetch clamp: short = end-of-answer.
+        while len(out) < size and not self._done:
+            page = await self._fetch(size - len(out))
+            if not page:
+                break
+            out.extend(page)
+        return out
+
+    async def fetchall(self) -> List[Row]:
+        self._check_open()
+        out: List[Row] = list(self._buffer)
+        self._buffer.clear()
+        while not self._done:
+            out.extend(await self._fetch(self._session.fetch_size))
+        return out
+
+    async def count(self) -> int:
+        if self._count is not None:
+            return self._count
+        response = await self._session._request(
+            "count", query=self._text,
+            options=_options_payload(self._options),
+        )
+        self._count = response["count"]
+        return self._count
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer.clear()
+        if self._cursor_id is not None and not self._done:
+            try:
+                await self._session._request("close", cursor=self._cursor_id)
+            except (NetworkError, CursorError):
+                pass
+
+
+class AsyncRemoteSession:
+    """An asyncio remote session: ``await session.run(...)``.
+
+    Obtained from :func:`connect_async`.  One in-flight request at a time
+    per connection (requests are serialized by an internal lock, matching
+    the server's sequential per-connection processing).
+    """
+
+    def __init__(self, url: str, *, options: Optional[QueryOptions] = None,
+                 fetch_size: int = DEFAULT_FETCH_SIZE) -> None:
+        self.url = url
+        self.defaults = options if options is not None else QueryOptions()
+        self.fetch_size = max(1, int(fetch_size))
+        self._reader = None
+        self._writer = None
+        self._lock = None
+        self._next_id = 0
+        self._closed = False
+        self.server_info: dict = {}
+
+    async def _open(self) -> "AsyncRemoteSession":
+        import asyncio
+
+        host, port = parse_url(self.url)
+        self._lock = asyncio.Lock()
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                host, port
+            )
+        except OSError as error:
+            raise NetworkError(
+                f"could not connect to {self.url}: {error}"
+            ) from None
+        self.server_info = await self._request("hello")
+        return self
+
+    async def _request(self, op: str, **params) -> dict:
+        if self._closed or self._writer is None:
+            raise NetworkError("this remote session is closed")
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            frame = {"id": request_id, "op": op, **params}
+            try:
+                self._writer.write(protocol.encode_frame(frame))
+                await self._writer.drain()
+                response = await protocol.read_frame_async(
+                    self._reader.readexactly
+                )
+            except OSError as error:
+                raise NetworkError(
+                    f"connection to {self.url} failed: {error}"
+                ) from None
+        if response is None:
+            raise NetworkError(f"server at {self.url} closed the connection")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"out-of-sequence response: sent id {request_id}, "
+                f"got {response.get('id')!r}"
+            )
+        if response.get("ok"):
+            return response
+        protocol.raise_remote_error(response.get("error"))
+
+    def options(self, options: Optional[QueryOptions] = None,
+                **overrides) -> QueryOptions:
+        return QueryOptions.resolve(options, overrides,
+                                    defaults=self.defaults)
+
+    async def run(self, query, options: Optional[QueryOptions] = None,
+                  **overrides) -> AsyncRemoteResultSet:
+        """Open a server-side cursor for ``query``; nothing executes yet."""
+        opts = self.options(options, **overrides)
+        text = str(query)
+        meta = await self._request("run", query=text,
+                                   options=_options_payload(opts))
+        return AsyncRemoteResultSet(self, text, opts, meta)
+
+    async def explain(self, query, options: Optional[QueryOptions] = None,
+                      **overrides) -> RemoteExplain:
+        opts = self.options(options, **overrides)
+        response = await self._request("explain", query=str(query),
+                                       options=_options_payload(opts))
+        return RemoteExplain(response["report"], response["rendered"])
+
+    async def stats(self) -> dict:
+        response = await self._request("stats")
+        return {key: response[key]
+                for key in ("connection", "cursors", "service")}
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            await self._request("goodbye")
+        except (NetworkError, ProtocolError):
+            pass
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass
+
+    async def __aenter__(self) -> "AsyncRemoteSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def connect_async(url: str, *,
+                        algorithm: str = "auto",
+                        parallel: Optional[int] = None,
+                        partition_mode: str = "auto",
+                        timeout: Optional[float] = None,
+                        use_cache: bool = True,
+                        limit: Optional[int] = None,
+                        fetch_size: int = DEFAULT_FETCH_SIZE
+                        ) -> AsyncRemoteSession:
+    """Open an :class:`AsyncRemoteSession`: ``await repro.net.connect_async(...)``."""
+    options = QueryOptions(
+        algorithm=algorithm, parallel=parallel,
+        partition_mode=partition_mode, timeout=timeout,
+        use_cache=use_cache, limit=limit,
+    )
+    session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size)
+    return await session._open()

@@ -1,0 +1,261 @@
+"""The wire protocol: length-prefixed JSON frames and error envelopes.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; a frame is
+always a JSON object.
+
+Requests carry a client-chosen ``id`` (monotonically increasing per
+connection) and an ``op``::
+
+    {"id": 7, "op": "run", "query": "edge(a,b), edge(b,c)",
+     "options": {"algorithm": "auto", ...}}
+
+Responses echo the ``id`` and carry ``ok``::
+
+    {"id": 7, "ok": true, "cursor": 3, "columns": ["a", "b"], ...}
+    {"id": 7, "ok": false, "error": {"code": "parse", "exit_code": 3,
+                                     "message": "..."}}
+
+The error envelope maps onto the :class:`~repro.errors.ReproError`
+taxonomy, carrying the same distinct exit codes the CLI uses (3 parse,
+4 unknown algorithm, 5 bad options, 6 timeout, 1 anything else), so a
+remote failure re-raises client-side as the *same exception class* and an
+existing ``except ParseError`` — including the CLI's own error mapping —
+keeps working unchanged across the network boundary.
+
+Operations
+----------
+=============== ==================================== =========================
+op              request fields                       response fields
+=============== ==================================== =========================
+``hello``       —                                    server, protocol, version,
+                                                     relations
+``run``         query, options                       columns, algorithm,
+                                                     shards, partitioning,
+                                                     plan_cached
+``cursor``      query, options                       cursor
+``fetch``       cursor, size                         rows, done[, stats]
+``close``       cursor                               closed
+``count``       query, options                       count, algorithm, shards,
+                                                     result_cached
+``explain``     query, options                       report, rendered
+``stats``       —                                    connection, cursors, service
+``goodbye``     —                                    goodbye
+=============== ==================================== =========================
+
+``run`` only validates and plans — no cursor, no execution, no server
+state.  The client opens a **server-side cursor** (the ``cursor`` op)
+when it first fetches; each ``fetch`` then pulls exactly ``size`` more
+rows from the executor's stream, so consuming *k* rows of a huge join
+costs O(k) end-to-end, and a result set that is only counted or never
+consumed pins nothing on the server.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Awaitable, Callable, Dict, NoReturn, Optional, Tuple, Type
+
+from repro.errors import (
+    AdmissionError,
+    CursorError,
+    DatasetError,
+    ExecutionError,
+    NetworkError,
+    OptionsError,
+    ParseError,
+    PlanningError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ServiceError,
+    StorageError,
+    TimeoutExceeded,
+    UnknownAlgorithmError,
+    WorkloadError,
+)
+
+#: Bumped on incompatible protocol changes; exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame.  Large answers stream as many ``fetch``
+#: pages, so a frame this size indicates a broken peer, not a big result.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+#: The full error taxonomy on the wire, most-specific first (the first
+#: ``isinstance`` match wins), so a remote failure re-raises as exactly
+#: the class an in-process call would have raised.  ``exit_code``
+#: mirrors ``repro.cli`` (3 parse, 4 unknown algorithm, 5 bad options,
+#: 6 timeout, 1 everything else).
+_ERROR_TABLE: Tuple[Tuple[str, Type[ReproError], int], ...] = (
+    ("parse", ParseError, 3),
+    ("unknown_algorithm", UnknownAlgorithmError, 4),
+    ("options", OptionsError, 5),
+    ("timeout", TimeoutExceeded, 6),
+    ("query", QueryError, 1),
+    ("execution", ExecutionError, 1),
+    ("planning", PlanningError, 1),
+    ("schema", SchemaError, 1),
+    ("storage", StorageError, 1),
+    ("dataset", DatasetError, 1),
+    ("cursor", CursorError, 1),
+    ("admission", AdmissionError, 1),
+    ("workload", WorkloadError, 1),
+    ("protocol", ProtocolError, 1),
+    ("network", NetworkError, 1),
+    ("service", ServiceError, 1),
+    ("error", ReproError, 1),
+)
+
+_CODE_TO_CLASS: Dict[str, Type[ReproError]] = {
+    code: cls for code, cls, _ in _ERROR_TABLE
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame: 4-byte length prefix + UTF-8 JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _decode_length(prefix: bytes) -> int:
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def read_frame(read: Callable[[int], bytes]) -> Optional[dict]:
+    """Read one frame from a blocking byte source.
+
+    ``read(n)`` must behave like ``io.RawIOBase.read`` on a blocking
+    stream: return up to ``n`` bytes, or ``b""`` at EOF.  Returns the
+    decoded frame, or ``None`` on a clean EOF at a frame boundary; EOF
+    in the middle of a frame raises :class:`ProtocolError`.
+    """
+    prefix = _read_exact(read, _LENGTH.size, at_boundary=True)
+    if prefix is None:
+        return None
+    body = _read_exact(read, _decode_length(prefix), at_boundary=False)
+    return _decode_body(body if body is not None else b"")
+
+
+def _read_exact(read: Callable[[int], bytes], size: int,
+                at_boundary: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = read(remaining)
+        if not chunk:
+            if at_boundary and remaining == size:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({size - remaining} of "
+                f"{size} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+async def read_frame_async(
+        readexactly: Callable[[int], Awaitable[bytes]]) -> Optional[dict]:
+    """The asyncio twin of :func:`read_frame`.
+
+    ``readexactly`` is :meth:`asyncio.StreamReader.readexactly` (or any
+    coroutine with its contract: raises ``IncompleteReadError`` on EOF).
+    """
+    import asyncio
+
+    try:
+        prefix = await readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            "connection closed mid-frame (in the length prefix)"
+        ) from None
+    try:
+        body = await readexactly(_decode_length(prefix))
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{error.expected} body bytes read)"
+        ) from None
+    return _decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# Responses and error envelopes
+# ----------------------------------------------------------------------
+def ok_response(request_id: object, **body) -> dict:
+    """A success response echoing ``request_id``."""
+    return {"id": request_id, "ok": True, **body}
+
+
+def classify_error(error: ReproError) -> Tuple[str, int]:
+    """The (wire code, CLI exit code) for an exception, most-specific first."""
+    for code, cls, exit_code in _ERROR_TABLE:
+        if isinstance(error, cls):
+            return code, exit_code
+    return "error", 1
+
+
+def error_envelope(error: ReproError) -> dict:
+    """Serialize an exception into the wire error envelope."""
+    code, exit_code = classify_error(error)
+    envelope = {"code": code, "exit_code": exit_code, "message": str(error)}
+    if isinstance(error, TimeoutExceeded):
+        envelope["elapsed"] = error.elapsed
+        envelope["budget"] = error.budget
+    return envelope
+
+
+def error_response(request_id: object, error: ReproError) -> dict:
+    """A failure response echoing ``request_id``."""
+    return {"id": request_id, "ok": False, "error": error_envelope(error)}
+
+
+def raise_remote_error(envelope: object) -> NoReturn:
+    """Re-raise a server-reported failure as its original exception class.
+
+    Unknown or malformed envelopes degrade to :class:`ReproError` rather
+    than hiding the failure behind a protocol error.
+    """
+    if not isinstance(envelope, dict):
+        raise ReproError(f"server reported an unintelligible error: {envelope!r}")
+    code = envelope.get("code", "error")
+    message = envelope.get("message", "remote execution failed")
+    if code == "timeout":
+        raise TimeoutExceeded(
+            float(envelope.get("elapsed", 0.0)),
+            float(envelope.get("budget", 0.0)),
+        )
+    raise _CODE_TO_CLASS.get(code, ReproError)(message)

@@ -1,0 +1,487 @@
+""":class:`ReproServer` — the asyncio TCP front end over one shared service.
+
+Every connection speaks the length-prefixed JSON protocol of
+:mod:`repro.net.protocol` against one shared
+:class:`~repro.service.QueryService`: all clients hit the *same* plan and
+result caches, and every piece of blocking work (planning, cursor
+fetches, counts, explains) runs on the service's worker pool — so the
+pool's admission control backpressures remote clients exactly like local
+ones, and the event loop itself never blocks on query execution.
+
+Results never ship whole.  A ``run`` opens a **server-side cursor** (a
+lazy :class:`~repro.api.result.ResultSet` parked in the connection's
+:class:`~repro.service.cursors.CursorRegistry`) and each ``fetch`` pulls
+exactly the requested number of rows off the stream; idle cursors expire
+on a background sweep so abandoned clients cannot pin executor state.
+
+Shutdown is graceful: :meth:`ReproServer.run` installs SIGINT/SIGTERM
+handlers that stop accepting connections, close every open cursor, and
+return — the CLI then drains the worker pool by closing the service.
+
+:class:`ServerThread` runs a server on a private event loop in a daemon
+thread — the harness the tests and the remote-vs-local benchmark use to
+stand up a real serving boundary in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.net import protocol
+from repro.service.cursors import CursorRegistry
+from repro.service.service import QueryService
+
+#: Default server port; unassigned in the IANA registry.
+DEFAULT_PORT = 9944
+
+#: Hard cap on one fetch request, protocol-level (cursors stay lazy, a
+#: client wanting more issues more fetches).
+MAX_FETCH_SIZE = 65536
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters, reported by the ``stats`` op."""
+
+    requests: int = 0
+    queries: int = 0
+    counts: int = 0
+    explains: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "queries": self.queries,
+            "counts": self.counts,
+            "explains": self.explains,
+            "errors": self.errors,
+        }
+
+
+class _Connection:
+    """One client connection: its cursor registry, counters, transport."""
+
+    def __init__(self, cursor_ttl: Optional[float], max_cursors: int,
+                 writer: asyncio.StreamWriter) -> None:
+        self.registry = CursorRegistry(ttl=cursor_ttl,
+                                       max_cursors=max_cursors)
+        self.stats = ConnectionStats()
+        self.writer = writer
+
+
+class ReproServer:
+    """Serve a :class:`~repro.service.QueryService` over TCP.
+
+    Parameters
+    ----------
+    service:
+        The shared service; its session, caches, and worker pool are the
+        execution surface for every connection.  The server borrows it —
+        the caller closes it (which drains the pool) after :meth:`stop`.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port, readable from
+        :attr:`port` (and :attr:`url`) after :meth:`start`.
+    cursor_ttl:
+        Idle expiry for server-side cursors, seconds (``None`` disables).
+    max_cursors:
+        Per-connection open-cursor bound.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, *,
+                 cursor_ttl: Optional[float] = 300.0,
+                 max_cursors: int = 64) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.cursor_ttl = cursor_ttl
+        self.max_cursors = max_cursors
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        self._sweeper: Optional[asyncio.Task] = None
+
+    @property
+    def url(self) -> str:
+        return f"repro://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        if self._server is not None:
+            raise ServiceError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.cursor_ttl is not None:
+            interval = max(0.05, self.cursor_ttl / 4)
+            self._sweeper = asyncio.get_running_loop().create_task(
+                self._sweep_idle_cursors(interval)
+            )
+
+    async def stop(self) -> None:
+        """Stop accepting, disconnect every client, close cursors; idempotent.
+
+        Live client transports are closed *before* awaiting
+        ``wait_closed()``: since Python 3.12.1 that call waits for every
+        connection handler to finish, and a handler parked in
+        ``readexactly`` on an idle client would otherwise block shutdown
+        forever.
+        """
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            for connection in list(self._connections):
+                connection.writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            connection.registry.close_all()
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Start, run until ``stop`` is set, then shut down gracefully."""
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.stop()
+
+    def run(self, ready=None) -> None:
+        """Block serving until SIGINT/SIGTERM; shut down gracefully.
+
+        ``ready`` (optional) is called once the socket is bound — the CLI
+        prints the URL from it, which matters with ``port=0``.
+        """
+        asyncio.run(self._run_with_signals(ready))
+
+    async def _run_with_signals(self, ready) -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                # Platforms/threads without loop signal support fall back
+                # to KeyboardInterrupt, handled by asyncio.run's cleanup.
+                pass
+        try:
+            await self.start()
+            if ready is not None:
+                ready(self)
+            await stop.wait()
+        finally:
+            await self.stop()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(self.cursor_ttl, self.max_cursors, writer)
+        self._connections.add(connection)
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(reader.readexactly)
+                except ProtocolError:
+                    break  # peer is speaking garbage; cut the connection
+                if frame is None:
+                    break
+                response = await self._dispatch(connection, frame)
+                try:
+                    payload = protocol.encode_frame(response)
+                except (ProtocolError, TypeError, ValueError) as error:
+                    # An unencodable response (oversized frame, stray
+                    # non-JSON value) must come back as an error
+                    # envelope, not kill the connection.
+                    connection.stats.errors += 1
+                    payload = protocol.encode_frame(protocol.error_response(
+                        frame.get("id"),
+                        ProtocolError(
+                            f"response could not be encoded: {error}"
+                        ),
+                    ))
+                writer.write(payload)
+                await writer.drain()
+                if response.get("goodbye"):
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            connection.registry.close_all()
+            self._connections.discard(connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _sweep_idle_cursors(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            for connection in list(self._connections):
+                connection.registry.expire_idle()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, connection: _Connection, frame: dict) -> dict:
+        request_id = frame.get("id")
+        connection.stats.requests += 1
+        try:
+            handler = self._OPS.get(frame.get("op"))
+            if handler is None:
+                raise ProtocolError(f"unknown op {frame.get('op')!r}")
+            body = await handler(self, connection, frame)
+            return protocol.ok_response(request_id, **body)
+        except ReproError as error:
+            connection.stats.errors += 1
+            return protocol.error_response(request_id, error)
+        except Exception as error:  # never kill the connection on a bug
+            connection.stats.errors += 1
+            return protocol.error_response(
+                request_id, ReproError(f"internal server error: {error}")
+            )
+
+    async def _call(self, fn, *args):
+        """Run blocking work on the service's worker pool.
+
+        Admission control applies: a full queue raises
+        :class:`~repro.errors.AdmissionError` here, which goes back to
+        the client as an ``admission`` error envelope.
+        """
+        future = self.service.pool.submit(fn, *args)
+        return await asyncio.wrap_future(future)
+
+    @staticmethod
+    def _query_and_options(frame: dict):
+        query = frame.get("query")
+        if not isinstance(query, str) or not query:
+            raise ProtocolError("request needs a non-empty 'query' string")
+        options = frame.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be a JSON object")
+        return query, options
+
+    # -- ops ------------------------------------------------------------
+    async def _op_hello(self, connection: _Connection, frame: dict) -> dict:
+        import repro
+
+        return {
+            "server": "repro",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": repro.__version__,
+            "relations": sorted(self.service.database.names()),
+        }
+
+    async def _op_run(self, connection: _Connection, frame: dict) -> dict:
+        """Validate and plan; no cursor, no execution, no held state.
+
+        The client opens a cursor (the ``cursor`` op) only when it first
+        fetches — so count-only and never-consumed result sets pin
+        nothing on the server, mirroring the local laziness contract.
+        """
+        query, options = self._query_and_options(frame)
+
+        def plan_only():
+            opts = self.service.session.options(**options)
+            return self.service.session.run(query, opts)
+
+        result_set = await self._call(plan_only)
+        connection.stats.queries += 1
+        return {
+            "columns": list(result_set.columns),
+            "algorithm": result_set.algorithm,
+            "requested_algorithm":
+                result_set.plan.prepared.requested_algorithm,
+            "shards": result_set.shards,
+            "partitioning": result_set.plan.partition_key(),
+            "plan_cached": result_set.stats.plan_cached,
+        }
+
+    async def _op_cursor(self, connection: _Connection, frame: dict) -> dict:
+        """Open a server-side cursor: the lazy stream the client pages."""
+        query, options = self._query_and_options(frame)
+
+        def open_cursor():
+            opts = self.service.session.options(**options)
+            result_set = self.service.session.run(query, opts)
+            return connection.registry.open(result_set)
+
+        cursor = await self._call(open_cursor)
+        return {"cursor": cursor.cursor_id}
+
+    async def _op_fetch(self, connection: _Connection, frame: dict) -> dict:
+        cursor_id = frame.get("cursor")
+        size = frame.get("size")
+        if not isinstance(cursor_id, int):
+            raise ProtocolError("'cursor' must be an integer id")
+        if not isinstance(size, int) or isinstance(size, bool) or size < 1:
+            raise ProtocolError(f"'size' must be a positive int, got {size!r}")
+        size = min(size, MAX_FETCH_SIZE)
+        rows, done, cursor = await self._call(
+            connection.registry.fetch, cursor_id, size
+        )
+        body = {"rows": [list(row) for row in rows], "done": done}
+        if done:
+            stats = cursor.result_set.stats
+            body["stats"] = {
+                "result_cached": stats.result_cached,
+                "execution_seconds": stats.execution_seconds,
+                "total": stats.total,
+            }
+        return body
+
+    async def _op_close(self, connection: _Connection, frame: dict) -> dict:
+        cursor_id = frame.get("cursor")
+        if not isinstance(cursor_id, int):
+            raise ProtocolError("'cursor' must be an integer id")
+        return {"closed": connection.registry.close(cursor_id)}
+
+    async def _op_count(self, connection: _Connection, frame: dict) -> dict:
+        query, options = self._query_and_options(frame)
+
+        def count():
+            opts = self.service.session.options(**options)
+            result_set = self.service.session.run(query, opts)
+            return result_set.count(), result_set
+
+        value, result_set = await self._call(count)
+        connection.stats.counts += 1
+        stats = result_set.stats
+        return {
+            "count": value,
+            "algorithm": result_set.algorithm,
+            "shards": result_set.shards,
+            "result_cached": stats.result_cached,
+            "plan_cached": stats.plan_cached,
+            "execution_seconds": stats.execution_seconds,
+        }
+
+    async def _op_explain(self, connection: _Connection,
+                          frame: dict) -> dict:
+        query, options = self._query_and_options(frame)
+
+        def explain():
+            opts = self.service.session.options(**options)
+            return self.service.session.explain(query, opts)
+
+        report = await self._call(explain)
+        connection.stats.explains += 1
+        return {"report": report.as_dict(), "rendered": report.render()}
+
+    async def _op_stats(self, connection: _Connection, frame: dict) -> dict:
+        return {
+            "connection": connection.stats.as_dict(),
+            "cursors": connection.registry.stats.as_dict(),
+            "service": self.service.stats().as_dict(),
+        }
+
+    async def _op_goodbye(self, connection: _Connection,
+                          frame: dict) -> dict:
+        connection.registry.close_all()
+        return {"goodbye": True}
+
+    _OPS = {
+        "hello": _op_hello,
+        "run": _op_run,
+        "cursor": _op_cursor,
+        "fetch": _op_fetch,
+        "close": _op_close,
+        "count": _op_count,
+        "explain": _op_explain,
+        "stats": _op_stats,
+        "goodbye": _op_goodbye,
+    }
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a private event loop in a daemon thread.
+
+    The test-and-benchmark harness for standing up a real serving
+    boundary in-process::
+
+        with QueryService(database) as service:
+            with ServerThread(service) as server:
+                with RemoteSession(server.url) as session:
+                    session.run("edge(a,b), edge(b,c)").fetchmany(10)
+
+    ``port`` defaults to 0 (ephemeral); the bound URL is :attr:`url`.
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0, **server_kwargs) -> None:
+        self.server = ReproServer(service, host, port, **server_kwargs)
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surfaced to start()'s caller
+            self._startup_error = error
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.stop()
+
+    def start(self) -> "ServerThread":
+        """Start the thread and wait until the socket is bound."""
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise ServiceError("server thread did not start within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Request shutdown and join the thread; idempotent."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -10,12 +10,16 @@ Layers (each importable on its own):
   :class:`~repro.storage.database.Database` change feed.
 * :mod:`repro.service.executor` — bounded worker pool with admission
   control.
+* :mod:`repro.service.cursors` — server-side cursor registry (open
+  result streams paged by remote clients, with idle expiry) and
+  per-connection statistics.
 * :mod:`repro.service.service` — :class:`QueryService`, the request path
   composing plan cache → result cache → pool → engine.
 * :mod:`repro.service.workload` — declarative workload specs
   (query mix + Zipf/uniform parameters) and the QPS-paced runner.
 """
 
+from repro.service.cursors import CursorRegistry, CursorStats, ServerCursor
 from repro.service.executor import WorkerPool, WorkerPoolStats
 from repro.service.plan_cache import PlanCache, PlanCacheStats, normalize_query_text
 from repro.service.result_cache import ResultCache, ResultCacheStats
@@ -37,6 +41,8 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "CursorRegistry",
+    "CursorStats",
     "ParameterSpec",
     "PlanCache",
     "PlanCacheStats",
@@ -44,6 +50,7 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "ResultCacheStats",
+    "ServerCursor",
     "ServiceConfig",
     "ServiceStats",
     "WorkerPool",

@@ -1,0 +1,201 @@
+"""Server-side cursors: open result streams a remote client pages through.
+
+A remote ``run`` does not ship the answer — it opens a
+:class:`ServerCursor` holding the lazy
+:class:`~repro.api.result.ResultSet` and hands the client an id.  Each
+``fetch`` request pulls exactly the requested number of rows off the
+stream, so a client consuming *k* rows of a huge join costs O(k) work on
+the server, exactly the local laziness contract.
+
+The :class:`CursorRegistry` owns one connection's cursors: a capacity
+bound (an abandoned client cannot pin unbounded executor state), idle
+expiry (a cursor untouched for ``ttl`` seconds is closed and its stream
+released), and counters that feed the per-connection ``stats`` op.
+
+Everything here is thread-safe: the asyncio server processes one request
+per connection at a time, but fetches run on the service's worker pool
+while the registry's expiry sweep runs on the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.result import ResultSet, Row
+from repro.errors import CursorError
+
+
+@dataclass
+class CursorStats:
+    """Counters describing one registry's cursor traffic."""
+
+    opened: int = 0
+    closed: int = 0
+    expired: int = 0
+    exhausted: int = 0
+    rows_streamed: int = 0
+
+    @property
+    def active(self) -> int:
+        return self.opened - self.closed - self.expired - self.exhausted
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "opened": self.opened,
+            "closed": self.closed,
+            "expired": self.expired,
+            "exhausted": self.exhausted,
+            "active": self.active,
+            "rows_streamed": self.rows_streamed,
+        }
+
+
+class ServerCursor:
+    """One open result stream: the lazy result set plus idle bookkeeping."""
+
+    __slots__ = ("cursor_id", "result_set", "created", "last_used",
+                 "rows_sent", "busy")
+
+    def __init__(self, cursor_id: int, result_set: ResultSet,
+                 now: float) -> None:
+        self.cursor_id = cursor_id
+        self.result_set = result_set
+        self.created = now
+        self.last_used = now
+        self.rows_sent = 0
+        self.busy = False
+
+
+class CursorRegistry:
+    """One connection's server-side cursors: open, fetch, expire, close.
+
+    Parameters
+    ----------
+    ttl:
+        Idle expiry in seconds: a cursor not fetched from for this long
+        is closed by :meth:`expire_idle` (and treated as expired on
+        access).  ``None`` disables expiry.
+    max_cursors:
+        Capacity bound; :meth:`open` raises :class:`CursorError` beyond it.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, ttl: Optional[float] = 300.0, max_cursors: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.ttl = ttl
+        self.max_cursors = max_cursors
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cursors: Dict[int, ServerCursor] = {}
+        self._next_id = 0
+        self.stats = CursorStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cursors)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self, result_set: ResultSet) -> ServerCursor:
+        """Register a lazy result set and return its cursor."""
+        with self._lock:
+            if len(self._cursors) >= self.max_cursors:
+                raise CursorError(
+                    f"too many open cursors ({self.max_cursors}); "
+                    f"close or drain one first"
+                )
+            self._next_id += 1
+            cursor = ServerCursor(self._next_id, result_set, self._clock())
+            self._cursors[cursor.cursor_id] = cursor
+            self.stats.opened += 1
+            return cursor
+
+    def fetch(self, cursor_id: int,
+              size: int) -> Tuple[Sequence[Row], bool, ServerCursor]:
+        """Pull up to ``size`` more rows; auto-closes an exhausted cursor.
+
+        Returns ``(rows, done, cursor)``; ``done`` means the stream is
+        fully drained and the cursor id is no longer valid.
+        """
+        cursor = self._checkout(cursor_id)
+        try:
+            rows = cursor.result_set.fetchmany(size)
+            done = cursor.result_set.drained
+        except BaseException:
+            # A failed stream is unusable; drop the cursor so the client
+            # gets a crisp "unknown cursor" instead of repeated failures.
+            self._discard(cursor_id, field="closed")
+            raise
+        with self._lock:
+            cursor.busy = False
+            cursor.last_used = self._clock()
+            cursor.rows_sent += len(rows)
+            self.stats.rows_streamed += len(rows)
+            if done and self._cursors.pop(cursor_id, None) is not None:
+                self.stats.exhausted += 1
+        return rows, done, cursor
+
+    def close(self, cursor_id: int) -> bool:
+        """Release one cursor; True if it was open."""
+        return self._discard(cursor_id, field="closed")
+
+    def close_all(self) -> int:
+        """Release every cursor (connection teardown / server shutdown)."""
+        with self._lock:
+            count = len(self._cursors)
+            self._cursors.clear()
+            self.stats.closed += count
+        return count
+
+    def expire_idle(self) -> List[int]:
+        """Close cursors idle past ``ttl``; returns the expired ids."""
+        if self.ttl is None:
+            return []
+        now = self._clock()
+        expired: List[int] = []
+        with self._lock:
+            for cursor_id, cursor in list(self._cursors.items()):
+                if cursor.busy:
+                    continue
+                if now - cursor.last_used > self.ttl:
+                    del self._cursors[cursor_id]
+                    self.stats.expired += 1
+                    expired.append(cursor_id)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _checkout(self, cursor_id: int) -> ServerCursor:
+        with self._lock:
+            cursor = self._cursors.get(cursor_id)
+            if cursor is not None and self.ttl is not None \
+                    and not cursor.busy \
+                    and self._clock() - cursor.last_used > self.ttl:
+                # Lazy expiry: enforce the ttl even between sweeps.
+                del self._cursors[cursor_id]
+                self.stats.expired += 1
+                cursor = None
+            if cursor is None:
+                raise CursorError(
+                    f"unknown cursor {cursor_id} (never opened, already "
+                    f"closed or drained, or expired after {self.ttl}s idle)"
+                )
+            if cursor.busy:
+                raise CursorError(
+                    f"cursor {cursor_id} already has a fetch in flight"
+                )
+            cursor.busy = True
+            return cursor
+
+    def _discard(self, cursor_id: int, field: str) -> bool:
+        with self._lock:
+            if self._cursors.pop(cursor_id, None) is None:
+                return False
+            setattr(self.stats, field, getattr(self.stats, field) + 1)
+            return True

@@ -44,15 +44,24 @@ class TestValidation:
         with pytest.raises(ValueError, match="partition mode"):
             QueryOptions(partition_mode="mercator")
 
-    @pytest.mark.parametrize("timeout", [-1, -0.5, "soon", True])
+    @pytest.mark.parametrize("timeout", [-1, -0.5, 0, 0.0, "soon", True])
     def test_bad_timeout_rejected(self, timeout):
-        with pytest.raises(OptionsError):
+        # Zero counts as bad: a 0-second budget can only ever time out,
+        # so it is rejected as a likely bug rather than honoured.
+        with pytest.raises(OptionsError, match="timeout"):
             QueryOptions(timeout=timeout)
 
-    @pytest.mark.parametrize("limit", [-1, 1.5, True])
+    def test_tiny_positive_timeout_accepted(self):
+        assert QueryOptions(timeout=1e-9).timeout == 1e-9
+
+    @pytest.mark.parametrize("limit", [-1, -7, 1.5, True])
     def test_bad_limit_rejected(self, limit):
-        with pytest.raises(OptionsError):
+        with pytest.raises(OptionsError, match="limit"):
             QueryOptions(limit=limit)
+
+    def test_zero_limit_is_valid(self):
+        # Unlike timeout, limit=0 is meaningful: "give me no rows".
+        assert QueryOptions(limit=0).limit == 0
 
     @pytest.mark.parametrize("algorithm", ["", None, 7])
     def test_bad_algorithm_rejected(self, algorithm):

@@ -154,7 +154,7 @@ class TestResultSet:
         four_clique = ("edge(a,b), edge(a,c), edge(a,d), edge(b,c), "
                        "edge(b,d), edge(c,d), a<b, b<c, c<d")
         with connect(heavy) as session:
-            result_set = session.run(four_clique, timeout=0.0)  # lazy: no raise
+            result_set = session.run(four_clique, timeout=1e-9)  # lazy: no raise
             with pytest.raises(TimeoutExceeded):
                 result_set.fetchall()
 
@@ -327,7 +327,7 @@ class TestSessionExecute:
         four_clique = ("edge(a,b), edge(a,c), edge(a,d), edge(b,c), "
                        "edge(b,d), edge(c,d), a<b, b<c, c<d")
         with connect(heavy) as session:
-            result = session.execute(four_clique, timeout=0.0)
+            result = session.execute(four_clique, timeout=1e-9)
             assert result.timed_out
 
 

@@ -52,7 +52,7 @@ class TestRunCell:
         assert cell.cell() == "-"
 
     def test_timeout_renders_dash(self):
-        config = BenchmarkConfig(timeout=0.0, repetitions=1, warmup_discard=0)
+        config = BenchmarkConfig(timeout=1e-9, repetitions=1, warmup_discard=0)
         cell = run_cell("naive", "ego-Twitter", "4-clique", config=config)
         assert cell.timed_out
         assert cell.cell() == "-"

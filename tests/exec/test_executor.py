@@ -154,7 +154,7 @@ class TestTimeoutAcrossProcesses:
 
     def test_partitioned_timeout_reports_instead_of_hanging(self, database):
         with QueryEngine(database, parallel=2) as engine:
-            result = engine.execute(TRIANGLE, timeout=0.0)
+            result = engine.execute(TRIANGLE, timeout=1e-9)
         assert result.timed_out
         assert not result.succeeded
 

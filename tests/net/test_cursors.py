@@ -1,0 +1,154 @@
+"""CursorRegistry: paging, idle expiry, capacity, counters (no sockets)."""
+
+import pytest
+
+from repro.api import connect
+from repro.errors import CursorError
+from repro.service.cursors import CursorRegistry
+from repro.storage import Database, edge_relation_from_pairs
+
+TWO_HOP = "edge(a,b), edge(b,c)"
+
+
+@pytest.fixture
+def session():
+    pairs = [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4), (2, 4)]
+    with connect(Database([edge_relation_from_pairs(pairs)])) as session:
+        yield session
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestPaging:
+    def test_fetch_pages_through_the_stream(self, session):
+        registry = CursorRegistry()
+        expected = sorted(session.run(TWO_HOP, use_cache=False).fetchall())
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        collected, done = [], False
+        while not done:
+            rows, done, _ = registry.fetch(cursor.cursor_id, 7)
+            collected.extend(rows)
+        assert sorted(collected) == expected
+
+    def test_exhausted_cursor_is_auto_closed(self, session):
+        registry = CursorRegistry()
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False, limit=3))
+        rows, done, _ = registry.fetch(cursor.cursor_id, 100)
+        assert len(rows) == 3 and done
+        assert len(registry) == 0
+        assert registry.stats.exhausted == 1
+        with pytest.raises(CursorError, match="unknown cursor"):
+            registry.fetch(cursor.cursor_id, 1)
+
+    def test_page_larger_than_remaining(self, session):
+        registry = CursorRegistry()
+        total = session.run(TWO_HOP, use_cache=False).count()
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        first, done, _ = registry.fetch(cursor.cursor_id, total - 1)
+        assert len(first) == total - 1 and not done
+        rest, done, _ = registry.fetch(cursor.cursor_id, 10_000)
+        assert len(rest) == 1 and done
+
+    def test_empty_result_drains_immediately(self, session):
+        registry = CursorRegistry()
+        cursor = registry.open(
+            # Unsatisfiable filter pair: the stream is empty.
+            session.run("edge(a,b), a<b, b<a", use_cache=False)
+        )
+        rows, done, _ = registry.fetch(cursor.cursor_id, 5)
+        assert rows == [] and done
+
+    def test_cache_served_result_still_pages_fully(self, session):
+        # A result served from the session's result cache is "complete"
+        # before the cursor moves; paging must still deliver every row.
+        session.run(TWO_HOP).fetchall()  # warm the cache
+        hot = session.run(TWO_HOP)
+        registry = CursorRegistry()
+        cursor = registry.open(hot)
+        collected, done = [], False
+        while not done:
+            rows, done, _ = registry.fetch(cursor.cursor_id, 5)
+            collected.extend(rows)
+        assert hot.stats.result_cached
+        assert len(collected) == session.run(TWO_HOP).count()
+
+
+class TestLifecycle:
+    def test_close_then_fetch_is_a_cursor_error(self, session):
+        registry = CursorRegistry()
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        assert registry.close(cursor.cursor_id) is True
+        assert registry.close(cursor.cursor_id) is False  # idempotent
+        with pytest.raises(CursorError):
+            registry.fetch(cursor.cursor_id, 1)
+
+    def test_capacity_bound(self, session):
+        registry = CursorRegistry(max_cursors=2)
+        registry.open(session.run(TWO_HOP, use_cache=False))
+        registry.open(session.run(TWO_HOP, use_cache=False))
+        with pytest.raises(CursorError, match="too many open cursors"):
+            registry.open(session.run(TWO_HOP, use_cache=False))
+
+    def test_close_all(self, session):
+        registry = CursorRegistry()
+        for _ in range(3):
+            registry.open(session.run(TWO_HOP, use_cache=False))
+        assert registry.close_all() == 3
+        assert len(registry) == 0
+
+    def test_stats_counters(self, session):
+        registry = CursorRegistry()
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        registry.fetch(cursor.cursor_id, 4)
+        registry.close(cursor.cursor_id)
+        stats = registry.stats.as_dict()
+        assert stats["opened"] == 1
+        assert stats["closed"] == 1
+        assert stats["rows_streamed"] == 4
+        assert stats["active"] == 0
+
+
+class TestIdleExpiry:
+    def test_idle_cursor_expires_on_sweep(self, session):
+        clock = FakeClock()
+        registry = CursorRegistry(ttl=10.0, clock=clock)
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        clock.now = 5.0
+        assert registry.expire_idle() == []
+        clock.now = 10.1
+        assert registry.expire_idle() == [cursor.cursor_id]
+        assert registry.stats.expired == 1
+        with pytest.raises(CursorError, match="expired"):
+            registry.fetch(cursor.cursor_id, 1)
+
+    def test_fetch_refreshes_the_idle_clock(self, session):
+        clock = FakeClock()
+        registry = CursorRegistry(ttl=10.0, clock=clock)
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        clock.now = 8.0
+        registry.fetch(cursor.cursor_id, 1)
+        clock.now = 16.0  # 8s after the fetch, 16s after open
+        assert registry.expire_idle() == []
+
+    def test_access_enforces_ttl_between_sweeps(self, session):
+        clock = FakeClock()
+        registry = CursorRegistry(ttl=10.0, clock=clock)
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        clock.now = 20.0
+        with pytest.raises(CursorError, match="expired"):
+            registry.fetch(cursor.cursor_id, 1)
+
+    def test_ttl_none_never_expires(self, session):
+        clock = FakeClock()
+        registry = CursorRegistry(ttl=None, clock=clock)
+        cursor = registry.open(session.run(TWO_HOP, use_cache=False))
+        clock.now = 1e9
+        assert registry.expire_idle() == []
+        rows, _, _ = registry.fetch(cursor.cursor_id, 2)
+        assert len(rows) == 2

@@ -1,0 +1,153 @@
+"""Framing and error envelopes: the pure, socket-free protocol layer."""
+
+import asyncio
+import io
+import json
+import struct
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CursorError,
+    OptionsError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    TimeoutExceeded,
+    UnknownAlgorithmError,
+)
+from repro.net import protocol
+
+
+def encode_many(*payloads) -> io.BytesIO:
+    return io.BytesIO(b"".join(protocol.encode_frame(p) for p in payloads))
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": 1, "op": "run", "query": "edge(a,b)", "β": "✓"}
+        stream = encode_many(payload)
+        assert protocol.read_frame(stream.read) == payload
+
+    def test_multiple_frames_share_a_stream(self):
+        frames = [{"id": i, "op": "fetch"} for i in range(5)]
+        stream = encode_many(*frames)
+        for expected in frames:
+            assert protocol.read_frame(stream.read) == expected
+        assert protocol.read_frame(stream.read) is None  # clean EOF
+
+    def test_eof_at_boundary_is_none(self):
+        assert protocol.read_frame(io.BytesIO(b"").read) is None
+
+    def test_eof_inside_length_prefix_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(io.BytesIO(b"\x00\x00").read)
+
+    def test_eof_inside_body_raises(self):
+        truncated = protocol.encode_frame({"id": 1})[:-2]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(io.BytesIO(truncated).read)
+
+    def test_oversized_announcement_rejected(self):
+        prefix = struct.pack("!I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            protocol.read_frame(io.BytesIO(prefix + b"x").read)
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        framed = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.read_frame(io.BytesIO(framed).read)
+
+    def test_invalid_json_rejected(self):
+        body = b"{not json"
+        framed = struct.pack("!I", len(body)) + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.read_frame(io.BytesIO(framed).read)
+
+    def test_async_reader_matches_sync(self):
+        payload = {"id": 9, "op": "hello"}
+        data = protocol.encode_frame(payload)
+
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            first = await protocol.read_frame_async(reader.readexactly)
+            second = await protocol.read_frame_async(reader.readexactly)
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first == payload
+        assert second is None
+
+    def test_async_reader_mid_frame_eof_raises(self):
+        data = protocol.encode_frame({"id": 1})[:-1]
+
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await protocol.read_frame_async(reader.readexactly)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            asyncio.run(main())
+
+
+class TestErrorEnvelopes:
+    """The taxonomy survives the wire: same class out as went in."""
+
+    CASES = [
+        (ParseError("bad query"), "parse", 3, ParseError),
+        (UnknownAlgorithmError("no such"), "unknown_algorithm", 4,
+         UnknownAlgorithmError),
+        (OptionsError("bad options"), "options", 5, OptionsError),
+        (TimeoutExceeded(2.5, 1.0), "timeout", 6, TimeoutExceeded),
+        (CursorError("gone"), "cursor", 1, CursorError),
+        (AdmissionError("full"), "admission", 1, AdmissionError),
+        (ServiceError("down"), "service", 1, ServiceError),
+        (ReproError("other"), "error", 1, ReproError),
+    ]
+
+    @pytest.mark.parametrize(
+        "error,code,exit_code,cls", CASES,
+        ids=[code for _, code, _, _ in CASES])
+    def test_round_trip_preserves_class_and_exit_code(
+            self, error, code, exit_code, cls):
+        envelope = protocol.error_envelope(error)
+        assert envelope["code"] == code
+        assert envelope["exit_code"] == exit_code
+        with pytest.raises(cls) as excinfo:
+            protocol.raise_remote_error(envelope)
+        assert type(excinfo.value) is cls
+
+    def test_timeout_carries_elapsed_and_budget(self):
+        envelope = protocol.error_envelope(TimeoutExceeded(2.5, 1.0))
+        with pytest.raises(TimeoutExceeded) as excinfo:
+            protocol.raise_remote_error(envelope)
+        assert excinfo.value.elapsed == 2.5
+        assert excinfo.value.budget == 1.0
+
+    def test_envelope_survives_json(self):
+        envelope = protocol.error_envelope(ParseError("α is not a query"))
+        decoded = json.loads(json.dumps(envelope))
+        with pytest.raises(ParseError, match="α"):
+            protocol.raise_remote_error(decoded)
+
+    def test_unknown_code_degrades_to_repro_error(self):
+        with pytest.raises(ReproError, match="mystery"):
+            protocol.raise_remote_error(
+                {"code": "from-the-future", "message": "mystery"}
+            )
+
+    def test_malformed_envelope_degrades_to_repro_error(self):
+        with pytest.raises(ReproError):
+            protocol.raise_remote_error("not an envelope")
+
+    def test_responses_echo_the_request_id(self):
+        assert protocol.ok_response(41, rows=[])["id"] == 41
+        failed = protocol.error_response(42, ParseError("x"))
+        assert failed["id"] == 42
+        assert failed["ok"] is False

@@ -1,0 +1,149 @@
+"""Remote parity: ``RemoteSession.run`` must return byte-identical answers
+to an in-process ``Session.run`` for every registered algorithm × every
+partitioning scheme, and cursor paging must reassemble the stream exactly
+regardless of page-size sequence."""
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.session import Session
+from repro.engine import default_registry
+from repro.errors import ReproError
+from repro.net.client import RemoteSession
+from repro.net.server import ServerThread
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+
+#: Every name in the default registry, paper aliases included.
+ALGORITHMS = sorted(default_registry())
+
+#: One query per structural regime the planner distinguishes.
+QUERIES = (
+    "edge(a,b), edge(b,c), edge(a,c), a<b, b<c",   # cyclic
+    "v1(a), v2(c), edge(a,b), edge(b,c)",          # β-acyclic, sampled
+)
+
+PARALLEL = (None, (2, "hash"), (2, "hypercube"))
+
+
+@pytest.fixture(scope="module")
+def service():
+    with QueryService(graph_database(14, 40, seed=5)) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    with ServerThread(service) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def remote(server):
+    with RemoteSession(server.url) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def local(service):
+    with Session(service.database) as session:
+        yield session
+
+
+def _normalized_bindings(bindings) -> List[Tuple[Tuple[str, int], ...]]:
+    return sorted(
+        tuple(sorted((variable.name, value)
+                     for variable, value in binding.items()))
+        for binding in bindings
+    )
+
+
+@pytest.mark.parametrize("shards_mode", PARALLEL,
+                         ids=["serial", "hash2", "hypercube2"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_remote_matches_local_for_every_algorithm(algorithm, shards_mode,
+                                                  remote, local):
+    overrides = {} if shards_mode is None else {
+        "parallel": shards_mode[0], "partition_mode": shards_mode[1],
+    }
+    for text in QUERIES:
+        # count parity (count-only algorithms support just this).
+        try:
+            expected_count = local.run(
+                text, algorithm=algorithm, use_cache=False, **overrides
+            ).count()
+        except ReproError as error:
+            with pytest.raises(type(error)):
+                remote.run(text, algorithm=algorithm,
+                           use_cache=False, **overrides).count()
+            continue
+        assert remote.run(
+            text, algorithm=algorithm, use_cache=False, **overrides
+        ).count() == expected_count
+
+        # tuple / binding parity for enumerating algorithms.
+        try:
+            expected_tuples = sorted(local.run(
+                text, algorithm=algorithm, use_cache=False, **overrides
+            ).fetchall())
+        except ReproError as error:
+            with pytest.raises(type(error)):
+                remote.run(text, algorithm=algorithm,
+                           use_cache=False, **overrides).fetchall()
+            continue
+        assert sorted(remote.run(
+            text, algorithm=algorithm, use_cache=False, **overrides
+        ).fetchall()) == expected_tuples
+        assert _normalized_bindings(remote.run(
+            text, algorithm=algorithm, use_cache=False, **overrides
+        )) == _normalized_bindings(local.run(
+            text, algorithm=algorithm, use_cache=False, **overrides
+        ))
+
+
+def test_cached_and_uncached_remote_runs_agree(remote, local):
+    for text in QUERIES:
+        expected = sorted(local.run(text, use_cache=False).fetchall())
+        # Twice: the second pass may come from the server's result cache.
+        for _ in range(2):
+            assert sorted(remote.run(text).fetchall()) == expected
+            assert remote.run(text).count() == len(expected)
+
+
+page_sizes = st.lists(st.integers(min_value=1, max_value=50),
+                      min_size=1, max_size=20)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+
+
+class TestCursorPagingProperties:
+    """Any sequence of page sizes reassembles exactly the full stream."""
+
+    @given(page_sizes)
+    @PROPERTY_SETTINGS
+    def test_paging_reassembles_the_stream(self, remote, local, sizes):
+        expected = local.run(QUERIES[0], use_cache=False).fetchall()
+        result_set = remote.run(QUERIES[0], use_cache=False)
+        collected: List[tuple] = []
+        for size in sizes:
+            collected.extend(result_set.fetchmany(size))
+        collected.extend(result_set.fetchall())
+        assert sorted(collected) == sorted(expected)
+        assert result_set.fetchmany(5) == []  # forward-only: drained
+
+    @given(st.integers(min_value=0, max_value=60))
+    @PROPERTY_SETTINGS
+    def test_limit_parity(self, remote, local, limit):
+        expected = local.run(QUERIES[0], use_cache=False,
+                             limit=limit).fetchall()
+        got = remote.run(QUERIES[0], use_cache=False, limit=limit).fetchall()
+        assert len(got) == len(expected)
+        assert sorted(got) == sorted(expected)

@@ -104,7 +104,7 @@ def test_timeout_is_reported() -> None:
     four_clique = ("edge(a, b), edge(a, c), edge(a, d), edge(b, c), "
                    "edge(b, d), edge(c, d), a < b, b < c, c < d")
     with QueryService(heavy) as service:
-        outcome = service.execute(four_clique, timeout=0.0)
+        outcome = service.execute(four_clique, timeout=1e-9)
     assert outcome.timed_out
     assert not outcome.succeeded
 

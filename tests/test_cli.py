@@ -113,10 +113,17 @@ class TestUniformErrors:
 
     def test_timeout_returns_distinct_code(self, capsys):
         code = main(["query", "--dataset", "ego-Twitter", "--pattern",
-                     "4-clique", "--algorithm", "naive", "--timeout", "0.0"])
+                     "4-clique", "--algorithm", "naive", "--timeout", "1e-9"])
         assert code == EXIT_TIMEOUT
         err = capsys.readouterr().err
         assert "timed out" in err and err.count("\n") == 1
+
+    def test_zero_timeout_is_invalid_options(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc", "--pattern", "3-clique",
+                     "--timeout", "0.0"])
+        assert code == EXIT_BAD_OPTIONS
+        err = capsys.readouterr().err
+        assert "timeout" in err and err.count("\n") == 1
 
     def test_parse_failure_returns_distinct_code(self, capsys):
         code = main(["query", "--dataset", "ca-GrQc", "--text", "edge(a,"])
@@ -232,6 +239,112 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert out.count("error:") == 2
+
+    def test_interrupt_drains_instead_of_tracebacking(self, capsys,
+                                                      monkeypatch):
+        class InterruptedStdin:
+            """One good line, then the operator hits Ctrl-C."""
+
+            def __iter__(self):
+                yield "edge(a,b), edge(b,c), edge(a,c), a<b<c\n"
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("sys.stdin", InterruptedStdin())
+        code = main(["serve", "--dataset", "p2p-Gnutella04"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interrupted; draining" in out
+        assert "served:" in out  # the pool drained and stats printed
+
+
+class TestRemote:
+    """query/explain --connect against an in-process wire server."""
+
+    @pytest.fixture(scope="class")
+    def server_url(self):
+        from repro.data.catalog import load_dataset
+        from repro.data.sampling import attach_samples
+        from repro.net.server import ServerThread
+        from repro.service import QueryService
+        from repro.storage import Database
+
+        database = Database([load_dataset("ca-GrQc")])
+        attach_samples(database, 10, sample_names=("v1", "v2", "v3", "v4"))
+        with QueryService(database) as service:
+            with ServerThread(service) as server:
+                yield server.url
+
+    def test_query_connect_matches_local(self, server_url, capsys):
+        args = ["--pattern", "3-clique"]
+        assert main(["query", "--dataset", "ca-GrQc"] + args) == 0
+        local = capsys.readouterr().out
+        assert main(["query", "--connect", server_url] + args) == 0
+        remote = capsys.readouterr().out
+        import re
+        count = lambda out: re.search(r"([\d,]+) results", out).group(1)
+        assert count(local) == count(remote)
+        assert server_url in remote
+
+    def test_query_connect_with_text_and_limit(self, server_url, capsys):
+        assert main(["query", "--connect", server_url, "--text",
+                     "edge(a,b), edge(b,c)", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 results (limit 5)" in out
+
+    def test_explain_connect_matches_local(self, server_url, capsys):
+        args = ["--text", "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"]
+        assert main(["explain", "--dataset", "ca-GrQc"] + args) == 0
+        local = capsys.readouterr().out
+        assert main(["explain", "--connect", server_url] + args) == 0
+        assert capsys.readouterr().out == local
+
+    def test_explain_connect_json(self, server_url, capsys):
+        assert main(["explain", "--connect", server_url, "--json",
+                     "--text", "edge(a,b), edge(b,c)"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["algorithm"] == "ms"
+
+    def test_remote_errors_keep_their_exit_codes(self, server_url, capsys):
+        assert main(["query", "--connect", server_url,
+                     "--text", "edge(a,"]) == EXIT_PARSE
+        capsys.readouterr()
+        assert main(["query", "--connect", server_url, "--text", "edge(a,b)",
+                     "--algorithm", "alien"]) == EXIT_UNKNOWN_ALGORITHM
+        capsys.readouterr()
+
+    def test_unreachable_server_is_a_plain_error(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        code = main(["query", "--connect", f"repro://127.0.0.1:{free_port}",
+                     "--text", "edge(a,b)"])
+        assert code == EXIT_ERROR
+        assert "could not connect" in capsys.readouterr().err
+
+    def test_dataset_or_connect_required(self, capsys):
+        code = main(["query", "--text", "edge(a,b)"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "--dataset or --connect" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", [["--selectivity", "8"],
+                                      ["--scale", "2.0"]])
+    def test_dataset_shaping_flags_rejected_with_connect(self, server_url,
+                                                         capsys, flag):
+        # The server owns its database: silently ignoring these would
+        # answer for a different dataset than the user asked about.
+        code = main(["query", "--connect", server_url,
+                     "--pattern", "3-path"] + flag)
+        assert code == EXIT_BAD_OPTIONS
+        assert "server" in capsys.readouterr().err
+
+    def test_local_pattern_defaults_selectivity(self, capsys):
+        # Without --selectivity the local path still attaches samples
+        # at the documented default of 10.
+        assert main(["query", "--dataset", "ca-GrQc",
+                     "--pattern", "3-path"]) == 0
+        assert "results" in capsys.readouterr().out
 
 
 class TestWorkload:

@@ -84,7 +84,7 @@ class TestExecution:
 
     def test_execute_timeout_renders_dash(self):
         db = graph_database(60, 500, seed=71, samples=())
-        engine = QueryEngine(db, timeout=0.0)
+        engine = QueryEngine(db, timeout=1e-9)
         result = engine.execute(build_query("4-clique"), algorithm="lftj")
         assert result.timed_out
         assert result.cell() == "-"
@@ -99,5 +99,5 @@ class TestExecution:
         db = graph_database(60, 500, seed=73, samples=())
         engine = QueryEngine(db, timeout=None)
         result = engine.execute(build_query("4-clique"), algorithm="lftj",
-                                timeout=0.0)
+                                timeout=1e-9)
         assert result.timed_out

@@ -111,5 +111,5 @@ class TestPreparedExecution:
         db = graph_database(60, 500, seed=71, samples=())
         engine = QueryEngine(db)
         prepared = engine.prepare(build_query("4-clique"), algorithm="lftj")
-        result = engine.execute(prepared, timeout=0.0)
+        result = engine.execute(prepared, timeout=1e-9)
         assert result.timed_out
