@@ -293,7 +293,9 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             limit: Optional[int] = None,
             engine: Optional[QueryEngine] = None,
             plan_cache_size: int = 128,
-            result_cache_size: int = 256):
+            result_cache_size: int = 256,
+            pool_size: Optional[int] = None,
+            retries: Optional[int] = None):
     """Open a :class:`Session` over a dataset, database, or relations —
     or a :class:`~repro.net.client.RemoteSession` over the network.
 
@@ -306,6 +308,11 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
     database and caches).  The remaining keyword arguments become the
     session's default :class:`QueryOptions` — callers override any of
     them per query via ``session.run(query, parallel=4, ...)``.
+
+    ``pool_size`` and ``retries`` tune the remote connection pool (how
+    many TCP connections the client may hold, and how many times an
+    idempotent request is replayed with backoff after a transport
+    failure); they are remote-only and rejected for in-process sources.
     """
     if source is not None and relations is not None:
         raise OptionsError("pass either a source or relations=, not both")
@@ -317,13 +324,27 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
                 "server owns its database (scale/selectivity), engine, "
                 "and caches (plan_cache_size/result_cache_size)"
             )
-        from repro.net.client import RemoteSession
+        from repro.net.client import (
+            DEFAULT_POOL_SIZE,
+            DEFAULT_RETRIES,
+            RemoteSession,
+        )
 
-        return RemoteSession(source, options=QueryOptions(
-            algorithm=algorithm, parallel=parallel,
-            partition_mode=partition_mode, timeout=timeout,
-            use_cache=use_cache, limit=limit,
-        ))
+        return RemoteSession(
+            source,
+            options=QueryOptions(
+                algorithm=algorithm, parallel=parallel,
+                partition_mode=partition_mode, timeout=timeout,
+                use_cache=use_cache, limit=limit,
+            ),
+            pool_size=DEFAULT_POOL_SIZE if pool_size is None else pool_size,
+            retries=DEFAULT_RETRIES if retries is None else retries,
+        )
+    if pool_size is not None or retries is not None:
+        raise OptionsError(
+            "pool_size/retries tune the remote connection pool; an "
+            "in-process session has no wire to pool or retry"
+        )
     if isinstance(source, Database):
         database = source
     elif isinstance(source, str):

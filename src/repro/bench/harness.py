@@ -459,6 +459,169 @@ def run_remote_vs_local(database: Database, query_texts: Sequence[str],
     )
 
 
+@dataclass
+class PipelinedThroughputResult:
+    """Throughput of the three remote client shapes on one stream.
+
+    * ``serial`` — one connection, one request at a time: the PR-4
+      baseline client.
+    * ``pooled`` — ``concurrency`` worker threads sharing one
+      :class:`~repro.net.client.RemoteSession`, each request on its own
+      pooled connection.
+    * ``pipelined`` — ``asyncio.gather`` over the whole stream on one
+      :class:`~repro.net.client.AsyncRemoteSession`: every request
+      multiplexed over a *single* socket, matched by request id, with
+      the server overlapping their execution on its worker pool.
+
+    ``consistent`` records whether all three streams returned answers
+    identical to a warm-up reference, request by request.
+    """
+
+    operations: int
+    unique_queries: int
+    concurrency: int
+    serial_seconds: float
+    pooled_seconds: float
+    pipelined_seconds: float
+    consistent: bool
+    url: str = ""
+
+    def _qps(self, seconds: float) -> float:
+        return self.operations / seconds if seconds else float("inf")
+
+    @property
+    def serial_qps(self) -> float:
+        return self._qps(self.serial_seconds)
+
+    @property
+    def pooled_qps(self) -> float:
+        return self._qps(self.pooled_seconds)
+
+    @property
+    def pipelined_qps(self) -> float:
+        return self._qps(self.pipelined_seconds)
+
+    @property
+    def pooled_speedup(self) -> float:
+        return self.serial_seconds / self.pooled_seconds \
+            if self.pooled_seconds else float("inf")
+
+    @property
+    def pipelined_speedup(self) -> float:
+        return self.serial_seconds / self.pipelined_seconds \
+            if self.pipelined_seconds else float("inf")
+
+    def format(self) -> str:
+        verdict = "identical answers" if self.consistent \
+            else "ANSWER MISMATCH"
+        return "\n".join([
+            f"pipelined throughput ({self.operations} ops over "
+            f"{self.unique_queries} unique queries via {self.url}, "
+            f"concurrency {self.concurrency}):",
+            f"  serial    (1 conn, 1 in flight) : "
+            f"{self.serial_qps:>8.1f} q/s",
+            f"  pooled    ({self.concurrency} conns, threads)   : "
+            f"{self.pooled_qps:>8.1f} q/s  "
+            f"({self.pooled_speedup:.2f}x)",
+            f"  pipelined (1 conn, multiplexed) : "
+            f"{self.pipelined_qps:>8.1f} q/s  "
+            f"({self.pipelined_speedup:.2f}x)",
+            f"  ({verdict})",
+        ])
+
+
+def run_pipelined_throughput(database: Database,
+                             query_texts: Sequence[str],
+                             repeats: int = 10,
+                             concurrency: int = 8,
+                             timeout: Optional[float] = None
+                             ) -> PipelinedThroughputResult:
+    """Measure what pooling and pipelining buy over a serial connection.
+
+    One :class:`~repro.service.QueryService` behind one in-thread
+    :class:`~repro.net.server.ReproServer` answers the same
+    repeated-query count stream three ways: a serial one-request-at-a-
+    time connection, a thread-driven connection pool, and a single
+    multiplexed asyncio connection carrying every request concurrently
+    (``asyncio.gather``).  A warm-up round runs first so all passes see
+    the same cache state, and every answer of every pass is verified
+    against the warm-up reference — the correctness half of the
+    experiment.  Real overlap needs real cores (and a real network adds
+    the latency that pipelining hides best); in-process over loopback
+    the pooled/pipelined passes mostly measure scheduling overlap.
+    """
+    import asyncio
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.net.client import RemoteSession, connect_async
+    from repro.net.server import ServerThread
+    from repro.service.service import QueryService, ServiceConfig
+
+    stream = [text for _ in range(repeats) for text in query_texts]
+
+    with QueryService(
+        database,
+        ServiceConfig(workers=max(4, concurrency), default_timeout=timeout),
+    ) as service:
+        with ServerThread(service) as server:
+            url = server.url
+            with RemoteSession(url, pool_size=1) as warm:
+                expected = {
+                    text: warm.run(text, timeout=timeout).count()
+                    for text in query_texts
+                }
+            reference = [expected[text] for text in stream]
+
+            with RemoteSession(url, pool_size=1) as session:
+                started = time.perf_counter()
+                serial_answers = [
+                    session.run(text, timeout=timeout).count()
+                    for text in stream
+                ]
+                serial_seconds = time.perf_counter() - started
+
+            with RemoteSession(url, pool_size=concurrency) as session:
+                with ThreadPoolExecutor(concurrency) as workers:
+                    started = time.perf_counter()
+                    pooled_answers = list(workers.map(
+                        lambda text: session.run(
+                            text, timeout=timeout
+                        ).count(),
+                        stream,
+                    ))
+                    pooled_seconds = time.perf_counter() - started
+
+            async def _pipelined():
+                session = await connect_async(url, timeout=timeout)
+                try:
+                    async def one(text: str) -> int:
+                        result_set = await session.run(text)
+                        return await result_set.count()
+
+                    started = time.perf_counter()
+                    answers = await asyncio.gather(
+                        *[one(text) for text in stream]
+                    )
+                    return time.perf_counter() - started, list(answers)
+                finally:
+                    await session.close()
+
+            pipelined_seconds, pipelined_answers = asyncio.run(_pipelined())
+
+    return PipelinedThroughputResult(
+        operations=len(stream),
+        unique_queries=len(set(query_texts)),
+        concurrency=concurrency,
+        serial_seconds=serial_seconds,
+        pooled_seconds=pooled_seconds,
+        pipelined_seconds=pipelined_seconds,
+        consistent=(serial_answers == reference
+                    and pooled_answers == reference
+                    and pipelined_answers == reference),
+        url=url,
+    )
+
+
 def speedup(baseline: BenchmarkCell, improved: BenchmarkCell) -> Optional[float]:
     """``baseline.seconds / improved.seconds`` or ``None`` if either failed."""
     if not baseline.succeeded or not improved.succeeded:

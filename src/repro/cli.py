@@ -100,6 +100,16 @@ def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--connect", metavar="URL", default=None,
                      help="run against a repro server at repro://host:port "
                           "instead of loading the dataset in-process")
+    # Default None so "explicitly asked" is distinguishable: these tune
+    # the remote connection pool and are a contradiction without
+    # --connect, not silently ignored knobs.
+    sub.add_argument("--pool-size", type=int, default=None, metavar="N",
+                     help="with --connect: max TCP connections the client "
+                          "holds to the server (default: 4)")
+    sub.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="with --connect: how many times an idempotent "
+                          "request is replayed with backoff after a "
+                          "connection failure (default: 2)")
     group = sub.add_mutually_exclusive_group(required=True)
     group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
                       help="named benchmark pattern")
@@ -290,12 +300,27 @@ def _target_session(args: argparse.Namespace,
                 "--scale/--selectivity shape an in-process dataset; "
                 "the server at --connect owns its own"
             )
-        from repro.net.client import RemoteSession
+        from repro.net.client import (
+            DEFAULT_POOL_SIZE,
+            DEFAULT_RETRIES,
+            RemoteSession,
+        )
 
-        session: object = RemoteSession(args.connect, options=options)
+        session: object = RemoteSession(
+            args.connect, options=options,
+            pool_size=DEFAULT_POOL_SIZE if args.pool_size is None
+            else args.pool_size,
+            retries=DEFAULT_RETRIES if args.retries is None
+            else args.retries,
+        )
         query = pattern(args.pattern).build() if args.pattern \
             else parse_query(args.text)
         return session, query
+    if args.pool_size is not None or args.retries is not None:
+        raise OptionsError(
+            "--pool-size/--retries tune the remote connection pool and "
+            "need --connect"
+        )
     if not args.dataset:
         raise OptionsError("either --dataset or --connect is required")
     database = Database([load_dataset(args.dataset, scale=args.scale)])

@@ -16,8 +16,10 @@ multi-client system::
   **server-side cursors** the client pages with ``FETCH`` requests.
 * :mod:`repro.net.client` — ``connect("repro://host:port")`` returning a
   :class:`RemoteSession` with the exact :class:`~repro.api.session.Session`
-  surface (``run`` / ``explain`` / ``close``), plus
-  ``connect_async`` for ``await session.run(...)``.
+  surface (``run`` / ``explain`` / ``close``) behind a health-checked
+  :class:`ConnectionPool` with bounded-backoff retry of idempotent ops,
+  plus ``connect_async`` for ``await session.run(...)`` — a single
+  multiplexed connection that pipelines concurrent requests.
 
 Everything here sits at the very top of the layer stack; nothing below
 :mod:`repro.cli` imports it at module level.
@@ -25,6 +27,7 @@ Everything here sits at the very top of the layer stack; nothing below
 
 from repro.net.client import (
     AsyncRemoteSession,
+    ConnectionPool,
     RemoteResultSet,
     RemoteSession,
     connect,
@@ -36,6 +39,7 @@ from repro.net.server import ReproServer, ServerThread
 
 __all__ = [
     "AsyncRemoteSession",
+    "ConnectionPool",
     "PROTOCOL_VERSION",
     "RemoteResultSet",
     "RemoteSession",

@@ -1,6 +1,6 @@
 """:class:`RemoteSession` — the client end of the wire protocol.
 
-``connect("repro://host:port")`` opens a TCP connection to a
+``connect("repro://host:port")`` opens a pooled client against a
 :class:`~repro.net.server.ReproServer` and returns a session with the
 exact :class:`~repro.api.session.Session` execution surface::
 
@@ -9,18 +9,36 @@ exact :class:`~repro.api.session.Session` execution surface::
             ...
         session.explain("edge(a,b), edge(b,c)").render()
 
+This is the **resilience layer** of the network stack:
+
+* a size-bounded :class:`ConnectionPool` with health-checked checkout —
+  stale sockets left behind by a server restart are detected and
+  replaced, never handed to a request;
+* **automatic reconnect with bounded exponential-backoff retry** for the
+  idempotent operations (``hello`` / ``run`` / ``explain`` / ``count`` /
+  ``stats``): a connection lost mid-request is discarded, a fresh one is
+  dialled, and the request replayed up to ``retries`` times;
+* **never** for a cursor ``fetch``: a server-side cursor lives on one
+  server connection and dies with it, so replaying a fetch could silently
+  skip or repeat rows.  A lost connection mid-stream raises a crisp
+  :class:`~repro.errors.CursorError` telling the caller to re-run the
+  query instead.
+
 ``run`` returns a :class:`RemoteResultSet`: the server holds the lazy
 result stream as a **server-side cursor** and the client pages it with
 ``fetchmany``-sized ``fetch`` requests — consuming *k* rows of a huge
 join moves O(k) rows over the wire and pulls O(k) rows from the
 executor, the same laziness contract as a local
-:class:`~repro.api.result.ResultSet`.  Both share the
-:class:`~repro.api.result.RowCursor` surface, so iteration, ``rows()``,
-``fetchmany``, and ``fetchall`` compose identically.
+:class:`~repro.api.result.ResultSet`.  The cursor pins one pooled
+connection from first fetch until it drains or closes (cursors are
+per-connection server state); ``run`` / ``count`` / ``explain`` traffic
+flows over the rest of the pool concurrently.
 
-``connect_async`` is the :mod:`asyncio` twin: ``await session.run(...)``
-returns an :class:`AsyncRemoteResultSet` supporting ``async for`` and
-awaitable fetches.
+``connect_async`` is the :mod:`asyncio` twin — and it **multiplexes**:
+one socket carries any number of in-flight requests, matched to their
+responses by the protocol's request ids, so ``asyncio.gather`` over many
+``session.run(...)`` calls pipelines them through a single connection
+and the server overlaps their execution on its worker pool.
 
 Server-reported failures re-raise as their original
 :class:`~repro.errors.ReproError` subclasses (parse errors as
@@ -31,35 +49,134 @@ handling — including the CLI's exit-code mapping — is transport-agnostic.
 from __future__ import annotations
 
 import socket
+import threading
 import time
 from collections import deque
 from dataclasses import asdict
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.api.options import QueryOptions
 from repro.api.result import ResultStats, Row, RowCursor
 from repro.datalog.terms import Variable
-from repro.errors import CursorError, NetworkError, ProtocolError
+from repro.errors import (
+    AdmissionError,
+    CursorError,
+    NetworkError,
+    OptionsError,
+    ProtocolError,
+    ReproError,
+)
 from repro.net import protocol
 from repro.net.server import DEFAULT_PORT
 
 #: How many rows one iteration-driven fetch pulls by default.
 DEFAULT_FETCH_SIZE = 512
 
+#: Connections a :class:`ConnectionPool` may hold open at once.
+DEFAULT_POOL_SIZE = 4
+
+#: How many times an idempotent request is replayed after a transport
+#: failure (so ``retries=2`` means up to three attempts in total).
+DEFAULT_RETRIES = 2
+
+#: First retry delay, seconds; doubles per attempt up to the cap below.
+DEFAULT_RETRY_BACKOFF = 0.05
+_MAX_RETRY_BACKOFF = 2.0
+
+#: Operations safe to replay on a fresh connection after a transport
+#: failure.  ``run`` and ``explain`` only plan, ``count`` and ``stats``
+#: only read, ``hello`` is a handshake.  Cursor ops (``cursor`` /
+#: ``fetch`` / ``close``) are deliberately absent: they name server-side
+#: stream state that dies with its connection.
+IDEMPOTENT_OPS = frozenset({"hello", "run", "explain", "count", "stats"})
+
+
+class PoolExhausted(NetworkError):
+    """Every pooled connection is checked out and none freed in time.
+
+    Deliberately distinct from transport failures: retrying cannot help
+    (nothing will be checked in while the retry sleeps — the checkout
+    already waited), so the retry loop re-raises this immediately and
+    the caller gets the actionable message without the backoff tax.
+    """
+
+
+def _validate_resilience_knobs(pool_size: Optional[int], retries: int,
+                               retry_backoff: float) -> None:
+    """Reject nonsense knob values instead of silently clamping them.
+
+    Same boundary discipline as :class:`QueryOptions` (zero timeouts and
+    negative limits raise): a ``pool_size`` below 1, negative
+    ``retries``, or non-positive ``retry_backoff`` is a typo, not a
+    request for different behavior.
+    """
+    if pool_size is not None and int(pool_size) < 1:
+        raise OptionsError(
+            f"pool_size must be at least 1, got {pool_size!r}"
+        )
+    if int(retries) < 0:
+        raise OptionsError(f"retries must be >= 0, got {retries!r}")
+    if not float(retry_backoff) > 0:
+        raise OptionsError(
+            f"retry_backoff must be positive seconds, got {retry_backoff!r}"
+        )
+
 
 def parse_url(url: str) -> Tuple[str, int]:
-    """Split ``repro://host[:port]`` into ``(host, port)``."""
+    """Split ``repro://host[:port]`` into ``(host, port)``.
+
+    The grammar::
+
+        repro://host            → (host, DEFAULT_PORT)
+        repro://host:9944       → (host, 9944)
+        repro://[::1]:9944      → ("::1", 9944)     # brackets stripped
+        repro://[2001:db8::2]   → ("2001:db8::2", DEFAULT_PORT)
+
+    IPv6 literals must be bracketed (their colons are ambiguous with the
+    port separator otherwise); the brackets are stripped so the result
+    feeds :func:`socket.create_connection` directly.  Empty hosts
+    (``repro://:9944``) and empty or non-numeric ports are rejected.
+    """
     if not isinstance(url, str) or not url.startswith("repro://"):
         raise NetworkError(
             f"remote URL must look like repro://host:port, got {url!r}"
         )
     rest = url[len("repro://"):].rstrip("/")
-    if not rest:
-        raise NetworkError(f"remote URL {url!r} names no host")
-    host, _, port_text = rest.rpartition(":")
+    port_text: Optional[str]
+    if rest.startswith("["):
+        # Bracketed IPv6 literal: [v6]  or  [v6]:port
+        closing = rest.find("]")
+        if closing < 0:
+            raise NetworkError(
+                f"remote URL {url!r} has an unclosed '[' in its host"
+            )
+        host = rest[1:closing]
+        tail = rest[closing + 1:]
+        if not tail:
+            port_text = None
+        elif tail.startswith(":"):
+            port_text = tail[1:]
+        else:
+            raise NetworkError(
+                f"remote URL {url!r} has trailing text after the "
+                f"bracketed host"
+            )
+    elif ":" in rest:
+        host, _, port_text = rest.rpartition(":")
+        if ":" in host:
+            raise NetworkError(
+                f"remote URL {url!r} looks like a bare IPv6 literal; "
+                f"bracket it: repro://[{rest}] or repro://[host]:port"
+            )
+    else:
+        host, port_text = rest, None
     if not host:
-        return rest, DEFAULT_PORT
+        raise NetworkError(f"remote URL {url!r} names no host")
+    if port_text is None:
+        return host, DEFAULT_PORT
     try:
+        if not port_text.isdigit():
+            raise ValueError(port_text)
         port = int(port_text)
     except ValueError:
         raise NetworkError(
@@ -73,6 +190,261 @@ def parse_url(url: str) -> Tuple[str, int]:
 def _options_payload(options: QueryOptions) -> dict:
     """The options bundle as wire JSON (``None`` = inherit server default)."""
     return asdict(options)
+
+
+def _result(response: dict) -> dict:
+    """Unwrap a response: the body on ``ok``, the original error otherwise."""
+    if response.get("ok"):
+        return response
+    protocol.raise_remote_error(response.get("error"))
+
+
+# ----------------------------------------------------------------------
+# Connections and the pool
+# ----------------------------------------------------------------------
+class _WireConnection:
+    """One framed TCP connection: request/response, no retry logic.
+
+    The pool owns reconnection policy; this class only speaks the
+    protocol.  Any transport failure (socket error, EOF, garbage frame,
+    out-of-sequence id) closes the connection and raises
+    :class:`NetworkError` / :class:`ProtocolError` — a poisoned stream
+    must never be reused.
+    """
+
+    def __init__(self, host: str, port: int, url: str,
+                 connect_timeout: float) -> None:
+        self.url = url
+        self.closed = False
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise NetworkError(
+                f"could not connect to {url}: {error}"
+            ) from None
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def exchange(self, op: str, *, _io_timeout: Optional[float] = None,
+                 **params) -> dict:
+        """One request/response round trip; returns the raw response.
+
+        ``_io_timeout`` bounds the socket wait for this one exchange —
+        used for the ``hello`` handshake, so an endpoint that accepts
+        TCP connections but never answers (not a repro server) cannot
+        hang the client forever.  Queries stay unbounded client-side.
+        """
+        if self.closed:
+            raise NetworkError(f"connection to {self.url} is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        frame = {"id": request_id, "op": op, **params}
+        try:
+            if _io_timeout is not None:
+                self._sock.settimeout(_io_timeout)
+            try:
+                self._sock.sendall(protocol.encode_frame(frame))
+                response = protocol.read_frame(self._reader.read)
+            finally:
+                if _io_timeout is not None and not self.closed:
+                    self._sock.settimeout(None)
+        except OSError as error:
+            self.close()
+            raise NetworkError(
+                f"connection to {self.url} failed: {error}"
+            ) from None
+        except ProtocolError:
+            self.close()
+            raise
+        if response is None:
+            self.close()
+            raise NetworkError(f"server at {self.url} closed the connection")
+        if response.get("id") != request_id:
+            # This client sends one request at a time per connection, so
+            # responses must arrive in lockstep; anything else means the
+            # stream is desynchronized beyond recovery.
+            self.close()
+            raise ProtocolError(
+                f"out-of-sequence response: sent id {request_id}, "
+                f"got {response.get('id')!r}"
+            )
+        return response
+
+    def healthy(self) -> bool:
+        """Cheap liveness probe: is the socket still connected and quiet?
+
+        A non-blocking one-byte peek distinguishes the three states: no
+        data pending (healthy), EOF (the server closed — e.g. it was
+        restarted while this connection sat idle in the pool), and stray
+        unsolicited bytes (a desynchronized stream; also unusable).
+        """
+        if self.closed:
+            return False
+        try:
+            self._sock.settimeout(0.0)
+            try:
+                self._sock.recv(1, socket.MSG_PEEK)
+            finally:
+                self._sock.settimeout(None)
+        except (BlockingIOError, InterruptedError):
+            return True  # connected, nothing pending
+        except OSError:
+            return False
+        return False  # EOF or unsolicited data: either way, unusable
+
+    def close(self) -> None:
+        """Idempotent teardown of the reader and socket."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class ConnectionPool:
+    """A size-bounded, health-checked pool of connections to one server.
+
+    ``checkout`` hands back an idle connection when a healthy one exists,
+    dials a new one while fewer than ``size`` are open, and otherwise
+    waits (up to ``connect_timeout`` seconds) for a checkin — so the pool
+    bounds both sockets and the dial rate.  Stale idle connections (a
+    restarted server leaves EOF-ed sockets behind) fail the checkout
+    health probe and are replaced transparently.
+
+    Thread-safe: a :class:`RemoteSession` may be shared by worker threads
+    issuing requests concurrently, each over its own pooled connection.
+    """
+
+    def __init__(self, url: str, size: int = DEFAULT_POOL_SIZE,
+                 connect_timeout: float = 10.0) -> None:
+        self.url = url
+        self.host, self.port = parse_url(url)
+        self.size = max(1, int(size))
+        self.connect_timeout = connect_timeout
+        self._cond = threading.Condition()
+        self._idle: Deque[_WireConnection] = deque()
+        self._all: Set[_WireConnection] = set()
+        self._open = 0  # connections existing: idle + checked out
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._open
+
+    @property
+    def idle(self) -> int:
+        with self._cond:
+            return len(self._idle)
+
+    def checkout(self) -> _WireConnection:
+        """A healthy connection: idle, freshly dialled, or waited for."""
+        deadline = time.monotonic() + self.connect_timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise NetworkError(
+                        f"connection pool to {self.url} is closed"
+                    )
+                while self._idle:
+                    conn = self._idle.popleft()
+                    if conn.healthy():
+                        return conn
+                    self._forget(conn)
+                    conn.close()
+                if self._open < self.size:
+                    self._open += 1
+                    break  # dial outside the lock
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PoolExhausted(
+                        f"connection pool to {self.url} exhausted: all "
+                        f"{self.size} connections are in use (undrained "
+                        f"result sets pin one each — drain or close them, "
+                        f"or raise pool_size)"
+                    )
+                self._cond.wait(remaining)
+        try:
+            conn = _WireConnection(self.host, self.port, self.url,
+                                   self.connect_timeout)
+        except BaseException:
+            with self._cond:
+                self._open -= 1
+                self._cond.notify()
+            raise
+        with self._cond:
+            # close() may have snapshotted its victims while we were
+            # dialling; a connection registered after that snapshot
+            # would outlive the pool, so drop it here instead.
+            closed_meanwhile = self._closed
+            if not closed_meanwhile:
+                self._all.add(conn)
+        if closed_meanwhile:
+            conn.close()
+            raise NetworkError(f"connection pool to {self.url} is closed")
+        return conn
+
+    def checkin(self, conn: _WireConnection) -> None:
+        """Return a connection; unusable or post-close ones are dropped."""
+        drop = False
+        with self._cond:
+            if self._closed or conn.closed:
+                self._forget(conn)
+                drop = True
+            else:
+                self._idle.append(conn)
+                self._cond.notify()
+        if drop:
+            conn.close()
+
+    def discard(self, conn: _WireConnection) -> None:
+        """Drop a poisoned connection, freeing its pool slot."""
+        conn.close()
+        with self._cond:
+            self._forget(conn)
+
+    def _forget(self, conn: _WireConnection) -> None:
+        # Caller holds the lock; closing the socket is the caller's job.
+        if conn in self._all:
+            self._all.discard(conn)
+            self._open -= 1
+            self._cond.notify()
+
+    def pop_all_idle(self) -> List[_WireConnection]:
+        """Remove and return every idle connection (for farewells)."""
+        with self._cond:
+            idle = list(self._idle)
+            self._idle.clear()
+            for conn in idle:
+                self._all.discard(conn)
+            self._open -= len(idle)
+            self._cond.notify_all()
+        return idle
+
+    def close(self) -> None:
+        """Close every connection — including checked-out ones; idempotent.
+
+        Closing pinned connections is deliberate: a session being closed
+        must not leak sockets held by abandoned, undrained result sets.
+        Their next fetch fails with a :class:`CursorError`.
+        """
+        with self._cond:
+            self._closed = True
+            victims = list(self._all)
+            self._all.clear()
+            self._idle.clear()
+            self._open = 0
+            self._cond.notify_all()
+        for conn in victims:
+            conn.close()
 
 
 class RemoteExplain:
@@ -100,10 +472,14 @@ class RemoteExplain:
 class RemoteResultSet(RowCursor):
     """A server-side cursor paged over the wire, with the local surface.
 
-    ``fetchmany(k)`` issues one ``fetch`` of exactly the missing rows;
-    iteration pulls pages of the session's ``fetch_size``.  The cursor is
-    forward-only and shared across the consumption methods, exactly like
-    a local :class:`~repro.api.result.ResultSet`.
+    The cursor is forward-only and shared across the consumption
+    methods, exactly like a local :class:`~repro.api.result.ResultSet`.
+    From the first fetch until the stream drains (or :meth:`close`), the
+    result set pins one pooled connection: a server-side cursor is
+    per-connection state and cannot migrate.  If that connection is lost
+    mid-stream the cursor is gone — fetches raise :class:`CursorError`
+    (never a silent retry, which could skip or repeat rows); re-run the
+    query for a fresh result set.
     """
 
     def __init__(self, session: "RemoteSession", query_text: str,
@@ -113,13 +489,15 @@ class RemoteResultSet(RowCursor):
         self._options = options
         # The server holds no cursor yet: one is opened lazily at the
         # first fetch, so a result set that is only counted (or never
-        # consumed) pins nothing remotely.
+        # consumed) pins nothing remotely — and no pool connection.
         self._cursor_id: Optional[int] = None
+        self._conn: Optional[_WireConnection] = None
         self._variables = tuple(Variable(name) for name in meta["columns"])
         self._meta = meta
         self._buffer: Deque[Row] = deque()
         self._done = False
         self._closed = False
+        self._gone: Optional[str] = None  # why the server stream is lost
         self._delivered = 0
         self._count: Optional[int] = None
         self._final: dict = {}
@@ -169,31 +547,73 @@ class RemoteResultSet(RowCursor):
     # ------------------------------------------------------------------
     # Paging
     # ------------------------------------------------------------------
-    def _ensure_cursor(self) -> int:
-        """Open the server-side cursor on first use."""
+    def _ensure_cursor(self) -> None:
+        """Open the server-side cursor on first use, pinning a connection."""
         if self._cursor_id is None:
-            response = self._session._request(
-                "cursor", query=self._text,
-                options=_options_payload(self._options),
+            self._conn, self._cursor_id = self._session._open_cursor(
+                self._text, _options_payload(self._options)
             )
-            self._cursor_id = response["cursor"]
-        return self._cursor_id
+
+    def _release_conn(self) -> None:
+        """Hand the pinned connection back to the pool (if still held)."""
+        if self._conn is not None:
+            self._session._pool.checkin(self._conn)
+            self._conn = None
 
     def _fetch(self, size: int) -> List[Row]:
         """One wire ``fetch`` of up to ``size`` rows; updates done state."""
         if self._closed:
             raise CursorError("this remote cursor was closed")
+        if self._gone is not None:
+            raise CursorError(self._gone)
         started = time.perf_counter()
-        response = self._session._request(
-            "fetch", cursor=self._ensure_cursor(), size=size
-        )
+        self._ensure_cursor()
+        try:
+            response = self._conn.exchange(
+                "fetch", cursor=self._cursor_id, size=size
+            )
+        except (NetworkError, ProtocolError) as error:
+            # The connection carrying the cursor is gone, and with it the
+            # server-side stream.  A fetch is NOT idempotent — replaying
+            # it on a new connection could skip or repeat rows — so this
+            # is a hard stop, not a retry.
+            self._session._pool.discard(self._conn)
+            self._conn = None
+            self._gone = (
+                f"the server-side cursor for this result set is gone "
+                f"({error}); a cursor lives on one server connection and "
+                f"a fetch is never retried — re-run the query for a "
+                f"fresh result set"
+            )
+            raise CursorError(self._gone) from error
+        try:
+            body = _result(response)
+        except AdmissionError:
+            # Transient overload: admission control rejected the fetch
+            # *before* it reached the stream, so the cursor is untouched
+            # server-side.  Keep the pin — the caller may simply fetch
+            # again when the queue drains.
+            raise
+        except ReproError:
+            # A server-reported fetch failure (cursor expired, execution
+            # error, timeout mid-stream): the connection is healthy but
+            # the server has dropped the cursor.  Release the pin and
+            # re-raise the original error class.
+            self._gone = (
+                "the server-side cursor for this result set failed and "
+                "was dropped by the server; re-run the query for a "
+                "fresh result set"
+            )
+            self._release_conn()
+            raise
         self._seconds += time.perf_counter() - started
-        rows = [tuple(row) for row in response["rows"]]
-        if response["done"]:
+        rows = [tuple(row) for row in body["rows"]]
+        if body["done"]:
             self._done = True
-            self._final = response.get("stats") or {}
+            self._final = body.get("stats") or {}
             if self._final.get("total") is not None:
                 self._count = self._final["total"]
+            self._release_conn()
         return rows
 
     def _check_open(self) -> None:
@@ -216,25 +636,50 @@ class RemoteResultSet(RowCursor):
         return self._buffer.popleft()
 
     def fetchmany(self, size: int = 1) -> List[Row]:
-        """Up to ``size`` more rows, costing one wire round trip at most.
+        """Up to ``size`` more rows off the shared forward-only cursor.
 
-        Rows already buffered by iteration are served first; the
-        remainder is a single ``fetch`` of exactly the missing count, so
-        the server's executor advances by at most ``size`` rows.
+        Rows already buffered by iteration are served first.  The
+        remainder is requested from the server, which clamps one wire
+        ``fetch`` to its ``MAX_FETCH_SIZE`` (65536 by default) — so a
+        request for more than the clamp transparently loops over several
+        round trips, each advancing the server's executor by at most one
+        clamp's worth of rows.  A short return therefore only ever means
+        end-of-answer, exactly like a local result set; a request within
+        the clamp costs a single round trip.
         """
         out: List[Row] = []
         while self._buffer and len(out) < size:
             out.append(self._buffer.popleft())
-        if len(out) < size:
+        try:
+            if len(out) < size:
+                self._check_open()
+            while len(out) < size and not self._done:
+                page = self._fetch(size - len(out))
+                if not page:
+                    break
+                out.extend(page)
+        except BaseException:
+            # A failed wire fetch must not lose rows already in hand
+            # (buffered by iteration or pulled by an earlier loop page):
+            # push them back so a retried call — e.g. after a transient
+            # AdmissionError — resumes at exactly the same position.
+            self._buffer.extendleft(reversed(out))
+            raise
+        self._delivered += len(out)
+        return out
+
+    def fetchall(self) -> List[Row]:
+        """Every remaining row; a failed wire fetch keeps rows in hand
+        (they return to the buffer for the retry) instead of losing them."""
+        out: List[Row] = list(self._buffer)
+        self._buffer.clear()
+        try:
             self._check_open()
-        # Loop: the server clamps one fetch to its MAX_FETCH_SIZE, so a
-        # huge request takes several round trips — a short return must
-        # only ever mean end-of-answer, as with a local result set.
-        while len(out) < size and not self._done:
-            page = self._fetch(size - len(out))
-            if not page:
-                break
-            out.extend(page)
+            while not self._done:
+                out.extend(self._fetch(self._session.fetch_size))
+        except BaseException:
+            self._buffer.extendleft(reversed(out))
+            raise
         self._delivered += len(out)
         return out
 
@@ -247,6 +692,8 @@ class RemoteResultSet(RowCursor):
         Like a local result set's :meth:`~repro.api.result.ResultSet.count`,
         this is a side execution — the cursor position is untouched and
         counting-optimized algorithms / the server's result cache apply.
+        It travels over the pool (not the pinned cursor connection), so
+        it is retried like any idempotent request.
         """
         if self._count is not None:
             return self._count
@@ -267,11 +714,14 @@ class RemoteResultSet(RowCursor):
             return
         self._closed = True
         self._buffer.clear()
-        if self._cursor_id is not None and not self._done:
+        if self._conn is not None and self._cursor_id is not None \
+                and not self._done:
             try:
-                self._session._request("close", cursor=self._cursor_id)
+                _result(self._conn.exchange("close", cursor=self._cursor_id))
             except (NetworkError, CursorError):
                 pass  # connection gone or cursor already expired
+        # checkin drops a connection the failed exchange closed.
+        self._release_conn()
 
 
 class RemoteSession:
@@ -280,7 +730,7 @@ class RemoteSession:
     Parameters
     ----------
     url:
-        ``repro://host[:port]``.
+        ``repro://host[:port]`` (bracket IPv6 literals: ``repro://[::1]``).
     options:
         Session-default :class:`QueryOptions`; per-call overrides apply
         exactly as on a local session.
@@ -288,65 +738,122 @@ class RemoteSession:
         Page size for iteration-driven fetches (explicit ``fetchmany(k)``
         always fetches exactly ``k``).
     connect_timeout:
-        Seconds to wait for the TCP connection (queries themselves are
-        not bounded client-side; use ``QueryOptions.timeout`` for that).
+        Seconds to wait for a TCP connection — and for a free pooled
+        connection when all are checked out (queries themselves are not
+        bounded client-side; use ``QueryOptions.timeout`` for that).
+    pool_size:
+        Upper bound on concurrently open connections.  Worker threads
+        sharing one session each check out their own; every undrained
+        result set pins one for its server-side cursor.
+    retries:
+        How many times an idempotent request (:data:`IDEMPOTENT_OPS`) is
+        replayed on a fresh connection after a transport failure, with
+        exponential backoff starting at ``retry_backoff`` seconds.
+        Cursor fetches are never retried.
     """
 
     def __init__(self, url: str, *, options: Optional[QueryOptions] = None,
                  fetch_size: int = DEFAULT_FETCH_SIZE,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0,
+                 pool_size: int = DEFAULT_POOL_SIZE,
+                 retries: int = DEFAULT_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> None:
+        _validate_resilience_knobs(pool_size, retries, retry_backoff)
         self.url = url
         self.defaults = options if options is not None else QueryOptions()
         self.fetch_size = max(1, int(fetch_size))
-        host, port = parse_url(url)
-        try:
-            self._sock = socket.create_connection(
-                (host, port), timeout=connect_timeout
-            )
-        except OSError as error:
-            raise NetworkError(
-                f"could not connect to {url}: {error}"
-            ) from None
-        self._sock.settimeout(None)
-        self._reader = self._sock.makefile("rb")
-        self._next_id = 0
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self._pool = ConnectionPool(url, size=pool_size,
+                                    connect_timeout=connect_timeout)
         self._closed = False
         try:
             self.server_info = self._request("hello")
         except BaseException:
             # A failed handshake (e.g. the endpoint is not a repro
-            # server) must not leak the socket out of a constructor the
+            # server) must not leak sockets out of a constructor the
             # caller never got a handle from.
             self._closed = True
-            self._reader.close()
-            self._sock.close()
+            self._pool.close()
             raise
 
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
-    def _request(self, op: str, **params) -> dict:
+    def _attempts(self, op: str) -> int:
+        return 1 + (self.retries if op in IDEMPOTENT_OPS else 0)
+
+    def _retry_exchange(self, op: str, params: dict,
+                        attempts: int) -> Tuple[_WireConnection, dict]:
+        """Checkout + exchange with bounded-backoff retry; the one retry
+        loop every request path shares.
+
+        Transport failures (dead socket, EOF, garbage frame) discard the
+        connection and replay on a fresh one — what rides out a server
+        restart.  :class:`PoolExhausted` is not retried (nothing frees a
+        connection while the retry sleeps).  Returns the raw response
+        *and* the connection it arrived on; the caller owns checking the
+        connection back in.
+        """
         if self._closed:
             raise NetworkError("this remote session is closed")
-        self._next_id += 1
-        request_id = self._next_id
-        frame = {"id": request_id, "op": op, **params}
+        delay = self.retry_backoff
+        # The handshake is the one op with a client-side wait bound: a
+        # TCP endpoint that accepts but never answers must not hang us.
+        io_timeout = self._pool.connect_timeout if op == "hello" else None
+        for attempt in range(attempts):
+            try:
+                conn = self._pool.checkout()
+                try:
+                    response = conn.exchange(op, _io_timeout=io_timeout,
+                                             **params)
+                except (NetworkError, ProtocolError):
+                    self._pool.discard(conn)
+                    raise
+            except PoolExhausted:
+                raise
+            except (NetworkError, ProtocolError):
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, _MAX_RETRY_BACKOFF)
+                continue
+            return conn, response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request(self, op: str, **params) -> dict:
+        """One request over the pool, with retry for idempotent ops.
+
+        Server-reported errors are *not* retried: they re-raise as their
+        original exception classes and the connection, which is still
+        healthy, goes back to the pool.
+        """
+        conn, response = self._retry_exchange(op, params,
+                                              self._attempts(op))
         try:
-            self._sock.sendall(protocol.encode_frame(frame))
-            response = protocol.read_frame(self._reader.read)
-        except OSError as error:
-            raise NetworkError(f"connection to {self.url} failed: {error}") \
-                from None
-        if response is None:
-            raise NetworkError(f"server at {self.url} closed the connection")
-        if response.get("id") != request_id:
-            raise ProtocolError(
-                f"out-of-sequence response: sent id {request_id}, "
-                f"got {response.get('id')!r}"
-            )
-        if response.get("ok"):
-            return response
-        protocol.raise_remote_error(response.get("error"))
+            return _result(response)
+        finally:
+            self._pool.checkin(conn)
+
+    def _open_cursor(self, text: str,
+                     payload: dict) -> Tuple[_WireConnection, int]:
+        """Open a server-side cursor, returning its pinned connection.
+
+        Opening is retried like an idempotent op: a cursor that was
+        opened but whose open *response* was lost died with its
+        connection (registries are per-connection), so replaying on a
+        fresh connection leaks nothing.
+        """
+        conn, response = self._retry_exchange(
+            "cursor", {"query": text, "options": payload},
+            1 + self.retries,
+        )
+        try:
+            body = _result(response)
+        except ReproError:
+            self._pool.checkin(conn)
+            raise
+        return conn, body["cursor"]
 
     # ------------------------------------------------------------------
     # The Session surface
@@ -380,28 +887,31 @@ class RemoteSession:
         return RemoteExplain(response["report"], response["rendered"])
 
     def stats(self) -> dict:
-        """Connection, cursor, and service counters from the server."""
+        """Connection, cursor, and service counters from the server.
+
+        ``connection`` and ``cursors`` describe whichever pooled
+        connection carried this request; ``service`` is global.
+        """
         response = self._request("stats")
         return {key: response[key]
                 for key in ("connection", "cursors", "service")}
 
     def close(self) -> None:
-        """Say goodbye and drop the connection; idempotent."""
+        """Say goodbye on idle connections and close the pool; idempotent.
+
+        Connections pinned by undrained result sets are closed too (no
+        socket outlives the session); their cursors die with them.
+        """
         if self._closed:
             return
-        try:
-            self._request("goodbye")
-        except (NetworkError, ProtocolError):
-            pass
         self._closed = True
-        try:
-            self._reader.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        for conn in self._pool.pop_all_idle():
+            try:
+                conn.exchange("goodbye")
+            except (NetworkError, ProtocolError):
+                pass
+            conn.close()
+        self._pool.close()
 
     def __enter__(self) -> "RemoteSession":
         return self
@@ -411,7 +921,8 @@ class RemoteSession:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
-        return f"RemoteSession({self.url!r}, {state})"
+        return (f"RemoteSession({self.url!r}, {state}, "
+                f"pool={self._pool.size})")
 
 
 def connect(url: str, *,
@@ -422,7 +933,10 @@ def connect(url: str, *,
             use_cache: bool = True,
             limit: Optional[int] = None,
             fetch_size: int = DEFAULT_FETCH_SIZE,
-            connect_timeout: float = 10.0) -> RemoteSession:
+            connect_timeout: float = 10.0,
+            pool_size: int = DEFAULT_POOL_SIZE,
+            retries: int = DEFAULT_RETRIES,
+            retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> RemoteSession:
     """Open a :class:`RemoteSession`; keyword args become its defaults."""
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
@@ -430,7 +944,9 @@ def connect(url: str, *,
         use_cache=use_cache, limit=limit,
     )
     return RemoteSession(url, options=options, fetch_size=fetch_size,
-                         connect_timeout=connect_timeout)
+                         connect_timeout=connect_timeout,
+                         pool_size=pool_size, retries=retries,
+                         retry_backoff=retry_backoff)
 
 
 # ----------------------------------------------------------------------
@@ -440,21 +956,32 @@ class AsyncRemoteResultSet:
     """The awaitable twin of :class:`RemoteResultSet`.
 
     Supports ``async for`` (bindings), ``await fetchmany/fetchall/count``,
-    and ``await close``.  Shares one forward-only position.
+    and ``await close``.  Shares one forward-only position.  The cursor
+    lives on the session's single multiplexed connection; if that
+    connection is re-established (a reconnect after a server restart),
+    the cursor did not survive and fetches raise :class:`CursorError`.
     """
 
     def __init__(self, session: "AsyncRemoteSession", query_text: str,
                  options: QueryOptions, meta: dict) -> None:
+        import asyncio
+
         self._session = session
         self._text = query_text
         self._options = options
         self._cursor_id: Optional[int] = None  # opened at first fetch
+        self._generation: Optional[int] = None  # connection it lives on
         self._variables = tuple(Variable(name) for name in meta["columns"])
         self._meta = meta
         self._buffer: Deque[Row] = deque()
         self._done = False
         self._closed = False
+        self._gone: Optional[str] = None
         self._count: Optional[int] = None
+        # A server cursor allows one fetch in flight (a stream has one
+        # position); concurrent fetchmany calls on this result set
+        # serialize here instead of tripping the server's busy-guard.
+        self._fetch_lock = asyncio.Lock()
 
     @property
     def columns(self) -> Tuple[str, ...]:
@@ -468,25 +995,63 @@ class AsyncRemoteResultSet:
     def complete(self) -> bool:
         return self._done and not self._buffer
 
-    async def _ensure_cursor(self) -> int:
+    async def _ensure_cursor(self) -> None:
         if self._cursor_id is None:
-            response = await self._session._request(
-                "cursor", query=self._text,
-                options=_options_payload(self._options),
-            )
-            self._cursor_id = response["cursor"]
-        return self._cursor_id
+            self._cursor_id, self._generation = \
+                await self._session._open_cursor(
+                    self._text, _options_payload(self._options)
+                )
 
     async def _fetch(self, size: int) -> List[Row]:
+        async with self._fetch_lock:
+            return await self._fetch_page(size)
+
+    async def _fetch_page(self, size: int) -> List[Row]:
         if self._closed:
             raise CursorError("this remote cursor was closed")
-        response = await self._session._request(
-            "fetch", cursor=await self._ensure_cursor(), size=size
-        )
-        rows = [tuple(row) for row in response["rows"]]
-        if response["done"]:
+        if self._gone is not None:
+            raise CursorError(self._gone)
+        if self._done:
+            # A concurrent fetch drained the stream while this one
+            # waited on the lock.
+            return []
+        await self._ensure_cursor()
+        if self._generation != self._session._generation:
+            self._gone = (
+                "the server-side cursor for this result set is gone: the "
+                "connection was re-established (server restart or network "
+                "failure) and cursors do not survive reconnection — "
+                "re-run the query for a fresh result set"
+            )
+            raise CursorError(self._gone)
+        try:
+            response = await self._session._send(
+                "fetch", {"cursor": self._cursor_id, "size": size}
+            )
+        except (NetworkError, ProtocolError) as error:
+            self._gone = (
+                f"the server-side cursor for this result set is gone "
+                f"({error}); a fetch is never retried — re-run the query "
+                f"for a fresh result set"
+            )
+            raise CursorError(self._gone) from error
+        try:
+            body = _result(response)
+        except AdmissionError:
+            # Transient overload, rejected before the stream moved: the
+            # cursor is untouched — fetch again when the queue drains.
+            raise
+        except ReproError:
+            self._gone = (
+                "the server-side cursor for this result set failed and "
+                "was dropped by the server; re-run the query for a "
+                "fresh result set"
+            )
+            raise
+        rows = [tuple(row) for row in body["rows"]]
+        if body["done"]:
             self._done = True
-            stats = response.get("stats") or {}
+            stats = body.get("stats") or {}
             if stats.get("total") is not None:
                 self._count = stats["total"]
         return rows
@@ -512,25 +1077,36 @@ class AsyncRemoteResultSet:
         return dict(zip(self._variables, self._buffer.popleft()))
 
     async def fetchmany(self, size: int = 1) -> List[Row]:
+        """Up to ``size`` more rows; loops past the server's per-fetch
+        clamp, so a short return only ever means end-of-answer."""
         out: List[Row] = []
         while self._buffer and len(out) < size:
             out.append(self._buffer.popleft())
-        if len(out) < size:
-            self._check_open()
-        # Loop past the server's per-fetch clamp: short = end-of-answer.
-        while len(out) < size and not self._done:
-            page = await self._fetch(size - len(out))
-            if not page:
-                break
-            out.extend(page)
+        try:
+            if len(out) < size:
+                self._check_open()
+            while len(out) < size and not self._done:
+                page = await self._fetch(size - len(out))
+                if not page:
+                    break
+                out.extend(page)
+        except BaseException:
+            # Rows already in hand go back to the buffer: a retried call
+            # (e.g. after a transient AdmissionError) must not skip them.
+            self._buffer.extendleft(reversed(out))
+            raise
         return out
 
     async def fetchall(self) -> List[Row]:
-        self._check_open()
         out: List[Row] = list(self._buffer)
         self._buffer.clear()
-        while not self._done:
-            out.extend(await self._fetch(self._session.fetch_size))
+        try:
+            self._check_open()
+            while not self._done:
+                out.extend(await self._fetch(self._session.fetch_size))
+        except BaseException:
+            self._buffer.extendleft(reversed(out))
+            raise
         return out
 
     async def count(self) -> int:
@@ -548,77 +1124,268 @@ class AsyncRemoteResultSet:
             return
         self._closed = True
         self._buffer.clear()
-        if self._cursor_id is not None and not self._done:
+        if self._cursor_id is not None and not self._done \
+                and self._gone is None \
+                and self._generation == self._session._generation:
             try:
-                await self._session._request("close", cursor=self._cursor_id)
+                _result(await self._session._send(
+                    "close", {"cursor": self._cursor_id}
+                ))
             except (NetworkError, CursorError):
                 pass
 
 
 class AsyncRemoteSession:
-    """An asyncio remote session: ``await session.run(...)``.
+    """An asyncio remote session that **multiplexes** one connection.
 
-    Obtained from :func:`connect_async`.  One in-flight request at a time
-    per connection (requests are serialized by an internal lock, matching
-    the server's sequential per-connection processing).
+    Obtained from :func:`connect_async`.  Any number of requests may be
+    in flight at once: each is written to the shared socket with a fresh
+    id, a background reader task matches responses to their ids, and the
+    server overlaps the work on its pool — so ``asyncio.gather`` over
+    many ``session.run(...)`` / ``.count()`` calls pipelines them all
+    through a single TCP connection.
+
+    On a transport failure the session reconnects lazily and replays
+    idempotent requests (:data:`IDEMPOTENT_OPS`) with exponential
+    backoff, like the sync pool.  Open cursors do not survive a
+    reconnect: their fetches raise :class:`CursorError`.
     """
 
     def __init__(self, url: str, *, options: Optional[QueryOptions] = None,
-                 fetch_size: int = DEFAULT_FETCH_SIZE) -> None:
+                 fetch_size: int = DEFAULT_FETCH_SIZE,
+                 retries: int = DEFAULT_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 connect_timeout: float = 10.0) -> None:
+        _validate_resilience_knobs(None, retries, retry_backoff)
         self.url = url
         self.defaults = options if options is not None else QueryOptions()
         self.fetch_size = max(1, int(fetch_size))
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.connect_timeout = connect_timeout
         self._reader = None
         self._writer = None
-        self._lock = None
+        self._reader_task = None
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._conn_lock = None   # created on the running loop in _open
+        self._write_lock = None
         self._next_id = 0
+        self._generation = 0  # bumped per (re)connect; cursors pin one
         self._closed = False
         self.server_info: dict = {}
 
     async def _open(self) -> "AsyncRemoteSession":
         import asyncio
 
-        host, port = parse_url(self.url)
-        self._lock = asyncio.Lock()
+        self._conn_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
         try:
-            self._reader, self._writer = await asyncio.open_connection(
-                host, port
-            )
-        except OSError as error:
-            raise NetworkError(
-                f"could not connect to {self.url}: {error}"
-            ) from None
-        self.server_info = await self._request("hello")
+            await self._ensure_connected()
+            self.server_info = await self._request("hello")
+        except BaseException:
+            # A failed handshake must not leak the transport or the
+            # reader task out of a constructor the caller never got a
+            # handle from (mirrors the sync constructor's pool close).
+            self._closed = True
+            await self._teardown_transport()
+            raise
         return self
 
-    async def _request(self, op: str, **params) -> dict:
-        if self._closed or self._writer is None:
-            raise NetworkError("this remote session is closed")
-        async with self._lock:
-            self._next_id += 1
-            request_id = self._next_id
-            frame = {"id": request_id, "op": op, **params}
-            try:
-                self._writer.write(protocol.encode_frame(frame))
-                await self._writer.drain()
-                response = await protocol.read_frame_async(
-                    self._reader.readexactly
-                )
-            except OSError as error:
-                raise NetworkError(
-                    f"connection to {self.url} failed: {error}"
-                ) from None
-        if response is None:
-            raise NetworkError(f"server at {self.url} closed the connection")
-        if response.get("id") != request_id:
-            raise ProtocolError(
-                f"out-of-sequence response: sent id {request_id}, "
-                f"got {response.get('id')!r}"
-            )
-        if response.get("ok"):
-            return response
-        protocol.raise_remote_error(response.get("error"))
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    async def _ensure_connected(self) -> None:
+        import asyncio
 
+        async with self._conn_lock:
+            if self._closed:
+                raise NetworkError("this remote session is closed")
+            if self._writer is not None and self._reader_task is not None \
+                    and not self._reader_task.done():
+                return
+            await self._teardown_transport()
+            host, port = parse_url(self.url)
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as error:
+                raise NetworkError(
+                    f"could not connect to {self.url}: {error}"
+                ) from None
+            self._generation += 1
+            self._pending = {}
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(self._reader, self._pending)
+            )
+
+    async def _read_loop(self, reader, pending: Dict[int, object]) -> None:
+        """Match every inbound frame to its waiting request by id.
+
+        This is the demultiplexer that makes pipelining work: responses
+        arrive in completion order, not request order.  On any transport
+        failure every in-flight request fails with the same error.
+        """
+        import asyncio
+
+        missing = object()
+        error: Optional[ReproError] = None
+        try:
+            while True:
+                frame = await protocol.read_frame_async(reader.readexactly)
+                if frame is None:
+                    error = NetworkError(
+                        f"server at {self.url} closed the connection"
+                    )
+                    break
+                future = pending.pop(frame.get("id"), missing)
+                if future is missing:
+                    error = ProtocolError(
+                        f"response for unknown request id "
+                        f"{frame.get('id')!r}"
+                    )
+                    break
+                if future is None:
+                    continue  # tombstone: the request was cancelled
+                if not future.done():
+                    future.set_result(frame)
+        except ProtocolError as exc:
+            error = exc
+        except OSError as exc:
+            error = NetworkError(f"connection to {self.url} failed: {exc}")
+        except asyncio.CancelledError:
+            error = NetworkError(f"connection to {self.url} was closed")
+        finally:
+            if error is None:  # pragma: no cover - belt and braces
+                error = NetworkError(f"connection to {self.url} was lost")
+            for future in list(pending.values()):
+                if future is not None and not future.done():
+                    future.set_exception(error)
+            pending.clear()
+
+    async def _send(self, op: str, params: dict) -> dict:
+        """Write one frame and await its matched response (no retry)."""
+        import asyncio
+
+        if self._closed:
+            raise NetworkError("this remote session is closed")
+        if self._writer is None or self._reader_task is None \
+                or self._reader_task.done():
+            raise NetworkError(f"not connected to {self.url}")
+        # Snapshot the transport: if a concurrent request triggers a
+        # reconnect while this one waits on the write lock, writing to
+        # the *old* (now closed) writer fails cleanly — never a frame on
+        # the new connection whose response the new reader can't match.
+        writer = self._writer
+        pending = self._pending
+        self._next_id += 1
+        request_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        pending[request_id] = future
+        frame = {"id": request_id, "op": op, **params}
+        try:
+            async with self._write_lock:
+                writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+        except (OSError, RuntimeError) as error:
+            pending.pop(request_id, None)
+            raise NetworkError(
+                f"connection to {self.url} failed: {error}"
+            ) from None
+        try:
+            return await future
+        except asyncio.CancelledError:
+            if pending.get(request_id) is future:
+                # Tombstone: the response is still on its way; the read
+                # loop must discard it rather than treat it as protocol
+                # desync (which would fail every other in-flight call).
+                pending[request_id] = None
+            raise
+
+    async def _teardown_transport(self) -> None:
+        import asyncio
+
+        task, self._reader_task = self._reader_task, None
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def _retry_send(self, op: str, params: dict,
+                          attempts: int) -> Tuple[dict, int]:
+        """(Re)connect + send with bounded-backoff retry; the one retry
+        loop every async request path shares.
+
+        Returns the raw response and the connection *generation* it was
+        exchanged on (cursor opens pin their cursor to it).  The
+        ``hello`` handshake is additionally bounded by
+        ``connect_timeout``: an endpoint that accepts TCP but never
+        answers must not hang the client forever.
+        """
+        import asyncio
+
+        delay = self.retry_backoff
+        for attempt in range(attempts):
+            try:
+                await self._ensure_connected()
+                generation = self._generation
+                if op == "hello":
+                    try:
+                        response = await asyncio.wait_for(
+                            self._send(op, params), self.connect_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        raise NetworkError(
+                            f"server at {self.url} did not answer the "
+                            f"handshake within {self.connect_timeout}s"
+                        ) from None
+                else:
+                    response = await self._send(op, params)
+            except (NetworkError, ProtocolError):
+                if attempt + 1 >= attempts:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, _MAX_RETRY_BACKOFF)
+                continue
+            return response, generation
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _request(self, op: str, **params) -> dict:
+        """One request, reconnecting + retrying idempotent ops."""
+        attempts = 1 + (self.retries if op in IDEMPOTENT_OPS else 0)
+        response, _ = await self._retry_send(op, params, attempts)
+        return _result(response)
+
+    async def _open_cursor(self, text: str,
+                           payload: dict) -> Tuple[int, int]:
+        """Open a server cursor; returns (cursor id, connection generation).
+
+        Retried like an idempotent op — a cursor whose open response was
+        lost died with its connection, so a replay leaks nothing.
+        """
+        response, generation = await self._retry_send(
+            "cursor", {"query": text, "options": payload},
+            1 + self.retries,
+        )
+        return _result(response)["cursor"], generation
+
+    # ------------------------------------------------------------------
+    # The Session surface
+    # ------------------------------------------------------------------
     def options(self, options: Optional[QueryOptions] = None,
                 **overrides) -> QueryOptions:
         return QueryOptions.resolve(options, overrides,
@@ -648,23 +1415,24 @@ class AsyncRemoteSession:
     async def close(self) -> None:
         if self._closed:
             return
-        try:
-            await self._request("goodbye")
-        except (NetworkError, ProtocolError):
-            pass
-        self._closed = True
-        if self._writer is not None:
-            self._writer.close()
+        if self._writer is not None and self._reader_task is not None \
+                and not self._reader_task.done():
             try:
-                await self._writer.wait_closed()
-            except (OSError, ConnectionResetError):
+                await self._send("goodbye", {})
+            except (NetworkError, ProtocolError):
                 pass
+        self._closed = True
+        await self._teardown_transport()
 
     async def __aenter__(self) -> "AsyncRemoteSession":
         return self
 
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"AsyncRemoteSession({self.url!r}, {state})"
 
 
 async def connect_async(url: str, *,
@@ -674,7 +1442,10 @@ async def connect_async(url: str, *,
                         timeout: Optional[float] = None,
                         use_cache: bool = True,
                         limit: Optional[int] = None,
-                        fetch_size: int = DEFAULT_FETCH_SIZE
+                        fetch_size: int = DEFAULT_FETCH_SIZE,
+                        retries: int = DEFAULT_RETRIES,
+                        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                        connect_timeout: float = 10.0
                         ) -> AsyncRemoteSession:
     """Open an :class:`AsyncRemoteSession`: ``await repro.net.connect_async(...)``."""
     options = QueryOptions(
@@ -682,5 +1453,7 @@ async def connect_async(url: str, *,
         partition_mode=partition_mode, timeout=timeout,
         use_cache=use_cache, limit=limit,
     )
-    session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size)
+    session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size,
+                                 retries=retries, retry_backoff=retry_backoff,
+                                 connect_timeout=connect_timeout)
     return await session._open()

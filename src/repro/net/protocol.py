@@ -5,7 +5,15 @@ bytes of UTF-8 JSON.  Both directions use the same framing; a frame is
 always a JSON object.
 
 Requests carry a client-chosen ``id`` (monotonically increasing per
-connection) and an ``op``::
+connection) and an ``op``.  Ids are what make **pipelining** work: a
+client may send many requests on one connection without waiting, the
+server dispatches them concurrently, and each response echoes the id of
+the request it answers — responses may therefore arrive *out of order*,
+and a client multiplexing a connection must match them by id rather
+than by position.  (A client that sends one request at a time per
+connection still sees strictly ordered responses.)
+
+::
 
     {"id": 7, "op": "run", "query": "edge(a,b), edge(b,c)",
      "options": {"algorithm": "auto", ...}}

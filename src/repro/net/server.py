@@ -8,6 +8,14 @@ fetches, counts, explains) runs on the service's worker pool — so the
 pool's admission control backpressures remote clients exactly like local
 ones, and the event loop itself never blocks on query execution.
 
+Requests on one connection are **pipelined**: the read loop dispatches
+every arriving frame as its own task (up to ``max_pipeline`` in flight),
+so a client may send many requests without waiting and the responses
+come back *as they complete* — out of order, matched by the request ids
+already on the wire.  Fetches on one cursor stay serialized by the
+registry's busy-guard (a stream has a single position); everything else
+overlaps freely on the worker pool.
+
 Results never ship whole.  A ``run`` opens a **server-side cursor** (a
 lazy :class:`~repro.api.result.ResultSet` parked in the connection's
 :class:`~repro.service.cursors.CursorRegistry`) and each ``fetch`` pulls
@@ -64,7 +72,7 @@ class ConnectionStats:
 
 
 class _Connection:
-    """One client connection: its cursor registry, counters, transport."""
+    """One client connection: cursors, counters, transport, in-flight tasks."""
 
     def __init__(self, cursor_ttl: Optional[float], max_cursors: int,
                  writer: asyncio.StreamWriter) -> None:
@@ -72,6 +80,10 @@ class _Connection:
                                        max_cursors=max_cursors)
         self.stats = ConnectionStats()
         self.writer = writer
+        # Responses from pipelined requests interleave on one socket;
+        # the lock keeps each frame write atomic.
+        self.write_lock = asyncio.Lock()
+        self.tasks: Set[asyncio.Task] = set()
 
 
 class ReproServer:
@@ -90,24 +102,34 @@ class ReproServer:
         Idle expiry for server-side cursors, seconds (``None`` disables).
     max_cursors:
         Per-connection open-cursor bound.
+    max_pipeline:
+        Per-connection bound on pipelined (in-flight) requests; when a
+        client has this many unanswered requests the read loop simply
+        stops reading its socket until one completes, so TCP backpressure
+        does the queueing instead of server memory.
     """
 
     def __init__(self, service: QueryService, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, *,
                  cursor_ttl: Optional[float] = 300.0,
-                 max_cursors: int = 64) -> None:
+                 max_cursors: int = 64,
+                 max_pipeline: int = 32) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.cursor_ttl = cursor_ttl
         self.max_cursors = max_cursors
+        self.max_pipeline = max(1, int(max_pipeline))
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._sweeper: Optional[asyncio.Task] = None
 
     @property
     def url(self) -> str:
-        return f"repro://{self.host}:{self.port}"
+        # IPv6 bind addresses are bracketed so the printed URL feeds
+        # straight back into parse_url / --connect.
+        host = f"[{self.host}]" if ":" in self.host else self.host
+        return f"repro://{host}:{self.port}"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,8 +214,17 @@ class ReproServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """Read frames and dispatch each as its own task (pipelining).
+
+        The loop never waits for a response before reading the next
+        frame: a client may keep ``max_pipeline`` requests in flight on
+        one connection, their blocking work overlaps on the service's
+        worker pool, and each response is written the moment it is ready
+        — out of order, matched by request id.
+        """
         connection = _Connection(self.cursor_ttl, self.max_cursors, writer)
         self._connections.add(connection)
+        limiter = asyncio.Semaphore(self.max_pipeline)
         try:
             while True:
                 try:
@@ -202,27 +233,22 @@ class ReproServer:
                     break  # peer is speaking garbage; cut the connection
                 if frame is None:
                     break
-                response = await self._dispatch(connection, frame)
-                try:
-                    payload = protocol.encode_frame(response)
-                except (ProtocolError, TypeError, ValueError) as error:
-                    # An unencodable response (oversized frame, stray
-                    # non-JSON value) must come back as an error
-                    # envelope, not kill the connection.
-                    connection.stats.errors += 1
-                    payload = protocol.encode_frame(protocol.error_response(
-                        frame.get("id"),
-                        ProtocolError(
-                            f"response could not be encoded: {error}"
-                        ),
-                    ))
-                writer.write(payload)
-                await writer.drain()
-                if response.get("goodbye"):
-                    break
+                await limiter.acquire()
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_frame(connection, frame, limiter)
+                )
+                connection.tasks.add(task)
+                task.add_done_callback(connection.tasks.discard)
+                if frame.get("op") == "goodbye":
+                    break  # stop reading; in-flight responses still flush
+            if connection.tasks:
+                await asyncio.gather(*list(connection.tasks),
+                                     return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
+            for task in list(connection.tasks):
+                task.cancel()
             connection.registry.close_all()
             self._connections.discard(connection)
             writer.close()
@@ -230,6 +256,32 @@ class ReproServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _serve_frame(self, connection: _Connection, frame: dict,
+                           limiter: asyncio.Semaphore) -> None:
+        """Dispatch one pipelined frame and write its response."""
+        try:
+            response = await self._dispatch(connection, frame)
+            try:
+                payload = protocol.encode_frame(response)
+            except (ProtocolError, TypeError, ValueError) as error:
+                # An unencodable response (oversized frame, stray
+                # non-JSON value) must come back as an error
+                # envelope, not kill the connection.
+                connection.stats.errors += 1
+                payload = protocol.encode_frame(protocol.error_response(
+                    frame.get("id"),
+                    ProtocolError(
+                        f"response could not be encoded: {error}"
+                    ),
+                ))
+            async with connection.write_lock:
+                connection.writer.write(payload)
+                await connection.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass  # peer vanished mid-write; the read loop tears down
+        finally:
+            limiter.release()
 
     async def _sweep_idle_cursors(self, interval: float) -> None:
         while True:

@@ -12,9 +12,13 @@ bound (an abandoned client cannot pin unbounded executor state), idle
 expiry (a cursor untouched for ``ttl`` seconds is closed and its stream
 released), and counters that feed the per-connection ``stats`` op.
 
-Everything here is thread-safe: the asyncio server processes one request
-per connection at a time, but fetches run on the service's worker pool
-while the registry's expiry sweep runs on the event loop.
+Everything here is thread-safe — and must be: the server *pipelines*
+requests, so one connection's fetches, closes, and teardown can all be
+in flight at once on the worker pool while the registry's expiry sweep
+runs on the event loop.  The busy-guard serializes fetches on one
+cursor (a stream has a single position), and closing a busy cursor
+*dooms* it for the in-flight fetch to discard rather than yanking the
+stream out from under it.
 """
 
 from __future__ import annotations
@@ -54,10 +58,16 @@ class CursorStats:
 
 
 class ServerCursor:
-    """One open result stream: the lazy result set plus idle bookkeeping."""
+    """One open result stream: the lazy result set plus idle bookkeeping.
+
+    ``busy`` marks a fetch in flight on the worker pool; ``doomed`` marks
+    a cursor that was closed *while* busy — the close could not remove it
+    without yanking the stream out from under the running fetch, so the
+    fetch's completion discards it instead.
+    """
 
     __slots__ = ("cursor_id", "result_set", "created", "last_used",
-                 "rows_sent", "busy")
+                 "rows_sent", "busy", "doomed")
 
     def __init__(self, cursor_id: int, result_set: ResultSet,
                  now: float) -> None:
@@ -67,6 +77,7 @@ class ServerCursor:
         self.last_used = now
         self.rows_sent = 0
         self.busy = False
+        self.doomed = False
 
 
 class CursorRegistry:
@@ -129,10 +140,23 @@ class CursorRegistry:
         except BaseException:
             # A failed stream is unusable; drop the cursor so the client
             # gets a crisp "unknown cursor" instead of repeated failures.
-            self._discard(cursor_id, field="closed")
+            with self._lock:
+                cursor.busy = False
+                if self._cursors.pop(cursor_id, None) is not None:
+                    self.stats.closed += 1
             raise
         with self._lock:
             cursor.busy = False
+            if cursor.doomed:
+                # close()/close_all() ran while this fetch was in flight:
+                # the rows must not be delivered from a closed cursor, and
+                # they must not skew the traffic counters.
+                if self._cursors.pop(cursor_id, None) is not None:
+                    self.stats.closed += 1
+                raise CursorError(
+                    f"cursor {cursor_id} was closed while its fetch was "
+                    f"in flight"
+                )
             cursor.last_used = self._clock()
             cursor.rows_sent += len(rows)
             self.stats.rows_streamed += len(rows)
@@ -141,15 +165,41 @@ class CursorRegistry:
         return rows, done, cursor
 
     def close(self, cursor_id: int) -> bool:
-        """Release one cursor; True if it was open."""
-        return self._discard(cursor_id, field="closed")
+        """Release one cursor; True if it was open.
+
+        A cursor with a fetch in flight is *doomed* rather than removed:
+        the running fetch still owns the stream, so it is the one that
+        discards the cursor when it completes (and its rows are dropped,
+        not delivered) — see :meth:`fetch`.
+        """
+        with self._lock:
+            cursor = self._cursors.get(cursor_id)
+            if cursor is None:
+                return False
+            if cursor.busy:
+                cursor.doomed = True
+                return True
+            del self._cursors[cursor_id]
+            self.stats.closed += 1
+            return True
 
     def close_all(self) -> int:
-        """Release every cursor (connection teardown / server shutdown)."""
+        """Release every cursor (connection teardown / server shutdown).
+
+        Busy cursors — one with a fetch running on the worker pool right
+        now — are doomed, not popped: yanking them out from under the
+        in-flight fetch would let it deliver rows from a "closed" cursor
+        and double-count the stats when it finished.  The completing
+        fetch discards a doomed cursor itself.
+        """
         with self._lock:
             count = len(self._cursors)
-            self._cursors.clear()
-            self.stats.closed += count
+            for cursor_id, cursor in list(self._cursors.items()):
+                if cursor.busy:
+                    cursor.doomed = True
+                else:
+                    del self._cursors[cursor_id]
+                    self.stats.closed += 1
         return count
 
     def expire_idle(self) -> List[int]:
@@ -192,10 +242,3 @@ class CursorRegistry:
                 )
             cursor.busy = True
             return cursor
-
-    def _discard(self, cursor_id: int, field: str) -> bool:
-        with self._lock:
-            if self._cursors.pop(cursor_id, None) is None:
-                return False
-            setattr(self.stats, field, getattr(self.stats, field) + 1)
-            return True

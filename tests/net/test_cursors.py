@@ -1,5 +1,7 @@
 """CursorRegistry: paging, idle expiry, capacity, counters (no sockets)."""
 
+import threading
+
 import pytest
 
 from repro.api import connect
@@ -112,6 +114,99 @@ class TestLifecycle:
         assert stats["closed"] == 1
         assert stats["rows_streamed"] == 4
         assert stats["active"] == 0
+
+
+class _BlockingStream:
+    """A result-set stand-in whose fetch blocks until released.
+
+    Lets a test hold a fetch "in flight on the worker pool" while it
+    closes the registry from another thread — the pipelined-server race
+    close_all must survive.
+    """
+
+    def __init__(self, inner, release: threading.Event,
+                 entered: threading.Event) -> None:
+        self._inner = inner
+        self._release = release
+        self._entered = entered
+
+    def fetchmany(self, size):
+        self._entered.set()
+        assert self._release.wait(10), "test never released the fetch"
+        return self._inner.fetchmany(size)
+
+    @property
+    def drained(self):
+        return self._inner.drained
+
+
+class TestBusyClose:
+    """Regression: close/close_all used to pop busy cursors out from
+    under an in-flight fetch, which then delivered rows from a "closed"
+    cursor and skewed the stats."""
+
+    def _in_flight_fetch(self, session, registry):
+        release, entered = threading.Event(), threading.Event()
+        cursor = registry.open(_BlockingStream(
+            session.run(TWO_HOP, use_cache=False), release, entered
+        ))
+        outcome = []
+
+        def fetch():
+            try:
+                outcome.append(registry.fetch(cursor.cursor_id, 3))
+            except CursorError as error:
+                outcome.append(error)
+
+        thread = threading.Thread(target=fetch)
+        thread.start()
+        assert entered.wait(10), "fetch never started"
+        return cursor, release, thread, outcome
+
+    def test_close_all_dooms_the_busy_cursor(self, session):
+        registry = CursorRegistry()
+        cursor, release, thread, outcome = \
+            self._in_flight_fetch(session, registry)
+        assert registry.close_all() == 1
+        # The cursor is still the in-flight fetch's to discard.
+        assert len(registry) == 1
+        release.set()
+        thread.join(timeout=10)
+        # The completing fetch delivered nothing: it raised instead.
+        assert isinstance(outcome[0], CursorError)
+        assert "closed while its fetch was in flight" in str(outcome[0])
+        assert len(registry) == 0
+        stats = registry.stats.as_dict()
+        assert stats["rows_streamed"] == 0
+        assert stats["closed"] == 1
+        assert stats["exhausted"] == 0
+        assert stats["active"] == 0
+        with pytest.raises(CursorError, match="unknown cursor"):
+            registry.fetch(cursor.cursor_id, 1)
+
+    def test_close_dooms_the_busy_cursor_too(self, session):
+        registry = CursorRegistry()
+        cursor, release, thread, outcome = \
+            self._in_flight_fetch(session, registry)
+        assert registry.close(cursor.cursor_id) is True
+        release.set()
+        thread.join(timeout=10)
+        assert isinstance(outcome[0], CursorError)
+        assert registry.stats.closed == 1
+        assert registry.stats.rows_streamed == 0
+        assert registry.stats.active == 0
+        assert len(registry) == 0
+
+    def test_close_all_still_counts_idle_cursors(self, session):
+        registry = CursorRegistry()
+        registry.open(session.run(TWO_HOP, use_cache=False))
+        cursor, release, thread, outcome = \
+            self._in_flight_fetch(session, registry)
+        assert registry.close_all() == 2  # one idle + one doomed
+        release.set()
+        thread.join(timeout=10)
+        assert registry.stats.closed == 2
+        assert len(registry) == 0
 
 
 class TestIdleExpiry:

@@ -1,8 +1,12 @@
 """Remote parity: ``RemoteSession.run`` must return byte-identical answers
 to an in-process ``Session.run`` for every registered algorithm × every
 partitioning scheme, and cursor paging must reassemble the stream exactly
-regardless of page-size sequence."""
+regardless of page-size sequence.  The pipelined shapes — N concurrent
+runs multiplexed over one async connection, and worker threads over the
+sync pool — must match serial execution the same way."""
 
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Tuple
 
 import pytest
@@ -12,7 +16,7 @@ from hypothesis import strategies as st
 from repro.api.session import Session
 from repro.engine import default_registry
 from repro.errors import ReproError
-from repro.net.client import RemoteSession
+from repro.net.client import RemoteSession, connect_async
 from repro.net.server import ServerThread
 from repro.service import QueryService
 
@@ -122,6 +126,69 @@ PROPERTY_SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow,
                            HealthCheck.function_scoped_fixture],
 )
+
+
+class TestPipelinedParity:
+    """Concurrent, multiplexed execution returns exactly the serial
+    answers — per algorithm, and property-tested over random mixes."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_gather_matches_serial_for_every_algorithm(self, algorithm,
+                                                       server, local):
+        texts = list(QUERIES) * 3
+
+        def serial(text):
+            try:
+                return local.run(text, algorithm=algorithm,
+                                 use_cache=False).count()
+            except ReproError as error:
+                return type(error)
+
+        expected = [serial(text) for text in texts]
+
+        async def main():
+            async with await connect_async(server.url) as session:
+                async def one(text):
+                    try:
+                        result_set = await session.run(
+                            text, algorithm=algorithm, use_cache=False
+                        )
+                        return await result_set.count()
+                    except ReproError as error:
+                        return type(error)
+
+                return await asyncio.gather(*[one(text) for text in texts])
+
+        assert asyncio.run(main()) == expected
+
+    @given(st.lists(st.sampled_from(QUERIES), min_size=1, max_size=12))
+    @PROPERTY_SETTINGS
+    def test_gather_over_random_mixes_matches_serial(self, server, local,
+                                                     texts):
+        expected = [local.run(text, use_cache=False).count()
+                    for text in texts]
+
+        async def main():
+            async with await connect_async(server.url) as session:
+                async def one(text):
+                    result_set = await session.run(text, use_cache=False)
+                    return await result_set.count()
+
+                return await asyncio.gather(*[one(text) for text in texts])
+
+        assert asyncio.run(main()) == expected
+
+    @given(st.lists(st.sampled_from(QUERIES), min_size=1, max_size=12))
+    @PROPERTY_SETTINGS
+    def test_pooled_threads_match_serial(self, remote, local, texts):
+        expected = [local.run(text, use_cache=False).count()
+                    for text in texts]
+        with ThreadPoolExecutor(4) as workers:
+            got = list(workers.map(
+                lambda text: remote.run(text, use_cache=False).count(),
+                texts,
+            ))
+        assert got == expected
 
 
 class TestCursorPagingProperties:

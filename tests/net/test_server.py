@@ -22,7 +22,7 @@ from repro.errors import (
 )
 from repro.joins.naive import NaiveBacktrackingJoin
 from repro.net import protocol
-from repro.net.client import RemoteSession, connect_async, parse_url
+from repro.net.client import RemoteSession, connect_async
 from repro.net.server import ServerThread
 from repro.service import QueryService, ServiceConfig
 from repro.storage import Database, edge_relation_from_pairs
@@ -60,23 +60,6 @@ def local(service):
 
     with Session(service.database) as session:
         yield session
-
-
-class TestParseUrl:
-    def test_host_and_port(self):
-        assert parse_url("repro://10.0.0.1:1234") == ("10.0.0.1", 1234)
-
-    def test_default_port(self):
-        from repro.net.server import DEFAULT_PORT
-
-        assert parse_url("repro://localhost") == ("localhost", DEFAULT_PORT)
-
-    @pytest.mark.parametrize("url", [
-        "http://x:1", "repro://", "repro://h:port", "repro://h:99999",
-    ])
-    def test_rejects_malformed(self, url):
-        with pytest.raises(NetworkError):
-            parse_url(url)
 
 
 class TestHello:
@@ -447,8 +430,7 @@ class TestGracefulShutdown:
             assert time.monotonic() - started < 10.0
             assert not server._thread.is_alive()
         finally:
-            session._closed = True  # socket is dead; skip the goodbye
-            session._sock.close()
+            session.close()  # dead socket: the goodbye degrades gracefully
 
     @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM],
                              ids=["SIGINT", "SIGTERM"])

@@ -1,0 +1,121 @@
+"""``parse_url``: the ``repro://`` grammar, including IPv6 literals.
+
+Regression anchors: ``repro://:9944`` used to be accepted with host
+``":9944"`` (an empty host must be rejected), and ``repro://[::1]:9944``
+kept its brackets (which :func:`socket.create_connection` rejects) —
+brackets must be stripped.  A hypothesis round-trip property pins the
+whole grammar over hostnames, IPv4, and bracketed IPv6 forms.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.net.client import parse_url
+from repro.net.server import DEFAULT_PORT
+
+
+class TestGrammar:
+    def test_host_and_port(self):
+        assert parse_url("repro://10.0.0.1:1234") == ("10.0.0.1", 1234)
+
+    def test_default_port(self):
+        assert parse_url("repro://localhost") == ("localhost", DEFAULT_PORT)
+
+    def test_trailing_slash(self):
+        assert parse_url("repro://example.com:81/") == ("example.com", 81)
+
+    def test_bracketed_ipv6_with_port(self):
+        # The brackets are stripped: socket.create_connection wants the
+        # bare literal.
+        assert parse_url("repro://[::1]:9944") == ("::1", 9944)
+
+    def test_bracketed_ipv6_default_port(self):
+        assert parse_url("repro://[2001:db8::2]") == \
+            ("2001:db8::2", DEFAULT_PORT)
+
+
+class TestRejections:
+    def test_empty_host_with_port(self):
+        # Regression: this used to parse as host ":9944".
+        with pytest.raises(NetworkError, match="names no host"):
+            parse_url("repro://:9944")
+
+    def test_empty_everything(self):
+        with pytest.raises(NetworkError, match="names no host"):
+            parse_url("repro://")
+
+    def test_empty_bracketed_host(self):
+        with pytest.raises(NetworkError, match="names no host"):
+            parse_url("repro://[]:9944")
+
+    def test_bare_ipv6_needs_brackets(self):
+        with pytest.raises(NetworkError, match="bracket"):
+            parse_url("repro://::1")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(NetworkError, match="unclosed"):
+            parse_url("repro://[::1:9944")
+
+    def test_junk_after_bracket(self):
+        with pytest.raises(NetworkError, match="after the bracketed"):
+            parse_url("repro://[::1]junk")
+
+    @pytest.mark.parametrize("url", [
+        "repro://host:",        # empty port
+        "repro://host:port",    # non-numeric
+        "repro://host:+1",      # sign is not a digit
+        "repro://host: 1",      # embedded whitespace
+        "repro://[::1]:x",      # non-numeric after brackets
+    ])
+    def test_bad_ports(self, url):
+        with pytest.raises(NetworkError, match="non-numeric port"):
+            parse_url(url)
+
+    @pytest.mark.parametrize("url", [
+        "repro://host:0", "repro://host:65536", "repro://host:99999",
+    ])
+    def test_port_out_of_range(self, url):
+        with pytest.raises(NetworkError, match="out of range"):
+            parse_url(url)
+
+    @pytest.mark.parametrize("url", [
+        "http://x:1", "repro:/x", "", 42, None,
+    ])
+    def test_wrong_scheme_or_type(self, url):
+        with pytest.raises(NetworkError, match="must look like"):
+            parse_url(url)
+
+
+# ----------------------------------------------------------------------
+# Property: every valid (host, port) form round-trips exactly.
+# ----------------------------------------------------------------------
+_label = st.from_regex(r"[a-z0-9]([a-z0-9\-]{0,8}[a-z0-9])?", fullmatch=True)
+hostnames = st.lists(_label, min_size=1, max_size=4).map(".".join)
+ipv4 = st.tuples(*([st.integers(0, 255)] * 4)).map(
+    lambda parts: ".".join(str(part) for part in parts)
+)
+ipv6 = st.lists(st.integers(0, 0xFFFF).map("{:x}".format),
+                min_size=8, max_size=8).map(":".join)
+hosts = st.one_of(hostnames, ipv4, ipv6)
+ports = st.one_of(st.none(), st.integers(1, 65535))
+
+
+@given(host=hosts, port=ports)
+def test_round_trip_property(host, port):
+    literal = f"[{host}]" if ":" in host else host
+    url = f"repro://{literal}" + (f":{port}" if port is not None else "")
+    assert parse_url(url) == (host, port if port is not None
+                              else DEFAULT_PORT)
+
+
+def test_server_url_round_trips_through_parse_url():
+    # The URL a server prints must feed straight back into --connect —
+    # including a bracketed IPv6 bind address.
+    from repro.net.server import ReproServer
+
+    assert parse_url(ReproServer(None, host="::1", port=9947).url) == \
+        ("::1", 9947)
+    assert parse_url(ReproServer(None, host="127.0.0.1", port=9944).url) == \
+        ("127.0.0.1", 9944)
