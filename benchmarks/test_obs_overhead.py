@@ -1,0 +1,86 @@
+"""What observability costs: traced + metered vs. the plain hot path.
+
+PR 6 threads metrics and tracing through every layer; this benchmark
+holds it to the bargain those layers were designed around — recording
+happens per *query* (and per span), never per tuple, so the instrumented
+path must stay within a small constant factor of the uninstrumented one.
+
+Two passes over the same session and query mix:
+
+* **plain** — ``trace=False`` (the default): caches bypassed so every
+  run exercises the full plan + execute path, metrics recording exactly
+  as shipped.
+* **observed** — the same stream with ``trace=True``, which additionally
+  builds the span tree, snapshots it into ``stats.trace``, and stamps
+  it through the result surface.
+
+Claims:
+
+* **correctness** — the traced stream returns byte-identical answers;
+* **overhead** — median traced batch time ≤ 1.10 × the plain median,
+  plus a small epsilon so sub-millisecond batches cannot fail on timer
+  noise alone.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.api.session import Session
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.storage.database import Database
+
+DATASET = "ca-GrQc"
+QUERIES = (
+    "edge(a,b), edge(b,c), edge(a,c), a<b, b<c",     # cyclic → lftj
+    "v1(a), edge(a,b), edge(b,c), v2(c)",            # β-acyclic → ms
+)
+ROUNDS = 9            # medians over this many alternating batches
+BATCH = 3             # queries of each shape per batch
+OVERHEAD_LIMIT = 1.10
+EPSILON_SECONDS = 0.010
+
+
+def run_batch(session: Session, trace: bool) -> tuple:
+    """One batch: every query BATCH times; returns (seconds, answers)."""
+    answers = []
+    started = time.perf_counter()
+    for _ in range(BATCH):
+        for text in QUERIES:
+            result = session.run(text, trace=trace, use_cache=False)
+            answers.append(result.fetchall())
+            if trace:
+                assert result.stats.trace is not None
+    return time.perf_counter() - started, answers
+
+
+def test_traced_and_metered_path_stays_within_ten_percent():
+    database = Database([load_dataset(DATASET)])
+    attach_samples(database, 10, sample_names=("v1", "v2"))
+    with Session(database) as session:
+        run_batch(session, trace=False)       # warm the process
+        run_batch(session, trace=True)
+        plain_times, observed_times = [], []
+        plain_answers = observed_answers = None
+        # Alternate so drift (GC, frequency scaling) hits both equally.
+        for _ in range(ROUNDS):
+            seconds, plain_answers = run_batch(session, trace=False)
+            plain_times.append(seconds)
+            seconds, observed_answers = run_batch(session, trace=True)
+            observed_times.append(seconds)
+
+    assert observed_answers == plain_answers, \
+        "tracing changed the answers"
+    plain = statistics.median(plain_times)
+    observed = statistics.median(observed_times)
+    print()
+    print(f"plain:    {plain * 1000:8.2f} ms/batch (median of {ROUNDS})")
+    print(f"observed: {observed * 1000:8.2f} ms/batch "
+          f"({observed / plain:.3f}x)")
+    assert observed <= plain * OVERHEAD_LIMIT + EPSILON_SECONDS, (
+        f"observability overhead {observed / plain:.3f}x exceeds "
+        f"{OVERHEAD_LIMIT:.2f}x (plain {plain:.4f}s, "
+        f"observed {observed:.4f}s)"
+    )

@@ -1,0 +1,76 @@
+"""Observability quickstart: metrics → tracing → EXPLAIN ANALYZE → slow log.
+
+Run with::
+
+    python examples/observability_quickstart.py
+
+Everything in :mod:`repro.obs` is stdlib-only and always on: counters
+and histograms accumulate in a process-global registry as queries run,
+``trace=True`` records a per-query span tree, ``explain_analyze`` pairs
+the static plan with what actually happened, and the service's
+slow-query log captures offenders as structured JSON.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.obs import configure_logging, explain_analyze, global_registry
+from repro.obs.trace import render
+from repro.service import QueryService, ServiceConfig
+from repro.storage import Database
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+PATH = "v1(a), edge(a, b), edge(b, c), v2(c)"
+
+
+def main() -> None:
+    # JSON logs on stderr; stdout stays human-readable.
+    configure_logging(level="info")
+
+    session = repro.connect("ca-GrQc", selectivity=10)
+    with session:
+        # 1. Tracing: run with trace=True and read the span tree off the
+        #    result stats — plan, execute, and join phases with timings.
+        print("=== traced run ===")
+        result = session.run(TRIANGLE, trace=True)
+        rows = result.fetchall()
+        print(render(result.stats.trace))
+        print(f"({len(rows)} triangles)\n")
+
+        # 2. EXPLAIN ANALYZE: the static plan report annotated with
+        #    actual per-operator times, rows, and cache provenance.
+        #    (Also available as: repro analyze '<query>')
+        print("=== explain analyze ===")
+        print(explain_analyze(session, PATH, algorithm="ms").render())
+        print()
+
+    # 3. The slow-query log lives on the service; threshold 0 records
+    #    every query (the CLI flag is --slow-query-threshold).
+    database = Database([load_dataset("ca-GrQc")])
+    attach_samples(database, 10, sample_names=("v1", "v2", "v3", "v4"))
+    config = ServiceConfig(slow_query_seconds=0.0)
+    with QueryService(database, config) as service:
+        service.execute(TRIANGLE, mode="count")
+        print("=== slow-query log ===")
+        for entry in service.slow_query_log.recent():
+            print(f"  {entry['seconds']:.4f}s  [{entry['algorithm']}] "
+                  f"{entry['query']}")
+        print()
+
+    # 4. Metrics: everything above accumulated in the global registry;
+    #    this is what `repro metrics` prints and what a running server
+    #    exposes over the wire via `repro metrics --connect URL`.
+    print("=== metrics (certificate + cache excerpts) ===")
+    for line in global_registry().render().splitlines():
+        if line.startswith(("repro_requests_total",
+                            "repro_cache_requests_total",
+                            "repro_ms_certificate_size_count",
+                            "repro_ms_certificate_size_sum",
+                            "repro_query_seconds_count")):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

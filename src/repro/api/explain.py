@@ -102,8 +102,13 @@ class Explain:
             "operator_tree": self.operator_tree,
         }
 
-    def render(self) -> str:
-        """The human-readable report printed by ``repro explain``."""
+    def render(self, actuals: Optional[str] = None) -> str:
+        """The human-readable report printed by ``repro explain``.
+
+        ``actuals`` is pre-rendered measured-execution text appended as
+        its own section — how ``repro analyze`` (EXPLAIN ANALYZE)
+        annotates the plan with per-operator timings and row counts.
+        """
         lines: List[str] = [f"query: {self.query}", ""]
         lines.append(f"structure: {self.acyclicity}")
         if self.gao is not None:
@@ -156,6 +161,11 @@ class Explain:
         lines.append("physical plan:")
         for tree_line in self.operator_tree.splitlines():
             lines.append(f"  {tree_line}")
+        if actuals:
+            lines.append("")
+            lines.append("actual execution:")
+            for actual_line in actuals.splitlines():
+                lines.append(f"  {actual_line}")
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -51,6 +51,10 @@ class QueryOptions:
         Stop after this many output tuples (applied lazily during
         streaming), or ``None`` for the full answer.  Limited results are
         never stored in result caches — they are not the full answer.
+    trace:
+        Capture a per-query span tree (parse → plan → execute →
+        per-shard joins) and expose it as ``ResultSet.stats.trace``.
+        Off by default: the untraced path carries no span overhead.
     """
 
     algorithm: str = "auto"
@@ -59,6 +63,7 @@ class QueryOptions:
     timeout: Optional[float] = None
     use_cache: bool = True
     limit: Optional[int] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
@@ -95,6 +100,10 @@ class QueryOptions:
                     f"limit must be a non-negative int or None, "
                     f"got {self.limit!r}"
                 )
+        if not isinstance(self.trace, bool):
+            raise OptionsError(
+                f"trace must be a bool, got {self.trace!r}"
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -46,6 +46,7 @@ from repro.util import TimeBudget
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.engine import QueryEngine
     from repro.exec.plan import PhysicalPlan
+    from repro.obs.trace import QueryTrace, Span
 
 #: One output tuple, in first-occurrence variable order.
 Row = Tuple[int, ...]
@@ -163,6 +164,9 @@ class ResultStats:
     complete: bool
     limit: Optional[int] = None
     total: Optional[int] = None
+    #: Clamped span-tree snapshot (see :mod:`repro.obs.trace`) when the
+    #: query ran with ``options(trace=True)``; ``None`` otherwise.
+    trace: Optional[dict] = None
 
     @property
     def seconds(self) -> float:
@@ -189,6 +193,9 @@ class ResultSet(RowCursor):
         Planning cost and plan-cache provenance, recorded by the caller.
     hooks:
         Optional :class:`ResultCacheHooks` binding to a result cache.
+    trace:
+        Optional :class:`~repro.obs.trace.QueryTrace` to record execution
+        spans into; its snapshot surfaces as :attr:`stats` ``.trace``.
     """
 
     def __init__(self, engine: "QueryEngine", plan: "PhysicalPlan", *,
@@ -196,7 +203,8 @@ class ResultSet(RowCursor):
                  limit: Optional[int] = None,
                  plan_seconds: float = 0.0,
                  plan_cached: bool = False,
-                 hooks: Optional[ResultCacheHooks] = None) -> None:
+                 hooks: Optional[ResultCacheHooks] = None,
+                 trace: Optional["QueryTrace"] = None) -> None:
         self._engine = engine
         self._plan = plan
         self._variables = tuple(plan.prepared.query.variables)
@@ -220,6 +228,8 @@ class ResultSet(RowCursor):
         self._result_cached = False
         self._execution_seconds = 0.0
         self._dependencies: Optional[Dict[str, int]] = None
+        self._trace = trace
+        self._exec_span: Optional["Span"] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -262,6 +272,15 @@ class ResultSet(RowCursor):
             return self._cursor >= len(self._rows)
         return self._exhausted
 
+    def adopt_trace_id(self, trace_id: str) -> None:
+        """Stamp a caller-chosen correlation id on this result's trace.
+
+        The wire path uses this so a client-generated trace id survives
+        into the server-side span tree; a no-op when tracing is off.
+        """
+        if self._trace is not None and trace_id:
+            self._trace.trace_id = trace_id
+
     @property
     def stats(self) -> ResultStats:
         """A point-in-time snapshot of timings and provenance."""
@@ -279,6 +298,7 @@ class ResultSet(RowCursor):
             complete=self.complete,
             limit=self._limit,
             total=self._count,
+            trace=self._trace.as_dict() if self._trace is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -302,13 +322,25 @@ class ResultSet(RowCursor):
                     self._sorted_answer = tuple(cached)
                 self._count = len(self._rows)
                 self._result_cached = True
+                if self._trace is not None:
+                    self._trace.begin(
+                        "execute", result_cache="hit",
+                        rows=self._count,
+                    ).finish()
                 return
             self._dependencies = self._hooks.snapshot()
         budget = TimeBudget(self._timeout)
+        extra = {}
+        if self._trace is not None:
+            self._exec_span = self._trace.begin(
+                "execute", algorithm=self._plan.algorithm,
+                shards=self._plan.shards,
+            )
+            extra["trace"] = self._exec_span
         bindings = self._engine.executor.bindings(
             self._engine.database, self._plan,
             budget=budget, factory=self._engine.make_algorithm,
-            limit=self._limit,
+            limit=self._limit, **extra,
         )
         rows = (
             tuple(binding[v] for v in self._variables)
@@ -323,6 +355,9 @@ class ResultSet(RowCursor):
         self._stream = None
         self._exhausted = True
         self._count = self._cursor
+        if self._exec_span is not None:
+            self._exec_span.annotate(rows=self._cursor).finish()
+            self._exec_span = None
         if self._retain:
             self._rows = self._seen
             # A limited stream saw only a prefix — _retain is False then,
@@ -362,6 +397,9 @@ class ResultSet(RowCursor):
             self._execution_seconds += time.perf_counter() - started
             self._stream = None
             self._failed = True
+            if self._exec_span is not None:
+                self._exec_span.annotate(failed=True).finish()
+                self._exec_span = None
             raise
         self._execution_seconds += time.perf_counter() - started
         if self._retain:
@@ -421,12 +459,18 @@ class ResultSet(RowCursor):
                     return self._count
             budget = TimeBudget(self._timeout)
             started = time.perf_counter()
-            bindings = self._engine.executor.bindings(
-                self._engine.database, self._plan,
-                budget=budget, factory=self._engine.make_algorithm,
-                limit=self._limit,
-            )
-            self._count = sum(1 for _ in islice(bindings, self._limit))
+            span = self._trace.begin("count", limited=self._limit) \
+                if self._trace is not None else None
+            try:
+                bindings = self._engine.executor.bindings(
+                    self._engine.database, self._plan,
+                    budget=budget, factory=self._engine.make_algorithm,
+                    limit=self._limit,
+                )
+                self._count = sum(1 for _ in islice(bindings, self._limit))
+            finally:
+                if span is not None:
+                    span.finish()
             self._execution_seconds += time.perf_counter() - started
             return self._count
         dependencies: Dict[str, int] = {}
@@ -435,14 +479,30 @@ class ResultSet(RowCursor):
             if cached is not None:
                 self._result_cached = True
                 self._count = cached
+                if self._trace is not None:
+                    self._trace.begin(
+                        "count", result_cache="hit", count=cached,
+                    ).finish()
                 return self._count
             dependencies = self._hooks.snapshot()
         budget = TimeBudget(self._timeout)
         started = time.perf_counter()
-        total = self._engine.executor.count(
-            self._engine.database, self._plan,
-            budget=budget, factory=self._engine.make_algorithm,
-        )
+        span = self._trace.begin(
+            "count", algorithm=self._plan.algorithm,
+            shards=self._plan.shards,
+        ) if self._trace is not None else None
+        extra = {} if span is None else {"trace": span}
+        try:
+            total = self._engine.executor.count(
+                self._engine.database, self._plan,
+                budget=budget, factory=self._engine.make_algorithm,
+                **extra,
+            )
+        finally:
+            if span is not None:
+                span.finish()
+        if span is not None:
+            span.annotate(count=total)
         self._execution_seconds += time.perf_counter() - started
         if self._hooks is not None:
             self._hooks.store_count(dependencies, total)

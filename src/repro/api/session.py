@@ -41,6 +41,7 @@ from repro.engine import (
 from repro.errors import OptionsError
 from repro.exec.partitioner import ParallelConfig
 from repro.exec.plan import PhysicalPlan
+from repro.obs import trace as obs_trace
 from repro.service.plan_cache import PlanCache, PlanCacheStats
 from repro.service.result_cache import ResultCache, ResultCacheStats
 from repro.storage.database import Database
@@ -208,7 +209,17 @@ class Session:
         consulted at first access and fed when a result fully streams.
         """
         opts = self.options(options, **overrides)
-        plan, plan_hit, plan_seconds = self._plan(query, opts)
+        qtrace: Optional[obs_trace.QueryTrace] = None
+        if opts.trace:
+            qtrace = obs_trace.QueryTrace()
+            plan_span = qtrace.begin("plan")
+            with qtrace.activate(plan_span):
+                plan, plan_hit, plan_seconds = self._plan(query, opts)
+            plan_span.annotate(
+                cached=plan_hit, algorithm=plan.algorithm
+            ).finish()
+        else:
+            plan, plan_hit, plan_seconds = self._plan(query, opts)
         hooks: Optional[ResultCacheHooks] = None
         if opts.use_cache:
             # With a limit the hooks are read-only in effect: a cached
@@ -222,6 +233,7 @@ class Session:
             plan_seconds=plan_seconds,
             plan_cached=plan_hit,
             hooks=hooks,
+            trace=qtrace,
         )
 
     def execute(self, query: Query,
@@ -291,6 +303,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             timeout: Optional[float] = None,
             use_cache: bool = True,
             limit: Optional[int] = None,
+            trace: bool = False,
             engine: Optional[QueryEngine] = None,
             plan_cache_size: int = 128,
             result_cache_size: int = 256,
@@ -335,7 +348,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             options=QueryOptions(
                 algorithm=algorithm, parallel=parallel,
                 partition_mode=partition_mode, timeout=timeout,
-                use_cache=use_cache, limit=limit,
+                use_cache=use_cache, limit=limit, trace=trace,
             ),
             pool_size=DEFAULT_POOL_SIZE if pool_size is None else pool_size,
             retries=DEFAULT_RETRIES if retries is None else retries,
@@ -362,7 +375,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
-        use_cache=use_cache, limit=limit,
+        use_cache=use_cache, limit=limit, trace=trace,
     )
     return Session(
         database, options=options, engine=engine,

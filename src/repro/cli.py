@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Eight subcommands cover the everyday workflows:
+Nine subcommands cover the everyday workflows:
 
 ``repro datasets``
     List the dataset catalog (original SNAP sizes and the synthetic
@@ -22,8 +22,16 @@ Eight subcommands cover the everyday workflows:
     the paper-style table.
 
 ``repro analyze``
-    Graph analytics over a dataset: size, triangle count, connected
-    components, and the top PageRank nodes.
+    Two modes.  With a query argument: EXPLAIN ANALYZE — run the query
+    traced and print the plan report annotated with actual per-operator
+    timings, row counts, and cache provenance.  Without one: graph
+    analytics over a dataset (size, triangle count, connected
+    components, top PageRank nodes).
+
+``repro metrics``
+    Dump the metrics registry in Prometheus text format — the local
+    process registry, or (``--connect``) a running server's registry
+    over the wire protocol's ``metrics`` op.
 
 ``repro serve``
     Start a :class:`~repro.service.QueryService` over a dataset and answer
@@ -75,6 +83,9 @@ from repro.errors import (
     UnknownAlgorithmError,
 )
 from repro.joins.graph_engine import GraphEngine
+from repro.obs.analyze import explain_analyze
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import global_registry
 from repro.queries.patterns import QUERY_PATTERNS, build_query, pattern
 from repro.service import (
     QueryService,
@@ -132,6 +143,18 @@ def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
                      help="partitioning scheme for --parallel (default: auto)")
 
 
+def _add_logging_arguments(sub: argparse.ArgumentParser) -> None:
+    """The shared structured-logging knobs for the serving front ends."""
+    sub.add_argument("--log-level", default="info",
+                     choices=("debug", "info", "warning", "error"),
+                     help="JSON log verbosity on stderr (default: info)")
+    sub.add_argument("--slow-query-threshold", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="log queries at least this slow to the "
+                          "slow-query log (0 records every query, "
+                          "default: 1.0)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,10 +199,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("auto", "hash", "hypercube"),
                        help="partitioning scheme for --parallel (default: auto)")
 
-    analyze = subparsers.add_parser("analyze", help="graph analytics on a dataset")
-    analyze.add_argument("--dataset", required=True, choices=dataset_names())
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE a query (or graph analytics on a dataset)",
+    )
+    analyze.add_argument("query", nargs="?", default=None,
+                         help="Datalog-style query text to EXPLAIN ANALYZE; "
+                              "omit for dataset-level graph analytics")
+    analyze.add_argument("--dataset", choices=dataset_names(),
+                         help="catalog dataset (default for query mode: "
+                              "ca-GrQc; required for analytics mode)")
+    analyze.add_argument("--connect", metavar="URL", default=None,
+                         help="with a query: run it against a repro server "
+                              "at repro://host:port instead of in-process")
+    analyze.add_argument("--algorithm", default="auto",
+                         help="with a query: join algorithm (default: auto)")
+    analyze.add_argument("--timeout", type=float, default=None,
+                         help="with a query: soft timeout in seconds")
+    analyze.add_argument("--selectivity", type=int, default=10,
+                         help="with a query: selectivity of the attached "
+                              "v1..v4 node samples (default: 10)")
+    analyze.add_argument("--json", action="store_true",
+                         help="with a query: emit the annotated report "
+                              "as JSON")
     analyze.add_argument("--top", type=int, default=5,
                          help="how many PageRank nodes to show (default: 5)")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="dump metrics in Prometheus text format"
+    )
+    metrics.add_argument("--connect", metavar="URL", default=None,
+                         help="scrape a running repro server at "
+                              "repro://host:port instead of this process")
 
     serve = subparsers.add_parser(
         "serve", help="answer query lines from stdin through the query service"
@@ -201,6 +252,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--partition-mode", default="auto",
                        choices=("auto", "hash", "hypercube"),
                        help="partitioning scheme for --parallel (default: auto)")
+    _add_logging_arguments(serve)
 
     server = subparsers.add_parser(
         "server", help="serve queries over TCP (repro:// wire protocol)"
@@ -230,6 +282,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "hash", "hypercube"),
                         help="partitioning scheme for --parallel "
                              "(default: auto)")
+    _add_logging_arguments(server)
 
     workload = subparsers.add_parser(
         "workload", help="drive a workload through the query service"
@@ -384,6 +437,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.query is not None:
+        return _cmd_explain_analyze(args)
+    if args.connect:
+        raise OptionsError(
+            "--connect needs a query argument (EXPLAIN ANALYZE mode); "
+            "dataset analytics run in-process"
+        )
+    if not args.dataset:
+        raise OptionsError(
+            "analytics mode needs --dataset (pass a query argument for "
+            "EXPLAIN ANALYZE instead)"
+        )
     edge = load_dataset(args.dataset)
     database = Database([edge])
     nodes = edge.active_domain()
@@ -402,6 +467,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"  connected components: {component_count}")
     print(f"  top-{args.top} PageRank nodes: "
           + ", ".join(f"{node} ({rank:.4f})" for node, rank in top))
+    return 0
+
+
+def _cmd_explain_analyze(args: argparse.Namespace) -> int:
+    """EXPLAIN ANALYZE: run the query traced; print the annotated plan."""
+    query = parse_query(args.query)
+    if args.connect:
+        from repro.net.client import RemoteSession
+
+        session: object = RemoteSession(args.connect)
+    else:
+        database = Database([load_dataset(args.dataset or "ca-GrQc")])
+        attach_samples(database, args.selectivity,
+                       sample_names=("v1", "v2", "v3", "v4"))
+        session = Session(database)
+    with session:
+        report = explain_analyze(session, query, algorithm=args.algorithm,
+                                 timeout=args.timeout)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.connect:
+        from repro.net.client import RemoteSession
+
+        with RemoteSession(args.connect) as session:
+            text = session.metrics()
+    else:
+        text = global_registry().render()
+    print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -434,12 +533,19 @@ def _graceful_sigterm() -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    configure_logging(level=args.log_level)
+    log = get_logger("cli")
     database = _service_database(args.dataset, args.selectivity, args.scale)
     config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
                            parallel_shards=args.parallel,
-                           partition_mode=args.partition_mode)
+                           partition_mode=args.partition_mode,
+                           slow_query_seconds=args.slow_query_threshold)
     _graceful_sigterm()
     with QueryService(database, config) as service:
+        log.info("serving %s on stdin", args.dataset,
+                 extra={"data": {"dataset": args.dataset,
+                                 "workers": args.workers,
+                                 "edges": len(database.relation("edge"))}})
         print(f"serving {args.dataset} "
               f"({database.relation('edge').arity}-ary edge relation, "
               f"{len(database.relation('edge')):,} tuples); "
@@ -464,6 +570,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             print("interrupted; draining", flush=True)
         stats = service.stats().as_dict()
+    log.info("serve loop finished", extra={"data": stats})
     print("served: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
 
@@ -471,16 +578,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_server(args: argparse.Namespace) -> int:
     from repro.net.server import ReproServer
 
+    configure_logging(level=args.log_level)
+    log = get_logger("cli")
     database = _service_database(args.dataset, args.selectivity, args.scale)
     config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
                            parallel_shards=args.parallel,
-                           partition_mode=args.partition_mode)
+                           partition_mode=args.partition_mode,
+                           slow_query_seconds=args.slow_query_threshold)
     _graceful_sigterm()
     with QueryService(database, config) as service:
         server = ReproServer(service, host=args.host, port=args.port,
                              cursor_ttl=args.cursor_ttl)
 
         def ready(srv: ReproServer) -> None:
+            log.info("server ready on %s", srv.url,
+                     extra={"data": {"dataset": args.dataset,
+                                     "url": srv.url,
+                                     "workers": args.workers}})
             print(f"serving {args.dataset} "
                   f"({len(database.relation('edge')):,} edge tuples) "
                   f"on {srv.url}; SIGINT/SIGTERM to stop", flush=True)
@@ -493,6 +607,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
         stats = service.stats().as_dict()
+    log.info("server stopped", extra={"data": stats})
     print("server stopped; "
           + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
@@ -590,6 +705,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "server":

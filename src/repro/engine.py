@@ -74,6 +74,7 @@ from repro.joins.minesweeper.counting import SharingMinesweeperCounter
 from repro.joins.naive import NaiveBacktrackingJoin
 from repro.joins.pairwise import PairwiseHashJoin
 from repro.joins.yannakakis import YannakakisJoin
+from repro.obs import trace as obs_trace
 from repro.storage.database import Database
 from repro.util import TimeBudget
 
@@ -333,8 +334,12 @@ class QueryEngine:
             if algorithm in ("auto", query.requested_algorithm, query.algorithm):
                 return query
             return self.prepare(query.query, algorithm)
-        resolved = self._resolve(query)
-        beta_acyclic = Hypergraph.of_query(resolved).is_beta_acyclic()
+        with obs_trace.span("parse"):
+            resolved = self._resolve(query)
+        with obs_trace.span("analyze") as analyze_span:
+            beta_acyclic = Hypergraph.of_query(resolved).is_beta_acyclic()
+            if analyze_span is not None:
+                analyze_span.annotate(beta_acyclic=beta_acyclic)
         if algorithm == "auto":
             name = "ms" if beta_acyclic else "lftj"
         else:
@@ -346,7 +351,8 @@ class QueryEngine:
             )
         gao: Optional[GAOChoice] = None
         if name in _GAO_DRIVEN or (name in _NEO_DRIVEN and beta_acyclic):
-            gao = select_gao(resolved, policy="auto")
+            with obs_trace.span("gao"):
+                gao = select_gao(resolved, policy="auto")
         return PreparedQuery(
             text=str(resolved),
             query=resolved,
@@ -439,24 +445,37 @@ class QueryEngine:
         caches, so it is ignored here.
         """
         options = QueryOptions.resolve(options, overrides)
-        plan = self.plan(
-            query, options.algorithm,
-            options.parallel_request(self.parallel),
-        )
+        qtrace: Optional[obs_trace.QueryTrace] = None
+        if options.trace:
+            qtrace = obs_trace.QueryTrace()
+            plan_span = qtrace.begin("plan")
+            with qtrace.activate(plan_span):
+                plan = self.plan(
+                    query, options.algorithm,
+                    options.parallel_request(self.parallel),
+                )
+            plan_span.annotate(algorithm=plan.algorithm).finish()
+        else:
+            plan = self.plan(
+                query, options.algorithm,
+                options.parallel_request(self.parallel),
+            )
         return self.run_plan(plan, timeout=options.timeout,
-                             limit=options.limit)
+                             limit=options.limit, trace=qtrace)
 
     def run_plan(self, plan: PhysicalPlan, *,
                  timeout: Optional[float] = None,
                  limit: Optional[int] = None,
                  plan_seconds: float = 0.0,
                  plan_cached: bool = False,
-                 hooks: Optional[ResultCacheHooks] = None) -> ResultSet:
+                 hooks: Optional[ResultCacheHooks] = None,
+                 trace: Optional[obs_trace.QueryTrace] = None) -> ResultSet:
         """Wrap an already-compiled plan in a lazy :class:`ResultSet`.
 
         The session layer calls this with its cache hooks and plan-cache
         provenance; :meth:`run` calls it bare.  ``timeout=None`` inherits
-        the engine default.
+        the engine default.  ``trace`` is the per-query span tree the
+        result set records execution spans into.
         """
         plan = self._check_plan(plan)
         return ResultSet(
@@ -466,6 +485,7 @@ class QueryEngine:
             plan_seconds=plan_seconds,
             plan_cached=plan_cached,
             hooks=hooks,
+            trace=trace,
         )
 
     def count(self, query, algorithm: str = "auto",

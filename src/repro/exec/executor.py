@@ -131,8 +131,13 @@ class PlanExecutor(abc.ABC):
     @abc.abstractmethod
     def count(self, database: Database, plan: PhysicalPlan,
               budget: Optional[TimeBudget] = None,
-              factory: Optional[AlgorithmFactory] = None) -> int:
-        """Number of output tuples of ``plan`` over ``database``."""
+              factory: Optional[AlgorithmFactory] = None,
+              trace: Optional[object] = None) -> int:
+        """Number of output tuples of ``plan`` over ``database``.
+
+        ``trace``, when given, is a started :class:`repro.obs.trace.Span`
+        the executor may attach per-shard child spans to.
+        """
 
     @abc.abstractmethod
     def tuples(self, database: Database, plan: PhysicalPlan,
@@ -145,13 +150,17 @@ class PlanExecutor(abc.ABC):
     def bindings(self, database: Database, plan: PhysicalPlan,
                  budget: Optional[TimeBudget] = None,
                  factory: Optional[AlgorithmFactory] = None,
-                 limit: Optional[int] = None) -> Iterator[Binding]:
+                 limit: Optional[int] = None,
+                 trace: Optional[object] = None) -> Iterator[Binding]:
         """Iterate output bindings (order unspecified, as for algorithms).
 
         ``limit`` is a laziness hint: the caller will consume at most that
         many bindings, so executors that pay for whole shards up front
         (the process pool) cap per-shard enumeration.  It is not a slice
         — an executor may still yield more; callers truncate themselves.
+
+        ``trace``, when given, is a started :class:`repro.obs.trace.Span`
+        the executor may attach per-shard child spans to.
         """
 
     def close(self) -> None:
@@ -187,15 +196,33 @@ class PlanExecutor(abc.ABC):
 class SerialPlanExecutor(PlanExecutor):
     """Run shards in-process, sequentially (the behavior-identical default)."""
 
-    def count(self, database, plan, budget=None, factory=None):
+    def count(self, database, plan, budget=None, factory=None, trace=None):
         if plan.scheme is None:
             instance = self._instantiate(plan, budget, factory)
-            return instance.count(database, plan.prepared.query)
+            if trace is None:
+                return instance.count(database, plan.prepared.query)
+            span = trace.child("join")
+            try:
+                total = instance.count(database, plan.prepared.query)
+            finally:
+                span.finish()
+            span.annotate(count=total)
+            return total
         partitioner = self._partitioner(plan)
         total = 0
-        for _, shard in partitioner.shard_databases(database):
+        for index, (_, shard) in enumerate(
+                partitioner.shard_databases(database)):
             instance = self._instantiate(plan, budget, factory)
-            total += instance.count(shard, partitioner.rewritten_query)
+            span = None if trace is None \
+                else trace.child("shard-count", shard=index)
+            try:
+                subtotal = instance.count(shard, partitioner.rewritten_query)
+            finally:
+                if span is not None:
+                    span.finish()
+            if span is not None:
+                span.annotate(count=subtotal)
+            total += subtotal
         return total
 
     def tuples(self, database, plan, budget=None, factory=None):
@@ -208,21 +235,44 @@ class SerialPlanExecutor(PlanExecutor):
         return rows
 
     def bindings(self, database, plan, budget=None, factory=None,
-                 limit=None):
+                 limit=None, trace=None):
         # In-process enumeration is a true generator, so the limit hint
         # is moot: unconsumed bindings are never computed.
         if plan.scheme is None:
             instance = self._instantiate(plan, budget, factory)
-            yield from instance.enumerate_bindings(
-                database, plan.prepared.query
-            )
+            if trace is None:
+                yield from instance.enumerate_bindings(
+                    database, plan.prepared.query
+                )
+                return
+            span = trace.child("join")
+            rows = 0
+            try:
+                for binding in instance.enumerate_bindings(
+                        database, plan.prepared.query):
+                    rows += 1
+                    yield binding
+            finally:
+                span.annotate(rows=rows).finish()
             return
         partitioner = self._partitioner(plan)
-        for _, shard in partitioner.shard_databases(database):
+        for index, (_, shard) in enumerate(
+                partitioner.shard_databases(database)):
             instance = self._instantiate(plan, budget, factory)
-            yield from instance.enumerate_bindings(
-                shard, partitioner.rewritten_query
-            )
+            if trace is None:
+                yield from instance.enumerate_bindings(
+                    shard, partitioner.rewritten_query
+                )
+                continue
+            span = trace.child("shard-join", shard=index)
+            rows = 0
+            try:
+                for binding in instance.enumerate_bindings(
+                        shard, partitioner.rewritten_query):
+                    rows += 1
+                    yield binding
+            finally:
+                span.annotate(rows=rows).finish()
 
 
 class ProcessPlanExecutor(PlanExecutor):
@@ -344,10 +394,15 @@ class ProcessPlanExecutor(PlanExecutor):
         return pool.map(run_shard, tasks, chunksize=1)
 
     # ------------------------------------------------------------------
-    def count(self, database, plan, budget=None, factory=None):
+    def count(self, database, plan, budget=None, factory=None, trace=None):
         if plan.scheme is None or plan.shards == 1:
-            return self._serial.count(database, plan, budget, factory)
-        return sum(self._map(self._tasks(database, plan, "count", budget)))
+            return self._serial.count(database, plan, budget, factory,
+                                      trace=trace)
+        span = None if trace is None else trace.child("partition")
+        tasks = self._tasks(database, plan, "count", budget)
+        if span is not None:
+            span.annotate(shards=len(tasks)).finish()
+        return sum(self._map(tasks))
 
     def tuples(self, database, plan, budget=None, factory=None):
         if plan.scheme is None or plan.shards == 1:
@@ -358,9 +413,10 @@ class ProcessPlanExecutor(PlanExecutor):
         return list(heapq.merge(*shard_rows))
 
     def bindings(self, database, plan, budget=None, factory=None,
-                 limit=None):
+                 limit=None, trace=None):
         if plan.scheme is None or plan.shards == 1:
-            yield from self._serial.bindings(database, plan, budget, factory)
+            yield from self._serial.bindings(database, plan, budget, factory,
+                                             trace=trace)
             return
         # Stream shard results as they land instead of collecting the full
         # merged list first: the first finished shard's answers reach the
@@ -371,8 +427,17 @@ class ProcessPlanExecutor(PlanExecutor):
         # so any `limit` rows form a valid prefix — keeping a small-limit
         # query from paying for the full join on every worker.
         variables = plan.prepared.query.variables
+        span = None if trace is None else trace.child("partition")
         tasks = self._tasks(database, plan, "tuples", budget, limit)
+        if span is not None:
+            span.annotate(shards=len(tasks)).finish()
         pool = self._ensure_pool()
-        for shard_rows in pool.imap_unordered(run_shard, tasks, chunksize=1):
+        # Shards run out-of-process, so span timings here mark *arrival*
+        # of each shard's rows on the parent, not worker-side compute.
+        for index, shard_rows in enumerate(
+                pool.imap_unordered(run_shard, tasks, chunksize=1)):
+            if trace is not None:
+                trace.child("shard-merge", shard=index,
+                            rows=len(shard_rows)).finish()
             for row in shard_rows:
                 yield dict(zip(variables, row))

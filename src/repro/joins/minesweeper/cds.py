@@ -100,6 +100,18 @@ class CDSStatistics:
     complete_node_hits: int = 0
     free_tuples_returned: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat counters for traces, reports, and JSON output."""
+        return {
+            "constraints_inserted": self.constraints_inserted,
+            "nodes_created": self.nodes_created,
+            "cache_intervals_inserted": self.cache_intervals_inserted,
+            "truncations": self.truncations,
+            "ping_pong_rounds": self.ping_pong_rounds,
+            "complete_node_hits": self.complete_node_hits,
+            "free_tuples_returned": self.free_tuples_returned,
+        }
+
 
 class ConstraintTree:
     """The CDS plus the moving frontier.

@@ -45,6 +45,7 @@ from repro.joins.minesweeper.constraints import (
     excluded_intervals,
 )
 from repro.joins.minesweeper.gaps import AtomProbePlan, GapProber
+from repro.obs.metrics import record_minesweeper_run
 from repro.storage.database import Database
 from repro.storage.trie import TrieIndex
 from repro.util import TimeBudget
@@ -428,6 +429,7 @@ class _MinesweeperRun:
         self.statistics.constraints_inserted = (
             self.cds.statistics.constraints_inserted
         )
+        record_minesweeper_run(self.statistics)
 
     # ------------------------------------------------------------------
     def _advance_past(self, constraint: Constraint,

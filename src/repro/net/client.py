@@ -68,6 +68,8 @@ from repro.errors import (
 )
 from repro.net import protocol
 from repro.net.server import DEFAULT_PORT
+from repro.obs.metrics import global_registry
+from repro.obs.trace import new_trace_id
 
 #: How many rows one iteration-driven fetch pulls by default.
 DEFAULT_FETCH_SIZE = 512
@@ -84,11 +86,13 @@ DEFAULT_RETRY_BACKOFF = 0.05
 _MAX_RETRY_BACKOFF = 2.0
 
 #: Operations safe to replay on a fresh connection after a transport
-#: failure.  ``run`` and ``explain`` only plan, ``count`` and ``stats``
-#: only read, ``hello`` is a handshake.  Cursor ops (``cursor`` /
-#: ``fetch`` / ``close``) are deliberately absent: they name server-side
-#: stream state that dies with its connection.
-IDEMPOTENT_OPS = frozenset({"hello", "run", "explain", "count", "stats"})
+#: failure.  ``run`` and ``explain`` only plan, ``count`` / ``stats`` /
+#: ``metrics`` only read, ``hello`` is a handshake.  Cursor ops
+#: (``cursor`` / ``fetch`` / ``close``) are deliberately absent: they
+#: name server-side stream state that dies with its connection.
+IDEMPOTENT_OPS = frozenset(
+    {"hello", "run", "explain", "count", "stats", "metrics"}
+)
 
 
 class PoolExhausted(NetworkError):
@@ -335,6 +339,10 @@ class ConnectionPool:
         self._all: Set[_WireConnection] = set()
         self._open = 0  # connections existing: idle + checked out
         self._closed = False
+        # Resilience accounting, surfaced by RemoteSession.stats().
+        self.checkouts = 0
+        self.dialed = 0
+        self.health_replaced = 0
 
     def __len__(self) -> int:
         with self._cond:
@@ -348,6 +356,7 @@ class ConnectionPool:
     def checkout(self) -> _WireConnection:
         """A healthy connection: idle, freshly dialled, or waited for."""
         deadline = time.monotonic() + self.connect_timeout
+        registry = global_registry()
         with self._cond:
             while True:
                 if self._closed:
@@ -357,9 +366,15 @@ class ConnectionPool:
                 while self._idle:
                     conn = self._idle.popleft()
                     if conn.healthy():
+                        self.checkouts += 1
+                        registry.counter(
+                            "repro_client_checkouts_total").inc()
                         return conn
                     self._forget(conn)
                     conn.close()
+                    self.health_replaced += 1
+                    registry.counter(
+                        "repro_client_health_replaced_total").inc()
                 if self._open < self.size:
                     self._open += 1
                     break  # dial outside the lock
@@ -387,9 +402,12 @@ class ConnectionPool:
             closed_meanwhile = self._closed
             if not closed_meanwhile:
                 self._all.add(conn)
+                self.dialed += 1
+                self.checkouts += 1
         if closed_meanwhile:
             conn.close()
             raise NetworkError(f"connection pool to {self.url} is closed")
+        registry.counter("repro_client_checkouts_total").inc()
         return conn
 
     def checkin(self, conn: _WireConnection) -> None:
@@ -502,6 +520,9 @@ class RemoteResultSet(RowCursor):
         self._count: Optional[int] = None
         self._final: dict = {}
         self._seconds = 0.0
+        # With tracing on, a client-chosen id rides every wire request so
+        # the server-side span tree correlates with client logs.
+        self._trace_id = new_trace_id() if options.trace else None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -542,6 +563,7 @@ class RemoteResultSet(RowCursor):
             complete=self.complete,
             limit=self._options.limit,
             total=self._count,
+            trace=self._final.get("trace"),
         )
 
     # ------------------------------------------------------------------
@@ -551,7 +573,8 @@ class RemoteResultSet(RowCursor):
         """Open the server-side cursor on first use, pinning a connection."""
         if self._cursor_id is None:
             self._conn, self._cursor_id = self._session._open_cursor(
-                self._text, _options_payload(self._options)
+                self._text, _options_payload(self._options),
+                trace_id=self._trace_id,
             )
 
     def _release_conn(self) -> None:
@@ -698,14 +721,17 @@ class RemoteResultSet(RowCursor):
         if self._count is not None:
             return self._count
         started = time.perf_counter()
-        response = self._session._request(
-            "count", query=self._text,
-            options=_options_payload(self._options),
-        )
+        params = {"query": self._text,
+                  "options": _options_payload(self._options)}
+        if self._trace_id is not None:
+            params["trace_id"] = self._trace_id
+        response = self._session._request("count", **params)
         self._seconds += time.perf_counter() - started
         self._count = response["count"]
         if response.get("result_cached"):
             self._final.setdefault("result_cached", True)
+        if response.get("trace") is not None:
+            self._final["trace"] = response["trace"]
         return self._count
 
     def close(self) -> None:
@@ -766,6 +792,7 @@ class RemoteSession:
         self.retry_backoff = float(retry_backoff)
         self._pool = ConnectionPool(url, size=pool_size,
                                     connect_timeout=connect_timeout)
+        self._retries_attempted = 0
         self._closed = False
         try:
             self.server_info = self._request("hello")
@@ -815,6 +842,8 @@ class RemoteSession:
             except (NetworkError, ProtocolError):
                 if attempt + 1 >= attempts:
                     raise
+                self._retries_attempted += 1
+                global_registry().counter("repro_client_retries_total").inc()
                 time.sleep(delay)
                 delay = min(delay * 2, _MAX_RETRY_BACKOFF)
                 continue
@@ -835,8 +864,9 @@ class RemoteSession:
         finally:
             self._pool.checkin(conn)
 
-    def _open_cursor(self, text: str,
-                     payload: dict) -> Tuple[_WireConnection, int]:
+    def _open_cursor(self, text: str, payload: dict,
+                     trace_id: Optional[str] = None
+                     ) -> Tuple[_WireConnection, int]:
         """Open a server-side cursor, returning its pinned connection.
 
         Opening is retried like an idempotent op: a cursor that was
@@ -844,9 +874,11 @@ class RemoteSession:
         connection (registries are per-connection), so replaying on a
         fresh connection leaks nothing.
         """
+        params = {"query": text, "options": payload}
+        if trace_id is not None:
+            params["trace_id"] = trace_id
         conn, response = self._retry_exchange(
-            "cursor", {"query": text, "options": payload},
-            1 + self.retries,
+            "cursor", params, 1 + self.retries,
         )
         try:
             body = _result(response)
@@ -891,10 +923,24 @@ class RemoteSession:
 
         ``connection`` and ``cursors`` describe whichever pooled
         connection carried this request; ``service`` is global.
+        ``client`` is local: this session's resilience accounting —
+        retries attempted, stale connections replaced by the pool's
+        health probe, connections dialled.
         """
         response = self._request("stats")
-        return {key: response[key]
-                for key in ("connection", "cursors", "service")}
+        stats = {key: response[key]
+                 for key in ("connection", "cursors", "service")}
+        stats["client"] = {
+            "retries": self._retries_attempted,
+            "health_replaced": self._pool.health_replaced,
+            "dialed": self._pool.dialed,
+            "checkouts": self._pool.checkouts,
+        }
+        return stats
+
+    def metrics(self) -> str:
+        """The server's metrics registry in Prometheus text format."""
+        return self._request("metrics")["metrics"]
 
     def close(self) -> None:
         """Say goodbye on idle connections and close the pool; idempotent.
@@ -932,6 +978,7 @@ def connect(url: str, *,
             timeout: Optional[float] = None,
             use_cache: bool = True,
             limit: Optional[int] = None,
+            trace: bool = False,
             fetch_size: int = DEFAULT_FETCH_SIZE,
             connect_timeout: float = 10.0,
             pool_size: int = DEFAULT_POOL_SIZE,
@@ -941,7 +988,7 @@ def connect(url: str, *,
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
-        use_cache=use_cache, limit=limit,
+        use_cache=use_cache, limit=limit, trace=trace,
     )
     return RemoteSession(url, options=options, fetch_size=fetch_size,
                          connect_timeout=connect_timeout,
@@ -1171,6 +1218,7 @@ class AsyncRemoteSession:
         self._write_lock = None
         self._next_id = 0
         self._generation = 0  # bumped per (re)connect; cursors pin one
+        self._retries_attempted = 0
         self._closed = False
         self.server_info: dict = {}
 
@@ -1215,6 +1263,10 @@ class AsyncRemoteSession:
                     f"could not connect to {self.url}: {error}"
                 ) from None
             self._generation += 1
+            if self._generation > 1:
+                # Anything past the first connect is a reconnect.
+                global_registry().counter(
+                    "repro_client_reconnects_total").inc()
             self._pending = {}
             self._reader_task = asyncio.get_running_loop().create_task(
                 self._read_loop(self._reader, self._pending)
@@ -1358,6 +1410,8 @@ class AsyncRemoteSession:
             except (NetworkError, ProtocolError):
                 if attempt + 1 >= attempts:
                     raise
+                self._retries_attempted += 1
+                global_registry().counter("repro_client_retries_total").inc()
                 await asyncio.sleep(delay)
                 delay = min(delay * 2, _MAX_RETRY_BACKOFF)
                 continue
@@ -1408,9 +1462,22 @@ class AsyncRemoteSession:
         return RemoteExplain(response["report"], response["rendered"])
 
     async def stats(self) -> dict:
+        """Server counters plus this session's resilience accounting:
+        retries attempted and reconnects (generation bumps past the
+        first connect)."""
         response = await self._request("stats")
-        return {key: response[key]
-                for key in ("connection", "cursors", "service")}
+        stats = {key: response[key]
+                 for key in ("connection", "cursors", "service")}
+        stats["client"] = {
+            "retries": self._retries_attempted,
+            "reconnects": max(0, self._generation - 1),
+            "generation": self._generation,
+        }
+        return stats
+
+    async def metrics(self) -> str:
+        """The server's metrics registry in Prometheus text format."""
+        return (await self._request("metrics"))["metrics"]
 
     async def close(self) -> None:
         if self._closed:
@@ -1442,6 +1509,7 @@ async def connect_async(url: str, *,
                         timeout: Optional[float] = None,
                         use_cache: bool = True,
                         limit: Optional[int] = None,
+                        trace: bool = False,
                         fetch_size: int = DEFAULT_FETCH_SIZE,
                         retries: int = DEFAULT_RETRIES,
                         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
@@ -1451,7 +1519,7 @@ async def connect_async(url: str, *,
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
-        use_cache=use_cache, limit=limit,
+        use_cache=use_cache, limit=limit, trace=trace,
     )
     session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size,
                                  retries=retries, retry_backoff=retry_backoff,

@@ -48,6 +48,7 @@ op              request fields                       response fields
                                                      result_cached
 ``explain``     query, options                       report, rendered
 ``stats``       —                                    connection, cursors, service
+``metrics``     —                                    metrics (Prometheus text)
 ``goodbye``     —                                    goodbye
 =============== ==================================== =========================
 

@@ -35,13 +35,23 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    TimeoutExceeded,
+)
 from repro.net import protocol
+from repro.obs.logs import get_logger
+from repro.obs.metrics import global_registry
 from repro.service.cursors import CursorRegistry
 from repro.service.service import QueryService
+
+_log = get_logger("net.server")
 
 #: Default server port; unassigned in the IANA registry.
 DEFAULT_PORT = 9944
@@ -142,6 +152,8 @@ class ReproServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("server listening on %s", self.url,
+                  extra={"data": {"url": self.url}})
         if self.cursor_ttl is not None:
             interval = max(0.05, self.cursor_ttl / 4)
             self._sweeper = asyncio.get_running_loop().create_task(
@@ -166,6 +178,7 @@ class ReproServer:
                 connection.writer.close()
             await self._server.wait_closed()
             self._server = None
+            _log.info("server stopped", extra={"data": {"url": self.url}})
         for connection in list(self._connections):
             connection.registry.close_all()
 
@@ -225,14 +238,27 @@ class ReproServer:
         connection = _Connection(self.cursor_ttl, self.max_cursors, writer)
         self._connections.add(connection)
         limiter = asyncio.Semaphore(self.max_pipeline)
+
+        async def counted_readexactly(size: int) -> bytes:
+            # Counting wrapper: every byte read off the socket — length
+            # prefixes included — lands on the bytes-in counter.
+            data = await reader.readexactly(size)
+            global_registry().counter("repro_server_bytes_total").inc(
+                len(data), direction="in"
+            )
+            return data
+
         try:
             while True:
                 try:
-                    frame = await protocol.read_frame_async(reader.readexactly)
+                    frame = await protocol.read_frame_async(counted_readexactly)
                 except ProtocolError:
                     break  # peer is speaking garbage; cut the connection
                 if frame is None:
                     break
+                global_registry().counter("repro_server_frames_total").inc(
+                    direction="in", op=self._op_label(frame.get("op"))
+                )
                 await limiter.acquire()
                 task = asyncio.get_running_loop().create_task(
                     self._serve_frame(connection, frame, limiter)
@@ -257,9 +283,17 @@ class ReproServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    @classmethod
+    def _op_label(cls, op: object) -> str:
+        """Clamp the op to the known set so label cardinality is bounded."""
+        return op if isinstance(op, str) and op in cls._OPS else "unknown"
+
     async def _serve_frame(self, connection: _Connection, frame: dict,
                            limiter: asyncio.Semaphore) -> None:
         """Dispatch one pipelined frame and write its response."""
+        registry = global_registry()
+        inflight = registry.gauge("repro_server_inflight")
+        inflight.inc()
         try:
             response = await self._dispatch(connection, frame)
             try:
@@ -275,12 +309,19 @@ class ReproServer:
                         f"response could not be encoded: {error}"
                     ),
                 ))
+            registry.counter("repro_server_frames_total").inc(
+                direction="out", op=self._op_label(frame.get("op"))
+            )
+            registry.counter("repro_server_bytes_total").inc(
+                len(payload), direction="out"
+            )
             async with connection.write_lock:
                 connection.writer.write(payload)
                 await connection.writer.drain()
         except (ConnectionResetError, BrokenPipeError, RuntimeError):
             pass  # peer vanished mid-write; the read loop tears down
         finally:
+            inflight.dec()
             limiter.release()
 
     async def _sweep_idle_cursors(self, interval: float) -> None:
@@ -330,6 +371,13 @@ class ReproServer:
             raise ProtocolError("'options' must be a JSON object")
         return query, options
 
+    @staticmethod
+    def _adopt_trace_id(result_set, frame: dict) -> None:
+        """Carry a client-chosen trace id into the server-side span tree."""
+        trace_id = frame.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            result_set.adopt_trace_id(trace_id)
+
     # -- ops ------------------------------------------------------------
     async def _op_hello(self, connection: _Connection, frame: dict) -> dict:
         import repro
@@ -373,6 +421,7 @@ class ReproServer:
         def open_cursor():
             opts = self.service.session.options(**options)
             result_set = self.service.session.run(query, opts)
+            self._adopt_trace_id(result_set, frame)
             return connection.registry.open(result_set)
 
         cursor = await self._call(open_cursor)
@@ -397,6 +446,17 @@ class ReproServer:
                 "execution_seconds": stats.execution_seconds,
                 "total": stats.total,
             }
+            trace = getattr(stats, "trace", None)
+            if trace is not None:
+                body["stats"]["trace"] = trace
+            # A drained cursor is one completed streamed query; remote
+            # queries never pass through QueryService.execute, so this
+            # is where they land on the request metrics and slow log.
+            self.service.observe_query(
+                query=stats.query,
+                seconds=stats.plan_seconds + stats.execution_seconds,
+                mode="tuples", algorithm=stats.algorithm, trace=trace,
+            )
         return body
 
     async def _op_close(self, connection: _Connection, frame: dict) -> dict:
@@ -410,13 +470,32 @@ class ReproServer:
 
         def count():
             opts = self.service.session.options(**options)
+            started = time.perf_counter()
             result_set = self.service.session.run(query, opts)
-            return result_set.count(), result_set
+            self._adopt_trace_id(result_set, frame)
+            try:
+                value = result_set.count()
+            except ReproError as error:
+                self.service.observe_query(
+                    query=result_set.query_text,
+                    seconds=time.perf_counter() - started,
+                    mode="count", algorithm=result_set.algorithm,
+                    outcome="timeout" if isinstance(error, TimeoutExceeded)
+                    else "error",
+                )
+                raise
+            self.service.observe_query(
+                query=result_set.query_text,
+                seconds=time.perf_counter() - started,
+                mode="count", algorithm=result_set.algorithm,
+                trace=result_set.stats.trace,
+            )
+            return value, result_set
 
         value, result_set = await self._call(count)
         connection.stats.counts += 1
         stats = result_set.stats
-        return {
+        body = {
             "count": value,
             "algorithm": result_set.algorithm,
             "shards": result_set.shards,
@@ -424,6 +503,10 @@ class ReproServer:
             "plan_cached": stats.plan_cached,
             "execution_seconds": stats.execution_seconds,
         }
+        trace = getattr(stats, "trace", None)
+        if trace is not None:
+            body["trace"] = trace
+        return body
 
     async def _op_explain(self, connection: _Connection,
                           frame: dict) -> dict:
@@ -444,6 +527,11 @@ class ReproServer:
             "service": self.service.stats().as_dict(),
         }
 
+    async def _op_metrics(self, connection: _Connection,
+                          frame: dict) -> dict:
+        """The process-wide metrics registry in Prometheus text format."""
+        return {"metrics": global_registry().render()}
+
     async def _op_goodbye(self, connection: _Connection,
                           frame: dict) -> dict:
         connection.registry.close_all()
@@ -458,6 +546,7 @@ class ReproServer:
         "count": _op_count,
         "explain": _op_explain,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "goodbye": _op_goodbye,
     }
 

@@ -1,0 +1,50 @@
+""":mod:`repro.obs` — zero-dependency observability for the whole stack.
+
+Three pillars, threaded through engine, service, wire, and CLI:
+
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms with
+  a process-global registry and a Prometheus-text renderer (scraped over
+  the wire via the ``metrics`` op / ``repro metrics --connect``).
+* :mod:`repro.obs.trace` — per-query span trees, surfaced as
+  ``ResultSet.stats.trace`` and the ``repro analyze`` verb.
+* :mod:`repro.obs.logs` — stdlib logging with a JSON formatter and a
+  threshold-based slow-query log.
+"""
+
+from repro.obs.analyze import AnalyzeReport, explain_analyze
+from repro.obs.logs import (
+    JsonFormatter,
+    SlowQueryLog,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    isolated_registry,
+    set_global_registry,
+)
+from repro.obs.trace import QueryTrace, Span, new_trace_id, span
+
+__all__ = [
+    "AnalyzeReport",
+    "explain_analyze",
+    "JsonFormatter",
+    "SlowQueryLog",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "isolated_registry",
+    "set_global_registry",
+    "QueryTrace",
+    "Span",
+    "new_trace_id",
+    "span",
+]

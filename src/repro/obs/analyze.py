@@ -1,0 +1,107 @@
+"""EXPLAIN ANALYZE: the plan report annotated with actual execution.
+
+:func:`explain_analyze` runs a query with tracing forced on and pairs
+the static :class:`~repro.api.explain.Explain` report with what actually
+happened — per-operator span timings, rows delivered, cache provenance —
+in one :class:`AnalyzeReport`.  Works against a local
+:class:`~repro.api.session.Session` and a
+:class:`~repro.net.client.RemoteSession` alike: both expose
+``explain`` / ``run`` and return stats carrying a trace snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs import trace as obs_trace
+
+__all__ = ["AnalyzeReport", "explain_analyze"]
+
+
+@dataclass
+class AnalyzeReport:
+    """One query's plan report plus its measured execution."""
+
+    query: str
+    explain: object          #: Explain (local) or RemoteExplain (wire)
+    stats: object            #: ResultStats for the traced run
+    rows: int                #: rows actually delivered
+
+    @property
+    def trace(self) -> Optional[dict]:
+        return getattr(self.stats, "trace", None)
+
+    def as_dict(self) -> dict:
+        stats = self.stats
+        return {
+            "query": self.query,
+            "explain": self.explain.as_dict(),
+            "actual": {
+                "rows": self.rows,
+                "algorithm": getattr(stats, "algorithm", None),
+                "shards": getattr(stats, "shards", None),
+                "plan_seconds": getattr(stats, "plan_seconds", None),
+                "execution_seconds": getattr(stats, "execution_seconds",
+                                             None),
+                "plan_cached": getattr(stats, "plan_cached", None),
+                "result_cached": getattr(stats, "result_cached", None),
+                "complete": getattr(stats, "complete", None),
+                "trace": self.trace,
+            },
+        }
+
+    def _actuals_text(self) -> str:
+        stats = self.stats
+        lines: list = []
+        if self.trace:
+            lines.append(obs_trace.render(self.trace))
+        else:
+            lines.append("(no trace captured)")
+        plan_src = "plan cache" if getattr(stats, "plan_cached", False) \
+            else "planned fresh"
+        result_src = "result cache" if getattr(stats, "result_cached",
+                                               False) else "executed"
+        lines.append(
+            f"rows: {self.rows}   algorithm: "
+            f"{getattr(stats, 'algorithm', '?')}   shards: "
+            f"{getattr(stats, 'shards', '?')}"
+        )
+        lines.append(
+            f"plan: {getattr(stats, 'plan_seconds', 0.0) * 1000:.3f} ms "
+            f"({plan_src})   execution: "
+            f"{getattr(stats, 'execution_seconds', 0.0) * 1000:.3f} ms "
+            f"({result_src})"
+        )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        actuals = self._actuals_text()
+        try:
+            return self.explain.render(actuals=actuals)
+        except TypeError:
+            # An explain object predating the ``actuals`` hook: compose.
+            return "\n".join(
+                [self.explain.render(), "", "actual execution:", actuals]
+            )
+
+
+def explain_analyze(session, query, options=None,
+                    **overrides) -> AnalyzeReport:
+    """Run ``query`` traced and return plan + actuals in one report.
+
+    ``session`` is any object with the Session surface (``explain``,
+    ``run``, stats with a ``trace`` snapshot) — in-process or remote.
+    """
+    overrides = dict(overrides)
+    overrides["trace"] = True
+    report = session.explain(query, options, **overrides)
+    result = session.run(query, options, **overrides)
+    rows = result.fetchall()
+    stats = result.stats
+    return AnalyzeReport(
+        query=getattr(stats, "query", str(query)),
+        explain=report,
+        stats=stats,
+        rows=len(rows),
+    )

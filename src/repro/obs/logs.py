@@ -1,0 +1,170 @@
+"""Structured logging and the slow-query log.
+
+Everything goes through stdlib :mod:`logging` under the ``"repro"``
+logger hierarchy; :func:`configure_logging` installs a single handler
+with a JSON formatter (one object per line, grep- and jq-friendly), and
+call sites attach structured fields via ``extra={"data": {...}}`` which
+the formatter merges into the emitted object.
+
+The :class:`SlowQueryLog` is threshold-based: queries at or above the
+threshold are kept in a bounded in-memory ring (for ``stats``-style
+introspection) *and* logged at WARNING through ``repro.slow_query`` —
+so even an unconfigured process surfaces them on stderr via logging's
+last-resort handler, and a configured server lands them in its log
+stream as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+    "SlowQueryLog",
+]
+
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "data", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, message, data."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ) + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if isinstance(data, Mapping):
+            for key, value in data.items():
+                payload.setdefault(str(key), value)
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED:
+                payload.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("net.server")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+_configure_lock = threading.Lock()
+
+
+def configure_logging(level: str = "info", stream=None,
+                      json_output: bool = True,
+                      force: bool = False) -> logging.Logger:
+    """Install one handler on the ``repro`` logger; idempotent.
+
+    Repeated calls only adjust the level unless ``force`` is set, so
+    library code and the CLI can both call it without stacking handlers.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    with _configure_lock:
+        configured = getattr(logger, "_repro_configured", False)
+        if configured and not force:
+            logger.setLevel(level.upper())
+            return logger
+        if force:
+            for handler in list(logger.handlers):
+                logger.removeHandler(handler)
+        handler = logging.StreamHandler(stream or sys.stderr)
+        if json_output:
+            handler.setFormatter(JsonFormatter())
+        else:
+            handler.setFormatter(logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s"
+            ))
+        logger.addHandler(handler)
+        logger.setLevel(level.upper())
+        logger.propagate = False
+        logger._repro_configured = True  # type: ignore[attr-defined]
+    return logger
+
+
+class SlowQueryLog:
+    """Record queries at or above a latency threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Seconds; queries taking at least this long are recorded.
+        ``None`` disables the log entirely, ``0.0`` records everything.
+    capacity:
+        Ring size for :meth:`recent`.
+    """
+
+    def __init__(self, threshold: Optional[float] = 1.0,
+                 capacity: int = 128,
+                 logger: Optional[logging.Logger] = None) -> None:
+        if threshold is not None and threshold < 0:
+            raise ValueError("slow-query threshold cannot be negative")
+        self.threshold = threshold
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._logger = logger or get_logger("slow_query")
+
+    def record(self, *, query: str, seconds: float, mode: str = "tuples",
+               algorithm: Optional[str] = None, outcome: str = "ok",
+               options: Optional[Mapping[str, object]] = None,
+               trace: Optional[dict] = None) -> Optional[dict]:
+        """Record one finished query if it crossed the threshold."""
+        if self.threshold is None or seconds < self.threshold:
+            return None
+        entry: Dict[str, object] = {
+            "event": "slow_query",
+            "query": query,
+            "seconds": round(seconds, 6),
+            "threshold": self.threshold,
+            "mode": mode,
+            "algorithm": algorithm,
+            "outcome": outcome,
+        }
+        if options:
+            entry["options"] = dict(options)
+        if trace:
+            from repro.obs.trace import summarize
+
+            entry["trace"] = summarize(trace)
+        with self._lock:
+            self._entries.append(entry)
+        from repro.obs.metrics import global_registry
+
+        global_registry().counter("repro_slow_queries_total").inc()
+        self._logger.warning(
+            "slow query (%.3fs >= %.3fs): %s",
+            seconds, self.threshold, query, extra={"data": entry},
+        )
+        return entry
+
+    def recent(self) -> List[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,226 @@
+"""Per-query tracing: a lightweight span tree with an ambient API.
+
+A :class:`QueryTrace` owns one tree of :class:`Span` objects covering a
+query's life: ``query → plan (→ parse, gao) → execute (→ partition,
+shard joins) → count/fetch``.  Two styles of instrumentation coexist:
+
+* **Explicit handles** for code that outlives a ``with`` block — lazy
+  result streams start an ``execute`` span when the first row is pulled
+  and finish it when the stream drains, possibly on another call stack.
+* **Ambient spans** (:func:`span`) for synchronous phases: while a trace
+  is :meth:`~QueryTrace.activate`\\ d on the current context, any layer
+  can write ``with trace.span("parse"): ...`` without threading the
+  trace object through every signature.  When no trace is active the
+  context manager yields ``None`` and costs one contextvar read — the
+  untraced hot path stays uninstrumented.
+
+Snapshots (:meth:`QueryTrace.as_dict`) are defensively *clamped*: an
+unfinished span is cut at the snapshot instant, and every child interval
+is clipped to its parent's, so an emitted trace is always a well-formed
+tree — non-negative durations, children nested inside parents — even
+when a stream was abandoned mid-fetch.  The dict form is what crosses
+the wire in response envelopes and lands in ``ResultSet.stats.trace``.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "QueryTrace",
+    "span",
+    "current_trace",
+    "new_trace_id",
+    "render",
+    "summarize",
+]
+
+
+def new_trace_id() -> str:
+    """A 16-hex-char id, unique enough to correlate client/server logs."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed phase; children are sub-phases started while it ran."""
+
+    __slots__ = ("name", "annotations", "children", "_clock",
+                 "_start", "_end")
+
+    def __init__(self, name: str,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.name = name
+        self.annotations: Dict[str, object] = {}
+        self.children: List["Span"] = []
+        self._clock = clock
+        self._start = clock()
+        self._end: Optional[float] = None
+
+    def child(self, name: str, **annotations: object) -> "Span":
+        """Start a sub-span now."""
+        child = Span(name, self._clock)
+        if annotations:
+            child.annotations.update(annotations)
+        self.children.append(child)
+        return child
+
+    def annotate(self, **annotations: object) -> "Span":
+        self.annotations.update(annotations)
+        return self
+
+    def finish(self) -> None:
+        """Mark the span done; finishing twice keeps the first end."""
+        if self._end is None:
+            self._end = self._clock()
+
+    @property
+    def finished(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration(self) -> float:
+        end = self._end if self._end is not None else self._clock()
+        return max(0.0, end - self._start)
+
+    def as_dict(self, origin: float, now: float,
+                lo: Optional[float] = None,
+                hi: Optional[float] = None) -> dict:
+        """Snapshot with clamping: this interval clipped to ``[lo, hi]``."""
+        start = self._start
+        end = self._end if self._end is not None else now
+        if lo is not None:
+            start = max(start, lo)
+        if hi is not None:
+            end = min(end, hi)
+        end = max(end, start)
+        node: dict = {
+            "name": self.name,
+            "start": round(start - origin, 9),
+            "duration": round(end - start, 9),
+        }
+        if self.annotations:
+            node["annotations"] = dict(self.annotations)
+        if self.children:
+            node["children"] = [
+                child.as_dict(origin, now, lo=start, hi=end)
+                for child in self.children
+            ]
+        return node
+
+
+class QueryTrace:
+    """The root of one query's span tree plus its correlation id."""
+
+    def __init__(self, name: str = "query",
+                 trace_id: Optional[str] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self._clock = clock
+        self.root = Span(name, clock)
+
+    def begin(self, name: str, parent: Optional[Span] = None,
+              **annotations: object) -> Span:
+        """Start a span under ``parent`` (default: the root)."""
+        return (parent or self.root).child(name, **annotations)
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[Span] = None,
+             **annotations: object) -> Iterator[Span]:
+        sp = self.begin(name, parent, **annotations)
+        try:
+            yield sp
+        finally:
+            sp.finish()
+
+    @contextmanager
+    def activate(self, parent: Optional[Span] = None) -> Iterator[None]:
+        """Make this trace ambient so :func:`span` attaches to it."""
+        token = _ACTIVE.set((self, parent or self.root))
+        try:
+            yield
+        finally:
+            _ACTIVE.reset(token)
+
+    def finish(self) -> None:
+        self.root.finish()
+
+    def as_dict(self) -> dict:
+        """A clamped, JSON-safe snapshot (the wire / stats form)."""
+        now = self._clock()
+        return {
+            "trace_id": self.trace_id,
+            "root": self.root.as_dict(self.root._start, now),
+        }
+
+
+# ----------------------------------------------------------------------
+# Ambient API
+# ----------------------------------------------------------------------
+_ACTIVE: ContextVar[Optional[Tuple[QueryTrace, Span]]] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current_trace() -> Optional[QueryTrace]:
+    active = _ACTIVE.get()
+    return active[0] if active else None
+
+
+@contextmanager
+def span(name: str, **annotations: object) -> Iterator[Optional[Span]]:
+    """Open a sub-span of the ambient trace, or do nothing if none."""
+    active = _ACTIVE.get()
+    if active is None:
+        yield None
+        return
+    trace, parent = active
+    sp = parent.child(name, **annotations)
+    token = _ACTIVE.set((trace, sp))
+    try:
+        yield sp
+    finally:
+        _ACTIVE.reset(token)
+        sp.finish()
+
+
+# ----------------------------------------------------------------------
+# Presentation helpers (operate on the dict snapshot form)
+# ----------------------------------------------------------------------
+def _render_node(node: dict, depth: int, lines: List[str]) -> None:
+    label = "  " * depth + node.get("name", "?")
+    duration_ms = float(node.get("duration", 0.0)) * 1000.0
+    annotations = node.get("annotations") or {}
+    suffix = "".join(
+        f"  {key}={value}" for key, value in sorted(annotations.items())
+    )
+    lines.append(f"{label:<28} {duration_ms:>9.3f} ms{suffix}")
+    for child in node.get("children", ()):
+        _render_node(child, depth + 1, lines)
+
+
+def render(trace: dict) -> str:
+    """An indented, human-readable tree for one trace snapshot."""
+    lines: List[str] = [f"trace {trace.get('trace_id', '?')}"]
+    root = trace.get("root")
+    if root:
+        _render_node(root, 1, lines)
+    return "\n".join(lines)
+
+
+def summarize(trace: dict) -> dict:
+    """Roll a trace up to top-level phase timings (for the slow-query log)."""
+    root = trace.get("root") or {}
+    phases = {
+        child.get("name", "?"): round(float(child.get("duration", 0.0)), 6)
+        for child in root.get("children", ())
+    }
+    return {
+        "trace_id": trace.get("trace_id"),
+        "total_seconds": round(float(root.get("duration", 0.0)), 6),
+        "phases": phases,
+    }

@@ -30,6 +30,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.result import ResultSet, Row
 from repro.errors import CursorError
+from repro.obs.metrics import global_registry
+
+
+def _record(event: str) -> None:
+    global_registry().counter("repro_cursors_total").inc(event=event)
 
 
 @dataclass
@@ -124,7 +129,8 @@ class CursorRegistry:
             cursor = ServerCursor(self._next_id, result_set, self._clock())
             self._cursors[cursor.cursor_id] = cursor
             self.stats.opened += 1
-            return cursor
+        _record("opened")
+        return cursor
 
     def fetch(self, cursor_id: int,
               size: int) -> Tuple[Sequence[Row], bool, ServerCursor]:
@@ -144,6 +150,7 @@ class CursorRegistry:
                 cursor.busy = False
                 if self._cursors.pop(cursor_id, None) is not None:
                     self.stats.closed += 1
+                    _record("closed")
             raise
         with self._lock:
             cursor.busy = False
@@ -153,6 +160,7 @@ class CursorRegistry:
                 # they must not skew the traffic counters.
                 if self._cursors.pop(cursor_id, None) is not None:
                     self.stats.closed += 1
+                    _record("closed")
                 raise CursorError(
                     f"cursor {cursor_id} was closed while its fetch was "
                     f"in flight"
@@ -160,8 +168,11 @@ class CursorRegistry:
             cursor.last_used = self._clock()
             cursor.rows_sent += len(rows)
             self.stats.rows_streamed += len(rows)
-            if done and self._cursors.pop(cursor_id, None) is not None:
+            exhausted = done and self._cursors.pop(cursor_id, None) is not None
+            if exhausted:
                 self.stats.exhausted += 1
+        if exhausted:
+            _record("exhausted")
         return rows, done, cursor
 
     def close(self, cursor_id: int) -> bool:
@@ -178,10 +189,12 @@ class CursorRegistry:
                 return False
             if cursor.busy:
                 cursor.doomed = True
+                _record("doomed")
                 return True
             del self._cursors[cursor_id]
             self.stats.closed += 1
-            return True
+        _record("closed")
+        return True
 
     def close_all(self) -> int:
         """Release every cursor (connection teardown / server shutdown).
@@ -192,14 +205,22 @@ class CursorRegistry:
         and double-count the stats when it finished.  The completing
         fetch discards a doomed cursor itself.
         """
+        doomed = closed = 0
         with self._lock:
             count = len(self._cursors)
             for cursor_id, cursor in list(self._cursors.items()):
                 if cursor.busy:
                     cursor.doomed = True
+                    doomed += 1
                 else:
                     del self._cursors[cursor_id]
                     self.stats.closed += 1
+                    closed += 1
+        counter = global_registry().counter("repro_cursors_total")
+        if doomed:
+            counter.inc(doomed, event="doomed")
+        if closed:
+            counter.inc(closed, event="closed")
         return count
 
     def expire_idle(self) -> List[int]:
@@ -216,6 +237,10 @@ class CursorRegistry:
                     del self._cursors[cursor_id]
                     self.stats.expired += 1
                     expired.append(cursor_id)
+        if expired:
+            global_registry().counter("repro_cursors_total").inc(
+                len(expired), event="expired"
+            )
         return expired
 
     # ------------------------------------------------------------------
@@ -230,6 +255,7 @@ class CursorRegistry:
                 # Lazy expiry: enforce the ttl even between sweeps.
                 del self._cursors[cursor_id]
                 self.stats.expired += 1
+                _record("expired")
                 cursor = None
             if cursor is None:
                 raise CursorError(

@@ -19,11 +19,13 @@ A thin, accountable wrapper over :class:`concurrent.futures.ThreadPoolExecutor`:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.errors import AdmissionError, ServiceError
+from repro.obs.metrics import global_registry
 
 T = TypeVar("T")
 
@@ -69,12 +71,24 @@ class WorkerPool:
         if not self._slots.acquire(blocking=False):
             with self._lock:
                 self.stats.rejected += 1
+            global_registry().counter("repro_admission_total").inc(
+                decision="rejected"
+            )
             raise AdmissionError(
                 f"admission queue full: {self.workers} workers busy and "
                 f"{self.max_pending} requests already pending"
             )
+        enqueued = time.perf_counter()
+
+        def timed(*inner_args, **inner_kwargs):
+            # Queue wait = admission to the moment a worker picks it up.
+            global_registry().histogram("repro_queue_wait_seconds").observe(
+                time.perf_counter() - enqueued
+            )
+            return fn(*inner_args, **inner_kwargs)
+
         try:
-            future = self._executor.submit(fn, *args, **kwargs)
+            future = self._executor.submit(timed, *args, **kwargs)
         except RuntimeError as error:
             # A submit racing shutdown() can pass the _closed check and
             # still find the executor closed; surface the promised error
@@ -86,6 +100,9 @@ class WorkerPool:
             raise
         with self._lock:
             self.stats.submitted += 1
+        global_registry().counter("repro_admission_total").inc(
+            decision="accepted"
+        )
         future.add_done_callback(self._on_done)
         return future
 

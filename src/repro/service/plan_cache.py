@@ -31,8 +31,15 @@ from typing import List, Optional, Tuple, Union
 
 from repro.engine import PreparedQuery, QueryEngine
 from repro.exec.plan import PhysicalPlan
+from repro.obs.metrics import global_registry
 
 PlanKey = Tuple[str, str, str]
+
+
+def _record(event: str) -> None:
+    global_registry().counter("repro_cache_requests_total").inc(
+        cache="plan", event=event
+    )
 
 CachedPlan = Union[PreparedQuery, PhysicalPlan]
 
@@ -116,9 +123,11 @@ class PlanCache:
             plan = self._entries.get(key)
             if plan is None:
                 self.stats.misses += 1
+                _record("miss")
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _record("hit")
             return plan
 
     def _lookup(self, key: PlanKey) -> Optional[CachedPlan]:
@@ -193,6 +202,7 @@ class PlanCache:
                 self.stats.hits += 1
             else:
                 self.stats.misses += 1
+        _record("hit" if hit else "miss")
         if hit:
             return cached, True
         if cached is None:

@@ -24,9 +24,16 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import global_registry
 from repro.storage.database import Database
 
 ResultKey = Tuple[str, str, str]
+
+
+def _record(event: str) -> None:
+    global_registry().counter("repro_cache_requests_total").inc(
+        cache="result", event=event
+    )
 
 
 @dataclass
@@ -126,15 +133,19 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _record("miss")
                 return None
             for name, version in entry.dependencies.items():
                 if self.database.relation_version(name) != version:
                     self._discard(key)
                     self.stats.invalidations += 1
                     self.stats.misses += 1
+                    _record("invalidation")
+                    _record("miss")
                     return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _record("hit")
             return entry
 
     def store(self, key: ResultKey, dependencies, value: object) -> None:

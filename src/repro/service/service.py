@@ -38,6 +38,8 @@ from repro.engine import PreparedQuery, QueryEngine
 from repro.errors import ExecutionError, ReproError, TimeoutExceeded
 from repro.exec.partitioner import ParallelConfig
 from repro.exec.plan import PhysicalPlan
+from repro.obs.logs import SlowQueryLog, get_logger
+from repro.obs.metrics import global_registry
 from repro.service.executor import WorkerPool, WorkerPoolStats
 from repro.service.plan_cache import PlanCache, PlanCacheStats
 from repro.service.result_cache import ResultCache, ResultCacheStats
@@ -53,6 +55,11 @@ class ServiceConfig:
     each query is partitioned (``partition_mode``: ``auto`` / ``hash`` /
     ``hypercube``) and its shards run on worker *processes*, which is the
     axis the GIL-bound thread pool cannot scale.
+
+    ``slow_query_seconds`` feeds the service's
+    :class:`~repro.obs.logs.SlowQueryLog`: queries taking at least this
+    long are kept in a ring and logged at WARNING (``None`` disables,
+    ``0.0`` records everything).
     """
 
     workers: int = 4
@@ -63,6 +70,7 @@ class ServiceConfig:
     default_algorithm: str = "auto"
     parallel_shards: int = 1
     partition_mode: str = "auto"
+    slow_query_seconds: Optional[float] = 1.0
 
 
 @dataclass
@@ -181,6 +189,8 @@ class QueryService:
             result_cache=self.result_cache,
         )
         self.pool = WorkerPool(self.config.workers, self.config.max_pending)
+        self.slow_query_log = SlowQueryLog(self.config.slow_query_seconds)
+        self._log = get_logger("service")
         self._counter_lock = threading.Lock()
         self._executed = 0
         self._served_from_cache = 0
@@ -225,10 +235,10 @@ class QueryService:
             )
             result_set = self.session.run(query, options)
         except ReproError as error:
-            return QueryOutcome(
+            return self._observe(QueryOutcome(
                 query=str(query), mode=mode, algorithm=algorithm,
                 seconds=time.perf_counter() - started, error=str(error),
-            )
+            ))
         try:
             if mode == "count":
                 value: object = result_set.count()
@@ -238,35 +248,79 @@ class QueryService:
                 # no caller can poison later answers.
                 value = result_set.answer()
         except TimeoutExceeded:
-            return QueryOutcome(
+            return self._observe(QueryOutcome(
                 query=result_set.query_text, mode=mode,
                 algorithm=result_set.algorithm,
                 seconds=time.perf_counter() - started,
                 plan_cached=result_set.stats.plan_cached,
                 timed_out=True, shards=result_set.shards,
-            )
+            ))
         except ReproError as error:
-            return QueryOutcome(
+            return self._observe(QueryOutcome(
                 query=result_set.query_text, mode=mode,
                 algorithm=result_set.algorithm,
                 seconds=time.perf_counter() - started,
                 plan_cached=result_set.stats.plan_cached,
                 error=str(error), shards=result_set.shards,
-            )
+            ))
         stats = result_set.stats
         with self._counter_lock:
             if stats.result_cached:
                 self._served_from_cache += 1
             else:
                 self._executed += 1
-        return QueryOutcome(
+        return self._observe(QueryOutcome(
             query=result_set.query_text, mode=mode,
             algorithm=result_set.algorithm, value=value,
             seconds=time.perf_counter() - started,
             plan_cached=stats.plan_cached,
             result_cached=stats.result_cached,
             shards=result_set.shards,
+        ), trace=stats.trace)
+
+    def observe_query(self, *, query: str, seconds: float,
+                      mode: str = "tuples", algorithm: Optional[str] = None,
+                      outcome: str = "ok",
+                      trace: Optional[dict] = None) -> None:
+        """Record one served query on the metrics registry and slow log.
+
+        Every request path calls this exactly once per query —
+        :meth:`execute` directly, the network server from its op
+        handlers (remote queries do not pass through :meth:`execute`).
+        """
+        registry = global_registry()
+        registry.counter("repro_requests_total").inc(
+            mode=mode, outcome=outcome
         )
+        registry.histogram("repro_query_seconds").observe(
+            seconds, algorithm=algorithm or "unknown"
+        )
+        self.slow_query_log.record(
+            query=query, seconds=seconds, mode=mode,
+            algorithm=algorithm, outcome=outcome, trace=trace,
+        )
+
+    def _observe(self, outcome: QueryOutcome,
+                 trace: Optional[dict] = None) -> QueryOutcome:
+        """Map a :class:`QueryOutcome` onto :meth:`observe_query`."""
+        if outcome.timed_out:
+            verdict = "timeout"
+        elif outcome.error is not None:
+            verdict = "error"
+        else:
+            verdict = "ok"
+        self.observe_query(
+            query=outcome.query, seconds=outcome.seconds,
+            mode=outcome.mode, algorithm=outcome.algorithm,
+            outcome=verdict, trace=trace,
+        )
+        if verdict == "error":
+            self._log.info(
+                "query failed: %s", outcome.error,
+                extra={"data": {"query": outcome.query,
+                                "algorithm": outcome.algorithm}},
+            )
+        return outcome
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

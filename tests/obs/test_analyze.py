@@ -1,0 +1,59 @@
+"""EXPLAIN ANALYZE: plan reports annotated with measured execution."""
+
+import json
+
+import pytest
+
+from repro.api.session import Session
+from repro.obs.analyze import explain_analyze
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+PATH = "v1(a), edge(a,b), edge(b,c), v2(c)"
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session(graph_database(14, 40, seed=5)) as session:
+        yield session
+
+
+class TestExplainAnalyze:
+    def test_report_pairs_plan_with_actuals(self, session):
+        report = explain_analyze(session, TRIANGLE)
+        truth = session.run(TRIANGLE).count()
+        assert report.rows == truth
+        assert report.stats.algorithm == "lftj"
+        assert report.trace is not None
+        assert report.trace["root"]["name"] == "query"
+
+    def test_acyclic_query_runs_minesweeper(self, session):
+        report = explain_analyze(session, PATH, algorithm="ms")
+        assert report.stats.algorithm == "ms"
+        assert report.rows == session.run(PATH).count()
+
+    def test_render_contains_plan_and_operator_timings(self, session):
+        text = explain_analyze(session, TRIANGLE).render()
+        # The static plan report...
+        assert "structure: cyclic" in text
+        assert "physical plan:" in text
+        # ...annotated with what actually happened.
+        assert "actual execution:" in text
+        assert "trace " in text
+        assert "execute" in text
+        assert "rows=" in text
+        assert "ms" in text  # per-operator millisecond timings
+
+    def test_as_dict_is_json_serializable(self, session):
+        payload = explain_analyze(session, TRIANGLE).as_dict()
+        roundtrip = json.loads(json.dumps(payload))
+        actual = roundtrip["actual"]
+        assert actual["rows"] == payload["actual"]["rows"]
+        assert actual["algorithm"] == "lftj"
+        assert actual["trace"]["root"]["children"]
+        assert roundtrip["explain"]["acyclicity"] == "cyclic"
+
+    def test_overrides_pass_through(self, session):
+        report = explain_analyze(session, TRIANGLE, algorithm="naive")
+        assert report.stats.algorithm == "naive"

@@ -1,0 +1,95 @@
+"""The observability CLI verbs: dual-mode ``analyze`` and ``metrics``."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_BAD_OPTIONS, EXIT_PARSE, main
+from repro.net.server import ServerThread
+from repro.obs.metrics import isolated_registry
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+
+
+@pytest.fixture
+def server():
+    with QueryService(graph_database(14, 40, seed=5)) as service:
+        with ServerThread(service) as server:
+            yield server
+
+
+class TestAnalyzeQueryMode:
+    def test_prints_plan_and_actuals(self, capsys):
+        code = main(["analyze", TRIANGLE, "--dataset", "ca-GrQc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "structure: cyclic" in out
+        assert "actual execution:" in out
+        assert "rows:" in out
+
+    def test_acyclic_query_with_ms(self, capsys):
+        code = main(["analyze", "v1(a), edge(a,b), v2(b)",
+                     "--dataset", "ca-GrQc", "--algorithm", "ms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm: ms" in out
+        assert "actual execution:" in out
+
+    def test_json_mode(self, capsys):
+        code = main(["analyze", TRIANGLE, "--dataset", "ca-GrQc",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["explain"]["acyclicity"] == "cyclic"
+        assert payload["actual"]["rows"] >= 0
+        assert payload["actual"]["trace"]["root"]["name"] == "query"
+
+    def test_remote_target(self, server, capsys):
+        code = main(["analyze", TRIANGLE, "--connect", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "actual execution:" in out
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["analyze", "nonsense((("]) == EXIT_PARSE
+
+
+class TestAnalyzeLegacyMode:
+    def test_dataset_analytics_still_work(self, capsys):
+        code = main(["analyze", "--dataset", "p2p-Gnutella04",
+                     "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "triangles:" in out
+        assert "top-3 PageRank nodes:" in out
+
+    def test_analytics_without_dataset_is_an_error(self, capsys):
+        assert main(["analyze"]) == EXIT_BAD_OPTIONS
+
+    def test_connect_without_query_is_an_error(self, server, capsys):
+        assert main(["analyze", "--connect", server.url]) \
+            == EXIT_BAD_OPTIONS
+
+
+class TestMetricsVerb:
+    def test_local_registry_dump(self, capsys):
+        with isolated_registry():
+            code = main(["metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_requests_total counter" in out
+        assert "# TYPE repro_ms_certificate_size histogram" in out
+
+    def test_remote_scrape_reflects_served_queries(self, server, capsys):
+        with isolated_registry():
+            assert main(["query", "--connect", server.url,
+                         "--text", TRIANGLE]) == 0
+            capsys.readouterr()
+            code = main(["metrics", "--connect", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert 'repro_requests_total{mode="count",outcome="ok"} 1' in out
+        assert 'repro_server_frames_total' in out

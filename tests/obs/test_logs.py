@@ -1,0 +1,118 @@
+"""Structured logging and the slow-query log."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import JsonFormatter, SlowQueryLog, get_logger
+from repro.obs.metrics import isolated_registry
+
+
+def make_record(message: str = "hello", **extra) -> logging.LogRecord:
+    record = logging.LogRecord(
+        name="repro.test", level=logging.INFO, pathname=__file__,
+        lineno=1, msg=message, args=(), exc_info=None,
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonFormatter:
+    def test_one_json_object_per_line(self):
+        line = JsonFormatter().format(make_record("served %s" % "q"))
+        payload = json.loads(line)
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "served q"
+        assert payload["ts"].endswith("Z")
+
+    def test_data_mapping_is_merged(self):
+        line = JsonFormatter().format(
+            make_record(data={"query": "edge(a,b)", "seconds": 0.5})
+        )
+        payload = json.loads(line)
+        assert payload["query"] == "edge(a,b)"
+        assert payload["seconds"] == 0.5
+
+    def test_unserializable_values_fall_back_to_str(self):
+        line = JsonFormatter().format(make_record(data={"obj": object()}))
+        assert "obj" in json.loads(line)
+
+
+class TestGetLogger:
+    def test_names_land_under_repro_hierarchy(self):
+        assert get_logger().name == "repro"
+        assert get_logger("net.server").name == "repro.net.server"
+        assert get_logger("repro.service").name == "repro.service"
+
+
+class TestSlowQueryLog:
+    def capture(self):
+        stream = io.StringIO()
+        logger = logging.getLogger("repro.test_slow")
+        logger.handlers.clear()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonFormatter())
+        logger.addHandler(handler)
+        logger.propagate = False
+        return stream, logger
+
+    def test_below_threshold_is_ignored(self):
+        stream, logger = self.capture()
+        log = SlowQueryLog(threshold=1.0, logger=logger)
+        assert log.record(query="q", seconds=0.5) is None
+        assert len(log) == 0
+        assert stream.getvalue() == ""
+
+    def test_at_threshold_is_recorded_and_logged(self):
+        stream, logger = self.capture()
+        with isolated_registry() as registry:
+            log = SlowQueryLog(threshold=1.0, logger=logger)
+            entry = log.record(query="edge(a,b)", seconds=1.5,
+                               mode="count", algorithm="lftj")
+            assert entry is not None
+            assert log.recent() == [entry]
+            assert registry.counter(
+                "repro_slow_queries_total").value() == 1
+        payload = json.loads(stream.getvalue())
+        assert payload["event"] == "slow_query"
+        assert payload["query"] == "edge(a,b)"
+        assert payload["seconds"] == 1.5
+        assert payload["algorithm"] == "lftj"
+
+    def test_zero_threshold_records_everything(self):
+        _, logger = self.capture()
+        log = SlowQueryLog(threshold=0.0, logger=logger)
+        assert log.record(query="q", seconds=0.0) is not None
+
+    def test_none_threshold_disables(self):
+        _, logger = self.capture()
+        log = SlowQueryLog(threshold=None, logger=logger)
+        assert log.record(query="q", seconds=100.0) is None
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=-1.0)
+
+    def test_trace_is_summarized_not_embedded(self):
+        _, logger = self.capture()
+        log = SlowQueryLog(threshold=0.0, logger=logger)
+        trace = {"trace_id": "abc", "root": {
+            "name": "query", "start": 0.0, "duration": 2.0,
+            "children": [{"name": "execute", "start": 0.0,
+                          "duration": 1.5}],
+        }}
+        entry = log.record(query="q", seconds=2.0, trace=trace)
+        assert entry["trace"]["trace_id"] == "abc"
+        assert entry["trace"]["phases"] == {"execute": 1.5}
+        assert "root" not in entry["trace"]
+
+    def test_ring_capacity_bounds_recent(self):
+        _, logger = self.capture()
+        log = SlowQueryLog(threshold=0.0, capacity=3, logger=logger)
+        for i in range(5):
+            log.record(query=f"q{i}", seconds=1.0)
+        assert [e["query"] for e in log.recent()] == ["q2", "q3", "q4"]

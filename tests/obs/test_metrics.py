@@ -1,0 +1,231 @@
+"""The metrics registry: instruments, rendering, and concurrency exactness."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+    isolated_registry,
+    record_minesweeper_run,
+    set_global_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry(declare_standard=False)
+        counter = registry.counter("c_total")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry(declare_standard=False)
+        counter = registry.counter("c_total", labels=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 2
+        assert counter.total() == 3
+
+    def test_rejects_decrease_and_wrong_labels(self):
+        registry = MetricsRegistry(declare_standard=False)
+        counter = registry.counter("c_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, kind="a")
+        with pytest.raises(ValueError):
+            counter.inc(wrong="a")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the declared label
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry(declare_standard=False)
+        first = registry.counter("c_total", labels=("kind",))
+        again = registry.counter("c_total")
+        assert again is first
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")  # kind mismatch
+        with pytest.raises(ValueError):
+            registry.counter("c_total", labels=("other",))
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        registry = MetricsRegistry(declare_standard=False)
+        gauge = registry.gauge("g")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value() == 1
+        gauge.set(7.5)
+        assert gauge.value() == 7.5
+
+
+class TestHistogram:
+    def test_bucketing_and_summary(self):
+        registry = MetricsRegistry(declare_standard=False)
+        hist = registry.histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.sum_value() == pytest.approx(556.0)
+        assert hist.bucket_counts() == [2, 1, 1, 1]  # +Inf last
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert 0.0 < summary["p50"] <= 10.0
+
+    def test_percentile_merges_labelled_series(self):
+        registry = MetricsRegistry(declare_standard=False)
+        hist = registry.histogram("h", labels=("algo",),
+                                  buckets=(1.0, 10.0))
+        hist.observe(0.5, algo="a")
+        hist.observe(5.0, algo="b")
+        assert hist.count(algo="a") == 1
+        assert hist.total_count() == 2
+        assert hist.percentile(0.99) <= 10.0
+
+    def test_rejects_bad_buckets(self):
+        registry = MetricsRegistry(declare_standard=False)
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=())
+
+
+class TestRender:
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry(declare_standard=False)
+        counter = registry.counter("req_total", "Requests.", ("mode",))
+        counter.inc(mode="count")
+        hist = registry.histogram("lat_seconds", "Latency.",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = registry.render()
+        assert "# HELP req_total Requests." in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{mode="count"} 1' in text
+        assert "# TYPE lat_seconds histogram" in text
+        # Cumulative buckets ending in +Inf, then _sum and _count.
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry(declare_standard=False)
+        registry.counter("c_total", labels=("q",)).inc(q='say "hi"\n')
+        assert r'q="say \"hi\"\n"' in registry.render()
+
+    def test_standard_catalog_renders_before_first_sample(self):
+        # A scraper must see the full schema on a fresh process —
+        # including the Minesweeper certificate histogram's declaration.
+        text = MetricsRegistry().render()
+        for name in ("repro_requests_total", "repro_query_seconds",
+                     "repro_cache_requests_total",
+                     "repro_ms_certificate_size", "repro_server_inflight",
+                     "repro_client_retries_total"):
+            assert f"# TYPE {name} " in text
+
+
+class TestGlobalRegistry:
+    def test_isolated_registry_swaps_and_restores(self):
+        before = global_registry()
+        with isolated_registry() as registry:
+            assert global_registry() is registry
+            assert registry is not before
+        assert global_registry() is before
+
+    def test_set_global_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_global_registry(fresh)
+        try:
+            assert global_registry() is fresh
+        finally:
+            set_global_registry(previous)
+
+
+class TestMinesweeperHook:
+    def test_folds_statistics_into_registry(self):
+        class FakeStats:
+            probe_statistics = [{"probes": 3}, {"probes": 4}]
+            outputs = 5
+            constraints_inserted = 11
+
+        with isolated_registry() as registry:
+            record_minesweeper_run(FakeStats())
+            assert registry.counter("repro_ms_probes_total").value() == 7
+            assert registry.counter("repro_ms_outputs_total").value() == 5
+            assert registry.counter(
+                "repro_ms_constraints_total").value() == 11
+            hist = registry.histogram("repro_ms_certificate_size")
+            assert hist.count() == 1
+            assert hist.sum_value() == 11.0
+
+
+class TestConcurrency:
+    """Counters stay exact and histogram buckets stay consistent under
+    many threads hammering one registry."""
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_counter_exactness_under_contention(self):
+        registry = MetricsRegistry(declare_standard=False)
+        counter = registry.counter("hammer_total", labels=("worker",))
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for _ in range(self.PER_THREAD):
+                counter.inc(worker=str(index % 2))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total() == self.THREADS * self.PER_THREAD
+        assert counter.value(worker="0") + counter.value(worker="1") \
+            == self.THREADS * self.PER_THREAD
+
+    def test_histogram_bucket_sums_under_contention(self):
+        registry = MetricsRegistry(declare_standard=False)
+        hist = registry.histogram("hammer_seconds",
+                                  buckets=(0.25, 0.5, 0.75))
+        barrier = threading.Barrier(self.THREADS)
+        values = [i / self.PER_THREAD for i in range(self.PER_THREAD)]
+        expected_sum = sum(values) * self.THREADS
+
+        def worker() -> None:
+            barrier.wait()
+            for value in values:
+                hist.observe(value)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = self.THREADS * self.PER_THREAD
+        assert hist.count() == total
+        # Per-bucket counts must sum exactly to the observation count,
+        # and the sample sum must be exact (floats added under the lock).
+        assert sum(hist.bucket_counts()) == total
+        assert math.isclose(hist.sum_value(), expected_sum, rel_tol=1e-9)
+        # Rendered cumulative buckets agree with the count.
+        text = registry.render()
+        assert f'hammer_seconds_bucket{{le="+Inf"}} {total}' in text
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)

@@ -1,0 +1,225 @@
+"""Span trees: explicit handles, ambient spans, and snapshot well-formedness.
+
+The load-bearing property: *every* emitted trace snapshot is a
+well-formed tree — non-negative durations, every child interval nested
+inside its parent's — no matter how the spans were started, abandoned,
+or snapshotted mid-flight.  Hypothesis drives random span lifecycles
+against a fake clock to pin it down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import (
+    QueryTrace,
+    current_trace,
+    new_trace_id,
+    render,
+    span,
+    summarize,
+)
+
+#: Snapshot offsets are rounded to 9 decimals; allow that much slop.
+EPSILON = 1e-6
+
+
+def assert_well_formed(node: dict, lo: float = 0.0,
+                       hi: float = float("inf")) -> int:
+    """Recursively check one snapshot node; returns the node count."""
+    start = node["start"]
+    duration = node["duration"]
+    assert isinstance(node["name"], str) and node["name"]
+    assert duration >= 0.0
+    assert start >= lo - EPSILON
+    end = start + duration
+    assert end <= hi + EPSILON
+    count = 1
+    for child in node.get("children", ()):
+        count += assert_well_formed(child, lo=start, hi=end)
+    return count
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpans:
+    def test_nested_spans_nest_in_snapshot(self):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        with trace.span("plan"):
+            clock.now += 0.25
+        execute = trace.begin("execute")
+        clock.now += 1.0
+        join = execute.child("join", rows=7)
+        clock.now += 0.5
+        join.finish()
+        execute.finish()
+        trace.finish()
+        snapshot = trace.as_dict()
+        assert snapshot["trace_id"] == trace.trace_id
+        root = snapshot["root"]
+        assert [child["name"] for child in root["children"]] \
+            == ["plan", "execute"]
+        assert root["children"][1]["children"][0]["annotations"] \
+            == {"rows": 7}
+        assert_well_formed(root)
+
+    def test_unfinished_spans_are_clamped_at_snapshot(self):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        abandoned = trace.begin("fetch")  # never finished
+        clock.now += 2.0
+        snapshot = trace.as_dict()
+        node = snapshot["root"]["children"][0]
+        assert node["name"] == abandoned.name
+        assert node["duration"] == 2.0
+        assert_well_formed(snapshot["root"])
+
+    def test_child_outliving_parent_is_clipped(self):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        parent = trace.begin("execute")
+        child = parent.child("join")
+        clock.now += 1.0
+        parent.finish()      # parent ends first...
+        clock.now += 5.0
+        child.finish()       # ...child keeps running past it
+        assert_well_formed(trace.as_dict()["root"])
+
+    def test_finish_twice_keeps_first_end(self):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        trace.finish()
+        clock.now += 3.0
+        trace.finish()
+        assert trace.as_dict()["root"]["duration"] == 0.0
+
+    def test_trace_id_is_assignable(self):
+        trace = QueryTrace()
+        trace.trace_id = "cafe0123cafe0123"
+        assert trace.as_dict()["trace_id"] == "cafe0123cafe0123"
+
+    def test_new_trace_ids_are_distinct_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestAmbient:
+    def test_span_is_noop_without_active_trace(self):
+        assert current_trace() is None
+        with span("plan") as sp:
+            assert sp is None
+
+    def test_ambient_spans_attach_to_active_trace(self):
+        trace = QueryTrace()
+        with trace.activate():
+            assert current_trace() is trace
+            with span("plan") as outer:
+                with span("gao") as inner:
+                    assert inner is not None
+            assert outer.finished
+        assert current_trace() is None
+        root = trace.as_dict()["root"]
+        assert root["children"][0]["name"] == "plan"
+        assert root["children"][0]["children"][0]["name"] == "gao"
+
+
+class TestPresentation:
+    def test_render_and_summarize(self):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        with trace.span("plan"):
+            clock.now += 0.002
+        with trace.span("execute"):
+            clock.now += 0.004
+        trace.finish()
+        snapshot = trace.as_dict()
+        text = render(snapshot)
+        assert f"trace {trace.trace_id}" in text
+        assert "plan" in text and "execute" in text
+        summary = summarize(snapshot)
+        assert summary["trace_id"] == trace.trace_id
+        assert summary["total_seconds"] == 0.006
+        assert summary["phases"] == {"plan": 0.002, "execute": 0.004}
+
+
+# Random span lifecycles: open children at arbitrary depths, finish or
+# abandon them, advance the clock — every snapshot must be well-formed.
+operations = st.lists(
+    st.one_of(
+        st.just(("open",)),
+        st.just(("close",)),
+        st.floats(min_value=0.0, max_value=10.0).map(
+            lambda dt: ("tick", dt)
+        ),
+    ),
+    min_size=0, max_size=40,
+)
+
+
+class TestSnapshotProperty:
+    @given(ops=operations, finish_root=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_every_snapshot_is_a_well_formed_tree(self, ops, finish_root):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        stack = [trace.root]
+        opened = 0
+        for op in ops:
+            if op[0] == "open":
+                stack.append(stack[-1].child(f"s{opened}"))
+                opened += 1
+            elif op[0] == "close":
+                if len(stack) > 1:
+                    stack.pop().finish()
+            else:
+                clock.now += op[1]
+        if finish_root:
+            trace.finish()
+            clock.now += 1.0  # snapshot strictly after the root ended
+        snapshot = trace.as_dict()
+        node_count = assert_well_formed(snapshot["root"])
+        assert node_count == opened + 1
+
+    @given(ops=operations)
+    @settings(max_examples=50, deadline=None)
+    def test_snapshots_taken_mid_flight_are_well_formed(self, ops):
+        clock = FakeClock()
+        trace = QueryTrace(clock=clock)
+        stack = [trace.root]
+        for op in ops:
+            if op[0] == "open":
+                stack.append(stack[-1].child("s"))
+            elif op[0] == "close":
+                if len(stack) > 1:
+                    stack.pop().finish()
+            else:
+                clock.now += op[1]
+            # Snapshot after *every* mutation, not just at the end.
+            assert_well_formed(trace.as_dict()["root"])
+
+
+class TestRealQueryTraces:
+    def test_traced_session_run_emits_well_formed_tree(self):
+        from repro.api.session import Session
+
+        from tests.conftest import graph_database
+
+        with Session(graph_database(12, 30, seed=3)) as session:
+            result = session.run(
+                "edge(a,b), edge(b,c), edge(a,c), a<b, b<c", trace=True
+            )
+            result.fetchall()
+            trace = result.stats.trace
+        assert trace is not None
+        root = trace["root"]
+        assert root["name"] == "query"
+        assert_well_formed(root)
+        names = {child["name"] for child in root.get("children", ())}
+        assert "plan" in names and "execute" in names
