@@ -1,0 +1,104 @@
+"""Prepared-statement quickstart: compile once, execute many.
+
+Run with::
+
+    python examples/prepared_quickstart.py
+
+``session.prepare(text)`` pays the front of the query pipeline — parse,
+hypergraph analysis, attribute-order selection — exactly once and hands
+back a handle whose ``run()``/``count()``/``explain()`` reuse the
+compiled shape.  The same surface exists on all three sessions:
+
+* **local** — the handle wraps the engine's ``PreparedQuery`` directly;
+* **remote (sync)** — ``prepare`` registers the shape server-side
+  per connection (idle TTL + cap, like cursors) and every execute
+  travels as a tiny ``{handle, options}`` frame: zero re-parses, and
+  the plan cache is already warm;
+* **remote (async)** — the same handles multiplex over one pipelined
+  connection, so N concurrent executes share one socket.
+
+Handles also *heal*: if the server expires or restarts away a handle,
+the next execute re-prepares transparently — a prepared handle survives
+everything short of you closing it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import repro
+from repro.data.catalog import load_dataset
+from repro.data.sampling import attach_samples
+from repro.net.client import connect_async
+from repro.net.server import ServerThread
+from repro.service import QueryService
+from repro.storage import Database
+
+TRIANGLE = "edge(a, b), edge(b, c), edge(a, c), a < b, b < c"
+TWO_HOP = "edge(a, b), edge(b, c)"
+
+
+def local_demo(database: Database) -> None:
+    print("=== local session ===")
+    with repro.Session(database) as session:
+        with session.prepare(TRIANGLE) as stmt:
+            print(f"prepared {stmt.text!r} -> algorithm={stmt.algorithm}")
+            # Every run reuses the compiled shape: no parse, no analysis.
+            print("triangles:", stmt.run().count())
+            print("first 3:", stmt.run(limit=3).fetchall())
+            print("explain reuses the plan:",
+                  stmt.explain().as_dict()["algorithm"])
+
+
+def remote_demo(url: str) -> None:
+    print("\n=== remote session ===")
+    with repro.connect(url) as session:
+        stmt = session.prepare(TWO_HOP)
+        print(f"prepared handle: {stmt!r}")
+
+        # Executes ship only the handle — the text never crosses the
+        # wire again, and the server never re-parses it.
+        started = time.perf_counter()
+        for _ in range(50):
+            stmt.run(limit=10).fetchall()
+        elapsed = (time.perf_counter() - started) * 1000
+        print(f"50 prepared executes: {elapsed:.1f} ms total")
+
+        # Preparing the same shape again dedups server-side.
+        again = session.prepare(TWO_HOP)
+        stats = session.stats()["prepared"]
+        print(f"server prepared-statement stats: {stats}")
+        again.close()
+        stmt.close()
+
+
+async def async_demo(url: str) -> None:
+    print("\n=== async session (pipelined executes) ===")
+    async with await connect_async(url) as session:
+        stmt = await session.prepare(TRIANGLE)
+
+        async def count_once() -> int:
+            result_set = await stmt.run()
+            return await result_set.count()
+
+        # Six executes of one prepared handle, multiplexed on one socket.
+        counts = await asyncio.gather(*[count_once() for _ in range(6)])
+        print("six pipelined prepared counts:", counts)
+        await stmt.close()
+
+
+def main() -> None:
+    database = Database([load_dataset("ca-GrQc")])
+    attach_samples(database, 10, sample_names=("v1", "v2", "v3", "v4"))
+
+    local_demo(database)
+
+    with QueryService(database) as service:
+        with ServerThread(service) as server:
+            remote_demo(server.url)
+            asyncio.run(async_demo(server.url))
+
+
+if __name__ == "__main__":
+    main()

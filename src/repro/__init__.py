@@ -76,6 +76,7 @@ from repro.data import (
 from repro.engine import ExecutionResult, QueryEngine
 from repro.api import (
     Explain,
+    PreparedHandle,
     QueryOptions,
     ResultSet,
     ResultStats,
@@ -155,6 +156,7 @@ __all__ = [
     "PartitionScheme",
     "Partitioner",
     "PhysicalPlan",
+    "PreparedHandle",
     "PlanExecutor",
     "PlanningError",
     "ProcessPlanExecutor",

@@ -21,6 +21,7 @@ __all__ = [
     "ResultCacheHooks",
     "ResultSet",
     "ResultStats",
+    "PreparedHandle",
     "RowCursor",
     "Session",
     "SessionStats",
@@ -28,7 +29,7 @@ __all__ = [
     "explain_plan",
 ]
 
-_LAZY = {"Session", "SessionStats", "connect"}
+_LAZY = {"PreparedHandle", "Session", "SessionStats", "connect"}
 
 
 def __getattr__(name: str):

@@ -55,6 +55,12 @@ class QueryOptions:
         Capture a per-query span tree (parse → plan → execute →
         per-shard joins) and expose it as ``ResultSet.stats.trace``.
         Off by default: the untraced path carries no span overhead.
+    fetch_size:
+        Rows per page when a remote result set talks to its server-side
+        cursor, or ``None`` to inherit the session default (512).  A
+        client-side knob only — it never goes on the wire, each
+        ``fetch`` request names its page size explicitly.  Ignored by
+        local sessions, whose result sets stream without paging.
     """
 
     algorithm: str = "auto"
@@ -64,6 +70,7 @@ class QueryOptions:
     use_cache: bool = True
     limit: Optional[int] = None
     trace: bool = False
+    fetch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
@@ -104,6 +111,14 @@ class QueryOptions:
             raise OptionsError(
                 f"trace must be a bool, got {self.trace!r}"
             )
+        if self.fetch_size is not None:
+            if isinstance(self.fetch_size, bool) \
+                    or not isinstance(self.fetch_size, int) \
+                    or self.fetch_size < 1:
+                raise OptionsError(
+                    f"fetch_size must be a positive int or None, "
+                    f"got {self.fetch_size!r}"
+                )
 
     # ------------------------------------------------------------------
     # Construction helpers

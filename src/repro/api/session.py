@@ -104,6 +104,58 @@ class SessionStats:
         }
 
 
+class PreparedHandle:
+    """A query shape compiled once and bound to its session.
+
+    Returned by :meth:`Session.prepare`; the remote sessions return
+    surface-compatible twins (:class:`~repro.net.client.
+    RemotePreparedHandle` and its async sibling) so code written against
+    this class works over the wire unchanged.  Repeated :meth:`run`
+    calls never re-parse — locally the compiled
+    :class:`~repro.engine.PreparedQuery` is handed straight to the
+    engine with the plan cache keyed on its text; remotely the server
+    executes by handle.
+    """
+
+    def __init__(self, session: "Session", prepared: PreparedQuery,
+                 options: QueryOptions) -> None:
+        self._session = session
+        self._prepared = prepared
+        self._options = options
+
+    @property
+    def text(self) -> str:
+        return self._prepared.text
+
+    @property
+    def algorithm(self) -> str:
+        return self._prepared.algorithm
+
+    def run(self, options: Optional[QueryOptions] = None,
+            **overrides) -> ResultSet:
+        """Execute the prepared shape (options default to prepare-time)."""
+        return self._session.run(
+            self._prepared, options if options is not None else self._options,
+            **overrides)
+
+    def explain(self) -> Explain:
+        return self._session.explain(self._prepared, self._options)
+
+    def close(self) -> None:
+        """Release the handle.  Local handles hold no server state, so
+        this is a no-op kept for surface parity with the remote twins."""
+
+    def __enter__(self) -> "PreparedHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"PreparedHandle(text={self.text!r}, "
+                f"algorithm={self.algorithm!r})")
+
+
 class Session:
     """A connected client: one database, one engine, shared caches.
 
@@ -180,9 +232,21 @@ class Session:
               opts: QueryOptions) -> Tuple[PhysicalPlan, bool, float]:
         started = time.perf_counter()
         parallel = opts.parallel_request(self.engine.parallel)
-        if isinstance(query, (PreparedQuery, PhysicalPlan)):
+        if isinstance(query, PhysicalPlan):
             # Pre-compiled input: planning is already paid for.
             plan, hit = self.engine.plan(query, opts.algorithm, parallel), True
+        elif isinstance(query, PreparedQuery):
+            if opts.use_cache:
+                # Prepared statements key the plan cache on their text,
+                # so repeated executes of one handle reuse the lowered
+                # physical plan, not just the logical compilation.
+                plan, hit = self.plan_cache.get_or_plan(
+                    self.engine, query.text, opts.algorithm, parallel,
+                    source=query,
+                )
+            else:
+                plan = self.engine.plan(query, opts.algorithm, parallel)
+                hit = True  # logical planning was already paid for
         elif opts.use_cache:
             # Non-text queries are keyed by their canonical text but
             # compiled from the object itself — a headed query's text
@@ -194,6 +258,20 @@ class Session:
         else:
             plan, hit = self.engine.plan(query, opts.algorithm, parallel), False
         return plan, hit, time.perf_counter() - started
+
+    def prepare(self, query: Query,
+                options: Optional[QueryOptions] = None,
+                **overrides) -> PreparedHandle:
+        """Compile ``query`` once and return a reusable handle.
+
+        Parsing, hypergraph analysis, and attribute ordering are paid
+        here; every ``handle.run()`` after that starts from the compiled
+        shape.  Idempotent in effect: preparing the same text again
+        returns an equivalent handle.
+        """
+        opts = self.options(options, **overrides)
+        prepared = self.engine.prepare(query, opts.algorithm)
+        return PreparedHandle(self, prepared, opts)
 
     # ------------------------------------------------------------------
     # Execution
@@ -304,6 +382,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             use_cache: bool = True,
             limit: Optional[int] = None,
             trace: bool = False,
+            fetch_size: Optional[int] = None,
             engine: Optional[QueryEngine] = None,
             plan_cache_size: int = 128,
             result_cache_size: int = 256,
@@ -349,6 +428,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
                 algorithm=algorithm, parallel=parallel,
                 partition_mode=partition_mode, timeout=timeout,
                 use_cache=use_cache, limit=limit, trace=trace,
+                fetch_size=fetch_size,
             ),
             pool_size=DEFAULT_POOL_SIZE if pool_size is None else pool_size,
             retries=DEFAULT_RETRIES if retries is None else retries,
@@ -376,6 +456,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
         use_cache=use_cache, limit=limit, trace=trace,
+        fetch_size=fetch_size,
     )
     return Session(
         database, options=options, engine=engine,

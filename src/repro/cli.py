@@ -121,6 +121,10 @@ def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
                      help="with --connect: how many times an idempotent "
                           "request is replayed with backoff after a "
                           "connection failure (default: 2)")
+    sub.add_argument("--fetch-size", type=int, default=None, metavar="K",
+                     help="with --connect: rows per page when streaming "
+                          "results from the server-side cursor "
+                          "(default: 512)")
     group = sub.add_mutually_exclusive_group(required=True)
     group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
                       help="named benchmark pattern")
@@ -275,6 +279,12 @@ def _build_parser() -> argparse.ArgumentParser:
     server.add_argument("--cursor-ttl", type=float, default=300.0,
                         help="idle seconds before a server-side cursor "
                              "expires (default: 300)")
+    server.add_argument("--prepared-ttl", type=float, default=300.0,
+                        help="idle seconds before a prepared statement "
+                             "expires (default: 300)")
+    server.add_argument("--max-prepared", type=int, default=64,
+                        help="prepared statements one connection may hold "
+                             "(default: 64)")
     server.add_argument("--parallel", type=int, default=1, metavar="N",
                         help="partition each query into N shards evaluated "
                              "on N worker processes (default: 1, serial)")
@@ -306,6 +316,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="per-query soft timeout in seconds")
     workload.add_argument("--scale", type=float, default=1.0,
                           help="dataset scale factor (default: 1.0)")
+    workload.add_argument("--prepare", action="store_true",
+                          help="prepare each distinct query shape once and "
+                               "execute by compiled handle (zero re-parses)")
     workload.add_argument("--compare-cold", action="store_true",
                           help="also measure an uncached engine loop on a "
                                "repeated-query stream and report the speedup")
@@ -344,7 +357,8 @@ def _target_session(args: argparse.Namespace,
     node samples); without it, the dataset loads in-process.
     """
     options = QueryOptions(timeout=timeout, parallel=args.parallel,
-                           partition_mode=args.partition_mode)
+                           partition_mode=args.partition_mode,
+                           fetch_size=args.fetch_size)
     if args.connect:
         if args.scale != 1.0 or args.selectivity is not None:
             # Same rule as repro.connect("repro://..."): the server owns
@@ -373,6 +387,10 @@ def _target_session(args: argparse.Namespace,
         raise OptionsError(
             "--pool-size/--retries tune the remote connection pool and "
             "need --connect"
+        )
+    if args.fetch_size is not None:
+        raise OptionsError(
+            "--fetch-size tunes remote cursor paging and needs --connect"
         )
     if not args.dataset:
         raise OptionsError("either --dataset or --connect is required")
@@ -588,7 +606,9 @@ def _cmd_server(args: argparse.Namespace) -> int:
     _graceful_sigterm()
     with QueryService(database, config) as service:
         server = ReproServer(service, host=args.host, port=args.port,
-                             cursor_ttl=args.cursor_ttl)
+                             cursor_ttl=args.cursor_ttl,
+                             prepared_ttl=args.prepared_ttl,
+                             max_prepared=args.max_prepared)
 
         def ready(srv: ReproServer) -> None:
             log.info("server ready on %s", srv.url,
@@ -657,7 +677,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                            parallel_shards=args.parallel,
                            partition_mode=args.partition_mode)
     with QueryService(database, config) as service:
-        report = WorkloadRunner(service, spec).run()
+        report = WorkloadRunner(service, spec, prepare=args.prepare).run()
     print(report.format())
 
     if args.compare_cold:

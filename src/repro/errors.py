@@ -69,6 +69,35 @@ class ProtocolError(NetworkError):
     """A frame on the wire was malformed, oversized, or out of sequence."""
 
 
+class FrameError(ProtocolError):
+    """A frame breached the hard size cap.
+
+    Carries the actual offending size next to the limit so an operator
+    reading one log line knows *how far* over the cap the peer went —
+    a 65 MiB frame (someone should raise the cap) reads very differently
+    from a 3 GiB announcement (a desynchronized or malicious peer).
+    """
+
+    def __init__(self, message: str, *, size: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.size = size
+        self.limit = limit
+
+    def __reduce__(self):
+        # Keyword-only __init__ args do not survive the default
+        # BaseException pickling (same trap as TimeoutExceeded).
+        return (
+            FrameError,
+            (self.args[0] if self.args else str(self),),
+            {"size": self.size, "limit": self.limit},
+        )
+
+
+class PreparedError(ServiceError):
+    """A prepared-statement handle is unknown, expired, or over capacity."""
+
+
 class AdmissionError(ServiceError):
     """A request was rejected by admission control (queue full)."""
 

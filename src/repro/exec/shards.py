@@ -32,8 +32,13 @@ _UNSIGNED_CODES = (
 )
 
 
-def _pack_column(values: Sequence[int]) -> Column:
-    """The narrowest array that holds ``values`` (list when none does)."""
+def pack_column(values: Sequence[int]) -> Column:
+    """The narrowest array that holds ``values`` (list when none does).
+
+    Shared with the wire codec (:mod:`repro.net.columnar`) so the
+    inter-process and network encoders pick identical typecodes and
+    cannot drift.
+    """
     if not values:
         return array("B")
     low, high = min(values), max(values)
@@ -44,6 +49,10 @@ def _pack_column(values: Sequence[int]) -> Column:
     elif low >= -(2 ** 63) and high < 2 ** 63:
         return array("q", values)
     return list(values)
+
+
+#: Backwards-compatible alias (the packer predates the wire codec).
+_pack_column = pack_column
 
 
 @dataclass(frozen=True)

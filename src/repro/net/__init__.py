@@ -26,25 +26,32 @@ Everything here sits at the very top of the layer stack; nothing below
 """
 
 from repro.net.client import (
+    WIRE_ENCODING_ENV,
+    AsyncRemotePreparedHandle,
     AsyncRemoteSession,
     ConnectionPool,
+    RemotePreparedHandle,
     RemoteResultSet,
     RemoteSession,
     connect,
     connect_async,
     parse_url,
 )
-from repro.net.protocol import PROTOCOL_VERSION
+from repro.net.protocol import PROTOCOL_VERSION, WIRE_ENCODINGS
 from repro.net.server import ReproServer, ServerThread
 
 __all__ = [
+    "AsyncRemotePreparedHandle",
     "AsyncRemoteSession",
     "ConnectionPool",
     "PROTOCOL_VERSION",
+    "RemotePreparedHandle",
     "RemoteResultSet",
     "RemoteSession",
     "ReproServer",
     "ServerThread",
+    "WIRE_ENCODINGS",
+    "WIRE_ENCODING_ENV",
     "connect",
     "connect_async",
     "parse_url",

@@ -48,6 +48,7 @@ handling — including the CLI's exit-code mapping — is transport-agnostic.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -63,6 +64,7 @@ from repro.errors import (
     CursorError,
     NetworkError,
     OptionsError,
+    PreparedError,
     ProtocolError,
     ReproError,
 )
@@ -73,6 +75,23 @@ from repro.obs.trace import new_trace_id
 
 #: How many rows one iteration-driven fetch pulls by default.
 DEFAULT_FETCH_SIZE = 512
+
+#: Environment override for the row-page wire encoding ("binary" or
+#: "json").  Forcing "json" makes a v2 client behave exactly like a v1
+#: peer — it stops advertising encodings in ``hello`` — which is how the
+#: CI smoke proves negotiation fallback against a live server.
+WIRE_ENCODING_ENV = "REPRO_WIRE_ENCODING"
+
+
+def _resolve_wire_encoding(value: Optional[str]) -> str:
+    if value is None:
+        value = os.environ.get(WIRE_ENCODING_ENV) or "binary"
+    if value not in protocol.WIRE_ENCODINGS:
+        raise OptionsError(
+            f"wire_encoding must be one of {protocol.WIRE_ENCODINGS}, "
+            f"got {value!r}"
+        )
+    return value
 
 #: Connections a :class:`ConnectionPool` may hold open at once.
 DEFAULT_POOL_SIZE = 4
@@ -86,12 +105,15 @@ DEFAULT_RETRY_BACKOFF = 0.05
 _MAX_RETRY_BACKOFF = 2.0
 
 #: Operations safe to replay on a fresh connection after a transport
-#: failure.  ``run`` and ``explain`` only plan, ``count`` / ``stats`` /
-#: ``metrics`` only read, ``hello`` is a handshake.  Cursor ops
+#: failure.  ``run`` / ``explain`` / ``execute`` only plan, ``count`` /
+#: ``stats`` / ``metrics`` only read, ``hello`` is a handshake,
+#: ``prepare`` is idempotent by design (the registry dedups), and a
+#: replayed ``deallocate`` frees at most the same handle.  Cursor ops
 #: (``cursor`` / ``fetch`` / ``close``) are deliberately absent: they
 #: name server-side stream state that dies with its connection.
 IDEMPOTENT_OPS = frozenset(
-    {"hello", "run", "explain", "count", "stats", "metrics"}
+    {"hello", "run", "explain", "count", "stats", "metrics",
+     "prepare", "execute", "deallocate"}
 )
 
 
@@ -192,8 +214,15 @@ def parse_url(url: str) -> Tuple[str, int]:
 
 
 def _options_payload(options: QueryOptions) -> dict:
-    """The options bundle as wire JSON (``None`` = inherit server default)."""
-    return asdict(options)
+    """The options bundle as wire JSON (``None`` = inherit server default).
+
+    ``fetch_size`` is a client-only paging knob — every ``fetch`` request
+    names its page size explicitly — so it is stripped here, which also
+    keeps new clients compatible with servers that predate the field.
+    """
+    payload = asdict(options)
+    payload.pop("fetch_size", None)
+    return payload
 
 
 def _result(response: dict) -> dict:
@@ -231,6 +260,11 @@ class _WireConnection:
         self._sock.settimeout(None)
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
+        # Prepared statements are per-connection server state: this maps
+        # a client-side (text, algorithm) shape to the handle the server
+        # issued *on this connection*.  A fresh connection starts empty
+        # and re-prepares lazily.
+        self.prepared: Dict[Tuple[str, str], int] = {}
 
     def exchange(self, op: str, *, _io_timeout: Optional[float] = None,
                  **params) -> dict:
@@ -501,10 +535,14 @@ class RemoteResultSet(RowCursor):
     """
 
     def __init__(self, session: "RemoteSession", query_text: str,
-                 options: QueryOptions, meta: dict) -> None:
+                 options: QueryOptions, meta: dict,
+                 prepared_key: Optional[Tuple[str, str]] = None) -> None:
         self._session = session
         self._text = query_text
         self._options = options
+        # Set when this result set executes a prepared statement: the
+        # cursor and count travel by handle, never resending query text.
+        self._prepared_key = prepared_key
         # The server holds no cursor yet: one is opened lazily at the
         # first fetch, so a result set that is only counted (or never
         # consumed) pins nothing remotely — and no pool connection.
@@ -569,13 +607,26 @@ class RemoteResultSet(RowCursor):
     # ------------------------------------------------------------------
     # Paging
     # ------------------------------------------------------------------
+    def _page_size(self) -> int:
+        """Rows per iteration-driven fetch: per-query option, else the
+        session default."""
+        return self._options.fetch_size or self._session.fetch_size
+
     def _ensure_cursor(self) -> None:
         """Open the server-side cursor on first use, pinning a connection."""
         if self._cursor_id is None:
-            self._conn, self._cursor_id = self._session._open_cursor(
-                self._text, _options_payload(self._options),
-                trace_id=self._trace_id,
-            )
+            if self._prepared_key is not None:
+                self._conn, self._cursor_id = \
+                    self._session._open_prepared_cursor(
+                        self._prepared_key, self._text,
+                        _options_payload(self._options),
+                        trace_id=self._trace_id,
+                    )
+            else:
+                self._conn, self._cursor_id = self._session._open_cursor(
+                    self._text, _options_payload(self._options),
+                    trace_id=self._trace_id,
+                )
 
     def _release_conn(self) -> None:
         """Hand the pinned connection back to the pool (if still held)."""
@@ -591,10 +642,13 @@ class RemoteResultSet(RowCursor):
             raise CursorError(self._gone)
         started = time.perf_counter()
         self._ensure_cursor()
+        params = {"cursor": self._cursor_id, "size": size}
+        if self._session.wire_encoding == "binary":
+            # Binary frames are self-describing and per-request: a server
+            # that never advertised binary support is never asked.
+            params["encoding"] = "binary"
         try:
-            response = self._conn.exchange(
-                "fetch", cursor=self._cursor_id, size=size
-            )
+            response = self._conn.exchange("fetch", **params)
         except (NetworkError, ProtocolError) as error:
             # The connection carrying the cursor is gone, and with it the
             # server-side stream.  A fetch is NOT idempotent — replaying
@@ -652,7 +706,7 @@ class RemoteResultSet(RowCursor):
             self._check_open()
             if self._done:
                 return None
-            self._buffer.extend(self._fetch(self._session.fetch_size))
+            self._buffer.extend(self._fetch(self._page_size()))
             if not self._buffer:
                 return None
         self._delivered += 1
@@ -699,7 +753,7 @@ class RemoteResultSet(RowCursor):
         try:
             self._check_open()
             while not self._done:
-                out.extend(self._fetch(self._session.fetch_size))
+                out.extend(self._fetch(self._page_size()))
         except BaseException:
             self._buffer.extendleft(reversed(out))
             raise
@@ -721,11 +775,19 @@ class RemoteResultSet(RowCursor):
         if self._count is not None:
             return self._count
         started = time.perf_counter()
-        params = {"query": self._text,
-                  "options": _options_payload(self._options)}
-        if self._trace_id is not None:
-            params["trace_id"] = self._trace_id
-        response = self._session._request("count", **params)
+        if self._prepared_key is not None:
+            extra = ({"trace_id": self._trace_id}
+                     if self._trace_id is not None else None)
+            response = self._session._prepared_request(
+                "count", self._prepared_key, self._text,
+                _options_payload(self._options), extra,
+            )
+        else:
+            params = {"query": self._text,
+                      "options": _options_payload(self._options)}
+            if self._trace_id is not None:
+                params["trace_id"] = self._trace_id
+            response = self._session._request("count", **params)
         self._seconds += time.perf_counter() - started
         self._count = response["count"]
         if response.get("result_cached"):
@@ -748,6 +810,86 @@ class RemoteResultSet(RowCursor):
                 pass  # connection gone or cursor already expired
         # checkin drops a connection the failed exchange closed.
         self._release_conn()
+
+
+class RemotePreparedHandle:
+    """A server-side prepared statement with the local handle surface.
+
+    Returned by :meth:`RemoteSession.prepare`.  ``run`` builds a result
+    set whose cursor and count travel by handle — the query text is
+    never resent and never reparsed.  Handles are per-connection server
+    state under the hood; the session re-prepares transparently on
+    whichever pooled connection carries each execute (the server dedups,
+    so this costs one extra round trip per connection, once), which is
+    also what revives a handle the server expired or lost to a restart.
+    """
+
+    def __init__(self, session: "RemoteSession", text: str,
+                 options: QueryOptions, meta: dict,
+                 key: Tuple[str, str]) -> None:
+        self._session = session
+        self._text = text
+        self._options = options
+        self._meta = meta
+        self._key = key
+        self._closed = False
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    def run(self, options: Optional[QueryOptions] = None,
+            **overrides) -> "RemoteResultSet":
+        """Execute the prepared shape; nothing touches the wire until
+        the result set is consumed (the plan metadata is already in
+        hand from ``prepare``)."""
+        if self._closed:
+            raise PreparedError("this prepared handle is closed")
+        opts = self._session.options(
+            options if options is not None else self._options, **overrides
+        )
+        return RemoteResultSet(self._session, self._text, opts,
+                               dict(self._meta), prepared_key=self._key)
+
+    def explain(self) -> "RemoteExplain":
+        return self._session.explain(self._text, self._options)
+
+    def close(self) -> None:
+        """Deallocate (best effort) and refuse further runs; idempotent.
+
+        Deallocation is sent on one pooled connection; entries on other
+        connections fall to the server's idle TTL.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            conn = self._session._pool.checkout()
+        except (NetworkError, ProtocolError):
+            return
+        try:
+            handle = conn.prepared.pop(self._key, None)
+            if handle is not None:
+                _result(conn.exchange("deallocate", handle=handle))
+        except (NetworkError, ProtocolError, ReproError):
+            pass
+        finally:
+            self._session._pool.checkin(conn)
+
+    def __enter__(self) -> "RemotePreparedHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"RemotePreparedHandle(text={self._text!r}, "
+                f"algorithm={self.algorithm!r}, {state})")
 
 
 class RemoteSession:
@@ -776,6 +918,14 @@ class RemoteSession:
         replayed on a fresh connection after a transport failure, with
         exponential backoff starting at ``retry_backoff`` seconds.
         Cursor fetches are never retried.
+    wire_encoding:
+        ``"binary"`` (the default) advertises the columnar binary fetch
+        encoding in the handshake and uses it when the server agrees;
+        ``"json"`` skips the advertisement entirely — indistinguishable,
+        on the wire, from a protocol-v1 client.  The environment
+        variable :data:`WIRE_ENCODING_ENV` overrides the default when
+        the argument is ``None``.  ``self.wire_encoding`` afterwards
+        holds what was actually negotiated.
     """
 
     def __init__(self, url: str, *, options: Optional[QueryOptions] = None,
@@ -783,19 +933,28 @@ class RemoteSession:
                  connect_timeout: float = 10.0,
                  pool_size: int = DEFAULT_POOL_SIZE,
                  retries: int = DEFAULT_RETRIES,
-                 retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> None:
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 wire_encoding: Optional[str] = None) -> None:
         _validate_resilience_knobs(pool_size, retries, retry_backoff)
         self.url = url
         self.defaults = options if options is not None else QueryOptions()
         self.fetch_size = max(1, int(fetch_size))
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
+        self._wire_encoding = _resolve_wire_encoding(wire_encoding)
+        self.wire_encoding = "json"  # until the handshake says otherwise
         self._pool = ConnectionPool(url, size=pool_size,
                                     connect_timeout=connect_timeout)
         self._retries_attempted = 0
         self._closed = False
         try:
-            self.server_info = self._request("hello")
+            hello_params = {}
+            if self._wire_encoding == "binary":
+                hello_params["encodings"] = list(protocol.WIRE_ENCODINGS)
+            self.server_info = self._request("hello", **hello_params)
+            if self._wire_encoding == "binary" \
+                    and self.server_info.get("encoding") == "binary":
+                self.wire_encoding = "binary"
         except BaseException:
             # A failed handshake (e.g. the endpoint is not a repro
             # server) must not leak sockets out of a constructor the
@@ -888,6 +1047,100 @@ class RemoteSession:
         return conn, body["cursor"]
 
     # ------------------------------------------------------------------
+    # Prepared-statement plumbing
+    # ------------------------------------------------------------------
+    def _ensure_prepared(self, conn: _WireConnection,
+                         key: Tuple[str, str], text: str,
+                         payload: dict) -> int:
+        """The handle for ``key`` on *this* connection, preparing on
+        first use.  Handles are per-connection server state; the server
+        dedups, so re-preparing an already-known shape is one cheap
+        round trip, not a recompile."""
+        handle = conn.prepared.get(key)
+        if handle is None:
+            body = _result(conn.exchange("prepare", query=text,
+                                         options=payload))
+            handle = body["handle"]
+            conn.prepared[key] = handle
+        return handle
+
+    def _prepared_once(self, conn: _WireConnection, op: str,
+                       key: Tuple[str, str], text: str, payload: dict,
+                       extra: Optional[dict]) -> dict:
+        handle = self._ensure_prepared(conn, key, text, payload)
+        params = {"handle": handle, "options": payload}
+        if extra:
+            params.update(extra)
+        return _result(conn.exchange(op, **params))
+
+    def _prepared_exchange(self, op: str, key: Tuple[str, str], text: str,
+                           payload: dict, extra: Optional[dict] = None
+                           ) -> Tuple[_WireConnection, dict]:
+        """Execute-by-handle with the standard retry loop plus one
+        transparent re-prepare.
+
+        A :class:`PreparedError` means *this connection's* handle is
+        gone (idle-expired, deallocated elsewhere, or the server
+        restarted): drop the stale mapping and re-prepare once on the
+        same connection.  Transport failures discard the connection as
+        usual — the retry lands on a fresh connection whose own
+        ``_ensure_prepared`` re-prepares there.
+        """
+        if self._closed:
+            raise NetworkError("this remote session is closed")
+        attempts = 1 + self.retries
+        delay = self.retry_backoff
+        for attempt in range(attempts):
+            try:
+                conn = self._pool.checkout()
+                try:
+                    try:
+                        body = self._prepared_once(conn, op, key, text,
+                                                   payload, extra)
+                    except PreparedError:
+                        conn.prepared.pop(key, None)
+                        body = self._prepared_once(conn, op, key, text,
+                                                   payload, extra)
+                except (NetworkError, ProtocolError):
+                    self._pool.discard(conn)
+                    raise
+                except ReproError:
+                    self._pool.checkin(conn)
+                    raise
+            except PoolExhausted:
+                raise
+            except (NetworkError, ProtocolError):
+                if attempt + 1 >= attempts:
+                    raise
+                self._retries_attempted += 1
+                global_registry().counter("repro_client_retries_total").inc()
+                time.sleep(delay)
+                delay = min(delay * 2, _MAX_RETRY_BACKOFF)
+                continue
+            return conn, body
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _open_prepared_cursor(self, key: Tuple[str, str], text: str,
+                              payload: dict,
+                              trace_id: Optional[str] = None
+                              ) -> Tuple[_WireConnection, int]:
+        """Open a cursor by prepared handle, returning its pinned
+        connection.  Retry-safe for the same reason as ``_open_cursor``:
+        a cursor whose open response was lost died with its connection.
+        """
+        extra = {"trace_id": trace_id} if trace_id is not None else None
+        conn, body = self._prepared_exchange("cursor", key, text,
+                                             payload, extra)
+        return conn, body["cursor"]
+
+    def _prepared_request(self, op: str, key: Tuple[str, str], text: str,
+                          payload: dict,
+                          extra: Optional[dict] = None) -> dict:
+        conn, body = self._prepared_exchange(op, key, text, payload, extra)
+        self._pool.checkin(conn)
+        return body
+
+    # ------------------------------------------------------------------
     # The Session surface
     # ------------------------------------------------------------------
     def options(self, options: Optional[QueryOptions] = None,
@@ -910,6 +1163,29 @@ class RemoteSession:
                              options=_options_payload(opts))
         return RemoteResultSet(self, text, opts, meta)
 
+    def prepare(self, query, options: Optional[QueryOptions] = None,
+                **overrides) -> RemotePreparedHandle:
+        """Register ``query`` server-side and return a reusable handle.
+
+        Preparing pays the parse/decompose/plan cost once; every
+        subsequent :meth:`RemotePreparedHandle.run` sends only the
+        integer handle — the server never reparses, and the client
+        never resends the text.  Preparing the same text twice dedups
+        to the same server-side statement.
+        """
+        opts = self.options(options, **overrides)
+        text = str(query)
+        key = (text, opts.algorithm)
+        conn, response = self._retry_exchange(
+            "prepare", {"query": text, "options": _options_payload(opts)},
+            self._attempts("prepare"))
+        try:
+            meta = _result(response)
+            conn.prepared[key] = meta["handle"]
+        finally:
+            self._pool.checkin(conn)
+        return RemotePreparedHandle(self, text, opts, meta, key)
+
     def explain(self, query, options: Optional[QueryOptions] = None,
                 **overrides) -> RemoteExplain:
         """The server's structured plan report for ``query``."""
@@ -930,6 +1206,8 @@ class RemoteSession:
         response = self._request("stats")
         stats = {key: response[key]
                  for key in ("connection", "cursors", "service")}
+        if "prepared" in response:  # absent from protocol-v1 servers
+            stats["prepared"] = response["prepared"]
         stats["client"] = {
             "retries": self._retries_attempted,
             "health_replaced": self._pool.health_replaced,
@@ -983,7 +1261,8 @@ def connect(url: str, *,
             connect_timeout: float = 10.0,
             pool_size: int = DEFAULT_POOL_SIZE,
             retries: int = DEFAULT_RETRIES,
-            retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> RemoteSession:
+            retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+            wire_encoding: Optional[str] = None) -> RemoteSession:
     """Open a :class:`RemoteSession`; keyword args become its defaults."""
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
@@ -993,7 +1272,8 @@ def connect(url: str, *,
     return RemoteSession(url, options=options, fetch_size=fetch_size,
                          connect_timeout=connect_timeout,
                          pool_size=pool_size, retries=retries,
-                         retry_backoff=retry_backoff)
+                         retry_backoff=retry_backoff,
+                         wire_encoding=wire_encoding)
 
 
 # ----------------------------------------------------------------------
@@ -1010,12 +1290,14 @@ class AsyncRemoteResultSet:
     """
 
     def __init__(self, session: "AsyncRemoteSession", query_text: str,
-                 options: QueryOptions, meta: dict) -> None:
+                 options: QueryOptions, meta: dict,
+                 prepared_key: Optional[Tuple[str, str]] = None) -> None:
         import asyncio
 
         self._session = session
         self._text = query_text
         self._options = options
+        self._prepared_key = prepared_key
         self._cursor_id: Optional[int] = None  # opened at first fetch
         self._generation: Optional[int] = None  # connection it lives on
         self._variables = tuple(Variable(name) for name in meta["columns"])
@@ -1042,12 +1324,22 @@ class AsyncRemoteResultSet:
     def complete(self) -> bool:
         return self._done and not self._buffer
 
+    def _page_size(self) -> int:
+        return self._options.fetch_size or self._session.fetch_size
+
     async def _ensure_cursor(self) -> None:
         if self._cursor_id is None:
-            self._cursor_id, self._generation = \
-                await self._session._open_cursor(
-                    self._text, _options_payload(self._options)
+            if self._prepared_key is not None:
+                body, generation = await self._session._prepared_send(
+                    "cursor", self._prepared_key, self._text,
+                    _options_payload(self._options)
                 )
+                self._cursor_id, self._generation = body["cursor"], generation
+            else:
+                self._cursor_id, self._generation = \
+                    await self._session._open_cursor(
+                        self._text, _options_payload(self._options)
+                    )
 
     async def _fetch(self, size: int) -> List[Row]:
         async with self._fetch_lock:
@@ -1071,10 +1363,11 @@ class AsyncRemoteResultSet:
                 "re-run the query for a fresh result set"
             )
             raise CursorError(self._gone)
+        params = {"cursor": self._cursor_id, "size": size}
+        if self._session.wire_encoding == "binary":
+            params["encoding"] = "binary"
         try:
-            response = await self._session._send(
-                "fetch", {"cursor": self._cursor_id, "size": size}
-            )
+            response = await self._session._send("fetch", params)
         except (NetworkError, ProtocolError) as error:
             self._gone = (
                 f"the server-side cursor for this result set is gone "
@@ -1118,7 +1411,7 @@ class AsyncRemoteResultSet:
             self._check_open()
             if self._done:
                 raise StopAsyncIteration
-            self._buffer.extend(await self._fetch(self._session.fetch_size))
+            self._buffer.extend(await self._fetch(self._page_size()))
             if not self._buffer:
                 raise StopAsyncIteration
         return dict(zip(self._variables, self._buffer.popleft()))
@@ -1150,7 +1443,7 @@ class AsyncRemoteResultSet:
         try:
             self._check_open()
             while not self._done:
-                out.extend(await self._fetch(self._session.fetch_size))
+                out.extend(await self._fetch(self._page_size()))
         except BaseException:
             self._buffer.extendleft(reversed(out))
             raise
@@ -1159,11 +1452,17 @@ class AsyncRemoteResultSet:
     async def count(self) -> int:
         if self._count is not None:
             return self._count
-        response = await self._session._request(
-            "count", query=self._text,
-            options=_options_payload(self._options),
-        )
-        self._count = response["count"]
+        if self._prepared_key is not None:
+            body, _ = await self._session._prepared_send(
+                "count", self._prepared_key, self._text,
+                _options_payload(self._options)
+            )
+        else:
+            body = await self._session._request(
+                "count", query=self._text,
+                options=_options_payload(self._options),
+            )
+        self._count = body["count"]
         return self._count
 
     async def close(self) -> None:
@@ -1202,7 +1501,8 @@ class AsyncRemoteSession:
                  fetch_size: int = DEFAULT_FETCH_SIZE,
                  retries: int = DEFAULT_RETRIES,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0,
+                 wire_encoding: Optional[str] = None) -> None:
         _validate_resilience_knobs(None, retries, retry_backoff)
         self.url = url
         self.defaults = options if options is not None else QueryOptions()
@@ -1210,6 +1510,12 @@ class AsyncRemoteSession:
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
         self.connect_timeout = connect_timeout
+        self._wire_encoding = _resolve_wire_encoding(wire_encoding)
+        self.wire_encoding = "json"  # until the handshake says otherwise
+        # (text, algorithm) -> (handle, connection generation).  Handles
+        # are per-connection server state, so a reconnect (generation
+        # bump) strands every mapping; _ensure_prepared re-prepares.
+        self._prepared: Dict[Tuple[str, str], Tuple[int, int]] = {}
         self._reader = None
         self._writer = None
         self._reader_task = None
@@ -1229,7 +1535,13 @@ class AsyncRemoteSession:
         self._write_lock = asyncio.Lock()
         try:
             await self._ensure_connected()
-            self.server_info = await self._request("hello")
+            hello_params = {}
+            if self._wire_encoding == "binary":
+                hello_params["encodings"] = list(protocol.WIRE_ENCODINGS)
+            self.server_info = await self._request("hello", **hello_params)
+            if self._wire_encoding == "binary" \
+                    and self.server_info.get("encoding") == "binary":
+                self.wire_encoding = "binary"
         except BaseException:
             # A failed handshake must not leak the transport or the
             # reader task out of a constructor the caller never got a
@@ -1438,6 +1750,63 @@ class AsyncRemoteSession:
         return _result(response)["cursor"], generation
 
     # ------------------------------------------------------------------
+    # Prepared-statement plumbing
+    # ------------------------------------------------------------------
+    async def _ensure_prepared(self, key: Tuple[str, str], text: str,
+                               payload: dict) -> int:
+        """The handle for ``key`` on the *current* connection, preparing
+        when the mapping is missing or pinned to a pre-reconnect
+        generation.  Single attempt — the callers' retry loops own
+        reconnection."""
+        entry = self._prepared.get(key)
+        if entry is not None and entry[1] == self._generation:
+            return entry[0]
+        body = _result(await self._send(
+            "prepare", {"query": text, "options": payload}
+        ))
+        self._prepared[key] = (body["handle"], self._generation)
+        return body["handle"]
+
+    async def _prepared_send(self, op: str, key: Tuple[str, str],
+                             text: str, payload: dict,
+                             extra: Optional[dict] = None
+                             ) -> Tuple[dict, int]:
+        """Execute-by-handle with the standard retry loop plus one
+        transparent re-prepare on :class:`PreparedError` (the server
+        idle-expired or lost the handle while the connection lived).
+        Returns the result body and the generation it was exchanged on.
+        """
+        import asyncio
+
+        attempts = 1 + self.retries
+        delay = self.retry_backoff
+        for attempt in range(attempts):
+            try:
+                await self._ensure_connected()
+                generation = self._generation
+                handle = await self._ensure_prepared(key, text, payload)
+                params = {"handle": handle, "options": payload}
+                if extra:
+                    params.update(extra)
+                try:
+                    body = _result(await self._send(op, params))
+                except PreparedError:
+                    self._prepared.pop(key, None)
+                    params["handle"] = await self._ensure_prepared(
+                        key, text, payload)
+                    body = _result(await self._send(op, params))
+            except (NetworkError, ProtocolError):
+                if attempt + 1 >= attempts:
+                    raise
+                self._retries_attempted += 1
+                global_registry().counter("repro_client_retries_total").inc()
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, _MAX_RETRY_BACKOFF)
+                continue
+            return body, generation
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
     # The Session surface
     # ------------------------------------------------------------------
     def options(self, options: Optional[QueryOptions] = None,
@@ -1454,6 +1823,26 @@ class AsyncRemoteSession:
                                    options=_options_payload(opts))
         return AsyncRemoteResultSet(self, text, opts, meta)
 
+    async def prepare(self, query, options: Optional[QueryOptions] = None,
+                      **overrides) -> "AsyncRemotePreparedHandle":
+        """Register ``query`` server-side and return a reusable handle.
+
+        Parse/decompose/plan happen once, at prepare time; every
+        subsequent ``handle.run()`` sends only the integer handle.  A
+        reconnect strands server-side handles — the session re-prepares
+        transparently on the next execute.
+        """
+        opts = self.options(options, **overrides)
+        text = str(query)
+        key = (text, opts.algorithm)
+        response, generation = await self._retry_send(
+            "prepare", {"query": text, "options": _options_payload(opts)},
+            1 + self.retries,
+        )
+        meta = _result(response)
+        self._prepared[key] = (meta["handle"], generation)
+        return AsyncRemotePreparedHandle(self, text, opts, meta, key)
+
     async def explain(self, query, options: Optional[QueryOptions] = None,
                       **overrides) -> RemoteExplain:
         opts = self.options(options, **overrides)
@@ -1468,6 +1857,8 @@ class AsyncRemoteSession:
         response = await self._request("stats")
         stats = {key: response[key]
                  for key in ("connection", "cursors", "service")}
+        if "prepared" in response:  # absent from protocol-v1 servers
+            stats["prepared"] = response["prepared"]
         stats["client"] = {
             "retries": self._retries_attempted,
             "reconnects": max(0, self._generation - 1),
@@ -1502,6 +1893,72 @@ class AsyncRemoteSession:
         return f"AsyncRemoteSession({self.url!r}, {state})"
 
 
+class AsyncRemotePreparedHandle:
+    """A server-side prepared statement on an async session.
+
+    Returned by :meth:`AsyncRemoteSession.prepare`.  ``run`` is a pure
+    constructor — no frame travels until the result set is consumed,
+    at which point the cursor opens by handle (never by text).
+    """
+
+    def __init__(self, session: AsyncRemoteSession, text: str,
+                 options: QueryOptions, meta: dict,
+                 key: Tuple[str, str]) -> None:
+        self._session = session
+        self._text = text
+        self._options = options
+        self._meta = meta
+        self._key = key
+        self._closed = False
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    async def run(self, options: Optional[QueryOptions] = None,
+                  **overrides) -> AsyncRemoteResultSet:
+        if self._closed:
+            raise PreparedError("this prepared handle is closed")
+        opts = self._session.options(
+            options if options is not None else self._options, **overrides
+        )
+        return AsyncRemoteResultSet(self._session, self._text, opts,
+                                    dict(self._meta),
+                                    prepared_key=self._key)
+
+    async def explain(self) -> RemoteExplain:
+        return await self._session.explain(self._text, self._options)
+
+    async def close(self) -> None:
+        """Deallocate (best effort) and refuse further runs; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        entry = self._session._prepared.pop(self._key, None)
+        if entry is not None and entry[1] == self._session._generation:
+            try:
+                _result(await self._session._send(
+                    "deallocate", {"handle": entry[0]}
+                ))
+            except (NetworkError, ProtocolError, ReproError):
+                pass
+
+    async def __aenter__(self) -> "AsyncRemotePreparedHandle":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"AsyncRemotePreparedHandle(text={self._text!r}, "
+                f"algorithm={self.algorithm!r}, {state})")
+
+
 async def connect_async(url: str, *,
                         algorithm: str = "auto",
                         parallel: Optional[int] = None,
@@ -1513,7 +1970,8 @@ async def connect_async(url: str, *,
                         fetch_size: int = DEFAULT_FETCH_SIZE,
                         retries: int = DEFAULT_RETRIES,
                         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
-                        connect_timeout: float = 10.0
+                        connect_timeout: float = 10.0,
+                        wire_encoding: Optional[str] = None
                         ) -> AsyncRemoteSession:
     """Open an :class:`AsyncRemoteSession`: ``await repro.net.connect_async(...)``."""
     options = QueryOptions(
@@ -1523,5 +1981,6 @@ async def connect_async(url: str, *,
     )
     session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size,
                                  retries=retries, retry_backoff=retry_backoff,
-                                 connect_timeout=connect_timeout)
+                                 connect_timeout=connect_timeout,
+                                 wire_encoding=wire_encoding)
     return await session._open()

@@ -1,0 +1,134 @@
+"""Columnar payload codec for binary wire frames.
+
+Row batches go on the wire column-major, each integer column packed into
+the narrowest ``array`` typecode that holds its value range — the exact
+packer the inter-process shard shipper uses (:func:`repro.exec.shards.
+pack_column`), imported rather than reimplemented so the two encoders
+cannot drift.  Columns that are not purely ``int`` (strings, ``None``,
+bools, ints beyond 64 bits) fall back to a JSON-encoded block with kind
+``"J"``; a batch of such columns costs no more than the JSON frame it
+replaces.
+
+Typed blocks are little-endian on the wire regardless of host byte
+order, so a big-endian peer interoperates (``array.tobytes`` is native;
+we byteswap on the odd machine out instead of taxing the common case).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from typing import Any, List, Sequence, Tuple
+
+from repro.exec.shards import pack_column
+
+#: Typed block kinds, i.e. ``array`` typecodes the packer can emit.
+TYPED_KINDS = ("B", "H", "I", "Q", "q")
+
+#: JSON-fallback block kind for columns the packer cannot type.
+JSON_KIND = "J"
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+#: Column descriptor on the wire: ``[kind, count, nbytes]``.
+ColumnMeta = List[Any]
+
+
+def _json_block(values: Sequence[Any]) -> bytes:
+    return json.dumps(list(values), separators=(",", ":")).encode("utf-8")
+
+
+def encode_columns(
+    rows: Sequence[Sequence[Any]],
+) -> Tuple[List[ColumnMeta], List[bytes]]:
+    """Split ``rows`` into per-column blocks.
+
+    Returns ``(meta, blocks)`` where ``meta[i] = [kind, count, nbytes]``
+    describes ``blocks[i]``.  The caller concatenates the blocks after
+    its JSON header; ``decode_columns`` slices them back out by
+    ``nbytes``.
+    """
+    meta: List[ColumnMeta] = []
+    blocks: List[bytes] = []
+    if not rows:
+        return meta, blocks
+    for index in range(len(rows[0])):
+        column = [row[index] for row in rows]
+        # bool is an int subclass but must round-trip as bool, so only
+        # exact ints are eligible for typed packing.
+        if all(type(value) is int for value in column):
+            packed = pack_column(column)
+        else:
+            packed = column  # non-int content -> JSON fallback
+        if isinstance(packed, array):
+            if _BIG_ENDIAN:
+                packed = array(packed.typecode, packed)
+                packed.byteswap()
+            block = packed.tobytes()
+            meta.append([packed.typecode, len(column), len(block)])
+        else:
+            block = _json_block(column)
+            meta.append([JSON_KIND, len(column), len(block)])
+        blocks.append(block)
+    return meta, blocks
+
+
+def decode_columns(
+    meta: Sequence[Sequence[Any]], payload: bytes, offset: int = 0
+) -> List[List[Any]]:
+    """Rebuild columns from ``payload`` starting at ``offset``.
+
+    Raises :class:`ValueError` on a malformed descriptor or a payload
+    that does not match the advertised sizes (the protocol layer wraps
+    this in its own error type).
+    """
+    columns: List[List[Any]] = []
+    cursor = offset
+    for descriptor in meta:
+        kind, count, nbytes = descriptor
+        block = payload[cursor : cursor + nbytes]
+        if len(block) != nbytes:
+            raise ValueError(
+                f"column block truncated: expected {nbytes} bytes, "
+                f"got {len(block)}"
+            )
+        cursor += nbytes
+        if kind == JSON_KIND:
+            values = json.loads(block.decode("utf-8"))
+            if not isinstance(values, list) or len(values) != count:
+                raise ValueError("JSON column block does not match count")
+        elif kind in TYPED_KINDS:
+            typed = array(kind)
+            typed.frombytes(block)
+            if _BIG_ENDIAN:
+                typed.byteswap()
+            if len(typed) != count:
+                raise ValueError(
+                    f"typed column block holds {len(typed)} values, "
+                    f"expected {count}"
+                )
+            values = typed.tolist()
+        else:
+            raise ValueError(f"unknown column kind {kind!r}")
+        columns.append(values)
+    if cursor != len(payload):
+        raise ValueError(
+            f"{len(payload) - cursor} trailing bytes after column blocks"
+        )
+    return columns
+
+
+def rows_from_columns(
+    columns: Sequence[Sequence[Any]], count: int
+) -> List[Tuple[Any, ...]]:
+    """Zip columns back into row tuples (``count`` rows of zero arity
+    degenerate to empty tuples)."""
+    if not columns:
+        return [() for _ in range(count)]
+    rows = list(zip(*columns))
+    if len(rows) != count:
+        raise ValueError(
+            f"column blocks yield {len(rows)} rows, header says {count}"
+        )
+    return rows

@@ -1,8 +1,25 @@
-"""The wire protocol: length-prefixed JSON frames and error envelopes.
+"""The wire protocol: length-prefixed frames and error envelopes.
 
 One frame is a 4-byte big-endian unsigned length followed by that many
-bytes of UTF-8 JSON.  Both directions use the same framing; a frame is
-always a JSON object.
+bytes of body.  The high bit of the length word selects the body
+encoding (the frame cap is far below 2**31, so the bit is free):
+
+==========  ==========================================================
+prefix bit  body
+==========  ==========================================================
+``0``       UTF-8 JSON object (all requests and control responses)
+``1``       binary columnar: 4-byte header length, UTF-8 JSON header,
+            then concatenated column blocks (``fetch`` row pages)
+==========  ==========================================================
+
+A binary header is a normal response object plus ``"n"`` (row count)
+and ``"cols"`` (``[kind, count, nbytes]`` per column, see
+:mod:`repro.net.columnar`); the frame readers decode it transparently,
+handing back the same dict a JSON frame would carry with ``rows``
+already materialized.  Binary frames are **negotiated**: the client
+advertises ``encodings`` in ``hello``, the server answers with the
+ones it supports, and the client then asks for binary per ``fetch``
+request — old peers on either side simply never leave JSON.
 
 Requests carry a client-chosen ``id`` (monotonically increasing per
 connection) and an ``op``.  Ids are what make **pipelining** work: a
@@ -36,18 +53,24 @@ Operations
 =============== ==================================== =========================
 op              request fields                       response fields
 =============== ==================================== =========================
-``hello``       —                                    server, protocol, version,
-                                                     relations
+``hello``       [encodings]                          server, protocol, version,
+                                                     relations, encodings,
+                                                     encoding
 ``run``         query, options                       columns, algorithm,
                                                      shards, partitioning,
                                                      plan_cached
-``cursor``      query, options                       cursor
-``fetch``       cursor, size                         rows, done[, stats]
+``prepare``     query, options                       handle, columns,
+                                                     algorithm, ...
+``execute``     handle, options                      columns, algorithm, ...
+``deallocate``  handle                               deallocated
+``cursor``      query|handle, options                cursor
+``fetch``       cursor, size[, encoding]             rows, done[, stats]
 ``close``       cursor                               closed
-``count``       query, options                       count, algorithm, shards,
+``count``       query|handle, options                count, algorithm, shards,
                                                      result_cached
 ``explain``     query, options                       report, rendered
-``stats``       —                                    connection, cursors, service
+``stats``       —                                    connection, cursors,
+                                                     prepared, service
 ``metrics``     —                                    metrics (Prometheus text)
 ``goodbye``     —                                    goodbye
 =============== ==================================== =========================
@@ -58,23 +81,40 @@ when it first fetches; each ``fetch`` then pulls exactly ``size`` more
 rows from the executor's stream, so consuming *k* rows of a huge join
 costs O(k) end-to-end, and a result set that is only counted or never
 consumed pins nothing on the server.
+
+``prepare`` compiles a query once and registers the compiled shape
+per-connection (idle TTL + cap, like cursors); ``execute``, ``cursor``
+and ``count`` may then reference the ``handle`` instead of resending
+query text, skipping parse/analysis/attribute-ordering on every call
+and letting the plan cache key on the prepared text.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Awaitable, Callable, Dict, NoReturn, Optional, Tuple, Type
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    NoReturn,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.errors import (
     AdmissionError,
     CursorError,
     DatasetError,
     ExecutionError,
+    FrameError,
     NetworkError,
     OptionsError,
     ParseError,
     PlanningError,
+    PreparedError,
     ProtocolError,
     QueryError,
     ReproError,
@@ -85,13 +125,24 @@ from repro.errors import (
     UnknownAlgorithmError,
     WorkloadError,
 )
+from repro.net import columnar
 
 #: Bumped on incompatible protocol changes; exchanged in ``hello``.
-PROTOCOL_VERSION = 1
+#: Version 2 added binary columnar fetch frames and prepared-statement
+#: handles; version-1 peers keep working (new fields are additive and
+#: binary frames are only sent when asked for).
+PROTOCOL_VERSION = 2
+
+#: Row-page encodings this build can speak, preference first.
+WIRE_ENCODINGS = ("binary", "json")
 
 #: Hard upper bound on one frame.  Large answers stream as many ``fetch``
 #: pages, so a frame this size indicates a broken peer, not a big result.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: High bit of the length prefix marks a binary columnar body.  Safe
+#: because ``MAX_FRAME_BYTES`` (2**26) is far below 2**31.
+BINARY_FLAG = 0x80000000
 
 _LENGTH = struct.Struct("!I")
 
@@ -112,6 +163,7 @@ _ERROR_TABLE: Tuple[Tuple[str, Type[ReproError], int], ...] = (
     ("storage", StorageError, 1),
     ("dataset", DatasetError, 1),
     ("cursor", CursorError, 1),
+    ("prepared", PreparedError, 1),
     ("admission", AdmissionError, 1),
     ("workload", WorkloadError, 1),
     ("protocol", ProtocolError, 1),
@@ -129,14 +181,37 @@ _CODE_TO_CLASS: Dict[str, Type[ReproError]] = {
 # Framing
 # ----------------------------------------------------------------------
 def encode_frame(payload: dict) -> bytes:
-    """Serialize one frame: 4-byte length prefix + UTF-8 JSON body."""
+    """Serialize one JSON frame: 4-byte length prefix + UTF-8 JSON body."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
+        raise FrameError(
             f"frame of {len(body)} bytes exceeds the "
-            f"{MAX_FRAME_BYTES}-byte limit"
+            f"{MAX_FRAME_BYTES}-byte limit",
+            size=len(body),
+            limit=MAX_FRAME_BYTES,
         )
     return _LENGTH.pack(len(body)) + body
+
+
+def encode_binary_frame(header: dict, blocks: Sequence[bytes]) -> bytes:
+    """Serialize one binary columnar frame.
+
+    ``header`` must already carry the ``"cols"`` descriptors and ``"n"``
+    row count matching ``blocks`` (see :func:`repro.net.columnar.
+    encode_columns`); this function only frames them.
+    """
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    size = _LENGTH.size + len(head) + sum(len(block) for block in blocks)
+    if size > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {size} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit",
+            size=size,
+            limit=MAX_FRAME_BYTES,
+        )
+    parts = [_LENGTH.pack(size | BINARY_FLAG), _LENGTH.pack(len(head)), head]
+    parts.extend(blocks)
+    return b"".join(parts)
 
 
 def _decode_body(body: bytes) -> dict:
@@ -151,14 +226,45 @@ def _decode_body(body: bytes) -> dict:
     return payload
 
 
-def _decode_length(prefix: bytes) -> int:
-    (length,) = _LENGTH.unpack(prefix)
-    if length > MAX_FRAME_BYTES:
+def _decode_binary_body(body: bytes) -> dict:
+    if len(body) < _LENGTH.size:
         raise ProtocolError(
-            f"peer announced a {length}-byte frame, over the "
-            f"{MAX_FRAME_BYTES}-byte limit"
+            f"binary frame of {len(body)} bytes is too short for its "
+            f"header length"
         )
-    return length
+    (head_size,) = _LENGTH.unpack_from(body)
+    head_end = _LENGTH.size + head_size
+    if head_end > len(body):
+        raise ProtocolError(
+            f"binary frame header of {head_size} bytes overruns the "
+            f"{len(body)}-byte frame"
+        )
+    header = _decode_body(body[_LENGTH.size:head_end])
+    meta = header.pop("cols", [])
+    count = header.pop("n", 0)
+    try:
+        columns = columnar.decode_columns(meta, body, head_end)
+        header["rows"] = columnar.rows_from_columns(columns, count)
+    except (ValueError, TypeError) as error:
+        raise ProtocolError(
+            f"malformed binary columnar frame: {error}"
+        ) from None
+    return header
+
+
+def _decode_length(prefix: bytes) -> Tuple[int, bool]:
+    """Split the length word into (body size, is-binary flag)."""
+    (word,) = _LENGTH.unpack(prefix)
+    binary = bool(word & BINARY_FLAG)
+    length = word & (BINARY_FLAG - 1)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte limit",
+            size=length,
+            limit=MAX_FRAME_BYTES,
+        )
+    return length, binary
 
 
 def read_frame(read: Callable[[int], bytes]) -> Optional[dict]:
@@ -172,8 +278,10 @@ def read_frame(read: Callable[[int], bytes]) -> Optional[dict]:
     prefix = _read_exact(read, _LENGTH.size, at_boundary=True)
     if prefix is None:
         return None
-    body = _read_exact(read, _decode_length(prefix), at_boundary=False)
-    return _decode_body(body if body is not None else b"")
+    length, binary = _decode_length(prefix)
+    body = _read_exact(read, length, at_boundary=False)
+    body = body if body is not None else b""
+    return _decode_binary_body(body) if binary else _decode_body(body)
 
 
 def _read_exact(read: Callable[[int], bytes], size: int,
@@ -211,14 +319,15 @@ async def read_frame_async(
         raise ProtocolError(
             "connection closed mid-frame (in the length prefix)"
         ) from None
+    length, binary = _decode_length(prefix)
     try:
-        body = await readexactly(_decode_length(prefix))
+        body = await readexactly(length)
     except asyncio.IncompleteReadError as error:
         raise ProtocolError(
             f"connection closed mid-frame ({len(error.partial)} of "
             f"{error.expected} body bytes read)"
         ) from None
-    return _decode_body(body)
+    return _decode_binary_body(body) if binary else _decode_body(body)
 
 
 # ----------------------------------------------------------------------

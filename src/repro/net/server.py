@@ -45,10 +45,11 @@ from repro.errors import (
     ServiceError,
     TimeoutExceeded,
 )
-from repro.net import protocol
+from repro.net import columnar, protocol
 from repro.obs.logs import get_logger
 from repro.obs.metrics import global_registry
 from repro.service.cursors import CursorRegistry
+from repro.service.prepared import PreparedRegistry
 from repro.service.service import QueryService
 
 _log = get_logger("net.server")
@@ -82,12 +83,16 @@ class ConnectionStats:
 
 
 class _Connection:
-    """One client connection: cursors, counters, transport, in-flight tasks."""
+    """One client connection: cursors, prepared statements, counters,
+    transport, in-flight tasks."""
 
     def __init__(self, cursor_ttl: Optional[float], max_cursors: int,
+                 prepared_ttl: Optional[float], max_prepared: int,
                  writer: asyncio.StreamWriter) -> None:
         self.registry = CursorRegistry(ttl=cursor_ttl,
                                        max_cursors=max_cursors)
+        self.prepared = PreparedRegistry(ttl=prepared_ttl,
+                                         max_statements=max_prepared)
         self.stats = ConnectionStats()
         self.writer = writer
         # Responses from pipelined requests interleave on one socket;
@@ -112,6 +117,11 @@ class ReproServer:
         Idle expiry for server-side cursors, seconds (``None`` disables).
     max_cursors:
         Per-connection open-cursor bound.
+    prepared_ttl:
+        Idle expiry for prepared-statement handles, seconds (``None``
+        disables).
+    max_prepared:
+        Per-connection prepared-statement bound.
     max_pipeline:
         Per-connection bound on pipelined (in-flight) requests; when a
         client has this many unanswered requests the read loop simply
@@ -123,12 +133,16 @@ class ReproServer:
                  port: int = DEFAULT_PORT, *,
                  cursor_ttl: Optional[float] = 300.0,
                  max_cursors: int = 64,
+                 prepared_ttl: Optional[float] = 300.0,
+                 max_prepared: int = 64,
                  max_pipeline: int = 32) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.cursor_ttl = cursor_ttl
         self.max_cursors = max_cursors
+        self.prepared_ttl = prepared_ttl
+        self.max_prepared = max_prepared
         self.max_pipeline = max(1, int(max_pipeline))
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
@@ -154,8 +168,10 @@ class ReproServer:
         self.port = self._server.sockets[0].getsockname()[1]
         _log.info("server listening on %s", self.url,
                   extra={"data": {"url": self.url}})
-        if self.cursor_ttl is not None:
-            interval = max(0.05, self.cursor_ttl / 4)
+        ttls = [ttl for ttl in (self.cursor_ttl, self.prepared_ttl)
+                if ttl is not None]
+        if ttls:
+            interval = max(0.05, min(ttls) / 4)
             self._sweeper = asyncio.get_running_loop().create_task(
                 self._sweep_idle_cursors(interval)
             )
@@ -181,6 +197,7 @@ class ReproServer:
             _log.info("server stopped", extra={"data": {"url": self.url}})
         for connection in list(self._connections):
             connection.registry.close_all()
+            connection.prepared.close_all()
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Start, run until ``stop`` is set, then shut down gracefully."""
@@ -235,7 +252,9 @@ class ReproServer:
         worker pool, and each response is written the moment it is ready
         — out of order, matched by request id.
         """
-        connection = _Connection(self.cursor_ttl, self.max_cursors, writer)
+        connection = _Connection(self.cursor_ttl, self.max_cursors,
+                                 self.prepared_ttl, self.max_prepared,
+                                 writer)
         self._connections.add(connection)
         limiter = asyncio.Semaphore(self.max_pipeline)
 
@@ -276,6 +295,7 @@ class ReproServer:
             for task in list(connection.tasks):
                 task.cancel()
             connection.registry.close_all()
+            connection.prepared.close_all()
             self._connections.discard(connection)
             writer.close()
             try:
@@ -296,8 +316,16 @@ class ReproServer:
         inflight.inc()
         try:
             response = await self._dispatch(connection, frame)
+            binary = bool(response.pop("_binary", False))
             try:
-                payload = protocol.encode_frame(response)
+                if binary:
+                    rows = response.pop("rows", [])
+                    meta, blocks = columnar.encode_columns(rows)
+                    payload = protocol.encode_binary_frame(
+                        dict(response, cols=meta, n=len(rows)), blocks
+                    )
+                else:
+                    payload = protocol.encode_frame(response)
             except (ProtocolError, TypeError, ValueError) as error:
                 # An unencodable response (oversized frame, stray
                 # non-JSON value) must come back as an error
@@ -309,6 +337,15 @@ class ReproServer:
                         f"response could not be encoded: {error}"
                     ),
                 ))
+                binary = False
+            if frame.get("op") == "fetch" and response.get("ok"):
+                encoding = "binary" if binary else "json"
+                registry.counter("repro_wire_encoding_total").inc(
+                    encoding=encoding
+                )
+                registry.histogram("repro_wire_fetch_payload_bytes").observe(
+                    len(payload) - 4, encoding=encoding
+                )
             registry.counter("repro_server_frames_total").inc(
                 direction="out", op=self._op_label(frame.get("op"))
             )
@@ -329,6 +366,7 @@ class ReproServer:
             await asyncio.sleep(interval)
             for connection in list(self._connections):
                 connection.registry.expire_idle()
+                connection.prepared.expire_idle()
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -372,6 +410,35 @@ class ReproServer:
         return query, options
 
     @staticmethod
+    def _handle_id(frame: dict) -> int:
+        handle = frame.get("handle")
+        if isinstance(handle, bool) or not isinstance(handle, int):
+            raise ProtocolError("'handle' must be an integer id")
+        return handle
+
+    def _query_or_handle(self, connection: _Connection, frame: dict):
+        """Resolve the request's query: prepared handle or raw text.
+
+        Executing by handle hands the session the compiled
+        :class:`~repro.engine.PreparedQuery` — no parse, no analysis —
+        which is the entire point of preparing.
+        """
+        if frame.get("handle") is not None:
+            statement = connection.prepared.resolve(self._handle_id(frame))
+            query = statement.query
+        else:
+            query = frame.get("query")
+            if not isinstance(query, str) or not query:
+                raise ProtocolError(
+                    "request needs a non-empty 'query' string or a "
+                    "prepared 'handle'"
+                )
+        options = frame.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be a JSON object")
+        return query, options
+
+    @staticmethod
     def _adopt_trace_id(result_set, frame: dict) -> None:
         """Carry a client-chosen trace id into the server-side span tree."""
         trace_id = frame.get("trace_id")
@@ -382,11 +449,24 @@ class ReproServer:
     async def _op_hello(self, connection: _Connection, frame: dict) -> dict:
         import repro
 
+        # Encoding negotiation: pick the first mutually supported row
+        # encoding, preferring the client's order.  A v1 client sends no
+        # ``encodings`` and lands on JSON — and since row pages only go
+        # binary when a fetch explicitly asks, the fallback is total.
+        offered = frame.get("encodings")
+        chosen = "json"
+        if isinstance(offered, list):
+            for name in offered:
+                if name in protocol.WIRE_ENCODINGS:
+                    chosen = name
+                    break
         return {
             "server": "repro",
             "protocol": protocol.PROTOCOL_VERSION,
             "version": repro.__version__,
             "relations": sorted(self.service.database.names()),
+            "encodings": list(protocol.WIRE_ENCODINGS),
+            "encoding": chosen,
         }
 
     async def _op_run(self, connection: _Connection, frame: dict) -> dict:
@@ -416,7 +496,7 @@ class ReproServer:
 
     async def _op_cursor(self, connection: _Connection, frame: dict) -> dict:
         """Open a server-side cursor: the lazy stream the client pages."""
-        query, options = self._query_and_options(frame)
+        query, options = self._query_or_handle(connection, frame)
 
         def open_cursor():
             opts = self.service.session.options(**options)
@@ -430,15 +510,27 @@ class ReproServer:
     async def _op_fetch(self, connection: _Connection, frame: dict) -> dict:
         cursor_id = frame.get("cursor")
         size = frame.get("size")
+        encoding = frame.get("encoding")
         if not isinstance(cursor_id, int):
             raise ProtocolError("'cursor' must be an integer id")
         if not isinstance(size, int) or isinstance(size, bool) or size < 1:
             raise ProtocolError(f"'size' must be a positive int, got {size!r}")
+        if encoding not in (None, "json", "binary"):
+            raise ProtocolError(
+                f"unknown fetch encoding {encoding!r}; "
+                f"supported: {protocol.WIRE_ENCODINGS}"
+            )
         size = min(size, MAX_FETCH_SIZE)
         rows, done, cursor = await self._call(
             connection.registry.fetch, cursor_id, size
         )
-        body = {"rows": [list(row) for row in rows], "done": done}
+        if encoding == "binary":
+            # Rows stay as tuples; _serve_frame packs them column-major
+            # into a binary frame (the _binary marker never hits the
+            # wire).
+            body = {"rows": list(rows), "done": done, "_binary": True}
+        else:
+            body = {"rows": [list(row) for row in rows], "done": done}
         if done:
             stats = cursor.result_set.stats
             body["stats"] = {
@@ -466,7 +558,7 @@ class ReproServer:
         return {"closed": connection.registry.close(cursor_id)}
 
     async def _op_count(self, connection: _Connection, frame: dict) -> dict:
-        query, options = self._query_and_options(frame)
+        query, options = self._query_or_handle(connection, frame)
 
         def count():
             opts = self.service.session.options(**options)
@@ -508,6 +600,74 @@ class ReproServer:
             body["trace"] = trace
         return body
 
+    async def _op_prepare(self, connection: _Connection,
+                          frame: dict) -> dict:
+        """Compile a query shape once; return its per-connection handle.
+
+        Idempotent: re-preparing the same (query, algorithm) returns the
+        existing handle.  The response carries the same plan metadata as
+        ``run`` so the client can build result sets for handle executes
+        without another round trip.
+        """
+        query, options = self._query_and_options(frame)
+
+        def prepare():
+            opts = self.service.session.options(**options)
+            statement = connection.prepared.register(
+                query, opts.algorithm,
+                lambda: self.service.session.engine.prepare(
+                    query, opts.algorithm
+                ),
+            )
+            # Plan through the session so the plan cache is warmed under
+            # the prepared text — every execute after this is a plan-
+            # cache hit.
+            result_set = self.service.session.run(statement.query, opts)
+            return statement, result_set
+
+        statement, result_set = await self._call(prepare)
+        return {
+            "handle": statement.handle,
+            "columns": list(result_set.columns),
+            "algorithm": result_set.algorithm,
+            "requested_algorithm":
+                result_set.plan.prepared.requested_algorithm,
+            "shards": result_set.shards,
+            "partitioning": result_set.plan.partition_key(),
+            "plan_cached": result_set.stats.plan_cached,
+        }
+
+    async def _op_execute(self, connection: _Connection,
+                          frame: dict) -> dict:
+        """``run`` by prepared handle: plan-only, zero parses."""
+        statement = connection.prepared.resolve(self._handle_id(frame))
+        options = frame.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be a JSON object")
+
+        def plan_only():
+            opts = self.service.session.options(**options)
+            return self.service.session.run(statement.query, opts)
+
+        result_set = await self._call(plan_only)
+        connection.stats.queries += 1
+        return {
+            "columns": list(result_set.columns),
+            "algorithm": result_set.algorithm,
+            "requested_algorithm":
+                result_set.plan.prepared.requested_algorithm,
+            "shards": result_set.shards,
+            "partitioning": result_set.plan.partition_key(),
+            "plan_cached": result_set.stats.plan_cached,
+        }
+
+    async def _op_deallocate(self, connection: _Connection,
+                             frame: dict) -> dict:
+        return {
+            "deallocated":
+                connection.prepared.deallocate(self._handle_id(frame)),
+        }
+
     async def _op_explain(self, connection: _Connection,
                           frame: dict) -> dict:
         query, options = self._query_and_options(frame)
@@ -524,6 +684,7 @@ class ReproServer:
         return {
             "connection": connection.stats.as_dict(),
             "cursors": connection.registry.stats.as_dict(),
+            "prepared": connection.prepared.stats.as_dict(),
             "service": self.service.stats().as_dict(),
         }
 
@@ -535,11 +696,15 @@ class ReproServer:
     async def _op_goodbye(self, connection: _Connection,
                           frame: dict) -> dict:
         connection.registry.close_all()
+        connection.prepared.close_all()
         return {"goodbye": True}
 
     _OPS = {
         "hello": _op_hello,
         "run": _op_run,
+        "prepare": _op_prepare,
+        "execute": _op_execute,
+        "deallocate": _op_deallocate,
         "cursor": _op_cursor,
         "fetch": _op_fetch,
         "close": _op_close,

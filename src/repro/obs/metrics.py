@@ -486,6 +486,22 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         ("event",),
     )
     registry.counter(
+        "repro_prepared_total",
+        "Server-side prepared-statement lifecycle events.",
+        ("event",),
+    )
+    registry.counter(
+        "repro_wire_encoding_total",
+        "Row pages served by wire encoding (binary columnar vs JSON).",
+        ("encoding",),
+    )
+    registry.histogram(
+        "repro_wire_fetch_payload_bytes",
+        "Bytes per fetch-response frame body, by wire encoding.",
+        ("encoding",),
+        buckets=SIZE_BUCKETS,
+    )
+    registry.counter(
         "repro_server_frames_total",
         "Protocol frames by direction and operation.",
         ("direction", "op"),

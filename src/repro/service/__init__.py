@@ -22,6 +22,7 @@ Layers (each importable on its own):
 from repro.service.cursors import CursorRegistry, CursorStats, ServerCursor
 from repro.service.executor import WorkerPool, WorkerPoolStats
 from repro.service.plan_cache import PlanCache, PlanCacheStats, normalize_query_text
+from repro.service.prepared import PreparedRegistry, PreparedStatement, PreparedStats
 from repro.service.result_cache import ResultCache, ResultCacheStats
 from repro.service.service import (
     QueryOutcome,
@@ -46,6 +47,9 @@ __all__ = [
     "ParameterSpec",
     "PlanCache",
     "PlanCacheStats",
+    "PreparedRegistry",
+    "PreparedStatement",
+    "PreparedStats",
     "QueryOutcome",
     "QueryService",
     "ResultCache",

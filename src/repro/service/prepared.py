@@ -1,0 +1,235 @@
+"""Server-side prepared statements: compile once, execute by handle.
+
+A ``prepare`` request pays parse/hypergraph-analysis/attribute-ordering
+exactly once and registers the resulting immutable
+:class:`~repro.engine.PreparedQuery` under a small integer handle; every
+subsequent ``execute``/``cursor``/``count`` that references the handle
+hands the engine the compiled shape directly, and the plan cache keys on
+the prepared text — so a hot query shape costs zero parses after its
+first trip (the Postgres extended-protocol trade).
+
+The :class:`PreparedRegistry` owns one connection's handles with the
+same lifecycle discipline as :class:`~repro.service.cursors.
+CursorRegistry`: a capacity bound, idle expiry (lazy on access plus the
+server's periodic sweep), and counters that feed the per-connection
+``stats`` op.  Unlike cursors, prepared statements are immutable and
+position-free, so there is no busy-guard — concurrent executes on one
+handle are safe by construction.
+
+Preparing the same ``(text, algorithm)`` twice on one connection is
+idempotent: the registry returns the existing handle, which is what lets
+clients re-prepare transparently after a reconnect or TTL expiry without
+leaking registry slots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine import PreparedQuery
+from repro.errors import PreparedError
+from repro.obs.metrics import global_registry
+
+
+def _record(event: str, amount: int = 1) -> None:
+    if amount:
+        global_registry().counter("repro_prepared_total").inc(
+            amount, event=event
+        )
+
+
+@dataclass
+class PreparedStats:
+    """Counters describing one registry's prepared-statement traffic."""
+
+    prepared: int = 0
+    deduped: int = 0
+    executed: int = 0
+    deallocated: int = 0
+    expired: int = 0
+
+    @property
+    def active(self) -> int:
+        return self.prepared - self.deallocated - self.expired
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "prepared": self.prepared,
+            "deduped": self.deduped,
+            "executed": self.executed,
+            "deallocated": self.deallocated,
+            "expired": self.expired,
+            "active": self.active,
+        }
+
+
+class PreparedStatement:
+    """One registered query shape plus idle bookkeeping."""
+
+    __slots__ = ("handle", "text", "algorithm", "query", "created",
+                 "last_used", "executions")
+
+    def __init__(self, handle: int, text: str, algorithm: str,
+                 query: PreparedQuery, now: float) -> None:
+        self.handle = handle
+        self.text = text
+        self.algorithm = algorithm
+        self.query = query
+        self.created = now
+        self.last_used = now
+        self.executions = 0
+
+
+class PreparedRegistry:
+    """One connection's prepared statements: register, resolve, expire.
+
+    Parameters
+    ----------
+    ttl:
+        Idle expiry in seconds: a handle not executed for this long is
+        dropped by :meth:`expire_idle` (and treated as expired on
+        access).  ``None`` disables expiry.
+    max_statements:
+        Capacity bound; :meth:`register` raises :class:`PreparedError`
+        beyond it.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(self, ttl: Optional[float] = 300.0,
+                 max_statements: int = 64,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.ttl = ttl
+        self.max_statements = max_statements
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._statements: Dict[int, PreparedStatement] = {}
+        self._by_shape: Dict[Tuple[str, str], int] = {}
+        self._next_id = 0
+        self.stats = PreparedStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._statements)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self, text: str, algorithm: str,
+                 compile: Callable[[], PreparedQuery]) -> PreparedStatement:
+        """Register ``(text, algorithm)``, compiling only when new.
+
+        Idempotent: a shape already registered on this connection
+        returns its existing handle without recompiling, so client-side
+        re-prepare-on-reconnect never leaks slots.
+        """
+        with self._lock:
+            handle = self._by_shape.get((text, algorithm))
+            if handle is not None:
+                statement = self._statements.get(handle)
+                if statement is not None and not self._expired(statement):
+                    statement.last_used = self._clock()
+                    self.stats.deduped += 1
+                    _record("deduped")
+                    return statement
+                self._drop_locked(handle, "expired")
+        # Compile outside the lock: parse/GAO can take real time and the
+        # registry must not serialize unrelated pipelined requests on it.
+        query = compile()
+        with self._lock:
+            handle = self._by_shape.get((text, algorithm))
+            if handle is not None:
+                statement = self._statements.get(handle)
+                if statement is not None:  # raced with another prepare
+                    self.stats.deduped += 1
+                    _record("deduped")
+                    return statement
+            if len(self._statements) >= self.max_statements:
+                raise PreparedError(
+                    f"too many prepared statements "
+                    f"({self.max_statements}); deallocate one first"
+                )
+            self._next_id += 1
+            statement = PreparedStatement(
+                self._next_id, text, algorithm, query, self._clock()
+            )
+            self._statements[statement.handle] = statement
+            self._by_shape[(text, algorithm)] = statement.handle
+            self.stats.prepared += 1
+        _record("prepared")
+        return statement
+
+    def resolve(self, handle: int) -> PreparedStatement:
+        """Look up a handle for execution (touches its idle clock)."""
+        with self._lock:
+            statement = self._statements.get(handle)
+            if statement is not None and self._expired(statement):
+                # Lazy expiry: enforce the ttl even between sweeps.
+                self._drop_locked(handle, "expired")
+                statement = None
+            if statement is None:
+                raise PreparedError(
+                    f"unknown prepared statement {handle} (never "
+                    f"prepared, deallocated, or expired after "
+                    f"{self.ttl}s idle)"
+                )
+            statement.last_used = self._clock()
+            statement.executions += 1
+            self.stats.executed += 1
+        _record("executed")
+        return statement
+
+    def deallocate(self, handle: int) -> bool:
+        """Release one handle; True if it was registered."""
+        with self._lock:
+            if handle not in self._statements:
+                return False
+            self._drop_locked(handle, "deallocated")
+        return True
+
+    def close_all(self) -> int:
+        """Release every handle (connection teardown)."""
+        with self._lock:
+            count = len(self._statements)
+            for handle in list(self._statements):
+                self._drop_locked(handle, "deallocated", record=False)
+        _record("deallocated", count)
+        return count
+
+    def expire_idle(self) -> List[int]:
+        """Drop handles idle past ``ttl``; returns the expired handles."""
+        if self.ttl is None:
+            return []
+        expired: List[int] = []
+        with self._lock:
+            for handle, statement in list(self._statements.items()):
+                if self._expired(statement):
+                    self._drop_locked(handle, "expired", record=False)
+                    expired.append(handle)
+        _record("expired", len(expired))
+        return expired
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _expired(self, statement: PreparedStatement) -> bool:
+        return (self.ttl is not None
+                and self._clock() - statement.last_used > self.ttl)
+
+    def _drop_locked(self, handle: int, event: str,
+                     record: bool = True) -> None:
+        statement = self._statements.pop(handle, None)
+        if statement is None:
+            return
+        key = (statement.text, statement.algorithm)
+        if self._by_shape.get(key) == handle:
+            del self._by_shape[key]
+        if event == "expired":
+            self.stats.expired += 1
+        else:
+            self.stats.deallocated += 1
+        if record:
+            _record(event)
