@@ -1,0 +1,139 @@
+"""One query, many machines: cross-server sharded execution speedup.
+
+The :mod:`repro.dist` coordinator splits a query over a HyperCube/hash
+grid and routes each shard's constrained sub-query to a different
+``repro server`` **process** — real processes, so unlike in-process
+thread overlap the shards execute on separate GILs and separate cores.
+
+Two claims to check, mirroring ``test_partitioned_speedup.py``:
+
+* **correctness** — every distributed count equals the single-server
+  count, request by request, unconditionally;
+* **performance** — with one server per core on a partition-friendly
+  workload, fanning the shards across the fleet beats proxying the
+  whole query to one server ≥ 1.5×.  The gate is conditioned on the
+  host actually having the cores (and is skipped otherwise); the
+  correctness assertion always runs.
+
+The serial baseline is the *same cluster session* at ``parallel=1`` —
+both sides pay identical wire and coordinator costs, so the measured
+ratio isolates sharded fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import List, Tuple
+
+import pytest
+
+from repro.api.options import QueryOptions
+from repro.dist import ClusterSession
+from repro.queries.patterns import build_query
+
+SERVERS = 4
+REPEATS = 3
+DATASET = "ego-Facebook"
+#: Edge-scale factor: enough join work per query that per-shard wire
+#: overhead (a few ms) is noise against per-shard execution time.
+SCALE = "1.5"
+QUERIES = (
+    str(build_query("3-clique")),
+    str(build_query("4-cycle")),
+)
+
+_URL_PATTERN = re.compile(r"repro://[0-9A-Za-z.\[\]]+:[0-9]+")
+
+
+def _spawn_server() -> Tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "server",
+         "--dataset", DATASET, "--scale", SCALE, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise RuntimeError("repro server exited during startup")
+        match = _URL_PATTERN.search(line)
+        if match:
+            return process, match.group(0)
+    process.kill()
+    raise RuntimeError("repro server did not print its URL in time")
+
+
+def _timed_counts(cluster: ClusterSession,
+                  shards: int) -> Tuple[float, List[int]]:
+    counts: List[int] = []
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        for query in QUERIES:
+            counts.append(cluster.count(query, parallel=shards))
+    return time.perf_counter() - started, counts
+
+
+def test_distributed_execution_matches_and_speeds_up():
+    servers = []
+    try:
+        for _ in range(SERVERS):
+            servers.append(_spawn_server())
+        url = servers[0][1] + "," + ",".join(
+            server_url.replace("repro://", "")
+            for _, server_url in servers[1:]
+        )
+        # Result caching off: a cached count is a dictionary lookup on
+        # any number of servers, which would measure round trips instead
+        # of join work.  Plans still cache (that part is honest warmup).
+        with ClusterSession(
+                url, options=QueryOptions(use_cache=False)) as cluster:
+            # Warm every server's plan cache and pin the reference
+            # answers off one server before timing anything.
+            reference = [cluster.count(query, parallel=1)
+                         for query in QUERIES]
+            for query in QUERIES:
+                cluster.count(query, parallel=SERVERS)
+
+            serial_seconds, serial_counts = _timed_counts(cluster, 1)
+            sharded_seconds, sharded_counts = _timed_counts(
+                cluster, SERVERS)
+
+        expected = reference * REPEATS
+        assert serial_counts == expected, \
+            "single-server proxy answers drifted between repeats"
+        assert sharded_counts == expected, \
+            "distributed answers diverged from the single-server counts"
+
+        speedup = serial_seconds / sharded_seconds \
+            if sharded_seconds > 0 else float("inf")
+        print(f"\ndistributed fan-out over {SERVERS} server processes: "
+              f"serial {serial_seconds:.2f}s, sharded "
+              f"{sharded_seconds:.2f}s ({speedup:.2f}x)")
+
+        cpus = os.cpu_count() or 1
+        if cpus < SERVERS:
+            pytest.skip(
+                f"host has {cpus} CPU(s); {SERVERS}-server speedup is "
+                f"not measurable (correctness was still verified)"
+            )
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x fanning out over {SERVERS} server "
+            f"processes, got {speedup:.2f}x"
+        )
+    finally:
+        for process, _ in servers:
+            process.terminate()
+        for process, _ in servers:
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()

@@ -83,6 +83,7 @@ from repro.api import (
     Session,
     connect,
 )
+from repro.dist import ClusterSession, Topology
 from repro.exec import (
     ParallelConfig,
     PartitionScheme,
@@ -128,6 +129,7 @@ __version__ = _package_version()
 
 __all__ = [
     "Atom",
+    "ClusterSession",
     "ColumnAtATimeJoin",
     "ComparisonAtom",
     "ConjunctiveQuery",
@@ -175,6 +177,7 @@ __all__ = [
     "StorageError",
     "TimeBudget",
     "TimeoutExceeded",
+    "Topology",
     "TrieIndex",
     "UnknownAlgorithmError",
     "Variable",

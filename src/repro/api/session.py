@@ -405,6 +405,12 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
     many TCP connections the client may hold, and how many times an
     idempotent request is replayed with backoff after a transport
     failure); they are remote-only and rejected for in-process sources.
+
+    A comma-separated multi-host URL — ``repro://h1:p1,h2:p2,...`` —
+    opens a :class:`~repro.dist.ClusterSession` instead: each query is
+    partitioned and its shards fan out across the named servers.  A
+    cluster session multiplexes one socket per server, so ``pool_size``
+    does not apply there either.
     """
     if source is not None and relations is not None:
         raise OptionsError("pass either a source or relations=, not both")
@@ -420,8 +426,27 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             DEFAULT_POOL_SIZE,
             DEFAULT_RETRIES,
             RemoteSession,
+            parse_cluster_url,
         )
 
+        if len(parse_cluster_url(source)) > 1:
+            if pool_size is not None:
+                raise OptionsError(
+                    "pool_size tunes the sync remote connection pool; a "
+                    "cluster session multiplexes one socket per server"
+                )
+            from repro.dist import ClusterSession
+
+            return ClusterSession(
+                source,
+                options=QueryOptions(
+                    algorithm=algorithm, parallel=parallel,
+                    partition_mode=partition_mode, timeout=timeout,
+                    use_cache=use_cache, limit=limit, trace=trace,
+                    fetch_size=fetch_size,
+                ),
+                retries=DEFAULT_RETRIES if retries is None else retries,
+            )
         return RemoteSession(
             source,
             options=QueryOptions(

@@ -10,7 +10,8 @@ Nine subcommands cover the everyday workflows:
     Run one query — either a named benchmark pattern or a Datalog-style
     query text — over a catalog dataset with a chosen join algorithm,
     or (``--connect repro://host:port``) against a running ``repro
-    server`` over the wire protocol.
+    server`` over the wire protocol, or (``--cluster
+    repro://h1:p1,h2:p2``) sharded across a fleet of servers.
 
 ``repro explain``
     Show the structured plan report for a query without executing it:
@@ -48,6 +49,8 @@ Nine subcommands cover the everyday workflows:
     Drive a declarative workload (query mix + parameter distributions)
     through the service and report throughput, latency percentiles, and
     cache effectiveness — including the cached-vs-cold comparison.
+    With ``--cluster``, the same stream fans out over a fleet of
+    ``repro server`` processes instead.
 
 Errors are uniform: every failure prints a one-line message to stderr and
 exits with a failure-specific code (see the ``EXIT_*`` constants) instead
@@ -107,10 +110,15 @@ EXIT_TIMEOUT = 6            # soft timeout exceeded
 def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
     """The shared "which query on which dataset, how" argument block."""
     sub.add_argument("--dataset", choices=dataset_names(),
-                     help="catalog dataset to query (omit with --connect)")
+                     help="catalog dataset to query (omit with "
+                          "--connect/--cluster)")
     sub.add_argument("--connect", metavar="URL", default=None,
                      help="run against a repro server at repro://host:port "
                           "instead of loading the dataset in-process")
+    sub.add_argument("--cluster", metavar="URL", default=None,
+                     help="shard the query across the servers of a "
+                          "repro://h1:p1,h2:p2,... cluster (one shard per "
+                          "server unless --parallel overrides)")
     # Default None so "explicitly asked" is distinguishable: these tune
     # the remote connection pool and are a contradiction without
     # --connect, not silently ignored knobs.
@@ -298,7 +306,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "workload", help="drive a workload through the query service"
     )
     workload.add_argument("--dataset", required=True, choices=dataset_names(),
-                          help="catalog dataset to serve")
+                          help="catalog dataset to serve (with --cluster: "
+                               "used only to instantiate the workload mix; "
+                               "the servers own the data)")
+    workload.add_argument("--cluster", metavar="URL", default=None,
+                          help="drive the workload through a "
+                               "repro://h1:p1,h2:p2,... cluster instead of "
+                               "an in-process query service")
     workload.add_argument("--spec", default=None,
                           help="JSON workload spec (default: built-in mix)")
     workload.add_argument("--operations", type=int, default=None,
@@ -359,6 +373,39 @@ def _target_session(args: argparse.Namespace,
     options = QueryOptions(timeout=timeout, parallel=args.parallel,
                            partition_mode=args.partition_mode,
                            fetch_size=args.fetch_size)
+    if args.cluster:
+        if args.connect:
+            raise OptionsError(
+                "--connect targets one server and --cluster a fleet; "
+                "pass one of them"
+            )
+        if args.scale != 1.0 or args.selectivity is not None:
+            raise OptionsError(
+                "--scale/--selectivity shape an in-process dataset; "
+                "the servers at --cluster own their own"
+            )
+        if args.pool_size is not None:
+            raise OptionsError(
+                "--pool-size tunes the sync remote connection pool; a "
+                "cluster session multiplexes one socket per server"
+            )
+        from repro.dist import ClusterSession
+        from repro.net.client import DEFAULT_RETRIES
+
+        # --parallel left at its default (1) means "one shard per
+        # healthy server" for a cluster target — sharding is the point.
+        session = ClusterSession(
+            args.cluster,
+            options=options if args.parallel != 1
+            else QueryOptions(timeout=timeout,
+                              partition_mode=args.partition_mode,
+                              fetch_size=args.fetch_size),
+            retries=DEFAULT_RETRIES if args.retries is None
+            else args.retries,
+        )
+        query = pattern(args.pattern).build() if args.pattern \
+            else parse_query(args.text)
+        return session, query
     if args.connect:
         if args.scale != 1.0 or args.selectivity is not None:
             # Same rule as repro.connect("repro://..."): the server owns
@@ -393,7 +440,9 @@ def _target_session(args: argparse.Namespace,
             "--fetch-size tunes remote cursor paging and needs --connect"
         )
     if not args.dataset:
-        raise OptionsError("either --dataset or --connect is required")
+        raise OptionsError(
+            "either --dataset, --connect, or --cluster is required"
+        )
     database = Database([load_dataset(args.dataset, scale=args.scale)])
     if args.pattern:
         spec = pattern(args.pattern)
@@ -416,7 +465,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         count = result_set.count()
         stats = result_set.stats
     label = args.pattern or args.text
-    target = args.connect or args.dataset
+    target = args.cluster or args.connect or args.dataset
     sharding = f", {stats.shards} shards" if stats.shards > 1 else ""
     limited = f" (limit {args.limit})" if args.limit is not None else ""
     print(f"{label} on {target}: {count:,} results{limited} in "
@@ -655,6 +704,83 @@ def _default_workload(database: Database, operations: int,
     })
 
 
+def _run_cluster_workload(args: argparse.Namespace, spec) -> int:
+    """Drive the instantiated workload stream through a cluster.
+
+    Each request fans out as shards over the cluster's servers; a local
+    thread pool (``--workers``) keeps ``--qps``-many requests in flight,
+    mirroring the in-process runner's open-loop pacing closely enough
+    for the same percentile table to be meaningful.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.dist import ClusterSession
+    from repro.service.workload import WorkloadReport
+
+    report = WorkloadReport(
+        name=spec.name, operations=spec.operations,
+        succeeded=0, rejected=0, failed=0, elapsed_seconds=0.0,
+    )
+    options = QueryOptions(
+        timeout=args.timeout,
+        parallel=args.parallel if args.parallel != 1 else None,
+        partition_mode=args.partition_mode,
+    )
+    with ClusterSession(args.cluster, options=options) as session, \
+            ThreadPoolExecutor(max_workers=args.workers) as pool:
+        prepared = {}
+
+        def _execute(query, text):
+            if args.prepare:
+                handle = prepared.get((text, query.algorithm))
+                if handle is None:
+                    handle = session.prepare(text,
+                                             algorithm=query.algorithm)
+                    prepared[(text, query.algorithm)] = handle
+                result = handle.run()
+            else:
+                result = session.run(text, algorithm=query.algorithm)
+            try:
+                return result.count() if query.mode == "count" \
+                    else sum(1 for _ in result.rows())
+            finally:
+                result.close()
+
+        interval = (1.0 / spec.qps) if spec.qps else 0.0
+        started = time.perf_counter()
+        pending = []
+        for index, (query, text) in enumerate(spec.requests()):
+            if interval:
+                slot = started + index * interval
+                delay = slot - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            issued = time.perf_counter()
+            pending.append(
+                (query.name, issued, pool.submit(_execute, query, text))
+            )
+        for name, issued, future in pending:
+            try:
+                future.result()
+            except ReproError:
+                report.failed += 1
+                continue
+            report.succeeded += 1
+            latency = time.perf_counter() - issued
+            report.latencies_by_query.setdefault(name, []).append(latency)
+        report.elapsed_seconds = time.perf_counter() - started
+        topology = session.stats()["topology"]
+        report.service_stats = {
+            "cluster_servers": topology["total"],
+            "cluster_healthy": topology["healthy"],
+            "shards_dispatched": sum(
+                server["dispatched"] for server in topology["servers"]
+            ),
+        }
+    print(report.format())
+    return 0 if report.failed == 0 else 2
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     database = _service_database(args.dataset, args.selectivity, args.scale)
     if args.spec:
@@ -672,6 +798,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if overrides:
         from dataclasses import replace
         spec = replace(spec, **overrides)
+
+    if args.cluster:
+        if args.compare_cold:
+            raise OptionsError(
+                "--compare-cold measures the in-process engine cache; "
+                "it does not apply to a --cluster run"
+            )
+        return _run_cluster_workload(args, spec)
 
     config = ServiceConfig(workers=args.workers, default_timeout=args.timeout,
                            parallel_shards=args.parallel,

@@ -1,0 +1,38 @@
+""":mod:`repro.dist` — cross-server sharded execution.
+
+One query, many machines: a client-side coordinator partitions a query
+with the existing :class:`~repro.exec.partitioner.Partitioner` schemes
+(hash for β-acyclic queries, HyperCube for cyclic ones, share sizes
+weighted by per-relation statistics and AGM exponents), routes each
+shard's constrained sub-query to a different :mod:`repro.net` server
+over multiplexed :class:`~repro.net.client.AsyncRemoteSession` sockets,
+gathers under per-shard deadlines with hedged re-dispatch of
+stragglers, and merges — shard disjointness means counts sum and
+tuples concatenate with no dedup.
+
+The public entry point is ``repro.connect("repro://h1:p1,h2:p2")``,
+which returns a :class:`ClusterSession` with the exact ``Session``
+surface (``run`` / ``count`` / ``explain`` / ``prepare`` / ``close``).
+"""
+
+from repro.dist.coordinator import ClusterPreparedHandle, ClusterResultSet, \
+    ClusterSession
+from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
+from repro.dist.planner import DistExplain, DistPlan, plan_query, \
+    share_weights
+from repro.dist.topology import ServerState, Topology
+
+__all__ = [
+    "ClusterPreparedHandle",
+    "ClusterResultSet",
+    "ClusterSession",
+    "DistExplain",
+    "DistPlan",
+    "ServerState",
+    "Topology",
+    "merge_counts",
+    "merge_rows",
+    "plan_query",
+    "share_weights",
+    "straggler_ratio",
+]

@@ -1,0 +1,853 @@
+""":class:`ClusterSession` — one query, many machines.
+
+The coordinator is a *client-side* construct: servers stay completely
+unaware of each other.  One query flows through four stages:
+
+1. **Plan** — a ``run`` (plan-only) probe on any healthy server yields
+   the output columns and algorithm choice (and surfaces parse /
+   unknown-algorithm errors with single-server timing); the planner
+   (:mod:`repro.dist.planner`) then picks a hash or HyperCube grid
+   whose share sizes are weighted by per-relation statistics harvested
+   from a server's Explain report.
+2. **Dispatch** — each grid cell becomes one shard request carrying the
+   scheme + cell in its wire frame; the server filters the relations
+   down to that cell (:meth:`Partitioner.shard_database`) and runs the
+   rewritten sub-query.  Cells are dealt round-robin over the healthy
+   servers on the session's background asyncio loop, all multiplexed
+   through one :class:`~repro.net.client.AsyncRemoteSession` socket per
+   server.
+3. **Gather** — ``asyncio.gather`` with per-shard deadlines.  A shard
+   that outlives ``hedge_after`` seconds is *hedged*: duplicated to a
+   sibling server, first answer wins (safe — shards are disjoint and
+   shard reads are idempotent).  A shard whose server dies mid-gather
+   is *re-routed* to a healthy sibling (degraded mode: a dead server
+   costs latency, never the answer).
+4. **Merge** — disjointness makes this trivial: counts sum, tuples
+   concatenate in deterministic cell order, limits clamp exactly
+   (:mod:`repro.dist.merge`).
+
+The session is synchronous on the outside — the exact ``Session``
+surface (``run`` / ``count`` / ``explain`` / ``prepare`` / ``close``)
+— and drives its asyncio fan-out on a private daemon thread, so callers
+never touch an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.options import QueryOptions
+from repro.api.result import ResultStats, Row, RowCursor
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.parser import parse_query
+from repro.datalog.query import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.errors import (
+    CursorError,
+    NetworkError,
+    OptionsError,
+    PreparedError,
+    ProtocolError,
+    ReproError,
+)
+from repro.exec.partitioner import Cell, PartitionScheme
+from repro.net.client import (
+    DEFAULT_FETCH_SIZE,
+    DEFAULT_RETRIES,
+    DEFAULT_RETRY_BACKOFF,
+    AsyncRemoteResultSet,
+    AsyncRemoteSession,
+    _options_payload,
+    _validate_resilience_knobs,
+    parse_cluster_url,
+)
+from repro.net.server import DEFAULT_PORT
+from repro.obs.metrics import global_registry
+from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
+from repro.dist.planner import DistExplain, DistPlan, plan_query
+from repro.dist.topology import ServerState, Topology
+
+#: Errors that mean "this server (or this stream) is unusable" — the
+#: only ones that mark a server down and re-route its shards.  Every
+#: other ReproError (parse, options, timeout, execution) is the query's
+#: own fault and must propagate with single-server fidelity.
+_FAILOVER_ERRORS = (NetworkError, ProtocolError, CursorError)
+
+#: Bound on the per-query planning-info cache (β-acyclicity + sizes).
+_INFO_CACHE_SIZE = 128
+
+
+def _endpoint_url(host: str, port: int) -> str:
+    """One endpoint back to canonical single-server URL form."""
+    if ":" in host:  # IPv6 literal — re-bracket
+        return f"repro://[{host}]:{port}"
+    return f"repro://{host}:{port}"
+
+
+@dataclass(frozen=True)
+class _QueryInfo:
+    """Locally derived planning facts for one query text."""
+
+    query: ConjunctiveQuery
+    beta_acyclic: bool
+    sizes: Dict[int, int]  # atom index -> relation cardinality
+
+
+class _LoopThread:
+    """A private asyncio loop on a daemon thread; sync callers submit."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-loop", daemon=True,
+        )
+        self._thread.start()
+        self._started.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._started.set)
+        try:
+            self.loop.run_forever()
+        finally:
+            # Cancel stragglers (hedge losers, abandoned gathers) so
+            # their transports close before the loop does.
+            pending = asyncio.all_tasks(self.loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self.loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self.loop.close()
+
+    def call(self, coro):
+        """Run ``coro`` on the loop thread; block for (and raise) its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    def close(self) -> None:
+        if self.loop.is_closed():
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+
+
+class ClusterResultSet(RowCursor):
+    """A distributed answer with the local result-set surface.
+
+    Construction is pure (the plan probe already ran); the shard
+    fan-out fires lazily at the first row pull, and the merged answer
+    materializes client-side — the gather must see every shard to
+    merge, so there is no cross-shard streaming to preserve.
+    :meth:`count` never fetches rows: it fans out the servers' count
+    paths and sums.
+    """
+
+    def __init__(self, cluster: "ClusterSession", text: str,
+                 options: QueryOptions, plan: DistPlan, meta: dict) -> None:
+        self._cluster = cluster
+        self._text = text
+        self._options = options
+        self._plan = plan
+        self._meta = meta
+        self._variables = tuple(Variable(name) for name in meta["columns"])
+        self._rows: Optional[List[Row]] = None
+        self._position = 0
+        self._delivered = 0
+        self._count: Optional[int] = None
+        self._execution_seconds = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_text(self) -> str:
+        return self._text
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    @property
+    def shards(self) -> int:
+        return self._plan.shards
+
+    @property
+    def complete(self) -> bool:
+        return self._rows is not None
+
+    @property
+    def stats(self) -> ResultStats:
+        scheme = self._plan.scheme
+        return ResultStats(
+            query=self._text,
+            algorithm=self._meta["algorithm"],
+            requested_algorithm=self._meta.get(
+                "requested_algorithm", self._options.algorithm
+            ),
+            partitioning=scheme.key() if scheme is not None else "serial",
+            shards=self._plan.shards,
+            plan_cached=self._meta.get("plan_cached", False),
+            result_cached=False,
+            plan_seconds=0.0,
+            execution_seconds=self._execution_seconds,
+            rows_delivered=self._delivered,
+            complete=self.complete,
+            limit=self._options.limit,
+            total=self._count,
+        )
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        if self._rows is not None:
+            return
+        started = time.perf_counter()
+        rows = self._cluster._gather_rows(
+            self._text, self._options, self._plan, self._meta,
+        )
+        self._execution_seconds += time.perf_counter() - started
+        self._rows = rows
+        # Per-shard counts are limit-clamped by pushdown and the merge
+        # clamps again, so len(rows) == min(total, limit) — exactly what
+        # count() reports on a limited local result set.
+        self._count = len(rows)
+
+    def _pull(self) -> Optional[Row]:
+        if self._closed and self._rows is None:
+            raise CursorError(
+                "this distributed result set was closed before it was "
+                "consumed; re-run the query for a fresh result set"
+            )
+        self._materialize()
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        self._delivered += 1
+        return row
+
+    def count(self) -> int:
+        """The number of answers, via every shard's count path, summed."""
+        if self._count is None:
+            started = time.perf_counter()
+            self._count = self._cluster._gather_count(
+                self._text, self._options, self._plan,
+            )
+            self._execution_seconds += time.perf_counter() - started
+        return self._count
+
+    def close(self) -> None:
+        """Drop the materialized answer; idempotent."""
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._rows is not None else "pending"
+        return (f"ClusterResultSet(query={self._text!r}, "
+                f"shards={self._plan.shards}, {state})")
+
+
+class ClusterPreparedHandle:
+    """A reusable query shape on a cluster.
+
+    Preparing validates the text once (one plan probe) and warms the
+    statistics cache; each :meth:`run` re-plans the shard grid against
+    the topology's *current* health, so a handle prepared on a full
+    fleet keeps working — degraded — after a server dies.
+    """
+
+    def __init__(self, cluster: "ClusterSession", text: str,
+                 options: QueryOptions, meta: dict,
+                 query: ConjunctiveQuery) -> None:
+        self._cluster = cluster
+        self._text = text
+        self._options = options
+        self._meta = meta
+        self._query = query
+        self._closed = False
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    @property
+    def algorithm(self) -> str:
+        return self._meta["algorithm"]
+
+    def run(self, options: Optional[QueryOptions] = None,
+            **overrides) -> ClusterResultSet:
+        if self._closed:
+            raise PreparedError("this prepared handle is closed")
+        opts = self._cluster.options(
+            options if options is not None else self._options, **overrides
+        )
+        plan = self._cluster._plan_sync(self._query, self._text, opts)
+        return ClusterResultSet(self._cluster, self._text, opts, plan,
+                                dict(self._meta))
+
+    def explain(self) -> DistExplain:
+        return self._cluster.explain(self._text, self._options)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "ClusterPreparedHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"ClusterPreparedHandle(text={self._text!r}, "
+                f"algorithm={self.algorithm!r}, {state})")
+
+
+class ClusterSession:
+    """A connected cluster client with the local ``Session`` surface.
+
+    Parameters
+    ----------
+    url:
+        ``repro://h1:p1,h2:p2,...`` — the multi-host cluster grammar of
+        :func:`~repro.net.client.parse_cluster_url`.
+    options:
+        Session-default :class:`QueryOptions`.  ``parallel`` here (or
+        per call) fixes the shard count; by default every query runs
+        one shard per currently-healthy server.
+    hedge_after:
+        Seconds a shard may run before a duplicate is dispatched to a
+        sibling server (first answer wins); ``None`` disables hedging.
+    shard_deadline:
+        Hard per-shard deadline in seconds; a shard that misses it is
+        treated like a transport failure and re-routed.  ``None`` (the
+        default) leaves shards bounded only by ``QueryOptions.timeout``
+        server-side.
+    retries / retry_backoff / connect_timeout / fetch_size / wire_encoding:
+        Per-server resilience knobs, passed to each underlying
+        :class:`~repro.net.client.AsyncRemoteSession`.
+    """
+
+    def __init__(self, url: str, *,
+                 options: Optional[QueryOptions] = None,
+                 fetch_size: int = DEFAULT_FETCH_SIZE,
+                 retries: int = DEFAULT_RETRIES,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 connect_timeout: float = 10.0,
+                 hedge_after: Optional[float] = None,
+                 shard_deadline: Optional[float] = None,
+                 wire_encoding: Optional[str] = None) -> None:
+        _validate_resilience_knobs(None, retries, retry_backoff)
+        for name, value in (("hedge_after", hedge_after),
+                            ("shard_deadline", shard_deadline)):
+            if value is not None and (
+                    isinstance(value, bool)
+                    or not isinstance(value, (int, float)) or value <= 0):
+                raise OptionsError(
+                    f"{name} must be a positive number of seconds or "
+                    f"None, got {value!r}"
+                )
+        self.url = url
+        self.defaults = options if options is not None else QueryOptions()
+        self.fetch_size = max(1, int(fetch_size))
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.connect_timeout = connect_timeout
+        self.hedge_after = hedge_after
+        self.shard_deadline = shard_deadline
+        self._wire_encoding = wire_encoding
+        endpoints = parse_cluster_url(url)
+        self.topology = Topology(
+            [_endpoint_url(host, port) for host, port in endpoints]
+        )
+        self._sessions: Dict[str, AsyncRemoteSession] = {}
+        self._session_locks: Dict[str, asyncio.Lock] = {}
+        self._info_cache: "OrderedDict[str, _QueryInfo]" = OrderedDict()
+        self._closed = False
+        self._loop = _LoopThread()
+        try:
+            self._loop.call(self._open_initial())
+        except BaseException:
+            # A failed constructor must not leak sockets or the loop
+            # thread (mirrors the RemoteSession handshake discipline).
+            self._closed = True
+            try:
+                self._loop.call(self._close_sessions())
+            except Exception:
+                pass
+            self._loop.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Connection management (loop thread)
+    # ------------------------------------------------------------------
+    async def _open_initial(self) -> None:
+        """Dial every configured server; survivors define initial health.
+
+        A cluster with *some* dead servers comes up degraded rather than
+        failing — only an entirely unreachable fleet is an error.
+        """
+        errors: List[ReproError] = []
+        for server in self.topology.servers:
+            try:
+                await self._session_for(server)
+            except _FAILOVER_ERRORS as error:
+                self.topology.mark_down(server)
+                errors.append(error)
+        if not self.topology.healthy():
+            raise NetworkError(
+                f"no server of the cluster is reachable "
+                f"(first failure: {errors[0]})"
+            )
+
+    async def _session_for(self, server: ServerState) -> AsyncRemoteSession:
+        """The (lazily revived) multiplexed session for one server."""
+        lock = self._session_locks.setdefault(server.url, asyncio.Lock())
+        async with lock:
+            session = self._sessions.get(server.url)
+            if session is not None and not session._closed:
+                return session
+            session = AsyncRemoteSession(
+                server.url, options=self.defaults,
+                fetch_size=self.fetch_size, retries=self.retries,
+                retry_backoff=self.retry_backoff,
+                connect_timeout=self.connect_timeout,
+                wire_encoding=self._wire_encoding,
+            )
+            await session._open()
+            self._sessions[server.url] = session
+            return session
+
+    def _candidates(self) -> List[ServerState]:
+        """Failover order: healthy servers first, then down ones.
+
+        Down servers ride at the back so a restarted server is probed
+        (and revived) only after every known-good option failed —
+        self-healing without a heartbeat.
+        """
+        up = [s for s in self.topology.servers if s.healthy]
+        down = [s for s in self.topology.servers if not s.healthy]
+        return up + down
+
+    async def _on_any_server(self, op: str, params: dict) -> dict:
+        """One idempotent request with whole-fleet failover.
+
+        Transport failures mark the server down and move on; any other
+        server-reported error propagates untouched (it would fail the
+        same way everywhere).
+        """
+        errors: List[ReproError] = []
+        for server in self._candidates():
+            try:
+                session = await self._session_for(server)
+                body = await session._request(op, **params)
+            except _FAILOVER_ERRORS as error:
+                self.topology.mark_down(server)
+                errors.append(error)
+                continue
+            self.topology.mark_up(server)
+            return body
+        raise errors[-1] if errors else NetworkError(
+            "every server of the cluster is marked down"
+        )
+
+    # ------------------------------------------------------------------
+    # Planning (loop thread)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_query(query: object, text: str) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        inner = getattr(query, "query", None)  # PreparedQuery duck-type
+        if isinstance(inner, ConjunctiveQuery):
+            return inner
+        return parse_query(text)
+
+    async def _query_info(self, text: str,
+                          query: ConjunctiveQuery) -> _QueryInfo:
+        """β-acyclicity (local) + relation sizes (one server's Explain).
+
+        Sizes feed share weighting only — stale or missing statistics
+        degrade the grid's balance, never the answer — so they are
+        cached per query text and fetched with ``algorithm="auto"``
+        (independent of the caller's algorithm choice).
+        """
+        info = self._info_cache.get(text)
+        if info is not None:
+            self._info_cache.move_to_end(text)
+            return info
+        beta = Hypergraph.of_query(query).is_beta_acyclic()
+        sizes: Dict[int, int] = {}
+        try:
+            body = await self._on_any_server("explain", {
+                "query": text,
+                "options": _options_payload(QueryOptions()),
+            })
+        except _FAILOVER_ERRORS:
+            raise
+        except ReproError:
+            body = None  # statistics are optional; planning degrades
+        if body is not None:
+            cardinality = {
+                estimate["name"]: estimate["cardinality"]
+                for estimate in body["report"].get("relation_estimates", [])
+            }
+            for index, atom in enumerate(query.atoms):
+                if atom.name in cardinality:
+                    sizes[index] = cardinality[atom.name]
+        info = _QueryInfo(query=query, beta_acyclic=beta, sizes=sizes)
+        self._info_cache[text] = info
+        while len(self._info_cache) > _INFO_CACHE_SIZE:
+            self._info_cache.popitem(last=False)
+        return info
+
+    async def _plan_for(self, query: ConjunctiveQuery, text: str,
+                        opts: QueryOptions) -> DistPlan:
+        info = await self._query_info(text, query)
+        if opts.parallel is not None:
+            shards = opts.parallel
+        else:
+            shards = max(1, len(self.topology.healthy()))
+        if not query.variables:
+            shards = 1  # a variable-free query cannot partition; proxy it
+        return plan_query(
+            info.query, shards=shards, mode=opts.partition_mode,
+            beta_acyclic=info.beta_acyclic, sizes=info.sizes,
+        )
+
+    def _plan_sync(self, query: ConjunctiveQuery, text: str,
+                   opts: QueryOptions) -> DistPlan:
+        self._check_open()
+        return self._loop.call(self._plan_for(query, text, opts))
+
+    # ------------------------------------------------------------------
+    # Dispatch / gather / merge (loop thread)
+    # ------------------------------------------------------------------
+    async def _gather(self, kind: str, text: str, opts: QueryOptions,
+                      plan: DistPlan, meta: dict):
+        if plan.scheme is None:
+            return await self._proxy(kind, text, opts, meta)
+        # Shards run serially server-side: the grid is already the
+        # parallelism, and n_servers × n_cores of over-subscription
+        # would thrash the very fleet this layer exists to scale.
+        shard_opts = opts.merged(parallel=1)
+        assignments = self.topology.assign(plan.cells)
+        tasks = [
+            asyncio.ensure_future(self._execute_shard(
+                kind, text, shard_opts, plan.scheme, cell, server, meta,
+            ))
+            for cell, server in assignments
+        ]
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        failure = next(
+            (o for o in outcomes if isinstance(o, BaseException)), None,
+        )
+        if failure is not None:
+            raise failure
+        payloads = [payload for payload, _ in outcomes]
+        seconds = [elapsed for _, elapsed in outcomes]
+        ratio = straggler_ratio(seconds)
+        if ratio is not None:
+            global_registry().histogram(
+                "repro_dist_straggler_ratio").observe(ratio)
+        if kind == "count":
+            return merge_counts(payloads, opts.limit)
+        return merge_rows(payloads, opts.limit)
+
+    async def _proxy(self, kind: str, text: str, opts: QueryOptions,
+                     meta: dict):
+        """Single-shard path: the whole query on one server, failover."""
+        payload = _options_payload(opts)
+        errors: List[ReproError] = []
+        for server in self._candidates():
+            try:
+                session = await self._session_for(server)
+                if kind == "count":
+                    body = await session._request(
+                        "count", query=text, options=payload,
+                    )
+                    value = body["count"]
+                else:
+                    result_set = AsyncRemoteResultSet(
+                        session, text, opts, dict(meta),
+                    )
+                    value = await result_set.fetchall()
+            except _FAILOVER_ERRORS as error:
+                self.topology.mark_down(server)
+                errors.append(error)
+                continue
+            self.topology.mark_up(server)
+            return value
+        raise errors[-1] if errors else NetworkError(
+            "every server of the cluster is marked down"
+        )
+
+    async def _execute_shard(self, kind: str, text: str,
+                             opts: QueryOptions, scheme: PartitionScheme,
+                             cell: Cell, server: ServerState, meta: dict):
+        """One shard to completion: dispatch, hedge, re-route, account."""
+        registry = global_registry()
+        shard_counter = registry.counter("repro_dist_shards_total")
+        shard_wire = {"scheme": scheme.to_wire(), "cell": list(cell)}
+        shard_counter.inc(event="dispatched")
+        loop = asyncio.get_running_loop()
+        tried: set = set()
+        while True:
+            tried.add(server.url)
+            server.dispatched += 1
+            started = loop.time()
+            try:
+                result = await self._attempt_shard(
+                    kind, text, opts, shard_wire, server, meta,
+                )
+            except _FAILOVER_ERRORS as error:
+                self.topology.mark_down(server)
+                sibling = self.topology.sibling(server, exclude=tried)
+                if sibling is None:
+                    shard_counter.inc(event="failed")
+                    raise NetworkError(
+                        f"shard {tuple(cell)} failed on every reachable "
+                        f"server (last, from {server.url}: {error})"
+                    ) from error
+                shard_counter.inc(event="rerouted")
+                server = sibling
+                continue
+            elapsed = loop.time() - started
+            registry.histogram("repro_dist_server_seconds").observe(
+                elapsed, server=server.url,
+            )
+            self.topology.mark_up(server)
+            return result, elapsed
+
+    async def _attempt_shard(self, kind: str, text: str,
+                             opts: QueryOptions, shard_wire: dict,
+                             server: ServerState, meta: dict):
+        """One dispatch attempt, bounded by the shard deadline."""
+        if self.shard_deadline is None:
+            return await self._hedged(kind, text, opts, shard_wire,
+                                      server, meta)
+        try:
+            return await asyncio.wait_for(
+                self._hedged(kind, text, opts, shard_wire, server, meta),
+                self.shard_deadline,
+            )
+        except asyncio.TimeoutError:
+            raise NetworkError(
+                f"shard on {server.url} missed its "
+                f"{self.shard_deadline}s deadline"
+            ) from None
+
+    async def _hedged(self, kind: str, text: str, opts: QueryOptions,
+                      shard_wire: dict, server: ServerState, meta: dict):
+        """Primary dispatch with hedged re-dispatch of stragglers.
+
+        After ``hedge_after`` seconds with no answer, the same shard is
+        duplicated to a sibling; the first success wins and the loser is
+        cancelled (its server-side cursor, if any, falls to the cursor
+        registry's idle expiry).  Safe because shards are disjoint and
+        shard reads are idempotent — the duplicate computes the exact
+        same rows.
+        """
+        primary = asyncio.ensure_future(
+            self._shard_once(kind, text, opts, shard_wire, server, meta)
+        )
+        if self.hedge_after is None:
+            return await primary
+        done, _ = await asyncio.wait({primary}, timeout=self.hedge_after)
+        if done:
+            return primary.result()
+        sibling = self.topology.sibling(server)
+        if sibling is None:
+            return await primary
+        global_registry().counter(
+            "repro_dist_shards_total").inc(event="hedged")
+        hedge = asyncio.ensure_future(
+            self._shard_once(kind, text, opts, shard_wire, sibling, meta)
+        )
+        pending = {primary, hedge}
+        first_error: Optional[BaseException] = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in done:
+                    if task.exception() is None:
+                        return task.result()
+                    if first_error is None:
+                        first_error = task.exception()
+            raise first_error
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def _shard_once(self, kind: str, text: str, opts: QueryOptions,
+                          shard_wire: dict, server: ServerState,
+                          meta: dict):
+        """One shard request on one server, no retries beyond the
+        session's own idempotent-op replay."""
+        session = await self._session_for(server)
+        if kind == "count":
+            body = await session._request(
+                "count", query=text, options=_options_payload(opts),
+                shard=shard_wire,
+            )
+            return body["count"]
+        result_set = AsyncRemoteResultSet(
+            session, text, opts, dict(meta), shard=shard_wire,
+        )
+        return await result_set.fetchall()
+
+    # ------------------------------------------------------------------
+    # Sync bridges
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise NetworkError("this cluster session is closed")
+
+    def _gather_rows(self, text: str, opts: QueryOptions,
+                     plan: DistPlan, meta: dict) -> List[Row]:
+        self._check_open()
+        return self._loop.call(self._gather("rows", text, opts, plan, meta))
+
+    def _gather_count(self, text: str, opts: QueryOptions,
+                      plan: DistPlan) -> int:
+        self._check_open()
+        return self._loop.call(self._gather("count", text, opts, plan, {}))
+
+    # ------------------------------------------------------------------
+    # The Session surface
+    # ------------------------------------------------------------------
+    def options(self, options: Optional[QueryOptions] = None,
+                **overrides) -> QueryOptions:
+        """Resolve per-call options against the session defaults."""
+        return QueryOptions.resolve(options, overrides,
+                                    defaults=self.defaults)
+
+    def run(self, query, options: Optional[QueryOptions] = None,
+            **overrides) -> ClusterResultSet:
+        """Plan a distributed execution; shards fly at first consumption.
+
+        The plan probe (one ``run`` frame on a healthy server) runs
+        eagerly so parse and options errors surface here, with exactly
+        the single-server timing.
+        """
+        self._check_open()
+        opts = self.options(options, **overrides)
+        text = str(query)
+        meta, plan = self._loop.call(self._run_async(query, text, opts))
+        return ClusterResultSet(self, text, opts, plan, meta)
+
+    async def _run_async(self, query, text: str, opts: QueryOptions
+                         ) -> Tuple[dict, DistPlan]:
+        meta = await self._on_any_server("run", {
+            "query": text, "options": _options_payload(opts),
+        })
+        parsed = self._resolve_query(query, text)
+        plan = await self._plan_for(parsed, text, opts)
+        return meta, plan
+
+    def count(self, query, options: Optional[QueryOptions] = None,
+              **overrides) -> int:
+        """The number of answers — per-shard counts, summed client-side."""
+        return self.run(query, options, **overrides).count()
+
+    def prepare(self, query, options: Optional[QueryOptions] = None,
+                **overrides) -> ClusterPreparedHandle:
+        """Validate once, re-plan per run against current fleet health."""
+        self._check_open()
+        opts = self.options(options, **overrides)
+        text = str(query)
+        meta, parsed = self._loop.call(
+            self._prepare_async(query, text, opts)
+        )
+        return ClusterPreparedHandle(self, text, opts, meta, parsed)
+
+    async def _prepare_async(self, query, text: str, opts: QueryOptions
+                             ) -> Tuple[dict, ConjunctiveQuery]:
+        meta = await self._on_any_server("run", {
+            "query": text, "options": _options_payload(opts),
+        })
+        parsed = self._resolve_query(query, text)
+        await self._query_info(text, parsed)  # warm the statistics cache
+        return meta, parsed
+
+    def explain(self, query, options: Optional[QueryOptions] = None,
+                **overrides) -> DistExplain:
+        """One server's plan report plus the distributed section."""
+        self._check_open()
+        opts = self.options(options, **overrides)
+        text = str(query)
+        return self._loop.call(self._explain_async(query, text, opts))
+
+    async def _explain_async(self, query, text: str,
+                             opts: QueryOptions) -> DistExplain:
+        body = await self._on_any_server("explain", {
+            "query": text, "options": _options_payload(opts),
+        })
+        parsed = self._resolve_query(query, text)
+        plan = await self._plan_for(parsed, text, opts)
+        if plan.scheme is not None:
+            assignments = tuple(
+                (cell, server.url)
+                for cell, server in self.topology.assign(plan.cells)
+            )
+        else:
+            assignments = ()
+        return DistExplain(
+            report=body["report"], rendered=body["rendered"], plan=plan,
+            assignments=assignments,
+            healthy_servers=len(self.topology.healthy()),
+            total_servers=len(self.topology),
+        )
+
+    def stats(self) -> dict:
+        """Topology health and per-server dispatch accounting (local —
+        no wire traffic; per-server internals come from ``repro stats``
+        against each server)."""
+        return {
+            "topology": self.topology.describe(),
+            "client": {
+                "hedge_after": self.hedge_after,
+                "shard_deadline": self.shard_deadline,
+                "retries": self.retries,
+            },
+        }
+
+    def close(self) -> None:
+        """Close every server session and stop the loop; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._loop.call(self._close_sessions())
+        finally:
+            self._loop.close()
+
+    async def _close_sessions(self) -> None:
+        for session in list(self._sessions.values()):
+            try:
+                await session.close()
+            except (NetworkError, ProtocolError):
+                pass
+        self._sessions.clear()
+
+    def __enter__(self) -> "ClusterSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        up = len(self.topology.healthy())
+        return (f"ClusterSession({self.url!r}, {state}, "
+                f"{up}/{len(self.topology)} healthy)")

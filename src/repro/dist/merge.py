@@ -1,0 +1,71 @@
+"""Merging per-shard answers: disjointness does the heavy lifting.
+
+Both partitioning schemes route every output binding to exactly one
+grid cell (hash: the bucket of the split attribute; HyperCube: the one
+cell consistent with every grid attribute's hash), so the distributed
+merge needs no deduplication, no sorting, and no cross-shard state:
+
+* counts **sum** — each answer is counted on exactly one shard;
+* rows **concatenate** — gathering in deterministic cell order makes
+  the merged row stream reproducible run to run.
+
+``limit`` composes with pushdown: the coordinator sends the limit to
+every shard (no shard streams more than the caller can consume) and
+clamps the concatenation, since Σ min(cᵢ, L) can exceed L while
+min(Σ cᵢ, L) == min(Σ min(cᵢ, L), L) — the clamp is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.api.result import Row
+
+
+def merge_counts(counts: Iterable[int],
+                 limit: Optional[int] = None) -> int:
+    """Total answers across disjoint shards, clamped to ``limit``.
+
+    Each per-shard count is itself limit-clamped by pushdown, so the
+    sum can overshoot; the clamp restores exactly ``min(total, limit)``.
+    """
+    total = sum(counts)
+    if limit is not None:
+        total = min(total, limit)
+    return total
+
+
+def merge_rows(pages: Iterable[Sequence[Row]],
+               limit: Optional[int] = None) -> List[Row]:
+    """Concatenate disjoint per-shard answers, clamped to ``limit``."""
+    merged: List[Row] = []
+    for page in pages:
+        if limit is not None:
+            remaining = limit - len(merged)
+            if remaining <= 0:
+                break
+            merged.extend(page[:remaining])
+        else:
+            merged.extend(page)
+    return merged
+
+
+def straggler_ratio(seconds: Sequence[float]) -> Optional[float]:
+    """Slowest shard over the median shard — the tail-latency signal.
+
+    A ratio near 1 means balanced shards; a large ratio means one hot
+    shard gated the gather (the skew that share-sizing and hedging
+    exist to fight).  ``None`` when fewer than two shards ran or the
+    median is not positive (degenerate timings carry no signal).
+    """
+    if len(seconds) < 2:
+        return None
+    ordered = sorted(seconds)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[middle]
+    else:
+        median = (ordered[middle - 1] + ordered[middle]) / 2.0
+    if median <= 0.0:
+        return None
+    return ordered[-1] / median

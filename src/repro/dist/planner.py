@@ -1,0 +1,327 @@
+"""Skew-aware distributed planning: grid choice, share sizing, Explain.
+
+The coordinator reuses the single-machine partitioning machinery
+(:mod:`repro.exec.partitioner`) but makes one distributed-specific
+refinement: **share sizing**.  The HyperCube/shares result says the
+per-axis bucket counts ``p_v`` should satisfy ``p_v ∝ N^{w_v/Σw}`` where
+the weight ``w_v`` of attribute ``v`` aggregates the (log-scaled) sizes
+of the relations that bind it, weighted by the AGM fractional edge
+cover ``x_A`` — exactly the exponents :mod:`repro.datalog.agm` already
+computes.  Heavy attributes (bound by large, high-cover relations) get
+more buckets, so one hot shard doesn't gate the fleet; without
+statistics every axis weighs the same and the grid degrades to the
+balanced split :func:`~repro.exec.partitioner.choose_scheme` produces.
+
+Everything here is pure — no sockets, no clocks — so the planner and
+the :class:`DistExplain` report it feeds are golden-testable offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.agm import agm_bound, fractional_edge_cover
+from repro.datalog.hypergraph import Hypergraph
+from repro.datalog.query import ConjunctiveQuery
+from repro.errors import ExecutionError, QueryError, ReproError
+from repro.exec.partitioner import (
+    PARTITION_MODES,
+    Cell,
+    PartitionScheme,
+)
+
+#: Floor for axis weights so a zero-weight axis (no statistics, or a
+#: weightless cover) still receives a positive share of the grid.
+_MIN_WEIGHT = 1e-6
+
+
+def share_weights(query: ConjunctiveQuery,
+                  sizes: Dict[int, int]) -> Dict[str, float]:
+    """Per-attribute share weights from the AGM fractional edge cover.
+
+    ``w_v = Σ_{atoms A binding v} x_A · log2(max(|R_A|, 2))`` — the
+    exponent of ``v``'s contribution to the AGM bound.  Requires a size
+    for *every* atom (self-joins contribute one entry per atom index);
+    returns ``{}`` when statistics are incomplete or the cover LP is
+    infeasible, which callers treat as "weigh every axis equally".
+    """
+    if not sizes:
+        return {}
+    ordered: List[int] = []
+    for index in range(len(query.atoms)):
+        if index not in sizes:
+            return {}
+        ordered.append(sizes[index])
+    try:
+        cover = fractional_edge_cover(Hypergraph.of_query(query), ordered)
+    except QueryError:
+        return {}
+    weights: Dict[str, float] = {}
+    for index, atom in enumerate(query.atoms):
+        contribution = cover.weights[index] * log2(max(ordered[index], 2))
+        for variable in set(atom.variables):
+            weights[variable.name] = \
+                weights.get(variable.name, 0.0) + contribution
+    return weights
+
+
+def _weighted_dims(shards: int, weights: Sequence[float]) -> List[int]:
+    """Assign the prime factors of ``shards`` to axes by share weight.
+
+    The shares optimum puts ``p_i ∝ shards^{w_i/Σw}`` buckets on axis
+    ``i``; bucket counts must be integers whose product is ``shards``,
+    so the prime factors (largest first) go greedily to whichever axis
+    is currently furthest below its ideal share.  Equal weights recover
+    a balanced near-cubic grid.
+    """
+    total = sum(weights) or 1.0
+    ideal = [shards ** (weight / total) for weight in weights]
+    dims = [1] * len(weights)
+    factors: List[int] = []
+    remaining = shards
+    divisor = 2
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            factors.append(divisor)
+            remaining //= divisor
+        divisor += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        best = max(
+            range(len(dims)),
+            key=lambda index: (ideal[index] / dims[index], -index),
+        )
+        dims[best] *= factor
+    return dims
+
+
+def choose_distributed_scheme(
+        query: ConjunctiveQuery, shards: int, mode: str = "auto",
+        beta_acyclic: Optional[bool] = None,
+        sizes: Optional[Dict[int, int]] = None,
+) -> Tuple[Optional[PartitionScheme], Tuple[Tuple[str, float], ...]]:
+    """The partitioning for a distributed run, plus the weights used.
+
+    Mirrors :func:`~repro.exec.partitioner.choose_scheme` (hash for
+    β-acyclic queries, HyperCube for cyclic ones with ≥ 2 shared
+    attributes) but sizes HyperCube shares by the AGM-derived weights
+    instead of splitting evenly.  Returns ``(None, ())`` for a serial
+    request; the second element reports each chosen axis's weight for
+    the Explain output.
+    """
+    if shards <= 1:
+        return None, ()
+    if mode not in PARTITION_MODES:
+        raise ExecutionError(
+            f"unknown partition mode {mode!r}; "
+            f"expected one of {PARTITION_MODES}"
+        )
+    variables = query.variables
+    if not variables:
+        raise ExecutionError("cannot partition a query with no variables")
+    degree = {v: len(query.atoms_with(v)) for v in variables}
+    weights = share_weights(query, sizes or {})
+    # Most-shared first; heavier share weight breaks ties (the hot
+    # attribute wants the most buckets); the name keeps it deterministic.
+    ranked = sorted(
+        variables,
+        key=lambda v: (-degree[v], -weights.get(v.name, 0.0), v.name),
+    )
+    if mode == "auto":
+        cyclic = (not beta_acyclic) if beta_acyclic is not None else False
+        shared = [v for v in ranked if degree[v] >= 2]
+        mode = "hypercube" if cyclic and len(shared) >= 2 else "hash"
+    if mode == "hash":
+        chosen = ranked[0]
+        weight = weights.get(chosen.name, 1.0)
+        scheme = PartitionScheme("hash", ((chosen.name, shards),))
+        return scheme, ((chosen.name, weight),)
+    axes = min(len(ranked), 3, max(1, shards.bit_length() - 1))
+    axis_variables = ranked[:axes]
+    axis_weights = [
+        max(weights.get(v.name, 0.0), _MIN_WEIGHT) for v in axis_variables
+    ]
+    dims = _weighted_dims(shards, axis_weights)
+    grid = tuple(
+        (variable.name, dim)
+        for variable, dim in zip(axis_variables, dims) if dim > 1
+    )
+    if not grid:  # shards > 1 always factors, but stay defensive
+        grid = ((ranked[0].name, shards),)
+    used = {name for name, _ in grid}
+    reported = tuple(
+        (variable.name, weight)
+        for variable, weight in zip(axis_variables, axis_weights)
+        if variable.name in used
+    )
+    return PartitionScheme("hypercube", grid), reported
+
+
+def estimate_shard_agm(query: ConjunctiveQuery, scheme: PartitionScheme,
+                       sizes: Dict[int, int]) -> Optional[float]:
+    """Expected AGM bound of one grid cell, from whole-relation sizes.
+
+    Each constrained atom's fragment holds roughly ``|R| / Π dims`` over
+    the axes the atom binds (free axes replicate, so they don't shrink
+    it); the cell-local AGM bound over those fragment sizes is the
+    theoretical per-shard output ceiling the Explain report shows.
+    ``None`` when statistics are incomplete.
+    """
+    if not sizes:
+        return None
+    axis_dims = dict(scheme.grid)
+    fragment_sizes: Dict[int, int] = {}
+    for index, atom in enumerate(query.atoms):
+        if index not in sizes:
+            return None
+        divisor = 1
+        for name in {v.name for v in atom.variables}:
+            if name in axis_dims:
+                divisor *= axis_dims[name]
+        size = sizes[index]
+        fragment_sizes[index] = ceil(size / divisor) if size else 0
+    try:
+        return agm_bound(query, fragment_sizes)
+    except ReproError:
+        return None
+
+
+@dataclass(frozen=True)
+class DistPlan:
+    """One query's distributed execution plan, before server assignment."""
+
+    scheme: Optional[PartitionScheme]  # None = single-shard proxy
+    cells: Tuple[Cell, ...]
+    weights: Tuple[Tuple[str, float], ...]  # grid axis -> share weight
+    shard_agm_bound: Optional[float]  # per-cell output ceiling
+    total_agm_bound: Optional[float]  # whole-query output ceiling
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def shards(self) -> int:
+        return len(self.cells) if self.scheme is not None else 1
+
+
+def plan_query(query: ConjunctiveQuery, *, shards: int,
+               mode: str = "auto", beta_acyclic: Optional[bool] = None,
+               sizes: Optional[Dict[int, int]] = None) -> DistPlan:
+    """Plan a distributed run: scheme, cells, weights, and AGM ceilings."""
+    scheme, weights = choose_distributed_scheme(
+        query, shards, mode=mode, beta_acyclic=beta_acyclic, sizes=sizes,
+    )
+    notes: List[str] = []
+    total_bound: Optional[float] = None
+    if sizes and all(index in sizes for index in range(len(query.atoms))):
+        try:
+            total_bound = agm_bound(query, sizes)
+        except ReproError:
+            total_bound = None
+    if scheme is None:
+        return DistPlan(
+            scheme=None, cells=(), weights=(),
+            shard_agm_bound=None, total_agm_bound=total_bound,
+            notes=("single shard: the whole query is proxied to one "
+                   "server",),
+        )
+    if weights and any(w > _MIN_WEIGHT for _, w in weights):
+        notes.append("share weights from per-relation statistics and "
+                     "AGM fractional edge cover exponents")
+    else:
+        notes.append("no statistics: equal share weights")
+    shard_bound = estimate_shard_agm(query, scheme, sizes or {})
+    return DistPlan(
+        scheme=scheme,
+        cells=tuple(scheme.cells()),
+        weights=weights,
+        shard_agm_bound=shard_bound,
+        total_agm_bound=total_bound,
+        notes=tuple(notes),
+    )
+
+
+@dataclass(frozen=True)
+class DistExplain:
+    """A plan report with a distributed section appended.
+
+    Wraps one server's :class:`~repro.api.explain.Explain` report (the
+    single-machine plan every shard runs) and adds what only the
+    coordinator knows: the shard → server assignment, the share-sizing
+    weights, and the per-shard AGM ceiling.  Duck-types the Explain
+    read surface (``as_dict`` / ``render``) so the CLI renders it
+    unchanged.
+    """
+
+    report: dict                  # base single-server explain report
+    rendered: str                 # base server-rendered text
+    plan: DistPlan
+    assignments: Tuple[Tuple[Cell, str], ...]  # cell -> server URL
+    healthy_servers: int
+    total_servers: int
+
+    def as_dict(self) -> dict:
+        distributed = {
+            "servers": {
+                "healthy": self.healthy_servers,
+                "total": self.total_servers,
+            },
+            "scheme": (self.plan.scheme.key()
+                       if self.plan.scheme is not None else "serial"),
+            "shards": self.plan.shards,
+            "share_weights": [
+                [name, weight] for name, weight in self.plan.weights
+            ],
+            "shard_agm_bound": self.plan.shard_agm_bound,
+            "total_agm_bound": self.plan.total_agm_bound,
+            "assignments": [
+                [list(cell), url] for cell, url in self.assignments
+            ],
+            "notes": list(self.plan.notes),
+        }
+        merged = dict(self.report)
+        merged["distributed"] = distributed
+        return merged
+
+    def render(self) -> str:
+        lines = [self.rendered, "", "distributed execution:"]
+        lines.append(
+            f"  servers: {self.healthy_servers} healthy / "
+            f"{self.total_servers} configured"
+        )
+        if self.plan.scheme is None:
+            lines.append(
+                "  single shard: the whole query is proxied to one server"
+            )
+        else:
+            lines.append(
+                f"  scheme: {self.plan.scheme.key()} "
+                f"({self.plan.shards} shards)"
+            )
+            if self.plan.weights:
+                rendered_weights = ", ".join(
+                    f"{name}={weight:.2f}"
+                    for name, weight in self.plan.weights
+                )
+                lines.append(f"  share weights: {rendered_weights}")
+            if self.plan.shard_agm_bound is not None:
+                lines.append(
+                    f"  per-shard output bound (AGM): "
+                    f"<= {self.plan.shard_agm_bound:,.0f} tuples"
+                )
+            if self.plan.total_agm_bound is not None:
+                lines.append(
+                    f"  total output bound (AGM): "
+                    f"<= {self.plan.total_agm_bound:,.0f} tuples"
+                )
+            lines.append("  shard -> server:")
+            for cell, url in self.assignments:
+                coordinate = ", ".join(str(value) for value in cell)
+                lines.append(f"    cell ({coordinate}) -> {url}")
+        for note in self.plan.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

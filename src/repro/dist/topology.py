@@ -1,0 +1,134 @@
+""":class:`Topology` — the cluster's server list and per-server health.
+
+The coordinator's view of the fleet is deliberately simple: an ordered
+ring of servers, each either *up* or *down*.  Shards are dealt round-robin
+over the healthy ring; when a dispatch fails with a transport error the
+server is marked down and the shard re-routes to the next healthy sibling
+(degraded mode — a dead server costs latency, never the answer, as long
+as one server survives).  A later successful exchange marks the server
+back up, so a restarted server rejoins the rotation without any explicit
+administration.
+
+Health here is *observed*, not probed: there is no background
+heartbeat.  The first request after a server dies pays the discovery
+cost (a connect or send failure), which is exactly the retry machinery's
+price anyway — and it keeps the topology free of timers and threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.exec.partitioner import Cell
+
+
+@dataclass
+class ServerState:
+    """One server of the cluster, with its observed health."""
+
+    url: str
+    index: int          # position in the configured ring (stable)
+    healthy: bool = True
+    failures: int = 0   # transport failures observed (lifetime)
+    dispatched: int = 0  # shards this server was asked to run
+
+    def describe(self) -> dict:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "failures": self.failures,
+            "dispatched": self.dispatched,
+        }
+
+
+class Topology:
+    """An ordered ring of servers with observed per-server health.
+
+    The configured order is stable for the lifetime of the session —
+    shard → server assignment is deterministic given the same set of
+    healthy servers, which keeps distributed runs reproducible and the
+    Explain output honest.
+    """
+
+    def __init__(self, urls: Sequence[str]) -> None:
+        if not urls:
+            raise NetworkError("a cluster topology needs at least one server")
+        if len(set(urls)) != len(urls):
+            raise NetworkError(
+                f"cluster URL names the same server twice: {list(urls)!r}"
+            )
+        self.servers: Tuple[ServerState, ...] = tuple(
+            ServerState(url=url, index=index)
+            for index, url in enumerate(urls)
+        )
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def healthy(self) -> List[ServerState]:
+        """The currently-up servers, in ring order."""
+        return [server for server in self.servers if server.healthy]
+
+    def require_healthy(self) -> List[ServerState]:
+        up = self.healthy()
+        if not up:
+            raise NetworkError(
+                f"every server of the cluster is marked down: "
+                f"{[s.url for s in self.servers]}"
+            )
+        return up
+
+    def mark_down(self, server: ServerState) -> None:
+        server.healthy = False
+        server.failures += 1
+
+    def mark_up(self, server: ServerState) -> None:
+        server.healthy = True
+
+    def assign(self, cells: Sequence[Cell]
+               ) -> List[Tuple[Cell, ServerState]]:
+        """Deal the shard cells round-robin over the healthy ring.
+
+        With ``shards == len(healthy)`` every server gets exactly one
+        shard; with more shards than servers the deal wraps, so load
+        stays within one shard of even.  Pure — dispatch accounting is
+        the coordinator's job, so Explain can preview an assignment
+        without skewing the stats.
+        """
+        up = self.require_healthy()
+        return [
+            (cell, up[position % len(up)])
+            for position, cell in enumerate(cells)
+        ]
+
+    def sibling(self, server: ServerState,
+                exclude: Iterable[str] = ()) -> Optional[ServerState]:
+        """The next healthy server after ``server`` in ring order.
+
+        ``exclude`` names servers already tried for this shard; ``None``
+        when no healthy alternative remains.  Ring order (rather than
+        "first healthy") spreads re-routed and hedged shards over the
+        survivors instead of piling them all onto server 0.
+        """
+        excluded = set(exclude)
+        excluded.add(server.url)
+        total = len(self.servers)
+        for step in range(1, total + 1):
+            candidate = self.servers[(server.index + step) % total]
+            if candidate.healthy and candidate.url not in excluded:
+                return candidate
+        return None
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot (surfaced by ``ClusterSession.stats``)."""
+        return {
+            "servers": [server.describe() for server in self.servers],
+            "healthy": len(self.healthy()),
+            "total": len(self.servers),
+        }
+
+    def __repr__(self) -> str:
+        up = len(self.healthy())
+        return f"Topology({up}/{len(self.servers)} healthy)"

@@ -140,6 +140,74 @@ class PartitionScheme:
     def __str__(self) -> str:
         return self.key()
 
+    # -- wire form ------------------------------------------------------
+    def to_wire(self) -> dict:
+        """A JSON-safe form a coordinator can ship to remote servers."""
+        return {
+            "mode": self.mode,
+            "grid": [[name, dims] for name, dims in self.grid],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "PartitionScheme":
+        """Rebuild a scheme from :meth:`to_wire` output, validating hard.
+
+        The payload crosses a process boundary, so every field is checked
+        — a malformed scheme must fail crisply server-side rather than
+        mis-route tuples and silently drop answers.
+        """
+        if not isinstance(payload, dict):
+            raise ExecutionError(
+                f"partition scheme must be an object, got {payload!r}"
+            )
+        mode = payload.get("mode")
+        if mode not in ("hash", "hypercube"):
+            raise ExecutionError(
+                f"partition scheme mode must be 'hash' or 'hypercube', "
+                f"got {mode!r}"
+            )
+        grid = payload.get("grid")
+        if not isinstance(grid, (list, tuple)) or not grid:
+            raise ExecutionError(
+                "partition scheme needs a non-empty 'grid' of "
+                "[attribute, dims] pairs"
+            )
+        axes: List[Tuple[str, int]] = []
+        for entry in grid:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or not isinstance(entry[0], str) or not entry[0]
+                    or isinstance(entry[1], bool)
+                    or not isinstance(entry[1], int) or entry[1] < 1):
+                raise ExecutionError(
+                    f"partition grid entries must be [attribute, dims >= 1] "
+                    f"pairs, got {entry!r}"
+                )
+            axes.append((entry[0], entry[1]))
+        if len({name for name, _ in axes}) != len(axes):
+            raise ExecutionError(
+                "partition grid names an attribute twice"
+            )
+        return cls(mode, tuple(axes))
+
+    def validate_cell(self, cell: object) -> Cell:
+        """Coerce and bounds-check one shard coordinate against the grid."""
+        if not isinstance(cell, (list, tuple)) \
+                or len(cell) != len(self.grid):
+            raise ExecutionError(
+                f"shard cell must list one bucket per grid axis "
+                f"({len(self.grid)}), got {cell!r}"
+            )
+        out: List[int] = []
+        for value, (name, dims) in zip(cell, self.grid):
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or not 0 <= value < dims:
+                raise ExecutionError(
+                    f"shard cell coordinate for axis {name!r} must be in "
+                    f"[0, {dims}), got {value!r}"
+                )
+            out.append(value)
+        return tuple(out)
+
 
 def _balanced_dims(shards: int, axes: int) -> List[int]:
     """Spread the prime factors of ``shards`` over ``axes`` grid axes.
@@ -366,6 +434,42 @@ class Partitioner:
             for relation in fragments.values():
                 shard.add(relation)
             yield cell, shard
+
+    def shard_database(self, database: Database, cell: Cell) -> Database:
+        """Build one cell's catalog without materializing the other shards.
+
+        The distributed coordinator sends each server exactly one cell,
+        so the server filters every constrained relation down to the
+        rows that :meth:`fragments` would have routed to that cell —
+        O(input) work per shard instead of O(input × shards) — and
+        aliases the replicated relations whole.  The result is
+        tuple-identical to the ``cell`` entry of :meth:`shard_databases`.
+        """
+        cell = self.scheme.validate_cell(cell)
+        shard = Database()
+        for name in self.replicated_names:
+            shard.add(database.relation(name))
+        for constraint in self._constraints:
+            atom = self.query.atoms[constraint.atom_index]
+            relation = database.relation(atom.name)
+            rows: List[Tuple[int, ...]] = []
+            for row in relation.tuples:
+                # A row lands in this cell iff every bound axis hashes to
+                # the cell's coordinate; free axes replicate, so they
+                # never filter.  An atom binding one axis twice with
+                # disagreeing buckets matches no cell at all — the same
+                # consistency rule fragments() applies.
+                for position, axis in constraint.positions:
+                    if bucket_of(row[position], axis,
+                                 self._dims[axis]) != cell[axis]:
+                        break
+                else:
+                    rows.append(row)
+            shard.add(Relation.from_sorted(
+                constraint.shard_name, relation.arity, rows,
+                relation.attributes,
+            ))
+        return shard
 
     def constrained_atom_indexes(self) -> Tuple[int, ...]:
         return tuple(c.atom_index for c in self._constraints)

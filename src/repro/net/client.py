@@ -148,36 +148,24 @@ def _validate_resilience_knobs(pool_size: Optional[int], retries: int,
         )
 
 
-def parse_url(url: str) -> Tuple[str, int]:
-    """Split ``repro://host[:port]`` into ``(host, port)``.
+def _parse_host_port(entry: str, url: str) -> Tuple[str, int]:
+    """Validate one ``host[:port]`` entry of a (possibly multi-host) URL.
 
-    The grammar::
-
-        repro://host            → (host, DEFAULT_PORT)
-        repro://host:9944       → (host, 9944)
-        repro://[::1]:9944      → ("::1", 9944)     # brackets stripped
-        repro://[2001:db8::2]   → ("2001:db8::2", DEFAULT_PORT)
-
-    IPv6 literals must be bracketed (their colons are ambiguous with the
-    port separator otherwise); the brackets are stripped so the result
-    feeds :func:`socket.create_connection` directly.  Empty hosts
-    (``repro://:9944``) and empty or non-numeric ports are rejected.
+    The per-host grammar — including the IPv6 bracket rules — is shared
+    verbatim between :func:`parse_url` and :func:`parse_cluster_url`, so
+    every host of a cluster URL is held to exactly the single-host
+    standard.
     """
-    if not isinstance(url, str) or not url.startswith("repro://"):
-        raise NetworkError(
-            f"remote URL must look like repro://host:port, got {url!r}"
-        )
-    rest = url[len("repro://"):].rstrip("/")
     port_text: Optional[str]
-    if rest.startswith("["):
+    if entry.startswith("["):
         # Bracketed IPv6 literal: [v6]  or  [v6]:port
-        closing = rest.find("]")
+        closing = entry.find("]")
         if closing < 0:
             raise NetworkError(
                 f"remote URL {url!r} has an unclosed '[' in its host"
             )
-        host = rest[1:closing]
-        tail = rest[closing + 1:]
+        host = entry[1:closing]
+        tail = entry[closing + 1:]
         if not tail:
             port_text = None
         elif tail.startswith(":"):
@@ -187,15 +175,15 @@ def parse_url(url: str) -> Tuple[str, int]:
                 f"remote URL {url!r} has trailing text after the "
                 f"bracketed host"
             )
-    elif ":" in rest:
-        host, _, port_text = rest.rpartition(":")
+    elif ":" in entry:
+        host, _, port_text = entry.rpartition(":")
         if ":" in host:
             raise NetworkError(
                 f"remote URL {url!r} looks like a bare IPv6 literal; "
-                f"bracket it: repro://[{rest}] or repro://[host]:port"
+                f"bracket it: repro://[{entry}] or repro://[host]:port"
             )
     else:
-        host, port_text = rest, None
+        host, port_text = entry, None
     if not host:
         raise NetworkError(f"remote URL {url!r} names no host")
     if port_text is None:
@@ -211,6 +199,58 @@ def parse_url(url: str) -> Tuple[str, int]:
     if not 0 < port < 65536:
         raise NetworkError(f"remote URL {url!r} port out of range")
     return host, port
+
+
+def parse_cluster_url(url: str) -> Tuple[Tuple[str, int], ...]:
+    """Split ``repro://host[:port][,host[:port]...]`` into endpoints.
+
+    The multi-host grammar of :func:`repro.connect`'s cluster form::
+
+        repro://h1:9944,h2:9944       → (("h1", 9944), ("h2", 9944))
+        repro://[::1]:9944,h2         → (("::1", 9944), ("h2", DEFAULT_PORT))
+
+    Commas separate hosts unambiguously — bracketed IPv6 literals contain
+    colons, never commas — and every entry is validated by the same
+    single-host rules as :func:`parse_url` (empty entries, bare IPv6
+    literals, and bad ports are each rejected with the entry named).  A
+    single-host URL is a valid one-server cluster.
+    """
+    if not isinstance(url, str) or not url.startswith("repro://"):
+        raise NetworkError(
+            f"remote URL must look like repro://host:port, got {url!r}"
+        )
+    rest = url[len("repro://"):].rstrip("/")
+    return tuple(
+        _parse_host_port(entry, url) for entry in rest.split(",")
+    )
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """Split ``repro://host[:port]`` into ``(host, port)``.
+
+    The grammar::
+
+        repro://host            → (host, DEFAULT_PORT)
+        repro://host:9944       → (host, 9944)
+        repro://[::1]:9944      → ("::1", 9944)     # brackets stripped
+        repro://[2001:db8::2]   → ("2001:db8::2", DEFAULT_PORT)
+
+    IPv6 literals must be bracketed (their colons are ambiguous with the
+    port separator otherwise); the brackets are stripped so the result
+    feeds :func:`socket.create_connection` directly.  Empty hosts
+    (``repro://:9944``) and empty or non-numeric ports are rejected.
+    Comma-separated multi-host URLs name a *cluster*, not a single
+    server — those go through :func:`parse_cluster_url` (and
+    ``repro.connect``, which builds a ``ClusterSession`` for them).
+    """
+    endpoints = parse_cluster_url(url)
+    if len(endpoints) != 1:
+        raise NetworkError(
+            f"remote URL {url!r} names {len(endpoints)} hosts; a "
+            f"single-server session takes one — pass the multi-host URL "
+            f"to repro.connect for a ClusterSession"
+        )
+    return endpoints[0]
 
 
 def _options_payload(options: QueryOptions) -> dict:
@@ -1291,13 +1331,18 @@ class AsyncRemoteResultSet:
 
     def __init__(self, session: "AsyncRemoteSession", query_text: str,
                  options: QueryOptions, meta: dict,
-                 prepared_key: Optional[Tuple[str, str]] = None) -> None:
+                 prepared_key: Optional[Tuple[str, str]] = None,
+                 shard: Optional[dict] = None) -> None:
         import asyncio
 
         self._session = session
         self._text = query_text
         self._options = options
         self._prepared_key = prepared_key
+        # Optional shard restriction (the distributed coordinator's
+        # {"scheme": ..., "cell": ...} wire form); rides on every cursor
+        # open and count for this result set.
+        self._shard = shard
         self._cursor_id: Optional[int] = None  # opened at first fetch
         self._generation: Optional[int] = None  # connection it lives on
         self._variables = tuple(Variable(name) for name in meta["columns"])
@@ -1338,7 +1383,8 @@ class AsyncRemoteResultSet:
             else:
                 self._cursor_id, self._generation = \
                     await self._session._open_cursor(
-                        self._text, _options_payload(self._options)
+                        self._text, _options_payload(self._options),
+                        shard=self._shard,
                     )
 
     async def _fetch(self, size: int) -> List[Row]:
@@ -1458,10 +1504,11 @@ class AsyncRemoteResultSet:
                 _options_payload(self._options)
             )
         else:
-            body = await self._session._request(
-                "count", query=self._text,
-                options=_options_payload(self._options),
-            )
+            params = {"query": self._text,
+                      "options": _options_payload(self._options)}
+            if self._shard is not None:
+                params["shard"] = self._shard
+            body = await self._session._request("count", **params)
         self._count = body["count"]
         return self._count
 
@@ -1736,16 +1783,20 @@ class AsyncRemoteSession:
         response, _ = await self._retry_send(op, params, attempts)
         return _result(response)
 
-    async def _open_cursor(self, text: str,
-                           payload: dict) -> Tuple[int, int]:
+    async def _open_cursor(self, text: str, payload: dict,
+                           shard: Optional[dict] = None) -> Tuple[int, int]:
         """Open a server cursor; returns (cursor id, connection generation).
 
         Retried like an idempotent op — a cursor whose open response was
         lost died with its connection, so a replay leaks nothing.
+        ``shard`` (optional) restricts the cursor to one grid cell of a
+        distributed partitioning.
         """
+        params = {"query": text, "options": payload}
+        if shard is not None:
+            params["shard"] = shard
         response, generation = await self._retry_send(
-            "cursor", {"query": text, "options": payload},
-            1 + self.retries,
+            "cursor", params, 1 + self.retries,
         )
         return _result(response)["cursor"], generation
 

@@ -36,15 +36,18 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
+from repro.api.session import Session
 from repro.errors import (
     ProtocolError,
     ReproError,
     ServiceError,
     TimeoutExceeded,
 )
+from repro.exec.partitioner import Cell, Partitioner, PartitionScheme
 from repro.net import columnar, protocol
 from repro.obs.logs import get_logger
 from repro.obs.metrics import global_registry
@@ -60,6 +63,11 @@ DEFAULT_PORT = 9944
 #: Hard cap on one fetch request, protocol-level (cursors stay lazy, a
 #: client wanting more issues more fetches).
 MAX_FETCH_SIZE = 65536
+
+#: Shard catalogs the server keeps warm for distributed coordinators —
+#: one entry per (query, scheme, cell, catalog version), so repeated
+#: shard executions skip re-filtering the input relations.
+MAX_SHARD_SESSIONS = 32
 
 
 @dataclass
@@ -147,6 +155,12 @@ class ReproServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._sweeper: Optional[asyncio.Task] = None
+        # Shard-restricted execution state (the distributed coordinator's
+        # server half): (text, scheme, cell, version) -> (Session over the
+        # cell's catalog, rewritten per-atom-fragment query).
+        self._shard_lock = threading.Lock()
+        self._shard_sessions: "OrderedDict[tuple, Tuple[Session, object]]" \
+            = OrderedDict()
 
     @property
     def url(self) -> str:
@@ -198,6 +212,11 @@ class ReproServer:
         for connection in list(self._connections):
             connection.registry.close_all()
             connection.prepared.close_all()
+        with self._shard_lock:
+            shard_sessions = list(self._shard_sessions.values())
+            self._shard_sessions.clear()
+        for session, _ in shard_sessions:
+            session.close()
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Start, run until ``stop`` is set, then shut down gracefully."""
@@ -445,6 +464,68 @@ class ReproServer:
         if isinstance(trace_id, str) and trace_id:
             result_set.adopt_trace_id(trace_id)
 
+    # -- shard-restricted execution -------------------------------------
+    @staticmethod
+    def _shard_request(frame: dict
+                       ) -> Optional[Tuple[PartitionScheme, Cell]]:
+        """Parse and validate an optional ``shard`` request parameter.
+
+        A distributed coordinator constrains ``cursor`` / ``count`` to one
+        grid cell by sending ``{"scheme": PartitionScheme.to_wire(),
+        "cell": [...]}``; plain requests carry no ``shard`` key.
+        """
+        shard = frame.get("shard")
+        if shard is None:
+            return None
+        if not isinstance(shard, dict):
+            raise ProtocolError(
+                "'shard' must be an object with 'scheme' and 'cell'"
+            )
+        scheme = PartitionScheme.from_wire(shard.get("scheme"))
+        return scheme, scheme.validate_cell(shard.get("cell"))
+
+    def _shard_run(self, query, opts, scheme: PartitionScheme, cell: Cell):
+        """Evaluate the shard of ``query`` that lives in grid cell ``cell``.
+
+        Runs on the worker pool.  The shard evaluates in a *dedicated*
+        session over the cell's catalog — never through the shared
+        service session — because the shared result cache keys on query
+        text and a one-cell answer stored under the full query's text
+        would poison every later client.  Per-cell sessions are cached
+        (keyed by catalog version, so data changes invalidate) and the
+        per-atom-fragment rewrite makes the cell's answer exactly the
+        cell's slice of the serial answer.
+        """
+        prepared = self.service.session.engine.prepare(query, opts.algorithm)
+        key = (prepared.text, scheme.key(), cell,
+               self.service.database.version)
+        with self._shard_lock:
+            entry = self._shard_sessions.get(key)
+            if entry is not None:
+                self._shard_sessions.move_to_end(key)
+        if entry is None:
+            partitioner = Partitioner(prepared.query, scheme)
+            shard_db = partitioner.shard_database(
+                self.service.database, cell
+            )
+            entry = (Session(shard_db), partitioner.rewritten_query)
+            with self._shard_lock:
+                existing = self._shard_sessions.get(key)
+                if existing is not None:  # lost a build race; keep theirs
+                    entry[0].close()
+                    entry = existing
+                    self._shard_sessions.move_to_end(key)
+                else:
+                    self._shard_sessions[key] = entry
+                    while len(self._shard_sessions) > MAX_SHARD_SESSIONS:
+                        _, (old, _) = self._shard_sessions.popitem(last=False)
+                        old.close()
+        session, rewritten = entry
+        global_registry().counter("repro_dist_shards_total").inc(
+            event="served"
+        )
+        return session.run(rewritten, opts)
+
     # -- ops ------------------------------------------------------------
     async def _op_hello(self, connection: _Connection, frame: dict) -> dict:
         import repro
@@ -497,10 +578,14 @@ class ReproServer:
     async def _op_cursor(self, connection: _Connection, frame: dict) -> dict:
         """Open a server-side cursor: the lazy stream the client pages."""
         query, options = self._query_or_handle(connection, frame)
+        shard = self._shard_request(frame)
 
         def open_cursor():
             opts = self.service.session.options(**options)
-            result_set = self.service.session.run(query, opts)
+            if shard is not None:
+                result_set = self._shard_run(query, opts, *shard)
+            else:
+                result_set = self.service.session.run(query, opts)
             self._adopt_trace_id(result_set, frame)
             return connection.registry.open(result_set)
 
@@ -559,11 +644,15 @@ class ReproServer:
 
     async def _op_count(self, connection: _Connection, frame: dict) -> dict:
         query, options = self._query_or_handle(connection, frame)
+        shard = self._shard_request(frame)
 
         def count():
             opts = self.service.session.options(**options)
             started = time.perf_counter()
-            result_set = self.service.session.run(query, opts)
+            if shard is not None:
+                result_set = self._shard_run(query, opts, *shard)
+            else:
+                result_set = self.service.session.run(query, opts)
             self._adopt_trace_id(result_set, frame)
             try:
                 value = result_set.count()

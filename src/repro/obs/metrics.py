@@ -48,6 +48,7 @@ __all__ = [
     "record_minesweeper_run",
     "DEFAULT_TIME_BUCKETS",
     "SIZE_BUCKETS",
+    "STRAGGLER_BUCKETS",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -64,6 +65,13 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500,
     1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+)
+
+#: Ratio-valued buckets for the distributed straggler signal (slowest
+#: shard / median shard): 1.0 is perfectly balanced, 10x is one shard
+#: gating the whole gather.
+STRAGGLER_BUCKETS: Tuple[float, ...] = (
+    1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0,
 )
 
 LabelKey = Tuple[str, ...]
@@ -548,6 +556,23 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         "Constraints per Minesweeper run — the paper's certificate-size "
         "bound as a live distribution.",
         buckets=SIZE_BUCKETS,
+    )
+    registry.counter(
+        "repro_dist_shards_total",
+        "Distributed shard lifecycle events: dispatched/hedged/rerouted/"
+        "failed on the coordinator, served on each server.",
+        ("event",),
+    )
+    registry.histogram(
+        "repro_dist_server_seconds",
+        "Per-shard wall time observed by the coordinator, by server.",
+        ("server",),
+    )
+    registry.histogram(
+        "repro_dist_straggler_ratio",
+        "Slowest shard over median shard per distributed gather — the "
+        "tail-latency skew signal share sizing and hedging fight.",
+        buckets=STRAGGLER_BUCKETS,
     )
 
 

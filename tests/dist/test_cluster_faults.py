@@ -1,0 +1,205 @@
+"""Cluster faults: dead servers, degraded fleets, deadlines, hedging.
+
+The distributed contract under fire: **a dead server costs latency,
+never the answer**.  Killing a server mid-flight re-routes its shards to
+the survivors and the merged answer stays byte-identical; a fleet that
+starts with some servers unreachable comes up degraded; only a fully
+unreachable fleet is an error.  Every scenario runs under the recording
+``ResourceWarning`` filter — failover must not leak sockets.
+"""
+
+import contextlib
+import gc
+import warnings
+
+import pytest
+
+from repro.api.session import Session
+from repro.dist import ClusterSession
+from repro.errors import NetworkError, OptionsError
+from repro.net.server import ServerThread
+from repro.obs.metrics import isolated_registry
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+
+
+@pytest.fixture
+def service():
+    with QueryService(graph_database(14, 40, seed=5)) as service:
+        yield service
+
+
+@contextlib.contextmanager
+def assert_no_socket_leaks():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", ResourceWarning)
+        yield
+        gc.collect()
+    leaks = [str(entry.message) for entry in caught
+             if issubclass(entry.category, ResourceWarning)
+             and "socket" in str(entry.message)]
+    assert not leaks, f"sockets leaked: {leaks}"
+
+
+def _url_of(*servers) -> str:
+    return "repro://" + ",".join(
+        server.url.replace("repro://", "") for server in servers
+    )
+
+
+def _expected_rows(service):
+    with Session(service.database) as local:
+        return sorted(local.run(TRIANGLE).rows())
+
+
+def test_kill_one_server_mid_gather_reroutes(service):
+    expected = _expected_rows(service)
+    with assert_no_socket_leaks():
+        servers = [ServerThread(service).start() for _ in range(3)]
+        try:
+            with isolated_registry() as registry:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    assert sorted(cluster.run(TRIANGLE).rows()) == expected
+                    # Kill a server the established topology considers
+                    # healthy: its shard's dispatch fails inside the
+                    # gather and must re-route to a sibling.
+                    servers[1].stop()
+                    assert sorted(cluster.run(TRIANGLE).rows()) == expected
+                    description = cluster.stats()["topology"]
+                    assert description["healthy"] == 2
+                    down = [s for s in description["servers"]
+                            if not s["healthy"]]
+                    assert [s["url"] for s in down] == [servers[1].url]
+                counter = registry.get("repro_dist_shards_total")
+                assert counter.value(event="rerouted") >= 1
+        finally:
+            for server in servers:
+                server.stop()
+
+
+def test_count_survives_a_killed_server(service):
+    with assert_no_socket_leaks():
+        servers = [ServerThread(service).start() for _ in range(3)]
+        try:
+            with Session(service.database) as local:
+                expected = local.run(TRIANGLE).count()
+            with ClusterSession(_url_of(*servers)) as cluster:
+                assert cluster.count(TRIANGLE) == expected
+                servers[0].stop()
+                assert cluster.count(TRIANGLE) == expected
+        finally:
+            for server in servers:
+                server.stop()
+
+
+def test_degraded_start_with_one_dead_server(service):
+    # One live server + one address nothing listens on: the session
+    # comes up degraded and the live server answers everything.
+    with assert_no_socket_leaks():
+        dead = ServerThread(service).start()
+        dead_url = dead.url
+        dead.stop()
+        with ServerThread(service) as live:
+            url = live.url + "," + dead_url.replace("repro://", "")
+            with ClusterSession(url) as cluster:
+                assert cluster.stats()["topology"]["healthy"] == 1
+                assert sorted(cluster.run(TRIANGLE).rows()) == \
+                    _expected_rows(service)
+
+
+def test_fully_unreachable_fleet_is_an_error(service):
+    first = ServerThread(service).start()
+    second = ServerThread(service).start()
+    url = _url_of(first, second)
+    first.stop()
+    second.stop()
+    with assert_no_socket_leaks():
+        with pytest.raises(NetworkError, match="no server of the cluster"):
+            ClusterSession(url)
+
+
+def test_whole_fleet_dying_mid_session(service):
+    with assert_no_socket_leaks():
+        servers = [ServerThread(service).start() for _ in range(2)]
+        with ClusterSession(_url_of(*servers)) as cluster:
+            assert cluster.count(TRIANGLE) >= 0
+            for server in servers:
+                server.stop()
+            with pytest.raises(NetworkError):
+                cluster.count(TRIANGLE)
+
+
+def test_restarted_server_rejoins(service):
+    # Self-healing without a heartbeat: once every healthy option is
+    # exhausted, down servers are probed — a server restarted on its old
+    # address answers and is marked back up.
+    with assert_no_socket_leaks():
+        first = ServerThread(service).start()
+        second = ServerThread(service).start()
+        try:
+            with ClusterSession(_url_of(first, second)) as cluster:
+                expected = _expected_rows(service)
+                first_host, first_port = \
+                    first.url.replace("repro://", "").split(":")
+                first.stop()
+                assert sorted(cluster.run(TRIANGLE).rows()) == expected
+                assert cluster.stats()["topology"]["healthy"] == 1
+                # Bring the dead address back, then kill the only
+                # healthy server: the next query must revive the first.
+                first = ServerThread(service, host=first_host,
+                                     port=int(first_port)).start()
+                second.stop()
+                assert sorted(cluster.run(TRIANGLE).rows()) == expected
+                healthy = [s["url"] for s in
+                           cluster.stats()["topology"]["servers"]
+                           if s["healthy"]]
+                assert healthy == [first.url]
+        finally:
+            first.stop()
+            second.stop()
+
+
+def test_hedged_dispatch_keeps_answers_exact(service):
+    # An aggressive hedge duplicates nearly every shard; first answer
+    # wins and the duplicate is cancelled — the merge must never see
+    # (or double-count) the loser.
+    with assert_no_socket_leaks():
+        servers = [ServerThread(service).start() for _ in range(3)]
+        try:
+            expected = _expected_rows(service)
+            with ClusterSession(_url_of(*servers),
+                                hedge_after=0.0001) as cluster:
+                for _ in range(3):
+                    assert sorted(cluster.run(TRIANGLE).rows()) == expected
+        finally:
+            for server in servers:
+                server.stop()
+
+
+def test_impossible_deadline_fails_crisply(service):
+    with assert_no_socket_leaks():
+        with ServerThread(service) as only:
+            with ClusterSession(only.url, shard_deadline=1e-6) as cluster:
+                with pytest.raises(NetworkError):
+                    cluster.count(TRIANGLE, parallel=2)
+
+
+def test_knob_validation():
+    with pytest.raises(OptionsError, match="hedge_after"):
+        ClusterSession("repro://localhost:1", hedge_after=0)
+    with pytest.raises(OptionsError, match="shard_deadline"):
+        ClusterSession("repro://localhost:1", shard_deadline=-1)
+    with pytest.raises(NetworkError, match="twice"):
+        ClusterSession("repro://h1:9944,h1:9944")
+
+
+def test_closed_session_refuses_work(service):
+    with ServerThread(service) as server:
+        cluster = ClusterSession(server.url)
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(NetworkError, match="closed"):
+            cluster.run(TRIANGLE)

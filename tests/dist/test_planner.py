@@ -1,0 +1,300 @@
+"""Pure distributed-planning units: share weights, grid sizing, merge
+semantics, topology arithmetic, and the golden Explain rendering.
+
+Everything here runs offline — no sockets — which is what lets the
+share-sizing math and the ``DistExplain`` text be pinned exactly.
+"""
+
+from math import log2, prod
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.parser import parse_query
+from repro.dist import DistExplain, Topology, plan_query, share_weights
+from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
+from repro.dist.planner import (
+    _weighted_dims,
+    choose_distributed_scheme,
+    estimate_shard_agm,
+)
+from repro.errors import ExecutionError, NetworkError
+from repro.exec.partitioner import PartitionScheme
+
+TRIANGLE = parse_query("edge(a,b), edge(b,c), edge(a,c)")
+PATH = parse_query("v1(a), edge(a,b), edge(b,c)")
+
+
+# ----------------------------------------------------------------------
+# Share weights
+# ----------------------------------------------------------------------
+class TestShareWeights:
+    def test_no_statistics_is_empty(self):
+        assert share_weights(TRIANGLE, {}) == {}
+
+    def test_incomplete_statistics_is_empty(self):
+        assert share_weights(TRIANGLE, {0: 100, 1: 100}) == {}
+
+    def test_symmetric_triangle_weighs_every_vertex_equally(self):
+        weights = share_weights(TRIANGLE, {0: 256, 1: 256, 2: 256})
+        assert set(weights) == {"a", "b", "c"}
+        values = sorted(weights.values())
+        assert values[0] == pytest.approx(values[-1])
+        # Each vertex is bound by two atoms, each carrying cover weight
+        # 1/2 on a symmetric triangle: w = 2 * (1/2) * log2(256) = 8.
+        assert values[0] == pytest.approx(2 * 0.5 * log2(256), rel=1e-3)
+
+    def test_skewed_sizes_weigh_the_covering_relations(self):
+        # With edge(a,b) enormous, the optimal cover pays for the two
+        # small relations instead (x = 0/1/1) — so c, bound by *both*
+        # covering relations, carries the most exponent and gets the
+        # most buckets.  w_a = w_b = log2(256) = 8, w_c = 16.
+        weights = share_weights(TRIANGLE, {0: 2 ** 20, 1: 256, 2: 256})
+        assert weights["c"] == pytest.approx(2 * log2(256), rel=1e-3)
+        assert weights["c"] > weights["a"]
+        assert weights["a"] == pytest.approx(weights["b"], rel=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Grid sizing
+# ----------------------------------------------------------------------
+class TestWeightedDims:
+    def test_equal_weights_balance(self):
+        assert sorted(_weighted_dims(8, [1.0, 1.0, 1.0])) == [2, 2, 2]
+
+    def test_skew_concentrates_buckets(self):
+        dims = _weighted_dims(16, [8.0, 1.0])
+        assert dims[0] > dims[1]
+        assert prod(dims) == 16
+
+    def test_all_weight_on_one_axis(self):
+        assert _weighted_dims(8, [1.0, 1e-9]) == [8, 1]
+
+    @given(shards=st.integers(2, 64),
+           weights=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=4))
+    def test_product_is_always_exact(self, shards, weights):
+        assert prod(_weighted_dims(shards, weights)) == shards
+
+
+# ----------------------------------------------------------------------
+# Scheme choice
+# ----------------------------------------------------------------------
+class TestChooseScheme:
+    def test_single_shard_is_serial(self):
+        assert choose_distributed_scheme(TRIANGLE, 1) == (None, ())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown partition mode"):
+            choose_distributed_scheme(TRIANGLE, 4, mode="mesh")
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ExecutionError, match="no variables"):
+            choose_distributed_scheme(parse_query("edge(1,2)"), 4)
+
+    def test_beta_acyclic_auto_takes_hash(self):
+        scheme, weights = choose_distributed_scheme(
+            PATH, 4, beta_acyclic=True)
+        assert scheme.mode == "hash"
+        assert len(scheme.grid) == 1
+        assert scheme.grid[0][1] == 4
+
+    def test_cyclic_auto_takes_hypercube(self):
+        scheme, weights = choose_distributed_scheme(
+            TRIANGLE, 4, beta_acyclic=False)
+        assert scheme.mode == "hypercube"
+        assert prod(dims for _, dims in scheme.grid) == 4
+
+    def test_statistics_skew_the_grid(self):
+        # edge(a,b) enormous → the cover uses the other two relations,
+        # whose shared vertex c dominates the exponent: the c axis must
+        # get the most buckets.
+        scheme, weights = choose_distributed_scheme(
+            TRIANGLE, 16, mode="hypercube", beta_acyclic=False,
+            sizes={0: 2 ** 24, 1: 64, 2: 64},
+        )
+        dims = dict(scheme.grid)
+        assert dims["c"] == max(dims.values())
+        assert dims["c"] > min(dims.values())
+        assert prod(dims.values()) == 16
+
+
+# ----------------------------------------------------------------------
+# Plans and bounds
+# ----------------------------------------------------------------------
+class TestPlanQuery:
+    def test_serial_plan(self):
+        plan = plan_query(TRIANGLE, shards=1)
+        assert plan.scheme is None
+        assert plan.shards == 1
+        assert "single shard" in plan.notes[0]
+
+    def test_sharded_plan_without_statistics(self):
+        plan = plan_query(TRIANGLE, shards=4, beta_acyclic=False)
+        assert plan.shards == len(plan.cells) == 4
+        assert any("no statistics" in note for note in plan.notes)
+        assert plan.shard_agm_bound is None
+
+    def test_sharded_plan_with_statistics(self):
+        sizes = {0: 4096, 1: 4096, 2: 4096}
+        plan = plan_query(TRIANGLE, shards=4, beta_acyclic=False,
+                          sizes=sizes)
+        assert any("AGM fractional edge cover" in note
+                   for note in plan.notes)
+        assert plan.shard_agm_bound is not None
+        assert plan.total_agm_bound is not None
+        # Partitioning cannot worsen the ceiling: per-shard bound times
+        # shard count stays within the whole-query AGM bound.
+        assert plan.shard_agm_bound <= plan.total_agm_bound
+
+    def test_estimate_shard_agm_needs_full_statistics(self):
+        scheme = PartitionScheme("hypercube", (("a", 2), ("b", 2)))
+        assert estimate_shard_agm(TRIANGLE, scheme, {}) is None
+        assert estimate_shard_agm(TRIANGLE, scheme, {0: 10}) is None
+
+
+# ----------------------------------------------------------------------
+# Merge semantics
+# ----------------------------------------------------------------------
+class TestMerge:
+    def test_counts_sum(self):
+        assert merge_counts([3, 4, 5]) == 12
+
+    def test_counts_clamp_to_limit(self):
+        # Pushdown lets every shard deliver up to the limit; the merge
+        # restores the exact global semantics.
+        assert merge_counts([7, 7, 7], limit=7) == 7
+
+    def test_rows_concatenate_in_order(self):
+        assert merge_rows([[(1,)], [(2,), (3,)], []]) == [(1,), (2,), (3,)]
+
+    def test_rows_clamp_exactly(self):
+        pages = [[(1,), (2,)], [(3,), (4,)], [(5,)]]
+        assert merge_rows(pages, limit=3) == [(1,), (2,), (3,)]
+        assert merge_rows(pages, limit=0) == []
+
+    @given(counts=st.lists(st.integers(0, 50), min_size=1, max_size=6),
+           limit=st.one_of(st.none(), st.integers(0, 100)))
+    def test_count_equals_row_merge(self, counts, limit):
+        pages = [[(i,)] * count for i, count in enumerate(counts)]
+        assert merge_counts(counts, limit=limit) == \
+            len(merge_rows(pages, limit=limit))
+
+    def test_straggler_ratio(self):
+        assert straggler_ratio([1.0]) is None
+        assert straggler_ratio([0.0, 0.0]) is None
+        assert straggler_ratio([1.0, 1.0, 3.0]) == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+class TestTopology:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(NetworkError, match="at least one"):
+            Topology([])
+        with pytest.raises(NetworkError, match="twice"):
+            Topology(["repro://h:1", "repro://h:1"])
+
+    def test_round_robin_assignment_wraps(self):
+        topology = Topology(["repro://a:1", "repro://b:1"])
+        cells = [(0,), (1,), (2,)]
+        assigned = [server.url for _, server in topology.assign(cells)]
+        assert assigned == ["repro://a:1", "repro://b:1", "repro://a:1"]
+
+    def test_assignment_skips_down_servers(self):
+        topology = Topology(["repro://a:1", "repro://b:1", "repro://c:1"])
+        topology.mark_down(topology.servers[1])
+        assigned = {server.url for _, server in
+                    topology.assign([(0,), (1,)])}
+        assert assigned == {"repro://a:1", "repro://c:1"}
+
+    def test_assign_is_pure(self):
+        topology = Topology(["repro://a:1", "repro://b:1"])
+        topology.assign([(0,), (1,)])
+        assert all(s.dispatched == 0 for s in topology.servers)
+
+    def test_all_down_raises(self):
+        topology = Topology(["repro://a:1"])
+        topology.mark_down(topology.servers[0])
+        with pytest.raises(NetworkError, match="marked down"):
+            topology.assign([(0,)])
+
+    def test_sibling_walks_the_ring(self):
+        topology = Topology(["repro://a:1", "repro://b:1", "repro://c:1"])
+        a, b, c = topology.servers
+        assert topology.sibling(a).url == "repro://b:1"
+        assert topology.sibling(a, exclude=["repro://b:1"]).url == \
+            "repro://c:1"
+        topology.mark_down(b)
+        assert topology.sibling(a).url == "repro://c:1"
+        assert topology.sibling(a, exclude=["repro://c:1"]) is None
+
+    def test_mark_up_revives(self):
+        topology = Topology(["repro://a:1", "repro://b:1"])
+        topology.mark_down(topology.servers[0])
+        assert len(topology.healthy()) == 1
+        topology.mark_up(topology.servers[0])
+        assert len(topology.healthy()) == 2
+        assert topology.servers[0].failures == 1  # lifetime counter
+
+
+# ----------------------------------------------------------------------
+# Golden Explain rendering
+# ----------------------------------------------------------------------
+def _golden_explain() -> DistExplain:
+    plan = plan_query(TRIANGLE, shards=4, beta_acyclic=False,
+                      sizes={0: 4096, 1: 4096, 2: 4096})
+    assignments = tuple(
+        (cell, ("repro://h1:9944", "repro://h2:9944")[i % 2])
+        for i, cell in enumerate(plan.cells)
+    )
+    return DistExplain(
+        report={"algorithm": "lftj", "agm_bound": 262144.0},
+        rendered="query: edge(a, b), edge(b, c), edge(a, c)\n"
+                 "algorithm: lftj",
+        plan=plan, assignments=assignments,
+        healthy_servers=2, total_servers=2,
+    )
+
+
+def test_distributed_explain_golden_render():
+    assert _golden_explain().render() == (
+        "query: edge(a, b), edge(b, c), edge(a, c)\n"
+        "algorithm: lftj\n"
+        "\n"
+        "distributed execution:\n"
+        "  servers: 2 healthy / 2 configured\n"
+        "  scheme: hypercube[a:2,b:2] (4 shards)\n"
+        "  share weights: a=12.00, b=12.00\n"
+        "  per-shard output bound (AGM): <= 65,536 tuples\n"
+        "  total output bound (AGM): <= 262,144 tuples\n"
+        "  shard -> server:\n"
+        "    cell (0, 0) -> repro://h1:9944\n"
+        "    cell (0, 1) -> repro://h2:9944\n"
+        "    cell (1, 0) -> repro://h1:9944\n"
+        "    cell (1, 1) -> repro://h2:9944\n"
+        "  note: share weights from per-relation statistics and AGM "
+        "fractional edge cover exponents"
+    )
+
+
+def test_distributed_explain_dict_merges_base_report():
+    report = _golden_explain().as_dict()
+    assert report["algorithm"] == "lftj"          # base survives
+    distributed = report["distributed"]
+    assert distributed["servers"] == {"healthy": 2, "total": 2}
+    assert distributed["scheme"] == "hypercube[a:2,b:2]"
+    assert distributed["shards"] == 4
+    assert len(distributed["assignments"]) == 4
+    assert distributed["assignments"][0] == [[0, 0], "repro://h1:9944"]
+
+
+def test_serial_explain_render_names_the_proxy():
+    plan = plan_query(TRIANGLE, shards=1)
+    explain = DistExplain(report={}, rendered="plan", plan=plan,
+                          assignments=(), healthy_servers=1,
+                          total_servers=2)
+    text = explain.render()
+    assert "single shard: the whole query is proxied" in text
+    assert "servers: 1 healthy / 2 configured" in text

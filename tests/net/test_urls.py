@@ -1,10 +1,12 @@
-"""``parse_url``: the ``repro://`` grammar, including IPv6 literals.
+"""``parse_url`` / ``parse_cluster_url``: the ``repro://`` grammar.
 
 Regression anchors: ``repro://:9944`` used to be accepted with host
 ``":9944"`` (an empty host must be rejected), and ``repro://[::1]:9944``
 kept its brackets (which :func:`socket.create_connection` rejects) —
-brackets must be stripped.  A hypothesis round-trip property pins the
-whole grammar over hostnames, IPv4, and bracketed IPv6 forms.
+brackets must be stripped.  Hypothesis round-trip properties pin the
+whole grammar over hostnames, IPv4, and bracketed IPv6 forms — for the
+single-host URL and for the comma-separated cluster form, whose every
+entry is held to the same per-host rules.
 """
 
 import pytest
@@ -12,7 +14,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import NetworkError
-from repro.net.client import parse_url
+from repro.net.client import parse_cluster_url, parse_url
 from repro.net.server import DEFAULT_PORT
 
 
@@ -108,6 +110,71 @@ def test_round_trip_property(host, port):
     url = f"repro://{literal}" + (f":{port}" if port is not None else "")
     assert parse_url(url) == (host, port if port is not None
                               else DEFAULT_PORT)
+
+
+# ----------------------------------------------------------------------
+# The cluster (multi-host) form.
+# ----------------------------------------------------------------------
+class TestClusterGrammar:
+    def test_two_hosts(self):
+        assert parse_cluster_url("repro://h1:9944,h2:9945") == \
+            (("h1", 9944), ("h2", 9945))
+
+    def test_default_ports_per_entry(self):
+        assert parse_cluster_url("repro://h1,h2:81,h3") == \
+            (("h1", DEFAULT_PORT), ("h2", 81), ("h3", DEFAULT_PORT))
+
+    def test_single_host_is_a_one_server_cluster(self):
+        assert parse_cluster_url("repro://solo:9944") == (("solo", 9944),)
+
+    def test_bracketed_ipv6_entries(self):
+        # Colons inside brackets never collide with the comma separator.
+        assert parse_cluster_url("repro://[::1]:9944,[2001:db8::2]") == \
+            (("::1", 9944), ("2001:db8::2", DEFAULT_PORT))
+
+    def test_trailing_slash(self):
+        assert parse_cluster_url("repro://h1:1,h2:2/") == \
+            (("h1", 1), ("h2", 2))
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(NetworkError, match="names no host"):
+            parse_cluster_url("repro://h1:9944,,h2:9944")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(NetworkError, match="names no host"):
+            parse_cluster_url("repro://h1:9944,")
+
+    def test_every_entry_validated(self):
+        # The second host's port is bad — the per-host rules apply to
+        # every entry, not just the first.
+        with pytest.raises(NetworkError, match="non-numeric port"):
+            parse_cluster_url("repro://h1:9944,h2:nope")
+
+    def test_bare_ipv6_entry_rejected(self):
+        with pytest.raises(NetworkError, match="bracket"):
+            parse_cluster_url("repro://h1:9944,2001:db8::2")
+
+    def test_wrong_scheme(self):
+        with pytest.raises(NetworkError, match="must look like"):
+            parse_cluster_url("http://h1:1,h2:2")
+
+    def test_parse_url_rejects_multi_host(self):
+        # A fleet is not a server: the single-host parser points the
+        # caller at repro.connect's ClusterSession instead.
+        with pytest.raises(NetworkError, match="names 3 hosts"):
+            parse_url("repro://h1:1,h2:2,h3:3")
+
+
+@given(endpoints=st.lists(st.tuples(hosts, ports), min_size=1, max_size=5))
+def test_cluster_round_trip_property(endpoints):
+    entries = []
+    expected = []
+    for host, port in endpoints:
+        literal = f"[{host}]" if ":" in host else host
+        entries.append(literal + (f":{port}" if port is not None else ""))
+        expected.append((host, port if port is not None else DEFAULT_PORT))
+    url = "repro://" + ",".join(entries)
+    assert parse_cluster_url(url) == tuple(expected)
 
 
 def test_server_url_round_trips_through_parse_url():

@@ -326,7 +326,8 @@ class TestRemote:
     def test_dataset_or_connect_required(self, capsys):
         code = main(["query", "--text", "edge(a,b)"])
         assert code == EXIT_BAD_OPTIONS
-        assert "--dataset or --connect" in capsys.readouterr().err
+        assert "either --dataset, --connect, or --cluster" \
+            in capsys.readouterr().err
 
     @pytest.mark.parametrize("flag", [["--selectivity", "8"],
                                       ["--scale", "2.0"]])
