@@ -56,6 +56,21 @@ def run_batch(session: Session, trace: bool) -> tuple:
     return time.perf_counter() - started, answers
 
 
+def _assert_within_budget(plain_times, observed_times, label: str) -> None:
+    plain = statistics.median(plain_times)
+    observed = statistics.median(observed_times)
+    print()
+    print(f"{label} plain:    {plain * 1000:8.2f} ms/batch "
+          f"(median of {len(plain_times)})")
+    print(f"{label} observed: {observed * 1000:8.2f} ms/batch "
+          f"({observed / plain:.3f}x)")
+    assert observed <= plain * OVERHEAD_LIMIT + EPSILON_SECONDS, (
+        f"{label} observability overhead {observed / plain:.3f}x exceeds "
+        f"{OVERHEAD_LIMIT:.2f}x (plain {plain:.4f}s, "
+        f"observed {observed:.4f}s)"
+    )
+
+
 def test_traced_and_metered_path_stays_within_ten_percent():
     database = Database([load_dataset(DATASET)])
     attach_samples(database, 10, sample_names=("v1", "v2"))
@@ -73,14 +88,55 @@ def test_traced_and_metered_path_stays_within_ten_percent():
 
     assert observed_answers == plain_answers, \
         "tracing changed the answers"
-    plain = statistics.median(plain_times)
-    observed = statistics.median(observed_times)
-    print()
-    print(f"plain:    {plain * 1000:8.2f} ms/batch (median of {ROUNDS})")
-    print(f"observed: {observed * 1000:8.2f} ms/batch "
-          f"({observed / plain:.3f}x)")
-    assert observed <= plain * OVERHEAD_LIMIT + EPSILON_SECONDS, (
-        f"observability overhead {observed / plain:.3f}x exceeds "
-        f"{OVERHEAD_LIMIT:.2f}x (plain {plain:.4f}s, "
-        f"observed {observed:.4f}s)"
-    )
+    _assert_within_budget(plain_times, observed_times, "local")
+
+
+def run_cluster_batch(cluster, trace: bool) -> tuple:
+    """One cluster batch: the cyclic query BATCH times, sharded."""
+    answers = []
+    started = time.perf_counter()
+    for _ in range(BATCH):
+        result = cluster.run(QUERIES[0], trace=trace, use_cache=False,
+                             parallel=2)
+        answers.append(sorted(result.fetchall()))
+        if trace:
+            assert result.stats.trace is not None
+    return time.perf_counter() - started, answers
+
+
+def test_cluster_tracing_stays_within_ten_percent():
+    """The distributed variant of the same bargain: stitching spans,
+    stamping wire context, and recording flight events must not slow a
+    sharded gather beyond the same constant factor — and must not change
+    a single answer."""
+    from repro.dist import ClusterSession
+    from repro.net.server import ServerThread
+    from repro.service import QueryService
+
+    database = Database([load_dataset(DATASET)])
+    attach_samples(database, 10, sample_names=("v1", "v2"))
+    with QueryService(database) as service:
+        servers = [ServerThread(service).start() for _ in range(2)]
+        try:
+            url = "repro://" + ",".join(
+                server.url.replace("repro://", "") for server in servers
+            )
+            with ClusterSession(url) as cluster:
+                run_cluster_batch(cluster, trace=False)   # warm
+                run_cluster_batch(cluster, trace=True)
+                plain_times, observed_times = [], []
+                plain_answers = observed_answers = None
+                for _ in range(ROUNDS):
+                    seconds, plain_answers = run_cluster_batch(
+                        cluster, trace=False)
+                    plain_times.append(seconds)
+                    seconds, observed_answers = run_cluster_batch(
+                        cluster, trace=True)
+                    observed_times.append(seconds)
+        finally:
+            for server in servers:
+                server.stop()
+
+    assert observed_answers == plain_answers, \
+        "distributed tracing changed the answers"
+    _assert_within_budget(plain_times, observed_times, "cluster")

@@ -281,6 +281,27 @@ class ResultSet(RowCursor):
         if self._trace is not None and trace_id:
             self._trace.trace_id = trace_id
 
+    def annotate_trace(self, **annotations: object) -> None:
+        """Attach annotations to this result's trace root.
+
+        The wire path stamps the coordinator's shard span context
+        (span id, shard index, attempt tag) here so a server-side
+        subtree can be correlated back to the logical shard that
+        requested it; a no-op when tracing is off.
+        """
+        if self._trace is not None and annotations:
+            self._trace.root.annotate(**annotations)
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Record admission-queue time that elapsed before execution.
+
+        The server measures frame-arrival → worker-pickup and folds it
+        in here as a leading ``queue`` span; a no-op when tracing is
+        off or the wait is not positive.
+        """
+        if self._trace is not None and seconds > 0:
+            self._trace.absorb_wait("queue", round(seconds, 9))
+
     @property
     def stats(self) -> ResultStats:
         """A point-in-time snapshot of timings and provenance."""

@@ -1,6 +1,6 @@
 """Command-line interface for the repro library.
 
-Nine subcommands cover the everyday workflows:
+Ten subcommands cover the everyday workflows:
 
 ``repro datasets``
     List the dataset catalog (original SNAP sizes and the synthetic
@@ -25,14 +25,24 @@ Nine subcommands cover the everyday workflows:
 ``repro analyze``
     Two modes.  With a query argument: EXPLAIN ANALYZE — run the query
     traced and print the plan report annotated with actual per-operator
-    timings, row counts, and cache provenance.  Without one: graph
-    analytics over a dataset (size, triangle count, connected
-    components, top PageRank nodes).
+    timings, row counts, and cache provenance; with ``--cluster``, the
+    distributed run appends a per-shard timeline (dispatch → queue →
+    execute → transfer → merge) with hedge/re-route/straggler
+    annotations.  Without one: graph analytics over a dataset (size,
+    triangle count, connected components, top PageRank nodes).
 
 ``repro metrics``
     Dump the metrics registry in Prometheus text format — the local
-    process registry, or (``--connect``) a running server's registry
-    over the wire protocol's ``metrics`` op.
+    process registry, (``--connect``) a running server's registry over
+    the wire protocol's ``metrics`` op, or (``--cluster``) every server
+    of a fleet merged into one text with ``server="host:port"`` labels
+    plus the coordinator's ``repro_fleet_*`` rollups.
+
+``repro events``
+    Dump the query flight recorder — the bounded ring of recent query
+    events (trace id, outcome, latency, shard → server map) kept by
+    this process, one server (``--connect``), or a whole fleet merged
+    and time-ordered (``--cluster``).
 
 ``repro serve``
     Start a :class:`~repro.service.QueryService` over a dataset and answer
@@ -224,6 +234,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--connect", metavar="URL", default=None,
                          help="with a query: run it against a repro server "
                               "at repro://host:port instead of in-process")
+    analyze.add_argument("--cluster", metavar="URL", default=None,
+                         help="with a query: shard it across a "
+                              "repro://h1:p1,h2:p2,... fleet and append "
+                              "the per-shard timeline")
     analyze.add_argument("--algorithm", default="auto",
                          help="with a query: join algorithm (default: auto)")
     analyze.add_argument("--timeout", type=float, default=None,
@@ -243,6 +257,26 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--connect", metavar="URL", default=None,
                          help="scrape a running repro server at "
                               "repro://host:port instead of this process")
+    metrics.add_argument("--cluster", metavar="URL", default=None,
+                         help="scrape every server of a "
+                              "repro://h1:p1,h2:p2,... fleet into one "
+                              "Prometheus text with server=\"...\" labels")
+
+    events = subparsers.add_parser(
+        "events", help="dump the query flight recorder"
+    )
+    events.add_argument("--json", action="store_true",
+                        help="emit events as JSON, one object per line")
+    events.add_argument("--limit", type=int, default=None,
+                        help="only the most recent N events")
+    events.add_argument("--connect", metavar="URL", default=None,
+                        help="pull a running repro server's flight "
+                             "recorder at repro://host:port instead of "
+                             "this process's")
+    events.add_argument("--cluster", metavar="URL", default=None,
+                        help="merge the flight recorders of every server "
+                             "of a repro://h1:p1,h2:p2,... fleet, "
+                             "time-ordered")
 
     serve = subparsers.add_parser(
         "serve", help="answer query lines from stdin through the query service"
@@ -506,10 +540,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.query is not None:
         return _cmd_explain_analyze(args)
-    if args.connect:
+    if args.connect or args.cluster:
         raise OptionsError(
-            "--connect needs a query argument (EXPLAIN ANALYZE mode); "
-            "dataset analytics run in-process"
+            "--connect/--cluster need a query argument (EXPLAIN ANALYZE "
+            "mode); dataset analytics run in-process"
         )
     if not args.dataset:
         raise OptionsError(
@@ -540,10 +574,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_explain_analyze(args: argparse.Namespace) -> int:
     """EXPLAIN ANALYZE: run the query traced; print the annotated plan."""
     query = parse_query(args.query)
-    if args.connect:
+    if args.cluster:
+        if args.connect:
+            raise OptionsError(
+                "--connect targets one server and --cluster a fleet; "
+                "pass one of them"
+            )
+        from repro.dist import ClusterSession
+
+        session: object = ClusterSession(args.cluster)
+    elif args.connect:
         from repro.net.client import RemoteSession
 
-        session: object = RemoteSession(args.connect)
+        session = RemoteSession(args.connect)
     else:
         database = Database([load_dataset(args.dataset or "ca-GrQc")])
         attach_samples(database, args.selectivity,
@@ -556,11 +599,26 @@ def _cmd_explain_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(report.as_dict(), indent=2))
     else:
         print(report.render())
+        if args.cluster:
+            from repro.obs.fleet import render_timeline
+
+            print()
+            print(render_timeline(report.trace))
     return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    if args.connect:
+    if args.cluster and args.connect:
+        raise OptionsError(
+            "--connect targets one server and --cluster a fleet; "
+            "pass one of them"
+        )
+    if args.cluster:
+        from repro.dist import ClusterSession
+
+        with ClusterSession(args.cluster) as cluster:
+            text = cluster.metrics()
+    elif args.connect:
         from repro.net.client import RemoteSession
 
         with RemoteSession(args.connect) as session:
@@ -568,6 +626,42 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         text = global_registry().render()
     print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Dump the query flight recorder — local, one server, or a fleet."""
+    if args.cluster and args.connect:
+        raise OptionsError(
+            "--connect targets one server and --cluster a fleet; "
+            "pass one of them"
+        )
+    if args.limit is not None and args.limit < 0:
+        raise OptionsError("--limit cannot be negative")
+    if args.cluster:
+        from repro.dist import ClusterSession
+
+        with ClusterSession(args.cluster) as cluster:
+            events = cluster.events(args.limit)
+    elif args.connect:
+        from repro.net.client import RemoteSession
+
+        with RemoteSession(args.connect) as session:
+            events = session.events(args.limit)
+    else:
+        from repro.obs.events import global_events
+
+        events = global_events().snapshot(args.limit)
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+    else:
+        from repro.obs.events import format_event
+
+        for event in events:
+            print(format_event(event))
+        if not events:
+            print("(no recorded events)")
     return 0
 
 
@@ -861,6 +955,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_analyze(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "events":
+            return _cmd_events(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "server":

@@ -67,7 +67,16 @@ from repro.net.client import (
     parse_cluster_url,
 )
 from repro.net.server import DEFAULT_PORT
+from repro.obs.events import global_events
+from repro.obs.fleet import (
+    ShardRecord,
+    fleet_rollup_text,
+    merge_prometheus,
+    server_label,
+    stitch_trace,
+)
 from repro.obs.metrics import global_registry
+from repro.obs.trace import new_trace_id
 from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
 from repro.dist.planner import DistExplain, DistPlan, plan_query
 from repro.dist.topology import ServerState, Topology
@@ -96,6 +105,19 @@ class _QueryInfo:
     query: ConjunctiveQuery
     beta_acyclic: bool
     sizes: Dict[int, int]  # atom index -> relation cardinality
+
+
+@dataclass(frozen=True)
+class _GatherContext:
+    """Distributed trace context threaded through one gather.
+
+    ``trace_id`` is always generated — even untraced queries carry it so
+    server-side flight-recorder events correlate; the full span stitch
+    only happens when ``traced`` (``QueryOptions.trace``) is on.
+    """
+
+    trace_id: str
+    traced: bool
 
 
 class _LoopThread:
@@ -163,6 +185,13 @@ class ClusterResultSet(RowCursor):
         self._count: Optional[int] = None
         self._execution_seconds = 0.0
         self._closed = False
+        # One trace id per distributed query, minted up front: every
+        # shard dispatch (hedges and re-routes included) is stamped with
+        # it, so all participating servers' logs correlate even when
+        # tracing itself is off.
+        self._trace_id = new_trace_id()
+        self._trace: Optional[dict] = None
+        self._gather_info: dict = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -184,6 +213,16 @@ class ClusterResultSet(RowCursor):
         return self._rows is not None
 
     @property
+    def trace_id(self) -> str:
+        """The query-level trace id every shard dispatch carries."""
+        return self._trace_id
+
+    @property
+    def gather_info(self) -> dict:
+        """Shard → server map and hedge/re-route counts of the gather."""
+        return dict(self._gather_info)
+
+    @property
     def stats(self) -> ResultStats:
         scheme = self._plan.scheme
         return ResultStats(
@@ -202,6 +241,7 @@ class ClusterResultSet(RowCursor):
             complete=self.complete,
             limit=self._options.limit,
             total=self._count,
+            trace=self._trace,
         )
 
     # ------------------------------------------------------------------
@@ -211,11 +251,14 @@ class ClusterResultSet(RowCursor):
         if self._rows is not None:
             return
         started = time.perf_counter()
-        rows = self._cluster._gather_rows(
+        rows, info = self._cluster._gather_rows(
             self._text, self._options, self._plan, self._meta,
+            self._trace_id,
         )
         self._execution_seconds += time.perf_counter() - started
         self._rows = rows
+        self._gather_info = info
+        self._trace = info.get("trace")
         # Per-shard counts are limit-clamped by pushdown and the merge
         # clamps again, so len(rows) == min(total, limit) — exactly what
         # count() reports on a limited local result set.
@@ -239,10 +282,15 @@ class ClusterResultSet(RowCursor):
         """The number of answers, via every shard's count path, summed."""
         if self._count is None:
             started = time.perf_counter()
-            self._count = self._cluster._gather_count(
-                self._text, self._options, self._plan,
+            value, info = self._cluster._gather_count(
+                self._text, self._options, self._plan, self._meta,
+                self._trace_id,
             )
             self._execution_seconds += time.perf_counter() - started
+            self._count = value
+            self._gather_info = info
+            if self._trace is None:
+                self._trace = info.get("trace")
         return self._count
 
     def close(self) -> None:
@@ -532,58 +580,184 @@ class ClusterSession:
     # Dispatch / gather / merge (loop thread)
     # ------------------------------------------------------------------
     async def _gather(self, kind: str, text: str, opts: QueryOptions,
-                      plan: DistPlan, meta: dict):
-        if plan.scheme is None:
-            return await self._proxy(kind, text, opts, meta)
-        # Shards run serially server-side: the grid is already the
-        # parallelism, and n_servers × n_cores of over-subscription
-        # would thrash the very fleet this layer exists to scale.
-        shard_opts = opts.merged(parallel=1)
-        assignments = self.topology.assign(plan.cells)
-        tasks = [
-            asyncio.ensure_future(self._execute_shard(
-                kind, text, shard_opts, plan.scheme, cell, server, meta,
-            ))
-            for cell, server in assignments
-        ]
-        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
-        failure = next(
-            (o for o in outcomes if isinstance(o, BaseException)), None,
+                      plan: DistPlan, meta: dict, trace_id: str):
+        """Fan out, gather, merge — and account for what happened.
+
+        Returns ``(value, info)`` where ``info`` carries the stitched
+        trace (when tracing is on), the shard → server map, and the
+        hedge / re-route counts; the same facts land on the flight
+        recorder as one ``coordinator`` event per gather, success or
+        failure.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        ctx = _GatherContext(trace_id=trace_id, traced=bool(opts.trace))
+        records: List[ShardRecord] = []
+        scheme_key = plan.scheme.key() if plan.scheme is not None \
+            else "serial"
+        merge_interval: Optional[Tuple[float, float]] = None
+        try:
+            if plan.scheme is None:
+                value = await self._proxy(kind, text, opts, meta, ctx,
+                                          records)
+            else:
+                # Shards run serially server-side: the grid is already
+                # the parallelism, and n_servers × n_cores of
+                # over-subscription would thrash the very fleet this
+                # layer exists to scale.
+                shard_opts = opts.merged(parallel=1)
+                assignments = self.topology.assign(plan.cells)
+                records = [
+                    ShardRecord(index=index, span_id=new_trace_id(),
+                                cell=tuple(cell))
+                    for index, (cell, _) in enumerate(assignments)
+                ]
+                tasks = [
+                    asyncio.ensure_future(self._execute_shard(
+                        kind, text, shard_opts, plan.scheme, cell,
+                        server, meta, ctx, record,
+                    ))
+                    for (cell, server), record in zip(assignments, records)
+                ]
+                outcomes = await asyncio.gather(
+                    *tasks, return_exceptions=True
+                )
+                failure = next(
+                    (o for o in outcomes if isinstance(o, BaseException)),
+                    None,
+                )
+                if failure is not None:
+                    raise failure
+                payloads = [payload for payload, _ in outcomes]
+                seconds = [elapsed for _, elapsed in outcomes]
+                ratio = straggler_ratio(seconds)
+                if ratio is not None:
+                    global_registry().histogram(
+                        "repro_dist_straggler_ratio").observe(ratio)
+                merge_started = loop.time()
+                if kind == "count":
+                    value = merge_counts(payloads, opts.limit)
+                else:
+                    value = merge_rows(payloads, opts.limit)
+                merge_interval = (merge_started, loop.time())
+        except BaseException as error:
+            now = loop.time()
+            self._finalize_records(records, now)
+            if isinstance(error, Exception):
+                self._record_flight(
+                    kind, text, ctx, records, started, now, meta,
+                    outcome="timeout"
+                    if "Timeout" in type(error).__name__ else "error",
+                    error=str(error),
+                )
+            raise
+        finished = loop.time()
+        self._finalize_records(records, finished)
+        info = self._gather_summary(
+            kind, ctx, records, started, finished, merge_interval,
+            scheme_key, meta,
         )
-        if failure is not None:
-            raise failure
-        payloads = [payload for payload, _ in outcomes]
-        seconds = [elapsed for _, elapsed in outcomes]
-        ratio = straggler_ratio(seconds)
-        if ratio is not None:
-            global_registry().histogram(
-                "repro_dist_straggler_ratio").observe(ratio)
-        if kind == "count":
-            return merge_counts(payloads, opts.limit)
-        return merge_rows(payloads, opts.limit)
+        self._record_flight(kind, text, ctx, records, started, finished,
+                            meta, outcome="ok")
+        return value, info
+
+    @staticmethod
+    def _finalize_records(records: Sequence[ShardRecord],
+                          now: float) -> None:
+        """Close out attempts the gather abandoned (hedge losers whose
+        cancellation has not been delivered yet, failed fan-outs)."""
+        for record in records:
+            for attempt in record.attempts:
+                attempt.finish(now, "cancelled")
+
+    @staticmethod
+    def _shard_map(records: Sequence[ShardRecord]) -> Dict[str, str]:
+        return {str(record.index): server_label(record.server)
+                for record in records if record.server}
+
+    def _gather_summary(self, kind: str, ctx: _GatherContext,
+                        records: Sequence[ShardRecord], started: float,
+                        finished: float,
+                        merge_interval: Optional[Tuple[float, float]],
+                        scheme_key: str, meta: dict) -> dict:
+        trace = None
+        if ctx.traced:
+            annotations = {"mode": kind, "scheme": scheme_key}
+            if meta.get("algorithm"):
+                annotations["algorithm"] = meta["algorithm"]
+            trace = stitch_trace(
+                trace_id=ctx.trace_id, started=started, finished=finished,
+                shards=records,
+                merge_start=merge_interval[0] if merge_interval else None,
+                merge_end=merge_interval[1] if merge_interval else None,
+                annotations=annotations,
+            )
+        return {
+            "trace": trace,
+            "trace_id": ctx.trace_id,
+            "seconds": round(finished - started, 6),
+            "shard_map": self._shard_map(records),
+            "hedges": sum(record.hedges for record in records),
+            "reroutes": sum(record.reroutes for record in records),
+        }
+
+    def _record_flight(self, kind: str, text: str, ctx: _GatherContext,
+                       records: Sequence[ShardRecord], started: float,
+                       finished: float, meta: dict, *, outcome: str,
+                       error: Optional[str] = None) -> None:
+        global_events().record(
+            source="coordinator", trace_id=ctx.trace_id, query=text,
+            mode=kind, outcome=outcome, error=error,
+            seconds=round(max(0.0, finished - started), 6),
+            algorithm=meta.get("algorithm"),
+            shards=len(records),
+            shard_map=self._shard_map(records) or None,
+            hedges=sum(record.hedges for record in records),
+            reroutes=sum(record.reroutes for record in records),
+        )
 
     async def _proxy(self, kind: str, text: str, opts: QueryOptions,
-                     meta: dict):
+                     meta: dict, ctx: _GatherContext,
+                     records: List[ShardRecord]):
         """Single-shard path: the whole query on one server, failover."""
         payload = _options_payload(opts)
+        loop = asyncio.get_running_loop()
+        record = ShardRecord(index=0, span_id=new_trace_id())
+        records.append(record)
         errors: List[ReproError] = []
+        attempt_kind = "primary"
         for server in self._candidates():
+            attempt = record.new_attempt(server.url, attempt_kind,
+                                         loop.time())
+            span_wire = {"id": record.span_id, "shard": record.index,
+                         "attempt": attempt.tag}
             try:
                 session = await self._session_for(server)
                 if kind == "count":
                     body = await session._request(
                         "count", query=text, options=payload,
+                        trace_id=ctx.trace_id, span=span_wire,
                     )
+                    attempt.server_trace = body.get("trace")
                     value = body["count"]
                 else:
                     result_set = AsyncRemoteResultSet(
                         session, text, opts, dict(meta),
+                        trace_id=ctx.trace_id, span=span_wire,
                     )
                     value = await result_set.fetchall()
+                    attempt.server_trace = result_set.server_trace
             except _FAILOVER_ERRORS as error:
+                attempt.finish(loop.time(), "error", str(error))
                 self.topology.mark_down(server)
                 errors.append(error)
+                attempt_kind = "reroute"
                 continue
+            except ReproError as error:
+                attempt.finish(loop.time(), "error", str(error))
+                raise
+            attempt.finish(loop.time(), "ok")
+            record.server = server.url
             self.topology.mark_up(server)
             return value
         raise errors[-1] if errors else NetworkError(
@@ -592,7 +766,8 @@ class ClusterSession:
 
     async def _execute_shard(self, kind: str, text: str,
                              opts: QueryOptions, scheme: PartitionScheme,
-                             cell: Cell, server: ServerState, meta: dict):
+                             cell: Cell, server: ServerState, meta: dict,
+                             ctx: _GatherContext, record: ShardRecord):
         """One shard to completion: dispatch, hedge, re-route, account."""
         registry = global_registry()
         shard_counter = registry.counter("repro_dist_shards_total")
@@ -600,13 +775,15 @@ class ClusterSession:
         shard_counter.inc(event="dispatched")
         loop = asyncio.get_running_loop()
         tried: set = set()
+        attempt_kind = "primary"
         while True:
             tried.add(server.url)
             server.dispatched += 1
             started = loop.time()
             try:
-                result = await self._attempt_shard(
-                    kind, text, opts, shard_wire, server, meta,
+                result, attempt = await self._attempt_shard(
+                    kind, text, opts, shard_wire, server, meta, ctx,
+                    record, attempt_kind,
                 )
             except _FAILOVER_ERRORS as error:
                 self.topology.mark_down(server)
@@ -619,24 +796,30 @@ class ClusterSession:
                     ) from error
                 shard_counter.inc(event="rerouted")
                 server = sibling
+                attempt_kind = "reroute"
                 continue
             elapsed = loop.time() - started
             registry.histogram("repro_dist_server_seconds").observe(
-                elapsed, server=server.url,
+                elapsed, server=attempt.server,
             )
+            record.server = attempt.server
             self.topology.mark_up(server)
             return result, elapsed
 
     async def _attempt_shard(self, kind: str, text: str,
                              opts: QueryOptions, shard_wire: dict,
-                             server: ServerState, meta: dict):
+                             server: ServerState, meta: dict,
+                             ctx: _GatherContext, record: ShardRecord,
+                             attempt_kind: str):
         """One dispatch attempt, bounded by the shard deadline."""
         if self.shard_deadline is None:
             return await self._hedged(kind, text, opts, shard_wire,
-                                      server, meta)
+                                      server, meta, ctx, record,
+                                      attempt_kind)
         try:
             return await asyncio.wait_for(
-                self._hedged(kind, text, opts, shard_wire, server, meta),
+                self._hedged(kind, text, opts, shard_wire, server, meta,
+                             ctx, record, attempt_kind),
                 self.shard_deadline,
             )
         except asyncio.TimeoutError:
@@ -646,7 +829,9 @@ class ClusterSession:
             ) from None
 
     async def _hedged(self, kind: str, text: str, opts: QueryOptions,
-                      shard_wire: dict, server: ServerState, meta: dict):
+                      shard_wire: dict, server: ServerState, meta: dict,
+                      ctx: _GatherContext, record: ShardRecord,
+                      attempt_kind: str):
         """Primary dispatch with hedged re-dispatch of stragglers.
 
         After ``hedge_after`` seconds with no answer, the same shard is
@@ -654,10 +839,12 @@ class ClusterSession:
         cancelled (its server-side cursor, if any, falls to the cursor
         registry's idle expiry).  Safe because shards are disjoint and
         shard reads are idempotent — the duplicate computes the exact
-        same rows.
+        same rows.  The hedge reuses the shard's span id with a distinct
+        attempt tag, so both servers' logs name the same logical shard.
         """
         primary = asyncio.ensure_future(
-            self._shard_once(kind, text, opts, shard_wire, server, meta)
+            self._shard_once(kind, text, opts, shard_wire, server, meta,
+                             ctx, record, attempt_kind)
         )
         if self.hedge_after is None:
             return await primary
@@ -670,7 +857,8 @@ class ClusterSession:
         global_registry().counter(
             "repro_dist_shards_total").inc(event="hedged")
         hedge = asyncio.ensure_future(
-            self._shard_once(kind, text, opts, shard_wire, sibling, meta)
+            self._shard_once(kind, text, opts, shard_wire, sibling, meta,
+                             ctx, record, "hedge")
         )
         pending = {primary, hedge}
         first_error: Optional[BaseException] = None
@@ -691,20 +879,40 @@ class ClusterSession:
 
     async def _shard_once(self, kind: str, text: str, opts: QueryOptions,
                           shard_wire: dict, server: ServerState,
-                          meta: dict):
+                          meta: dict, ctx: _GatherContext,
+                          record: ShardRecord, attempt_kind: str):
         """One shard request on one server, no retries beyond the
-        session's own idempotent-op replay."""
-        session = await self._session_for(server)
-        if kind == "count":
-            body = await session._request(
-                "count", query=text, options=_options_payload(opts),
-                shard=shard_wire,
-            )
-            return body["count"]
-        result_set = AsyncRemoteResultSet(
-            session, text, opts, dict(meta), shard=shard_wire,
-        )
-        return await result_set.fetchall()
+        session's own idempotent-op replay.  Returns ``(value, attempt)``
+        so the caller knows which dispatch actually answered."""
+        loop = asyncio.get_running_loop()
+        attempt = record.new_attempt(server.url, attempt_kind, loop.time())
+        span_wire = {"id": record.span_id, "shard": record.index,
+                     "attempt": attempt.tag}
+        try:
+            session = await self._session_for(server)
+            if kind == "count":
+                body = await session._request(
+                    "count", query=text, options=_options_payload(opts),
+                    shard=shard_wire, trace_id=ctx.trace_id,
+                    span=span_wire,
+                )
+                attempt.server_trace = body.get("trace")
+                value = body["count"]
+            else:
+                result_set = AsyncRemoteResultSet(
+                    session, text, opts, dict(meta), shard=shard_wire,
+                    trace_id=ctx.trace_id, span=span_wire,
+                )
+                value = await result_set.fetchall()
+                attempt.server_trace = result_set.server_trace
+        except asyncio.CancelledError:
+            attempt.finish(loop.time(), "cancelled")
+            raise
+        except ReproError as error:
+            attempt.finish(loop.time(), "error", str(error))
+            raise
+        attempt.finish(loop.time(), "ok")
+        return value, attempt
 
     # ------------------------------------------------------------------
     # Sync bridges
@@ -714,14 +922,20 @@ class ClusterSession:
             raise NetworkError("this cluster session is closed")
 
     def _gather_rows(self, text: str, opts: QueryOptions,
-                     plan: DistPlan, meta: dict) -> List[Row]:
+                     plan: DistPlan, meta: dict,
+                     trace_id: str) -> Tuple[List[Row], dict]:
         self._check_open()
-        return self._loop.call(self._gather("rows", text, opts, plan, meta))
+        return self._loop.call(
+            self._gather("rows", text, opts, plan, meta, trace_id)
+        )
 
     def _gather_count(self, text: str, opts: QueryOptions,
-                      plan: DistPlan) -> int:
+                      plan: DistPlan, meta: dict,
+                      trace_id: str) -> Tuple[int, dict]:
         self._check_open()
-        return self._loop.call(self._gather("count", text, opts, plan, {}))
+        return self._loop.call(
+            self._gather("count", text, opts, plan, meta, trace_id)
+        )
 
     # ------------------------------------------------------------------
     # The Session surface
@@ -821,6 +1035,91 @@ class ClusterSession:
                 "retries": self.retries,
             },
         }
+
+    def metrics(self) -> str:
+        """One Prometheus text for the whole fleet.
+
+        Every healthy server is scraped concurrently; each sample line
+        gains a ``server="host:port"`` label so per-server series stay
+        distinguishable after the merge, and the coordinator's own
+        ``repro_fleet_*`` rollups (scrape latency, unreachable count,
+        healthy/configured gauges) ride along unlabelled-by-server.
+        """
+        self._check_open()
+        return self._loop.call(self._metrics_async())
+
+    async def _metrics_async(self) -> str:
+        registry = global_registry()
+        loop = asyncio.get_running_loop()
+        servers = self.topology.healthy()
+
+        async def scrape(server: ServerState):
+            label = server_label(server.url)
+            started = loop.time()
+            try:
+                session = await self._session_for(server)
+                text = await session.metrics()
+            except _FAILOVER_ERRORS:
+                self.topology.mark_down(server)
+                registry.counter("repro_fleet_unreachable_total").inc(
+                    server=label,
+                )
+                return label, None
+            registry.histogram("repro_fleet_scrape_seconds").observe(
+                loop.time() - started, server=label,
+            )
+            return label, text
+
+        scraped = await asyncio.gather(*(scrape(s) for s in servers))
+        per_server = OrderedDict(
+            (label, text)
+            for label, text in sorted(scraped)
+            if text is not None
+        )
+        gauge = registry.gauge("repro_fleet_servers")
+        gauge.set(len(self.topology.healthy()), state="healthy")
+        gauge.set(len(self.topology), state="configured")
+        return merge_prometheus(per_server,
+                                extra=fleet_rollup_text(registry))
+
+    def events(self, limit: Optional[int] = None) -> List[dict]:
+        """The fleet's flight recorder, merged and time-ordered.
+
+        Pulls every healthy server's event ring and interleaves it with
+        the coordinator's own gather events; each entry gains a
+        ``server`` field naming where it was recorded.  Unreachable
+        servers are skipped (and marked down) — a partial fleet still
+        answers.
+        """
+        self._check_open()
+        return self._loop.call(self._events_async(limit))
+
+    async def _events_async(self, limit: Optional[int]) -> List[dict]:
+        merged: List[dict] = []
+
+        async def pull(server: ServerState):
+            label = server_label(server.url)
+            try:
+                session = await self._session_for(server)
+                events = await session.events(limit)
+            except _FAILOVER_ERRORS:
+                self.topology.mark_down(server)
+                return
+            for event in events:
+                # In-process server threads share this process's global
+                # ring, so their pull would echo our own coordinator
+                # events back — keep only what the server itself wrote.
+                if event.get("source") != "coordinator":
+                    merged.append(dict(event, server=label))
+
+        await asyncio.gather(*(pull(s) for s in self.topology.healthy()))
+        for event in global_events().snapshot(limit):
+            if event.get("source") == "coordinator":
+                merged.append(dict(event, server="coordinator"))
+        merged.sort(key=lambda event: event.get("ts") or 0.0)
+        if limit is not None and limit >= 0:
+            merged = merged[-limit:] if limit else []
+        return merged
 
     def close(self) -> None:
         """Close every server session and stop the loop; idempotent."""

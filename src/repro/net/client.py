@@ -112,7 +112,7 @@ _MAX_RETRY_BACKOFF = 2.0
 #: (``cursor`` / ``fetch`` / ``close``) are deliberately absent: they
 #: name server-side stream state that dies with its connection.
 IDEMPOTENT_OPS = frozenset(
-    {"hello", "run", "explain", "count", "stats", "metrics",
+    {"hello", "run", "explain", "count", "stats", "metrics", "events",
      "prepare", "execute", "deallocate"}
 )
 
@@ -1260,6 +1260,11 @@ class RemoteSession:
         """The server's metrics registry in Prometheus text format."""
         return self._request("metrics")["metrics"]
 
+    def events(self, limit: Optional[int] = None) -> List[dict]:
+        """The server's flight-recorder ring, oldest first."""
+        params = {} if limit is None else {"limit": int(limit)}
+        return self._request("events", **params)["events"]
+
     def close(self) -> None:
         """Say goodbye on idle connections and close the pool; idempotent.
 
@@ -1332,7 +1337,9 @@ class AsyncRemoteResultSet:
     def __init__(self, session: "AsyncRemoteSession", query_text: str,
                  options: QueryOptions, meta: dict,
                  prepared_key: Optional[Tuple[str, str]] = None,
-                 shard: Optional[dict] = None) -> None:
+                 shard: Optional[dict] = None,
+                 trace_id: Optional[str] = None,
+                 span: Optional[dict] = None) -> None:
         import asyncio
 
         self._session = session
@@ -1343,6 +1350,13 @@ class AsyncRemoteResultSet:
         # {"scheme": ..., "cell": ...} wire form); rides on every cursor
         # open and count for this result set.
         self._shard = shard
+        # Optional distributed trace context: the coordinator's trace id
+        # plus its {"id", "shard", "attempt"} span descriptor; stamped on
+        # every cursor open and count so the server executes under the
+        # adopted context and its span subtree correlates back.
+        self._trace_id = trace_id
+        self._span = span
+        self._server_stats: dict = {}
         self._cursor_id: Optional[int] = None  # opened at first fetch
         self._generation: Optional[int] = None  # connection it lives on
         self._variables = tuple(Variable(name) for name in meta["columns"])
@@ -1384,7 +1398,8 @@ class AsyncRemoteResultSet:
                 self._cursor_id, self._generation = \
                     await self._session._open_cursor(
                         self._text, _options_payload(self._options),
-                        shard=self._shard,
+                        shard=self._shard, trace_id=self._trace_id,
+                        span=self._span,
                     )
 
     async def _fetch(self, size: int) -> List[Row]:
@@ -1438,6 +1453,7 @@ class AsyncRemoteResultSet:
         if body["done"]:
             self._done = True
             stats = body.get("stats") or {}
+            self._server_stats = stats
             if stats.get("total") is not None:
                 self._count = stats["total"]
         return rows
@@ -1508,9 +1524,27 @@ class AsyncRemoteResultSet:
                       "options": _options_payload(self._options)}
             if self._shard is not None:
                 params["shard"] = self._shard
+            if self._trace_id is not None:
+                params["trace_id"] = self._trace_id
+            if self._span is not None:
+                params["span"] = self._span
             body = await self._session._request("count", **params)
+        if body.get("trace") is not None:
+            self._server_stats = dict(self._server_stats,
+                                      trace=body["trace"])
         self._count = body["count"]
         return self._count
+
+    @property
+    def server_stats(self) -> dict:
+        """The final server-side stats (set once the stream drains)."""
+        return self._server_stats
+
+    @property
+    def server_trace(self) -> Optional[dict]:
+        """The server's span subtree, if the response carried one."""
+        trace = self._server_stats.get("trace")
+        return trace if isinstance(trace, dict) else None
 
     async def close(self) -> None:
         if self._closed:
@@ -1784,17 +1818,24 @@ class AsyncRemoteSession:
         return _result(response)
 
     async def _open_cursor(self, text: str, payload: dict,
-                           shard: Optional[dict] = None) -> Tuple[int, int]:
+                           shard: Optional[dict] = None,
+                           trace_id: Optional[str] = None,
+                           span: Optional[dict] = None) -> Tuple[int, int]:
         """Open a server cursor; returns (cursor id, connection generation).
 
         Retried like an idempotent op — a cursor whose open response was
         lost died with its connection, so a replay leaks nothing.
         ``shard`` (optional) restricts the cursor to one grid cell of a
-        distributed partitioning.
+        distributed partitioning; ``trace_id``/``span`` carry the
+        coordinator's distributed trace context.
         """
         params = {"query": text, "options": payload}
         if shard is not None:
             params["shard"] = shard
+        if trace_id is not None:
+            params["trace_id"] = trace_id
+        if span is not None:
+            params["span"] = span
         response, generation = await self._retry_send(
             "cursor", params, 1 + self.retries,
         )
@@ -1920,6 +1961,11 @@ class AsyncRemoteSession:
     async def metrics(self) -> str:
         """The server's metrics registry in Prometheus text format."""
         return (await self._request("metrics"))["metrics"]
+
+    async def events(self, limit: Optional[int] = None) -> List[dict]:
+        """The server's flight-recorder ring, oldest first."""
+        params = {} if limit is None else {"limit": int(limit)}
+        return (await self._request("events", **params))["events"]
 
     async def close(self) -> None:
         if self._closed:

@@ -49,6 +49,7 @@ from repro.errors import (
 )
 from repro.exec.partitioner import Cell, Partitioner, PartitionScheme
 from repro.net import columnar, protocol
+from repro.obs.events import global_events
 from repro.obs.logs import get_logger
 from repro.obs.metrics import global_registry
 from repro.service.cursors import CursorRegistry
@@ -464,6 +465,43 @@ class ReproServer:
         if isinstance(trace_id, str) and trace_id:
             result_set.adopt_trace_id(trace_id)
 
+    @staticmethod
+    def _span_context(frame: dict, shard=None) -> dict:
+        """The coordinator-stamped shard span context of one request.
+
+        A distributed dispatch carries ``span = {"id", "shard",
+        "attempt"}`` next to ``trace_id``; hedges and re-routes of the
+        same logical shard reuse the span id with distinct attempt
+        tags, which is what lets two servers' logs correlate.
+        """
+        context: dict = {}
+        trace_id = frame.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            context["trace_id"] = trace_id
+        span = frame.get("span")
+        if isinstance(span, dict):
+            span_id = span.get("id")
+            if isinstance(span_id, str) and span_id:
+                context["span_id"] = span_id
+            index = span.get("shard")
+            if isinstance(index, int) and not isinstance(index, bool):
+                context["shard"] = index
+            attempt = span.get("attempt")
+            if isinstance(attempt, str) and attempt:
+                context["attempt"] = attempt
+        if shard is not None:
+            context["cell"] = str(tuple(shard[1]))
+        return context
+
+    @staticmethod
+    def _adopt_span_context(result_set, context: dict) -> None:
+        """Stamp the shard span context onto the server-side trace root."""
+        annotations = {key: context[key]
+                       for key in ("span_id", "shard", "attempt", "cell")
+                       if key in context}
+        if annotations:
+            result_set.annotate_trace(**annotations)
+
     # -- shard-restricted execution -------------------------------------
     @staticmethod
     def _shard_request(frame: dict
@@ -579,14 +617,22 @@ class ReproServer:
         """Open a server-side cursor: the lazy stream the client pages."""
         query, options = self._query_or_handle(connection, frame)
         shard = self._shard_request(frame)
+        context = self._span_context(frame, shard)
+        received = time.perf_counter()
 
         def open_cursor():
+            queue_wait = time.perf_counter() - received
             opts = self.service.session.options(**options)
             if shard is not None:
                 result_set = self._shard_run(query, opts, *shard)
             else:
                 result_set = self.service.session.run(query, opts)
             self._adopt_trace_id(result_set, frame)
+            self._adopt_span_context(result_set, context)
+            result_set.record_queue_wait(queue_wait)
+            # _op_fetch observes the query when the cursor drains; the
+            # dispatch context must survive until then.
+            result_set._wire_context = context
             return connection.registry.open(result_set)
 
         cursor = await self._call(open_cursor)
@@ -629,10 +675,12 @@ class ReproServer:
             # A drained cursor is one completed streamed query; remote
             # queries never pass through QueryService.execute, so this
             # is where they land on the request metrics and slow log.
+            context = getattr(cursor.result_set, "_wire_context", None) or {}
             self.service.observe_query(
                 query=stats.query,
                 seconds=stats.plan_seconds + stats.execution_seconds,
                 mode="tuples", algorithm=stats.algorithm, trace=trace,
+                **context,
             )
         return body
 
@@ -645,8 +693,11 @@ class ReproServer:
     async def _op_count(self, connection: _Connection, frame: dict) -> dict:
         query, options = self._query_or_handle(connection, frame)
         shard = self._shard_request(frame)
+        context = self._span_context(frame, shard)
+        received = time.perf_counter()
 
         def count():
+            queue_wait = time.perf_counter() - received
             opts = self.service.session.options(**options)
             started = time.perf_counter()
             if shard is not None:
@@ -654,6 +705,7 @@ class ReproServer:
             else:
                 result_set = self.service.session.run(query, opts)
             self._adopt_trace_id(result_set, frame)
+            self._adopt_span_context(result_set, context)
             try:
                 value = result_set.count()
             except ReproError as error:
@@ -663,13 +715,16 @@ class ReproServer:
                     mode="count", algorithm=result_set.algorithm,
                     outcome="timeout" if isinstance(error, TimeoutExceeded)
                     else "error",
+                    **context,
                 )
                 raise
+            result_set.record_queue_wait(queue_wait)
             self.service.observe_query(
                 query=result_set.query_text,
                 seconds=time.perf_counter() - started,
                 mode="count", algorithm=result_set.algorithm,
                 trace=result_set.stats.trace,
+                **context,
             )
             return value, result_set
 
@@ -782,6 +837,18 @@ class ReproServer:
         """The process-wide metrics registry in Prometheus text format."""
         return {"metrics": global_registry().render()}
 
+    async def _op_events(self, connection: _Connection,
+                         frame: dict) -> dict:
+        """The flight recorder's recent query events, oldest first."""
+        limit = frame.get("limit")
+        if limit is not None and (isinstance(limit, bool)
+                                  or not isinstance(limit, int)
+                                  or limit < 0):
+            raise ProtocolError(
+                f"'limit' must be a non-negative int, got {limit!r}"
+            )
+        return {"events": global_events().snapshot(limit)}
+
     async def _op_goodbye(self, connection: _Connection,
                           frame: dict) -> dict:
         connection.registry.close_all()
@@ -801,6 +868,7 @@ class ReproServer:
         "explain": _op_explain,
         "stats": _op_stats,
         "metrics": _op_metrics,
+        "events": _op_events,
         "goodbye": _op_goodbye,
     }
 

@@ -9,9 +9,33 @@ Three pillars, threaded through engine, service, wire, and CLI:
   ``ResultSet.stats.trace`` and the ``repro analyze`` verb.
 * :mod:`repro.obs.logs` — stdlib logging with a JSON formatter and a
   threshold-based slow-query log.
+
+Fleet-scale additions:
+
+* :mod:`repro.obs.events` — the query flight recorder: a bounded ring
+  of recent query events (``events`` op / ``repro events``).
+* :mod:`repro.obs.fleet` — distributed trace stitching, per-shard
+  timelines, and the multi-server Prometheus merge behind
+  ``repro metrics --cluster`` / ``repro analyze --cluster``.
 """
 
 from repro.obs.analyze import AnalyzeReport, explain_analyze
+from repro.obs.events import (
+    EventLog,
+    format_event,
+    global_events,
+    isolated_events,
+    set_global_events,
+)
+from repro.obs.fleet import (
+    ShardAttempt,
+    ShardRecord,
+    fleet_rollup_text,
+    merge_prometheus,
+    render_timeline,
+    server_label,
+    stitch_trace,
+)
 from repro.obs.logs import (
     JsonFormatter,
     SlowQueryLog,
@@ -32,6 +56,18 @@ from repro.obs.trace import QueryTrace, Span, new_trace_id, span
 __all__ = [
     "AnalyzeReport",
     "explain_analyze",
+    "EventLog",
+    "format_event",
+    "global_events",
+    "isolated_events",
+    "set_global_events",
+    "ShardAttempt",
+    "ShardRecord",
+    "fleet_rollup_text",
+    "merge_prometheus",
+    "render_timeline",
+    "server_label",
+    "stitch_trace",
     "JsonFormatter",
     "SlowQueryLog",
     "configure_logging",

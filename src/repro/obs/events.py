@@ -1,0 +1,137 @@
+"""Query flight recorder: a bounded ring of recent query events.
+
+Post-hoc incident reconstruction needs a durable record of what each
+node actually did — which server served which shard, whether a hedge
+fired, how long the query took, and how it ended.  The flight recorder
+is a process-global, thread-safe ring of small dict events:
+
+- ``QueryService`` records one event per observed query (source
+  ``"service"``), carrying the trace id and — for shard sub-queries —
+  the shard index, cell, and attempt tag stamped by the coordinator.
+- The cluster coordinator records one event per gathered query (source
+  ``"coordinator"``), carrying the full shard → server map and the
+  hedge / re-route counts.
+
+The ring is bounded (default 256 events) so it costs O(1) memory under
+sustained traffic, and it is exposed over the wire via the ``events``
+protocol op and the ``repro events`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+__all__ = [
+    "EventLog",
+    "format_event",
+    "global_events",
+    "isolated_events",
+    "set_global_events",
+]
+
+DEFAULT_CAPACITY = 256
+
+
+class EventLog:
+    """Thread-safe bounded ring of query events (newest last)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 clock: Callable[[], float] = time.time) -> None:
+        if capacity < 1:
+            raise ValueError("EventLog capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._events: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, **fields: object) -> dict:
+        """Append one event; ``None``-valued fields are dropped."""
+        event = {key: value for key, value in fields.items()
+                 if value is not None}
+        event.setdefault("ts", round(self._clock(), 6))
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    def snapshot(self, limit: Optional[int] = None) -> List[dict]:
+        """The most recent ``limit`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []
+        return [dict(event) for event in events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_global_events = EventLog()
+_global_lock = threading.Lock()
+
+
+def global_events() -> EventLog:
+    """The process-global flight recorder."""
+    return _global_events
+
+
+def set_global_events(events: EventLog) -> EventLog:
+    """Swap the process-global ring; returns the previous one."""
+    global _global_events
+    with _global_lock:
+        previous = _global_events
+        _global_events = events
+    return previous
+
+
+@contextmanager
+def isolated_events(capacity: int = DEFAULT_CAPACITY) -> Iterator[EventLog]:
+    """Swap in a fresh ring for the duration of a test."""
+    fresh = EventLog(capacity)
+    previous = set_global_events(fresh)
+    try:
+        yield fresh
+    finally:
+        set_global_events(previous)
+
+
+def format_event(event: dict) -> str:
+    """One human-readable line per event (stable, greppable)."""
+    ts = event.get("ts")
+    if isinstance(ts, (int, float)):
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(ts))
+    else:
+        stamp = "-"
+    parts = [
+        stamp,
+        str(event.get("trace_id") or "-"),
+        str(event.get("source") or "-"),
+        str(event.get("outcome") or "-"),
+    ]
+    seconds = event.get("seconds")
+    if isinstance(seconds, (int, float)):
+        parts.append(f"{seconds * 1000.0:.1f}ms")
+    query = event.get("query")
+    if query:
+        parts.append(repr(str(query)))
+    extras = []
+    for key in ("server", "mode", "shard", "attempt", "cell",
+                "hedges", "reroutes"):
+        if key in event:
+            extras.append(f"{key}={event[key]}")
+    shard_map = event.get("shard_map")
+    if isinstance(shard_map, dict) and shard_map:
+        pairs = ",".join(f"{index}->{server}"
+                         for index, server in sorted(shard_map.items()))
+        extras.append(f"shards[{pairs}]")
+    if extras:
+        parts.append(" ".join(extras))
+    return "  ".join(parts)

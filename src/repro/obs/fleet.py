@@ -1,0 +1,457 @@
+"""Fleet observability: trace stitching, timelines, merged metrics.
+
+A distributed query runs on machines with unrelated clocks: the
+coordinator times each shard attempt on its own monotonic clock while
+every server snapshots its span subtree against its own.  This module
+is the pure, socket-free half of fleet observability — the coordinator
+records *what it saw* (per-shard attempt intervals, the server subtree
+each response carried) and the functions here assemble that into:
+
+* :func:`stitch_trace` — one well-formed span tree for the whole
+  gather.  Server subtrees are re-based into the coordinator's clock by
+  anchoring them to the tail of the attempt that carried them (the
+  response arrived when the attempt ended), then clamped into the
+  attempt interval exactly like :meth:`Span.as_dict` clamps children —
+  so the stitched tree is well-formed by construction, even under
+  hedges, re-routes, and mid-gather failures.
+* :func:`render_timeline` — the per-shard dispatch → queue → execute →
+  transfer breakdown ``repro analyze --cluster`` prints, with
+  straggler / hedge / re-route annotations.
+* :func:`merge_prometheus` — many per-server Prometheus exposition
+  texts merged into one, every sample gaining a ``server="host:port"``
+  label, plus un-relabelled coordinator-side ``repro_fleet_*`` rollups.
+
+Everything here operates on plain dicts and strings, so the stitched
+well-formedness property is testable without opening a socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry, _escape_label_value, global_registry
+from .trace import _as_float
+
+__all__ = [
+    "ShardAttempt",
+    "ShardRecord",
+    "stitch_trace",
+    "render_timeline",
+    "merge_prometheus",
+    "fleet_rollup_text",
+    "server_label",
+    "FLEET_METRICS",
+]
+
+#: Coordinator-side rollup metrics appended to the merged fleet scrape.
+FLEET_METRICS: Tuple[str, ...] = (
+    "repro_fleet_scrape_seconds",
+    "repro_fleet_unreachable_total",
+    "repro_fleet_servers",
+)
+
+#: A shard whose wall time exceeds this multiple of the median shard is
+#: annotated as a straggler in the timeline.
+STRAGGLER_FACTOR = 1.5
+
+
+def server_label(url: str) -> str:
+    """``repro://host:port`` → ``host:port`` (the Prometheus label value)."""
+    _, _, rest = str(url).rpartition("://")
+    return rest or str(url)
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side records (filled in by repro.dist.coordinator)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardAttempt:
+    """One dispatch of one shard to one server.
+
+    Hedges and re-routes are *new attempts of the same shard*: they share
+    the shard's span id and differ only in ``kind`` / ``attempt`` — which
+    is what lets two servers' logs correlate to one logical shard.
+    """
+
+    server: str
+    kind: str                     # "primary" | "hedge" | "reroute"
+    attempt: int                  # ordinal within the shard, 0-based
+    start: float
+    end: float = 0.0
+    outcome: str = "pending"      # "ok" | "error" | "cancelled" | "pending"
+    error: Optional[str] = None
+    server_trace: Optional[dict] = None
+
+    @property
+    def tag(self) -> str:
+        return f"{self.kind}-{self.attempt}"
+
+    def finish(self, clock_now: float, outcome: str,
+               error: Optional[str] = None) -> None:
+        if self.outcome == "pending":
+            self.end = clock_now
+            self.outcome = outcome
+            self.error = error
+
+
+@dataclass
+class ShardRecord:
+    """Everything the coordinator saw about one logical shard."""
+
+    index: int
+    span_id: str
+    cell: Optional[Tuple[int, ...]] = None
+    attempts: List[ShardAttempt] = field(default_factory=list)
+    server: Optional[str] = None  # the server whose answer won
+
+    def new_attempt(self, server: str, kind: str,
+                    clock_now: float) -> ShardAttempt:
+        attempt = ShardAttempt(server=server, kind=kind,
+                               attempt=len(self.attempts), start=clock_now)
+        self.attempts.append(attempt)
+        return attempt
+
+    @property
+    def hedges(self) -> int:
+        return sum(1 for a in self.attempts if a.kind == "hedge")
+
+    @property
+    def reroutes(self) -> int:
+        return sum(1 for a in self.attempts if a.kind == "reroute")
+
+
+# ----------------------------------------------------------------------
+# Trace stitching
+# ----------------------------------------------------------------------
+def _node(name: str, start: float, end: float,
+          annotations: Optional[dict] = None,
+          children: Optional[list] = None) -> dict:
+    return {
+        "name": name,
+        "start": start,
+        "end": max(start, end),
+        "annotations": dict(annotations or {}),
+        "children": list(children or ()),
+    }
+
+
+def _absolute(node: object, offset: float) -> Optional[dict]:
+    """A server-relative snapshot node shifted into coordinator time."""
+    if not isinstance(node, dict):
+        return None
+    start = offset + _as_float(node.get("start"))
+    end = start + max(0.0, _as_float(node.get("duration")))
+    annotations = node.get("annotations")
+    children_raw = node.get("children")
+    children = []
+    if isinstance(children_raw, (list, tuple)):
+        children = [child for child in
+                    (_absolute(entry, offset) for entry in children_raw)
+                    if child is not None]
+    return _node(
+        str(node.get("name", "?")), start, end,
+        annotations if isinstance(annotations, dict) else {},
+        children,
+    )
+
+
+def _finalize(node: dict, origin: float, lo: float, hi: float) -> dict:
+    """Clamp to ``[lo, hi]`` and emit the snapshot dict form."""
+    start = min(max(node["start"], lo), hi)
+    end = min(max(node["end"], start), hi)
+    out: dict = {
+        "name": node["name"],
+        "start": round(start - origin, 9),
+        "duration": round(end - start, 9),
+    }
+    if node["annotations"]:
+        out["annotations"] = dict(node["annotations"])
+    if node["children"]:
+        out["children"] = [
+            _finalize(child, origin, start, end)
+            for child in node["children"]
+        ]
+    return out
+
+
+def _attempt_node(attempt: ShardAttempt) -> dict:
+    annotations: dict = {
+        "server": attempt.server,
+        "kind": attempt.kind,
+        "attempt": attempt.tag,
+        "outcome": attempt.outcome,
+    }
+    if attempt.error:
+        annotations["error"] = attempt.error
+    end = attempt.end if attempt.end else attempt.start
+    children = []
+    trace = attempt.server_trace
+    root = trace.get("root") if isinstance(trace, dict) else None
+    if isinstance(root, dict):
+        server_duration = max(0.0, _as_float(root.get("duration")))
+        attempt_duration = max(0.0, end - attempt.start)
+        annotations["transfer_seconds"] = round(
+            max(0.0, attempt_duration - server_duration), 6
+        )
+        # The response carrying the subtree arrived when the attempt
+        # ended; anchor the server interval to that tail.
+        anchor = max(attempt.start, end - server_duration)
+        shifted = _absolute(root, anchor - _as_float(root.get("start")))
+        if shifted is not None:
+            shifted["name"] = "server"
+            children.append(shifted)
+    return _node("attempt", attempt.start, end, annotations, children)
+
+
+def stitch_trace(*, trace_id: str, started: float, finished: float,
+                 shards: Sequence[ShardRecord],
+                 merge_start: Optional[float] = None,
+                 merge_end: Optional[float] = None,
+                 annotations: Optional[dict] = None) -> dict:
+    """One well-formed tree for a whole gather, in coordinator time.
+
+    ``root (query) → shard (one per logical shard) → attempt (one per
+    dispatch, hedges and re-routes included) → server (the re-based
+    server subtree)``, plus a trailing ``merge`` child of the root.
+    Every interval is clamped into its parent's, so the result passes
+    the same well-formedness checks as a single-node trace snapshot.
+    """
+    finished = max(started, finished)
+    hedges = sum(record.hedges for record in shards)
+    reroutes = sum(record.reroutes for record in shards)
+    root_annotations: dict = {
+        "distributed": True,
+        "shards": len(shards),
+        "hedges": hedges,
+        "reroutes": reroutes,
+    }
+    root_annotations.update(annotations or {})
+    children = []
+    for record in shards:
+        if record.attempts:
+            shard_start = min(a.start for a in record.attempts)
+            shard_end = max((a.end if a.end else a.start)
+                            for a in record.attempts)
+        else:
+            shard_start, shard_end = started, started
+        shard_annotations: dict = {
+            "shard": record.index,
+            "span_id": record.span_id,
+        }
+        if record.cell is not None:
+            shard_annotations["cell"] = str(tuple(record.cell))
+        if record.server:
+            shard_annotations["server"] = record.server
+        children.append(_node(
+            "shard", shard_start, shard_end, shard_annotations,
+            [_attempt_node(attempt) for attempt in record.attempts],
+        ))
+    if merge_start is not None:
+        children.append(_node(
+            "merge", merge_start,
+            merge_end if merge_end is not None else merge_start,
+        ))
+    root = _node("query", started, finished, root_annotations, children)
+    return {
+        "trace_id": trace_id,
+        "root": _finalize(root, started, started, max(started, finished)),
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-shard timeline (repro analyze --cluster)
+# ----------------------------------------------------------------------
+def _child_named(node: dict, name: str) -> Optional[dict]:
+    children = node.get("children")
+    if isinstance(children, (list, tuple)):
+        for child in children:
+            if isinstance(child, dict) and child.get("name") == name:
+                return child
+    return None
+
+
+def _ms(seconds: object) -> str:
+    return f"{_as_float(seconds) * 1000.0:.1f}ms"
+
+
+def render_timeline(trace: Optional[dict]) -> str:
+    """The per-shard dispatch/queue/execute/transfer breakdown."""
+    if not isinstance(trace, dict):
+        return "per-shard timeline: (no trace)"
+    root = trace.get("root")
+    if not isinstance(root, dict):
+        return "per-shard timeline: (no trace)"
+    children = root.get("children")
+    if not isinstance(children, (list, tuple)):
+        children = []
+    shards = [child for child in children
+              if isinstance(child, dict) and child.get("name") == "shard"]
+    lines = [f"per-shard timeline (trace {trace.get('trace_id', '?')}):"]
+    totals = sorted(_as_float(node.get("duration")) for node in shards)
+    median = totals[len(totals) // 2] if totals else 0.0
+    for position, node in enumerate(shards):
+        annotations = node.get("annotations")
+        if not isinstance(annotations, dict):
+            annotations = {}
+        attempts = [child for child in node.get("children", ())
+                    if isinstance(child, dict)
+                    and child.get("name") == "attempt"]
+        winner = None
+        for attempt in attempts:
+            outcome = (attempt.get("annotations") or {}).get("outcome")
+            if outcome == "ok":
+                winner = attempt
+        if winner is None and attempts:
+            winner = attempts[-1]
+        dispatch = _as_float(node.get("start"))
+        queue = execute = transfer = 0.0
+        server = annotations.get("server")
+        outcome = "ok"
+        if winner is not None:
+            winner_annotations = winner.get("annotations") or {}
+            outcome = winner_annotations.get("outcome", "?")
+            server = winner_annotations.get("server", server)
+            server_node = _child_named(winner, "server")
+            if server_node is not None:
+                queue_node = _child_named(server_node, "queue")
+                queue = _as_float(queue_node.get("duration")) \
+                    if queue_node else 0.0
+                server_seconds = _as_float(server_node.get("duration"))
+                execute = max(0.0, server_seconds - queue)
+                transfer = max(
+                    0.0, _as_float(winner.get("duration")) - server_seconds
+                )
+            else:
+                transfer = _as_float(winner.get("duration"))
+        total = _as_float(node.get("duration"))
+        tags = []
+        kinds = {(a.get("annotations") or {}).get("kind") for a in attempts}
+        if "hedge" in kinds:
+            tags.append("[hedged]")
+        if "reroute" in kinds:
+            tags.append("[rerouted]")
+        if len(shards) >= 2 and median > 0 \
+                and total > STRAGGLER_FACTOR * median:
+            tags.append("[straggler]")
+        if outcome != "ok":
+            tags.append(f"[{outcome}]")
+        label = annotations.get("shard", position)
+        where = f" server={server_label(server)}" if server else ""
+        suffix = f" {' '.join(tags)}" if tags else ""
+        lines.append(
+            f"  shard {label}{where} dispatch {_ms(dispatch)}"
+            f" | queue {_ms(queue)} | execute {_ms(execute)}"
+            f" | transfer {_ms(transfer)} | total {_ms(total)}{suffix}"
+        )
+    merge_node = _child_named(root, "merge")
+    if merge_node is not None:
+        lines.append(f"  merge {_ms(merge_node.get('duration'))}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet metrics merge
+# ----------------------------------------------------------------------
+def _sample_metric_name(line: str) -> str:
+    head = line.split("{", 1)[0].split(" ", 1)[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if head.endswith(suffix):
+            return head[: -len(suffix)]
+    return head
+
+
+def _parse_blocks(text: str) -> "Dict[str, dict]":
+    """Exposition text → ordered ``{metric: {help, type, samples}}``."""
+    blocks: Dict[str, dict] = {}
+    current: Optional[str] = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                continue
+            name = parts[2]
+            block = blocks.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            block["help" if parts[1] == "HELP" else "type"] = line
+            current = name
+        elif line.startswith("#"):
+            continue
+        else:
+            name = current
+            if name is None or not _sample_metric_name(line).startswith(name):
+                name = _sample_metric_name(line)
+            block = blocks.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            block["samples"].append(line)
+    return blocks
+
+
+def _relabel(line: str, server: str) -> str:
+    """Inject ``server="..."`` as the first label of one sample line."""
+    pair = f'server="{_escape_label_value(server)}"'
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close > brace:
+            labels = line[brace + 1:close]
+            merged = pair + ("," + labels if labels else "")
+            return f"{line[:brace]}{{{merged}}}{line[close + 1:]}"
+    name, sep, value = line.partition(" ")
+    if not sep:
+        return line
+    return f"{name}{{{pair}}} {value}"
+
+
+def merge_prometheus(per_server: Mapping[str, str],
+                     extra: Optional[str] = None) -> str:
+    """Merge per-server exposition texts into one valid document.
+
+    ``per_server`` maps a server label (``host:port``) to that server's
+    ``/metrics`` text; every sample gains the ``server`` label.  ``extra``
+    (coordinator-side rollups, already labelled) is merged verbatim.
+    Each metric keeps exactly one ``# HELP`` / ``# TYPE`` block, so the
+    result still parses as Prometheus exposition text.
+    """
+    merged: Dict[str, dict] = {}
+    for server, text in per_server.items():
+        for name, block in _parse_blocks(text or "").items():
+            target = merged.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            target["help"] = target["help"] or block["help"]
+            target["type"] = target["type"] or block["type"]
+            target["samples"].extend(
+                _relabel(sample, server) for sample in block["samples"]
+            )
+    if extra:
+        for name, block in _parse_blocks(extra).items():
+            target = merged.setdefault(
+                name, {"help": None, "type": None, "samples": []}
+            )
+            target["help"] = target["help"] or block["help"]
+            target["type"] = target["type"] or block["type"]
+            target["samples"].extend(block["samples"])
+    lines: List[str] = []
+    for block in merged.values():
+        if block["help"]:
+            lines.append(block["help"])
+        if block["type"]:
+            lines.append(block["type"])
+        lines.extend(block["samples"])
+    return "\n".join(lines) + "\n"
+
+
+def fleet_rollup_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render only the coordinator-side ``repro_fleet_*`` blocks."""
+    registry = registry or global_registry()
+    lines: List[str] = []
+    for name in FLEET_METRICS:
+        metric = registry.get(name)
+        if metric is not None:
+            lines.extend(metric.render_lines())
+    return "\n".join(lines)

@@ -131,8 +131,15 @@ class SlowQueryLog:
     def record(self, *, query: str, seconds: float, mode: str = "tuples",
                algorithm: Optional[str] = None, outcome: str = "ok",
                options: Optional[Mapping[str, object]] = None,
-               trace: Optional[dict] = None) -> Optional[dict]:
-        """Record one finished query if it crossed the threshold."""
+               trace: Optional[dict] = None,
+               context: Optional[Mapping[str, object]] = None
+               ) -> Optional[dict]:
+        """Record one finished query if it crossed the threshold.
+
+        ``context`` carries distributed correlation fields (trace id,
+        shard span id, attempt tag) so slow entries on two servers can
+        be tied back to one logical shard of one cluster query.
+        """
         if self.threshold is None or seconds < self.threshold:
             return None
         entry: Dict[str, object] = {
@@ -146,6 +153,9 @@ class SlowQueryLog:
         }
         if options:
             entry["options"] = dict(options)
+        if context:
+            entry["context"] = {key: value for key, value in context.items()
+                                if value is not None}
         if trace:
             from repro.obs.trace import summarize
 

@@ -574,6 +574,21 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         "tail-latency skew signal share sizing and hedging fight.",
         buckets=STRAGGLER_BUCKETS,
     )
+    registry.histogram(
+        "repro_fleet_scrape_seconds",
+        "Coordinator-side latency of each per-server metrics scrape.",
+        ("server",),
+    )
+    registry.counter(
+        "repro_fleet_unreachable_total",
+        "Fleet scrapes that found a server unreachable, by server.",
+        ("server",),
+    )
+    registry.gauge(
+        "repro_fleet_servers",
+        "Cluster size as seen at the last fleet scrape, by health state.",
+        ("state",),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -149,6 +149,29 @@ class QueryTrace:
     def finish(self) -> None:
         self.root.finish()
 
+    def absorb_wait(self, name: str, seconds: float,
+                    **annotations: object) -> None:
+        """Extend the root backwards by ``seconds`` and record that lead
+        time as the first child span.
+
+        Queue wait elapses *before* the trace exists (the worker that
+        creates it is what was queued behind), so it can only be added
+        after the fact: stretch the root's start back and insert a
+        finished child covering exactly the stretched interval.  The
+        result stays well-formed — the child is nested in the root by
+        construction.
+        """
+        if seconds <= 0:
+            return
+        start = self.root._start - seconds
+        self.root._start = start
+        child = Span(name, self._clock)
+        child._start = start
+        child._end = start + seconds
+        if annotations:
+            child.annotations.update(annotations)
+        self.root.children.insert(0, child)
+
     def as_dict(self) -> dict:
         """A clamped, JSON-safe snapshot (the wire / stats form)."""
         now = self._clock()
@@ -190,21 +213,46 @@ def span(name: str, **annotations: object) -> Iterator[Optional[Span]]:
 
 # ----------------------------------------------------------------------
 # Presentation helpers (operate on the dict snapshot form)
+#
+# These must degrade gracefully: cache-served results carry no trace,
+# degraded fleets can surface partial or malformed subtrees, and both
+# end up in the slow-query log and ``repro analyze`` output.  A missing
+# or mangled trace renders as an honest placeholder, never a crash.
 # ----------------------------------------------------------------------
-def _render_node(node: dict, depth: int, lines: List[str]) -> None:
-    label = "  " * depth + node.get("name", "?")
-    duration_ms = float(node.get("duration", 0.0)) * 1000.0
-    annotations = node.get("annotations") or {}
+def _as_float(value: object, default: float = 0.0) -> float:
+    try:
+        result = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+    if result != result or result in (float("inf"), float("-inf")):
+        return default
+    return result
+
+
+def _render_node(node: object, depth: int, lines: List[str]) -> None:
+    if not isinstance(node, dict):
+        lines.append("  " * depth + "?")
+        return
+    label = "  " * depth + str(node.get("name", "?"))
+    duration_ms = _as_float(node.get("duration")) * 1000.0
+    annotations = node.get("annotations")
+    if not isinstance(annotations, dict):
+        annotations = {}
     suffix = "".join(
-        f"  {key}={value}" for key, value in sorted(annotations.items())
+        f"  {key}={value}"
+        for key, value in sorted(annotations.items(), key=lambda kv: str(kv[0]))
     )
     lines.append(f"{label:<28} {duration_ms:>9.3f} ms{suffix}")
-    for child in node.get("children", ()):
-        _render_node(child, depth + 1, lines)
+    children = node.get("children")
+    if isinstance(children, (list, tuple)):
+        for child in children:
+            _render_node(child, depth + 1, lines)
 
 
-def render(trace: dict) -> str:
+def render(trace: Optional[dict]) -> str:
     """An indented, human-readable tree for one trace snapshot."""
+    if not isinstance(trace, dict):
+        return "trace (absent)"
     lines: List[str] = [f"trace {trace.get('trace_id', '?')}"]
     root = trace.get("root")
     if root:
@@ -212,15 +260,27 @@ def render(trace: dict) -> str:
     return "\n".join(lines)
 
 
-def summarize(trace: dict) -> dict:
+def summarize(trace: Optional[dict]) -> dict:
     """Roll a trace up to top-level phase timings (for the slow-query log)."""
-    root = trace.get("root") or {}
-    phases = {
-        child.get("name", "?"): round(float(child.get("duration", 0.0)), 6)
-        for child in root.get("children", ())
-    }
+    if not isinstance(trace, dict):
+        return {"trace_id": None, "total_seconds": 0.0, "phases": {}}
+    root = trace.get("root")
+    if not isinstance(root, dict):
+        root = {}
+    phases: Dict[str, float] = {}
+    children = root.get("children")
+    if isinstance(children, (list, tuple)):
+        for child in children:
+            if not isinstance(child, dict):
+                continue
+            name = str(child.get("name", "?"))
+            # Repeated phase names (e.g. one "shard" child per shard in a
+            # stitched distributed trace) aggregate instead of overwrite.
+            phases[name] = round(
+                phases.get(name, 0.0) + _as_float(child.get("duration")), 6
+            )
     return {
         "trace_id": trace.get("trace_id"),
-        "total_seconds": round(float(root.get("duration", 0.0)), 6),
+        "total_seconds": round(_as_float(root.get("duration")), 6),
         "phases": phases,
     }

@@ -38,6 +38,7 @@ from repro.engine import PreparedQuery, QueryEngine
 from repro.errors import ExecutionError, ReproError, TimeoutExceeded
 from repro.exec.partitioner import ParallelConfig
 from repro.exec.plan import PhysicalPlan
+from repro.obs.events import global_events
 from repro.obs.logs import SlowQueryLog, get_logger
 from repro.obs.metrics import global_registry
 from repro.service.executor import WorkerPool, WorkerPoolStats
@@ -281,12 +282,21 @@ class QueryService:
     def observe_query(self, *, query: str, seconds: float,
                       mode: str = "tuples", algorithm: Optional[str] = None,
                       outcome: str = "ok",
-                      trace: Optional[dict] = None) -> None:
-        """Record one served query on the metrics registry and slow log.
+                      trace: Optional[dict] = None,
+                      trace_id: Optional[str] = None,
+                      span_id: Optional[str] = None,
+                      shard: Optional[int] = None,
+                      attempt: Optional[str] = None,
+                      cell: Optional[str] = None) -> None:
+        """Record one served query on the metrics registry, slow log,
+        and flight recorder.
 
         Every request path calls this exactly once per query —
         :meth:`execute` directly, the network server from its op
         handlers (remote queries do not pass through :meth:`execute`).
+        The optional correlation fields (``trace_id``/``span_id``/
+        ``shard``/``attempt``/``cell``) are the coordinator-stamped
+        shard context a server adopted from the wire.
         """
         registry = global_registry()
         registry.counter("repro_requests_total").inc(
@@ -295,9 +305,21 @@ class QueryService:
         registry.histogram("repro_query_seconds").observe(
             seconds, algorithm=algorithm or "unknown"
         )
+        if trace_id is None and isinstance(trace, dict):
+            trace_id = trace.get("trace_id")
+        context = {"trace_id": trace_id, "span_id": span_id,
+                   "shard": shard, "attempt": attempt}
         self.slow_query_log.record(
             query=query, seconds=seconds, mode=mode,
             algorithm=algorithm, outcome=outcome, trace=trace,
+            context=context if any(v is not None for v in context.values())
+            else None,
+        )
+        global_events().record(
+            source="service", query=query, seconds=round(seconds, 6),
+            mode=mode, algorithm=algorithm, outcome=outcome,
+            trace_id=trace_id, span_id=span_id, shard=shard,
+            attempt=attempt, cell=cell,
         )
 
     def _observe(self, outcome: QueryOutcome,

@@ -1,0 +1,321 @@
+"""Fleet observability over real sockets: stitched traces, merged
+metrics, and the flight recorder.
+
+Each test runs a genuine multi-server gather (``ServerThread`` fleet)
+and checks the cross-server observability contracts: one well-formed
+trace per cluster query with the server-side subtree grafted under each
+shard, hedges and re-routes reusing the shard's span id with distinct
+attempt tags, one valid Prometheus text per fleet, and a flight
+recorder that reconstructs the shard → server map after the fact.
+"""
+
+import time
+
+import pytest
+
+from repro.dist import ClusterSession
+from repro.net.server import ServerThread
+from repro.obs.events import isolated_events
+from repro.obs.fleet import render_timeline, server_label
+from repro.obs.metrics import isolated_registry
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+from tests.obs.test_trace import assert_well_formed
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+
+
+@pytest.fixture()
+def service():
+    with QueryService(graph_database(14, 40, seed=5)) as svc:
+        yield svc
+
+
+def _url_of(*servers) -> str:
+    return "repro://" + ",".join(
+        server.url.replace("repro://", "") for server in servers
+    )
+
+
+def _children(node, name=None):
+    out = [child for child in node.get("children", ())
+           if isinstance(child, dict)]
+    return [c for c in out if name is None or c.get("name") == name]
+
+
+def _shards_of(trace):
+    return _children(trace["root"], "shard")
+
+
+class TestStitchedTraces:
+    def test_cluster_query_yields_one_stitched_trace(self, service):
+        with isolated_registry(), isolated_events():
+            servers = [ServerThread(service).start() for _ in range(2)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    result = cluster.run(TRIANGLE, trace=True, parallel=2)
+                    rows = result.fetchall()
+                    trace = result.stats.trace
+            finally:
+                for server in servers:
+                    server.stop()
+        assert rows
+        assert trace is not None
+        assert trace["trace_id"] == result.trace_id
+        root = trace["root"]
+        assert root["name"] == "query"
+        assert root["annotations"]["distributed"] is True
+        assert_well_formed(root)
+        shards = _shards_of(trace)
+        assert len(shards) == 2
+        labels = {server_label(server.url) for server in servers}
+        for shard in shards:
+            # Every shard carries the server-side subtree with its
+            # queue-wait and execute spans, re-based and clamped.
+            attempts = _children(shard, "attempt")
+            assert attempts
+            subtrees = [node for attempt in attempts
+                        for node in _children(attempt, "server")]
+            assert subtrees
+            phase_names = {node["name"] for subtree in subtrees
+                           for node in _children(subtree)}
+            assert "queue" in phase_names
+            assert "execute" in phase_names
+            assert server_label(shard["annotations"]["server"]) in labels
+        # The timeline names every shard and the merge step.
+        timeline = render_timeline(trace)
+        assert sum(1 for line in timeline.splitlines()
+                   if line.lstrip().startswith("shard ")) == 2
+        assert "queue" in timeline and "execute" in timeline
+        assert "merge" in timeline
+
+    def test_count_path_is_traced_too(self, service):
+        with isolated_registry(), isolated_events():
+            servers = [ServerThread(service).start() for _ in range(2)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    result = cluster.run(TRIANGLE, trace=True, parallel=2)
+                    count = result.count()
+                    trace = result.stats.trace
+            finally:
+                for server in servers:
+                    server.stop()
+        assert count > 0
+        assert trace is not None
+        assert_well_formed(trace["root"])
+        for shard in _shards_of(trace):
+            attempts = _children(shard, "attempt")
+            assert any(_children(attempt, "server")
+                       for attempt in attempts)
+
+    def test_untraced_query_still_correlates(self, service):
+        # No trace requested: stats.trace stays None but the gather
+        # still mints a trace id for the flight recorder.
+        with isolated_registry(), isolated_events():
+            with ServerThread(service) as server:
+                with ClusterSession(server.url) as cluster:
+                    result = cluster.run(TRIANGLE)
+                    result.fetchall()
+                    assert result.stats.trace is None
+                    assert len(result.trace_id) == 16
+                    assert result.gather_info["shard_map"]
+
+    def test_reroute_is_annotated_and_well_formed(self, service):
+        with isolated_registry(), isolated_events():
+            servers = [ServerThread(service).start() for _ in range(3)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    baseline = sorted(
+                        cluster.run(TRIANGLE, trace=True).rows()
+                    )
+                    servers[1].stop()
+                    result = cluster.run(TRIANGLE, trace=True)
+                    assert sorted(result.rows()) == baseline
+                    trace = result.stats.trace
+            finally:
+                for server in servers:
+                    server.stop()
+        assert_well_formed(trace["root"])
+        info = result.gather_info
+        if info["reroutes"]:
+            assert trace["root"]["annotations"]["reroutes"] >= 1
+            assert "[rerouted]" in render_timeline(trace)
+            kinds = {
+                attempt["annotations"]["kind"]
+                for shard in _shards_of(trace)
+                for attempt in _children(shard, "attempt")
+            }
+            assert "reroute" in kinds
+
+
+class TestHedgeSpanReuse:
+    def test_hedge_reuses_span_id_with_distinct_attempt_tags(
+            self, service):
+        # Regression: a hedged re-dispatch is the *same* logical shard,
+        # so both servers must observe the same trace id and span id —
+        # only the attempt tag differs.  Both sides of the race land in
+        # the (shared, in-process) flight recorder ring.
+        with isolated_registry(), isolated_events() as ring:
+            servers = [ServerThread(service).start() for _ in range(3)]
+            try:
+                with ClusterSession(_url_of(*servers),
+                                    hedge_after=0.0001) as cluster:
+                    hedged_trace = None
+                    for _ in range(20):
+                        ring.clear()
+                        cluster.count(TRIANGLE, parallel=2)
+                        coordinator = [
+                            event for event in ring.snapshot()
+                            if event["source"] == "coordinator"
+                        ]
+                        if coordinator and coordinator[-1].get("hedges"):
+                            hedged_trace = coordinator[-1]["trace_id"]
+                            break
+                    if hedged_trace is None:
+                        pytest.skip("no hedge fired in 20 attempts")
+                    # The losing dispatch still executes server-side;
+                    # give its event a moment to land in the ring.
+                    pair = None
+                    deadline = time.monotonic() + 2.0
+                    while time.monotonic() < deadline and pair is None:
+                        by_span = {}
+                        for event in ring.snapshot():
+                            if event["source"] == "service" and \
+                                    event.get("trace_id") == hedged_trace:
+                                by_span.setdefault(
+                                    event["span_id"], []
+                                ).append(event)
+                        for events in by_span.values():
+                            tags = {e["attempt"] for e in events}
+                            if len(tags) >= 2:
+                                pair = events
+                                break
+                        if pair is None:
+                            time.sleep(0.01)
+            finally:
+                for server in servers:
+                    server.stop()
+        assert pair is not None, \
+            "hedge fired but no span id shows two attempt tags"
+        assert {event["trace_id"] for event in pair} == {hedged_trace}
+        assert len({event["span_id"] for event in pair}) == 1
+        tags = {event["attempt"] for event in pair}
+        assert any(tag.startswith("hedge-") for tag in tags)
+        assert any(not tag.startswith("hedge-") for tag in tags)
+
+
+class TestFleetMetrics:
+    def test_merged_scrape_labels_every_server(self, service):
+        with isolated_registry(), isolated_events():
+            servers = [ServerThread(service).start() for _ in range(2)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    cluster.run(TRIANGLE, parallel=2).fetchall()
+                    text = cluster.metrics()
+            finally:
+                for server in servers:
+                    server.stop()
+        labels = {
+            line.split('server="', 1)[1].split('"', 1)[0]
+            for line in text.splitlines() if 'server="' in line
+        }
+        assert {server_label(s.url) for s in servers} <= labels
+        assert "repro_fleet_scrape_seconds" in text
+        assert "repro_fleet_servers" in text
+        # Still valid exposition text: one HELP/TYPE block per metric.
+        for prefix in ("# HELP repro_requests_total ",
+                       "# TYPE repro_requests_total "):
+            assert sum(1 for line in text.splitlines()
+                       if line.startswith(prefix)) == 1
+
+    def test_unreachable_server_is_skipped_and_counted(self, service):
+        with isolated_registry() as registry, isolated_events():
+            servers = [ServerThread(service).start() for _ in range(2)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    cluster.count(TRIANGLE)
+                    servers[1].stop()
+                    text = cluster.metrics()
+            finally:
+                for server in servers:
+                    server.stop()
+            unreachable = registry.get("repro_fleet_unreachable_total")
+            assert unreachable.value(
+                server=server_label(servers[1].url)) >= 1
+        assert server_label(servers[0].url) in text
+        assert "repro_fleet_unreachable_total" in text
+
+
+class TestFlightRecorder:
+    def test_events_reconstruct_the_shard_map(self, service):
+        with isolated_registry(), isolated_events():
+            servers = [ServerThread(service).start() for _ in range(2)]
+            try:
+                with ClusterSession(_url_of(*servers)) as cluster:
+                    result = cluster.run(TRIANGLE, parallel=2)
+                    result.fetchall()
+                    events = cluster.events()
+            finally:
+                for server in servers:
+                    server.stop()
+        coordinator = [event for event in events
+                       if event["server"] == "coordinator"]
+        assert coordinator
+        last = coordinator[-1]
+        assert last["trace_id"] == result.trace_id
+        assert last["outcome"] == "ok"
+        assert last["shard_map"] == result.gather_info["shard_map"]
+        assert set(last["shard_map"].values()) \
+            <= {server_label(s.url) for s in servers}
+        # Server-side events correlate through the same trace id.
+        assert any(event["server"] != "coordinator"
+                   and event.get("trace_id") == result.trace_id
+                   for event in events)
+
+    def test_failed_gather_is_recorded(self, service):
+        with isolated_registry(), isolated_events() as ring:
+            servers = [ServerThread(service).start() for _ in range(2)]
+            with ClusterSession(_url_of(*servers)) as cluster:
+                cluster.count(TRIANGLE)
+                # Plan probe succeeds, then the fleet dies before the
+                # gather flies: the failure lands on the recorder.
+                result = cluster.run(TRIANGLE)
+                for server in servers:
+                    server.stop()
+                with pytest.raises(Exception):
+                    result.count()
+                failures = [
+                    event for event in ring.snapshot()
+                    if event["source"] == "coordinator"
+                    and event["outcome"] != "ok"
+                ]
+        assert failures
+        assert failures[-1]["query"] == TRIANGLE
+        assert failures[-1].get("error")
+
+    def test_remote_events_op_and_limit(self, service):
+        import repro
+
+        with isolated_registry(), isolated_events():
+            with ServerThread(service) as server:
+                with repro.connect(server.url) as session:
+                    for _ in range(3):
+                        session.run(TRIANGLE).fetchall()
+                    events = session.events()
+                    assert len(events) >= 3
+                    assert all(event["source"] == "service"
+                               for event in events)
+                    limited = session.events(limit=2)
+                    assert len(limited) == 2
+                    assert limited == events[-2:]
+
+    def test_events_op_rejects_bad_limit(self, service):
+        import repro
+        from repro.errors import ProtocolError
+
+        with isolated_registry(), isolated_events():
+            with ServerThread(service) as server:
+                with repro.connect(server.url) as session:
+                    with pytest.raises(ProtocolError):
+                        session.events(limit=-1)

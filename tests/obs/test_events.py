@@ -1,0 +1,143 @@
+"""The query flight recorder: bounded ring semantics and formatting.
+
+The recorder backs ``repro events`` and the wire protocol's ``events``
+op, so its contract — bounded capacity, oldest-first snapshots, dropped
+``None`` fields, a greppable one-line rendering — is pinned here
+without any sockets.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EventLog,
+    format_event,
+    global_events,
+    isolated_events,
+    set_global_events,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEventLog:
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for n in range(5):
+            log.record(n=n)
+        assert len(log) == 3
+        assert [event["n"] for event in log.snapshot()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_default_capacity_is_bounded(self):
+        log = EventLog()
+        assert log.capacity == DEFAULT_CAPACITY
+        for n in range(DEFAULT_CAPACITY + 10):
+            log.record(n=n)
+        assert len(log) == DEFAULT_CAPACITY
+
+    def test_record_drops_none_fields_and_stamps_ts(self):
+        clock = FakeClock()
+        log = EventLog(clock=clock)
+        event = log.record(query="q()", error=None, outcome="ok")
+        assert "error" not in event
+        assert event["ts"] == 100.0
+        clock.now = 101.5
+        assert log.record(x=1)["ts"] == 101.5
+
+    def test_explicit_ts_wins_over_clock(self):
+        log = EventLog(clock=FakeClock())
+        assert log.record(ts=7.0)["ts"] == 7.0
+
+    def test_snapshot_limit(self):
+        log = EventLog()
+        for n in range(6):
+            log.record(n=n)
+        assert [e["n"] for e in log.snapshot(2)] == [4, 5]
+        assert log.snapshot(0) == []
+        assert len(log.snapshot(None)) == 6
+        assert len(log.snapshot(50)) == 6
+
+    def test_snapshot_returns_copies(self):
+        log = EventLog()
+        log.record(n=1)
+        log.snapshot()[0]["n"] = 999
+        assert log.snapshot()[0]["n"] == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(n=1)
+        log.clear()
+        assert len(log) == 0 and log.snapshot() == []
+
+    def test_concurrent_records_all_land(self):
+        log = EventLog(capacity=4096)
+
+        def hammer():
+            for n in range(200):
+                log.record(n=n)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 800
+
+
+class TestGlobalRing:
+    def test_isolated_events_swaps_and_restores(self):
+        outer = global_events()
+        with isolated_events() as fresh:
+            assert global_events() is fresh
+            assert global_events() is not outer
+            fresh.record(n=1)
+        assert global_events() is outer
+
+    def test_set_global_events_returns_previous(self):
+        replacement = EventLog()
+        previous = set_global_events(replacement)
+        try:
+            assert global_events() is replacement
+        finally:
+            assert set_global_events(previous) is replacement
+
+
+class TestFormatEvent:
+    def test_full_event_renders_one_greppable_line(self):
+        line = format_event({
+            "ts": 0.0, "trace_id": "cafe0123cafe0123",
+            "source": "coordinator", "outcome": "ok", "seconds": 0.0123,
+            "query": "edge(a,b)", "hedges": 1, "reroutes": 0,
+            "shard_map": {"1": "h2:2", "0": "h1:1"},
+        })
+        assert "1970-01-01T00:00:00" in line
+        assert "cafe0123cafe0123" in line
+        assert "coordinator" in line and "ok" in line
+        assert "12.3ms" in line and "'edge(a,b)'" in line
+        assert "hedges=1" in line
+        assert "shards[0->h1:1,1->h2:2]" in line
+        assert "\n" not in line
+
+    def test_sparse_event_renders_placeholders(self):
+        line = format_event({})
+        assert line == "-  -  -  -"
+
+    def test_service_fields_surface(self):
+        line = format_event({
+            "ts": 0.0, "source": "service", "shard": 2,
+            "attempt": "hedge-1", "cell": "(2,)",
+        })
+        assert "shard=2" in line and "attempt=hedge-1" in line
+        assert "cell=(2,)" in line

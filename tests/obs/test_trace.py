@@ -205,6 +205,197 @@ class TestSnapshotProperty:
             assert_well_formed(trace.as_dict()["root"])
 
 
+class TestAbsorbWait:
+    def test_queue_wait_becomes_leading_child(self):
+        clock = FakeClock()
+        clock.now = 5.0
+        trace = QueryTrace(clock=clock)
+        with trace.span("execute"):
+            clock.now += 1.0
+        trace.absorb_wait("queue", 2.0)
+        trace.finish()
+        root = trace.as_dict()["root"]
+        assert [child["name"] for child in root["children"]] \
+            == ["queue", "execute"]
+        queue = root["children"][0]
+        assert queue["start"] == 0.0 and queue["duration"] == 2.0
+        assert root["duration"] == 3.0
+        assert_well_formed(root)
+
+    def test_non_positive_wait_is_a_noop(self):
+        trace = QueryTrace(clock=FakeClock())
+        trace.absorb_wait("queue", 0.0)
+        trace.absorb_wait("queue", -1.0)
+        assert "children" not in trace.as_dict()["root"]
+
+
+class TestPresentationDegradation:
+    """Partial or mangled traces render honestly instead of crashing —
+    cache-served results carry no trace, degraded fleets carry torn ones.
+    """
+
+    def test_render_absent_trace(self):
+        assert render(None) == "trace (absent)"
+        assert render("garbage") == "trace (absent)"  # type: ignore
+
+    def test_render_trace_without_root(self):
+        assert render({"trace_id": "abc"}) == "trace abc"
+
+    def test_render_mangled_nodes(self):
+        text = render({"trace_id": "abc", "root": {
+            "name": "query", "duration": "NaN",
+            "annotations": "not-a-dict",
+            "children": [17, {"name": "plan", "duration": None},
+                         {"children": "nope"}],
+        }})
+        assert "query" in text and "plan" in text and "?" in text
+        assert "0.000 ms" in text  # NaN/None durations degrade to zero
+
+    def test_summarize_absent_trace(self):
+        assert summarize(None) == {
+            "trace_id": None, "total_seconds": 0.0, "phases": {},
+        }
+
+    def test_summarize_trace_without_root(self):
+        summary = summarize({"trace_id": "abc", "root": "torn"})
+        assert summary == {
+            "trace_id": "abc", "total_seconds": 0.0, "phases": {},
+        }
+
+    def test_summarize_aggregates_repeated_phase_names(self):
+        summary = summarize({"trace_id": "abc", "root": {
+            "name": "query", "duration": 1.0,
+            "children": [
+                {"name": "shard", "duration": 0.25},
+                {"name": "shard", "duration": 0.5},
+                "torn",
+                {"name": "merge", "duration": float("nan")},
+            ],
+        }})
+        assert summary["phases"] == {"shard": 0.75, "merge": 0.0}
+
+
+# ----------------------------------------------------------------------
+# Stitched distributed traces: random shard counts × hedges × failures
+# must still produce one well-formed tree with no orphaned shards.
+# ----------------------------------------------------------------------
+coordinator_times = st.floats(min_value=0.0, max_value=100.0)
+
+
+@st.composite
+def server_traces(draw):
+    """A server-side subtree: absent, mangled, or a real snapshot."""
+    shape = draw(st.integers(0, 2))
+    if shape == 0:
+        return None
+    if shape == 1:
+        return draw(st.sampled_from([
+            {}, {"root": 17}, {"root": {}}, "torn", 42,
+            {"root": {"name": "query", "duration": "NaN",
+                      "children": "nope"}},
+        ]))
+    clock = FakeClock()
+    trace = QueryTrace(clock=clock)
+    stack = [trace.root]
+    for op in draw(operations):
+        if op[0] == "open":
+            stack.append(stack[-1].child("s"))
+        elif op[0] == "close":
+            if len(stack) > 1:
+                stack.pop().finish()
+        else:
+            clock.now += op[1]
+    if draw(st.booleans()):
+        trace.finish()
+    return trace.as_dict()
+
+
+@st.composite
+def shard_records(draw):
+    from repro.obs.fleet import ShardRecord
+
+    count = draw(st.integers(min_value=1, max_value=4))
+    records = []
+    for index in range(count):
+        record = ShardRecord(index=index, span_id=f"{index:016x}",
+                             cell=(index,) if draw(st.booleans()) else None)
+        for ordinal in range(draw(st.integers(0, 3))):
+            kind = "primary" if ordinal == 0 else \
+                draw(st.sampled_from(["hedge", "reroute"]))
+            attempt = record.new_attempt(
+                f"repro://h{ordinal}:1", kind, draw(coordinator_times)
+            )
+            outcome = draw(st.sampled_from(
+                ["ok", "error", "cancelled", "pending"]
+            ))
+            if outcome != "pending":
+                attempt.finish(
+                    attempt.start + draw(st.floats(0.0, 50.0)), outcome,
+                    "boom" if outcome == "error" else None,
+                )
+            attempt.server_trace = draw(server_traces())
+            if outcome == "ok":
+                record.server = attempt.server
+        records.append(record)
+    return records
+
+
+class TestStitchedTraceProperty:
+    @given(records=shard_records(), started=coordinator_times,
+           span=st.floats(min_value=0.0, max_value=100.0),
+           merge=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_stitched_trace_is_one_well_formed_tree(self, records,
+                                                    started, span, merge):
+        from repro.obs.fleet import render_timeline, stitch_trace
+
+        finished = started + span
+        trace = stitch_trace(
+            trace_id="cafe0123cafe0123", started=started,
+            finished=finished, shards=records,
+            merge_start=finished if merge else None,
+            merge_end=finished if merge else None,
+        )
+        assert trace["trace_id"] == "cafe0123cafe0123"
+        root = trace["root"]
+        assert root["name"] == "query"
+        assert root["start"] == 0.0
+        assert_well_formed(root)
+
+        # No orphans: every logical shard surfaces exactly once, with
+        # its span id, and every dispatch attempt nests under it.
+        shards = [child for child in root.get("children", ())
+                  if child["name"] == "shard"]
+        assert len(shards) == len(records)
+        assert {node["annotations"]["span_id"] for node in shards} \
+            == {record.span_id for record in records}
+        for node, record in zip(shards, records):
+            attempts = [child for child in node.get("children", ())
+                        if child["name"] == "attempt"]
+            assert len(attempts) == len(record.attempts)
+            assert [a["annotations"]["attempt"] for a in attempts] \
+                == [attempt.tag for attempt in record.attempts]
+        assert root["annotations"]["hedges"] \
+            == sum(record.hedges for record in records)
+        assert root["annotations"]["reroutes"] \
+            == sum(record.reroutes for record in records)
+
+        # The presentation layer accepts whatever the stitcher emits.
+        text = render_timeline(trace)
+        assert text.startswith("per-shard timeline")
+        assert sum(1 for line in text.splitlines()
+                   if line.lstrip().startswith("shard ")) == len(records)
+        assert summarize(trace)["trace_id"] == "cafe0123cafe0123"
+        render(trace)
+
+    def test_timeline_degrades_without_trace(self):
+        from repro.obs.fleet import render_timeline
+
+        assert render_timeline(None) == "per-shard timeline: (no trace)"
+        assert render_timeline({"root": "torn"}) \
+            == "per-shard timeline: (no trace)"
+
+
 class TestRealQueryTraces:
     def test_traced_session_run_emits_well_formed_tree(self):
         from repro.api.session import Session

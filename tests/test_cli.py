@@ -214,6 +214,58 @@ class TestAnalyze:
         assert "PageRank" in out
 
 
+class TestEvents:
+    def test_local_ring_prints_placeholder_when_empty(self, capsys):
+        from repro.obs.events import isolated_events
+
+        with isolated_events():
+            assert main(["events"]) == 0
+        assert "(no recorded events)" in capsys.readouterr().out
+
+    def test_local_ring_prints_recorded_events(self, capsys):
+        from repro.obs.events import isolated_events
+
+        with isolated_events() as ring:
+            ring.record(source="service", query="edge(a,b)",
+                        outcome="ok", seconds=0.002,
+                        trace_id="cafe0123cafe0123")
+            assert main(["events"]) == 0
+        out = capsys.readouterr().out
+        assert "cafe0123cafe0123" in out and "'edge(a,b)'" in out
+
+    def test_json_mode_emits_one_object_per_line(self, capsys):
+        from repro.obs.events import isolated_events
+
+        with isolated_events() as ring:
+            ring.record(n=1)
+            ring.record(n=2)
+            assert main(["events", "--json", "--limit", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["n"] == 2
+
+    def test_conflicting_targets_exit_bad_options(self, capsys):
+        code = main(["events", "--connect", "repro://h:1",
+                     "--cluster", "repro://h:1,h:2"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "pass one of them" in capsys.readouterr().err
+
+    def test_negative_limit_exits_bad_options(self, capsys):
+        assert main(["events", "--limit", "-1"]) == EXIT_BAD_OPTIONS
+        assert "--limit" in capsys.readouterr().err
+
+    def test_metrics_conflicting_targets_exit_bad_options(self, capsys):
+        code = main(["metrics", "--connect", "repro://h:1",
+                     "--cluster", "repro://h:1,h:2"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "pass one of them" in capsys.readouterr().err
+
+    def test_analyze_cluster_without_query_exits_bad_options(self, capsys):
+        code = main(["analyze", "--cluster", "repro://h:1,h:2"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "query argument" in capsys.readouterr().err
+
+
 class TestServe:
     def test_answers_queries_from_stdin(self, capsys, monkeypatch):
         import io
