@@ -18,7 +18,11 @@ layer guarantees:
   HyperCube grid whose share sizes follow the AGM fractional edge
   cover; ``explain`` shows the weights and the cell → server deal;
 * **fault tolerance** — killing a server mid-session re-routes its
-  shards to the survivors and the answer does not change.
+  shards to the survivors and the answer does not change;
+* **peer coordination** — ``route="peer"`` hands the whole
+  dispatch/gather/merge to one server of the fleet, which sub-shards
+  across its peers (``hop=1`` sub-queries never re-fan-out) and sends
+  the client a single merged answer.
 """
 
 from __future__ import annotations
@@ -67,6 +71,17 @@ def main() -> None:
                 with cluster.prepare(TRIANGLE) as handle:
                     print("\nprepared, run twice:",
                           handle.run().count(), handle.run().count())
+
+                # Peer route: the same query, but one server of the
+                # fleet coordinates — it dispatches hop-1 sub-queries
+                # to its peers, merges next to the data, and the client
+                # receives a single merged stream over the final hop.
+                result = cluster.run(TRIANGLE, route="peer")
+                rows = result.fetchall()
+                info = result.gather_info
+                print(f"\npeer route: {len(rows)} rows merged by "
+                      f"{info['coordinator']} over "
+                      f"{len(info['shard_map'])} shards")
 
                 # Kill a server mid-session: its shards re-route to the
                 # survivors and the answer is unchanged.

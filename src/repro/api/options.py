@@ -61,6 +61,15 @@ class QueryOptions:
         client-side knob only — it never goes on the wire, each
         ``fetch`` request names its page size explicitly.  Ignored by
         local sessions, whose result sets stream without paging.
+    route:
+        Where distributed coordination happens: ``"client"`` fans shards
+        out from this process (the classic ``ClusterSession`` gather),
+        ``"peer"`` hands the whole query to one server which sub-shards
+        it across its peers and merges server-side, so only the merged
+        answer crosses the final hop.  ``None`` inherits the session
+        default (client-side).  A client-side routing knob only — it
+        never goes on the wire (the ``cluster_*`` ops *are* the
+        routing) and local sessions ignore it.
     """
 
     algorithm: str = "auto"
@@ -71,6 +80,7 @@ class QueryOptions:
     limit: Optional[int] = None
     trace: bool = False
     fetch_size: Optional[int] = None
+    route: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.algorithm, str) or not self.algorithm:
@@ -119,6 +129,11 @@ class QueryOptions:
                     f"fetch_size must be a positive int or None, "
                     f"got {self.fetch_size!r}"
                 )
+        if self.route not in (None, "client", "peer"):
+            raise OptionsError(
+                f"route must be 'client', 'peer', or None, "
+                f"got {self.route!r}"
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -383,6 +383,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
             limit: Optional[int] = None,
             trace: bool = False,
             fetch_size: Optional[int] = None,
+            route: Optional[str] = None,
             engine: Optional[QueryEngine] = None,
             plan_cache_size: int = 128,
             result_cache_size: int = 256,
@@ -411,6 +412,13 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
     partitioned and its shards fan out across the named servers.  A
     cluster session multiplexes one socket per server, so ``pool_size``
     does not apply there either.
+
+    ``route`` picks where distributed coordination happens:
+    ``"client"`` (the default) fans shards out from this process;
+    ``"peer"`` hands each query whole to one server, which sub-shards
+    it across its peers and merges server-side so only the merged
+    answer crosses the final hop.  ``route`` is remote-only — an
+    in-process session has no fleet to route over.
     """
     if source is not None and relations is not None:
         raise OptionsError("pass either a source or relations=, not both")
@@ -443,7 +451,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
                     algorithm=algorithm, parallel=parallel,
                     partition_mode=partition_mode, timeout=timeout,
                     use_cache=use_cache, limit=limit, trace=trace,
-                    fetch_size=fetch_size,
+                    fetch_size=fetch_size, route=route,
                 ),
                 retries=DEFAULT_RETRIES if retries is None else retries,
             )
@@ -453,7 +461,7 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
                 algorithm=algorithm, parallel=parallel,
                 partition_mode=partition_mode, timeout=timeout,
                 use_cache=use_cache, limit=limit, trace=trace,
-                fetch_size=fetch_size,
+                fetch_size=fetch_size, route=route,
             ),
             pool_size=DEFAULT_POOL_SIZE if pool_size is None else pool_size,
             retries=DEFAULT_RETRIES if retries is None else retries,
@@ -462,6 +470,11 @@ def connect(source: Union[Database, str, Iterable[Relation], None] = None,
         raise OptionsError(
             "pool_size/retries tune the remote connection pool; an "
             "in-process session has no wire to pool or retry"
+        )
+    if route is not None:
+        raise OptionsError(
+            "route picks where distributed coordination happens; an "
+            "in-process session has no fleet to route over"
         )
     if isinstance(source, Database):
         database = source

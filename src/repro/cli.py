@@ -143,6 +143,13 @@ def _add_target_arguments(sub: argparse.ArgumentParser) -> None:
                      help="with --connect: rows per page when streaming "
                           "results from the server-side cursor "
                           "(default: 512)")
+    sub.add_argument("--route", choices=("client", "peer"), default=None,
+                     help="where distributed coordination happens: "
+                          "'client' fans shards out from this process, "
+                          "'peer' hands the query to one server which "
+                          "sub-shards across its peers and merges "
+                          "server-side (needs --connect against a "
+                          "--peers server, or --cluster)")
     group = sub.add_mutually_exclusive_group(required=True)
     group.add_argument("--pattern", choices=sorted(QUERY_PATTERNS),
                       help="named benchmark pattern")
@@ -238,6 +245,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="with a query: shard it across a "
                               "repro://h1:p1,h2:p2,... fleet and append "
                               "the per-shard timeline")
+    analyze.add_argument("--route", choices=("client", "peer"),
+                         default=None,
+                         help="with --connect/--cluster: where distributed "
+                              "coordination happens (peer = one server of "
+                              "the fleet merges; default: client)")
     analyze.add_argument("--algorithm", default="auto",
                          help="with a query: join algorithm (default: auto)")
     analyze.add_argument("--timeout", type=float, default=None,
@@ -334,6 +346,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "hash", "hypercube"),
                         help="partitioning scheme for --parallel "
                              "(default: auto)")
+    server.add_argument("--peers", metavar="H1:P1,H2:P2,...", default=None,
+                        help="comma-separated host:port fleet this server "
+                             "belongs to (normally including itself); "
+                             "enables peer coordination — cluster_* "
+                             "frames make this server sub-shard across "
+                             "the fleet and merge server-side")
     _add_logging_arguments(server)
 
     workload = subparsers.add_parser(
@@ -406,7 +424,8 @@ def _target_session(args: argparse.Namespace,
     """
     options = QueryOptions(timeout=timeout, parallel=args.parallel,
                            partition_mode=args.partition_mode,
-                           fetch_size=args.fetch_size)
+                           fetch_size=args.fetch_size,
+                           route=getattr(args, "route", None))
     if args.cluster:
         if args.connect:
             raise OptionsError(
@@ -433,7 +452,8 @@ def _target_session(args: argparse.Namespace,
             options=options if args.parallel != 1
             else QueryOptions(timeout=timeout,
                               partition_mode=args.partition_mode,
-                              fetch_size=args.fetch_size),
+                              fetch_size=args.fetch_size,
+                              route=getattr(args, "route", None)),
             retries=DEFAULT_RETRIES if args.retries is None
             else args.retries,
         )
@@ -472,6 +492,12 @@ def _target_session(args: argparse.Namespace,
     if args.fetch_size is not None:
         raise OptionsError(
             "--fetch-size tunes remote cursor paging and needs --connect"
+        )
+    if getattr(args, "route", None) is not None:
+        raise OptionsError(
+            "--route picks where distributed coordination happens and "
+            "needs --connect or --cluster; an in-process session has no "
+            "fleet to route over"
         )
     if not args.dataset:
         raise OptionsError(
@@ -574,6 +600,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_explain_analyze(args: argparse.Namespace) -> int:
     """EXPLAIN ANALYZE: run the query traced; print the annotated plan."""
     query = parse_query(args.query)
+    route = getattr(args, "route", None)
+    if route and not (args.cluster or args.connect):
+        raise OptionsError(
+            "--route picks where distributed coordination happens; it "
+            "needs --connect or --cluster"
+        )
     if args.cluster:
         if args.connect:
             raise OptionsError(
@@ -594,12 +626,12 @@ def _cmd_explain_analyze(args: argparse.Namespace) -> int:
         session = Session(database)
     with session:
         report = explain_analyze(session, query, algorithm=args.algorithm,
-                                 timeout=args.timeout)
+                                 timeout=args.timeout, route=route)
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
         print(report.render())
-        if args.cluster:
+        if args.cluster or route == "peer":
             from repro.obs.fleet import render_timeline
 
             print()
@@ -636,8 +668,11 @@ def _cmd_events(args: argparse.Namespace) -> int:
             "--connect targets one server and --cluster a fleet; "
             "pass one of them"
         )
-    if args.limit is not None and args.limit < 0:
-        raise OptionsError("--limit cannot be negative")
+    if args.limit is not None and args.limit < 1:
+        raise OptionsError(
+            f"--limit must be a positive number of events, got "
+            f"{args.limit} (omit it for the whole ring)"
+        )
     if args.cluster:
         from repro.dist import ClusterSession
 
@@ -751,7 +786,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
         server = ReproServer(service, host=args.host, port=args.port,
                              cursor_ttl=args.cursor_ttl,
                              prepared_ttl=args.prepared_ttl,
-                             max_prepared=args.max_prepared)
+                             max_prepared=args.max_prepared,
+                             peers=args.peers)
 
         def ready(srv: ReproServer) -> None:
             log.info("server ready on %s", srv.url,

@@ -13,10 +13,18 @@ tuples concatenate with no dedup.
 The public entry point is ``repro.connect("repro://h1:p1,h2:p2")``,
 which returns a :class:`ClusterSession` with the exact ``Session``
 surface (``run`` / ``count`` / ``explain`` / ``prepare`` / ``close``).
+
+The engine underneath is side-agnostic: :class:`GatherEngine` runs the
+same dispatch/hedge/re-route/merge loop whether its caller is the
+client-side :class:`ClusterSession` or the server-side
+:class:`PeerCoordinator` (``QueryOptions(route="peer")`` — the merge
+happens next to the data and only the merged answer crosses the final
+hop).
 """
 
 from repro.dist.coordinator import ClusterPreparedHandle, ClusterResultSet, \
     ClusterSession
+from repro.dist.gather import GatherEngine, PeerCoordinator, parse_peers
 from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
 from repro.dist.planner import DistExplain, DistPlan, plan_query, \
     share_weights
@@ -28,10 +36,13 @@ __all__ = [
     "ClusterSession",
     "DistExplain",
     "DistPlan",
+    "GatherEngine",
+    "PeerCoordinator",
     "ServerState",
     "Topology",
     "merge_counts",
     "merge_rows",
+    "parse_peers",
     "plan_query",
     "share_weights",
     "straggler_ratio",

@@ -1,7 +1,9 @@
 """:class:`ClusterSession` — one query, many machines.
 
-The coordinator is a *client-side* construct: servers stay completely
-unaware of each other.  One query flows through four stages:
+This module is the *client-side front end* over the side-agnostic
+:class:`~repro.dist.gather.GatherEngine` (the engine also powers the
+server-side :class:`~repro.dist.gather.PeerCoordinator`).  One query
+flows through four stages:
 
 1. **Plan** — a ``run`` (plan-only) probe on any healthy server yields
    the output columns and algorithm choice (and surfaces parse /
@@ -16,15 +18,18 @@ unaware of each other.  One query flows through four stages:
    servers on the session's background asyncio loop, all multiplexed
    through one :class:`~repro.net.client.AsyncRemoteSession` socket per
    server.
-3. **Gather** — ``asyncio.gather`` with per-shard deadlines.  A shard
-   that outlives ``hedge_after`` seconds is *hedged*: duplicated to a
-   sibling server, first answer wins (safe — shards are disjoint and
-   shard reads are idempotent).  A shard whose server dies mid-gather
-   is *re-routed* to a healthy sibling (degraded mode: a dead server
-   costs latency, never the answer).
-4. **Merge** — disjointness makes this trivial: counts sum, tuples
-   concatenate in deterministic cell order, limits clamp exactly
-   (:mod:`repro.dist.merge`).
+3. **Gather** — ``asyncio.gather`` with per-shard deadlines, hedged
+   re-dispatch of stragglers, and mid-gather re-route around dead
+   servers (all in the engine).
+4. **Merge** — counts sum, tuples concatenate in deterministic cell
+   order, limits clamp exactly (:mod:`repro.dist.merge`).
+
+Under ``QueryOptions(route="peer")`` stages 2–4 move *server-side*: the
+session hands the whole query — as a ``cluster_*`` frame with ``hop=0``
+and the fleet's peer list — to one server, which sub-shards across its
+peers and merges before answering, so only the merged answer crosses
+the final hop.  If that merging peer dies mid-gather, the session
+re-routes the whole query to a sibling peer.
 
 The session is synchronous on the outside — the exact ``Session``
 surface (``run`` / ``count`` / ``explain`` / ``prepare`` / ``close``)
@@ -38,13 +43,10 @@ import asyncio
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.api.options import QueryOptions
 from repro.api.result import ResultStats, Row, RowCursor
-from repro.datalog.hypergraph import Hypergraph
-from repro.datalog.parser import parse_query
 from repro.datalog.query import ConjunctiveQuery
 from repro.datalog.terms import Variable
 from repro.errors import (
@@ -53,71 +55,32 @@ from repro.errors import (
     OptionsError,
     PreparedError,
     ProtocolError,
-    ReproError,
 )
-from repro.exec.partitioner import Cell, PartitionScheme
 from repro.net.client import (
     DEFAULT_FETCH_SIZE,
     DEFAULT_RETRIES,
     DEFAULT_RETRY_BACKOFF,
     AsyncRemoteResultSet,
-    AsyncRemoteSession,
     _options_payload,
     _validate_resilience_knobs,
     parse_cluster_url,
 )
-from repro.net.server import DEFAULT_PORT
 from repro.obs.events import global_events
 from repro.obs.fleet import (
-    ShardRecord,
     fleet_rollup_text,
     merge_prometheus,
     server_label,
-    stitch_trace,
 )
 from repro.obs.metrics import global_registry
 from repro.obs.trace import new_trace_id
-from repro.dist.merge import merge_counts, merge_rows, straggler_ratio
-from repro.dist.planner import DistExplain, DistPlan, plan_query
+from repro.dist.gather import (
+    _FAILOVER_ERRORS,
+    GatherEngine,
+    _endpoint_url,
+    resolve_query,
+)
+from repro.dist.planner import DistExplain, DistPlan
 from repro.dist.topology import ServerState, Topology
-
-#: Errors that mean "this server (or this stream) is unusable" — the
-#: only ones that mark a server down and re-route its shards.  Every
-#: other ReproError (parse, options, timeout, execution) is the query's
-#: own fault and must propagate with single-server fidelity.
-_FAILOVER_ERRORS = (NetworkError, ProtocolError, CursorError)
-
-#: Bound on the per-query planning-info cache (β-acyclicity + sizes).
-_INFO_CACHE_SIZE = 128
-
-
-def _endpoint_url(host: str, port: int) -> str:
-    """One endpoint back to canonical single-server URL form."""
-    if ":" in host:  # IPv6 literal — re-bracket
-        return f"repro://[{host}]:{port}"
-    return f"repro://{host}:{port}"
-
-
-@dataclass(frozen=True)
-class _QueryInfo:
-    """Locally derived planning facts for one query text."""
-
-    query: ConjunctiveQuery
-    beta_acyclic: bool
-    sizes: Dict[int, int]  # atom index -> relation cardinality
-
-
-@dataclass(frozen=True)
-class _GatherContext:
-    """Distributed trace context threaded through one gather.
-
-    ``trace_id`` is always generated — even untraced queries carry it so
-    server-side flight-recorder events correlate; the full span stitch
-    only happens when ``traced`` (``QueryOptions.trace``) is on.
-    """
-
-    trace_id: str
-    traced: bool
 
 
 class _LoopThread:
@@ -219,7 +182,12 @@ class ClusterResultSet(RowCursor):
 
     @property
     def gather_info(self) -> dict:
-        """Shard → server map and hedge/re-route counts of the gather."""
+        """Shard → server map and hedge/re-route counts of the gather.
+
+        Under ``route="peer"`` this is the *merging server's* summary
+        (its shard map names the peers it dispatched to) plus a
+        ``coordinator`` key naming which server merged.
+        """
         return dict(self._gather_info)
 
     @property
@@ -370,7 +338,10 @@ class ClusterSession:
     options:
         Session-default :class:`QueryOptions`.  ``parallel`` here (or
         per call) fixes the shard count; by default every query runs
-        one shard per currently-healthy server.
+        one shard per currently-healthy server.  ``route="peer"`` makes
+        every gather travel as one peer-coordinated ``cluster_*`` query
+        to a single server (which must be started with ``--peers``),
+        merged server-side.
     hedge_after:
         Seconds a shard may run before a duplicate is dispatched to a
         sibling server (first answer wins); ``None`` disables hedging.
@@ -411,508 +382,95 @@ class ClusterSession:
         self.connect_timeout = connect_timeout
         self.hedge_after = hedge_after
         self.shard_deadline = shard_deadline
-        self._wire_encoding = wire_encoding
         endpoints = parse_cluster_url(url)
-        self.topology = Topology(
-            [_endpoint_url(host, port) for host, port in endpoints]
+        self._engine = GatherEngine(
+            Topology([_endpoint_url(host, port)
+                      for host, port in endpoints]),
+            defaults=self.defaults, fetch_size=self.fetch_size,
+            retries=self.retries, retry_backoff=self.retry_backoff,
+            connect_timeout=connect_timeout, hedge_after=hedge_after,
+            shard_deadline=shard_deadline, wire_encoding=wire_encoding,
+            source="coordinator", peer_dispatch=False,
         )
-        self._sessions: Dict[str, AsyncRemoteSession] = {}
-        self._session_locks: Dict[str, asyncio.Lock] = {}
-        self._info_cache: "OrderedDict[str, _QueryInfo]" = OrderedDict()
+        self.topology = self._engine.topology
         self._closed = False
         self._loop = _LoopThread()
         try:
-            self._loop.call(self._open_initial())
+            self._loop.call(self._engine.open_initial())
         except BaseException:
             # A failed constructor must not leak sockets or the loop
             # thread (mirrors the RemoteSession handshake discipline).
             self._closed = True
             try:
-                self._loop.call(self._close_sessions())
+                self._loop.call(self._engine.close_sessions())
             except Exception:
                 pass
             self._loop.close()
             raise
 
     # ------------------------------------------------------------------
-    # Connection management (loop thread)
+    # Peer delegation (loop thread)
     # ------------------------------------------------------------------
-    async def _open_initial(self) -> None:
-        """Dial every configured server; survivors define initial health.
+    async def _peer_gather(self, kind: str, text: str, opts: QueryOptions,
+                           meta: dict, trace_id: str):
+        """Hand the whole query to one server's peer coordinator.
 
-        A cluster with *some* dead servers comes up degraded rather than
-        failing — only an entirely unreachable fleet is an error.
+        The frame carries ``hop=0`` (fan out) and the session's own
+        fleet as the ``peers`` list, so the merging server coordinates
+        exactly the topology this client was configured with — no
+        server-side ``--peers`` required.  If the merging peer dies
+        mid-gather the *whole query* re-routes to a sibling peer:
+        peer-coordinated gathers are idempotent reads, so a fresh merge
+        elsewhere returns the identical answer.
         """
-        errors: List[ReproError] = []
-        for server in self.topology.servers:
-            try:
-                await self._session_for(server)
-            except _FAILOVER_ERRORS as error:
-                self.topology.mark_down(server)
-                errors.append(error)
-        if not self.topology.healthy():
-            raise NetworkError(
-                f"no server of the cluster is reachable "
-                f"(first failure: {errors[0]})"
-            )
-
-    async def _session_for(self, server: ServerState) -> AsyncRemoteSession:
-        """The (lazily revived) multiplexed session for one server."""
-        lock = self._session_locks.setdefault(server.url, asyncio.Lock())
-        async with lock:
-            session = self._sessions.get(server.url)
-            if session is not None and not session._closed:
-                return session
-            session = AsyncRemoteSession(
-                server.url, options=self.defaults,
-                fetch_size=self.fetch_size, retries=self.retries,
-                retry_backoff=self.retry_backoff,
-                connect_timeout=self.connect_timeout,
-                wire_encoding=self._wire_encoding,
-            )
-            await session._open()
-            self._sessions[server.url] = session
-            return session
-
-    def _candidates(self) -> List[ServerState]:
-        """Failover order: healthy servers first, then down ones.
-
-        Down servers ride at the back so a restarted server is probed
-        (and revived) only after every known-good option failed —
-        self-healing without a heartbeat.
-        """
-        up = [s for s in self.topology.servers if s.healthy]
-        down = [s for s in self.topology.servers if not s.healthy]
-        return up + down
-
-    async def _on_any_server(self, op: str, params: dict) -> dict:
-        """One idempotent request with whole-fleet failover.
-
-        Transport failures mark the server down and move on; any other
-        server-reported error propagates untouched (it would fail the
-        same way everywhere).
-        """
-        errors: List[ReproError] = []
-        for server in self._candidates():
-            try:
-                session = await self._session_for(server)
-                body = await session._request(op, **params)
-            except _FAILOVER_ERRORS as error:
-                self.topology.mark_down(server)
-                errors.append(error)
-                continue
-            self.topology.mark_up(server)
-            return body
-        raise errors[-1] if errors else NetworkError(
-            "every server of the cluster is marked down"
-        )
-
-    # ------------------------------------------------------------------
-    # Planning (loop thread)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _resolve_query(query: object, text: str) -> ConjunctiveQuery:
-        if isinstance(query, ConjunctiveQuery):
-            return query
-        inner = getattr(query, "query", None)  # PreparedQuery duck-type
-        if isinstance(inner, ConjunctiveQuery):
-            return inner
-        return parse_query(text)
-
-    async def _query_info(self, text: str,
-                          query: ConjunctiveQuery) -> _QueryInfo:
-        """β-acyclicity (local) + relation sizes (one server's Explain).
-
-        Sizes feed share weighting only — stale or missing statistics
-        degrade the grid's balance, never the answer — so they are
-        cached per query text and fetched with ``algorithm="auto"``
-        (independent of the caller's algorithm choice).
-        """
-        info = self._info_cache.get(text)
-        if info is not None:
-            self._info_cache.move_to_end(text)
-            return info
-        beta = Hypergraph.of_query(query).is_beta_acyclic()
-        sizes: Dict[int, int] = {}
-        try:
-            body = await self._on_any_server("explain", {
-                "query": text,
-                "options": _options_payload(QueryOptions()),
-            })
-        except _FAILOVER_ERRORS:
-            raise
-        except ReproError:
-            body = None  # statistics are optional; planning degrades
-        if body is not None:
-            cardinality = {
-                estimate["name"]: estimate["cardinality"]
-                for estimate in body["report"].get("relation_estimates", [])
-            }
-            for index, atom in enumerate(query.atoms):
-                if atom.name in cardinality:
-                    sizes[index] = cardinality[atom.name]
-        info = _QueryInfo(query=query, beta_acyclic=beta, sizes=sizes)
-        self._info_cache[text] = info
-        while len(self._info_cache) > _INFO_CACHE_SIZE:
-            self._info_cache.popitem(last=False)
-        return info
-
-    async def _plan_for(self, query: ConjunctiveQuery, text: str,
-                        opts: QueryOptions) -> DistPlan:
-        info = await self._query_info(text, query)
-        if opts.parallel is not None:
-            shards = opts.parallel
-        else:
-            shards = max(1, len(self.topology.healthy()))
-        if not query.variables:
-            shards = 1  # a variable-free query cannot partition; proxy it
-        return plan_query(
-            info.query, shards=shards, mode=opts.partition_mode,
-            beta_acyclic=info.beta_acyclic, sizes=info.sizes,
-        )
-
-    def _plan_sync(self, query: ConjunctiveQuery, text: str,
-                   opts: QueryOptions) -> DistPlan:
-        self._check_open()
-        return self._loop.call(self._plan_for(query, text, opts))
-
-    # ------------------------------------------------------------------
-    # Dispatch / gather / merge (loop thread)
-    # ------------------------------------------------------------------
-    async def _gather(self, kind: str, text: str, opts: QueryOptions,
-                      plan: DistPlan, meta: dict, trace_id: str):
-        """Fan out, gather, merge — and account for what happened.
-
-        Returns ``(value, info)`` where ``info`` carries the stitched
-        trace (when tracing is on), the shard → server map, and the
-        hedge / re-route counts; the same facts land on the flight
-        recorder as one ``coordinator`` event per gather, success or
-        failure.
-        """
-        loop = asyncio.get_running_loop()
-        started = loop.time()
-        ctx = _GatherContext(trace_id=trace_id, traced=bool(opts.trace))
-        records: List[ShardRecord] = []
-        scheme_key = plan.scheme.key() if plan.scheme is not None \
-            else "serial"
-        merge_interval: Optional[Tuple[float, float]] = None
-        try:
-            if plan.scheme is None:
-                value = await self._proxy(kind, text, opts, meta, ctx,
-                                          records)
-            else:
-                # Shards run serially server-side: the grid is already
-                # the parallelism, and n_servers × n_cores of
-                # over-subscription would thrash the very fleet this
-                # layer exists to scale.
-                shard_opts = opts.merged(parallel=1)
-                assignments = self.topology.assign(plan.cells)
-                records = [
-                    ShardRecord(index=index, span_id=new_trace_id(),
-                                cell=tuple(cell))
-                    for index, (cell, _) in enumerate(assignments)
-                ]
-                tasks = [
-                    asyncio.ensure_future(self._execute_shard(
-                        kind, text, shard_opts, plan.scheme, cell,
-                        server, meta, ctx, record,
-                    ))
-                    for (cell, server), record in zip(assignments, records)
-                ]
-                outcomes = await asyncio.gather(
-                    *tasks, return_exceptions=True
-                )
-                failure = next(
-                    (o for o in outcomes if isinstance(o, BaseException)),
-                    None,
-                )
-                if failure is not None:
-                    raise failure
-                payloads = [payload for payload, _ in outcomes]
-                seconds = [elapsed for _, elapsed in outcomes]
-                ratio = straggler_ratio(seconds)
-                if ratio is not None:
-                    global_registry().histogram(
-                        "repro_dist_straggler_ratio").observe(ratio)
-                merge_started = loop.time()
-                if kind == "count":
-                    value = merge_counts(payloads, opts.limit)
-                else:
-                    value = merge_rows(payloads, opts.limit)
-                merge_interval = (merge_started, loop.time())
-        except BaseException as error:
-            now = loop.time()
-            self._finalize_records(records, now)
-            if isinstance(error, Exception):
-                self._record_flight(
-                    kind, text, ctx, records, started, now, meta,
-                    outcome="timeout"
-                    if "Timeout" in type(error).__name__ else "error",
-                    error=str(error),
-                )
-            raise
-        finished = loop.time()
-        self._finalize_records(records, finished)
-        info = self._gather_summary(
-            kind, ctx, records, started, finished, merge_interval,
-            scheme_key, meta,
-        )
-        self._record_flight(kind, text, ctx, records, started, finished,
-                            meta, outcome="ok")
-        return value, info
-
-    @staticmethod
-    def _finalize_records(records: Sequence[ShardRecord],
-                          now: float) -> None:
-        """Close out attempts the gather abandoned (hedge losers whose
-        cancellation has not been delivered yet, failed fan-outs)."""
-        for record in records:
-            for attempt in record.attempts:
-                attempt.finish(now, "cancelled")
-
-    @staticmethod
-    def _shard_map(records: Sequence[ShardRecord]) -> Dict[str, str]:
-        return {str(record.index): server_label(record.server)
-                for record in records if record.server}
-
-    def _gather_summary(self, kind: str, ctx: _GatherContext,
-                        records: Sequence[ShardRecord], started: float,
-                        finished: float,
-                        merge_interval: Optional[Tuple[float, float]],
-                        scheme_key: str, meta: dict) -> dict:
-        trace = None
-        if ctx.traced:
-            annotations = {"mode": kind, "scheme": scheme_key}
-            if meta.get("algorithm"):
-                annotations["algorithm"] = meta["algorithm"]
-            trace = stitch_trace(
-                trace_id=ctx.trace_id, started=started, finished=finished,
-                shards=records,
-                merge_start=merge_interval[0] if merge_interval else None,
-                merge_end=merge_interval[1] if merge_interval else None,
-                annotations=annotations,
-            )
-        return {
-            "trace": trace,
-            "trace_id": ctx.trace_id,
-            "seconds": round(finished - started, 6),
-            "shard_map": self._shard_map(records),
-            "hedges": sum(record.hedges for record in records),
-            "reroutes": sum(record.reroutes for record in records),
-        }
-
-    def _record_flight(self, kind: str, text: str, ctx: _GatherContext,
-                       records: Sequence[ShardRecord], started: float,
-                       finished: float, meta: dict, *, outcome: str,
-                       error: Optional[str] = None) -> None:
-        global_events().record(
-            source="coordinator", trace_id=ctx.trace_id, query=text,
-            mode=kind, outcome=outcome, error=error,
-            seconds=round(max(0.0, finished - started), 6),
-            algorithm=meta.get("algorithm"),
-            shards=len(records),
-            shard_map=self._shard_map(records) or None,
-            hedges=sum(record.hedges for record in records),
-            reroutes=sum(record.reroutes for record in records),
-        )
-
-    async def _proxy(self, kind: str, text: str, opts: QueryOptions,
-                     meta: dict, ctx: _GatherContext,
-                     records: List[ShardRecord]):
-        """Single-shard path: the whole query on one server, failover."""
+        peers = self._engine.peer_list()
         payload = _options_payload(opts)
-        loop = asyncio.get_running_loop()
-        record = ShardRecord(index=0, span_id=new_trace_id())
-        records.append(record)
-        errors: List[ReproError] = []
-        attempt_kind = "primary"
-        for server in self._candidates():
-            attempt = record.new_attempt(server.url, attempt_kind,
-                                         loop.time())
-            span_wire = {"id": record.span_id, "shard": record.index,
-                         "attempt": attempt.tag}
+        errors: List[Exception] = []
+        for server in self._engine.candidates():
             try:
-                session = await self._session_for(server)
+                session = await self._engine.session_for(server)
                 if kind == "count":
                     body = await session._request(
-                        "count", query=text, options=payload,
-                        trace_id=ctx.trace_id, span=span_wire,
+                        "cluster_count", query=text, options=payload,
+                        hop=0, peers=peers, trace_id=trace_id,
                     )
-                    attempt.server_trace = body.get("trace")
                     value = body["count"]
                 else:
                     result_set = AsyncRemoteResultSet(
                         session, text, opts, dict(meta),
-                        trace_id=ctx.trace_id, span=span_wire,
+                        trace_id=trace_id,
+                        open_op="cluster_cursor",
+                        open_extra={"hop": 0, "peers": peers},
                     )
                     value = await result_set.fetchall()
-                    attempt.server_trace = result_set.server_trace
+                    body = dict(result_set.open_body)
+                    trace = (result_set.server_stats or {}).get("trace")
+                    if trace is not None:
+                        body["trace"] = trace
             except _FAILOVER_ERRORS as error:
-                attempt.finish(loop.time(), "error", str(error))
                 self.topology.mark_down(server)
                 errors.append(error)
-                attempt_kind = "reroute"
                 continue
-            except ReproError as error:
-                attempt.finish(loop.time(), "error", str(error))
-                raise
-            attempt.finish(loop.time(), "ok")
-            record.server = server.url
             self.topology.mark_up(server)
-            return value
+            return value, self._peer_info(body, server, trace_id)
         raise errors[-1] if errors else NetworkError(
             "every server of the cluster is marked down"
         )
 
-    async def _execute_shard(self, kind: str, text: str,
-                             opts: QueryOptions, scheme: PartitionScheme,
-                             cell: Cell, server: ServerState, meta: dict,
-                             ctx: _GatherContext, record: ShardRecord):
-        """One shard to completion: dispatch, hedge, re-route, account."""
-        registry = global_registry()
-        shard_counter = registry.counter("repro_dist_shards_total")
-        shard_wire = {"scheme": scheme.to_wire(), "cell": list(cell)}
-        shard_counter.inc(event="dispatched")
-        loop = asyncio.get_running_loop()
-        tried: set = set()
-        attempt_kind = "primary"
-        while True:
-            tried.add(server.url)
-            server.dispatched += 1
-            started = loop.time()
-            try:
-                result, attempt = await self._attempt_shard(
-                    kind, text, opts, shard_wire, server, meta, ctx,
-                    record, attempt_kind,
-                )
-            except _FAILOVER_ERRORS as error:
-                self.topology.mark_down(server)
-                sibling = self.topology.sibling(server, exclude=tried)
-                if sibling is None:
-                    shard_counter.inc(event="failed")
-                    raise NetworkError(
-                        f"shard {tuple(cell)} failed on every reachable "
-                        f"server (last, from {server.url}: {error})"
-                    ) from error
-                shard_counter.inc(event="rerouted")
-                server = sibling
-                attempt_kind = "reroute"
-                continue
-            elapsed = loop.time() - started
-            registry.histogram("repro_dist_server_seconds").observe(
-                elapsed, server=attempt.server,
-            )
-            record.server = attempt.server
-            self.topology.mark_up(server)
-            return result, elapsed
-
-    async def _attempt_shard(self, kind: str, text: str,
-                             opts: QueryOptions, shard_wire: dict,
-                             server: ServerState, meta: dict,
-                             ctx: _GatherContext, record: ShardRecord,
-                             attempt_kind: str):
-        """One dispatch attempt, bounded by the shard deadline."""
-        if self.shard_deadline is None:
-            return await self._hedged(kind, text, opts, shard_wire,
-                                      server, meta, ctx, record,
-                                      attempt_kind)
-        try:
-            return await asyncio.wait_for(
-                self._hedged(kind, text, opts, shard_wire, server, meta,
-                             ctx, record, attempt_kind),
-                self.shard_deadline,
-            )
-        except asyncio.TimeoutError:
-            raise NetworkError(
-                f"shard on {server.url} missed its "
-                f"{self.shard_deadline}s deadline"
-            ) from None
-
-    async def _hedged(self, kind: str, text: str, opts: QueryOptions,
-                      shard_wire: dict, server: ServerState, meta: dict,
-                      ctx: _GatherContext, record: ShardRecord,
-                      attempt_kind: str):
-        """Primary dispatch with hedged re-dispatch of stragglers.
-
-        After ``hedge_after`` seconds with no answer, the same shard is
-        duplicated to a sibling; the first success wins and the loser is
-        cancelled (its server-side cursor, if any, falls to the cursor
-        registry's idle expiry).  Safe because shards are disjoint and
-        shard reads are idempotent — the duplicate computes the exact
-        same rows.  The hedge reuses the shard's span id with a distinct
-        attempt tag, so both servers' logs name the same logical shard.
-        """
-        primary = asyncio.ensure_future(
-            self._shard_once(kind, text, opts, shard_wire, server, meta,
-                             ctx, record, attempt_kind)
-        )
-        if self.hedge_after is None:
-            return await primary
-        done, _ = await asyncio.wait({primary}, timeout=self.hedge_after)
-        if done:
-            return primary.result()
-        sibling = self.topology.sibling(server)
-        if sibling is None:
-            return await primary
-        global_registry().counter(
-            "repro_dist_shards_total").inc(event="hedged")
-        hedge = asyncio.ensure_future(
-            self._shard_once(kind, text, opts, shard_wire, sibling, meta,
-                             ctx, record, "hedge")
-        )
-        pending = {primary, hedge}
-        first_error: Optional[BaseException] = None
-        try:
-            while pending:
-                done, pending = await asyncio.wait(
-                    pending, return_when=asyncio.FIRST_COMPLETED,
-                )
-                for task in done:
-                    if task.exception() is None:
-                        return task.result()
-                    if first_error is None:
-                        first_error = task.exception()
-            raise first_error
-        finally:
-            for task in pending:
-                task.cancel()
-
-    async def _shard_once(self, kind: str, text: str, opts: QueryOptions,
-                          shard_wire: dict, server: ServerState,
-                          meta: dict, ctx: _GatherContext,
-                          record: ShardRecord, attempt_kind: str):
-        """One shard request on one server, no retries beyond the
-        session's own idempotent-op replay.  Returns ``(value, attempt)``
-        so the caller knows which dispatch actually answered."""
-        loop = asyncio.get_running_loop()
-        attempt = record.new_attempt(server.url, attempt_kind, loop.time())
-        span_wire = {"id": record.span_id, "shard": record.index,
-                     "attempt": attempt.tag}
-        try:
-            session = await self._session_for(server)
-            if kind == "count":
-                body = await session._request(
-                    "count", query=text, options=_options_payload(opts),
-                    shard=shard_wire, trace_id=ctx.trace_id,
-                    span=span_wire,
-                )
-                attempt.server_trace = body.get("trace")
-                value = body["count"]
-            else:
-                result_set = AsyncRemoteResultSet(
-                    session, text, opts, dict(meta), shard=shard_wire,
-                    trace_id=ctx.trace_id, span=span_wire,
-                )
-                value = await result_set.fetchall()
-                attempt.server_trace = result_set.server_trace
-        except asyncio.CancelledError:
-            attempt.finish(loop.time(), "cancelled")
-            raise
-        except ReproError as error:
-            attempt.finish(loop.time(), "error", str(error))
-            raise
-        attempt.finish(loop.time(), "ok")
-        return value, attempt
+    @staticmethod
+    def _peer_info(body: dict, server: ServerState,
+                   trace_id: str) -> dict:
+        """The peer's gather summary in client ``gather_info`` shape."""
+        return {
+            "trace": body.get("trace"),
+            "trace_id": body.get("trace_id") or trace_id,
+            "seconds": body.get("seconds"),
+            "shard_map": body.get("shard_map") or {},
+            "hedges": body.get("hedges", 0),
+            "reroutes": body.get("reroutes", 0),
+            "coordinator": server_label(server.url),
+            "route": "peer",
+        }
 
     # ------------------------------------------------------------------
     # Sync bridges
@@ -921,20 +479,33 @@ class ClusterSession:
         if self._closed:
             raise NetworkError("this cluster session is closed")
 
+    def _plan_sync(self, query: ConjunctiveQuery, text: str,
+                   opts: QueryOptions) -> DistPlan:
+        self._check_open()
+        return self._loop.call(self._engine.plan_for(query, text, opts))
+
     def _gather_rows(self, text: str, opts: QueryOptions,
                      plan: DistPlan, meta: dict,
                      trace_id: str) -> Tuple[List[Row], dict]:
         self._check_open()
+        if opts.route == "peer":
+            return self._loop.call(
+                self._peer_gather("rows", text, opts, meta, trace_id)
+            )
         return self._loop.call(
-            self._gather("rows", text, opts, plan, meta, trace_id)
+            self._engine.gather("rows", text, opts, plan, meta, trace_id)
         )
 
     def _gather_count(self, text: str, opts: QueryOptions,
                       plan: DistPlan, meta: dict,
                       trace_id: str) -> Tuple[int, dict]:
         self._check_open()
+        if opts.route == "peer":
+            return self._loop.call(
+                self._peer_gather("count", text, opts, meta, trace_id)
+            )
         return self._loop.call(
-            self._gather("count", text, opts, plan, meta, trace_id)
+            self._engine.gather("count", text, opts, plan, meta, trace_id)
         )
 
     # ------------------------------------------------------------------
@@ -952,7 +523,10 @@ class ClusterSession:
 
         The plan probe (one ``run`` frame on a healthy server) runs
         eagerly so parse and options errors surface here, with exactly
-        the single-server timing.
+        the single-server timing.  The client-side plan is computed
+        either way — under ``route="peer"`` it is a preview (the
+        merging server re-plans against its own health), but columns,
+        algorithm, and shard count still describe the query.
         """
         self._check_open()
         opts = self.options(options, **overrides)
@@ -962,11 +536,11 @@ class ClusterSession:
 
     async def _run_async(self, query, text: str, opts: QueryOptions
                          ) -> Tuple[dict, DistPlan]:
-        meta = await self._on_any_server("run", {
+        meta = await self._engine.on_any_server("run", {
             "query": text, "options": _options_payload(opts),
         })
-        parsed = self._resolve_query(query, text)
-        plan = await self._plan_for(parsed, text, opts)
+        parsed = resolve_query(query, text)
+        plan = await self._engine.plan_for(parsed, text, opts)
         return meta, plan
 
     def count(self, query, options: Optional[QueryOptions] = None,
@@ -987,16 +561,22 @@ class ClusterSession:
 
     async def _prepare_async(self, query, text: str, opts: QueryOptions
                              ) -> Tuple[dict, ConjunctiveQuery]:
-        meta = await self._on_any_server("run", {
+        meta = await self._engine.on_any_server("run", {
             "query": text, "options": _options_payload(opts),
         })
-        parsed = self._resolve_query(query, text)
-        await self._query_info(text, parsed)  # warm the statistics cache
+        parsed = resolve_query(query, text)
+        # Warm the statistics cache.
+        await self._engine.query_info(text, parsed)
         return meta, parsed
 
     def explain(self, query, options: Optional[QueryOptions] = None,
                 **overrides) -> DistExplain:
-        """One server's plan report plus the distributed section."""
+        """One server's plan report plus the distributed section.
+
+        ``route`` is ignored here: the report always shows *this
+        session's* distributed plan, which under ``route="peer"`` is
+        what the merging server would compute for the same fleet.
+        """
         self._check_open()
         opts = self.options(options, **overrides)
         text = str(query)
@@ -1004,11 +584,11 @@ class ClusterSession:
 
     async def _explain_async(self, query, text: str,
                              opts: QueryOptions) -> DistExplain:
-        body = await self._on_any_server("explain", {
+        body = await self._engine.on_any_server("explain", {
             "query": text, "options": _options_payload(opts),
         })
-        parsed = self._resolve_query(query, text)
-        plan = await self._plan_for(parsed, text, opts)
+        parsed = resolve_query(query, text)
+        plan = await self._engine.plan_for(parsed, text, opts)
         if plan.scheme is not None:
             assignments = tuple(
                 (cell, server.url)
@@ -1057,7 +637,7 @@ class ClusterSession:
             label = server_label(server.url)
             started = loop.time()
             try:
-                session = await self._session_for(server)
+                session = await self._engine.session_for(server)
                 text = await session.metrics()
             except _FAILOVER_ERRORS:
                 self.topology.mark_down(server)
@@ -1092,6 +672,13 @@ class ClusterSession:
         answers.
         """
         self._check_open()
+        if limit is not None and (isinstance(limit, bool)
+                                  or not isinstance(limit, int)
+                                  or limit < 1):
+            raise OptionsError(
+                f"events limit must be a positive int or None, "
+                f"got {limit!r}"
+            )
         return self._loop.call(self._events_async(limit))
 
     async def _events_async(self, limit: Optional[int]) -> List[dict]:
@@ -1100,7 +687,7 @@ class ClusterSession:
         async def pull(server: ServerState):
             label = server_label(server.url)
             try:
-                session = await self._session_for(server)
+                session = await self._engine.session_for(server)
                 events = await session.events(limit)
             except _FAILOVER_ERRORS:
                 self.topology.mark_down(server)
@@ -1127,17 +714,9 @@ class ClusterSession:
             return
         self._closed = True
         try:
-            self._loop.call(self._close_sessions())
+            self._loop.call(self._engine.close_sessions())
         finally:
             self._loop.close()
-
-    async def _close_sessions(self) -> None:
-        for session in list(self._sessions.values()):
-            try:
-                await session.close()
-            except (NetworkError, ProtocolError):
-                pass
-        self._sessions.clear()
 
     def __enter__(self) -> "ClusterSession":
         return self

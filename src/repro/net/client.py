@@ -108,12 +108,16 @@ _MAX_RETRY_BACKOFF = 2.0
 #: failure.  ``run`` / ``explain`` / ``execute`` only plan, ``count`` /
 #: ``stats`` / ``metrics`` only read, ``hello`` is a handshake,
 #: ``prepare`` is idempotent by design (the registry dedups), and a
-#: replayed ``deallocate`` frees at most the same handle.  Cursor ops
-#: (``cursor`` / ``fetch`` / ``close``) are deliberately absent: they
-#: name server-side stream state that dies with its connection.
+#: replayed ``deallocate`` frees at most the same handle.  The peer ops
+#: ``cluster_run`` / ``cluster_count`` are read-only like their
+#: single-server twins.  Cursor ops (``cursor`` / ``cluster_cursor`` /
+#: ``fetch`` / ``close``) are deliberately absent from this set: they
+#: name server-side stream state that dies with its connection (cursor
+#: *opens* get their own replay loop in ``_open_cursor``, which is safe
+#: because an unacknowledged cursor died with its connection).
 IDEMPOTENT_OPS = frozenset(
     {"hello", "run", "explain", "count", "stats", "metrics", "events",
-     "prepare", "execute", "deallocate"}
+     "prepare", "execute", "deallocate", "cluster_run", "cluster_count"}
 )
 
 
@@ -220,9 +224,22 @@ def parse_cluster_url(url: str) -> Tuple[Tuple[str, int], ...]:
             f"remote URL must look like repro://host:port, got {url!r}"
         )
     rest = url[len("repro://"):].rstrip("/")
-    return tuple(
-        _parse_host_port(entry, url) for entry in rest.split(",")
-    )
+    entries = rest.split(",")
+    endpoints = []
+    for position, entry in enumerate(entries):
+        if entry != entry.strip():
+            raise NetworkError(
+                f"remote URL {url!r} has whitespace around entry "
+                f"{position + 1} ({entry!r}); separate hosts with a "
+                f"bare comma"
+            )
+        if not entry and len(entries) > 1 and position == len(entries) - 1:
+            raise NetworkError(
+                f"remote URL {url!r} has a trailing comma: the empty "
+                f"entry after {entries[position - 1]!r} names no host"
+            )
+        endpoints.append(_parse_host_port(entry, url))
+    return tuple(endpoints)
 
 
 def parse_url(url: str) -> Tuple[str, int]:
@@ -259,9 +276,12 @@ def _options_payload(options: QueryOptions) -> dict:
     ``fetch_size`` is a client-only paging knob — every ``fetch`` request
     names its page size explicitly — so it is stripped here, which also
     keeps new clients compatible with servers that predate the field.
+    ``route`` is likewise client-side routing (which *op* to send, not
+    how the server should run it) and never travels.
     """
     payload = asdict(options)
     payload.pop("fetch_size", None)
+    payload.pop("route", None)
     return payload
 
 
@@ -299,6 +319,7 @@ class _WireConnection:
             ) from None
         self._sock.settimeout(None)
         self._reader = self._sock.makefile("rb")
+        self._bytes = global_registry().counter("repro_client_bytes_total")
         self._next_id = 0
         # Prepared statements are per-connection server state: this maps
         # a client-side (text, algorithm) shape to the handle the server
@@ -324,8 +345,10 @@ class _WireConnection:
             if _io_timeout is not None:
                 self._sock.settimeout(_io_timeout)
             try:
-                self._sock.sendall(protocol.encode_frame(frame))
-                response = protocol.read_frame(self._reader.read)
+                data = protocol.encode_frame(frame)
+                self._sock.sendall(data)
+                self._bytes.inc(len(data), direction="sent")
+                response = protocol.read_frame(self._counting_read)
             finally:
                 if _io_timeout is not None and not self.closed:
                     self._sock.settimeout(None)
@@ -350,6 +373,15 @@ class _WireConnection:
                 f"got {response.get('id')!r}"
             )
         return response
+
+    def _counting_read(self, size: int) -> bytes:
+        """``self._reader.read`` metered into ``repro_client_bytes_total``
+        — the received half of the bytes-to-client accounting that peer
+        coordination exists to shrink."""
+        data = self._reader.read(size)
+        if data:
+            self._bytes.inc(len(data), direction="received")
+        return data
 
     def healthy(self) -> bool:
         """Cheap liveness probe: is the socket still connected and quiet?
@@ -597,6 +629,7 @@ class RemoteResultSet(RowCursor):
         self._delivered = 0
         self._count: Optional[int] = None
         self._final: dict = {}
+        self._open_body: dict = {}
         self._seconds = 0.0
         # With tracing on, a client-chosen id rides every wire request so
         # the server-side span tree correlates with client logs.
@@ -653,7 +686,14 @@ class RemoteResultSet(RowCursor):
         return self._options.fetch_size or self._session.fetch_size
 
     def _ensure_cursor(self) -> None:
-        """Open the server-side cursor on first use, pinning a connection."""
+        """Open the server-side cursor on first use, pinning a connection.
+
+        Under ``route="peer"`` the open travels as ``cluster_cursor``
+        with ``hop=0``: the server gathers from its peers and registers
+        the *merged* stream in its normal cursor registry, so everything
+        after the open (fetch paging, close, drain accounting) is
+        byte-for-byte the single-server path.
+        """
         if self._cursor_id is None:
             if self._prepared_key is not None:
                 self._conn, self._cursor_id = \
@@ -663,10 +703,16 @@ class RemoteResultSet(RowCursor):
                         trace_id=self._trace_id,
                     )
             else:
-                self._conn, self._cursor_id = self._session._open_cursor(
+                if self._options.route == "peer":
+                    op, extra = "cluster_cursor", {"hop": 0}
+                else:
+                    op, extra = "cursor", None
+                self._conn, body = self._session._open_cursor(
                     self._text, _options_payload(self._options),
-                    trace_id=self._trace_id,
+                    trace_id=self._trace_id, op=op, extra=extra,
                 )
+                self._cursor_id = body["cursor"]
+                self._open_body = body
 
     def _release_conn(self) -> None:
         """Hand the pinned connection back to the pool (if still held)."""
@@ -823,11 +869,15 @@ class RemoteResultSet(RowCursor):
                 _options_payload(self._options), extra,
             )
         else:
+            op = ("cluster_count" if self._options.route == "peer"
+                  else "count")
             params = {"query": self._text,
                       "options": _options_payload(self._options)}
+            if op == "cluster_count":
+                params["hop"] = 0
             if self._trace_id is not None:
                 params["trace_id"] = self._trace_id
-            response = self._session._request("count", **params)
+            response = self._session._request(op, **params)
         self._seconds += time.perf_counter() - started
         self._count = response["count"]
         if response.get("result_cached"):
@@ -835,6 +885,12 @@ class RemoteResultSet(RowCursor):
         if response.get("trace") is not None:
             self._final["trace"] = response["trace"]
         return self._count
+
+    @property
+    def open_body(self) -> dict:
+        """The raw cursor-open response body (peer opens carry gather
+        summary scalars: shard map, hedges, coordinator)."""
+        return self._open_body
 
     def close(self) -> None:
         """Release the server-side cursor early; idempotent."""
@@ -1064,27 +1120,34 @@ class RemoteSession:
             self._pool.checkin(conn)
 
     def _open_cursor(self, text: str, payload: dict,
-                     trace_id: Optional[str] = None
-                     ) -> Tuple[_WireConnection, int]:
-        """Open a server-side cursor, returning its pinned connection.
+                     trace_id: Optional[str] = None,
+                     op: str = "cursor",
+                     extra: Optional[dict] = None
+                     ) -> Tuple[_WireConnection, dict]:
+        """Open a server-side cursor, returning its pinned connection
+        and the full open-response body (``body["cursor"]`` is the id).
 
         Opening is retried like an idempotent op: a cursor that was
         opened but whose open *response* was lost died with its
         connection (registries are per-connection), so replaying on a
-        fresh connection leaks nothing.
+        fresh connection leaks nothing.  ``op`` selects the open verb
+        (``cluster_cursor`` for peer-routed opens) and ``extra`` rides
+        extra frame fields (``hop``, ``peers``).
         """
         params = {"query": text, "options": payload}
         if trace_id is not None:
             params["trace_id"] = trace_id
+        if extra:
+            params.update(extra)
         conn, response = self._retry_exchange(
-            "cursor", params, 1 + self.retries,
+            op, params, 1 + self.retries,
         )
         try:
             body = _result(response)
         except ReproError:
             self._pool.checkin(conn)
             raise
-        return conn, body["cursor"]
+        return conn, body
 
     # ------------------------------------------------------------------
     # Prepared-statement plumbing
@@ -1195,12 +1258,19 @@ class RemoteSession:
 
         Options validate client-side (the same
         :class:`~repro.errors.OptionsError` boundary as a local session)
-        before anything touches the wire.
+        before anything touches the wire.  With ``route="peer"`` the
+        plan probe travels as ``cluster_run`` (``hop=0``): the server
+        answers with its peer-fleet plan (shards, partitioning) and
+        later consumption gathers server-side.
         """
         opts = self.options(options, **overrides)
         text = str(query)
-        meta = self._request("run", query=text,
-                             options=_options_payload(opts))
+        if opts.route == "peer":
+            meta = self._request("cluster_run", query=text,
+                                 options=_options_payload(opts), hop=0)
+        else:
+            meta = self._request("run", query=text,
+                                 options=_options_payload(opts))
         return RemoteResultSet(self, text, opts, meta)
 
     def prepare(self, query, options: Optional[QueryOptions] = None,
@@ -1302,17 +1372,23 @@ def connect(url: str, *,
             use_cache: bool = True,
             limit: Optional[int] = None,
             trace: bool = False,
+            route: Optional[str] = None,
             fetch_size: int = DEFAULT_FETCH_SIZE,
             connect_timeout: float = 10.0,
             pool_size: int = DEFAULT_POOL_SIZE,
             retries: int = DEFAULT_RETRIES,
             retry_backoff: float = DEFAULT_RETRY_BACKOFF,
             wire_encoding: Optional[str] = None) -> RemoteSession:
-    """Open a :class:`RemoteSession`; keyword args become its defaults."""
+    """Open a :class:`RemoteSession`; keyword args become its defaults.
+
+    ``route="peer"`` makes every query travel as a peer-coordinated
+    cluster op: the server sub-shards across its ``--peers`` fleet and
+    merges server-side, so only the merged answer crosses this hop.
+    """
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
-        use_cache=use_cache, limit=limit, trace=trace,
+        use_cache=use_cache, limit=limit, trace=trace, route=route,
     )
     return RemoteSession(url, options=options, fetch_size=fetch_size,
                          connect_timeout=connect_timeout,
@@ -1339,13 +1415,22 @@ class AsyncRemoteResultSet:
                  prepared_key: Optional[Tuple[str, str]] = None,
                  shard: Optional[dict] = None,
                  trace_id: Optional[str] = None,
-                 span: Optional[dict] = None) -> None:
+                 span: Optional[dict] = None,
+                 open_op: str = "cursor",
+                 open_extra: Optional[dict] = None) -> None:
         import asyncio
 
         self._session = session
         self._text = query_text
         self._options = options
         self._prepared_key = prepared_key
+        # Which verb opens the cursor ("cluster_cursor" for peer-routed
+        # or peer-dispatched opens) and extra frame fields riding the
+        # open ("hop", "peers").  Fetching afterwards is op-agnostic:
+        # a cursor id names the same registry either way.
+        self._open_op = open_op
+        self._open_extra = open_extra
+        self._open_body: dict = {}
         # Optional shard restriction (the distributed coordinator's
         # {"scheme": ..., "cell": ...} wire form); rides on every cursor
         # open and count for this result set.
@@ -1395,12 +1480,15 @@ class AsyncRemoteResultSet:
                 )
                 self._cursor_id, self._generation = body["cursor"], generation
             else:
-                self._cursor_id, self._generation = \
+                body, self._generation = \
                     await self._session._open_cursor(
                         self._text, _options_payload(self._options),
                         shard=self._shard, trace_id=self._trace_id,
-                        span=self._span,
+                        span=self._span, op=self._open_op,
+                        extra=self._open_extra,
                     )
+                self._cursor_id = body["cursor"]
+                self._open_body = body
 
     async def _fetch(self, size: int) -> List[Row]:
         async with self._fetch_lock:
@@ -1520,20 +1608,30 @@ class AsyncRemoteResultSet:
                 _options_payload(self._options)
             )
         else:
+            op = ("cluster_count" if self._options.route == "peer"
+                  else "count")
             params = {"query": self._text,
                       "options": _options_payload(self._options)}
+            if op == "cluster_count":
+                params["hop"] = 0
             if self._shard is not None:
                 params["shard"] = self._shard
             if self._trace_id is not None:
                 params["trace_id"] = self._trace_id
             if self._span is not None:
                 params["span"] = self._span
-            body = await self._session._request("count", **params)
+            body = await self._session._request(op, **params)
         if body.get("trace") is not None:
             self._server_stats = dict(self._server_stats,
                                       trace=body["trace"])
         self._count = body["count"]
         return self._count
+
+    @property
+    def open_body(self) -> dict:
+        """The raw cursor-open response body (peer opens carry gather
+        summary scalars: shard map, hedges, coordinator)."""
+        return self._open_body
 
     @property
     def server_stats(self) -> dict:
@@ -1676,9 +1774,17 @@ class AsyncRemoteSession:
 
         missing = object()
         error: Optional[ReproError] = None
+        bytes_counter = global_registry().counter("repro_client_bytes_total")
+
+        async def counting_readexactly(size):
+            data = await reader.readexactly(size)
+            if data:
+                bytes_counter.inc(len(data), direction="received")
+            return data
+
         try:
             while True:
-                frame = await protocol.read_frame_async(reader.readexactly)
+                frame = await protocol.read_frame_async(counting_readexactly)
                 if frame is None:
                     error = NetworkError(
                         f"server at {self.url} closed the connection"
@@ -1731,8 +1837,12 @@ class AsyncRemoteSession:
         frame = {"id": request_id, "op": op, **params}
         try:
             async with self._write_lock:
-                writer.write(protocol.encode_frame(frame))
+                data = protocol.encode_frame(frame)
+                writer.write(data)
                 await writer.drain()
+                global_registry().counter(
+                    "repro_client_bytes_total"
+                ).inc(len(data), direction="sent")
         except (OSError, RuntimeError) as error:
             pending.pop(request_id, None)
             raise NetworkError(
@@ -1820,14 +1930,20 @@ class AsyncRemoteSession:
     async def _open_cursor(self, text: str, payload: dict,
                            shard: Optional[dict] = None,
                            trace_id: Optional[str] = None,
-                           span: Optional[dict] = None) -> Tuple[int, int]:
-        """Open a server cursor; returns (cursor id, connection generation).
+                           span: Optional[dict] = None,
+                           op: str = "cursor",
+                           extra: Optional[dict] = None
+                           ) -> Tuple[dict, int]:
+        """Open a server cursor; returns (open body, connection
+        generation) — ``body["cursor"]`` is the id.
 
         Retried like an idempotent op — a cursor whose open response was
         lost died with its connection, so a replay leaks nothing.
         ``shard`` (optional) restricts the cursor to one grid cell of a
         distributed partitioning; ``trace_id``/``span`` carry the
-        coordinator's distributed trace context.
+        coordinator's distributed trace context; ``op``/``extra`` select
+        the open verb (``cluster_cursor``) and its extra frame fields
+        (``hop``, ``peers``) for peer-coordinated opens.
         """
         params = {"query": text, "options": payload}
         if shard is not None:
@@ -1836,10 +1952,12 @@ class AsyncRemoteSession:
             params["trace_id"] = trace_id
         if span is not None:
             params["span"] = span
+        if extra:
+            params.update(extra)
         response, generation = await self._retry_send(
-            "cursor", params, 1 + self.retries,
+            op, params, 1 + self.retries,
         )
-        return _result(response)["cursor"], generation
+        return _result(response), generation
 
     # ------------------------------------------------------------------
     # Prepared-statement plumbing
@@ -1908,9 +2026,21 @@ class AsyncRemoteSession:
 
     async def run(self, query, options: Optional[QueryOptions] = None,
                   **overrides) -> AsyncRemoteResultSet:
-        """Open a server-side cursor for ``query``; nothing executes yet."""
+        """Open a server-side cursor for ``query``; nothing executes yet.
+
+        ``route="peer"`` sends the peer-coordinated ``cluster_*`` ops
+        (``hop=0``) so the server gathers from its fleet and merges
+        before this hop.
+        """
         opts = self.options(options, **overrides)
         text = str(query)
+        if opts.route == "peer":
+            meta = await self._request("cluster_run", query=text,
+                                       options=_options_payload(opts),
+                                       hop=0)
+            return AsyncRemoteResultSet(self, text, opts, meta,
+                                        open_op="cluster_cursor",
+                                        open_extra={"hop": 0})
         meta = await self._request("run", query=text,
                                    options=_options_payload(opts))
         return AsyncRemoteResultSet(self, text, opts, meta)
@@ -2064,6 +2194,7 @@ async def connect_async(url: str, *,
                         use_cache: bool = True,
                         limit: Optional[int] = None,
                         trace: bool = False,
+                        route: Optional[str] = None,
                         fetch_size: int = DEFAULT_FETCH_SIZE,
                         retries: int = DEFAULT_RETRIES,
                         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
@@ -2074,7 +2205,7 @@ async def connect_async(url: str, *,
     options = QueryOptions(
         algorithm=algorithm, parallel=parallel,
         partition_mode=partition_mode, timeout=timeout,
-        use_cache=use_cache, limit=limit, trace=trace,
+        use_cache=use_cache, limit=limit, trace=trace, route=route,
     )
     session = AsyncRemoteSession(url, options=options, fetch_size=fetch_size,
                                  retries=retries, retry_backoff=retry_backoff,

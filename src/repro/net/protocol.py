@@ -72,6 +72,17 @@ op              request fields                       response fields
 ``stats``       —                                    connection, cursors,
                                                      prepared, service
 ``metrics``     —                                    metrics (Prometheus text)
+``events``      [limit]                              events (flight recorder;
+                                                     limit must be ≥ 1)
+``cluster_run`` query, options, hop[, peers]         columns, algorithm,
+                                                     shards, partitioning,
+                                                     route, fanout
+``cluster_count`` query, options, hop[, peers,       count, shards, seconds,
+                trace_id]                            shard_map, hedges,
+                                                     reroutes, fanout
+``cluster_cursor`` query, options, hop[, peers,      cursor, shards, seconds,
+                trace_id]                            shard_map, hedges,
+                                                     reroutes, fanout
 ``goodbye``     —                                    goodbye
 =============== ==================================== =========================
 
@@ -87,6 +98,18 @@ per-connection (idle TTL + cap, like cursors); ``execute``, ``cursor``
 and ``count`` may then reference the ``handle`` instead of resending
 query text, skipping parse/analysis/attribute-ordering on every call
 and letting the plan cache key on the prepared text.
+
+The ``cluster_*`` ops are **peer coordination**: a frame with ``hop=0``
+asks the receiving server to sub-shard the query across its peer fleet
+(the frame's ``peers`` list, or the server's ``--peers`` configuration)
+and merge the answers *before* replying, so only the merged answer
+crosses the final hop.  Every sub-request the merging server dispatches
+is stamped ``hop=1`` — a server receiving ``hop >= 1`` executes the
+shard locally and never re-fans-out, whatever topology the frame names,
+which is what makes routing loops impossible.  A merged tuple answer
+streams back through the ordinary cursor registry: the ``cluster_cursor``
+response carries a plain ``cursor`` id and the client pages it with
+``fetch`` frames, so ``fetchmany(k)`` stays O(k) on the client hop.
 """
 
 from __future__ import annotations

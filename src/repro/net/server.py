@@ -40,8 +40,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+from repro.api.result import ResultStats
 from repro.api.session import Session
 from repro.errors import (
+    OptionsError,
     ProtocolError,
     ReproError,
     ServiceError,
@@ -70,6 +72,10 @@ MAX_FETCH_SIZE = 65536
 #: shard executions skip re-filtering the input relations.
 MAX_SHARD_SESSIONS = 32
 
+#: Peer coordinators the server keeps alive, one per distinct peer list
+#: (the configured ``--peers`` fleet plus any client-supplied lists).
+MAX_PEER_COORDINATORS = 4
+
 
 @dataclass
 class ConnectionStats:
@@ -89,6 +95,58 @@ class ConnectionStats:
             "explains": self.explains,
             "errors": self.errors,
         }
+
+
+class _MergedRows:
+    """A peer-merged answer wearing the server-cursor interface.
+
+    The gather already materialized (the merge needs every shard), so
+    this is a position over a list — but parking it in the connection's
+    :class:`~repro.service.cursors.CursorRegistry` lets the client page
+    it with ordinary ``fetch`` frames: ``fetchmany(k)`` ships O(k) rows
+    on the final hop regardless of how much the peers sent the merging
+    server, and the drain path (stats, stitched trace, slow-log
+    observation) is shared with single-node cursors.
+    """
+
+    def __init__(self, rows, query: str, options: dict, info: dict,
+                 meta: dict, plan) -> None:
+        self._rows = list(rows)
+        self._position = 0
+        scheme = plan.scheme
+        self.stats = ResultStats(
+            query=query,
+            algorithm=meta["algorithm"],
+            requested_algorithm=meta.get("requested_algorithm",
+                                         meta["algorithm"]),
+            partitioning=scheme.key() if scheme is not None else "serial",
+            shards=plan.shards,
+            plan_cached=meta.get("plan_cached", False),
+            result_cached=False,
+            plan_seconds=0.0,
+            execution_seconds=info.get("seconds") or 0.0,
+            rows_delivered=0,
+            complete=True,
+            limit=options.get("limit"),
+            total=len(self._rows),
+            trace=info.get("trace"),
+        )
+        # _op_fetch's drain path forwards this to observe_query, which
+        # correlates the merged query with the client's trace id.
+        trace_id = info.get("trace_id")
+        self._wire_context = {"trace_id": trace_id} if trace_id else {}
+
+    def fetchmany(self, size: int):
+        page = self._rows[self._position:self._position + size]
+        self._position += len(page)
+        return page
+
+    @property
+    def drained(self) -> bool:
+        return self._position >= len(self._rows)
+
+    def close(self) -> None:
+        self._rows = []
 
 
 class _Connection:
@@ -136,6 +194,16 @@ class ReproServer:
         client has this many unanswered requests the read loop simply
         stops reading its socket until one completes, so TCP backpressure
         does the queueing instead of server memory.
+    peers:
+        Comma-separated ``host:port`` list naming the fleet this server
+        belongs to (normally including itself).  Enables **peer
+        coordination**: a ``cluster_*`` frame with ``hop=0`` makes this
+        server sub-shard the query across the fleet (each sub-request
+        stamped ``hop=1`` so receivers never re-fan-out) and merge the
+        answers before replying — only the merged answer crosses back
+        to the client.  ``None`` (the default) keeps the server a plain
+        single-node endpoint; ``cluster_*`` frames then need an explicit
+        ``peers`` list in the request.
     """
 
     def __init__(self, service: QueryService, host: str = "127.0.0.1",
@@ -144,7 +212,8 @@ class ReproServer:
                  max_cursors: int = 64,
                  prepared_ttl: Optional[float] = 300.0,
                  max_prepared: int = 64,
-                 max_pipeline: int = 32) -> None:
+                 max_pipeline: int = 32,
+                 peers: Optional[str] = None) -> None:
         self.service = service
         self.host = host
         self.port = port
@@ -153,6 +222,11 @@ class ReproServer:
         self.prepared_ttl = prepared_ttl
         self.max_prepared = max_prepared
         self.max_pipeline = max(1, int(max_pipeline))
+        self.peers = peers
+        # Peer coordinators, one per distinct peer list (LRU-bounded):
+        # entries tuple -> PeerCoordinator.  Built lazily on the first
+        # hop-0 cluster_* frame so plain servers pay nothing.
+        self._peer_coordinators: "OrderedDict[tuple, object]" = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._sweeper: Optional[asyncio.Task] = None
@@ -213,6 +287,10 @@ class ReproServer:
         for connection in list(self._connections):
             connection.registry.close_all()
             connection.prepared.close_all()
+        coordinators = list(self._peer_coordinators.values())
+        self._peer_coordinators.clear()
+        for coordinator in coordinators:
+            await coordinator.close()
         with self._shard_lock:
             shard_sessions = list(self._shard_sessions.values())
             self._shard_sessions.clear()
@@ -320,7 +398,12 @@ class ReproServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # Loop teardown may cancel us during this last await (a
+                # peer coordinator's connection can outlive stop());
+                # everything is already closed, so finish cleanly rather
+                # than surface a cancelled handler task.
                 pass
 
     @classmethod
@@ -839,15 +922,156 @@ class ReproServer:
 
     async def _op_events(self, connection: _Connection,
                          frame: dict) -> dict:
-        """The flight recorder's recent query events, oldest first."""
+        """The flight recorder's recent query events, oldest first.
+
+        ``limit`` must be a positive int (or absent for the full ring):
+        a zero or negative limit is an options error — it would silently
+        select nothing or everything, and the CLI maps it to the
+        bad-options exit code instead of guessing.
+        """
         limit = frame.get("limit")
         if limit is not None and (isinstance(limit, bool)
                                   or not isinstance(limit, int)
-                                  or limit < 0):
-            raise ProtocolError(
-                f"'limit' must be a non-negative int, got {limit!r}"
+                                  or limit < 1):
+            raise OptionsError(
+                f"events limit must be a positive int, got {limit!r}"
             )
         return {"events": global_events().snapshot(limit)}
+
+    # -- peer coordination ----------------------------------------------
+    def _peer_entries(self, frame_peers) -> tuple:
+        """Resolve the peer topology one ``cluster_*`` frame targets.
+
+        The frame's ``peers`` list wins (it names the fleet the *client*
+        was configured with); otherwise the server's own ``--peers``
+        configuration applies; a plain server with neither cannot
+        coordinate and says so as an options error.
+        """
+        if frame_peers is not None:
+            if (not isinstance(frame_peers, list) or not frame_peers
+                    or not all(isinstance(peer, str) and peer
+                               for peer in frame_peers)):
+                raise ProtocolError(
+                    "'peers' must be a non-empty list of 'host:port' "
+                    "strings"
+                )
+            return tuple(frame_peers)
+        if self.peers:
+            return tuple(self.peers.split(","))
+        raise OptionsError(
+            "this server has no peer topology; start it with "
+            "--peers h1:p1,h2:p2 or send a 'peers' list in the request"
+        )
+
+    def _peer_coordinator(self, frame_peers):
+        """The (cached) coordinator for one peer list; LRU-bounded."""
+        # Imported lazily: repro.dist.gather imports the client module,
+        # which imports this one for DEFAULT_PORT.
+        from repro.dist.gather import PeerCoordinator
+
+        entries = self._peer_entries(frame_peers)
+        coordinator = self._peer_coordinators.get(entries)
+        if coordinator is not None:
+            self._peer_coordinators.move_to_end(entries)
+            return coordinator
+        coordinator = PeerCoordinator(self.service, entries)
+        self._peer_coordinators[entries] = coordinator
+        while len(self._peer_coordinators) > MAX_PEER_COORDINATORS:
+            _, old = self._peer_coordinators.popitem(last=False)
+            asyncio.get_running_loop().create_task(old.close())
+        return coordinator
+
+    @staticmethod
+    def _hop_of(frame: dict) -> int:
+        """The frame's fan-out hop count: 0 fans out, ≥ 1 never does."""
+        hop = frame.get("hop", 0)
+        if isinstance(hop, bool) or not isinstance(hop, int) or hop < 0:
+            raise ProtocolError(
+                f"'hop' must be a non-negative int, got {hop!r}"
+            )
+        return hop
+
+    @staticmethod
+    def _gather_scalars(info: dict, plan, meta: dict) -> dict:
+        """The merge summary every hop-0 ``cluster_*`` response carries."""
+        scheme = plan.scheme
+        body = {
+            "algorithm": meta["algorithm"],
+            "shards": plan.shards,
+            "partitioning": scheme.key() if scheme is not None
+            else "serial",
+            "seconds": info.get("seconds"),
+            "shard_map": info.get("shard_map") or {},
+            "hedges": info.get("hedges", 0),
+            "reroutes": info.get("reroutes", 0),
+            "trace_id": info.get("trace_id"),
+            "fanout": True,
+        }
+        return body
+
+    async def _op_cluster_run(self, connection: _Connection,
+                              frame: dict) -> dict:
+        """Peer-coordinated ``run``: plan-only, like its single-node twin.
+
+        At ``hop >= 1`` this *is* the single-node op — a peer that
+        receives a forwarded frame executes locally and never re-fans
+        out, whatever the topology claims.
+        """
+        if self._hop_of(frame) >= 1:
+            body = await self._op_run(connection, frame)
+            global_registry().counter("repro_peer_total").inc(event="leaf")
+            return dict(body, route="leaf", fanout=False)
+        query, options = self._query_and_options(frame)
+        coordinator = self._peer_coordinator(frame.get("peers"))
+        return await coordinator.describe(query, options)
+
+    async def _op_cluster_count(self, connection: _Connection,
+                                frame: dict) -> dict:
+        """Peer-coordinated count: per-shard counts summed *here*.
+
+        The merge happens before the final hop, so the client receives
+        one integer no matter how many peers answered.
+        """
+        if self._hop_of(frame) >= 1:
+            body = await self._op_count(connection, frame)
+            global_registry().counter("repro_peer_total").inc(event="leaf")
+            return dict(body, fanout=False)
+        query, options = self._query_and_options(frame)
+        coordinator = self._peer_coordinator(frame.get("peers"))
+        value, info, meta, plan = await coordinator.gather(
+            "count", query, options, frame.get("trace_id"),
+        )
+        connection.stats.counts += 1
+        body = dict(self._gather_scalars(info, plan, meta), count=value)
+        if info.get("trace") is not None:
+            body["trace"] = info["trace"]
+        return body
+
+    async def _op_cluster_cursor(self, connection: _Connection,
+                                 frame: dict) -> dict:
+        """Peer-coordinated cursor: gather, merge, then stream the
+        *merged* answer through the normal cursor registry.
+
+        The client pages the merged rows with plain ``fetch`` frames, so
+        ``fetchmany(k)`` moves O(k) rows on the final hop even when the
+        peers shipped far more to the merging server.  The stitched
+        gather trace rides the drained cursor's stats, exactly like a
+        single-node traced query.
+        """
+        if self._hop_of(frame) >= 1:
+            body = await self._op_cursor(connection, frame)
+            global_registry().counter("repro_peer_total").inc(event="leaf")
+            return dict(body, fanout=False)
+        query, options = self._query_and_options(frame)
+        coordinator = self._peer_coordinator(frame.get("peers"))
+        rows, info, meta, plan = await coordinator.gather(
+            "rows", query, options, frame.get("trace_id"),
+        )
+        connection.stats.queries += 1
+        merged = _MergedRows(rows, query, options, info, meta, plan)
+        cursor = connection.registry.open(merged)
+        return dict(self._gather_scalars(info, plan, meta),
+                    cursor=cursor.cursor_id)
 
     async def _op_goodbye(self, connection: _Connection,
                           frame: dict) -> dict:
@@ -869,6 +1093,9 @@ class ReproServer:
         "stats": _op_stats,
         "metrics": _op_metrics,
         "events": _op_events,
+        "cluster_run": _op_cluster_run,
+        "cluster_count": _op_cluster_count,
+        "cluster_cursor": _op_cluster_cursor,
         "goodbye": _op_goodbye,
     }
 

@@ -287,7 +287,15 @@ def render_timeline(trace: Optional[dict]) -> str:
         children = []
     shards = [child for child in children
               if isinstance(child, dict) and child.get("name") == "shard"]
-    lines = [f"per-shard timeline (trace {trace.get('trace_id', '?')}):"]
+    root_annotations = root.get("annotations")
+    if not isinstance(root_annotations, dict):
+        root_annotations = {}
+    # A peer-stitched tree means the merge ran next to the data — worth
+    # a visible tag, since the timeline otherwise looks identical.
+    merged = " merged server-side" \
+        if root_annotations.get("source") == "peer" else ""
+    lines = [f"per-shard timeline "
+             f"(trace {trace.get('trace_id', '?')}{merged}):"]
     totals = sorted(_as_float(node.get("duration")) for node in shards)
     median = totals[len(totals) // 2] if totals else 0.0
     for position, node in enumerate(shards):

@@ -574,6 +574,20 @@ def declare_standard_metrics(registry: MetricsRegistry) -> None:
         "tail-latency skew signal share sizing and hedging fight.",
         buckets=STRAGGLER_BUCKETS,
     )
+    registry.counter(
+        "repro_peer_total",
+        "Server-side peer coordination events: gather when a server "
+        "fans a cluster query out to its peers, leaf when it refuses "
+        "to re-fan-out and executes locally (hop >= 1), plan for the "
+        "hop-0 plan probe.",
+        ("event",),
+    )
+    registry.counter(
+        "repro_client_bytes_total",
+        "Bytes crossing the client's wire, by direction — the "
+        "bytes-to-client number peer coordination exists to shrink.",
+        ("direction",),
+    )
     registry.histogram(
         "repro_fleet_scrape_seconds",
         "Coordinator-side latency of each per-server metrics scrape.",

@@ -311,11 +311,16 @@ class TestFlightRecorder:
                     assert limited == events[-2:]
 
     def test_events_op_rejects_bad_limit(self, service):
+        # A non-positive limit is an *options* error (exit code 5 on the
+        # CLI), not a protocol violation: the frame is well-formed, the
+        # value is nonsense — and must not silently select everything.
         import repro
-        from repro.errors import ProtocolError
+        from repro.errors import OptionsError
 
         with isolated_registry(), isolated_events():
             with ServerThread(service) as server:
                 with repro.connect(server.url) as session:
-                    with pytest.raises(ProtocolError):
+                    with pytest.raises(OptionsError):
                         session.events(limit=-1)
+                    with pytest.raises(OptionsError):
+                        session.events(limit=0)

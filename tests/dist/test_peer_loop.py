@@ -1,0 +1,168 @@
+"""Peer coordination never loops, and it survives a dying merger.
+
+The ``hop`` field is the entire loop-avoidance mechanism: a ``hop=0``
+``cluster_*`` frame makes the receiving server fan out across its
+peers, every sub-request it dispatches carries ``hop=1``, and a server
+receiving ``hop >= 1`` executes the shard locally *no matter what
+topology the frame names*.  These tests pin that contract empirically —
+the in-process servers all share one metrics registry, so one hop-0
+query over an N-peer fleet must land exactly one ``gather`` increment
+and exactly ``shards`` ``leaf`` increments, for every scheme and fleet
+size — and pin the client-side failover: when the merging peer dies,
+the whole query re-routes to a sibling peer and the answer is
+unchanged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+import repro
+from repro.api.session import Session
+from repro.dist import ClusterSession
+from repro.net.server import ServerThread
+from repro.obs.metrics import isolated_registry
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+
+TRIANGLE = "edge(a,b), edge(b,c), edge(a,c), a<b, b<c"
+CHAIN = "v1(a), v2(c), edge(a,b), edge(b,c)"
+
+
+@pytest.fixture(scope="module")
+def service():
+    with QueryService(graph_database(14, 40, seed=5)) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def servers(service):
+    started = [ServerThread(service).start() for _ in range(4)]
+    yield started
+    for server in started:
+        server.stop()
+
+
+@pytest.fixture(scope="module")
+def expected(service):
+    with Session(service.database) as local:
+        yield {
+            TRIANGLE: sorted(tuple(row) for row in
+                             local.run(TRIANGLE).fetchall()),
+            CHAIN: sorted(tuple(row) for row in
+                          local.run(CHAIN).fetchall()),
+        }
+
+
+def _url_of(*servers) -> str:
+    return "repro://" + ",".join(
+        server.url.replace("repro://", "") for server in servers
+    )
+
+
+@pytest.mark.parametrize("mode, query", [
+    ("hash", CHAIN),
+    ("hypercube", TRIANGLE),
+])
+@pytest.mark.parametrize("fleet", [2, 3, 4])
+def test_peer_gather_never_refans_out(servers, expected, mode, query,
+                                      fleet):
+    # One hop-0 query over an N-peer fleet: exactly one server fans out
+    # (gather == 1) and every sub-request executes as a leaf
+    # (leaf == shards).  A routing loop — any server re-fanning-out a
+    # hop-1 frame — would inflate the gather count, and the shared
+    # in-process registry would see it.
+    with isolated_registry() as registry:
+        with ClusterSession(_url_of(*servers[:fleet])) as cluster:
+            result = cluster.run(query, route="peer",
+                                 partition_mode=mode)
+            rows = sorted(tuple(row) for row in result.fetchall())
+            assert rows == expected[query]
+            info = result.gather_info
+            assert info["route"] == "peer"
+            shards = len(info["shard_map"])
+            assert shards >= 1
+        counter = registry.get("repro_peer_total")
+        assert counter.value(event="gather") == 1
+        assert counter.value(event="leaf") == shards
+
+
+@pytest.mark.parametrize("fleet", [2, 3])
+def test_peer_count_never_refans_out(servers, service, fleet):
+    with Session(service.database) as local:
+        expect = local.run(TRIANGLE).count()
+    with isolated_registry() as registry:
+        with ClusterSession(_url_of(*servers[:fleet])) as cluster:
+            result = cluster.run(TRIANGLE, route="peer")
+            assert result.count() == expect
+            shards = len(result.gather_info["shard_map"])
+        counter = registry.get("repro_peer_total")
+        assert counter.value(event="gather") == 1
+        assert counter.value(event="leaf") == shards
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hop=st.integers(1, 5),
+    peers=st.one_of(
+        st.none(),
+        st.lists(st.from_regex(r"[a-z]{1,8}:[1-9][0-9]{3}",
+                               fullmatch=True),
+                 min_size=1, max_size=4),
+    ),
+)
+def test_hop_ge_one_is_always_a_leaf_property(peer_session, hop, peers):
+    # The receiving server must refuse to re-fan-out any hop >= 1 frame
+    # regardless of the hop count or what (even unreachable) peers the
+    # frame names — the peers list is advisory topology, the hop is law.
+    params = {"query": TRIANGLE, "options": {}, "hop": hop}
+    if peers is not None:
+        params["peers"] = peers
+    body = peer_session._request("cluster_run", **params)
+    assert body["fanout"] is False
+    assert body["route"] == "leaf"
+    count_body = peer_session._request("cluster_count", **params)
+    assert count_body["fanout"] is False
+    assert count_body["count"] >= 0
+
+
+@pytest.fixture(scope="module")
+def peer_session(servers):
+    # One plain remote session the hypothesis property drives; module
+    # scoped so examples do not pay a reconnect each.
+    with repro.connect(servers[0].url) as session:
+        yield session
+
+
+def test_merging_peer_death_reroutes_to_sibling(service):
+    # The client plans with the fleet fully up, the merging peer dies,
+    # and materialization must fail over: the *whole query* re-routes to
+    # a sibling peer, which merges the same shards (routing around the
+    # corpse itself) and returns the identical answer.
+    with Session(service.database) as local:
+        expect = sorted(tuple(row) for row in local.run(TRIANGLE).fetchall())
+    servers = [ServerThread(service).start() for _ in range(3)]
+    try:
+        with ClusterSession(_url_of(*servers)) as cluster:
+            # Warm run so the topology believes every peer is healthy
+            # and we learn who would coordinate next.
+            warm = cluster.run(TRIANGLE, route="peer")
+            assert sorted(tuple(r) for r in warm.fetchall()) == expect
+            coordinator = warm.gather_info["coordinator"]
+            victim = next(
+                server for server in servers
+                if server.url.replace("repro://", "") == coordinator
+            )
+            result = cluster.run(TRIANGLE, route="peer")
+            victim.stop()
+            rows = sorted(tuple(row) for row in result.fetchall())
+            assert rows == expect
+            info = result.gather_info
+            assert info["route"] == "peer"
+            assert info["coordinator"] != coordinator
+            healthy = cluster.stats()["topology"]["healthy"]
+            assert healthy == 2
+    finally:
+        for server in servers:
+            server.stop()

@@ -1,0 +1,138 @@
+"""Route parity: ``route="peer"`` answers exactly like ``route="client"``.
+
+The peer route moves stages 2–4 of a distributed query (dispatch,
+gather, merge) from the client into one server of the fleet; nothing
+about the *answer* may change.  These tests sweep every registered
+algorithm × both partitioning schemes × 2- and 3-server fleets and
+demand bag-equality of rows (and equality of counts) between the two
+routes and against a single in-process session — the same regime grid
+:mod:`tests.dist.test_cluster_parity` pins for the client route alone.
+"""
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.api.session import Session
+from repro.dist import ClusterSession
+from repro.engine import default_registry
+from repro.errors import ReproError
+from repro.net.server import ServerThread
+from repro.service import QueryService
+
+from tests.conftest import graph_database
+
+ALGORITHMS = sorted(default_registry())
+
+#: One query per structural regime the planner distinguishes.
+QUERIES = (
+    "edge(a,b), edge(b,c), edge(a,c), a<b, b<c",   # cyclic
+    "v1(a), v2(c), edge(a,b), edge(b,c)",          # β-acyclic, sampled
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    with QueryService(graph_database(14, 40, seed=5)) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def servers(service):
+    started = [ServerThread(service).start() for _ in range(3)]
+    yield started
+    for server in started:
+        server.stop()
+
+
+@pytest.fixture(scope="module")
+def local(service):
+    with Session(service.database) as session:
+        yield session
+
+
+def _cluster_url(servers, count: int) -> str:
+    hosts = [s.url.replace("repro://", "") for s in servers[:count]]
+    return "repro://" + ",".join(hosts)
+
+
+@pytest.fixture(scope="module", params=[2, 3], ids=["2servers", "3servers"])
+def cluster(servers, request):
+    with ClusterSession(_cluster_url(servers, request.param)) as session:
+        yield session
+
+
+def _sorted_rows(result_set) -> List[Tuple[Tuple[str, int], ...]]:
+    columns = [getattr(column, "name", column)
+               for column in result_set.columns]
+    return sorted(
+        tuple(sorted(zip(columns, row))) for row in result_set.rows()
+    )
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=["cyclic", "acyclic"])
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_routes_agree_with_local(cluster, local, algorithm, query):
+    # The reference is a *partitioned* local run (distributing means
+    # sharded execution); an algorithm that rejects the regime must
+    # fail with the same error type on both routes, and one that
+    # accepts it must answer identically on both.
+    try:
+        expected = _sorted_rows(
+            local.run(query, algorithm=algorithm, parallel=2)
+        )
+    except ReproError as error:
+        for route in ("client", "peer"):
+            with pytest.raises(type(error)):
+                _sorted_rows(cluster.run(query, algorithm=algorithm,
+                                         route=route))
+        return
+    client_rows = _sorted_rows(
+        cluster.run(query, algorithm=algorithm, route="client")
+    )
+    peer_rows = _sorted_rows(
+        cluster.run(query, algorithm=algorithm, route="peer")
+    )
+    assert client_rows == expected
+    assert peer_rows == expected
+
+
+@pytest.mark.parametrize("mode", ["hash", "hypercube"])
+@pytest.mark.parametrize("query", QUERIES, ids=["cyclic", "acyclic"])
+def test_routes_agree_under_forced_scheme(cluster, local, mode, query):
+    expected = _sorted_rows(local.run(query))
+    for route in ("client", "peer"):
+        rows = _sorted_rows(
+            cluster.run(query, partition_mode=mode, route=route)
+        )
+        assert rows == expected, f"route={route} mode={mode}"
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=["cyclic", "acyclic"])
+def test_count_parity_across_routes(cluster, local, query):
+    expected = local.run(query).count()
+    assert cluster.run(query, route="client").count() == expected
+    assert cluster.run(query, route="peer").count() == expected
+
+
+def test_peer_route_reports_server_side_merge(cluster):
+    result = cluster.run(QUERIES[0], route="peer")
+    result.fetchall()
+    info = result.gather_info
+    assert info["route"] == "peer"
+    assert info["coordinator"]  # which server merged
+    assert info["shard_map"]    # the peers it dispatched to
+    # The merged answer arrived as one stream: limit clamps exactly.
+    limited = cluster.run(QUERIES[0], route="peer", limit=3)
+    assert len(limited.fetchall()) <= 3
+
+
+def test_peer_route_streams_through_fetch_pages(cluster, local):
+    # The merged rows ride the ordinary cursor registry: a small
+    # fetch_size forces several fetch round trips and the pages must
+    # reassemble the exact answer.
+    expected = _sorted_rows(local.run(QUERIES[0]))
+    rows = _sorted_rows(
+        cluster.run(QUERIES[0], route="peer", fetch_size=2)
+    )
+    assert rows == expected

@@ -144,6 +144,27 @@ class TestClusterGrammar:
         with pytest.raises(NetworkError, match="names no host"):
             parse_cluster_url("repro://h1:9944,")
 
+    def test_trailing_comma_error_names_the_offender(self):
+        # The message must say what is wrong (a trailing comma) and
+        # after which entry, not just reject generically.
+        with pytest.raises(NetworkError,
+                           match=r"trailing comma.*'h2:9945'"):
+            parse_cluster_url("repro://h1:9944,h2:9945,")
+
+    @pytest.mark.parametrize("url, offender", [
+        ("repro://h1:9944, h2:9945", "' h2:9945'"),      # leading space
+        ("repro://h1:9944 ,h2:9945", "'h1:9944 '"),      # trailing space
+        ("repro://h1:9944,\th2:9945", r"'\\th2:9945'"),  # tab
+        ("repro:// h1:9944", "' h1:9944'"),              # single entry
+    ])
+    def test_surrounding_whitespace_rejected(self, url, offender):
+        # Whitespace around an entry is almost always a copy-paste
+        # artifact from a config list; the error names the exact entry
+        # so the fix is obvious.
+        with pytest.raises(NetworkError,
+                           match=f"whitespace around entry .*{offender}"):
+            parse_cluster_url(url)
+
     def test_every_entry_validated(self):
         # The second host's port is bad — the per-host rules apply to
         # every entry, not just the first.
@@ -175,6 +196,39 @@ def test_cluster_round_trip_property(endpoints):
         expected.append((host, port if port is not None else DEFAULT_PORT))
     url = "repro://" + ",".join(entries)
     assert parse_cluster_url(url) == tuple(expected)
+
+
+@given(endpoints=st.lists(st.tuples(hosts, ports), min_size=1, max_size=4))
+def test_cluster_trailing_comma_always_rejected_property(endpoints):
+    entries = [
+        (f"[{host}]" if ":" in host else host)
+        + (f":{port}" if port is not None else "")
+        for host, port in endpoints
+    ]
+    url = "repro://" + ",".join(entries) + ","
+    with pytest.raises(NetworkError, match="names no host"):
+        parse_cluster_url(url)
+
+
+@given(
+    endpoints=st.lists(st.tuples(hosts, ports), min_size=1, max_size=4),
+    index=st.integers(0, 3),
+    pad=st.sampled_from([" ", "\t", "  ", " \t"]),
+    leading=st.booleans(),
+)
+def test_cluster_padded_entry_always_rejected_property(
+        endpoints, index, pad, leading):
+    entries = [
+        (f"[{host}]" if ":" in host else host)
+        + (f":{port}" if port is not None else "")
+        for host, port in endpoints
+    ]
+    index %= len(entries)
+    entries[index] = pad + entries[index] if leading \
+        else entries[index] + pad
+    url = "repro://" + ",".join(entries)
+    with pytest.raises(NetworkError, match="whitespace around entry"):
+        parse_cluster_url(url)
 
 
 def test_server_url_round_trips_through_parse_url():

@@ -254,6 +254,12 @@ class TestEvents:
         assert main(["events", "--limit", "-1"]) == EXIT_BAD_OPTIONS
         assert "--limit" in capsys.readouterr().err
 
+    def test_zero_limit_exits_bad_options(self, capsys):
+        # limit=0 used to silently mean "everything"; it must fail like
+        # any other non-positive limit.
+        assert main(["events", "--limit", "0"]) == EXIT_BAD_OPTIONS
+        assert "--limit" in capsys.readouterr().err
+
     def test_metrics_conflicting_targets_exit_bad_options(self, capsys):
         code = main(["metrics", "--connect", "repro://h:1",
                      "--cluster", "repro://h:1,h:2"])
@@ -264,6 +270,17 @@ class TestEvents:
         code = main(["analyze", "--cluster", "repro://h:1,h:2"])
         assert code == EXIT_BAD_OPTIONS
         assert "query argument" in capsys.readouterr().err
+
+    def test_analyze_route_without_target_exits_bad_options(self, capsys):
+        code = main(["analyze", "edge(a,b)", "--route", "peer"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "--route" in capsys.readouterr().err
+
+    def test_query_route_without_target_exits_bad_options(self, capsys):
+        code = main(["query", "--dataset", "ca-GrQc",
+                     "--pattern", "3-clique", "--route", "peer"])
+        assert code == EXIT_BAD_OPTIONS
+        assert "--route" in capsys.readouterr().err
 
 
 class TestServe:
